@@ -1,0 +1,25 @@
+//! Wall-clock cost of the static analysis itself (Table 1's "Time"
+//! column): pointer analysis + memory SSA + VFG + resolution + planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use usher_core::{run_config, Config};
+use usher_workloads::{workload, Scale};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_time");
+    group.sample_size(10);
+    for name in ["176.gcc", "253.perlbmk", "255.vortex"] {
+        let w = workload(name, Scale::TEST).expect("workload exists");
+        let m = w.compile_o0im().expect("compiles");
+        group.bench_with_input(BenchmarkId::new("usher_full", name), &m, |b, m| {
+            b.iter(|| run_config(m, Config::USHER))
+        });
+        group.bench_with_input(BenchmarkId::new("usher_tl", name), &m, |b, m| {
+            b.iter(|| run_config(m, Config::USHER_TL))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Wall-clock companion to Figure 10: interpreter throughput under no
+//! instrumentation, full instrumentation (MSan) and guided (Usher).
+//!
+//! The deterministic cost model in `figure10` is the primary metric; this
+//! bench confirms that real elapsed time moves the same way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use usher_core::{run_config, Config};
+use usher_runtime::{run, RunOptions};
+use usher_workloads::{workload, Scale};
+
+fn bench_slowdown(c: &mut Criterion) {
+    let opts = RunOptions::default();
+    let mut group = c.benchmark_group("figure10_wallclock");
+    group.sample_size(10);
+    for name in ["164.gzip", "181.mcf", "253.perlbmk", "300.twolf"] {
+        let w = workload(name, Scale::TEST).expect("workload exists");
+        let m = w.compile_o0im().expect("compiles");
+        let msan = run_config(&m, Config::MSAN).plan;
+        let usher = run_config(&m, Config::USHER).plan;
+        group.bench_with_input(BenchmarkId::new("native", name), &m, |b, m| {
+            b.iter(|| run(m, None, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("msan", name), &m, |b, m| {
+            b.iter(|| run(m, Some(&msan), &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("usher", name), &m, |b, m| {
+            b.iter(|| run(m, Some(&usher), &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slowdown);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! * context depth k of definedness resolution (0 / 1 / 2; the paper uses 1);
+//! * the semi-strong update rule on/off (the paper's novel mechanism);
+//! * Opt I and Opt II individually.
+//!
+//! Reported as the suite-average dynamic slowdown of the resulting plan.
+
+use usher_bench::average;
+use usher_core::{guided_plan, redundant_check_elimination, resolve, GuidedOpts};
+use usher_runtime::{run, RunOptions};
+use usher_vfg::{build_memssa, build_with, BuildOpts, VfgMode};
+use usher_workloads::{all_workloads, Scale};
+
+struct Variant {
+    name: &'static str,
+    k: usize,
+    semi_strong: bool,
+    opt1: bool,
+    opt2: bool,
+}
+
+const VARIANTS: [Variant; 6] = [
+    Variant { name: "full Usher (k=1)", k: 1, semi_strong: true, opt1: true, opt2: true },
+    Variant { name: "k=0 (ctx-insensitive)", k: 0, semi_strong: true, opt1: true, opt2: true },
+    Variant { name: "k=2", k: 2, semi_strong: true, opt1: true, opt2: true },
+    Variant { name: "no semi-strong", k: 1, semi_strong: false, opt1: true, opt2: true },
+    Variant { name: "no Opt I", k: 1, semi_strong: true, opt1: false, opt2: true },
+    Variant { name: "no Opt II", k: 1, semi_strong: true, opt1: true, opt2: false },
+];
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("test") => Scale::TEST,
+        _ => Scale::REF,
+    };
+    let opts = RunOptions::default();
+    println!("Ablation over the design choices (scale n={})\n", scale.n);
+    println!("{:<24} {:>14} {:>16} {:>12}", "variant", "avg slowdown", "avg propagations", "avg checks");
+
+    for v in VARIANTS {
+        let mut slowdowns = Vec::new();
+        let mut props = Vec::new();
+        let mut checks = Vec::new();
+        for w in all_workloads(scale) {
+            let m = w.compile_o0im().expect(w.name);
+            let pa = usher_pointer::analyze(&m);
+            let ms = build_memssa(&m, &pa);
+            let vfg = build_with(
+                &m,
+                &pa,
+                &ms,
+                BuildOpts { mode: VfgMode::Full, semi_strong: v.semi_strong },
+            );
+            let gamma = if v.opt2 {
+                redundant_check_elimination(&m, &pa, &ms, &vfg, v.k).gamma
+            } else {
+                resolve(&vfg, v.k)
+            };
+            let plan = guided_plan(
+                &m,
+                &pa,
+                &ms,
+                &vfg,
+                &gamma,
+                GuidedOpts { opt1: v.opt1, full_memory: false, bit_level: false },
+                v.name,
+            );
+            let r = run(&m, Some(&plan), &opts);
+            slowdowns.push(r.counters.slowdown_pct());
+            props.push(plan.stats.propagations as f64);
+            checks.push(plan.stats.checks as f64);
+        }
+        println!(
+            "{:<24} {:>13.0}% {:>16.0} {:>12.0}",
+            v.name,
+            average(&slowdowns),
+            average(&props),
+            average(&checks)
+        );
+    }
+}

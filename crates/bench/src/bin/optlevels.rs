@@ -1,0 +1,51 @@
+//! Regenerates the Section 4.6 experiment: instrumentation overhead under
+//! the O0+IM, O1 and O2 configurations, for MSan and full Usher.
+
+use usher_bench::average;
+use usher_core::{run_config, Config};
+use usher_ir::OptLevel;
+use usher_runtime::{run, RunOptions};
+use usher_workloads::{all_workloads, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("test") => Scale::TEST,
+        _ => Scale::REF,
+    };
+    let opts = RunOptions::default();
+    println!("Section 4.6: effect of compiler optimizations (scale n={})", scale.n);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Benchmark", "MSan@O0+IM", "Usher@O0+IM", "MSan@O1", "Usher@O1", "MSan@O2", "Usher@O2"
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for w in all_workloads(scale) {
+        let mut vals = Vec::new();
+        for level in [OptLevel::O0Im, OptLevel::O1, OptLevel::O2] {
+            let m = w.compile_with(level).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            for cfg in [Config::MSAN, Config::USHER] {
+                let out = run_config(&m, cfg);
+                let r = run(&m, Some(&out.plan), &opts);
+                vals.push(r.counters.slowdown_pct());
+            }
+        }
+        print!("{:<14}", w.name);
+        for (i, v) in vals.iter().enumerate() {
+            print!(" {:>11.0}%", v);
+            cols[i].push(*v);
+        }
+        println!();
+    }
+    print!("{:<14}", "average");
+    for c in &cols {
+        print!(" {:>11.0}%", average(c));
+    }
+    println!();
+    let red = |m: f64, u: f64| 100.0 * (m - u) / m.max(1.0);
+    println!(
+        "\nUsher reduces MSan's overhead by {:.1}% (O0+IM), {:.1}% (O1), {:.1}% (O2)",
+        red(average(&cols[0]), average(&cols[1])),
+        red(average(&cols[2]), average(&cols[3])),
+        red(average(&cols[4]), average(&cols[5])),
+    );
+}

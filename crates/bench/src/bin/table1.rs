@@ -1,0 +1,23 @@
+//! Regenerates Table 1: per-benchmark statistics of the value-flow
+//! analysis under O0+IM.
+
+use usher_core::{render_table1, table1_row};
+use usher_workloads::{all_workloads, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("test") => Scale::TEST,
+        _ => Scale::REF,
+    };
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        let m = w.compile_o0im().unwrap_or_else(|e| panic!("{} fails: {e}", w.name));
+        rows.push(table1_row(w.name, &w.source, &m));
+    }
+    println!("Table 1: benchmark statistics under O0+IM (scale n={})", scale.n);
+    print!("{}", render_table1(&rows));
+    println!("\n%F  = % of address-taken objects uninitialized when allocated");
+    println!("S   = semi-strong rule applications per non-array heap allocation site");
+    println!("%SU = % of stores strongly updated; %WU = unique-target stores left weak");
+    println!("%B  = % of VFG nodes reaching at least one critical statement");
+}

@@ -1,0 +1,185 @@
+//! Analysis configurations: the four Usher variants of Section 4.5 plus
+//! the MSan full-instrumentation baseline, and a one-call driver.
+
+use std::time::Instant;
+
+use usher_ir::Module;
+use usher_pointer::PointerAnalysis;
+use usher_vfg::{MemSsa, Vfg, VfgMode, VfgStats};
+
+use crate::instrument::{full_plan_with, guided_plan, GuidedOpts, Plan};
+use crate::opt2::redundant_check_elimination;
+use crate::resolve::{resolve, Gamma};
+
+/// One analysis configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Display name.
+    pub name: &'static str,
+    /// `None` means full instrumentation (the MSan baseline).
+    pub usher: Option<UsherConfig>,
+    /// Bit-level shadow precision for the full-instrumentation baseline
+    /// (guided configurations carry the flag in [`UsherConfig`]).
+    pub bit_level: bool,
+}
+
+/// Knobs of a guided (Usher) configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UsherConfig {
+    /// Variable-class scope.
+    pub mode: VfgMode,
+    /// Opt I: value-flow simplification.
+    pub opt1: bool,
+    /// Opt II: redundant check elimination.
+    pub opt2: bool,
+    /// Context depth for definedness resolution (the paper uses 1).
+    pub context_depth: usize,
+    /// Bit-level shadow precision (Section 4.1).
+    pub bit_level: bool,
+}
+
+impl Config {
+    /// The MSan baseline: full instrumentation.
+    pub const MSAN: Config = Config { name: "MSan", usher: None, bit_level: false };
+    /// `Usher_TL`: top-level variables only, no optimizations.
+    pub const USHER_TL: Config = Config {
+        name: "Usher_TL",
+        usher: Some(UsherConfig {
+            mode: VfgMode::TlOnly,
+            opt1: false,
+            opt2: false,
+            context_depth: 1,
+            bit_level: false,
+        }),
+        bit_level: false,
+    };
+    /// `Usher_TL+AT`: plus address-taken variables.
+    pub const USHER_TL_AT: Config = Config {
+        name: "Usher_TL+AT",
+        usher: Some(UsherConfig {
+            mode: VfgMode::Full,
+            opt1: false,
+            opt2: false,
+            context_depth: 1,
+            bit_level: false,
+        }),
+        bit_level: false,
+    };
+    /// `Usher_OptI`: plus value-flow simplification.
+    pub const USHER_OPT1: Config = Config {
+        name: "Usher_OptI",
+        usher: Some(UsherConfig {
+            mode: VfgMode::Full,
+            opt1: true,
+            opt2: false,
+            context_depth: 1,
+            bit_level: false,
+        }),
+        bit_level: false,
+    };
+    /// Full Usher: both optimizations.
+    pub const USHER: Config = Config {
+        name: "Usher",
+        usher: Some(UsherConfig {
+            mode: VfgMode::Full,
+            opt1: true,
+            opt2: true,
+            context_depth: 1,
+            bit_level: false,
+        }),
+        bit_level: false,
+    };
+
+    /// Bit-precise MSan baseline (Section 4.1's Memcheck-style shadows).
+    pub const MSAN_BIT: Config = Config { name: "MSan/bit", usher: None, bit_level: true };
+    /// Bit-precise full Usher.
+    pub const USHER_BIT: Config = Config {
+        name: "Usher/bit",
+        usher: Some(UsherConfig {
+            mode: VfgMode::Full,
+            opt1: true,
+            opt2: true,
+            context_depth: 1,
+            bit_level: true,
+        }),
+        bit_level: true,
+    };
+
+    /// The five configurations of Figure 10, in plot order.
+    pub const ALL: [Config; 5] =
+        [Config::MSAN, Config::USHER_TL, Config::USHER_TL_AT, Config::USHER_OPT1, Config::USHER];
+}
+
+/// Everything produced by one analysis run.
+pub struct AnalysisOutput {
+    /// The instrumentation plan.
+    pub plan: Plan,
+    /// The resolved definedness map (post-Opt II when enabled), if the
+    /// configuration is guided.
+    pub gamma: Option<Gamma>,
+    /// The VFG (guided configurations only).
+    pub vfg: Option<Vfg>,
+    /// Pointer analysis (guided configurations only).
+    pub pa: Option<PointerAnalysis>,
+    /// Memory SSA (guided full-mode configurations only).
+    pub memssa: Option<MemSsa>,
+    /// VFG construction statistics.
+    pub vfg_stats: VfgStats,
+    /// Nodes redirected by Opt II (Table 1 column `R`).
+    pub opt2_redirected: usize,
+    /// Wall-clock analysis time in seconds (pointer analysis included).
+    pub analysis_seconds: f64,
+}
+
+/// Runs a configuration over a module and produces its plan.
+pub fn run_config(m: &Module, cfg: Config) -> AnalysisOutput {
+    let start = Instant::now();
+    match cfg.usher {
+        None => {
+            let mut plan = full_plan_with(m, cfg.bit_level);
+            plan.name = cfg.name.to_string();
+            AnalysisOutput {
+                plan,
+                gamma: None,
+                vfg: None,
+                pa: None,
+                memssa: None,
+                vfg_stats: VfgStats::default(),
+                opt2_redirected: 0,
+                analysis_seconds: start.elapsed().as_secs_f64(),
+            }
+        }
+        Some(u) => {
+            let pa = usher_pointer::analyze(m);
+            let ms = match u.mode {
+                VfgMode::Full => usher_vfg::build_memssa(m, &pa),
+                VfgMode::TlOnly => MemSsa::default(),
+            };
+            let vfg = usher_vfg::build(m, &pa, &ms, u.mode);
+            let base_gamma = resolve(&vfg, u.context_depth);
+            let (gamma, redirected) = if u.opt2 {
+                let r = redundant_check_elimination(m, &pa, &ms, &vfg, u.context_depth);
+                (r.gamma, r.redirected)
+            } else {
+                (base_gamma, 0)
+            };
+            let opts = GuidedOpts {
+                opt1: u.opt1,
+                full_memory: u.mode == VfgMode::TlOnly,
+                bit_level: u.bit_level,
+            };
+            let mut plan = guided_plan(m, &pa, &ms, &vfg, &gamma, opts, cfg.name);
+            plan.name = cfg.name.to_string();
+            AnalysisOutput {
+                plan,
+                vfg_stats: vfg.stats,
+                gamma: Some(gamma),
+                vfg: Some(vfg),
+                pa: Some(pa),
+                memssa: Some(ms),
+                opt2_redirected: redirected,
+                analysis_seconds: start.elapsed().as_secs_f64(),
+            }
+        }
+    }
+}

@@ -1,0 +1,675 @@
+//! Instrumentation planning — the guided rules of Figure 7 plus the
+//! full-instrumentation baseline (the MSan stand-in).
+//!
+//! A [`Plan`] attaches shadow operations before/after statement sites (and
+//! at function entries). The runtime executes them alongside the program:
+//! shadow registers live per frame, shadow memory per allocated cell, and
+//! both **default to defined** — so the paper's `sigma(x) := T` strong
+//! updates at `Top` nodes are realized by the defaults, and only `Bot`
+//! (possibly-undefined) value flow needs explicit operations. Guided
+//! planning is demand-driven from the runtime checks, exactly as the `Σ`
+//! deduction rules propagate from `[Bot-Check]`.
+
+use std::collections::{HashMap, HashSet};
+
+use usher_ir::{
+    Callee, ExtFunc, FuncId, GepOffset, Inst, Module, ObjId, Operand, Site, Terminator,
+    VarId,
+};
+use usher_pointer::PointerAnalysis;
+use usher_vfg::{CheckKind, EdgeKind, MemDefKind, MemSsa, NodeKind, Vfg};
+
+use crate::mfc::mfc;
+use crate::resolve::Gamma;
+
+/// Where a shadow operation reads from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShadowSrc {
+    /// The shadow register of a top-level variable.
+    Tl(VarId),
+    /// A constant definedness (operand was a literal/global/`undef`).
+    Const(bool),
+}
+
+/// Converts an operand into its shadow source.
+pub fn shadow_src(op: Operand) -> ShadowSrc {
+    match op {
+        Operand::Var(v) => ShadowSrc::Tl(v),
+        Operand::Undef => ShadowSrc::Const(false),
+        Operand::Const(_) | Operand::Global(_) | Operand::Func(_) => ShadowSrc::Const(true),
+    }
+}
+
+/// One shadow operation. Field meanings follow the variant docs.
+#[allow(missing_docs)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShadowOp {
+    /// `sigma(dst) := defined` (strong update to a register shadow).
+    SetTl { dst: VarId, defined: bool },
+    /// `sigma(dst) := sigma(src)`.
+    CopyTl { dst: VarId, src: ShadowSrc },
+    /// `sigma(dst) := sigma(s1) AND sigma(s2) AND ...`.
+    AndTl { dst: VarId, srcs: Vec<ShadowSrc> },
+    /// `sigma(dst) := sigma(*addr)` (shadow-memory read).
+    LoadSh { dst: VarId, addr: Operand },
+    /// `sigma(*addr) := sigma(src)` (shadow-memory write).
+    StoreSh { addr: Operand, src: ShadowSrc },
+    /// Initialize the shadow of one field class of a freshly allocated
+    /// object (`sigma(*x) := T/F` of the `[*-Alloc]` rules). `class` is
+    /// the class representative cell; `count` the dynamic element count.
+    SetMemClass { addr: Operand, obj: ObjId, class: u32, defined: bool, count: Option<Operand> },
+    /// `sigma_g[index] := sigma(src)` (caller side of `[Bot-Para]`).
+    ArgSh { index: usize, src: ShadowSrc },
+    /// `sigma(dst) := sigma_g[index]` (callee side of `[Bot-Para]`).
+    ParamSh { dst: VarId, index: usize },
+    /// `sigma_ret := sigma(src)` (callee side of `[Bot-Ret]`).
+    RetSh { src: ShadowSrc },
+    /// `sigma(dst) := sigma_ret` (caller side of `[Bot-Ret]`).
+    RetResultSh { dst: VarId },
+    /// Bit-precise shadow of a binary operation (Memcheck-style, used in
+    /// bit-level mode): the runtime combines the operand *values* and
+    /// poison masks per operator.
+    BinSh { dst: VarId, op: usher_ir::BinOp, lhs: Operand, rhs: Operand },
+    /// Bit-precise shadow of a unary operation (bit-level mode).
+    UnSh { dst: VarId, op: usher_ir::UnOp, src: Operand },
+    /// `E(l) := (sigma(op) == F)` — a runtime check at a critical
+    /// operation.
+    Check { op: Operand, kind: CheckKind },
+}
+
+impl ShadowOp {
+    /// Number of shadow-variable reads this operation performs (the
+    /// paper's Figure 11 "shadow propagations" metric).
+    pub fn propagation_reads(&self) -> usize {
+        let src_reads = |s: &ShadowSrc| usize::from(matches!(s, ShadowSrc::Tl(_)));
+        match self {
+            ShadowOp::SetTl { .. } | ShadowOp::SetMemClass { .. } => 0,
+            ShadowOp::CopyTl { src, .. }
+            | ShadowOp::StoreSh { src, .. }
+            | ShadowOp::ArgSh { src, .. }
+            | ShadowOp::RetSh { src } => src_reads(src),
+            ShadowOp::AndTl { srcs, .. } => srcs.iter().map(src_reads).sum(),
+            ShadowOp::BinSh { lhs, rhs, .. } => {
+                usize::from(matches!(lhs, Operand::Var(_)))
+                    + usize::from(matches!(rhs, Operand::Var(_)))
+            }
+            ShadowOp::UnSh { src, .. } => usize::from(matches!(src, Operand::Var(_))),
+            ShadowOp::LoadSh { .. } | ShadowOp::ParamSh { .. } | ShadowOp::RetResultSh { .. } => 1,
+            ShadowOp::Check { .. } => 0,
+        }
+    }
+}
+
+/// Static instrumentation statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Static count of shadow-variable reads (Figure 11, left).
+    pub propagations: usize,
+    /// Static count of runtime checks (Figure 11, right).
+    pub checks: usize,
+    /// Total shadow operations.
+    pub ops: usize,
+    /// Tracked phis.
+    pub phis: usize,
+    /// MFCs simplified by Opt I (Table 1 column `S`).
+    pub mfcs_simplified: usize,
+}
+
+/// A complete instrumentation plan for a module.
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    /// Ops to run before a site executes.
+    pub before: HashMap<Site, Vec<ShadowOp>>,
+    /// Ops to run after a site executes.
+    pub after: HashMap<Site, Vec<ShadowOp>>,
+    /// Ops to run on function entry.
+    pub entry: HashMap<FuncId, Vec<ShadowOp>>,
+    /// Phis whose shadow must follow the selected incoming at runtime.
+    pub tracked_phis: HashSet<(FuncId, VarId)>,
+    /// Static statistics.
+    pub stats: PlanStats,
+    /// Configuration label (for reports).
+    pub name: String,
+}
+
+impl Plan {
+    fn push_before(&mut self, site: Site, op: ShadowOp) {
+        self.before.entry(site).or_default().push(op);
+    }
+
+    fn push_after(&mut self, site: Site, op: ShadowOp) {
+        self.after.entry(site).or_default().push(op);
+    }
+
+    /// Recomputes `stats` from the recorded operations.
+    pub fn finalize_stats(&mut self) {
+        let mut s = PlanStats { mfcs_simplified: self.stats.mfcs_simplified, ..Default::default() };
+        for ops in self.before.values().chain(self.after.values()).chain(self.entry.values()) {
+            for op in ops {
+                s.ops += 1;
+                s.propagations += op.propagation_reads();
+                if matches!(op, ShadowOp::Check { .. }) {
+                    s.checks += 1;
+                }
+            }
+        }
+        s.phis = self.tracked_phis.len();
+        s.propagations += s.phis; // each tracked phi reads one incoming shadow
+        self.stats = s;
+    }
+
+    /// All operations planned at a site (before + after), for tests.
+    pub fn ops_at(&self, site: Site) -> Vec<&ShadowOp> {
+        self.before
+            .get(&site)
+            .into_iter()
+            .flatten()
+            .chain(self.after.get(&site).into_iter().flatten())
+            .collect()
+    }
+}
+
+/// Builds the full-instrumentation baseline (MSan): every value shadowed,
+/// every statement shadow-executed, every critical operation checked.
+pub fn full_plan(m: &Module) -> Plan {
+    full_plan_with(m, false)
+}
+
+/// [`full_plan`] with optional bit-level precision.
+pub fn full_plan_with(m: &Module, bit_level: bool) -> Plan {
+    let mut p = Plan { name: "MSan (full)".into(), ..Default::default() };
+    for (fid, func) in m.funcs.iter_enumerated() {
+        // Callee side of parameter passing.
+        for (i, param) in func.params.iter().enumerate() {
+            p.entry.entry(fid).or_default().push(ShadowOp::ParamSh { dst: *param, index: i });
+        }
+        for (bb, block) in func.blocks.iter_enumerated() {
+            for (idx, inst) in block.insts.iter().enumerate() {
+                let site = Site::new(fid, bb, idx);
+                full_inst(m, &mut p, site, inst, bit_level);
+            }
+            let term_site = Site::new(fid, bb, block.insts.len());
+            match &block.term {
+                Terminator::Br { cond, .. } => {
+                    if matches!(cond, Operand::Var(_) | Operand::Undef) {
+                        p.push_before(
+                            term_site,
+                            ShadowOp::Check { op: *cond, kind: CheckKind::BranchCond },
+                        );
+                    }
+                }
+                Terminator::Ret(Some(op)) => {
+                    p.push_before(term_site, ShadowOp::RetSh { src: shadow_src(*op) });
+                }
+                _ => {}
+            }
+        }
+    }
+    p.finalize_stats();
+    p
+}
+
+fn full_inst(m: &Module, p: &mut Plan, site: Site, inst: &Inst, bit_level: bool) {
+    match inst {
+        Inst::Copy { dst, src } => {
+            p.push_after(site, ShadowOp::CopyTl { dst: *dst, src: shadow_src(*src) });
+        }
+        Inst::Un { dst, op, src } => {
+            if bit_level {
+                p.push_after(site, ShadowOp::UnSh { dst: *dst, op: *op, src: *src });
+            } else {
+                p.push_after(site, ShadowOp::CopyTl { dst: *dst, src: shadow_src(*src) });
+            }
+        }
+        Inst::Bin { dst, op, lhs, rhs } => {
+            if bit_level {
+                p.push_after(
+                    site,
+                    ShadowOp::BinSh { dst: *dst, op: *op, lhs: *lhs, rhs: *rhs },
+                );
+            } else {
+                p.push_after(
+                    site,
+                    ShadowOp::AndTl { dst: *dst, srcs: vec![shadow_src(*lhs), shadow_src(*rhs)] },
+                );
+            }
+        }
+        Inst::Gep { dst, base, offset } => {
+            let mut srcs = vec![shadow_src(*base)];
+            if let GepOffset::Index { index, .. } = offset {
+                srcs.push(shadow_src(*index));
+            }
+            p.push_after(site, ShadowOp::AndTl { dst: *dst, srcs });
+        }
+        Inst::Alloc { dst, obj, count } => {
+            // Poison (or bless) the whole fresh object; `u32::MAX` is the
+            // all-classes sentinel.
+            p.push_after(
+                site,
+                ShadowOp::SetMemClass {
+                    addr: Operand::Var(*dst),
+                    obj: *obj,
+                    class: u32::MAX,
+                    defined: m.objects[*obj].zero_init,
+                    count: *count,
+                },
+            );
+        }
+        Inst::Load { dst, addr } => {
+            if matches!(addr, Operand::Var(_) | Operand::Undef) {
+                p.push_before(site, ShadowOp::Check { op: *addr, kind: CheckKind::LoadAddr });
+            }
+            p.push_after(site, ShadowOp::LoadSh { dst: *dst, addr: *addr });
+        }
+        Inst::Store { addr, val } => {
+            if matches!(addr, Operand::Var(_) | Operand::Undef) {
+                p.push_before(site, ShadowOp::Check { op: *addr, kind: CheckKind::StoreAddr });
+            }
+            p.push_after(site, ShadowOp::StoreSh { addr: *addr, src: shadow_src(*val) });
+        }
+        Inst::Call { dst, callee, args } => {
+            match callee {
+                Callee::External(ext) => {
+                    if let (Some(d), ExtFunc::InputInt) = (dst, ext) {
+                        p.push_after(site, ShadowOp::SetTl { dst: *d, defined: true });
+                    }
+                }
+                Callee::Direct(_) | Callee::Indirect(_) => {
+                    if let Callee::Indirect(t) = callee {
+                        if matches!(t, Operand::Var(_) | Operand::Undef) {
+                            p.push_before(
+                                site,
+                                ShadowOp::Check { op: *t, kind: CheckKind::CallTarget },
+                            );
+                        }
+                    }
+                    for (i, a) in args.iter().enumerate() {
+                        p.push_before(site, ShadowOp::ArgSh { index: i, src: shadow_src(*a) });
+                    }
+                    if let Some(d) = dst {
+                        p.push_after(site, ShadowOp::RetResultSh { dst: *d });
+                    }
+                }
+            }
+        }
+        Inst::Phi { dst, .. } => {
+            p.tracked_phis.insert((site.func, *dst));
+        }
+    }
+}
+
+/// Options for guided planning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GuidedOpts {
+    /// Apply Opt I (value-flow simplification over MFCs).
+    pub opt1: bool,
+    /// Keep full MSan-style memory instrumentation (allocation poisoning
+    /// and store propagation). Required by `Usher_TL`, which does not
+    /// track address-taken variables statically and must therefore
+    /// maintain shadow memory everywhere, like MSan.
+    pub full_memory: bool,
+    /// Bit-level precision (Section 4.1): per-bit poison masks with
+    /// Memcheck-style propagation for bitwise operations, and no MFC
+    /// folding through bitwise operators.
+    pub bit_level: bool,
+}
+
+/// Builds the Usher-guided plan from a resolved `Gamma` (Section 3.4; use
+/// a `Gamma` from Opt II's modified graph to also apply Opt II).
+pub fn guided_plan(
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    vfg: &Vfg,
+    gamma: &Gamma,
+    opts: GuidedOpts,
+    name: impl Into<String>,
+) -> Plan {
+    let mut p = Plan { name: name.into(), ..Default::default() };
+    let mut g = Generator {
+        m,
+        pa,
+        ms,
+        vfg,
+        gamma,
+        opts,
+        plan: &mut p,
+        processed: HashSet::new(),
+        store_sh_sites: HashSet::new(),
+        ret_sh_sites: HashSet::new(),
+        arg_sh_done: HashSet::new(),
+        work: Vec::new(),
+    };
+
+    if opts.full_memory {
+        g.instrument_all_memory();
+    }
+
+    // [Bot-Check]: demand every possibly-undefined checked value.
+    for check in &vfg.checks {
+        if !gamma.is_bot(check.node) {
+            continue; // [Top-Check]
+        }
+        g.plan.push_before(check.site, ShadowOp::Check { op: check.operand, kind: check.kind });
+        if let Operand::Var(v) = check.operand {
+            if let Some(n) = vfg.tl(check.site.func, v) {
+                g.demand(n);
+            }
+        }
+    }
+    g.run();
+
+    p.finalize_stats();
+    p
+}
+
+struct Generator<'a> {
+    m: &'a Module,
+    pa: &'a PointerAnalysis,
+    ms: &'a MemSsa,
+    vfg: &'a Vfg,
+    gamma: &'a Gamma,
+    opts: GuidedOpts,
+    plan: &'a mut Plan,
+    processed: HashSet<u32>,
+    store_sh_sites: HashSet<Site>,
+    ret_sh_sites: HashSet<Site>,
+    arg_sh_done: HashSet<(Site, usize)>,
+    work: Vec<u32>,
+}
+
+impl<'a> Generator<'a> {
+    /// `Usher_TL` memory handling: poison every allocation and propagate
+    /// every store, demanding the stored top-level values so their shadow
+    /// chains are maintained.
+    fn instrument_all_memory(&mut self) {
+        for (fid, func) in self.m.funcs.iter_enumerated() {
+            for (bb, block) in func.blocks.iter_enumerated() {
+                for (idx, inst) in block.insts.iter().enumerate() {
+                    let site = Site::new(fid, bb, idx);
+                    match inst {
+                        Inst::Alloc { dst, obj, count } => {
+                            self.plan.push_after(
+                                site,
+                                ShadowOp::SetMemClass {
+                                    addr: Operand::Var(*dst),
+                                    obj: *obj,
+                                    class: u32::MAX,
+                                    defined: self.m.objects[*obj].zero_init,
+                                    count: *count,
+                                },
+                            );
+                        }
+                        Inst::Store { addr, val } => {
+                            if self.store_sh_sites.insert(site) {
+                                self.plan.push_after(
+                                    site,
+                                    ShadowOp::StoreSh { addr: *addr, src: shadow_src(*val) },
+                                );
+                            }
+                            if let Operand::Var(v) = val {
+                                if let Some(n) = self.vfg.tl(fid, *v) {
+                                    self.demand(n);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Demands the shadow of a node: if it may be undefined, its defining
+    /// statement is instrumented and its dependencies demanded in turn.
+    /// `Top` nodes need nothing — register and memory shadows default to
+    /// defined, which realizes the `[Top-*]` strong updates.
+    fn demand(&mut self, node: u32) {
+        if !self.gamma.is_bot(node) {
+            return;
+        }
+        if self.processed.insert(node) {
+            self.work.push(node);
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(node) = self.work.pop() {
+            self.process(node);
+        }
+    }
+
+    fn demand_deps(&mut self, node: u32) {
+        let deps: Vec<u32> = self.vfg.deps[node as usize].iter().map(|(d, _)| *d).collect();
+        for d in deps {
+            self.demand(d);
+        }
+    }
+
+    fn process(&mut self, node: u32) {
+        match self.vfg.nodes[node as usize] {
+            NodeKind::RootT | NodeKind::RootF | NodeKind::Check(_) => {}
+            NodeKind::Tl(f, v) => self.process_tl(node, f, v),
+            NodeKind::Mem(f, ver) => self.process_mem(node, f, ver),
+        }
+    }
+
+    fn process_tl(&mut self, node: u32, f: FuncId, v: VarId) {
+        let func = &self.m.funcs[f];
+        if func.params.contains(&v) {
+            // [Bot-Para]: callee entry reads sigma_g; every call site
+            // writes it from the actual's shadow.
+            let index = func.params.iter().position(|p| *p == v).expect("checked above");
+            self.plan
+                .entry
+                .entry(f)
+                .or_default()
+                .push(ShadowOp::ParamSh { dst: v, index });
+            let deps: Vec<(u32, EdgeKind)> = self.vfg.deps[node as usize].clone();
+            for (dep, kind) in deps {
+                if let EdgeKind::Call(cs) = kind {
+                    if self.arg_sh_done.insert((cs, index)) {
+                        let src = match self.vfg.nodes[dep as usize] {
+                            NodeKind::Tl(_, av) => ShadowSrc::Tl(av),
+                            NodeKind::RootF => ShadowSrc::Const(false),
+                            _ => ShadowSrc::Const(true),
+                        };
+                        self.plan.push_before(cs, ShadowOp::ArgSh { index, src });
+                    }
+                    self.demand(dep);
+                }
+            }
+            return;
+        }
+
+        let Some(site) = self.vfg.def_site[node as usize] else {
+            // No defining statement (should not happen for non-params).
+            return;
+        };
+        let inst = self.m.funcs[f].blocks[site.block].insts.get(site.idx).cloned();
+        let Some(inst) = inst else { return };
+        match inst {
+            Inst::Copy { dst, src } => {
+                if self.try_opt1(node, dst, site) {
+                    return;
+                }
+                self.plan.push_after(site, ShadowOp::CopyTl { dst, src: shadow_src(src) });
+                self.demand_deps(node);
+            }
+            Inst::Un { dst, op, src } => {
+                if self.try_opt1(node, dst, site) {
+                    return;
+                }
+                if self.opts.bit_level {
+                    self.plan.push_after(site, ShadowOp::UnSh { dst, op, src });
+                } else {
+                    self.plan.push_after(site, ShadowOp::CopyTl { dst, src: shadow_src(src) });
+                }
+                self.demand_deps(node);
+            }
+            Inst::Bin { dst, op, lhs, rhs } => {
+                if self.try_opt1(node, dst, site) {
+                    return;
+                }
+                if self.opts.bit_level {
+                    self.plan.push_after(site, ShadowOp::BinSh { dst, op, lhs, rhs });
+                } else {
+                    self.plan.push_after(
+                        site,
+                        ShadowOp::AndTl { dst, srcs: vec![shadow_src(lhs), shadow_src(rhs)] },
+                    );
+                }
+                self.demand_deps(node);
+            }
+            Inst::Gep { dst, base, offset } => {
+                if self.try_opt1(node, dst, site) {
+                    return;
+                }
+                let mut srcs = vec![shadow_src(base)];
+                if let GepOffset::Index { index, .. } = offset {
+                    srcs.push(shadow_src(index));
+                }
+                self.plan.push_after(site, ShadowOp::AndTl { dst, srcs });
+                self.demand_deps(node);
+            }
+            Inst::Alloc { dst, count, .. } => {
+                // The pointer itself: Bot only via an undefined count.
+                if let Some(c) = count {
+                    self.plan
+                        .push_after(site, ShadowOp::AndTl { dst, srcs: vec![shadow_src(c)] });
+                }
+                self.demand_deps(node);
+            }
+            Inst::Load { dst, addr } => {
+                // [Bot-Load].
+                self.plan.push_after(site, ShadowOp::LoadSh { dst, addr });
+                self.demand_deps(node);
+            }
+            Inst::Call { dst: Some(dst), callee, .. } => {
+                match callee {
+                    Callee::External(_) => {
+                        // Externals always produce defined results; a Bot
+                        // state here cannot arise.
+                    }
+                    _ => {
+                        // [Bot-Ret].
+                        self.plan.push_after(site, ShadowOp::RetResultSh { dst });
+                        for &g in self.pa.call_graph.callees_of(site) {
+                            self.emit_ret_shadows(g);
+                        }
+                        self.demand_deps(node);
+                    }
+                }
+            }
+            Inst::Phi { dst, .. } => {
+                // [Phi]: shadow follows the selected incoming at runtime.
+                self.plan.tracked_phis.insert((f, dst));
+                self.demand_deps(node);
+            }
+            Inst::Call { dst: None, .. } | Inst::Store { .. } => {
+                // These define no top-level variable.
+            }
+        }
+    }
+
+    /// Emits `sigma_ret := sigma(r)` at every return of `g`.
+    fn emit_ret_shadows(&mut self, g: FuncId) {
+        let blocks: Vec<(usher_ir::BlockId, Option<Operand>)> = self.m.funcs[g]
+            .blocks
+            .iter_enumerated()
+            .filter_map(|(bb, b)| match b.term {
+                Terminator::Ret(op) => Some((bb, op)),
+                _ => None,
+            })
+            .collect();
+        for (bb, op) in blocks {
+            let term_site = Site::new(g, bb, self.m.funcs[g].blocks[bb].insts.len());
+            if let Some(op) = op {
+                if self.ret_sh_sites.insert(term_site) {
+                    self.plan.push_before(term_site, ShadowOp::RetSh { src: shadow_src(op) });
+                }
+            }
+        }
+    }
+
+    /// Opt I: replace a chain of copies/operations by one conjunction of
+    /// the MFC's Bot sources, skipping the interior propagations.
+    fn try_opt1(&mut self, node: u32, dst: VarId, site: Site) -> bool {
+        if !self.opts.opt1 {
+            return false;
+        }
+        let closure = mfc(self.m, self.vfg, node, !self.opts.bit_level);
+        if closure.folded == 0 {
+            return false;
+        }
+        let mut srcs: Vec<ShadowSrc> = Vec::new();
+        for &s in &closure.sources {
+            if !self.gamma.is_bot(s) {
+                continue; // Top sources contribute a constant T
+            }
+            match self.vfg.nodes[s as usize] {
+                NodeKind::RootF => srcs.push(ShadowSrc::Const(false)),
+                NodeKind::Tl(sf, sv) if sf == site.func => {
+                    srcs.push(ShadowSrc::Tl(sv));
+                    self.demand(s);
+                }
+                _ => {
+                    // A source outside this function cannot be read
+                    // directly; fall back to plain propagation.
+                    return false;
+                }
+            }
+        }
+        self.plan.stats.mfcs_simplified += 1;
+        if srcs.is_empty() {
+            // All sources Top: the value is Top... but we are Bot; be
+            // conservative and mark defined.
+            self.plan.push_after(site, ShadowOp::SetTl { dst, defined: true });
+        } else {
+            self.plan.push_after(site, ShadowOp::AndTl { dst, srcs });
+        }
+        true
+    }
+
+    fn process_mem(&mut self, node: u32, f: FuncId, ver: usher_vfg::MemVerId) {
+        let Some(fs) = self.ms.funcs.get(&f) else { return };
+        let def = fs.def(ver);
+        match def.kind {
+            MemDefKind::FormalIn | MemDefKind::Phi(_) => {
+                // [VPara]/[Phi]: collect across — shadow memory is global
+                // at runtime, nothing to execute.
+                self.demand_deps(node);
+            }
+            MemDefKind::Alloc(site) => {
+                // [Bot-Alloc]: set the fresh object's shadow.
+                let inst = self.m.funcs[f].blocks[site.block].insts[site.idx].clone();
+                let Inst::Alloc { dst, obj, count } = inst else { return };
+                let defined = self.m.objects[obj].zero_init;
+                self.plan.push_after(
+                    site,
+                    ShadowOp::SetMemClass {
+                        addr: Operand::Var(dst),
+                        obj,
+                        class: def.loc.field,
+                        defined,
+                        count,
+                    },
+                );
+                self.demand_deps(node);
+            }
+            MemDefKind::StoreChi(site) => {
+                // [Bot-Store*]: sigma(*x) := sigma(y), once per store.
+                if self.store_sh_sites.insert(site) {
+                    let inst = self.m.funcs[f].blocks[site.block].insts[site.idx].clone();
+                    let Inst::Store { addr, val } = inst else { return };
+                    self.plan.push_after(site, ShadowOp::StoreSh { addr, src: shadow_src(val) });
+                }
+                self.demand_deps(node);
+            }
+            MemDefKind::CallChi(_) => {
+                // [VRet]: shadow memory carries the flow at runtime.
+                self.demand_deps(node);
+            }
+        }
+    }
+}

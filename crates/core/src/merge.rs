@@ -1,0 +1,205 @@
+//! Access-equivalence merging of VFG nodes.
+//!
+//! Section 4.1 of the paper notes that "access-equivalent VFG nodes are
+//! merged by using the technique from [11]" (SPAS) to keep definedness
+//! resolution affordable. We realize the same idea as a forward
+//! bisimulation quotient: two nodes are *access-equivalent* when their
+//! dependence structure is indistinguishable — same node sort and the same
+//! multiset of `(dependency class, edge kind)` pairs, recursively. Since
+//! `Gamma(v)` is fully determined by the dependence closure below `v`,
+//! bisimilar nodes provably share their `Gamma` value, so resolution can
+//! run on the (often much smaller) quotient graph and be projected back.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use usher_vfg::{NodeKind, Vfg};
+
+use crate::resolve::{resolve_graph, Gamma};
+
+/// Statistics from a merged resolution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Nodes in the original graph.
+    pub nodes: usize,
+    /// Equivalence classes (nodes of the quotient graph).
+    pub classes: usize,
+    /// Partition-refinement rounds until the fixpoint.
+    pub rounds: usize,
+}
+
+/// Computes the access-equivalence partition of the VFG. Returns
+/// `(class id per node, number of classes, rounds)`.
+pub fn access_equivalence_classes(vfg: &Vfg) -> (Vec<u32>, usize, usize) {
+    let n = vfg.nodes.len();
+    // Initial partition: node sort. Roots and checks keep their identity
+    // coarse (they are distinguished by their dependence structure too).
+    let sort = |k: &NodeKind| -> u64 {
+        match k {
+            NodeKind::RootT => 0,
+            NodeKind::RootF => 1,
+            NodeKind::Tl(..) => 2,
+            NodeKind::Mem(..) => 3,
+            NodeKind::Check(..) => 4,
+        }
+    };
+    let mut class: Vec<u64> = vfg.nodes.iter().map(sort).collect();
+
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut next: Vec<u64> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut sig: Vec<(u64, u64)> = vfg.deps[v]
+                .iter()
+                .map(|(d, kind)| {
+                    let mut h = DefaultHasher::new();
+                    kind.hash(&mut h);
+                    (class[*d as usize], h.finish())
+                })
+                .collect();
+            sig.sort_unstable();
+            sig.dedup();
+            let mut h = DefaultHasher::new();
+            class[v].hash(&mut h);
+            sig.hash(&mut h);
+            next.push(h.finish());
+        }
+        let before: std::collections::HashSet<u64> = class.iter().copied().collect();
+        let after: std::collections::HashSet<u64> = next.iter().copied().collect();
+        let stable = before.len() == after.len() && {
+            // Also require the partition itself to be unchanged (same
+            // grouping), not just the same cardinality.
+            let mut map: HashMap<u64, u64> = HashMap::new();
+            let mut consistent = true;
+            for (old, new) in class.iter().zip(next.iter()) {
+                match map.get(old) {
+                    Some(v) if v != new => {
+                        consistent = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        map.insert(*old, *new);
+                    }
+                }
+            }
+            consistent
+        };
+        class = next;
+        if stable || rounds > 64 {
+            break;
+        }
+    }
+
+    // Densify class ids.
+    let mut dense: HashMap<u64, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(n);
+    for c in &class {
+        let next_id = dense.len() as u32;
+        out.push(*dense.entry(*c).or_insert(next_id));
+    }
+    (out, dense.len(), rounds)
+}
+
+/// Resolves definedness on the access-equivalence quotient of the VFG and
+/// projects the result back onto the original nodes. Produces exactly the
+/// same `Gamma` as [`crate::resolve::resolve`], usually faster on large
+/// graphs.
+pub fn resolve_merged(vfg: &Vfg, k: usize) -> (Gamma, MergeStats) {
+    let n = vfg.nodes.len();
+    let (class, nclasses, rounds) = access_equivalence_classes(vfg);
+
+    // Quotient flows-to adjacency.
+    let mut users: Vec<Vec<(u32, usher_vfg::EdgeKind)>> = vec![Vec::new(); nclasses];
+    for v in 0..n {
+        let cv = class[v];
+        for &(u, kind) in &vfg.users[v] {
+            let cu = class[u as usize];
+            if !users[cv as usize].contains(&(cu, kind)) {
+                users[cv as usize].push((cu, kind));
+            }
+        }
+    }
+    let f_class = class[vfg.f_root as usize];
+    let bot_classes = resolve_graph(&users, f_class, nclasses, k);
+
+    let bot: Vec<bool> = (0..n).map(|v| bot_classes[class[v] as usize]).collect();
+    (
+        Gamma::from_bot(bot, k),
+        MergeStats { nodes: n, classes: nclasses, rounds },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::resolve;
+    use usher_frontend::compile_o0im;
+    use usher_vfg::{analyze_module, VfgMode};
+    use usher_workloads::{all_workloads, generate, GenConfig, Scale};
+
+    #[test]
+    fn merged_resolution_matches_direct_on_corpus() {
+        for seed in 0..30u64 {
+            let src = generate(seed, GenConfig::default());
+            let m = compile_o0im(&src).expect("generated programs compile");
+            let (_pa, _ms, vfg) = analyze_module(&m, VfgMode::Full);
+            let direct = resolve(&vfg, 1);
+            let (merged, stats) = resolve_merged(&vfg, 1);
+            for v in 0..vfg.len() as u32 {
+                assert_eq!(
+                    direct.is_bot(v),
+                    merged.is_bot(v),
+                    "seed {seed} node {v} ({:?}), stats {stats:?}",
+                    vfg.nodes[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_resolution_matches_direct_on_workloads() {
+        for w in all_workloads(Scale::TEST) {
+            let m = w.compile_o0im().expect(w.name);
+            let (_pa, _ms, vfg) = analyze_module(&m, VfgMode::Full);
+            let direct = resolve(&vfg, 1);
+            let (merged, _stats) = resolve_merged(&vfg, 1);
+            for v in 0..vfg.len() as u32 {
+                assert_eq!(direct.is_bot(v), merged.is_bot(v), "{} node {v}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn merging_actually_reduces_node_count() {
+        let w = all_workloads(Scale::TEST).into_iter().next().unwrap();
+        let m = w.compile_o0im().unwrap();
+        let (_pa, _ms, vfg) = analyze_module(&m, VfgMode::Full);
+        let (_gamma, stats) = resolve_merged(&vfg, 1);
+        assert!(
+            stats.classes < stats.nodes,
+            "expected a nontrivial quotient: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn identical_chains_land_in_one_class() {
+        // Two copies of the same defined computation are access-equivalent.
+        let m = compile_o0im(
+            "def main() -> int {
+                 int a = 1;
+                 int b = 1;
+                 int x = a + 2;
+                 int y = b + 2;
+                 return x + y;
+             }",
+        )
+        .unwrap();
+        let (_pa, _ms, vfg) = analyze_module(&m, VfgMode::Full);
+        let (class, nclasses, _) = access_equivalence_classes(&vfg);
+        assert!(nclasses < vfg.len(), "{nclasses} vs {}", vfg.len());
+        let _ = class;
+    }
+}

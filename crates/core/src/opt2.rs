@@ -1,0 +1,112 @@
+//! Opt II — Redundant Check Elimination (Section 3.5.2, Algorithm 1).
+//!
+//! If an undefined value is guaranteed to be detected at a critical
+//! statement `s`, its rippling effects on statements dominated by `s` are
+//! suppressed: every flow from the must-flow-from closure of `s`'s checked
+//! variable into a dominated definition `r` is redirected to `T` in a
+//! *copy* of the VFG, and definedness is re-resolved there. Guided
+//! instrumentation then runs on the **original** VFG with the new `Gamma`
+//! (so all shadow values stay correctly initialized) — which is exactly
+//! what [`crate::instrument::guided_plan`] does when handed this `Gamma`.
+
+use std::collections::{HashMap, HashSet};
+
+use usher_ir::{Cfg, DomTree, FuncId, Module, Operand, Site};
+use usher_pointer::PointerAnalysis;
+use usher_vfg::{MemSsa, NodeKind, Vfg};
+
+use crate::mfc::mfc;
+use crate::resolve::{resolve, Gamma};
+
+/// The result of running Opt II.
+#[derive(Clone, Debug)]
+pub struct Opt2Result {
+    /// `Gamma` resolved on the modified graph; feed this to
+    /// [`crate::instrument::guided_plan`] over the *original* VFG.
+    pub gamma: Gamma,
+    /// Number of distinct redirected nodes (Table 1 column `R`).
+    pub redirected: usize,
+}
+
+/// Runs Algorithm 1 and re-resolves definedness with context depth `k`.
+pub fn redundant_check_elimination(
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    vfg: &Vfg,
+    k: usize,
+) -> Opt2Result {
+    let mut g2 = vfg.clone();
+    let mut redirected: HashSet<u32> = HashSet::new();
+
+    // Dominator trees per function, computed lazily.
+    let mut dts: HashMap<FuncId, DomTree> = HashMap::new();
+    let dt_of = |f: FuncId| -> DomTree {
+        let func = &m.funcs[f];
+        let cfg = Cfg::compute(func);
+        DomTree::compute(func, &cfg)
+    };
+
+    for check in &vfg.checks {
+        let Operand::Var(x) = check.operand else { continue };
+        let Some(x_node) = vfg.tl(check.site.func, x) else { continue };
+
+        // x-bar: the MFC, extended with concrete locations read by loads
+        // inside it (Algorithm 1, line 4).
+        let closure = mfc(m, vfg, x_node, true);
+        let mut ax: HashSet<u32> = closure.nodes.clone();
+        let tl_members: Vec<u32> = closure.nodes.iter().copied().collect();
+        for n in tl_members {
+            let Some(site) = vfg.def_site[n as usize] else { continue };
+            let NodeKind::Tl(f, _) = vfg.nodes[n as usize] else { continue };
+            let Some(fs) = ms.funcs.get(&f) else { continue };
+            let Some(mus) = fs.mus.get(&site) else { continue };
+            // Only loads carry mus at TL def sites.
+            for mu in mus {
+                if pa.is_concrete(mu.loc) {
+                    if let Some(mn) = vfg.mem(f, mu.def) {
+                        ax.insert(mn);
+                    }
+                }
+            }
+        }
+
+        // R_x: nodes outside the closure that depend on it, whose defining
+        // statement is dominated by the check.
+        dts.entry(check.site.func).or_insert_with(|| {
+            dt_of(check.site.func)
+        });
+        for &t in &ax {
+            let user_list: Vec<u32> =
+                vfg.users[t as usize].iter().map(|(r, _)| *r).collect();
+            for r in user_list {
+                if ax.contains(&r) || r == check.node {
+                    continue;
+                }
+                let Some(r_site) = vfg.def_site[r as usize] else { continue };
+                if r_site.func != check.site.func {
+                    continue;
+                }
+                let dt = &dts[&check.site.func];
+                if dominates_site(dt, check.site, r_site) {
+                    g2.remove_edge(r, t);
+                    g2.add_edge(r, g2.t_root, usher_vfg::EdgeKind::Direct);
+                    redirected.insert(r);
+                }
+            }
+        }
+    }
+
+    let gamma = resolve(&g2, k);
+    Opt2Result { gamma, redirected: redirected.len() }
+}
+
+fn dominates_site(dt: &DomTree, a: Site, b: Site) -> bool {
+    if a == b {
+        return false;
+    }
+    if a.block == b.block {
+        return a.idx < b.idx;
+    }
+    dt.dominates(a.block, b.block)
+}

@@ -1,0 +1,343 @@
+//! Definedness resolution (Section 3.3).
+//!
+//! `Gamma(v) = Bot` iff node `v` is reachable from the root `F` along
+//! value-flow edges, computed **context-sensitively** by matching call and
+//! return edges so unrealizable interprocedural paths (enter through one
+//! call site, exit through another) are ruled out. The paper configures
+//! 1-call-site sensitivity; the depth is a parameter here (0 recovers a
+//! context-insensitive analysis, useful as an ablation).
+
+use std::collections::HashSet;
+
+use usher_ir::Site;
+use usher_vfg::{EdgeKind, Vfg};
+
+/// The definedness state of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Definedness {
+    /// Only reachable from `T`: statically proven defined.
+    Top,
+    /// Reachable from `F`: may be undefined.
+    Bot,
+}
+
+/// The resolved `Gamma` map.
+#[derive(Clone, Debug)]
+pub struct Gamma {
+    bot: Vec<bool>,
+    /// Context depth used.
+    pub context_depth: usize,
+}
+
+impl Gamma {
+    /// State of a node.
+    pub fn of(&self, node: u32) -> Definedness {
+        if self.bot[node as usize] {
+            Definedness::Bot
+        } else {
+            Definedness::Top
+        }
+    }
+
+    /// Whether the node may be undefined.
+    pub fn is_bot(&self, node: u32) -> bool {
+        self.bot[node as usize]
+    }
+
+    /// Number of `Bot` nodes.
+    pub fn bot_count(&self) -> usize {
+        self.bot.iter().filter(|b| **b).count()
+    }
+}
+
+/// A k-limited calling context: the most recent unmatched call sites.
+/// `overflowed` records that older entries were dropped, after which
+/// returns become unconstrained (sound over-approximation).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Ctx {
+    stack: Vec<Site>,
+    overflowed: bool,
+}
+
+impl Ctx {
+    fn empty() -> Ctx {
+        Ctx { stack: Vec::new(), overflowed: false }
+    }
+
+    fn push(&self, site: Site, k: usize) -> Ctx {
+        let mut c = self.clone();
+        if k == 0 {
+            c.overflowed = true;
+            return c;
+        }
+        c.stack.push(site);
+        if c.stack.len() > k {
+            c.stack.remove(0);
+            c.overflowed = true;
+        }
+        c
+    }
+
+    /// Returns `None` when the return is unrealizable in this context.
+    fn pop(&self, site: Site) -> Option<Ctx> {
+        let mut c = self.clone();
+        match c.stack.pop() {
+            Some(top) if top == site => Some(c),
+            Some(_) => None, // mismatched return: unrealizable
+            None => {
+                // Nothing tracked: either we overflowed (permissive) or
+                // the value originated inside the callee (partially
+                // balanced path) — both allowed.
+                Some(c)
+            }
+        }
+    }
+}
+
+/// Resolves definedness over the VFG with `k`-call-site context
+/// sensitivity (the paper uses `k = 1`).
+pub fn resolve(vfg: &Vfg, k: usize) -> Gamma {
+    let bot = resolve_graph(&vfg.users, vfg.f_root, vfg.nodes.len(), k);
+    Gamma { bot, context_depth: k }
+}
+
+/// The underlying reachability engine: given forward (flows-to) adjacency
+/// `users`, marks every node reachable from `f_root` under partially
+/// balanced, `k`-limited call/return matching. Exposed so clients (e.g.
+/// access-equivalence merging) can resolve quotient graphs.
+pub fn resolve_graph(
+    users: &[Vec<(u32, EdgeKind)>],
+    f_root: u32,
+    n: usize,
+    k: usize,
+) -> Vec<bool> {
+    let mut bot = vec![false; n];
+    let mut visited: HashSet<(u32, Ctx)> = HashSet::new();
+    let mut work: Vec<(u32, Ctx)> = Vec::new();
+
+    let start = (f_root, Ctx::empty());
+    visited.insert(start.clone());
+    work.push(start);
+    bot[f_root as usize] = true;
+
+    while let Some((node, ctx)) = work.pop() {
+        // Flow to every user (a node that depends on `node`).
+        for &(user, kind) in &users[node as usize] {
+            let next_ctx = match kind {
+                EdgeKind::Direct => Some(ctx.clone()),
+                // user = callee formal, node = caller actual: entering.
+                EdgeKind::Call(site) => Some(ctx.push(site, k)),
+                // user = caller result, node = callee return: leaving.
+                EdgeKind::Ret(site) => ctx.pop(site),
+            };
+            let Some(next_ctx) = next_ctx else { continue };
+            let state = (user, next_ctx);
+            if visited.insert(state.clone()) {
+                bot[user as usize] = true;
+                work.push(state);
+            }
+        }
+    }
+    bot
+}
+
+impl Gamma {
+    /// Builds a `Gamma` from a raw bot vector (used by the merged
+    /// resolution path).
+    pub fn from_bot(bot: Vec<bool>, context_depth: usize) -> Gamma {
+        Gamma { bot, context_depth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usher_frontend::compile_o0im;
+    use usher_ir::{FuncId, Idx, Inst, Module, Operand};
+    use usher_vfg::{analyze_module, VfgMode};
+
+    fn gamma_for(src: &str, k: usize) -> (Module, Vfg, Gamma) {
+        let m = compile_o0im(src).expect("compiles");
+        let (_pa, _ms, g) = analyze_module(&m, VfgMode::Full);
+        let gamma = resolve(&g, k);
+        (m, g, gamma)
+    }
+
+    /// The node of the first `Ret` operand of a function.
+    fn ret_node(m: &Module, g: &Vfg, name: &str) -> u32 {
+        let fid = m.func_by_name(name).unwrap();
+        for block in m.funcs[fid].blocks.iter() {
+            if let usher_ir::Terminator::Ret(Some(Operand::Var(v))) = block.term {
+                return g.tl(fid, v).expect("ret var in vfg");
+            }
+        }
+        panic!("no ret-of-var in {name}");
+    }
+
+    #[test]
+    fn defined_values_resolve_top() {
+        let (m, g, gamma) = gamma_for(
+            "def f() -> int { int x = 1; int y = x + 2; return y; }
+             def main() { print(f()); }",
+            1,
+        );
+        let r = ret_node(&m, &g, "f");
+        assert_eq!(gamma.of(r), Definedness::Top);
+    }
+
+    #[test]
+    fn uninitialized_local_resolves_bot() {
+        let (m, g, gamma) = gamma_for(
+            "def f(int c) -> int { int x; if (c) { x = 1; } return x; }
+             def main() { print(f(0)); }",
+            1,
+        );
+        let r = ret_node(&m, &g, "f");
+        assert_eq!(gamma.of(r), Definedness::Bot);
+    }
+
+    #[test]
+    fn memory_flow_of_undefinedness() {
+        let (m, g, gamma) = gamma_for(
+            "def main() -> int {
+                 int *p;
+                 p = malloc(4);
+                 return *(p + 2);
+             }",
+            1,
+        );
+        let r = ret_node(&m, &g, "main");
+        assert_eq!(gamma.of(r), Definedness::Bot, "malloc memory is undefined");
+    }
+
+    #[test]
+    fn calloc_memory_is_defined() {
+        let (m, g, gamma) = gamma_for(
+            "def main() -> int {
+                 int *p;
+                 p = calloc(4);
+                 return *(p + 2);
+             }",
+            1,
+        );
+        let r = ret_node(&m, &g, "main");
+        assert_eq!(gamma.of(r), Definedness::Top);
+    }
+
+    #[test]
+    fn globals_are_defined_at_startup() {
+        let (m, g, gamma) = gamma_for(
+            "int g;
+             def main() -> int { return g; }",
+            1,
+        );
+        let r = ret_node(&m, &g, "main");
+        assert_eq!(gamma.of(r), Definedness::Top);
+    }
+
+    #[test]
+    fn store_then_load_through_global_is_defined() {
+        let (m, g, gamma) = gamma_for(
+            "int g;
+             def main() -> int { g = 5; return g; }",
+            1,
+        );
+        let r = ret_node(&m, &g, "main");
+        assert_eq!(gamma.of(r), Definedness::Top);
+    }
+
+    #[test]
+    fn context_sensitivity_blocks_unrealizable_path() {
+        // id(undef) flows Bot only to the call site that passed undef:
+        // with k=1, the defined call's result stays Top; with k=0 both
+        // results are Bot.
+        let src = "
+            def id(int x) -> int { return x; }
+            def main() -> int {
+                int u;
+                int a = id(u);
+                int b = id(7);
+                return b;
+            }";
+        let (m, g, gamma1) = gamma_for(src, 1);
+        let r = ret_node(&m, &g, "main");
+        assert_eq!(gamma1.of(r), Definedness::Top, "k=1 separates the two call sites");
+
+        let (m0, g0, gamma0) = gamma_for(src, 0);
+        let r0 = ret_node(&m0, &g0, "main");
+        assert_eq!(gamma0.of(r0), Definedness::Bot, "k=0 conflates call sites");
+    }
+
+    #[test]
+    fn semi_strong_update_rescues_loop_carried_definedness() {
+        // Figure 6's shape: allocate in a loop, store a defined value,
+        // read it back. With semi-strong updates the read is Top; a plain
+        // weak update would have been Bot.
+        let (m, g, gamma) = gamma_for(
+            "def main() {
+                 int i = 0;
+                 int s = 0;
+                 while (i < 4) {
+                     int *p;
+                     p = malloc(1);
+                     *p = i;
+                     s = s + *p;
+                     i = i + 1;
+                 }
+                 print(s);
+             }",
+            1,
+        );
+        // Every load result in main must be Top.
+        let fid = m.main.unwrap();
+        for (bb, block) in m.funcs[fid].blocks.iter_enumerated() {
+            let _ = bb;
+            for inst in &block.insts {
+                if let Inst::Load { dst, .. } = inst {
+                    let n = g.tl(fid, *dst).unwrap();
+                    assert_eq!(gamma.of(n), Definedness::Top, "load {dst:?} should be Top");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bot_count_is_monotone_in_context_depth() {
+        let src = "
+            def id(int x) -> int { return x; }
+            def pass(int y) -> int { return id(y); }
+            def main() -> int {
+                int u;
+                int a = pass(u);
+                int b = pass(3);
+                return a + b;
+            }";
+        let (_m, _g, g0) = gamma_for(src, 0);
+        let (_m, _g, g1) = gamma_for(src, 1);
+        let (_m, _g, g2) = gamma_for(src, 2);
+        assert!(g1.bot_count() <= g0.bot_count());
+        assert!(g2.bot_count() <= g1.bot_count());
+    }
+
+    #[test]
+    fn roots_have_expected_states() {
+        let (_m, g, gamma) = gamma_for("def main() { print(1); }", 1);
+        assert!(gamma.is_bot(g.f_root));
+        assert!(!gamma.is_bot(g.t_root));
+    }
+
+    #[test]
+    fn unreached_function_params_default_top() {
+        let (m, g, gamma) = gamma_for(
+            "def orphan(int x) -> int { return x; }
+             def main() { print(1); }",
+            1,
+        );
+        let fid = m.func_by_name("orphan").unwrap();
+        let p = m.funcs[fid].params[0];
+        if let Some(n) = g.tl(fid, p) {
+            assert_eq!(gamma.of(n), Definedness::Top);
+        }
+        let _ = FuncId(0).index();
+    }
+}

@@ -1,0 +1,178 @@
+//! Table 1 statistics collection.
+//!
+//! Gathers, for one benchmark under `O0+IM`, the columns of the paper's
+//! Table 1: program sizes, variable-class populations, the fraction of
+//! uninitialized allocations, strong/weak/semi-strong update counts, VFG
+//! size, the fraction of nodes that reach a critical statement, and the
+//! per-optimization effect sizes.
+
+use std::collections::HashSet;
+
+use usher_ir::{Inst, Module, ObjKind};
+use usher_vfg::Vfg;
+
+use crate::config::{run_config, Config};
+
+/// One row of Table 1.
+#[derive(Clone, Debug, Default)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Source size in KLOC.
+    pub kloc: f64,
+    /// Analysis wall-clock seconds (pointer analysis included).
+    pub time_secs: f64,
+    /// Approximate analysis memory footprint in MB.
+    pub mem_mb: f64,
+    /// Top-level variables (thousands in the paper; raw count here).
+    pub var_tl: usize,
+    /// Address-taken: stack objects.
+    pub at_stack: usize,
+    /// Address-taken: heap objects.
+    pub at_heap: usize,
+    /// Address-taken: global objects.
+    pub at_global: usize,
+    /// Percentage of address-taken objects uninitialized when allocated.
+    pub pct_uninit: f64,
+    /// Semi-strong rule applications per non-array heap allocation site.
+    pub semi_per_heap_site: f64,
+    /// Percentage of stores strongly updated.
+    pub pct_su: f64,
+    /// Percentage of stores with a unique target that only admit weak
+    /// updates.
+    pub pct_wu: f64,
+    /// VFG node count.
+    pub vfg_nodes: usize,
+    /// Percentage of VFG nodes reaching at least one critical statement.
+    pub pct_b: f64,
+    /// MFCs simplified by Opt I.
+    pub opt1_simplified: usize,
+    /// Nodes redirected to `T` by Opt II.
+    pub opt2_redirected: usize,
+}
+
+/// Collects a Table 1 row for a compiled module.
+pub fn table1_row(name: &str, source: &str, m: &Module) -> Table1Row {
+    let mut row = Table1Row {
+        name: name.to_string(),
+        kloc: source.lines().count() as f64 / 1000.0,
+        ..Default::default()
+    };
+
+    // Variable populations.
+    row.var_tl = m.funcs.iter().map(|f| f.vars.len()).sum();
+    let mut uninit = 0usize;
+    let mut total_at = 0usize;
+    for o in m.objects.iter() {
+        total_at += 1;
+        match o.kind {
+            ObjKind::Global => row.at_global += 1,
+            ObjKind::Stack(_) => row.at_stack += 1,
+            ObjKind::Heap(_) => row.at_heap += 1,
+        }
+        if !o.zero_init {
+            uninit += 1;
+        }
+    }
+    row.pct_uninit = if total_at == 0 { 0.0 } else { 100.0 * uninit as f64 / total_at as f64 };
+
+    // Full Usher run for VFG stats, Opt I/II effect sizes and timing.
+    let out = run_config(m, Config::USHER);
+    row.time_secs = out.analysis_seconds;
+    let vfg = out.vfg.as_ref().expect("guided config builds a VFG");
+    row.vfg_nodes = vfg.len();
+    row.mem_mb = approx_mem_mb(vfg);
+    let s = out.vfg_stats;
+    let singleton = s.strong_stores + s.weak_singleton_stores + s.semi_strong_stores;
+    let total = s.total_stores.max(1);
+    let _ = singleton;
+    row.pct_su = 100.0 * s.strong_stores as f64 / total as f64;
+    row.pct_wu = 100.0 * s.weak_singleton_stores as f64 / total as f64;
+
+    // Semi-strong applications per non-array heap allocation site.
+    let mut heap_sites = 0usize;
+    for (fid, func) in m.funcs.iter_enumerated() {
+        let _ = fid;
+        for block in func.blocks.iter() {
+            for inst in &block.insts {
+                if let Inst::Alloc { obj, .. } = inst {
+                    let o = &m.objects[*obj];
+                    if matches!(o.kind, ObjKind::Heap(_)) && !o.is_array {
+                        heap_sites += 1;
+                    }
+                }
+            }
+        }
+    }
+    row.semi_per_heap_site =
+        s.semi_strong_stores as f64 / heap_sites.max(1) as f64;
+
+    row.pct_b = 100.0 * nodes_reaching_checks(vfg) as f64 / vfg.len().max(1) as f64;
+    row.opt1_simplified = out.plan.stats.mfcs_simplified;
+    row.opt2_redirected = out.opt2_redirected;
+    row
+}
+
+/// Number of VFG nodes from which some critical statement's checked value
+/// is reachable (i.e. nodes a check transitively depends on).
+pub fn nodes_reaching_checks(vfg: &Vfg) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut work: Vec<u32> = Vec::new();
+    for c in &vfg.checks {
+        if seen.insert(c.node) {
+            work.push(c.node);
+        }
+    }
+    while let Some(n) = work.pop() {
+        for &(d, _) in &vfg.deps[n as usize] {
+            if seen.insert(d) {
+                work.push(d);
+            }
+        }
+    }
+    // Exclude the virtual check nodes themselves.
+    seen.len().saturating_sub(vfg.checks.iter().map(|c| c.node).collect::<HashSet<_>>().len())
+}
+
+fn approx_mem_mb(vfg: &Vfg) -> f64 {
+    let edges: usize = vfg.deps.iter().map(Vec::len).sum();
+    // Node records + two edge directions; a rough but deterministic proxy
+    // for the analysis footprint.
+    let bytes = vfg.len() * 64 + edges * 24 * 2;
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Renders rows in the layout of the paper's Table 1.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>6} {:>8} {:>7} {:>7} {:>6} {:>6} {:>7} {:>5} {:>5} {:>6} {:>6} {:>7} {:>5} {:>6} {:>6}",
+        "Benchmark", "KLOC", "Time(s)", "Mem(MB)", "VarTL", "Stack", "Heap", "Global", "%F",
+        "S", "%SU", "%WU", "Nodes", "%B", "S_opt1", "R_opt2"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>6.2} {:>8.3} {:>7.2} {:>7} {:>6} {:>6} {:>7} {:>5.0} {:>5.1} {:>6.1} {:>6.1} {:>7} {:>5.1} {:>6} {:>6}",
+            r.name,
+            r.kloc,
+            r.time_secs,
+            r.mem_mb,
+            r.var_tl,
+            r.at_stack,
+            r.at_heap,
+            r.at_global,
+            r.pct_uninit,
+            r.semi_per_heap_site,
+            r.pct_su,
+            r.pct_wu,
+            r.vfg_nodes,
+            r.pct_b,
+            r.opt1_simplified,
+            r.opt2_redirected,
+        );
+    }
+    s
+}

@@ -1,0 +1,117 @@
+//! Control-flow graph utilities: predecessors, reverse postorder.
+
+use crate::ids::{BlockId, Idx, IdxVec};
+use crate::module::Function;
+
+/// Per-function CFG info, recomputed on demand after transformations.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Predecessor lists (duplicates kept for two-way branches to the same
+    /// target so that phi incoming counts stay consistent).
+    pub preds: IdxVec<BlockId, Vec<BlockId>>,
+    /// Successor lists.
+    pub succs: IdxVec<BlockId, Vec<BlockId>>,
+    /// Reverse postorder over reachable blocks, starting at entry.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`; `usize::MAX` if unreachable.
+    pub rpo_index: IdxVec<BlockId, usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds: IdxVec<BlockId, Vec<BlockId>> = IdxVec::from_elem(Vec::new(), n);
+        let mut succs: IdxVec<BlockId, Vec<BlockId>> = IdxVec::from_elem(Vec::new(), n);
+        for (bb, block) in f.blocks.iter_enumerated() {
+            let ss = block.term.successors();
+            for s in &ss {
+                preds[*s].push(bb);
+            }
+            succs[bb] = ss;
+        }
+        // Iterative postorder DFS from entry.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+        visited[f.entry.index()] = true;
+        while let Some(&mut (bb, ref mut i)) = stack.last_mut() {
+            if *i < succs[bb].len() {
+                let nxt = succs[bb][*i];
+                *i += 1;
+                if !visited[nxt.index()] {
+                    visited[nxt.index()] = true;
+                    stack.push((nxt, 0));
+                }
+            } else {
+                post.push(bb);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = IdxVec::from_elem(usize::MAX, n);
+        for (i, bb) in rpo.iter().enumerate() {
+            rpo_index[*bb] = i;
+        }
+        Cfg { preds, succs, rpo, rpo_index }
+    }
+
+    /// Whether `bb` is reachable from entry.
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.rpo_index[bb] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Operand, Terminator};
+
+    /// entry -> {a, b}; a -> join; b -> join; join -> ret; plus one
+    /// unreachable block.
+    fn diamond() -> Function {
+        let mut f = Function::new("d", None);
+        let entry = f.entry;
+        let a = f.new_block();
+        let b = f.new_block();
+        let join = f.new_block();
+        let dead = f.new_block();
+        f.blocks[entry].term =
+            Terminator::Br { cond: Operand::Const(1), then_bb: a, else_bb: b };
+        f.blocks[a].term = Terminator::Jmp(join);
+        f.blocks[b].term = Terminator::Jmp(join);
+        f.blocks[join].term = Terminator::Ret(None);
+        f.blocks[dead].term = Terminator::Jmp(join);
+        f
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs[BlockId(0)], vec![BlockId(1), BlockId(2)]);
+        let mut join_preds = cfg.preds[BlockId(3)].clone();
+        join_preds.sort();
+        // The dead block also lists itself as a predecessor edge source.
+        assert_eq!(join_preds, vec![BlockId(1), BlockId(2), BlockId(4)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_skips_unreachable() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.rpo.len(), 4);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn rpo_orders_before_successors_in_acyclic_graph() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert!(cfg.rpo_index[BlockId(0)] < cfg.rpo_index[BlockId(1)]);
+        assert!(cfg.rpo_index[BlockId(1)] < cfg.rpo_index[BlockId(3)]);
+        assert!(cfg.rpo_index[BlockId(2)] < cfg.rpo_index[BlockId(3)]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+//!
+//! Used by SSA construction (phi placement), by the semi-strong update rule
+//! (an allocation site must dominate the store), and by Opt II's redundant
+//! check elimination (a check must dominate the redirected definition).
+
+use crate::cfg::Cfg;
+use crate::ids::{BlockId, Idx, IdxVec};
+use crate::module::Function;
+
+/// Dominator information for one function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each reachable block (entry maps to itself);
+    /// `None` for unreachable blocks.
+    pub idom: IdxVec<BlockId, Option<BlockId>>,
+    /// Dominator-tree children.
+    pub children: IdxVec<BlockId, Vec<BlockId>>,
+    /// Dominance frontier of each block.
+    pub frontier: IdxVec<BlockId, Vec<BlockId>>,
+    /// Preorder interval [in, out] on the dominator tree for O(1)
+    /// `dominates` queries.
+    tin: IdxVec<BlockId, u32>,
+    tout: IdxVec<BlockId, u32>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes dominators and frontiers for `f` given its `cfg`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> DomTree {
+        let n = f.blocks.len();
+        let mut idom: IdxVec<BlockId, Option<BlockId>> = IdxVec::from_elem(None, n);
+        idom[f.entry] = Some(f.entry);
+
+        // Cooper-Harvey-Kennedy iteration over RPO.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[bb] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[bb] != Some(ni) {
+                        idom[bb] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children: IdxVec<BlockId, Vec<BlockId>> = IdxVec::from_elem(Vec::new(), n);
+        for &bb in &cfg.rpo {
+            if bb != f.entry {
+                if let Some(d) = idom[bb] {
+                    children[d].push(bb);
+                }
+            }
+        }
+
+        // Dominance frontiers.
+        let mut frontier: IdxVec<BlockId, Vec<BlockId>> = IdxVec::from_elem(Vec::new(), n);
+        for &bb in &cfg.rpo {
+            if cfg.preds[bb].len() >= 2 {
+                let target = idom[bb];
+                for &p in &cfg.preds[bb] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    let mut runner = p;
+                    while Some(runner) != target {
+                        if !frontier[runner].contains(&bb) {
+                            frontier[runner].push(bb);
+                        }
+                        let up = idom[runner].expect("reachable block has idom");
+                        if up == runner {
+                            break; // reached entry
+                        }
+                        runner = up;
+                    }
+                }
+            }
+        }
+
+        // Preorder intervals for `dominates`.
+        let mut tin = IdxVec::from_elem(0u32, n);
+        let mut tout = IdxVec::from_elem(0u32, n);
+        let mut clock = 0u32;
+        let mut stack = vec![(f.entry, false)];
+        while let Some((bb, processed)) = stack.pop() {
+            if processed {
+                tout[bb] = clock;
+                clock += 1;
+            } else {
+                tin[bb] = clock;
+                clock += 1;
+                stack.push((bb, true));
+                for &c in children[bb].iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+
+        DomTree { idom, children, frontier, tin, tout, entry: f.entry }
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive). Unreachable
+    /// blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[a].is_none() || self.idom[b].is_none() {
+            return false;
+        }
+        self.tin[a] <= self.tin[b] && self.tout[b] <= self.tout[a]
+    }
+
+    /// The function entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Iterated dominance frontier of a set of definition blocks — the phi
+    /// placement set of minimal SSA.
+    pub fn iterated_frontier(&self, defs: &[BlockId]) -> Vec<BlockId> {
+        let mut result: Vec<BlockId> = Vec::new();
+        let mut in_result = vec![false; self.idom.len()];
+        let mut work: Vec<BlockId> = defs.to_vec();
+        let mut queued = vec![false; self.idom.len()];
+        for &d in defs {
+            queued[d.index()] = true;
+        }
+        while let Some(bb) = work.pop() {
+            for &fb in &self.frontier[bb] {
+                if !in_result[fb.index()] {
+                    in_result[fb.index()] = true;
+                    result.push(fb);
+                    if !queued[fb.index()] {
+                        queued[fb.index()] = true;
+                        work.push(fb);
+                    }
+                }
+            }
+        }
+        result.sort();
+        result
+    }
+}
+
+fn intersect(
+    idom: &IdxVec<BlockId, Option<BlockId>>,
+    rpo_index: &IdxVec<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("intersect only visits processed blocks");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("intersect only visits processed blocks");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Operand, Terminator};
+
+    /// Classic diamond with a loop back-edge:
+    /// 0 -> {1,2}; 1 -> 3; 2 -> 3; 3 -> {0? no..} build: 3 -> 4; 4 -> ret
+    /// and a loop 4 -> 1 optionally.
+    fn build(edges: &[(u32, Vec<u32>)], nblocks: u32) -> Function {
+        let mut f = Function::new("t", None);
+        for _ in 1..nblocks {
+            f.new_block();
+        }
+        for (src, dsts) in edges {
+            let bb = BlockId(*src);
+            f.blocks[bb].term = match dsts.len() {
+                0 => Terminator::Ret(None),
+                1 => Terminator::Jmp(BlockId(dsts[0])),
+                2 => Terminator::Br {
+                    cond: Operand::Const(1),
+                    then_bb: BlockId(dsts[0]),
+                    else_bb: BlockId(dsts[1]),
+                },
+                _ => unreachable!(),
+            };
+        }
+        f
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = build(&[(0, vec![1, 2]), (1, vec![3]), (2, vec![3]), (3, vec![])], 4);
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom[BlockId(1)], Some(BlockId(0)));
+        assert_eq!(dt.idom[BlockId(2)], Some(BlockId(0)));
+        assert_eq!(dt.idom[BlockId(3)], Some(BlockId(0)));
+        assert!(dt.dominates(BlockId(0), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(dt.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = build(&[(0, vec![1, 2]), (1, vec![3]), (2, vec![3]), (3, vec![])], 4);
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.frontier[BlockId(1)], vec![BlockId(3)]);
+        assert_eq!(dt.frontier[BlockId(2)], vec![BlockId(3)]);
+        assert!(dt.frontier[BlockId(0)].is_empty());
+    }
+
+    #[test]
+    fn loop_frontier_contains_header() {
+        // 0 -> 1; 1 -> {2, 3}; 2 -> 1; 3 -> ret. Block 1 is a loop header.
+        let f = build(&[(0, vec![1]), (1, vec![2, 3]), (2, vec![1]), (3, vec![])], 4);
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom[BlockId(2)], Some(BlockId(1)));
+        assert!(dt.frontier[BlockId(2)].contains(&BlockId(1)));
+        assert!(dt.frontier[BlockId(1)].contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn iterated_frontier_reaches_second_level_joins() {
+        // 0 -> {1,2}; 1 -> 3; 2 -> 3; 3 -> {4,5}; 4 -> 6; 5 -> 6; 6 -> ret
+        let f = build(
+            &[
+                (0, vec![1, 2]),
+                (1, vec![3]),
+                (2, vec![3]),
+                (3, vec![4, 5]),
+                (4, vec![6]),
+                (5, vec![6]),
+                (6, vec![]),
+            ],
+            7,
+        );
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        // A def in block 1 needs phis at 3 and (via 3's redefinition) at 6.
+        let idf = dt.iterated_frontier(&[BlockId(1)]);
+        assert_eq!(idf, vec![BlockId(3)]);
+        let idf2 = dt.iterated_frontier(&[BlockId(1), BlockId(4)]);
+        assert_eq!(idf2, vec![BlockId(3), BlockId(6)]);
+    }
+
+    #[test]
+    fn dominates_is_false_for_unreachable() {
+        let mut f = build(&[(0, vec![])], 1);
+        let dead = f.new_block();
+        f.blocks[dead].term = Terminator::Ret(None);
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert!(!dt.dominates(BlockId(0), dead));
+        assert!(!dt.dominates(dead, BlockId(0)));
+    }
+}

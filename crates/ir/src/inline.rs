@@ -1,0 +1,470 @@
+//! Function inlining.
+//!
+//! Reproduces the `I` of the paper's `O0+IM` configuration (Section 4.1):
+//! the merged bitcode is "transformed by iteratively inlining the functions
+//! with at least one function pointer argument to simplify the call graph
+//! (excluding those functions that are directly recursive)". We also
+//! inline small *heap-allocation wrappers*: because every inlined copy of
+//! an `Alloc` gets a fresh abstract object, this realizes the paper's
+//! "1-callsite-sensitive heap cloning applied to allocation wrapper
+//! functions" without a context-sensitive object naming scheme.
+
+use std::collections::HashMap;
+
+use crate::ids::{BlockId, FuncId, Idx, VarId};
+use crate::module::{Block, Callee, Function, Inst, Module, ObjKind, Operand, Terminator};
+
+/// What to inline.
+#[derive(Clone, Copy, Debug)]
+pub struct InlinePolicy {
+    /// Inline functions that take a function-pointer parameter.
+    pub fnptr_params: bool,
+    /// Inline small functions that return a pointer produced by a heap
+    /// allocation in their own body (allocation wrappers).
+    pub alloc_wrappers: bool,
+    /// Size cap (in instructions) for inlinees.
+    pub max_callee_insts: usize,
+    /// Stop when the module grows beyond `initial_insts * max_growth`.
+    pub max_growth: usize,
+}
+
+impl Default for InlinePolicy {
+    fn default() -> Self {
+        InlinePolicy { fnptr_params: true, alloc_wrappers: true, max_callee_insts: 60, max_growth: 8 }
+    }
+}
+
+/// Statistics from one inlining run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InlineStats {
+    /// Call sites inlined.
+    pub sites_inlined: usize,
+    /// Heap allocation sites cloned in the process (per-callsite heap
+    /// cloning).
+    pub heap_clones: usize,
+}
+
+/// Runs the inliner to a bounded fixpoint.
+pub fn run_inline(m: &mut Module, policy: InlinePolicy) -> InlineStats {
+    let mut stats = InlineStats::default();
+    let budget = m.inst_count().saturating_mul(policy.max_growth).max(4000);
+
+    for _round in 0..6 {
+        let targets = select_targets(m, policy);
+        if targets.is_empty() {
+            break;
+        }
+        let mut any = false;
+        for caller in m.funcs.indices().collect::<Vec<_>>() {
+            loop {
+                if m.inst_count() > budget {
+                    return stats;
+                }
+                let Some((bb, idx, callee)) = find_inlinable_call(m, caller, &targets) else {
+                    break;
+                };
+                let s = inline_one(m, caller, bb, idx, callee);
+                stats.sites_inlined += 1;
+                stats.heap_clones += s;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    stats
+}
+
+fn select_targets(m: &Module, policy: InlinePolicy) -> HashMap<FuncId, ()> {
+    let mut targets = HashMap::new();
+    for (fid, f) in m.funcs.iter_enumerated() {
+        if Some(fid) == m.main || f.blocks.is_empty() {
+            continue;
+        }
+        if f.inst_count() > policy.max_callee_insts {
+            continue;
+        }
+        if is_directly_recursive(f, fid) {
+            continue;
+        }
+        let has_fnptr_param = f.params.iter().any(|p| {
+            matches!(m.types.get(f.vars[*p].ty), crate::types::Type::FuncPtr { .. })
+        });
+        let is_wrapper = f.ret_ty.is_some_and(|t| m.types.is_pointer(t))
+            && f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+                matches!(i, Inst::Alloc { obj, .. } if matches!(m.objects[*obj].kind, ObjKind::Heap(_)))
+            });
+        if (policy.fnptr_params && has_fnptr_param) || (policy.alloc_wrappers && is_wrapper) {
+            targets.insert(fid, ());
+        }
+    }
+    targets
+}
+
+fn is_directly_recursive(f: &Function, fid: FuncId) -> bool {
+    f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+        matches!(i, Inst::Call { callee: Callee::Direct(g), .. } if *g == fid)
+    })
+}
+
+fn find_inlinable_call(
+    m: &Module,
+    caller: FuncId,
+    targets: &HashMap<FuncId, ()>,
+) -> Option<(BlockId, usize, FuncId)> {
+    let f = &m.funcs[caller];
+    for (bb, block) in f.blocks.iter_enumerated() {
+        for (idx, inst) in block.insts.iter().enumerate() {
+            if let Inst::Call { callee: Callee::Direct(g), .. } = inst {
+                if *g != caller && targets.contains_key(g) {
+                    return Some((bb, idx, *g));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Inlines the call at `(bb, idx)` in `caller` to `callee`. Returns the
+/// number of heap objects cloned.
+fn inline_one(m: &mut Module, caller: FuncId, bb: BlockId, idx: usize, callee: FuncId) -> usize {
+    let callee_fn = m.funcs[callee].clone();
+    let mut heap_clones = 0;
+
+    // --- Pre-register cloned objects for every Alloc in the callee.
+    let mut obj_remap = HashMap::new();
+    for block in callee_fn.blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Alloc { obj, .. } = inst {
+                if !obj_remap.contains_key(obj) {
+                    let mut data = m.objects[*obj].clone();
+                    data.kind = match data.kind {
+                        ObjKind::Stack(_) => ObjKind::Stack(caller),
+                        ObjKind::Heap(_) => {
+                            heap_clones += 1;
+                            ObjKind::Heap(caller)
+                        }
+                        k => k,
+                    };
+                    data.name = format!("{}.in.{}", data.name, m.funcs[caller].name);
+                    let new_obj = m.objects.push(data);
+                    obj_remap.insert(*obj, new_obj);
+                }
+            }
+        }
+    }
+
+    let f = &mut m.funcs[caller];
+
+    // --- Extract the call.
+    let call_inst = f.blocks[bb].insts[idx].clone();
+    let Inst::Call { dst: call_dst, args, .. } = call_inst else {
+        panic!("inline_one pointed at a non-call instruction");
+    };
+
+    // --- Clone callee vars into caller.
+    let var_off = f.vars.len();
+    for vd in callee_fn.vars.iter() {
+        f.vars.push(vd.clone());
+    }
+    let remap_var = |v: VarId| VarId((v.index() + var_off) as u32);
+    let remap_op = |o: Operand| match o {
+        Operand::Var(v) => Operand::Var(remap_var(v)),
+        o => o,
+    };
+
+    // --- Clone callee blocks into caller.
+    let block_off = f.blocks.len();
+    let remap_block = |b: BlockId| BlockId((b.index() + block_off) as u32);
+    // Continuation block takes the tail of `bb`.
+    let cont = BlockId((block_off + callee_fn.blocks.len()) as u32);
+
+    let mut ret_incomings: Vec<(BlockId, Operand)> = Vec::new();
+    for (cbid, cblock) in callee_fn.blocks.iter_enumerated() {
+        let mut nb = Block::new();
+        for inst in &cblock.insts {
+            let mut ni = inst.clone();
+            // Remap dst, uses, objects and phi blocks.
+            match &mut ni {
+                Inst::Copy { dst, .. }
+                | Inst::Un { dst, .. }
+                | Inst::Bin { dst, .. }
+                | Inst::Gep { dst, .. }
+                | Inst::Load { dst, .. } => *dst = remap_var(*dst),
+                Inst::Alloc { dst, obj, .. } => {
+                    *dst = remap_var(*dst);
+                    *obj = obj_remap[obj];
+                }
+                Inst::Call { dst, .. } => {
+                    if let Some(d) = dst {
+                        *d = remap_var(*d);
+                    }
+                }
+                Inst::Phi { dst, incomings } => {
+                    *dst = remap_var(*dst);
+                    for (pb, _) in incomings.iter_mut() {
+                        *pb = remap_block(*pb);
+                    }
+                }
+                Inst::Store { .. } => {}
+            }
+            ni.map_uses(remap_op);
+            nb.insts.push(ni);
+        }
+        let mut term = cblock.term.clone();
+        term.map_uses(remap_op);
+        term.map_targets(remap_block);
+        if let Terminator::Ret(val) = &term {
+            // `term` has already been remapped; use the value as-is.
+            ret_incomings.push((remap_block(cbid), val.unwrap_or(Operand::Const(0))));
+            term = Terminator::Jmp(cont);
+        }
+        nb.term = term;
+        f.blocks.push(nb);
+    }
+
+    // --- Build the continuation block from the tail of `bb`.
+    let tail_insts: Vec<Inst> = f.blocks[bb].insts.split_off(idx + 1);
+    f.blocks[bb].insts.pop(); // remove the call itself
+    let orig_term = std::mem::replace(&mut f.blocks[bb].term, Terminator::Unreachable);
+
+    let mut cont_block = Block::new();
+    if let Some(dst) = call_dst {
+        match ret_incomings.len() {
+            0 => {
+                // Callee never returns normally; the continuation is
+                // unreachable but the dst must still be defined.
+                cont_block.insts.push(Inst::Copy { dst, src: Operand::Undef });
+            }
+            1 => cont_block.insts.push(Inst::Copy { dst, src: ret_incomings[0].1 }),
+            _ => cont_block.insts.push(Inst::Phi { dst, incomings: ret_incomings.clone() }),
+        }
+    }
+    cont_block.insts.extend(tail_insts);
+    cont_block.term = orig_term;
+    let cont_actual = f.blocks.push(cont_block);
+    debug_assert_eq!(cont_actual, cont);
+
+    // --- Patch successor phis: edges that used to come from `bb` now come
+    // from `cont`.
+    let succs = f.blocks[cont].term.successors();
+    for s in succs {
+        for inst in f.blocks[s].insts.iter_mut() {
+            if let Inst::Phi { incomings, .. } = inst {
+                for (pb, _) in incomings.iter_mut() {
+                    if *pb == bb {
+                        *pb = cont;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    // --- Bind arguments and jump into the cloned entry.
+    for (p, a) in callee_fn.params.iter().zip(args.iter()) {
+        f.blocks[bb].insts.push(Inst::Copy { dst: remap_var(*p), src: *a });
+    }
+    f.blocks[bb].term = Terminator::Jmp(remap_block(callee_fn.entry));
+
+    heap_clones
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::{BinOp, ExtFunc};
+    use crate::types::Type;
+    use crate::verify::verify;
+
+    /// Builds: wrapper() -> int* { return malloc-like alloc; }
+    /// main() { p = wrapper(); q = wrapper(); *p = 1; *q = 2; }
+    fn wrapper_module() -> (Module, FuncId, FuncId) {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let pint = m.types.ptr_to(int);
+        let wid = m.declare_func("wrapper", Some(pint));
+        let mid = m.declare_func("main", None);
+        {
+            let mut b = FuncBuilder::new(&mut m, wid);
+            let (p, _) = b.alloc("h", ObjKind::Heap(wid), int, false, None);
+            b.ret(Some(p.into()));
+            b.finish();
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, mid);
+            let p = b.call(Callee::Direct(wid), vec![], Some(pint)).unwrap();
+            let q = b.call(Callee::Direct(wid), vec![], Some(pint)).unwrap();
+            b.store(p.into(), Operand::Const(1));
+            b.store(q.into(), Operand::Const(2));
+            b.ret(None);
+            b.finish();
+        }
+        m.main = Some(mid);
+        (m, wid, mid)
+    }
+
+    #[test]
+    fn inlines_alloc_wrapper_and_clones_heap_objects() {
+        let (mut m, _wid, mid) = wrapper_module();
+        let objs_before = m.objects.len();
+        let stats = run_inline(&mut m, InlinePolicy::default());
+        assert_eq!(stats.sites_inlined, 2);
+        assert_eq!(stats.heap_clones, 2);
+        assert_eq!(m.objects.len(), objs_before + 2);
+        assert!(verify(&m).is_ok(), "{:?}", verify(&m));
+        // main no longer calls wrapper.
+        let f = &m.funcs[mid];
+        assert!(!f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { callee: Callee::Direct(_), .. })));
+        // Two distinct Alloc sites now exist in main.
+        let allocs: Vec<_> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i {
+                Inst::Alloc { obj, .. } => Some(*obj),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(allocs.len(), 2);
+        assert_ne!(allocs[0], allocs[1]);
+    }
+
+    #[test]
+    fn inlines_fnptr_param_function() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let fp = m.types.intern(Type::FuncPtr { params: 1, has_ret: true });
+        let callee = m.declare_func("apply", Some(int));
+        let target = m.declare_func("double_it", Some(int));
+        let mid = m.declare_func("main", None);
+        {
+            let mut b = FuncBuilder::new(&mut m, target);
+            let x = b.param("x", int);
+            let r = b.bin(BinOp::Mul, x.into(), Operand::Const(2));
+            b.ret(Some(r.into()));
+            b.finish();
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, callee);
+            let g = b.param("g", fp);
+            let x = b.param("x", int);
+            let r = b.call(Callee::Indirect(g.into()), vec![x.into()], Some(int)).unwrap();
+            b.ret(Some(r.into()));
+            b.finish();
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, mid);
+            let r = b
+                .call(Callee::Direct(callee), vec![Operand::Func(target), Operand::Const(21)], Some(int))
+                .unwrap();
+            b.call_ext(ExtFunc::PrintInt, vec![r.into()], None);
+            b.ret(None);
+            b.finish();
+        }
+        m.main = Some(mid);
+        let stats = run_inline(&mut m, InlinePolicy::default());
+        assert_eq!(stats.sites_inlined, 1);
+        assert!(verify(&m).is_ok(), "{:?}", verify(&m));
+        // The indirect call is now in main, with the fnptr as a local copy.
+        assert!(m.funcs[mid]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { callee: Callee::Indirect(_), .. })));
+    }
+
+    #[test]
+    fn multi_return_callee_gets_phi() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let pint = m.types.ptr_to(int);
+        let wid = m.declare_func("pick", Some(pint));
+        let mid = m.declare_func("main", None);
+        {
+            let mut b = FuncBuilder::new(&mut m, wid);
+            let c = b.param("c", int);
+            let t = b.new_block();
+            let e = b.new_block();
+            b.br(c.into(), t, e);
+            b.set_block(t);
+            let (p1, _) = b.alloc("h1", ObjKind::Heap(wid), int, false, None);
+            b.ret(Some(p1.into()));
+            b.set_block(e);
+            let (p2, _) = b.alloc("h2", ObjKind::Heap(wid), int, true, None);
+            b.ret(Some(p2.into()));
+            b.finish();
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, mid);
+            let p = b.call(Callee::Direct(wid), vec![Operand::Const(1)], Some(pint)).unwrap();
+            b.store(p.into(), Operand::Const(3));
+            b.ret(None);
+            b.finish();
+        }
+        m.main = Some(mid);
+        let stats = run_inline(&mut m, InlinePolicy::default());
+        assert_eq!(stats.sites_inlined, 1);
+        assert!(verify(&m).is_ok(), "{:?}", verify(&m));
+        assert!(m.funcs[mid]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Phi { .. })));
+    }
+
+    #[test]
+    fn recursive_functions_are_not_inlined() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let pint = m.types.ptr_to(int);
+        let rid = m.declare_func("rec", Some(pint));
+        let mid = m.declare_func("main", None);
+        {
+            let mut b = FuncBuilder::new(&mut m, rid);
+            let n = b.param("n", int);
+            let t = b.new_block();
+            let e = b.new_block();
+            b.br(n.into(), t, e);
+            b.set_block(t);
+            let n1 = b.bin(BinOp::Sub, n.into(), Operand::Const(1));
+            let r = b.call(Callee::Direct(rid), vec![n1.into()], Some(pint)).unwrap();
+            b.ret(Some(r.into()));
+            b.set_block(e);
+            let (p, _) = b.alloc("h", ObjKind::Heap(rid), int, false, None);
+            b.ret(Some(p.into()));
+            b.finish();
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, mid);
+            let p = b.call(Callee::Direct(rid), vec![Operand::Const(3)], Some(pint)).unwrap();
+            b.store(p.into(), Operand::Const(1));
+            b.ret(None);
+            b.finish();
+        }
+        m.main = Some(mid);
+        let stats = run_inline(&mut m, InlinePolicy::default());
+        assert_eq!(stats.sites_inlined, 0);
+    }
+
+    #[test]
+    fn call_mid_block_preserves_tail_instructions() {
+        let (mut m, _wid, mid) = wrapper_module();
+        run_inline(&mut m, InlinePolicy::default());
+        // The stores after the calls survive.
+        let stores = m.funcs[mid]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
+        assert_eq!(stores, 2);
+    }
+}

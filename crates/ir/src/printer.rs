@@ -1,0 +1,146 @@
+//! Textual rendering of modules and functions, in a TinyC-SSA flavour.
+
+use std::fmt::Write as _;
+
+use crate::ids::FuncId;
+use crate::module::{Callee, ExtFunc, Function, GepOffset, Inst, Module, Operand, Terminator};
+
+/// Renders an operand.
+pub fn operand(m: &Module, op: Operand) -> String {
+    match op {
+        Operand::Const(c) => c.to_string(),
+        Operand::Var(v) => v.to_string(),
+        Operand::Global(o) => format!("@{}", m.objects[o].name),
+        Operand::Func(f) => format!("&{}", m.funcs[f].name),
+        Operand::Undef => "undef".to_string(),
+    }
+}
+
+/// Renders one instruction.
+pub fn inst(m: &Module, i: &Inst) -> String {
+    let op = |o: Operand| operand(m, o);
+    match i {
+        Inst::Copy { dst, src } => format!("{dst} := {}", op(*src)),
+        Inst::Un { dst, op: o, src } => format!("{dst} := {o:?} {}", op(*src)),
+        Inst::Bin { dst, op: o, lhs, rhs } => {
+            format!("{dst} := {} {o:?} {}", op(*lhs), op(*rhs))
+        }
+        Inst::Alloc { dst, obj, count } => {
+            let init = if m.objects[*obj].zero_init { "T" } else { "F" };
+            match count {
+                Some(c) => format!("{dst} := alloc_{init} {}[{}]", m.objects[*obj].name, op(*c)),
+                None => format!("{dst} := alloc_{init} {}", m.objects[*obj].name),
+            }
+        }
+        Inst::Gep { dst, base, offset } => match offset {
+            GepOffset::Field(k) => format!("{dst} := gep {} field {k}", op(*base)),
+            GepOffset::Index { index, elem_cells } => {
+                format!("{dst} := gep {} index {} x{elem_cells}", op(*base), op(*index))
+            }
+        },
+        Inst::Load { dst, addr } => format!("{dst} := *{}", op(*addr)),
+        Inst::Store { addr, val } => format!("*{} := {}", op(*addr), op(*val)),
+        Inst::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| op(*a)).collect();
+            let callee = match callee {
+                Callee::Direct(f) => m.funcs[*f].name.clone(),
+                Callee::Indirect(t) => format!("(*{})", op(*t)),
+                Callee::External(e) => ext_name(*e).to_string(),
+            };
+            match dst {
+                Some(d) => format!("{d} := {callee}({})", args.join(", ")),
+                None => format!("{callee}({})", args.join(", ")),
+            }
+        }
+        Inst::Phi { dst, incomings } => {
+            let inc: Vec<String> =
+                incomings.iter().map(|(bb, o)| format!("[{bb}: {}]", op(*o))).collect();
+            format!("{dst} := phi {}", inc.join(", "))
+        }
+    }
+}
+
+/// The source-level name of an external function.
+pub fn ext_name(e: ExtFunc) -> &'static str {
+    match e {
+        ExtFunc::PrintInt => "print",
+        ExtFunc::InputInt => "input",
+        ExtFunc::Abort => "abort",
+        ExtFunc::Free => "free",
+    }
+}
+
+/// Renders one function.
+pub fn function(m: &Module, fid: FuncId, f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{p}: {}", m.types.display(f.vars[*p].ty)))
+        .collect();
+    let _ = writeln!(s, "def {} {}({}) {{", fid, f.name, params.join(", "));
+    for (bb, block) in f.blocks.iter_enumerated() {
+        let _ = writeln!(s, "{bb}:");
+        for i in &block.insts {
+            let _ = writeln!(s, "  {}", inst(m, i));
+        }
+        let t = match &block.term {
+            Terminator::Jmp(b) => format!("jmp {b}"),
+            Terminator::Br { cond, then_bb, else_bb } => {
+                format!("br {} ? {then_bb} : {else_bb}", operand(m, *cond))
+            }
+            Terminator::Ret(Some(o)) => format!("ret {}", operand(m, *o)),
+            Terminator::Ret(None) => "ret".to_string(),
+            Terminator::Unreachable => "unreachable".to_string(),
+        };
+        let _ = writeln!(s, "  {t}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders the whole module.
+pub fn module(m: &Module) -> String {
+    let mut s = String::new();
+    for &g in &m.globals {
+        let _ = writeln!(s, "global @{}: {}", m.objects[g].name, m.types.display(m.objects[g].ty));
+    }
+    for (fid, f) in m.funcs.iter_enumerated() {
+        s.push('\n');
+        s.push_str(&function(m, fid, f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+    use crate::module::{BinOp, Module};
+
+    #[test]
+    fn renders_basic_instructions() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let mut f = Function::new("main", Some(int));
+        let a = f.new_var("a", int);
+        let b = f.new_var("b", int);
+        let i = Inst::Bin { dst: b, op: BinOp::Add, lhs: a.into(), rhs: Operand::Const(1) };
+        m.funcs.push(f);
+        let text = inst(&m, &i);
+        assert_eq!(text, format!("{} := {} Add 1", VarId(1), VarId(0)));
+    }
+
+    #[test]
+    fn renders_module_with_globals() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let g = m.add_object("g", crate::module::ObjKind::Global, int, true, false);
+        m.globals.push(g);
+        m.funcs.push(Function::new("main", None));
+        let text = module(&m);
+        assert!(text.contains("global @g: int"));
+        assert!(text.contains("def @f0 main()"));
+        assert!(text.contains("unreachable"));
+    }
+}

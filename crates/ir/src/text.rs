@@ -1,0 +1,837 @@
+//! A textual serialization of IR modules, with a parser — the
+//! `llvm-dis`/`llvm-as` pair of this workspace.
+//!
+//! [`write_text`] emits a complete, loss-free description of a module
+//! (structs, objects, globals, functions, SSA bodies); [`parse_text`]
+//! reads it back. Round-tripping is exact: `parse(write(m))` produces a
+//! module that prints identically and behaves identically.
+//!
+//! The format is line-oriented and keyword-led; see the grammar in the
+//! parser below. Example:
+//!
+//! ```text
+//! struct Point { x: int, y: int }
+//! obj 0 "g" global zeroinit : int
+//! globals 0
+//! main @f0
+//! def @f0 "main" -> int {
+//!   var %v0 "x" int
+//!   bb0:
+//!     %v0 = copy 41
+//!     ret %v0
+//! }
+//! ```
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::ids::{BlockId, FuncId, Idx, ObjId, StructId, TypeId, VarId};
+use crate::module::{
+    BinOp, Callee, ExtFunc, GepOffset, Inst, Module, ObjKind, Operand, Terminator, UnOp,
+};
+use crate::types::Type;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn type_text(m: &Module, t: TypeId) -> String {
+    match m.types.get(t) {
+        Type::Int => "int".to_string(),
+        Type::Ptr(e) => format!("{}*", type_text(m, *e)),
+        Type::Struct(s) => format!("struct {}", m.types.struct_def(*s).name),
+        Type::Array(e, n) => format!("[{}; {}]", type_text(m, *e), n),
+        Type::FuncPtr { params, has_ret } => {
+            if *has_ret {
+                format!("fn({params}) -> int")
+            } else {
+                format!("fn({params})")
+            }
+        }
+    }
+}
+
+fn op_text(op: Operand) -> String {
+    match op {
+        Operand::Const(c) => c.to_string(),
+        Operand::Var(v) => format!("%v{}", v.0),
+        Operand::Global(o) => format!("${}", o.0),
+        Operand::Func(f) => format!("@f{}", f.0),
+        Operand::Undef => "undef".to_string(),
+    }
+}
+
+fn ext_text(e: ExtFunc) -> &'static str {
+    match e {
+        ExtFunc::PrintInt => "print",
+        ExtFunc::InputInt => "input",
+        ExtFunc::Abort => "abort",
+        ExtFunc::Free => "free",
+    }
+}
+
+/// Serializes a module to its textual form.
+pub fn write_text(m: &Module) -> String {
+    let mut s = String::new();
+
+    // Structs, in id order (fields may reference earlier structs and
+    // pointer-wise reference any struct).
+    for sid in 0..m.types.num_structs() {
+        let def = m.types.struct_def(StructId(sid as u32)).clone();
+        let fields: Vec<String> = def
+            .fields
+            .iter()
+            .map(|(n, t)| format!("{n}: {}", type_text(m, *t)))
+            .collect();
+        let _ = writeln!(s, "struct {} {{ {} }}", def.name, fields.join(", "));
+    }
+
+    for (oid, o) in m.objects.iter_enumerated() {
+        let kind = match o.kind {
+            ObjKind::Global => "global".to_string(),
+            ObjKind::Stack(f) => format!("stack(@f{})", f.0),
+            ObjKind::Heap(f) => format!("heap(@f{})", f.0),
+        };
+        let init = if o.zero_init { "zeroinit" } else { "uninit" };
+        // `dynamic` is derivable only for heap blocks with runtime counts;
+        // record the collapse flag explicitly when it is not implied by
+        // the type.
+        let dynamic = if o.is_array && !matches!(m.types.get(o.ty), Type::Array(..)) {
+            " dynamic"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "obj {} \"{}\" {kind} {init}{dynamic} : {}",
+            oid.0,
+            o.name,
+            type_text(m, o.ty)
+        );
+    }
+
+    if !m.globals.is_empty() {
+        let ids: Vec<String> = m.globals.iter().map(|g| g.0.to_string()).collect();
+        let _ = writeln!(s, "globals {}", ids.join(" "));
+    }
+    if let Some(main) = m.main {
+        let _ = writeln!(s, "main @f{}", main.0);
+    }
+
+    for (fid, f) in m.funcs.iter_enumerated() {
+        let ret = match f.ret_ty {
+            Some(t) => format!(" -> {}", type_text(m, t)),
+            None => String::new(),
+        };
+        let _ = writeln!(s, "def @f{} \"{}\"{ret} {{", fid.0, f.name);
+        for (vid, vd) in f.vars.iter_enumerated() {
+            let _ = writeln!(s, "  var %v{} \"{}\" {}", vid.0, vd.name, type_text(m, vd.ty));
+        }
+        if !f.params.is_empty() {
+            let ps: Vec<String> = f.params.iter().map(|p| format!("%v{}", p.0)).collect();
+            let _ = writeln!(s, "  params {}", ps.join(" "));
+        }
+        let _ = writeln!(s, "  entry bb{}", f.entry.0);
+        for (bb, block) in f.blocks.iter_enumerated() {
+            let _ = writeln!(s, "  bb{}:", bb.0);
+            for inst in &block.insts {
+                let _ = writeln!(s, "    {}", inst_text(inst));
+            }
+            let term = match &block.term {
+                Terminator::Jmp(b) => format!("jmp bb{}", b.0),
+                Terminator::Br { cond, then_bb, else_bb } => {
+                    format!("br {} bb{} bb{}", op_text(*cond), then_bb.0, else_bb.0)
+                }
+                Terminator::Ret(Some(o)) => format!("ret {}", op_text(*o)),
+                Terminator::Ret(None) => "ret".to_string(),
+                Terminator::Unreachable => "unreachable".to_string(),
+            };
+            let _ = writeln!(s, "    {term}");
+        }
+        let _ = writeln!(s, "}}");
+    }
+    s
+}
+
+fn inst_text(inst: &Inst) -> String {
+    match inst {
+        Inst::Copy { dst, src } => format!("%v{} = copy {}", dst.0, op_text(*src)),
+        Inst::Un { dst, op, src } => {
+            format!("%v{} = un {op:?} {}", dst.0, op_text(*src))
+        }
+        Inst::Bin { dst, op, lhs, rhs } => {
+            format!("%v{} = bin {op:?} {} {}", dst.0, op_text(*lhs), op_text(*rhs))
+        }
+        Inst::Alloc { dst, obj, count } => match count {
+            Some(c) => format!("%v{} = alloc {} count {}", dst.0, obj.0, op_text(*c)),
+            None => format!("%v{} = alloc {}", dst.0, obj.0),
+        },
+        Inst::Gep { dst, base, offset } => match offset {
+            GepOffset::Field(k) => {
+                format!("%v{} = gep {} field {k}", dst.0, op_text(*base))
+            }
+            GepOffset::Index { index, elem_cells } => format!(
+                "%v{} = gep {} index {} {elem_cells}",
+                dst.0,
+                op_text(*base),
+                op_text(*index)
+            ),
+        },
+        Inst::Load { dst, addr } => format!("%v{} = load {}", dst.0, op_text(*addr)),
+        Inst::Store { addr, val } => format!("store {} {}", op_text(*addr), op_text(*val)),
+        Inst::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| op_text(*a)).collect();
+            let head = match dst {
+                Some(d) => format!("%v{} = ", d.0),
+                None => String::new(),
+            };
+            match callee {
+                Callee::Direct(f) => format!("{head}call @f{}({})", f.0, args.join(", ")),
+                Callee::Indirect(t) => {
+                    format!("{head}icall {}({})", op_text(*t), args.join(", "))
+                }
+                Callee::External(e) => {
+                    format!("{head}ecall {}({})", ext_text(*e), args.join(", "))
+                }
+            }
+        }
+        Inst::Phi { dst, incomings } => {
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(b, o)| format!("[bb{}: {}]", b.0, op_text(*o)))
+                .collect();
+            format!("%v{} = phi {}", dst.0, inc.join(" "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parse failure with its 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TextError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR text error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+struct Cursor<'a> {
+    toks: Vec<&'a str>,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, TextError> {
+        Err(TextError { message: msg.into(), line: self.line })
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.toks.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.toks.get(self.pos).copied();
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, t: &str) -> Result<(), TextError> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            got => self.err(format!("expected `{t}`, found {got:?}")),
+        }
+    }
+
+    fn eat(&mut self, t: &str) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Splits a line into tokens: punctuation `{}():,` separates; quoted
+/// strings stay intact (names never contain quotes).
+fn tokenize(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | ',' => i += 1,
+            '"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                i = (i + 1).min(bytes.len());
+                out.push(&line[start..i]);
+            }
+            ';' => i += 1,
+            '{' | '}' | '(' | ')' | ':' | '[' | ']' | '*' => {
+                out.push(&line[i..i + 1]);
+                i += 1;
+            }
+            _ => {
+                let start = i;
+                while i < bytes.len()
+                    && !matches!(
+                        bytes[i] as char,
+                        ' ' | '\t' | ',' | ';' | '{' | '}' | '(' | ')' | ':' | '[' | ']' | '*' | '"'
+                    )
+                {
+                    i += 1;
+                }
+                out.push(&line[start..i]);
+            }
+        }
+    }
+    out
+}
+
+fn parse_id<I: Idx>(c: &mut Cursor, prefix: &str) -> Result<I, TextError> {
+    let Some(t) = c.next() else {
+        return c.err(format!("expected {prefix}N"));
+    };
+    let Some(num) = t.strip_prefix(prefix) else {
+        return c.err(format!("expected {prefix}N, found `{t}`"));
+    };
+    match num.parse::<usize>() {
+        Ok(n) => Ok(I::from_usize(n)),
+        Err(_) => c.err(format!("bad id `{t}`")),
+    }
+}
+
+fn parse_operand(c: &mut Cursor) -> Result<Operand, TextError> {
+    let Some(t) = c.next() else {
+        return c.err("expected an operand");
+    };
+    if t == "undef" {
+        return Ok(Operand::Undef);
+    }
+    if let Some(v) = t.strip_prefix("%v") {
+        return match v.parse::<u32>() {
+            Ok(n) => Ok(Operand::Var(VarId(n))),
+            Err(_) => c.err(format!("bad var `{t}`")),
+        };
+    }
+    if let Some(g) = t.strip_prefix('$') {
+        return match g.parse::<u32>() {
+            Ok(n) => Ok(Operand::Global(ObjId(n))),
+            Err(_) => c.err(format!("bad global `{t}`")),
+        };
+    }
+    if let Some(f) = t.strip_prefix("@f") {
+        return match f.parse::<u32>() {
+            Ok(n) => Ok(Operand::Func(FuncId(n))),
+            Err(_) => c.err(format!("bad func `{t}`")),
+        };
+    }
+    match t.parse::<i64>() {
+        Ok(n) => Ok(Operand::Const(n)),
+        Err(_) => c.err(format!("bad operand `{t}`")),
+    }
+}
+
+fn is_operand_start(t: &str) -> bool {
+    t == "undef"
+        || t.starts_with("%v")
+        || t.starts_with('$')
+        || t.starts_with("@f")
+        || t.parse::<i64>().is_ok()
+}
+
+fn parse_type(m: &mut Module, c: &mut Cursor) -> Result<TypeId, TextError> {
+    let base = match c.next() {
+        Some("int") => m.types.int(),
+        Some("struct") => {
+            let Some(name) = c.next() else { return c.err("struct name") };
+            match m.types.struct_by_name(name) {
+                Some(s) => m.types.intern(Type::Struct(s)),
+                None => return c.err(format!("unknown struct `{name}`")),
+            }
+        }
+        Some("[") => {
+            let elem = parse_type(m, c)?;
+            let Some(n) = c.next() else { return c.err("array length") };
+            let len: u32 = n.parse().map_err(|_| TextError {
+                message: format!("bad array length `{n}`"),
+                line: c.line,
+            })?;
+            c.expect("]")?;
+            m.types.intern(Type::Array(elem, len))
+        }
+        Some(t) if t.starts_with("fn") => {
+            // fn(N) or fn(N) -> int
+            c.expect("(")?;
+            let Some(p) = c.next() else { return c.err("fn arity") };
+            let params: u32 = p.parse().map_err(|_| TextError {
+                message: format!("bad arity `{p}`"),
+                line: c.line,
+            })?;
+            c.expect(")")?;
+            let has_ret = if c.eat("->") {
+                c.expect("int")?;
+                true
+            } else {
+                false
+            };
+            m.types.intern(Type::FuncPtr { params, has_ret })
+        }
+        got => return c.err(format!("expected a type, found {got:?}")),
+    };
+    // Pointer suffixes arrive as separate `*` tokens or glued (`int*`).
+    let mut ty = base;
+    while c.eat("*") {
+        ty = m.types.ptr_to(ty);
+    }
+    Ok(ty)
+}
+
+fn unquote(t: &str) -> String {
+    t.trim_matches('"').to_string()
+}
+
+/// Parses the textual form back into a [`Module`].
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse_text(src: &str) -> Result<Module, TextError> {
+    let mut m = Module::new();
+    let mut cur_func: Option<FuncId> = None;
+    let mut cur_block: Option<BlockId> = None;
+
+    // Pass 1: declare struct names and function shells so forward
+    // references resolve.
+    for raw in src.lines() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("struct ") {
+            if let Some(name) = rest.split_whitespace().next() {
+                m.types.add_struct(crate::types::StructDef {
+                    name: name.to_string(),
+                    fields: vec![],
+                });
+            }
+        }
+        if line.starts_with("def @f") {
+            // Ret type resolved in pass 2; declare with None for now.
+            let toks = tokenize(line);
+            let name = toks
+                .iter()
+                .find(|t| t.starts_with('"'))
+                .map(|t| unquote(t))
+                .unwrap_or_default();
+            m.declare_func(name, None);
+        }
+    }
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let mut c = Cursor { toks: tokenize(line), pos: 0, line: lineno + 1 };
+        let Some(head) = c.peek() else { continue };
+        match head {
+            "struct" => {
+                c.next();
+                let Some(name) = c.next() else { return c.err("struct name") };
+                c.expect("{")?;
+                let mut fields = Vec::new();
+                while !c.eat("}") {
+                    let Some(fname) = c.next() else { return c.err("field name") };
+                    c.expect(":")?;
+                    // Collect the remaining tokens of this field's type.
+                    let fty = parse_type(&mut m, &mut c)?;
+                    fields.push((fname.to_string(), fty));
+                }
+                let sid = m
+                    .types
+                    .struct_by_name(name)
+                    .ok_or_else(|| TextError {
+                        message: format!("struct `{name}` not pre-declared"),
+                        line: c.line,
+                    })?;
+                m.types.set_struct_fields(sid, fields);
+            }
+            "obj" => {
+                c.next();
+                let id: ObjId = {
+                    let Some(t) = c.next() else { return c.err("obj id") };
+                    ObjId(t.parse().map_err(|_| TextError {
+                        message: format!("bad obj id `{t}`"),
+                        line: c.line,
+                    })?)
+                };
+                let Some(name) = c.next() else { return c.err("obj name") };
+                let name = unquote(name);
+                let kind = match c.next() {
+                    Some("global") => ObjKind::Global,
+                    Some("stack") => {
+                        c.expect("(")?;
+                        let f: FuncId = parse_id(&mut c, "@f")?;
+                        c.expect(")")?;
+                        ObjKind::Stack(f)
+                    }
+                    Some("heap") => {
+                        c.expect("(")?;
+                        let f: FuncId = parse_id(&mut c, "@f")?;
+                        c.expect(")")?;
+                        ObjKind::Heap(f)
+                    }
+                    got => return c.err(format!("bad obj kind {got:?}")),
+                };
+                let zero_init = match c.next() {
+                    Some("zeroinit") => true,
+                    Some("uninit") => false,
+                    got => return c.err(format!("bad init {got:?}")),
+                };
+                let dynamic = c.eat("dynamic");
+                c.expect(":")?;
+                let ty = parse_type(&mut m, &mut c)?;
+                let got = m.add_object(name, kind, ty, zero_init, dynamic);
+                if got != id {
+                    return c.err(format!("object ids out of order: {got:?} vs {id:?}"));
+                }
+            }
+            "globals" => {
+                c.next();
+                while let Some(t) = c.next() {
+                    let n: u32 = t.parse().map_err(|_| TextError {
+                        message: format!("bad global id `{t}`"),
+                        line: c.line,
+                    })?;
+                    m.globals.push(ObjId(n));
+                }
+            }
+            "main" => {
+                c.next();
+                let f: FuncId = parse_id(&mut c, "@f")?;
+                m.main = Some(f);
+            }
+            "def" => {
+                c.next();
+                let fid: FuncId = parse_id(&mut c, "@f")?;
+                let _name = c.next(); // already set in pass 1
+                let ret = if c.eat("->") { Some(parse_type(&mut m, &mut c)?) } else { None };
+                c.expect("{")?;
+                m.funcs[fid].ret_ty = ret;
+                m.funcs[fid].blocks = crate::ids::IdxVec::new();
+                cur_func = Some(fid);
+                cur_block = None;
+            }
+            "var" => {
+                c.next();
+                let Some(fid) = cur_func else { return c.err("var outside def") };
+                let v: VarId = parse_id(&mut c, "%v")?;
+                let Some(name) = c.next() else { return c.err("var name") };
+                let name = unquote(name);
+                let ty = parse_type(&mut m, &mut c)?;
+                let got = m.funcs[fid].new_var(name, ty);
+                if got != v {
+                    return c.err(format!("var ids out of order: {got:?} vs {v:?}"));
+                }
+            }
+            "params" => {
+                c.next();
+                let Some(fid) = cur_func else { return c.err("params outside def") };
+                while c.peek().is_some() {
+                    let v: VarId = parse_id(&mut c, "%v")?;
+                    m.funcs[fid].params.push(v);
+                }
+            }
+            "entry" => {
+                c.next();
+                let Some(fid) = cur_func else { return c.err("entry outside def") };
+                let b: BlockId = parse_id(&mut c, "bb")?;
+                m.funcs[fid].entry = b;
+            }
+            "}" => {
+                cur_func = None;
+                cur_block = None;
+            }
+            _ if head.starts_with("bb") && line.ends_with(':') => {
+                let Some(fid) = cur_func else { return c.err("block outside def") };
+                let b: BlockId = parse_id(&mut c, "bb")?;
+                let got = m.funcs[fid].new_block();
+                if got != b {
+                    return c.err(format!("block ids out of order: {got:?} vs {b:?}"));
+                }
+                cur_block = Some(b);
+            }
+            _ => {
+                let (Some(fid), Some(bb)) = (cur_func, cur_block) else {
+                    return c.err(format!("statement outside a block: `{line}`"));
+                };
+                parse_stmt(&mut m, fid, bb, &mut c)?;
+            }
+        }
+    }
+    Ok(m)
+}
+
+fn parse_stmt(m: &mut Module, fid: FuncId, bb: BlockId, c: &mut Cursor) -> Result<(), TextError> {
+    let head = c.peek().unwrap_or("");
+
+    // Terminators.
+    match head {
+        "jmp" => {
+            c.next();
+            let b: BlockId = parse_id(c, "bb")?;
+            m.funcs[fid].blocks[bb].term = Terminator::Jmp(b);
+            return Ok(());
+        }
+        "br" => {
+            c.next();
+            let cond = parse_operand(c)?;
+            let t: BlockId = parse_id(c, "bb")?;
+            let e: BlockId = parse_id(c, "bb")?;
+            m.funcs[fid].blocks[bb].term = Terminator::Br { cond, then_bb: t, else_bb: e };
+            return Ok(());
+        }
+        "ret" => {
+            c.next();
+            let op = match c.peek() {
+                Some(t) if is_operand_start(t) => Some(parse_operand(c)?),
+                _ => None,
+            };
+            m.funcs[fid].blocks[bb].term = Terminator::Ret(op);
+            return Ok(());
+        }
+        "unreachable" => {
+            m.funcs[fid].blocks[bb].term = Terminator::Unreachable;
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    // `store` and dst-less calls.
+    if head == "store" {
+        c.next();
+        let addr = parse_operand(c)?;
+        let val = parse_operand(c)?;
+        m.funcs[fid].blocks[bb].insts.push(Inst::Store { addr, val });
+        return Ok(());
+    }
+    if head == "call" || head == "icall" || head == "ecall" {
+        let inst = parse_call(m, None, c)?;
+        m.funcs[fid].blocks[bb].insts.push(inst);
+        return Ok(());
+    }
+
+    // `%vN = <op> ...`
+    let dst: VarId = parse_id(c, "%v")?;
+    c.expect("=")?;
+    let Some(op) = c.next() else { return c.err("instruction kind") };
+    let inst = match op {
+        "copy" => Inst::Copy { dst, src: parse_operand(c)? },
+        "un" => {
+            let u = match c.next() {
+                Some("Neg") => UnOp::Neg,
+                Some("Not") => UnOp::Not,
+                Some("BitNot") => UnOp::BitNot,
+                got => return c.err(format!("bad unop {got:?}")),
+            };
+            Inst::Un { dst, op: u, src: parse_operand(c)? }
+        }
+        "bin" => {
+            let Some(name) = c.next() else { return c.err("binop") };
+            let b = parse_binop(name).ok_or_else(|| TextError {
+                message: format!("bad binop `{name}`"),
+                line: c.line,
+            })?;
+            let lhs = parse_operand(c)?;
+            let rhs = parse_operand(c)?;
+            Inst::Bin { dst, op: b, lhs, rhs }
+        }
+        "alloc" => {
+            let Some(t) = c.next() else { return c.err("obj id") };
+            let obj = ObjId(t.parse().map_err(|_| TextError {
+                message: format!("bad obj id `{t}`"),
+                line: c.line,
+            })?);
+            let count = if c.eat("count") { Some(parse_operand(c)?) } else { None };
+            Inst::Alloc { dst, obj, count }
+        }
+        "gep" => {
+            let base = parse_operand(c)?;
+            match c.next() {
+                Some("field") => {
+                    let Some(t) = c.next() else { return c.err("field offset") };
+                    let k: u32 = t.parse().map_err(|_| TextError {
+                        message: format!("bad field `{t}`"),
+                        line: c.line,
+                    })?;
+                    Inst::Gep { dst, base, offset: GepOffset::Field(k) }
+                }
+                Some("index") => {
+                    let index = parse_operand(c)?;
+                    let Some(t) = c.next() else { return c.err("elem cells") };
+                    let elem_cells: u32 = t.parse().map_err(|_| TextError {
+                        message: format!("bad elem cells `{t}`"),
+                        line: c.line,
+                    })?;
+                    Inst::Gep { dst, base, offset: GepOffset::Index { index, elem_cells } }
+                }
+                got => return c.err(format!("bad gep kind {got:?}")),
+            }
+        }
+        "load" => Inst::Load { dst, addr: parse_operand(c)? },
+        "call" | "icall" | "ecall" => {
+            c.pos -= 1;
+            parse_call(m, Some(dst), c)?
+        }
+        "phi" => {
+            let mut incomings = Vec::new();
+            while c.eat("[") {
+                let b: BlockId = parse_id(c, "bb")?;
+                c.expect(":")?;
+                let o = parse_operand(c)?;
+                c.expect("]")?;
+                incomings.push((b, o));
+            }
+            Inst::Phi { dst, incomings }
+        }
+        other => return c.err(format!("unknown instruction `{other}`")),
+    };
+    m.funcs[fid].blocks[bb].insts.push(inst);
+    Ok(())
+}
+
+fn parse_call(m: &mut Module, dst: Option<VarId>, c: &mut Cursor) -> Result<Inst, TextError> {
+    let kind = c.next().unwrap_or("");
+    let callee = match kind {
+        "call" => {
+            let f: FuncId = parse_id(c, "@f")?;
+            Callee::Direct(f)
+        }
+        "icall" => Callee::Indirect(parse_operand(c)?),
+        "ecall" => {
+            let e = match c.next() {
+                Some("print") => ExtFunc::PrintInt,
+                Some("input") => ExtFunc::InputInt,
+                Some("abort") => ExtFunc::Abort,
+                Some("free") => ExtFunc::Free,
+                got => return c.err(format!("bad external {got:?}")),
+            };
+            Callee::External(e)
+        }
+        other => return c.err(format!("bad call kind `{other}`")),
+    };
+    c.expect("(")?;
+    let mut args = Vec::new();
+    while !c.eat(")") {
+        args.push(parse_operand(c)?);
+    }
+    let _ = m;
+    Ok(Inst::Call { dst, callee, args })
+}
+
+fn parse_binop(name: &str) -> Option<BinOp> {
+    Some(match name {
+        "Add" => BinOp::Add,
+        "Sub" => BinOp::Sub,
+        "Mul" => BinOp::Mul,
+        "Div" => BinOp::Div,
+        "Rem" => BinOp::Rem,
+        "And" => BinOp::And,
+        "Or" => BinOp::Or,
+        "Xor" => BinOp::Xor,
+        "Shl" => BinOp::Shl,
+        "Shr" => BinOp::Shr,
+        "Eq" => BinOp::Eq,
+        "Ne" => BinOp::Ne,
+        "Lt" => BinOp::Lt,
+        "Le" => BinOp::Le,
+        "Gt" => BinOp::Gt,
+        "Ge" => BinOp::Ge,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let g = m.add_object("g", ObjKind::Global, int, true, false);
+        m.globals.push(g);
+        let fid = m.declare_func("main", Some(int));
+        m.main = Some(fid);
+        let mut b = FuncBuilder::new(&mut m, fid);
+        let (p, _) = b.alloc("x", ObjKind::Stack(fid), int, false, None);
+        b.store(p.into(), Operand::Const(3));
+        let v = b.load(p.into(), int);
+        let w = b.bin(BinOp::Mul, v.into(), Operand::Const(2));
+        b.store(Operand::Global(g), w.into());
+        let r = b.load(Operand::Global(g), int);
+        b.ret(Some(r.into()));
+        b.finish();
+        m
+    }
+
+    #[test]
+    fn round_trip_is_textually_stable() {
+        let m = sample_module();
+        let once = write_text(&m);
+        let parsed = parse_text(&once).expect("parses");
+        let twice = write_text(&parsed);
+        assert_eq!(once, twice);
+        assert!(crate::verify::verify(&parsed).is_ok());
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let m = sample_module();
+        let parsed = parse_text(&write_text(&m)).unwrap();
+        assert_eq!(parsed.funcs.len(), m.funcs.len());
+        assert_eq!(parsed.objects.len(), m.objects.len());
+        assert_eq!(parsed.globals, m.globals);
+        assert_eq!(parsed.main, m.main);
+        let fid = m.main.unwrap();
+        assert_eq!(parsed.funcs[fid].blocks.len(), m.funcs[fid].blocks.len());
+        assert_eq!(parsed.funcs[fid].vars.len(), m.funcs[fid].vars.len());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let bad = "def @f0 \"f\" {\n  var %v0 \"x\" int\n  bb0:\n    %v0 = frobnicate 3\n";
+        let e = parse_text(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn negative_constants_round_trip() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let fid = m.declare_func("main", Some(int));
+        m.main = Some(fid);
+        let mut b = FuncBuilder::new(&mut m, fid);
+        let v = b.copy(int, Operand::Const(-42));
+        b.ret(Some(v.into()));
+        b.finish();
+        let parsed = parse_text(&write_text(&m)).unwrap();
+        assert_eq!(write_text(&parsed), write_text(&m));
+    }
+}

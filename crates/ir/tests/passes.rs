@@ -1,0 +1,295 @@
+//! Pass-level coverage: constant folding semantics, DCE/CFG interplay,
+//! inliner edge cases, mem2reg corner cases, verifier diagnostics.
+
+use usher_ir::{
+    mem2reg, optimize, run_inline, verify, BinOp, BlockId, Callee, ExtFunc, FuncBuilder, FuncId,
+    InlinePolicy, Inst, Module, ObjKind, Operand, OptLevel, Terminator,
+};
+
+fn module_with_main() -> (Module, FuncId) {
+    let mut m = Module::new();
+    let fid = m.declare_func("main", Some(m.types.int()));
+    m.main = Some(fid);
+    (m, fid)
+}
+
+fn folded_ret(m: &Module, fid: FuncId) -> Option<i64> {
+    for block in m.funcs[fid].blocks.iter() {
+        if let Terminator::Ret(Some(Operand::Const(c))) = block.term {
+            return Some(c);
+        }
+    }
+    None
+}
+
+// ---- constant folding semantics --------------------------------------------
+
+#[test]
+fn fold_matrix_matches_interpreter_semantics() {
+    // (op, lhs, rhs, expected)
+    let cases: &[(BinOp, i64, i64, i64)] = &[
+        (BinOp::Add, i64::MAX, 1, i64::MIN), // wrapping
+        (BinOp::Sub, i64::MIN, 1, i64::MAX),
+        (BinOp::Mul, 1 << 62, 4, 0),
+        (BinOp::Div, -7, 2, -3), // trunc toward zero
+        (BinOp::Rem, -7, 2, -1),
+        (BinOp::Shl, 1, 65, 2),  // shift amount masked to 6 bits
+        (BinOp::Shr, -8, 1, -4), // arithmetic shift
+        (BinOp::And, -1, 12, 12),
+        (BinOp::Xor, 6, 6, 0),
+        (BinOp::Lt, -1, 0, 1),
+        (BinOp::Ge, 5, 5, 1),
+    ];
+    for &(op, a, b, want) in cases {
+        let (mut m, fid) = module_with_main();
+        let int = m.types.int();
+        let mut bld = FuncBuilder::new(&mut m, fid);
+        let r = bld.bin(op, Operand::Const(a), Operand::Const(b));
+        let chained = bld.bin(BinOp::Add, r.into(), Operand::Const(0));
+        bld.ret(Some(chained.into()));
+        bld.finish();
+        optimize(&mut m, OptLevel::O2);
+        assert_eq!(folded_ret(&m, fid), Some(want), "{op:?} {a} {b}");
+        let _ = int;
+    }
+}
+
+#[test]
+fn division_by_zero_is_never_folded() {
+    let (mut m, fid) = module_with_main();
+    let mut bld = FuncBuilder::new(&mut m, fid);
+    let r = bld.bin(BinOp::Div, Operand::Const(5), Operand::Const(0));
+    bld.ret(Some(r.into()));
+    bld.finish();
+    optimize(&mut m, OptLevel::O2);
+    // The division must survive so the runtime trap is preserved.
+    assert!(m.funcs[fid]
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .any(|i| matches!(i, Inst::Bin { op: BinOp::Div, .. })));
+}
+
+#[test]
+fn optimization_is_idempotent() {
+    let (mut m, fid) = module_with_main();
+    let int = m.types.int();
+    let mut bld = FuncBuilder::new(&mut m, fid);
+    let a = bld.copy(int, Operand::Const(3));
+    let b = bld.bin(BinOp::Mul, a.into(), a.into());
+    let t = bld.new_block();
+    let e = bld.new_block();
+    bld.br(b.into(), t, e);
+    bld.set_block(t);
+    bld.ret(Some(b.into()));
+    bld.set_block(e);
+    bld.ret(Some(Operand::Const(0)));
+    bld.finish();
+    optimize(&mut m, OptLevel::O2);
+    let once = usher_ir::print_module(&m);
+    optimize(&mut m, OptLevel::O2);
+    let twice = usher_ir::print_module(&m);
+    assert_eq!(once, twice);
+    assert!(verify(&m).is_ok());
+}
+
+// ---- inliner edge cases -------------------------------------------------------
+
+#[test]
+fn inliner_respects_growth_budget() {
+    // A chain of alloc wrappers that would explode if fully inlined
+    // repeatedly; the budget must stop it while keeping the IR valid.
+    let mut m = Module::new();
+    let int = m.types.int();
+    let pint = m.types.ptr_to(int);
+    let w0 = m.declare_func("w0", Some(pint));
+    {
+        let mut b = FuncBuilder::new(&mut m, w0);
+        let (p, _) = b.alloc("h", ObjKind::Heap(w0), int, false, None);
+        b.ret(Some(p.into()));
+        b.finish();
+    }
+    // Each wrapper calls the previous one 3 times and returns one result.
+    let mut prev = w0;
+    for i in 1..6 {
+        let wi = m.declare_func(format!("w{i}"), Some(pint));
+        let mut b = FuncBuilder::new(&mut m, wi);
+        let p1 = b.call(Callee::Direct(prev), vec![], Some(pint)).unwrap();
+        let p2 = b.call(Callee::Direct(prev), vec![], Some(pint)).unwrap();
+        let p3 = b.call(Callee::Direct(prev), vec![], Some(pint)).unwrap();
+        b.store(p1.into(), Operand::Const(1));
+        b.store(p2.into(), Operand::Const(2));
+        b.ret(Some(p3.into()));
+        b.finish();
+        prev = wi;
+    }
+    let main = m.declare_func("main", None);
+    {
+        let mut b = FuncBuilder::new(&mut m, main);
+        let p = b.call(Callee::Direct(prev), vec![], Some(pint)).unwrap();
+        b.store(p.into(), Operand::Const(9));
+        b.ret(None);
+        b.finish();
+    }
+    m.main = Some(main);
+    let before = m.inst_count();
+    run_inline(&mut m, InlinePolicy::default());
+    assert!(verify(&m).is_ok(), "{:?}", verify(&m));
+    let after = m.inst_count();
+    assert!(after <= before.max(500) * 8 + 4000, "runaway growth: {before} -> {after}");
+}
+
+#[test]
+fn inlining_then_mem2reg_preserves_verification_on_all_orders() {
+    let mut m = Module::new();
+    let int = m.types.int();
+    let pint = m.types.ptr_to(int);
+    let helper = m.declare_func("mk", Some(pint));
+    {
+        let mut b = FuncBuilder::new(&mut m, helper);
+        let (p, _) = b.alloc("h", ObjKind::Heap(helper), int, true, None);
+        b.ret(Some(p.into()));
+        b.finish();
+    }
+    let main = m.declare_func("main", Some(int));
+    {
+        let mut b = FuncBuilder::new(&mut m, main);
+        let (slot, _) = b.alloc("x", ObjKind::Stack(main), int, false, None);
+        b.store(slot.into(), Operand::Const(5));
+        let p = b.call(Callee::Direct(helper), vec![], Some(pint)).unwrap();
+        let v = b.load(slot.into(), int);
+        b.store(p.into(), v.into());
+        let w = b.load(p.into(), int);
+        b.ret(Some(w.into()));
+        b.finish();
+    }
+    m.main = Some(main);
+    run_inline(&mut m, InlinePolicy::default());
+    assert!(verify(&m).is_ok());
+    mem2reg(&mut m);
+    assert!(verify(&m).is_ok());
+    optimize(&mut m, OptLevel::O2);
+    assert!(verify(&m).is_ok());
+}
+
+// ---- mem2reg corner cases -------------------------------------------------------
+
+#[test]
+fn mem2reg_handles_nested_loop_redefinitions() {
+    let mut m = Module::new();
+    let int = m.types.int();
+    let fid = m.declare_func("main", Some(int));
+    m.main = Some(fid);
+    let mut b = FuncBuilder::new(&mut m, fid);
+    let (s, _) = b.alloc("s", ObjKind::Stack(fid), int, false, None);
+    b.store(s.into(), Operand::Const(0));
+    // for i in 0..3 { for j in 0..3 { s += 1 } }
+    let (i, _) = b.alloc("i", ObjKind::Stack(fid), int, false, None);
+    b.store(i.into(), Operand::Const(0));
+    let oh = b.new_block(); // outer header
+    let ob = b.new_block(); // outer body
+    let ih = b.new_block(); // inner header
+    let ib = b.new_block(); // inner body
+    let oe = b.new_block(); // outer exit
+    b.jmp(oh);
+    b.set_block(oh);
+    let iv = b.load(i.into(), int);
+    let c = b.bin(BinOp::Lt, iv.into(), Operand::Const(3));
+    b.br(c.into(), ob, oe);
+    b.set_block(ob);
+    let (j, _) = b.alloc("j", ObjKind::Stack(fid), int, false, None);
+    b.store(j.into(), Operand::Const(0));
+    b.jmp(ih);
+    b.set_block(ih);
+    let jv = b.load(j.into(), int);
+    let jc = b.bin(BinOp::Lt, jv.into(), Operand::Const(3));
+    let icont = b.new_block();
+    b.br(jc.into(), ib, icont);
+    b.set_block(ib);
+    let sv = b.load(s.into(), int);
+    let s2 = b.bin(BinOp::Add, sv.into(), Operand::Const(1));
+    b.store(s.into(), s2.into());
+    let jv2 = b.load(j.into(), int);
+    let j2 = b.bin(BinOp::Add, jv2.into(), Operand::Const(1));
+    b.store(j.into(), j2.into());
+    b.jmp(ih);
+    b.set_block(icont);
+    let iv2 = b.load(i.into(), int);
+    let i2 = b.bin(BinOp::Add, iv2.into(), Operand::Const(1));
+    b.store(i.into(), i2.into());
+    b.jmp(oh);
+    b.set_block(oe);
+    let r = b.load(s.into(), int);
+    b.ret(Some(r.into()));
+    b.finish();
+
+    let stats = mem2reg(&mut m);
+    assert_eq!(stats.promoted, 3);
+    assert!(verify(&m).is_ok(), "{:?}", verify(&m));
+    // No memory operations survive.
+    assert!(m.funcs[fid]
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .all(|i| !matches!(i, Inst::Load { .. } | Inst::Store { .. } | Inst::Alloc { .. })));
+}
+
+#[test]
+fn mem2reg_skips_slots_whose_address_is_compared() {
+    let mut m = Module::new();
+    let int = m.types.int();
+    let fid = m.declare_func("main", Some(int));
+    m.main = Some(fid);
+    let mut b = FuncBuilder::new(&mut m, fid);
+    let (x, _) = b.alloc("x", ObjKind::Stack(fid), int, false, None);
+    b.store(x.into(), Operand::Const(1));
+    // Comparing the address makes it observable.
+    let cmp = b.bin(BinOp::Eq, x.into(), Operand::Const(0));
+    let v = b.load(x.into(), int);
+    let r = b.bin(BinOp::Add, v.into(), cmp.into());
+    b.ret(Some(r.into()));
+    b.finish();
+    let stats = mem2reg(&mut m);
+    assert_eq!(stats.promoted, 0, "address escaped through comparison");
+}
+
+// ---- block terminators / unreachable handling -----------------------------------
+
+#[test]
+fn external_calls_survive_every_pass() {
+    let (mut m, fid) = module_with_main();
+    let mut b = FuncBuilder::new(&mut m, fid);
+    b.call_ext(ExtFunc::PrintInt, vec![Operand::Const(1)], None);
+    b.call_ext(ExtFunc::PrintInt, vec![Operand::Const(2)], None);
+    b.ret(Some(Operand::Const(0)));
+    b.finish();
+    optimize(&mut m, OptLevel::O2);
+    let prints = m.funcs[fid]
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter(|i| matches!(i, Inst::Call { callee: Callee::External(ExtFunc::PrintInt), .. }))
+        .count();
+    assert_eq!(prints, 2);
+}
+
+#[test]
+fn verifier_reports_multiple_errors_at_once() {
+    let (mut m, fid) = module_with_main();
+    let int = m.types.int();
+    let f = &mut m.funcs[fid];
+    let v = f.new_var("v", int);
+    let w = f.new_var("w", int);
+    let entry = f.entry;
+    f.blocks[entry].insts.push(Inst::Copy { dst: v, src: Operand::Var(w) });
+    f.blocks[entry].insts.push(Inst::Copy { dst: v, src: Operand::Const(1) });
+    // term stays Unreachable (reachable entry): third error.
+    let errs = verify(&m).unwrap_err();
+    assert!(errs.len() >= 3, "{errs:?}");
+}
+
+#[test]
+fn site_display_is_stable() {
+    let s = usher_ir::Site::new(FuncId(2), BlockId(3), 4);
+    assert_eq!(s.to_string(), "@f2:bb3:4");
+}

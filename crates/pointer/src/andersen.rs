@@ -1,0 +1,1020 @@
+//! The Andersen-style inclusion solver.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use usher_ir::{Callee, FuncId, GepOffset, Inst, Module, ObjId, Operand, Site, Terminator, VarId};
+
+use crate::callgraph::{CallGraph, LoopInfo};
+
+/// A points-to target: a field of an abstract object, identified by its
+/// canonical (representative) cell — the first cell of its field class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// The abstract object.
+    pub obj: ObjId,
+    /// Canonical cell of the field class.
+    pub field: u32,
+}
+
+/// Solver node kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Node {
+    /// A top-level variable.
+    Var(FuncId, VarId),
+    /// The contents of an abstract memory field.
+    Mem(Loc),
+    /// A function's return value.
+    Ret(FuncId),
+}
+
+/// Points-to targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Target {
+    Loc(Loc),
+    Func(FuncId),
+}
+
+/// The result of [`analyze`].
+#[derive(Clone, Debug)]
+pub struct PointerAnalysis {
+    var_pts: HashMap<(FuncId, VarId), Vec<Target>>,
+    mem_pts: HashMap<Loc, Vec<Target>>,
+    /// The resolved call graph (direct + indirect).
+    pub call_graph: CallGraph,
+    /// Per-function loop info (reused by VFG construction and Opt II).
+    pub loops: HashMap<FuncId, LoopInfo>,
+    /// Objects whose allocation site runs at most once (candidates for
+    /// strong updates when additionally single-cell).
+    pub concrete_objects: HashSet<ObjId>,
+    /// Per-object: class representative of every cell.
+    reps: HashMap<ObjId, Vec<u32>>,
+    /// Per-object: whether each class rep covers exactly one cell.
+    single_cell: HashMap<Loc, bool>,
+}
+
+impl PointerAnalysis {
+    /// Memory locations a variable may point to.
+    pub fn pts_var(&self, f: FuncId, v: VarId) -> Vec<Loc> {
+        self.var_pts
+            .get(&(f, v))
+            .map(|ts| {
+                ts.iter()
+                    .filter_map(|t| match t {
+                        Target::Loc(l) => Some(*l),
+                        Target::Func(_) => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Memory locations an address operand may point to.
+    pub fn pts_operand(&self, f: FuncId, op: Operand) -> Vec<Loc> {
+        match op {
+            Operand::Var(v) => self.pts_var(f, v),
+            Operand::Global(o) => vec![Loc { obj: o, field: 0 }],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Function targets of a variable (for indirect calls).
+    pub fn fn_targets(&self, f: FuncId, v: VarId) -> Vec<FuncId> {
+        self.var_pts
+            .get(&(f, v))
+            .map(|ts| {
+                ts.iter()
+                    .filter_map(|t| match t {
+                        Target::Func(g) => Some(*g),
+                        Target::Loc(_) => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Locations a memory field may point to (for mod/ref of loads of
+    /// pointers — not needed by the VFG but useful to clients/tests).
+    pub fn pts_mem(&self, loc: Loc) -> Vec<Loc> {
+        self.mem_pts
+            .get(&loc)
+            .map(|ts| {
+                ts.iter()
+                    .filter_map(|t| match t {
+                        Target::Loc(l) => Some(*l),
+                        Target::Func(_) => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The canonical representative of `(obj, cell)`.
+    pub fn rep(&self, obj: ObjId, cell: u32) -> Loc {
+        let reps = &self.reps[&obj];
+        let c = (cell as usize).min(reps.len().saturating_sub(1));
+        Loc { obj, field: reps.get(c).copied().unwrap_or(0) }
+    }
+
+    /// All field-class representatives of an object.
+    pub fn all_fields(&self, obj: ObjId) -> Vec<Loc> {
+        let mut out: Vec<u32> = self.reps[&obj].clone();
+        out.sort_unstable();
+        out.dedup();
+        out.into_iter().map(|field| Loc { obj, field }).collect()
+    }
+
+    /// Whether a location is *concrete* in the paper's sense: it denotes
+    /// exactly one runtime cell (single-cell field class of an object
+    /// whose allocation executes at most once). Stores whose pointer
+    /// uniquely targets a concrete location may be strongly updated.
+    pub fn is_concrete(&self, loc: Loc) -> bool {
+        self.concrete_objects.contains(&loc.obj)
+            && self.single_cell.get(&loc).copied().unwrap_or(false)
+    }
+
+    /// Whether a location's field class covers exactly one cell (stores
+    /// to it write the whole abstract location; array classes never do).
+    pub fn is_single_cell(&self, loc: Loc) -> bool {
+        self.single_cell.get(&loc).copied().unwrap_or(false)
+    }
+
+    /// If `addr` (in function `f`) points to exactly one location, returns
+    /// it; the VFG uses this for both strong and semi-strong updates.
+    pub fn unique_target(&self, f: FuncId, addr: Operand) -> Option<Loc> {
+        let ts = self.pts_operand(f, addr);
+        match (ts.len(), self.fn_target_count(f, addr)) {
+            (1, 0) => Some(ts[0]),
+            _ => None,
+        }
+    }
+
+    fn fn_target_count(&self, f: FuncId, addr: Operand) -> usize {
+        match addr {
+            Operand::Var(v) => self.fn_targets(f, v).len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Runs the analysis over a module.
+pub fn analyze(m: &Module) -> PointerAnalysis {
+    let mut s = Solver::new(m);
+    s.seed();
+    s.solve();
+    s.finish()
+}
+
+#[derive(Clone, Debug)]
+enum GepKind {
+    Field(u32),
+    Dynamic,
+}
+
+struct Solver<'m> {
+    m: &'m Module,
+    node_ids: HashMap<Node, u32>,
+    nodes: Vec<Node>,
+    parent: Vec<u32>,
+    pts: Vec<BTreeSet<Target>>,
+    delta: Vec<Vec<Target>>,
+    copy_succs: Vec<BTreeSet<u32>>,
+    /// On new Loc in pts(n): add copy edge Mem(loc) -> dst.
+    load_cons: Vec<Vec<u32>>,
+    /// On new Loc in pts(n): add copy edge src -> Mem(loc).
+    store_cons: Vec<Vec<StoreSrc>>,
+    /// On new Loc in pts(n): add shifted target to dst.
+    gep_cons: Vec<Vec<(GepKind, u32)>>,
+    /// On new Func in pts(n): wire the call at this site.
+    call_cons: Vec<Vec<Site>>,
+    /// (site, args, dst) info for indirect wiring.
+    site_info: HashMap<Site, (Vec<Operand>, Option<VarId>)>,
+    wired: HashSet<(Site, FuncId)>,
+    worklist: VecDeque<u32>,
+    in_wl: Vec<bool>,
+    cg: CallGraph,
+    reps: HashMap<ObjId, Vec<u32>>,
+    pops: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum StoreSrc {
+    Node(u32),
+    Const(Target),
+}
+
+impl<'m> Solver<'m> {
+    fn new(m: &'m Module) -> Self {
+        let mut reps = HashMap::new();
+        for (oid, o) in m.objects.iter_enumerated() {
+            // rep[cell] = first cell with the same class.
+            let mut first: HashMap<u32, u32> = HashMap::new();
+            let mut r = Vec::with_capacity(o.field_classes.len());
+            for (cell, &class) in o.field_classes.iter().enumerate() {
+                let rep = *first.entry(class).or_insert(cell as u32);
+                r.push(rep);
+            }
+            if r.is_empty() {
+                r.push(0);
+            }
+            reps.insert(oid, r);
+        }
+        Solver {
+            m,
+            node_ids: HashMap::new(),
+            nodes: Vec::new(),
+            parent: Vec::new(),
+            pts: Vec::new(),
+            delta: Vec::new(),
+            copy_succs: Vec::new(),
+            load_cons: Vec::new(),
+            store_cons: Vec::new(),
+            gep_cons: Vec::new(),
+            call_cons: Vec::new(),
+            site_info: HashMap::new(),
+            wired: HashSet::new(),
+            worklist: VecDeque::new(),
+            in_wl: Vec::new(),
+            cg: CallGraph::default(),
+            reps,
+            pops: 0,
+        }
+    }
+
+    fn node(&mut self, n: Node) -> u32 {
+        if let Some(&id) = self.node_ids.get(&n) {
+            return self.find(id);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(n);
+        self.parent.push(id);
+        self.pts.push(BTreeSet::new());
+        self.delta.push(Vec::new());
+        self.copy_succs.push(BTreeSet::new());
+        self.load_cons.push(Vec::new());
+        self.store_cons.push(Vec::new());
+        self.gep_cons.push(Vec::new());
+        self.call_cons.push(Vec::new());
+        self.in_wl.push(false);
+        self.node_ids.insert(n, id);
+        id
+    }
+
+    fn find(&mut self, mut n: u32) -> u32 {
+        while self.parent[n as usize] != n {
+            let gp = self.parent[self.parent[n as usize] as usize];
+            self.parent[n as usize] = gp;
+            n = gp;
+        }
+        n
+    }
+
+    fn rep_loc(&self, obj: ObjId, cell: u32) -> Loc {
+        let reps = &self.reps[&obj];
+        if reps.is_empty() {
+            return Loc { obj, field: 0 };
+        }
+        let c = (cell as usize) % reps.len();
+        Loc { obj, field: reps[c] }
+    }
+
+    fn enqueue(&mut self, n: u32) {
+        let n = self.find(n);
+        if !self.in_wl[n as usize] && !self.delta[n as usize].is_empty() {
+            self.in_wl[n as usize] = true;
+            self.worklist.push_back(n);
+        }
+    }
+
+    fn add_targets(&mut self, n: u32, ts: impl IntoIterator<Item = Target>) {
+        let n = self.find(n);
+        let mut added = false;
+        for t in ts {
+            if self.pts[n as usize].insert(t) {
+                self.delta[n as usize].push(t);
+                added = true;
+            }
+        }
+        if added {
+            self.enqueue(n);
+        }
+    }
+
+    fn add_copy_edge(&mut self, from: u32, to: u32) {
+        let from = self.find(from);
+        let to = self.find(to);
+        if from == to {
+            return;
+        }
+        if self.copy_succs[from as usize].insert(to) {
+            let ts: Vec<Target> = self.pts[from as usize].iter().copied().collect();
+            self.add_targets(to, ts);
+        }
+    }
+
+    fn operand_node(&mut self, f: FuncId, op: Operand) -> Option<u32> {
+        match op {
+            Operand::Var(v) => Some(self.node(Node::Var(f, v))),
+            _ => None,
+        }
+    }
+
+    /// Targets contributed directly by a constant operand.
+    fn operand_const_targets(&self, op: Operand) -> Vec<Target> {
+        match op {
+            Operand::Global(o) => vec![Target::Loc(Loc { obj: o, field: 0 })],
+            Operand::Func(g) => vec![Target::Func(g)],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Flows `op` into node `dst` (edge or direct targets).
+    fn flow_into(&mut self, f: FuncId, op: Operand, dst: u32) {
+        match self.operand_node(f, op) {
+            Some(n) => self.add_copy_edge(n, dst),
+            None => {
+                let ts = self.operand_const_targets(op);
+                self.add_targets(dst, ts);
+            }
+        }
+    }
+
+    // ---- constraint generation -----------------------------------------
+
+    fn seed(&mut self) {
+        for (fid, func) in self.m.funcs.iter_enumerated() {
+            for (bb, block) in func.blocks.iter_enumerated() {
+                for (idx, inst) in block.insts.iter().enumerate() {
+                    self.seed_inst(fid, Site::new(fid, bb, idx), inst);
+                }
+                if let Terminator::Ret(Some(op)) = &block.term {
+                    let r = self.node(Node::Ret(fid));
+                    self.flow_into(fid, *op, r);
+                }
+            }
+        }
+    }
+
+    fn seed_inst(&mut self, f: FuncId, site: Site, inst: &Inst) {
+        match inst {
+            Inst::Copy { dst, src } => {
+                let d = self.node(Node::Var(f, *dst));
+                self.flow_into(f, *src, d);
+            }
+            Inst::Un { .. } | Inst::Bin { .. } => {
+                // Arithmetic results are not pointers in TinyC's type
+                // discipline (pointer arithmetic is a gep).
+            }
+            Inst::Alloc { dst, obj, .. } => {
+                let d = self.node(Node::Var(f, *dst));
+                self.add_targets(d, [Target::Loc(Loc { obj: *obj, field: 0 })]);
+            }
+            Inst::Gep { dst, base, offset } => {
+                let d = self.node(Node::Var(f, *dst));
+                let kind = match offset {
+                    GepOffset::Field(k) => GepKind::Field(*k),
+                    GepOffset::Index { .. } => GepKind::Dynamic,
+                };
+                match self.operand_node(f, *base) {
+                    Some(b) => {
+                        let b = self.find(b);
+                        self.gep_cons[b as usize].push((kind.clone(), d));
+                        // Replay existing targets.
+                        let existing: Vec<Target> =
+                            self.pts[b as usize].iter().copied().collect();
+                        for t in existing {
+                            if let Target::Loc(l) = t {
+                                let shifted = self.shift(l, &kind);
+                                self.add_targets(d, shifted.into_iter().map(Target::Loc));
+                            }
+                        }
+                    }
+                    None => {
+                        for t in self.operand_const_targets(*base) {
+                            if let Target::Loc(l) = t {
+                                let shifted = self.shift(l, &kind);
+                                self.add_targets(d, shifted.into_iter().map(Target::Loc));
+                            }
+                        }
+                    }
+                }
+            }
+            Inst::Load { dst, addr } => {
+                let d = self.node(Node::Var(f, *dst));
+                match self.operand_node(f, *addr) {
+                    Some(a) => {
+                        let a = self.find(a);
+                        self.load_cons[a as usize].push(d);
+                        let existing: Vec<Target> =
+                            self.pts[a as usize].iter().copied().collect();
+                        for t in existing {
+                            if let Target::Loc(l) = t {
+                                let mn = self.node(Node::Mem(l));
+                                self.add_copy_edge(mn, d);
+                            }
+                        }
+                    }
+                    None => {
+                        for t in self.operand_const_targets(*addr) {
+                            if let Target::Loc(l) = t {
+                                let mn = self.node(Node::Mem(l));
+                                self.add_copy_edge(mn, d);
+                            }
+                        }
+                    }
+                }
+            }
+            Inst::Store { addr, val } => {
+                let src = match self.operand_node(f, *val) {
+                    Some(n) => StoreSrc::Node(n),
+                    None => match self.operand_const_targets(*val).first() {
+                        Some(t) => StoreSrc::Const(*t),
+                        None => return, // storing a non-pointer constant
+                    },
+                };
+                match self.operand_node(f, *addr) {
+                    Some(a) => {
+                        let a = self.find(a);
+                        self.store_cons[a as usize].push(src);
+                        let existing: Vec<Target> =
+                            self.pts[a as usize].iter().copied().collect();
+                        for t in existing {
+                            if let Target::Loc(l) = t {
+                                self.apply_store(src, l);
+                            }
+                        }
+                    }
+                    None => {
+                        for t in self.operand_const_targets(*addr) {
+                            if let Target::Loc(l) = t {
+                                self.apply_store(src, l);
+                            }
+                        }
+                    }
+                }
+            }
+            Inst::Call { dst, callee, args } => {
+                self.site_info.insert(site, (args.clone(), *dst));
+                match callee {
+                    Callee::Direct(g) => self.wire_call(site, *g),
+                    Callee::Indirect(op) => match self.operand_node(f, *op) {
+                        Some(t) => {
+                            let t = self.find(t);
+                            self.call_cons[t as usize].push(site);
+                            let existing: Vec<Target> =
+                                self.pts[t as usize].iter().copied().collect();
+                            for tg in existing {
+                                if let Target::Func(g) = tg {
+                                    self.wire_call(site, g);
+                                }
+                            }
+                        }
+                        None => {
+                            if let Operand::Func(g) = op {
+                                self.wire_call(site, *g);
+                            }
+                        }
+                    },
+                    Callee::External(_) => {
+                        // Modelled externals neither create nor propagate
+                        // pointers.
+                    }
+                }
+            }
+            Inst::Phi { dst, incomings } => {
+                let d = self.node(Node::Var(f, *dst));
+                for (_, op) in incomings {
+                    self.flow_into(f, *op, d);
+                }
+            }
+        }
+    }
+
+    fn apply_store(&mut self, src: StoreSrc, loc: Loc) {
+        let mn = self.node(Node::Mem(loc));
+        match src {
+            StoreSrc::Node(n) => self.add_copy_edge(n, mn),
+            StoreSrc::Const(t) => self.add_targets(mn, [t]),
+        }
+    }
+
+    fn shift(&self, l: Loc, kind: &GepKind) -> Vec<Loc> {
+        let obj = &self.m.objects[l.obj];
+        match kind {
+            GepKind::Field(k) => {
+                if obj.is_array {
+                    vec![Loc { obj: l.obj, field: 0 }]
+                } else {
+                    let cell = l.field + k;
+                    if (cell as usize) < obj.field_classes.len() {
+                        vec![self.rep_loc(l.obj, cell)]
+                    } else {
+                        // Out-of-layout constant offset (dynamic heap blocks
+                        // repeat their element layout).
+                        vec![self.rep_loc(l.obj, cell)]
+                    }
+                }
+            }
+            GepKind::Dynamic => {
+                if obj.is_array {
+                    vec![Loc { obj: l.obj, field: 0 }]
+                } else {
+                    // Pointer arithmetic over a non-array object: be
+                    // conservative, hit every field class.
+                    let mut out: Vec<u32> = self.reps[&l.obj].clone();
+                    out.sort_unstable();
+                    out.dedup();
+                    out.into_iter().map(|field| Loc { obj: l.obj, field }).collect()
+                }
+            }
+        }
+    }
+
+    fn wire_call(&mut self, site: Site, g: FuncId) {
+        if !self.wired.insert((site, g)) {
+            return;
+        }
+        self.cg.add_edge(site, g);
+        let (args, dst) = self.site_info[&site].clone();
+        let callee = &self.m.funcs[g];
+        let params: Vec<VarId> = callee.params.clone();
+        for (p, a) in params.iter().zip(args.iter()) {
+            let pn = self.node(Node::Var(g, *p));
+            self.flow_into(site.func, *a, pn);
+        }
+        if let Some(d) = dst {
+            let dn = self.node(Node::Var(site.func, d));
+            let rn = self.node(Node::Ret(g));
+            self.add_copy_edge(rn, dn);
+        }
+    }
+
+    // ---- solving ---------------------------------------------------------
+
+    fn solve(&mut self) {
+        while let Some(n) = self.worklist.pop_front() {
+            let n = self.find(n);
+            self.in_wl[n as usize] = false;
+            let delta = std::mem::take(&mut self.delta[n as usize]);
+            if delta.is_empty() {
+                continue;
+            }
+            self.pops += 1;
+            if self.pops.is_multiple_of(20_000) {
+                self.collapse_cycles();
+            }
+
+            // Copy successors receive the delta.
+            let succs: Vec<u32> = self.copy_succs[n as usize].iter().copied().collect();
+            for s in succs {
+                self.add_targets(s, delta.iter().copied());
+            }
+            // Complex constraints react to new targets.
+            let loads = self.load_cons[n as usize].clone();
+            let stores = self.store_cons[n as usize].clone();
+            let geps = self.gep_cons[n as usize].clone();
+            let calls = self.call_cons[n as usize].clone();
+            for t in &delta {
+                match t {
+                    Target::Loc(l) => {
+                        for &d in &loads {
+                            let mn = self.node(Node::Mem(*l));
+                            self.add_copy_edge(mn, d);
+                        }
+                        for &src in &stores {
+                            self.apply_store(src, *l);
+                        }
+                        for (kind, d) in &geps {
+                            let shifted = self.shift(*l, kind);
+                            self.add_targets(*d, shifted.into_iter().map(Target::Loc));
+                        }
+                    }
+                    Target::Func(g) => {
+                        for &site in &calls {
+                            self.wire_call(site, *g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tarjan over copy edges; merges every nontrivial SCC into one node.
+    fn collapse_cycles(&mut self) {
+        let n = self.nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next = 0usize;
+        let mut call_stack: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+        let mut merges: Vec<Vec<u32>> = Vec::new();
+
+        for start in 0..n as u32 {
+            if self.parent[start as usize] != start || index[start as usize] != usize::MAX {
+                continue;
+            }
+            let raw: Vec<u32> = self.copy_succs[start as usize].iter().copied().collect();
+            let succs: Vec<u32> = raw.into_iter().map(|s| self.find(s)).collect();
+            call_stack.push((start, succs, 0));
+            index[start as usize] = next;
+            low[start as usize] = next;
+            next += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+
+            while let Some((v, succs, ei)) = call_stack.last_mut() {
+                let v = *v;
+                if *ei < succs.len() {
+                    let w = succs[*ei];
+                    *ei += 1;
+                    if index[w as usize] == usize::MAX {
+                        let raw: Vec<u32> =
+                            self.copy_succs[w as usize].iter().copied().collect();
+                        let wsuccs: Vec<u32> = raw.into_iter().map(|s| self.find(s)).collect();
+                        index[w as usize] = next;
+                        low[w as usize] = next;
+                        next += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        call_stack.push((w, wsuccs, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    if low[v as usize] == index[v as usize] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if comp.len() > 1 {
+                            merges.push(comp);
+                        }
+                    }
+                    call_stack.pop();
+                    if let Some((u, _, _)) = call_stack.last() {
+                        let u = *u;
+                        low[u as usize] = low[u as usize].min(low[v as usize]);
+                    }
+                }
+            }
+        }
+
+        for comp in merges {
+            let root = comp[0];
+            for &other in &comp[1..] {
+                self.merge(root, other);
+            }
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return;
+        }
+        self.parent[b as usize] = a;
+        let b_pts = std::mem::take(&mut self.pts[b as usize]);
+        let b_delta = std::mem::take(&mut self.delta[b as usize]);
+        let b_succs = std::mem::take(&mut self.copy_succs[b as usize]);
+        let b_loads = std::mem::take(&mut self.load_cons[b as usize]);
+        let b_stores = std::mem::take(&mut self.store_cons[b as usize]);
+        let b_geps = std::mem::take(&mut self.gep_cons[b as usize]);
+        let b_calls = std::mem::take(&mut self.call_cons[b as usize]);
+
+        // New targets for a = b's pts not already in a.
+        let mut fresh: Vec<Target> = Vec::new();
+        for t in b_pts {
+            if self.pts[a as usize].insert(t) {
+                fresh.push(t);
+            }
+        }
+        fresh.extend(b_delta.into_iter().filter(|t| !self.pts[a as usize].contains(t)));
+        self.delta[a as usize].extend(fresh);
+        for s in b_succs {
+            self.copy_succs[a as usize].insert(s);
+        }
+        self.load_cons[a as usize].extend(b_loads);
+        self.store_cons[a as usize].extend(b_stores);
+        self.gep_cons[a as usize].extend(b_geps);
+        self.call_cons[a as usize].extend(b_calls);
+        // Everything already in a's pts must be replayed against b's
+        // constraints; simplest sound move: re-add the full set as delta.
+        let all: Vec<Target> = self.pts[a as usize].iter().copied().collect();
+        self.delta[a as usize] = all;
+        self.enqueue(a);
+    }
+
+    // ---- finalization ----------------------------------------------------
+
+    fn finish(mut self) -> PointerAnalysis {
+        let loops: HashMap<FuncId, LoopInfo> = self
+            .m
+            .funcs
+            .iter_enumerated()
+            .map(|(f, func)| (f, LoopInfo::compute(func)))
+            .collect();
+        self.cg.finalize(self.m, &loops);
+
+        // Concrete objects: allocation executes at most once.
+        let mut concrete = HashSet::new();
+        for (oid, o) in self.m.objects.iter_enumerated() {
+            match o.kind {
+                usher_ir::ObjKind::Global => {
+                    concrete.insert(oid);
+                }
+                usher_ir::ObjKind::Stack(f) | usher_ir::ObjKind::Heap(f) => {
+                    if !self.cg.runs_once.contains(&f) || self.cg.recursive.contains(&f) {
+                        continue;
+                    }
+                    // Find the allocation block.
+                    let func = &self.m.funcs[f];
+                    let mut once = false;
+                    'outer: for (bb, block) in func.blocks.iter_enumerated() {
+                        for inst in &block.insts {
+                            if let Inst::Alloc { obj, .. } = inst {
+                                if *obj == oid {
+                                    once = !loops[&f].in_loop(bb);
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    if once {
+                        concrete.insert(oid);
+                    }
+                }
+            }
+        }
+
+        // Single-cell classes.
+        let mut single_cell: HashMap<Loc, bool> = HashMap::new();
+        for (oid, o) in self.m.objects.iter_enumerated() {
+            let reps = &self.reps[&oid];
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            for &r in reps {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+            for (&rep, &count) in &counts {
+                let dynamic = o.is_array;
+                single_cell.insert(Loc { obj: oid, field: rep }, count == 1 && !dynamic);
+            }
+        }
+
+        // Extract per-node results (resolving union-find).
+        let mut var_pts: HashMap<(FuncId, VarId), Vec<Target>> = HashMap::new();
+        let mut mem_pts: HashMap<Loc, Vec<Target>> = HashMap::new();
+        let entries: Vec<(Node, u32)> =
+            self.node_ids.iter().map(|(n, id)| (*n, *id)).collect();
+        for (nk, id) in entries {
+            let rep = self.find(id);
+            let ts: Vec<Target> = self.pts[rep as usize].iter().copied().collect();
+            match nk {
+                Node::Var(f, v) => {
+                    var_pts.insert((f, v), ts);
+                }
+                Node::Mem(l) => {
+                    mem_pts.insert(l, ts);
+                }
+                Node::Ret(_) => {}
+            }
+        }
+
+        PointerAnalysis {
+            var_pts,
+            mem_pts,
+            call_graph: self.cg,
+            loops,
+            concrete_objects: concrete,
+            reps: self.reps,
+            single_cell,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usher_ir::{Callee, FuncBuilder, Module, ObjKind, StructDef, Type};
+    use usher_frontend_shim::compile;
+
+    /// Tests compile tiny programs through a minimal local shim to avoid a
+    /// dev-dependency cycle; see the integration tests at the workspace
+    /// root for full-pipeline coverage.
+    mod usher_frontend_shim {
+        pub use test_build::compile;
+        mod test_build {
+            use usher_ir::*;
+
+            /// Builds: main { a = alloc x; b = alloc y; p = cond ? a : b;
+            /// *p = a; q = *p; } — classic Andersen diamond.
+            pub fn compile() -> (Module, FuncId, Vec<VarId>, Vec<ObjId>) {
+                let mut m = Module::new();
+                let int = m.types.int();
+                let fid = m.declare_func("main", None);
+                m.main = Some(fid);
+                let mut b = FuncBuilder::new(&mut m, fid);
+                let (a, xo) = b.alloc("x", ObjKind::Stack(fid), int, false, None);
+                let pint = b.module.types.ptr_to(int);
+                let (bv, yo) = b.alloc("y", ObjKind::Stack(fid), pint, false, None);
+                let t = b.new_block();
+                let e = b.new_block();
+                let j = b.new_block();
+                b.br(Operand::Const(1), t, e);
+                b.set_block(t);
+                b.jmp(j);
+                b.set_block(e);
+                b.jmp(j);
+                b.set_block(j);
+                let p = b.phi(pint, vec![(t, a.into()), (e, bv.into())]);
+                b.store(p.into(), a.into());
+                let q = b.load(p.into(), pint);
+                b.ret(None);
+                b.finish();
+                (m, fid, vec![a, bv, p, q], vec![xo, yo])
+            }
+        }
+    }
+
+    #[test]
+    fn phi_merges_points_to_sets() {
+        let (m, fid, vars, objs) = compile();
+        let pa = analyze(&m);
+        let p = vars[2];
+        let pts = pa.pts_var(fid, p);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.contains(&Loc { obj: objs[0], field: 0 }));
+        assert!(pts.contains(&Loc { obj: objs[1], field: 0 }));
+    }
+
+    #[test]
+    fn store_then_load_propagates_through_memory() {
+        let (m, fid, vars, objs) = compile();
+        let pa = analyze(&m);
+        // q := *p where *p may contain a (which points to x).
+        let q = vars[3];
+        let pts = pa.pts_var(fid, q);
+        assert!(pts.contains(&Loc { obj: objs[0], field: 0 }), "{pts:?}");
+    }
+
+    #[test]
+    fn concrete_objects_in_main_outside_loops() {
+        let (m, _fid, _vars, objs) = compile();
+        let pa = analyze(&m);
+        assert!(pa.is_concrete(Loc { obj: objs[0], field: 0 }));
+        assert!(pa.is_concrete(Loc { obj: objs[1], field: 0 }));
+    }
+
+    #[test]
+    fn unique_target_detects_singletons() {
+        let (m, fid, vars, objs) = compile();
+        let pa = analyze(&m);
+        let a = vars[0];
+        assert_eq!(pa.unique_target(fid, a.into()), Some(Loc { obj: objs[0], field: 0 }));
+        let p = vars[2];
+        assert_eq!(pa.unique_target(fid, p.into()), None);
+    }
+
+    #[test]
+    fn gep_field_shifts_target() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let s = m.types.add_struct(StructDef {
+            name: "P".into(),
+            fields: vec![("x".into(), int), ("y".into(), int)],
+        });
+        let sty = m.types.intern(Type::Struct(s));
+        let fid = m.declare_func("main", None);
+        m.main = Some(fid);
+        let mut b = FuncBuilder::new(&mut m, fid);
+        let (p, obj) = b.alloc("s", ObjKind::Stack(fid), sty, false, None);
+        let pint = b.module.types.ptr_to(int);
+        let g = b.gep_field(p.into(), 1, pint);
+        b.store(g.into(), Operand::Const(1));
+        b.ret(None);
+        b.finish();
+        let pa = analyze(&m);
+        assert_eq!(pa.pts_var(fid, g), vec![Loc { obj, field: 1 }]);
+    }
+
+    #[test]
+    fn dynamic_gep_on_array_stays_in_class_zero() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let arr = m.types.intern(Type::Array(int, 8));
+        let fid = m.declare_func("main", None);
+        m.main = Some(fid);
+        let mut b = FuncBuilder::new(&mut m, fid);
+        let (p, obj) = b.alloc("a", ObjKind::Stack(fid), arr, false, None);
+        let i = b.copy(int, Operand::Const(3));
+        let pint = b.module.types.ptr_to(int);
+        let g = b.gep_index(p.into(), i.into(), 1, pint);
+        b.store(g.into(), Operand::Const(1));
+        b.ret(None);
+        b.finish();
+        let pa = analyze(&m);
+        assert_eq!(pa.pts_var(fid, g), vec![Loc { obj, field: 0 }]);
+        // Array classes are never concrete for strong updates.
+        assert!(!pa.is_concrete(Loc { obj, field: 0 }));
+    }
+
+    #[test]
+    fn indirect_call_resolved_on_the_fly() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let fp = m.types.intern(Type::FuncPtr { params: 0, has_ret: true });
+        let gid = m.declare_func("g", Some(int));
+        let fid = m.declare_func("main", None);
+        m.main = Some(fid);
+        {
+            let mut b = FuncBuilder::new(&mut m, gid);
+            b.ret(Some(Operand::Const(7)));
+            b.finish();
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, fid);
+            let t = b.copy(fp, Operand::Func(gid));
+            b.call(Callee::Indirect(t.into()), vec![], Some(int));
+            b.ret(None);
+            b.finish();
+        }
+        let pa = analyze(&m);
+        let sites: Vec<_> = pa.call_graph.callees.keys().collect();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(pa.call_graph.callees_of(*sites[0]), &[gid]);
+    }
+
+    #[test]
+    fn interprocedural_flow_through_params_and_ret() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let pint = m.types.ptr_to(int);
+        let gid = m.declare_func("id", Some(pint));
+        let fid = m.declare_func("main", None);
+        m.main = Some(fid);
+        {
+            let mut b = FuncBuilder::new(&mut m, gid);
+            let p = b.param("p", pint);
+            b.ret(Some(p.into()));
+            b.finish();
+        }
+        let (q, obj);
+        {
+            let mut b = FuncBuilder::new(&mut m, fid);
+            let (a, o) = b.alloc("x", ObjKind::Stack(fid), int, false, None);
+            obj = o;
+            q = b.call(Callee::Direct(gid), vec![a.into()], Some(pint)).unwrap();
+            b.store(q.into(), Operand::Const(1));
+            b.ret(None);
+            b.finish();
+        }
+        let pa = analyze(&m);
+        assert_eq!(pa.pts_var(fid, q), vec![Loc { obj, field: 0 }]);
+    }
+
+    #[test]
+    fn global_operand_points_to_global_object() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let g = m.add_object("g", ObjKind::Global, int, true, false);
+        m.globals.push(g);
+        let fid = m.declare_func("main", None);
+        m.main = Some(fid);
+        let mut b = FuncBuilder::new(&mut m, fid);
+        let pint = b.module.types.ptr_to(int);
+        let p = b.copy(pint, Operand::Global(g));
+        b.store(p.into(), Operand::Const(3));
+        b.ret(None);
+        b.finish();
+        let pa = analyze(&m);
+        assert_eq!(pa.pts_var(fid, p), vec![Loc { obj: g, field: 0 }]);
+        assert!(pa.is_concrete(Loc { obj: g, field: 0 }));
+    }
+
+    #[test]
+    fn loop_allocation_is_not_concrete() {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let fid = m.declare_func("main", None);
+        m.main = Some(fid);
+        let mut b = FuncBuilder::new(&mut m, fid);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jmp(header);
+        b.set_block(header);
+        b.br(Operand::Const(1), body, exit);
+        b.set_block(body);
+        let (_p, obj) = b.alloc("x", ObjKind::Heap(fid), int, false, None);
+        b.jmp(header);
+        b.set_block(exit);
+        b.ret(None);
+        b.finish();
+        let pa = analyze(&m);
+        assert!(!pa.is_concrete(Loc { obj, field: 0 }));
+    }
+}

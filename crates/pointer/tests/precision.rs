@@ -1,0 +1,274 @@
+//! Precision and soundness coverage for the Andersen analysis, driven
+//! through real TinyC programs (dev-dependency on the frontend).
+
+use usher_frontend::compile_o0im;
+use usher_ir::{FuncId, Inst, Module, ObjKind, Operand};
+use usher_pointer::{analyze, PointerAnalysis};
+
+fn analyzed(src: &str) -> (Module, PointerAnalysis) {
+    let m = compile_o0im(src).expect("compiles");
+    let pa = analyze(&m);
+    (m, pa)
+}
+
+/// Points-to set of the address operand of the first store in `fname`.
+fn first_store_pts(m: &Module, pa: &PointerAnalysis, fname: &str) -> Vec<usher_pointer::Loc> {
+    let fid = m.func_by_name(fname).expect("function exists");
+    for block in m.funcs[fid].blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Store { addr, .. } = inst {
+                return pa.pts_operand(fid, *addr);
+            }
+        }
+    }
+    panic!("no store in {fname}");
+}
+
+#[test]
+fn field_sensitivity_separates_struct_fields() {
+    let (m, pa) = analyzed(
+        "struct P { int x; int y; };
+         def main() {
+             struct P p;
+             int *px = &p.x;
+             int *py = &p.y;
+             *px = 1;
+             *py = 2;
+         }",
+    );
+    let fid = m.main.unwrap();
+    // Find the two gep results.
+    let mut pts = Vec::new();
+    for block in m.funcs[fid].blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Store { addr: Operand::Var(v), .. } = inst {
+                pts.push(pa.pts_var(fid, *v));
+            }
+        }
+    }
+    assert_eq!(pts.len(), 2);
+    assert_eq!(pts[0].len(), 1);
+    assert_eq!(pts[1].len(), 1);
+    assert_ne!(pts[0][0], pts[1][0], "x and y must be distinct locations");
+    assert_eq!(pts[0][0].obj, pts[1][0].obj, "same object, different fields");
+}
+
+#[test]
+fn array_collapse_merges_element_accesses() {
+    let (m, pa) = analyzed(
+        "def main() {
+             int a[8];
+             int *p0 = &a[0];
+             int *p5 = &a[5];
+             *p0 = 1;
+             *p5 = 2;
+         }",
+    );
+    let fid = m.main.unwrap();
+    let mut pts = Vec::new();
+    for block in m.funcs[fid].blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Store { addr: Operand::Var(v), .. } = inst {
+                pts.push(pa.pts_var(fid, *v));
+            }
+        }
+    }
+    assert_eq!(pts[0], pts[1], "array elements share one class");
+}
+
+#[test]
+fn linked_structures_chase_through_memory() {
+    let (m, pa) = analyzed(
+        "struct N { int v; struct N *next; };
+         def main() -> int {
+             struct N a; struct N b;
+             a.next = &b;
+             struct N *p = a.next;
+             p->v = 3;
+             return 0;
+         }",
+    );
+    let pts = first_store_pts(&m, &pa, "main");
+    // The first store is `a.next = &b`; make sure *some* store reaches b.v.
+    let fid = m.main.unwrap();
+    let mut all_store_targets = Vec::new();
+    for block in m.funcs[fid].blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Store { addr, .. } = inst {
+                all_store_targets.extend(pa.pts_operand(fid, *addr));
+            }
+        }
+    }
+    let b_obj = m
+        .objects
+        .iter_enumerated()
+        .find(|(_, o)| o.name == "b" && matches!(o.kind, ObjKind::Stack(_)))
+        .map(|(i, _)| i)
+        .expect("b exists");
+    assert!(
+        all_store_targets.iter().any(|l| l.obj == b_obj && l.field == 0),
+        "p->v must reach b.v: {all_store_targets:?}"
+    );
+    let _ = pts;
+}
+
+#[test]
+fn indirect_call_through_stored_function_pointer() {
+    let (m, pa) = analyzed(
+        "struct Ops { fn(int) -> int apply; };
+         def double_it(int x) -> int { return x * 2; }
+         def main() -> int {
+             struct Ops ops;
+             ops.apply = double_it;
+             fn(int) -> int f = ops.apply;
+             return f(21);
+         }",
+    );
+    // The indirect call must resolve to double_it.
+    let target = m.func_by_name("double_it").unwrap();
+    let resolved: Vec<FuncId> = pa
+        .call_graph
+        .callees
+        .values()
+        .flatten()
+        .copied()
+        .collect();
+    assert!(resolved.contains(&target), "{resolved:?}");
+}
+
+#[test]
+fn distinct_heap_sites_stay_distinct() {
+    let (m, pa) = analyzed(
+        "def main() {
+             int *p; int *q;
+             p = malloc(2);
+             q = malloc(2);
+             *p = 1;
+             *q = 2;
+         }",
+    );
+    let fid = m.main.unwrap();
+    let mut pts = Vec::new();
+    for block in m.funcs[fid].blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Store { addr: Operand::Var(v), .. } = inst {
+                pts.push(pa.pts_var(fid, *v));
+            }
+        }
+    }
+    assert_eq!(pts[0].len(), 1);
+    assert_eq!(pts[1].len(), 1);
+    assert_ne!(pts[0][0].obj, pts[1][0].obj, "per-site heap abstraction");
+}
+
+#[test]
+fn wrapper_inlining_gives_per_callsite_heap_objects() {
+    // Without the inliner both pointers would share one abstract object.
+    let (m, pa) = analyzed(
+        "def mk() -> int* {
+             int *p;
+             p = malloc(1);
+             return p;
+         }
+         def main() {
+             int *a; int *b;
+             a = mk();
+             b = mk();
+             *a = 1;
+             *b = 2;
+         }",
+    );
+    let fid = m.main.unwrap();
+    let mut pts = Vec::new();
+    for block in m.funcs[fid].blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Store { addr: Operand::Var(v), .. } = inst {
+                pts.push(pa.pts_var(fid, *v));
+            }
+        }
+    }
+    assert_eq!(pts.len(), 2);
+    assert_eq!(pts[0].len(), 1, "{pts:?}");
+    assert_eq!(pts[1].len(), 1, "{pts:?}");
+    assert_ne!(pts[0][0].obj, pts[1][0].obj, "1-callsite heap cloning");
+}
+
+#[test]
+fn recursive_list_build_is_sound() {
+    let (m, pa) = analyzed(
+        "struct N { int v; struct N *next; };
+         def build(int n) -> struct N* {
+             if (n == 0) { return 0; }
+             struct N *node;
+             node = malloc(1);
+             node->v = n;
+             node->next = build(n - 1);
+             return node;
+         }
+         def main() -> int {
+             struct N *l = build(4);
+             int s = 0;
+             while (l != 0) { s = s + l->v; l = l->next; }
+             return s;
+         }",
+    );
+    // The loop's load of l->v must see the heap object from build.
+    let fid = m.main.unwrap();
+    let mut load_targets = Vec::new();
+    for block in m.funcs[fid].blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Load { addr, .. } = inst {
+                load_targets.extend(pa.pts_operand(fid, *addr));
+            }
+        }
+    }
+    assert!(
+        load_targets
+            .iter()
+            .any(|l| matches!(m.objects[l.obj].kind, ObjKind::Heap(_))),
+        "main must read the heap list: {load_targets:?}"
+    );
+    // build is recursive: its objects are not concrete.
+    for l in &load_targets {
+        if matches!(m.objects[l.obj].kind, ObjKind::Heap(_)) {
+            assert!(!pa.is_concrete(*l), "recursive allocation cannot be concrete");
+        }
+    }
+}
+
+#[test]
+fn globals_remain_concrete_under_aliasing() {
+    let (m, pa) = analyzed(
+        "int g;
+         def main() {
+             int *p = &g;
+             int *q = p;
+             *q = 5;
+         }",
+    );
+    let pts = first_store_pts(&m, &pa, "main");
+    assert_eq!(pts.len(), 1);
+    assert!(pa.is_concrete(pts[0]));
+}
+
+#[test]
+fn unique_target_rejects_fn_pointer_mixtures() {
+    let (m, pa) = analyzed(
+        "def f() -> int { return 1; }
+         def main() {
+             fn() -> int h = f;
+             h();
+         }",
+    );
+    let fid = m.main.unwrap();
+    // h holds only a function target: no memory location.
+    for block in m.funcs[fid].blocks.iter() {
+        for inst in &block.insts {
+            if let Inst::Call { callee: usher_ir::Callee::Indirect(Operand::Var(v)), .. } = inst {
+                assert!(pa.pts_var(fid, *v).is_empty());
+                assert_eq!(pa.fn_targets(fid, *v).len(), 1);
+                assert_eq!(pa.unique_target(fid, Operand::Var(*v)), None);
+            }
+        }
+    }
+}

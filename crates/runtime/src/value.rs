@@ -1,0 +1,183 @@
+//! Runtime values, traps, counters and run options.
+
+use usher_ir::{FuncId, Site};
+use usher_vfg::CheckKind;
+
+/// A runtime value. Every scalar cell/register holds one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// An integer (also the representation of the null pointer `0`).
+    Int(i64),
+    /// A pointer to a cell of a live instance.
+    Ptr(Addr),
+    /// A function pointer.
+    Func(FuncId),
+}
+
+impl Value {
+    /// Truthiness for branches: nonzero int, any pointer, any function.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Int(n) => n != 0,
+            Value::Ptr(_) | Value::Func(_) => true,
+        }
+    }
+}
+
+/// A concrete address: instance + cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Runtime instance index.
+    pub inst: u32,
+    /// Cell within the instance.
+    pub cell: u32,
+}
+
+/// Abnormal termination reasons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// Dereferencing a non-pointer (e.g. null).
+    NullDeref(Site),
+    /// Cell index outside the instance.
+    OutOfBounds(Site),
+    /// Access to a freed heap instance.
+    UseAfterFree(Site),
+    /// Indirect call to a non-function or wrong arity.
+    BadCallTarget(Site),
+    /// Integer division/remainder by zero.
+    DivByZero(Site),
+    /// `abort()` was called.
+    Abort(Site),
+    /// The step budget ran out (not an error for comparisons: both runs
+    /// execute the identical native prefix).
+    FuelExhausted,
+    /// Too many nested calls.
+    StackOverflow(Site),
+    /// An operation was applied to a value of the wrong kind.
+    TypeError(Site),
+    /// A heap allocation exceeded the configured size cap.
+    AllocTooLarge(Site),
+}
+
+/// A detected (or ground-truth) use of an undefined value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UndefEvent {
+    /// The critical statement.
+    pub site: Site,
+    /// What kind of critical operand.
+    pub kind: CheckKind,
+    /// Where the undefined value originated (the allocation or `undef`
+    /// producing statement), when the instrumentation tracked it — the
+    /// analogue of MSan's `-fsanitize-memory-track-origins`.
+    pub origin: Option<Site>,
+}
+
+/// Cost weights for the deterministic slowdown model. Defaults are
+/// calibrated so that full instrumentation of memory-heavy code lands in
+/// the ~3x region the paper reports for MSan.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Plain ALU / copy / phi instruction.
+    pub native_simple: u64,
+    /// Native load or store.
+    pub native_mem: u64,
+    /// Native call overhead.
+    pub native_call: u64,
+    /// Register-shadow operation (copy/and/set).
+    pub shadow_reg: u64,
+    /// Shadow-memory access (address translation + access, like MSan's
+    /// masked offset scheme).
+    pub shadow_mem: u64,
+    /// Shadow-memory initialisation per cell (amortised memset).
+    pub shadow_mem_init_per_cell: u64,
+    /// A runtime check (compare + branch).
+    pub shadow_check: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            native_simple: 1,
+            native_mem: 2,
+            native_call: 3,
+            shadow_reg: 1,
+            shadow_mem: 8,
+            shadow_mem_init_per_cell: 1,
+            shadow_check: 4,
+        }
+    }
+}
+
+/// Execution counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Native instructions executed (incl. terminators).
+    pub native_ops: u64,
+    /// Shadow operations executed.
+    pub shadow_ops: u64,
+    /// Checks executed.
+    pub checks_executed: u64,
+    /// Weighted native cost.
+    pub native_cost: u64,
+    /// Weighted shadow cost.
+    pub shadow_cost: u64,
+}
+
+impl Counters {
+    /// Slowdown percentage relative to native cost, the y-axis of the
+    /// paper's Figure 10.
+    pub fn slowdown_pct(&self) -> f64 {
+        if self.native_cost == 0 {
+            return 0.0;
+        }
+        100.0 * self.shadow_cost as f64 / self.native_cost as f64
+    }
+}
+
+/// Interpreter options.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Native-step budget.
+    pub fuel: u64,
+    /// Seed for the deterministic `input()` stream.
+    pub input_seed: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+    /// Cap on a single heap allocation, in cells.
+    pub max_alloc_cells: u64,
+    /// Cost weights.
+    pub cost: CostModel,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            fuel: 50_000_000,
+            input_seed: 0x5eed,
+            max_depth: 4096,
+            max_alloc_cells: 1 << 22,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(Value::Ptr(Addr { inst: 0, cell: 0 }).truthy());
+        assert!(Value::Func(FuncId(0)).truthy());
+    }
+
+    #[test]
+    fn slowdown_pct_is_relative_to_native() {
+        let c = Counters { native_cost: 100, shadow_cost: 250, ..Default::default() };
+        assert!((c.slowdown_pct() - 250.0).abs() < 1e-9);
+        let zero = Counters::default();
+        assert_eq!(zero.slowdown_pct(), 0.0);
+    }
+}

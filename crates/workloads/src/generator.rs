@@ -1,0 +1,320 @@
+//! A seeded random TinyC program generator for property-based testing.
+//!
+//! Generated programs are memory-safe by construction (all derefs go to
+//! live locals, globals or constant-size heap blocks with in-bounds
+//! constant indices; all loops are bounded counters), terminate, and are
+//! deterministic — so every generated program can be executed natively,
+//! under full instrumentation, and under every Usher configuration, and
+//! the detector outputs compared. Locals are *sometimes deliberately left
+//! uninitialized* and conditionally assigned, which is the whole point:
+//! the corpus exercises real flows of undefined values.
+
+use std::fmt::Write as _;
+
+/// A tiny deterministic RNG (xorshift64*), so the generator does not pull
+/// in `rand` for reproducibility-critical paths.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Coin flip with probability `pct`%.
+    pub fn pct(&mut self, pct: usize) -> bool {
+        self.below(100) < pct
+    }
+}
+
+/// Shape parameters for generated programs.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Number of helper functions (besides `main`).
+    pub helpers: usize,
+    /// Maximum statements per block.
+    pub max_stmts: usize,
+    /// Probability (%) that a local is left uninitialized at declaration.
+    pub uninit_pct: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { helpers: 3, max_stmts: 7, uninit_pct: 35 }
+    }
+}
+
+struct GenCtx {
+    rng: Rng,
+    cfg: GenConfig,
+    /// Int-typed variables in scope.
+    ints: Vec<String>,
+    /// Pointer variables in scope, with the cell count of their target.
+    ptrs: Vec<(String, usize)>,
+    /// Live loop counters: readable but never assignment targets, so
+    /// every generated loop terminates.
+    counters: Vec<String>,
+    next_var: usize,
+    depth: usize,
+}
+
+impl GenCtx {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_var += 1;
+        format!("{prefix}{}", self.next_var)
+    }
+
+    fn int_expr(&mut self, budget: usize) -> String {
+        if budget == 0 || self.ints.is_empty() || self.rng.pct(30) {
+            return format!("{}", self.rng.below(100));
+        }
+        match self.rng.below(6) {
+            0 => self.ints[self.rng.below(self.ints.len())].clone(),
+            1 => {
+                let a = self.int_expr(budget - 1);
+                let b = self.int_expr(budget - 1);
+                let op = ["+", "-", "*", "&", "|", "^"][self.rng.below(6)];
+                format!("({a} {op} {b})")
+            }
+            2 => {
+                let a = self.int_expr(budget - 1);
+                let b = self.int_expr(budget - 1);
+                let op = ["<", "<=", ">", ">=", "==", "!="][self.rng.below(6)];
+                format!("({a} {op} {b})")
+            }
+            3 if !self.ptrs.is_empty() => {
+                // In-bounds read through a pointer.
+                let (p, cells) = self.ptrs[self.rng.below(self.ptrs.len())].clone();
+                let i = self.rng.below(cells);
+                format!("*({p} + {i})")
+            }
+            4 => {
+                let a = self.int_expr(budget - 1);
+                // Division by a guaranteed nonzero constant.
+                format!("({a} / {})", self.rng.below(9) + 1)
+            }
+            _ => "input()".to_string(),
+        }
+    }
+
+    fn stmts(&mut self, out: &mut String, indent: usize) {
+        let n = 1 + self.rng.below(self.cfg.max_stmts);
+        for _ in 0..n {
+            self.stmt(out, indent);
+        }
+    }
+
+    fn pad(indent: usize) -> String {
+        "    ".repeat(indent)
+    }
+
+    fn stmt(&mut self, out: &mut String, indent: usize) {
+        let pad = Self::pad(indent);
+        let choice = self.rng.below(10);
+        match choice {
+            // New int local, possibly uninitialized.
+            0 | 1 => {
+                let v = self.fresh("v");
+                let uninit = self.rng.pct(self.cfg.uninit_pct);
+                if uninit {
+                    let _ = writeln!(out, "{pad}int {v};");
+                    // Maybe conditionally assign it.
+                    if self.rng.pct(60) {
+                        let c = self.int_expr(1);
+                        let e = self.int_expr(1);
+                        let _ =
+                            writeln!(out, "{pad}if ({c}) {{ {v} = {e}; }}");
+                    }
+                } else {
+                    let e = self.int_expr(2);
+                    let _ = writeln!(out, "{pad}int {v} = {e};");
+                }
+                self.ints.push(v);
+            }
+            // Heap block (constant size), fully or partially initialized.
+            2 => {
+                let p = self.fresh("p");
+                let cells = 2 + self.rng.below(6);
+                let zero = self.rng.pct(40);
+                let f = if zero { "calloc" } else { "malloc" };
+                let _ = writeln!(out, "{pad}int *{p};");
+                let _ = writeln!(out, "{pad}{p} = {f}({cells});");
+                if !zero && self.rng.pct(70) {
+                    // Initialize a prefix of the block.
+                    let init = self.rng.below(cells + 1);
+                    for i in 0..init {
+                        let e = self.int_expr(1);
+                        let _ = writeln!(out, "{pad}*({p} + {i}) = {e};");
+                    }
+                }
+                self.ptrs.push((p, cells));
+            }
+            // Assignment to an existing variable (never a loop counter).
+            3 | 4 => {
+                let assignable: Vec<String> = self
+                    .ints
+                    .iter()
+                    .filter(|v| !self.counters.contains(v))
+                    .cloned()
+                    .collect();
+                if let Some(v) = pick(&mut self.rng, &assignable) {
+                    let e = self.int_expr(2);
+                    let _ = writeln!(out, "{pad}{v} = {e};");
+                }
+            }
+            // Store through a pointer.
+            5 => {
+                if !self.ptrs.is_empty() {
+                    let (p, cells) = self.ptrs[self.rng.below(self.ptrs.len())].clone();
+                    let i = self.rng.below(cells);
+                    let e = self.int_expr(2);
+                    let _ = writeln!(out, "{pad}*({p} + {i}) = {e};");
+                }
+            }
+            // If / if-else.
+            6 | 7 if self.depth < 3 => {
+                let c = self.int_expr(2);
+                let _ = writeln!(out, "{pad}if ({c}) {{");
+                self.nest(out, indent + 1);
+                if self.rng.pct(50) {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    self.nest(out, indent + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            // Bounded loop.
+            8 if self.depth < 2 => {
+                let i = self.fresh("i");
+                let bound = 2 + self.rng.below(6);
+                let _ = writeln!(
+                    out,
+                    "{pad}for (int {i} = 0; {i} < {bound}; {i} = {i} + 1) {{"
+                );
+                self.ints.push(i.clone());
+                self.counters.push(i.clone());
+                self.nest(out, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+                self.ints.retain(|v| v != &i);
+                self.counters.retain(|v| v != &i);
+            }
+            // Print something (keeps values observable).
+            _ => {
+                let e = self.int_expr(1);
+                let _ = writeln!(out, "{pad}print({e});");
+            }
+        }
+    }
+
+    fn nest(&mut self, out: &mut String, indent: usize) {
+        self.depth += 1;
+        let ints_mark = self.ints.len();
+        let ptrs_mark = self.ptrs.len();
+        self.stmts(out, indent);
+        self.ints.truncate(ints_mark);
+        self.ptrs.truncate(ptrs_mark);
+        self.depth -= 1;
+    }
+}
+
+fn pick(rng: &mut Rng, pool: &[String]) -> Option<String> {
+    if pool.is_empty() {
+        None
+    } else {
+        Some(pool[rng.below(pool.len())].clone())
+    }
+}
+
+/// Generates one memory-safe, terminating TinyC program from a seed.
+pub fn generate(seed: u64, cfg: GenConfig) -> String {
+    let mut ctx = GenCtx {
+        rng: Rng::new(seed),
+        cfg,
+        ints: Vec::new(),
+        ptrs: Vec::new(),
+        counters: Vec::new(),
+        next_var: 0,
+        depth: 0,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "// generated from seed {seed}");
+    let _ = writeln!(out, "int shared;");
+
+    // Helper functions taking and returning ints.
+    let mut helper_names = Vec::new();
+    for h in 0..ctx.cfg.helpers {
+        let name = format!("helper{h}");
+        let _ = writeln!(out, "def {name}(int a, int b) -> int {{");
+        ctx.ints = vec!["a".into(), "b".into()];
+        ctx.ptrs.clear();
+        ctx.stmts(&mut out, 1);
+        let ret = ctx.int_expr(2);
+        let _ = writeln!(out, "    return {ret};");
+        let _ = writeln!(out, "}}");
+        helper_names.push(name);
+    }
+
+    let _ = writeln!(out, "def main() -> int {{");
+    ctx.ints = vec![];
+    ctx.ptrs.clear();
+    ctx.stmts(&mut out, 1);
+    // Calls into helpers so interprocedural flow is exercised.
+    for name in &helper_names {
+        let a = ctx.int_expr(1);
+        let b = ctx.int_expr(1);
+        let v = ctx.fresh("r");
+        let _ = writeln!(out, "    int {v} = {name}({a}, {b});");
+        ctx.ints.push(v);
+    }
+    ctx.stmts(&mut out, 1);
+    let ret = ctx.int_expr(2);
+    let _ = writeln!(out, "    shared = {ret};");
+    let _ = writeln!(out, "    print(shared);");
+    let _ = writeln!(out, "    return 0;");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, GenConfig::default());
+        let b = generate(42, GenConfig::default());
+        assert_eq!(a, b);
+        let c = generate(43, GenConfig::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_programs_have_main_and_helpers() {
+        let src = generate(7, GenConfig::default());
+        assert!(src.contains("def main()"));
+        assert!(src.contains("def helper0"));
+    }
+
+    #[test]
+    fn rng_below_is_in_range() {
+        let mut r = Rng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! # usher-workloads
+//!
+//! The benchmark suite of the reproduction: 15 synthetic TinyC programs
+//! modelled after the SPEC CPU2000 C benchmarks the paper evaluates on,
+//! plus a seeded random-program generator for property-based testing.
+//!
+//! ```
+//! use usher_workloads::{all_workloads, Scale};
+//!
+//! let suite = all_workloads(Scale::TEST);
+//! assert_eq!(suite.len(), 15);
+//! let gzip = &suite[0];
+//! assert_eq!(gzip.name, "164.gzip");
+//! let module = gzip.compile_o0im().unwrap();
+//! assert!(module.is_runnable());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod programs;
+
+pub use generator::{generate, GenConfig, Rng};
+
+use usher_frontend::CompileError;
+use usher_ir::{Module, OptLevel};
+
+/// Workload size. `@N@` in the templates becomes `n`; derived holes
+/// (`@R@`, `@NNZ@` for the CSR kernel) scale with it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Primary scale constant.
+    pub n: usize,
+}
+
+impl Scale {
+    /// Small inputs for unit/integration tests.
+    pub const TEST: Scale = Scale { n: 96 };
+    /// Reference inputs for the benchmark harness.
+    pub const REF: Scale = Scale { n: 1536 };
+}
+
+/// One benchmark program.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// SPEC-style name (e.g. `181.mcf`).
+    pub name: &'static str,
+    /// One-line description of the modelled behaviour.
+    pub description: &'static str,
+    /// Instantiated TinyC source.
+    pub source: String,
+}
+
+impl Workload {
+    /// Compiles under `O0+IM` (the paper's default configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end errors (the suite is tested to be error-free).
+    pub fn compile_o0im(&self) -> Result<Module, CompileError> {
+        usher_frontend::compile_o0im(&self.source)
+    }
+
+    /// Compiles under an explicit optimization level (Section 4.6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end errors.
+    pub fn compile_with(&self, level: OptLevel) -> Result<Module, CompileError> {
+        usher_frontend::compile_with(&self.source, level)
+    }
+}
+
+/// Instantiates the whole suite at a scale.
+pub fn all_workloads(scale: Scale) -> Vec<Workload> {
+    programs::PROGRAMS
+        .iter()
+        .map(|(name, description, template)| Workload {
+            name,
+            description,
+            source: instantiate(template, scale),
+        })
+        .collect()
+}
+
+/// Finds one workload by (suffix of its) name.
+pub fn workload(name: &str, scale: Scale) -> Option<Workload> {
+    all_workloads(scale).into_iter().find(|w| w.name == name || w.name.ends_with(name))
+}
+
+fn instantiate(template: &str, scale: Scale) -> String {
+    let n = scale.n.max(64);
+    let rows = n / 4 + 1;
+    let nnz = (rows - 1) * 4;
+    template
+        .replace("@N@", &n.to_string())
+        .replace("@R@", &rows.to_string())
+        .replace("@NNZ@", &nnz.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fifteen_compile_at_test_scale() {
+        for w in all_workloads(Scale::TEST) {
+            let m = w.compile_o0im();
+            assert!(m.is_ok(), "{} failed to compile: {:?}", w.name, m.err());
+            assert!(m.unwrap().is_runnable(), "{} has no main", w.name);
+        }
+    }
+
+    #[test]
+    fn all_fifteen_compile_at_ref_scale() {
+        for w in all_workloads(Scale::REF) {
+            assert!(w.compile_o0im().is_ok(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn workload_lookup_by_suffix() {
+        assert!(workload("mcf", Scale::TEST).is_some());
+        assert!(workload("181.mcf", Scale::TEST).is_some());
+        assert!(workload("nonexistent", Scale::TEST).is_none());
+    }
+
+    #[test]
+    fn scales_change_the_source() {
+        let a = workload("gzip", Scale::TEST).unwrap();
+        let b = workload("gzip", Scale::REF).unwrap();
+        assert_ne!(a.source, b.source);
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..40u64 {
+            let src = generate(seed, GenConfig::default());
+            let r = usher_frontend::compile_o0im(&src);
+            assert!(r.is_ok(), "seed {seed}: {:?}\n{src}", r.err());
+        }
+    }
+
+    #[test]
+    fn suite_compiles_at_o1_and_o2() {
+        for w in all_workloads(Scale::TEST) {
+            assert!(w.compile_with(OptLevel::O1).is_ok(), "{} at O1", w.name);
+            assert!(w.compile_with(OptLevel::O2).is_ok(), "{} at O2", w.name);
+        }
+    }
+}

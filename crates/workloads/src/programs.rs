@@ -1,0 +1,1070 @@
+//! The 15 synthetic SPEC CPU2000 C workloads, written in TinyC.
+//!
+//! Each program mirrors the dominant computational pattern of its
+//! namesake (hash-chain compression for gzip, pointer-chasing network
+//! flow for mcf, a recursive-descent parser for parser, ...), prints a
+//! checksum so semantic preservation is observable, and is parameterized
+//! by a scale constant `@N@` substituted at build time.
+//!
+//! `197.parser` deliberately contains one genuine interprocedural use of
+//! an undefined value, mirroring the real bug the paper's tools found in
+//! that benchmark's `ppmatch()`.
+
+/// (name, description, TinyC source template with `@N@` scale holes).
+pub const PROGRAMS: [(&str, &str, &str); 15] = [
+    ("164.gzip", "LZ77-style hash-chain compressor over a synthetic buffer", GZIP),
+    ("175.vpr", "FPGA placement: grid of cells, cost-driven swaps", VPR),
+    ("176.gcc", "compiler-ish: expression trees, constant folding, fnptr pass pipeline", GCC),
+    ("177.mesa", "3D pipeline: fixed-point vertex transform and lighting", MESA),
+    ("179.art", "neural-network image matcher over weight matrices", ART),
+    ("181.mcf", "network simplex: pointer-chasing over arcs and nodes", MCF),
+    ("183.equake", "sparse matrix-vector product (CSR) earthquake kernel", EQUAKE),
+    ("186.crafty", "bitboard chess kernel: shifts, masks, popcounts", CRAFTY),
+    ("188.ammp", "molecular dynamics: force accumulation over an atom list", AMMP),
+    ("197.parser", "recursive-descent parser with heap AST (contains one real bug)", PARSER),
+    ("253.perlbmk", "bytecode interpreter: dispatch loop, operand stack, hash table", PERLBMK),
+    ("254.gap", "computer algebra: arena allocator and list workspace", GAP),
+    ("255.vortex", "object database: record store/load traffic", VORTEX),
+    ("256.bzip2", "block-sorting compressor: counting sort and MTF", BZIP2),
+    ("300.twolf", "standard-cell placement by simulated annealing", TWOLF),
+];
+
+const GZIP: &str = r#"
+// 164.gzip analogue: hash-chain LZ77 over a malloc'd window. The window
+// and link buffers are heap blocks initialized by loops — defined at run
+// time, but statically unprovable (array weak updates cannot kill the
+// allocation's F), the typical residual MSan/Usher both must track.
+int hash_head[64];
+int bytes_in;
+int bytes_out;
+
+def fill_window(int *window, int *prev_link, int n) {
+    int seed = 11;
+    for (int i = 0; i < n; i = i + 1) {
+        seed = (seed * 61 + 17) % 251;
+        window[i] = seed;
+        prev_link[i] = 0;
+    }
+}
+
+def hash3(int a, int b, int c) -> int {
+    return ((a * 31 + b) * 31 + c) % 64;
+}
+
+def longest_match(int *window, int pos, int cand, int n) -> int {
+    int len = 0;
+    while (pos + len < n && len < 32) {
+        if (window[cand + len] != window[pos + len]) { break; }
+        len = len + 1;
+    }
+    return len;
+}
+
+def deflate(int *window, int *prev_link, int n) -> int {
+    int emitted = 0;
+    int pos = 0;
+    while (pos + 3 < n) {
+        int h = hash3(window[pos], window[pos + 1], window[pos + 2]);
+        int cand = hash_head[h];
+        int best = 0;
+        if (cand > 0 && cand < pos) {
+            best = longest_match(window, pos, cand, n);
+        }
+        prev_link[pos] = cand;
+        hash_head[h] = pos;
+        if (best >= 3) {
+            emitted = emitted + 2;
+            pos = pos + best;
+        } else {
+            emitted = emitted + 1;
+            pos = pos + 1;
+        }
+    }
+    return emitted;
+}
+
+def main() -> int {
+    int n = @N@;
+    int *window;
+    int *prev_link;
+    window = malloc(n);
+    prev_link = malloc(n);
+    fill_window(window, prev_link, n);
+    bytes_in = n;
+    int out = deflate(window, prev_link, n);
+    bytes_out = out;
+    int check = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        check = (check + window[i] * prev_link[i]) % 65521;
+    }
+    print(out);
+    print(check + bytes_in - bytes_out);
+    return 0;
+}
+"#;
+
+const VPR: &str = r#"
+// 175.vpr analogue: cells on a grid, greedy cost-improving swaps.
+struct Cell { int x; int y; int kind; };
+int grid[@N@];
+
+def cost_of(struct Cell *cells, int ncells) -> int {
+    int total = 0;
+    for (int i = 1; i < ncells; i = i + 1) {
+        int dx = (cells + i)->x - (cells + i - 1)->x;
+        int dy = (cells + i)->y - (cells + i - 1)->y;
+        if (dx < 0) { dx = 0 - dx; }
+        if (dy < 0) { dy = 0 - dy; }
+        total = total + dx + dy;
+    }
+    return total;
+}
+
+def try_swap(struct Cell *cells, int a, int b) -> int {
+    int tx = (cells + a)->x;
+    int ty = (cells + a)->y;
+    (cells + a)->x = (cells + b)->x;
+    (cells + a)->y = (cells + b)->y;
+    (cells + b)->x = tx;
+    (cells + b)->y = ty;
+    return 1;
+}
+
+def main() -> int {
+    int side = 16;
+    int ncells = @N@ / 4 + 8;
+    struct Cell *cells;
+    cells = malloc(ncells);
+    int seed = 7;
+    for (int i = 0; i < ncells; i = i + 1) {
+        seed = (seed * 137 + 29) % 4093;
+        (cells + i)->x = seed % side;
+        (cells + i)->y = (seed / side) % side;
+        (cells + i)->kind = seed % 3;
+        grid[i % @N@] = i;
+    }
+    int best = cost_of(cells, ncells);
+    for (int pass = 0; pass < 12; pass = pass + 1) {
+        for (int i = 0; i + 1 < ncells; i = i + 2) {
+            try_swap(cells, i, i + 1);
+            int c = cost_of(cells, ncells);
+            if (c > best) {
+                try_swap(cells, i, i + 1);
+            } else {
+                best = c;
+            }
+        }
+    }
+    print(best);
+    print(grid[3]);
+    return 0;
+}
+"#;
+
+const GCC: &str = r#"
+// 176.gcc analogue: build expression trees on the heap, fold constants,
+// run a small pass pipeline through function pointers.
+struct Expr { int op; int val; int aux; struct Expr *lhs; struct Expr *rhs; };
+
+struct Expr *pool;
+int pool_top;
+
+def pool_get() -> struct Expr* {
+    struct Expr *e = pool + pool_top;
+    pool_top = pool_top + 1;
+    if (pool_top >= @N@) { pool_top = 0; }
+    return e;
+}
+
+def mk_leaf(int v) -> struct Expr* {
+    struct Expr *e = pool_get();
+    e->op = 0;
+    e->val = v;
+    e->lhs = 0;
+    e->rhs = 0;
+    return e;
+}
+
+def mk_node(int op, struct Expr *l, struct Expr *r) -> struct Expr* {
+    struct Expr *e = pool_get();
+    e->op = op;
+    e->val = 0;
+    e->aux = op * 16;
+    e->lhs = l;
+    e->rhs = r;
+    return e;
+}
+
+def eval_expr(struct Expr *e) -> int {
+    if (e->op == 0) { return e->val; }
+    int a = eval_expr(e->lhs);
+    int b = eval_expr(e->rhs);
+    if (e->op == 1) { return a + b; }
+    if (e->op == 2) { return a - b; }
+    return a * b;
+}
+
+def fold(struct Expr *e) -> int {
+    if (e->op == 0) { return 0; }
+    int folded = fold(e->lhs) + fold(e->rhs);
+    if (e->lhs->op == 0 && e->rhs->op == 0) {
+        e->val = eval_expr(e);
+        e->op = 0;
+        folded = folded + 1;
+    }
+    return folded;
+}
+
+def count_nodes(struct Expr *e) -> int {
+    if (e->op == 0) { return 1; }
+    // aux is only initialized on interior nodes; leaves never set it, so
+    // this branch condition is statically Bot (dynamically fine).
+    int extra = 0;
+    if (e->aux % 2 == 1) { extra = 1; }
+    return 1 + extra + count_nodes(e->lhs) + count_nodes(e->rhs);
+}
+
+def build(int depth, int seed) -> struct Expr* {
+    if (depth <= 0) { return mk_leaf(seed % 9 + 1); }
+    struct Expr *l = build(depth - 1, seed * 3 + 1);
+    struct Expr *r = build(depth - 1, seed * 5 + 2);
+    return mk_node(seed % 3 + 1, l, r);
+}
+
+def run_pass(fn(struct Expr*) -> int pass, struct Expr *e) -> int {
+    return pass(e);
+}
+
+def main() -> int {
+    pool = malloc(@N@);
+    pool_top = 0;
+    int rounds = @N@ / 64 + 2;
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        struct Expr *tree = build(5, r + 3);
+        check = check + run_pass(eval_expr, tree);
+        check = check + run_pass(fold, tree);
+        check = check + run_pass(count_nodes, tree);
+        check = check % 999983;
+    }
+    print(check);
+    return 0;
+}
+"#;
+
+const MESA: &str = r#"
+// 177.mesa analogue: fixed-point vertex transform + diffuse lighting.
+struct Vtx { int x; int y; int z; int lit; };
+int mat[16];
+int frames_done;
+
+def set_identity() {
+    for (int i = 0; i < 16; i = i + 1) { mat[i] = 0; }
+    mat[0] = 256; mat[5] = 256; mat[10] = 256; mat[15] = 256;
+}
+
+def rotate_a_bit(int angle) {
+    // crude integer cos/sin via table-free approximations
+    int c = 256 - (angle * angle) / 128;
+    int s = angle * 2;
+    mat[0] = c; mat[1] = 0 - s;
+    mat[4] = s; mat[5] = c;
+}
+
+def transform(struct Vtx *v) {
+    int nx = (mat[0] * v->x + mat[1] * v->y + mat[2] * v->z) / 256;
+    int ny = (mat[4] * v->x + mat[5] * v->y + mat[6] * v->z) / 256;
+    int nz = (mat[8] * v->x + mat[9] * v->y + mat[10] * v->z) / 256;
+    v->x = nx; v->y = ny; v->z = nz;
+}
+
+def light(struct Vtx *v, int lx, int ly, int lz) {
+    int dot = v->x * lx + v->y * ly + v->z * lz;
+    if (dot < 0) { dot = 0; }
+    v->lit = dot / 64;
+}
+
+def main() -> int {
+    int nverts = @N@;
+    struct Vtx *verts;
+    verts = malloc(nverts);
+    int seed = 5;
+    for (int i = 0; i < nverts; i = i + 1) {
+        seed = (seed * 73 + 11) % 509;
+        (verts + i)->x = seed - 250;
+        (verts + i)->y = (seed * 3) % 101 - 50;
+        (verts + i)->z = (seed * 7) % 67 - 33;
+        (verts + i)->lit = 0;
+    }
+    set_identity();
+    int check = 0;
+    for (int frame = 0; frame < 8; frame = frame + 1) {
+        frames_done = frame + 1;
+        rotate_a_bit(frame * 3);
+        for (int i = 0; i < nverts; i = i + 1) {
+            transform(verts + i);
+            light(verts + i, 10, 7, 3);
+            check = (check + (verts + i)->lit) % 1000003;
+        }
+    }
+    print(check + frames_done);
+    return 0;
+}
+"#;
+
+const ART: &str = r#"
+// 179.art analogue: adaptive resonance matching of scaled-int vectors
+// over heap-allocated weight matrices.
+int *input_vec;
+int *f1_weights;
+int *f2_weights;
+
+def prime_weights(int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        f1_weights[i] = (i * 37 + 11) % 97;
+        f2_weights[i] = (i * 53 + 7) % 89;
+    }
+}
+
+def present(int n, int offset) -> int {
+    for (int j = 0; j < 64; j = j + 1) {
+        input_vec[j] = ((j + offset) * 29) % 83;
+    }
+    int winner = 0;
+    int best = 0 - 1000000;
+    for (int i = 0; i + 64 <= n; i = i + 64) {
+        int act = 0;
+        for (int j = 0; j < 64; j = j + 1) {
+            act = act + f1_weights[i + j] * input_vec[j];
+        }
+        if (act > best) { best = act; winner = i; }
+    }
+    // resonance: adapt the winner's weights
+    for (int j = 0; j < 64; j = j + 1) {
+        int w = f2_weights[winner + j];
+        f2_weights[winner + j] = (w * 3 + input_vec[j]) / 4;
+    }
+    return winner;
+}
+
+def main() -> int {
+    int n = @N@;
+    input_vec = malloc(64);
+    f1_weights = malloc(n);
+    f2_weights = malloc(n);
+    prime_weights(n);
+    int check = 0;
+    for (int img = 0; img < 24; img = img + 1) {
+        check = (check + present(n, img * 13)) % 65521;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        check = (check + f2_weights[i]) % 65521;
+    }
+    print(check);
+    return 0;
+}
+"#;
+
+const MCF: &str = r#"
+// 181.mcf analogue: min-cost-flow-ish pointer chasing over arcs/nodes.
+struct NodeM { int potential; int flow; struct NodeM *parent; };
+struct Arc { int cost; int cap; int flow; struct NodeM *tail; struct NodeM *head; };
+
+def relax(struct Arc *arcs, int narcs) -> int {
+    int improved = 0;
+    for (int i = 0; i < narcs; i = i + 1) {
+        struct Arc *a = arcs + i;
+        int red = a->cost + a->tail->potential - a->head->potential;
+        if (red < 0 && a->cap > a->flow) {
+            a->head->potential = a->tail->potential + a->cost;
+            a->head->parent = a->tail;
+            a->flow = a->flow + 1;
+            improved = improved + 1;
+        }
+    }
+    return improved;
+}
+
+def main() -> int {
+    int nnodes = @N@ / 4 + 16;
+    int narcs = nnodes * 3;
+    struct NodeM *nodes;
+    struct Arc *arcs;
+    nodes = calloc(nnodes);
+    arcs = calloc(narcs);
+    int seed = 13;
+    for (int i = 0; i < narcs; i = i + 1) {
+        seed = (seed * 97 + 41) % 8191;
+        (arcs + i)->cost = seed % 100 - 50;
+        (arcs + i)->cap = seed % 17 + 1;
+        (arcs + i)->tail = nodes + (seed % nnodes);
+        (arcs + i)->head = nodes + ((seed * 7 + 3) % nnodes);
+    }
+    int total = 0;
+    for (int round = 0; round < 20; round = round + 1) {
+        int got = relax(arcs, narcs);
+        total = total + got;
+        if (got == 0) { break; }
+    }
+    int check = 0;
+    for (int i = 0; i < nnodes; i = i + 1) {
+        check = (check + (nodes + i)->potential) % 1000033;
+    }
+    print(total);
+    print(check);
+    return 0;
+}
+"#;
+
+const EQUAKE: &str = r#"
+// 183.equake analogue: CSR sparse matrix-vector products.
+int row_start[@R@];
+int *col_idx;
+int *values;
+int *xvec;
+int *yvec;
+
+def build_matrix(int rows, int per_row) {
+    int nz = 0;
+    int seed = 3;
+    for (int r = 0; r < rows; r = r + 1) {
+        row_start[r] = nz;
+        for (int k = 0; k < per_row; k = k + 1) {
+            seed = (seed * 193 + 71) % 16381;
+            col_idx[nz] = seed % rows;
+            values[nz] = seed % 19 - 9;
+            nz = nz + 1;
+        }
+    }
+    row_start[rows] = nz;
+}
+
+def spmv(int rows) {
+    for (int r = 0; r < rows; r = r + 1) {
+        int acc = 0;
+        for (int k = row_start[r]; k < row_start[r + 1]; k = k + 1) {
+            acc = acc + values[k] * xvec[col_idx[k]];
+        }
+        yvec[r] = acc;
+    }
+}
+
+def main() -> int {
+    int rows = @R@ - 1;
+    int per_row = 4;
+    col_idx = malloc(@NNZ@);
+    values = malloc(@NNZ@);
+    xvec = malloc(rows);
+    yvec = malloc(rows);
+    build_matrix(rows, per_row);
+    for (int r = 0; r < rows; r = r + 1) { xvec[r] = r % 13 + 1; }
+    int check = 0;
+    for (int ts = 0; ts < 10; ts = ts + 1) {
+        spmv(rows);
+        for (int r = 0; r < rows; r = r + 1) {
+            xvec[r] = (yvec[r] / 2 + xvec[r]) % 4099;
+        }
+        check = (check + xvec[ts % rows]) % 999961;
+    }
+    print(check);
+    return 0;
+}
+"#;
+
+const CRAFTY: &str = r#"
+// 186.crafty analogue: bitboard move generation arithmetic.
+def popcount(int b) -> int {
+    int c = 0;
+    while (b != 0) {
+        b = b & (b - 1);
+        c = c + 1;
+    }
+    return c;
+}
+
+def knight_attacks(int sq) -> int {
+    int bb = 1 << sq;
+    int mask = 1152921504606846975;   // lower 60 bits
+    int l1 = (bb >> 1) & mask;
+    int r1 = (bb << 1) & mask;
+    int h1 = l1 | r1;
+    return ((h1 << 16) | (h1 >> 16) | (h1 << 8) | (h1 >> 8)) & mask;
+}
+
+int *attack_tab;
+
+def init_tables() {
+    for (int sq = 0; sq < 60; sq = sq + 1) {
+        attack_tab[sq] = knight_attacks(sq);
+    }
+}
+
+def evaluate(int own, int other) -> int {
+    int score = popcount(own) * 100 - popcount(other) * 100;
+    int mobility = 0;
+    for (int sq = 0; sq < 60; sq = sq + 1) {
+        if ((own >> sq) & 1) {
+            mobility = mobility + popcount(attack_tab[sq] & ~own);
+        }
+    }
+    return score + mobility * 4;
+}
+
+def search(int own, int other, int depth) -> int {
+    if (depth == 0) { return evaluate(own, other); }
+    int best = 0 - 1000000;
+    for (int mv = 0; mv < 6; mv = mv + 1) {
+        int bit = 1 << ((own * 7 + mv * 13) % 60);
+        int next_own = own ^ bit;
+        int v = 0 - search(other, next_own, depth - 1);
+        if (v > best) { best = v; }
+    }
+    return best;
+}
+
+def main() -> int {
+    attack_tab = malloc(60);
+    init_tables();
+    int check = 0;
+    int rounds = @N@ / 128 + 2;
+    for (int g = 0; g < rounds; g = g + 1) {
+        int own = (g * 2654435761) % 1073741789;
+        int other = (g * 40503 + 9973) % 1073741789;
+        check = (check + search(own, other, 3)) % 1000003;
+    }
+    print(check);
+    return 0;
+}
+"#;
+
+const AMMP: &str = r#"
+// 188.ammp analogue: MD force accumulation over a linked atom list.
+struct Atom {
+    int x; int y; int z;
+    int fx; int fy; int fz;
+    struct Atom *next;
+};
+
+def add_forces(struct Atom *a, struct Atom *b) {
+    int dx = a->x - b->x;
+    int dy = a->y - b->y;
+    int dz = a->z - b->z;
+    int d2 = dx * dx + dy * dy + dz * dz + 1;
+    int f = 1000 / d2;
+    a->fx = a->fx + f * dx; a->fy = a->fy + f * dy; a->fz = a->fz + f * dz;
+    b->fx = b->fx - f * dx; b->fy = b->fy - f * dy; b->fz = b->fz - f * dz;
+}
+
+def integrate(struct Atom *head) -> int {
+    int energy = 0;
+    struct Atom *a = head;
+    while (a != 0) {
+        a->x = a->x + a->fx / 256;
+        a->y = a->y + a->fy / 256;
+        a->z = a->z + a->fz / 256;
+        if (a->x > 400) { a->x = a->x % 400; }
+        if (a->y > 400) { a->y = a->y % 400; }
+        energy = energy + (a->fx * a->fx + a->fy * a->fy) / 4096;
+        a->fx = 0; a->fy = 0; a->fz = 0;
+        a = a->next;
+    }
+    return energy;
+}
+
+def main() -> int {
+    int natoms = @N@ / 8 + 12;
+    struct Atom *head = 0;
+    int seed = 17;
+    for (int i = 0; i < natoms; i = i + 1) {
+        struct Atom *a;
+        a = malloc(1);
+        seed = (seed * 211 + 31) % 2039;
+        a->x = seed % 200; a->y = (seed * 3) % 200; a->z = (seed * 7) % 200;
+        a->next = head;
+        head = a;
+    }
+    // Force fields are zeroed by a separate pass over the list, like
+    // ammp's init: defined at run time, weak-update Bot statically.
+    struct Atom *z = head;
+    while (z != 0) {
+        z->fx = 0; z->fy = 0; z->fz = 0;
+        z = z->next;
+    }
+    int check = 0;
+    for (int step = 0; step < 6; step = step + 1) {
+        struct Atom *a = head;
+        while (a != 0) {
+            struct Atom *b = a->next;
+            int budget = 4;
+            while (b != 0 && budget > 0) {
+                add_forces(a, b);
+                b = b->next;
+                budget = budget - 1;
+            }
+            a = a->next;
+        }
+        check = (check + integrate(head)) % 1000003;
+    }
+    print(check);
+    return 0;
+}
+"#;
+
+const PARSER: &str = r#"
+// 197.parser analogue: tokenizer + recursive-descent expression parser
+// building a heap AST. Contains ONE genuine use of an undefined value in
+// pp_match (mirroring the ppmatch() bug the paper reports).
+struct Tok { int kind; int val; };
+struct Ast { int kind; int val; struct Ast *l; struct Ast *r; };
+int *token_buf;
+int ntokens;
+int cursor;
+
+def emit_tokens(int n) {
+    // kinds: 0 num, 1 plus, 2 times, 3 lparen, 4 rparen
+    int seed = 23;
+    int depth = 0;
+    int i = 0;
+    while (i < n - 2) {
+        seed = (seed * 167 + 13) % 1021;
+        int pick = seed % 8;
+        if (pick < 3) {
+            token_buf[i] = (seed % 90) * 8;      // number, kind 0
+            i = i + 1;
+            if (i < n - 2) {
+                token_buf[i] = (seed % 2) * 8 + 1 + (1 - seed % 2); // + or *
+                i = i + 1;
+            }
+        } else {
+            token_buf[i] = (seed % 50) * 8;
+            i = i + 1;
+        }
+        depth = depth + 0;
+    }
+    token_buf[i] = 77 * 8;
+    ntokens = i + 1;
+    cursor = 0;
+}
+
+def peek_kind() -> int {
+    if (cursor >= ntokens) { return 9; }
+    return token_buf[cursor] % 8;
+}
+
+def next_val() -> int {
+    int v = token_buf[cursor] / 8;
+    cursor = cursor + 1;
+    return v;
+}
+
+struct Ast *ast_pool;
+int ast_top;
+
+def ast_get() -> struct Ast* {
+    struct Ast *a = ast_pool + ast_top;
+    ast_top = ast_top + 1;
+    if (ast_top >= @N@) { ast_top = 0; }
+    return a;
+}
+
+def leaf(int v) -> struct Ast* {
+    struct Ast *a = ast_get();
+    a->kind = 0; a->val = v; a->l = 0; a->r = 0;
+    return a;
+}
+
+def parse_factor() -> struct Ast* {
+    return leaf(next_val());
+}
+
+def parse_term() -> struct Ast* {
+    struct Ast *l = parse_factor();
+    while (peek_kind() == 2) {
+        cursor = cursor + 1;
+        struct Ast *r = parse_factor();
+        struct Ast *n = ast_get();
+        n->kind = 2; n->val = 0; n->l = l; n->r = r;
+        l = n;
+    }
+    return l;
+}
+
+def parse_expr() -> struct Ast* {
+    struct Ast *l = parse_term();
+    while (peek_kind() == 1) {
+        cursor = cursor + 1;
+        struct Ast *r = parse_term();
+        struct Ast *n = ast_get();
+        n->kind = 1; n->val = 0; n->l = l; n->r = r;
+        l = n;
+    }
+    return l;
+}
+
+def eval_ast(struct Ast *a) -> int {
+    if (a->kind == 0) { return a->val; }
+    int x = eval_ast(a->l);
+    int y = eval_ast(a->r);
+    if (a->kind == 1) { return (x + y) % 65521; }
+    return (x * y) % 65521;
+}
+
+// The genuine bug: `matched` is only assigned when a candidate is found,
+// but it is branched on unconditionally afterwards (as in ppmatch).
+def pp_match(int target) -> int {
+    int matched;
+    for (int i = 0; i < ntokens; i = i + 1) {
+        if (token_buf[i] / 8 == target) {
+            matched = i;
+            break;
+        }
+    }
+    if (matched > 0) { return 1; }
+    return 0;
+}
+
+def main() -> int {
+    token_buf = malloc(@N@);
+    ast_pool = malloc(@N@);
+    ast_top = 0;
+    emit_tokens(@N@);
+    int check = 0;
+    int parses = 0;
+    while (cursor < ntokens - 1 && parses < 200) {
+        struct Ast *e = parse_expr();
+        check = (check + eval_ast(e)) % 65521;
+        parses = parses + 1;
+        if (peek_kind() != 0) { cursor = cursor + 1; }
+    }
+    check = check + pp_match(3001);
+    print(parses);
+    print(check);
+    return 0;
+}
+"#;
+
+const PERLBMK: &str = r#"
+// 253.perlbmk analogue: a tiny bytecode VM with an operand stack and a
+// string-less hash table keyed by ints.
+int *code;
+int *stack_mem;
+int *hash_keys;
+int *hash_vals;
+
+def hash_put(int k, int v) {
+    int h = (k * 2654435761) % 128;
+    if (h < 0) { h = 0 - h; }
+    int probe = 0;
+    while (probe < 128) {
+        int slot = (h + probe) % 128;
+        if (hash_keys[slot] == 0 || hash_keys[slot] == k) {
+            hash_keys[slot] = k;
+            hash_vals[slot] = v;
+            return;
+        }
+        probe = probe + 1;
+    }
+}
+
+def hash_get(int k) -> int {
+    int h = (k * 2654435761) % 128;
+    if (h < 0) { h = 0 - h; }
+    int probe = 0;
+    while (probe < 128) {
+        int slot = (h + probe) % 128;
+        if (hash_keys[slot] == k) { return hash_vals[slot]; }
+        if (hash_keys[slot] == 0) { return 0; }
+        probe = probe + 1;
+    }
+    return 0;
+}
+
+def assemble(int n) {
+    int seed = 41;
+    for (int i = 0; i < n; i = i + 1) {
+        seed = (seed * 131 + 7) % 16369;
+        code[i] = seed % 6 * 256 + seed % 97;
+    }
+}
+
+def execute(int n) -> int {
+    int sp = 0;
+    int acc = 0;
+    int pc = 0;
+    while (pc < n) {
+        int op = code[pc] / 256;
+        int arg = code[pc] % 256;
+        if (op == 0) {            // push
+            if (sp < 255) { stack_mem[sp] = arg; sp = sp + 1; }
+        } else { if (op == 1) {   // add
+            if (sp >= 2) { stack_mem[sp - 2] = stack_mem[sp - 2] + stack_mem[sp - 1]; sp = sp - 1; }
+        } else { if (op == 2) {   // mul
+            if (sp >= 2) { stack_mem[sp - 2] = (stack_mem[sp - 2] * stack_mem[sp - 1]) % 9973; sp = sp - 1; }
+        } else { if (op == 3) {   // store to hash
+            if (sp >= 1) { hash_put(arg + 1, stack_mem[sp - 1]); sp = sp - 1; }
+        } else { if (op == 4) {   // load from hash
+            if (sp < 255) { stack_mem[sp] = hash_get(arg + 1); sp = sp + 1; }
+        } else {                  // acc
+            if (sp >= 1) { acc = (acc + stack_mem[sp - 1]) % 65521; sp = sp - 1; }
+        } } } } }
+        pc = pc + 1;
+    }
+    return acc * 31 + sp;
+}
+
+def main() -> int {
+    int n = @N@;
+    code = malloc(n);
+    stack_mem = malloc(256);
+    hash_keys = malloc(128);
+    hash_vals = malloc(128);
+    for (int i = 0; i < 128; i = i + 1) { hash_keys[i] = 0; hash_vals[i] = 0; }
+    assemble(n);
+    int check = 0;
+    for (int round = 0; round < 6; round = round + 1) {
+        check = (check + execute(n)) % 999979;
+    }
+    print(check);
+    return 0;
+}
+"#;
+
+const GAP: &str = r#"
+// 254.gap analogue: bump arena with list cells; many uninitialized
+// allocations and few strong-update opportunities.
+int *arena;
+int arena_top;
+
+def arena_alloc(int cells) -> int {
+    int at = arena_top;
+    arena_top = arena_top + cells;
+    if (arena_top >= @N@) { arena_top = 0; at = 0; }
+    return at;
+}
+
+def cons(int head, int tail_idx) -> int {
+    int c = arena_alloc(2);
+    arena[c] = head;
+    arena[c + 1] = tail_idx;
+    return c;
+}
+
+def list_sum(int idx, int fuel) -> int {
+    int s = 0;
+    while (idx != 0 - 1 && fuel > 0) {
+        s = (s + arena[idx]) % 65521;
+        idx = arena[idx + 1];
+        fuel = fuel - 1;
+    }
+    return s;
+}
+
+def reverse_list(int idx, int fuel) -> int {
+    int acc = 0 - 1;
+    while (idx != 0 - 1 && fuel > 0) {
+        acc = cons(arena[idx], acc);
+        idx = arena[idx + 1];
+        fuel = fuel - 1;
+    }
+    return acc;
+}
+
+def main() -> int {
+    arena = malloc(@N@);
+    arena_top = 1;
+    int check = 0;
+    for (int round = 0; round < 16; round = round + 1) {
+        int lst = 0 - 1;
+        for (int i = 0; i < 60; i = i + 1) {
+            lst = cons((i * 7 + round) % 127, lst);
+        }
+        int rev = reverse_list(lst, 100);
+        check = (check + list_sum(lst, 100) + list_sum(rev, 100)) % 999959;
+    }
+    print(check);
+    print(arena_top);
+    return 0;
+}
+"#;
+
+const VORTEX: &str = r#"
+// 255.vortex analogue: an object store with fixed-size records; heavy
+// load/store traffic through a portal table.
+struct Rec { int id; int a; int b; int c; };
+struct Rec *portal[64];
+
+def db_insert(struct Rec *heap_area, int slot, int id, int seed) {
+    struct Rec *r = heap_area + slot;
+    r->id = id;
+    r->a = seed % 1009;
+    r->b = (seed * 3) % 1013;
+    r->c = (seed * 7) % 1019;
+    portal[id % 64] = r;
+}
+
+def db_lookup(int id) -> struct Rec* {
+    struct Rec *r = portal[id % 64];
+    if (r != 0) {
+        if (r->id == id) { return r; }
+    }
+    return 0;
+}
+
+def db_update(int id, int delta) -> int {
+    struct Rec *r = db_lookup(id);
+    if (r == 0) { return 0; }
+    r->a = r->a + delta;
+    r->b = r->b ^ delta;
+    r->c = r->c + r->a % 7;
+    return 1;
+}
+
+def main() -> int {
+    int nrecs = @N@ / 4 + 32;
+    struct Rec *heap_area;
+    heap_area = malloc(nrecs);
+    int seed = 97;
+    for (int i = 0; i < nrecs; i = i + 1) {
+        seed = (seed * 229 + 19) % 32749;
+        db_insert(heap_area, i, i, seed);
+    }
+    int hits = 0;
+    int check = 0;
+    for (int q = 0; q < nrecs * 4; q = q + 1) {
+        int id = (q * 13 + 5) % (nrecs * 2);
+        hits = hits + db_update(id, q % 11);
+        struct Rec *r = db_lookup(id);
+        if (r != 0) { check = (check + r->a + r->b) % 999961; }
+    }
+    print(hits);
+    print(check);
+    return 0;
+}
+"#;
+
+const BZIP2: &str = r#"
+// 256.bzip2 analogue: counting sort + move-to-front over a block.
+int *block;
+int freq[256];
+int *sorted;
+int mtf[256];
+int blocks_done;
+int crc_acc;
+
+def generate(int n) {
+    int seed = 29;
+    for (int i = 0; i < n; i = i + 1) {
+        seed = (seed * 179 + 23) % 6151;
+        block[i] = seed % 256;
+    }
+}
+
+def counting_sort(int n) {
+    for (int v = 0; v < 256; v = v + 1) { freq[v] = 0; }
+    for (int i = 0; i < n; i = i + 1) { freq[block[i]] = freq[block[i]] + 1; }
+    int out = 0;
+    for (int v = 0; v < 256; v = v + 1) {
+        for (int k = 0; k < freq[v]; k = k + 1) {
+            sorted[out] = v;
+            out = out + 1;
+        }
+    }
+}
+
+def mtf_encode(int n) -> int {
+    for (int v = 0; v < 256; v = v + 1) { mtf[v] = v; }
+    int check = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int sym = block[i];
+        int pos = 0;
+        while (mtf[pos] != sym) { pos = pos + 1; }
+        check = (check + pos) % 65521;
+        while (pos > 0) {
+            mtf[pos] = mtf[pos - 1];
+            pos = pos - 1;
+        }
+        mtf[0] = sym;
+    }
+    return check;
+}
+
+def main() -> int {
+    int n = @N@;
+    block = malloc(n);
+    sorted = malloc(n);
+    generate(n);
+    counting_sort(n);
+    blocks_done = 1;
+    int check = mtf_encode(n);
+    crc_acc = (crc_acc * 31 + check) % 999979;
+    check = (check + sorted[n / 2] * 256 + sorted[n / 3]) % 999979;
+    print(check + crc_acc % 7 + blocks_done);
+    return 0;
+}
+"#;
+
+const TWOLF: &str = r#"
+// 300.twolf analogue: simulated annealing over standard cells with a
+// net-cost model and pseudo-random accept/reject.
+struct Std { int x; int y; int width; };
+int *netlist;
+
+def wirelen(struct Std *cells, int ncells) -> int {
+    int total = 0;
+    for (int i = 0; i + 1 < ncells; i = i + 1) {
+        int peer = netlist[i % @N@] % ncells;
+        int dx = (cells + i)->x - (cells + peer)->x;
+        int dy = (cells + i)->y - (cells + peer)->y;
+        if (dx < 0) { dx = 0 - dx; }
+        if (dy < 0) { dy = 0 - dy; }
+        total = total + dx + dy + (cells + i)->width / 8;
+    }
+    return total;
+}
+
+def anneal(struct Std *cells, int ncells, int temp0) -> int {
+    int rng = 71;
+    int cost = wirelen(cells, ncells);
+    for (int temp = temp0; temp > 0; temp = temp - 1) {
+        for (int t = 0; t < ncells / 2; t = t + 1) {
+            rng = (rng * 1103515245 + 12345) % 2147483647;
+            if (rng < 0) { rng = 0 - rng; }
+            int i = rng % ncells;
+            int j = (rng / 7) % ncells;
+            int ox = (cells + i)->x;
+            (cells + i)->x = (cells + j)->x;
+            (cells + j)->x = ox;
+            int nc = wirelen(cells, ncells);
+            int accept = 0;
+            if (nc <= cost) { accept = 1; }
+            if (rng % 100 < temp * 3) { accept = 1; }
+            if (accept) {
+                cost = nc;
+            } else {
+                ox = (cells + i)->x;
+                (cells + i)->x = (cells + j)->x;
+                (cells + j)->x = ox;
+            }
+        }
+    }
+    return cost;
+}
+
+def main() -> int {
+    int ncells = @N@ / 8 + 10;
+    netlist = malloc(@N@);
+    struct Std *cells;
+    cells = malloc(ncells);
+    int seed = 31;
+    for (int i = 0; i < ncells; i = i + 1) {
+        seed = (seed * 149 + 43) % 3067;
+        (cells + i)->x = seed % 64;
+        (cells + i)->y = (seed / 64) % 64;
+        (cells + i)->width = seed % 16 + 4;
+        netlist[i % @N@] = seed;
+    }
+    int final_cost = anneal(cells, ncells, 6);
+    print(final_cost);
+    return 0;
+}
+"#;

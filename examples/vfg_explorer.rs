@@ -1,0 +1,58 @@
+//! VFG explorer: compile a program (from a file or a built-in demo),
+//! print its SSA IR, and dump the value-flow graph in Graphviz DOT,
+//! annotating each node with its resolved definedness.
+//!
+//! ```sh
+//! cargo run --example vfg_explorer                  # built-in demo
+//! cargo run --example vfg_explorer -- my_prog.tc    # your own TinyC
+//! ```
+
+use usher::core::resolve;
+use usher::frontend::compile_o0im;
+use usher::vfg::{analyze_module, print_module_annotated, VfgMode};
+
+const DEMO: &str = r#"
+    // Figure 6's shape: a fresh allocation in a loop, strongly coupled
+    // to a store that a semi-strong update can bypass.
+    def main() {
+        int i = 0;
+        int s = 0;
+        while (i < 4) {
+            int *p;
+            p = malloc(1);
+            *p = i;
+            s = s + *p;
+            i = i + 1;
+        }
+        print(s);
+    }
+"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let source = match args.get(1) {
+        Some(path) => std::fs::read_to_string(path).expect("source file readable"),
+        None => DEMO.to_string(),
+    };
+
+    let module = compile_o0im(&source).expect("program compiles");
+    let (_pa, ms, vfg) = analyze_module(&module, VfgMode::Full);
+    eprintln!("== memory SSA after O0+IM (Figure 5 style) ==");
+    eprintln!("{}", print_module_annotated(&module, &ms));
+    let gamma = resolve(&vfg, 1);
+
+    eprintln!("== VFG summary ==");
+    eprintln!("nodes: {}", vfg.len());
+    eprintln!("checks: {}", vfg.checks.len());
+    eprintln!("bot nodes: {}", gamma.bot_count());
+    eprintln!(
+        "stores: {} strong / {} semi-strong / {} weak-singleton / {} multi-target",
+        vfg.stats.strong_stores,
+        vfg.stats.semi_strong_stores,
+        vfg.stats.weak_singleton_stores,
+        vfg.stats.multi_target_stores
+    );
+
+    // DOT on stdout so it can be piped into `dot -Tsvg`.
+    println!("{}", vfg.to_dot(&module));
+}

@@ -1,0 +1,26 @@
+//! # usher
+//!
+//! Facade crate of the Usher reproduction (Ye, Sui & Xue, *Accelerating
+//! Dynamic Detection of Uses of Undefined Values with Static Value-Flow
+//! Analysis*, CGO 2014): re-exports the whole pipeline under one roof.
+//!
+//! ```
+//! // Compile TinyC under the paper's O0+IM configuration.
+//! let module = usher::frontend::compile_o0im(
+//!     "def main() -> int { int x = 1; return x; }",
+//! ).unwrap();
+//! assert!(module.is_runnable());
+//! ```
+//!
+//! See the `examples/` directory for end-to-end walkthroughs:
+//! `quickstart`, `detect_uninit`, `compare_configs`, `vfg_explorer`.
+
+#![warn(missing_docs)]
+
+pub use usher_core as core;
+pub use usher_frontend as frontend;
+pub use usher_ir as ir;
+pub use usher_pointer as pointer;
+pub use usher_runtime as runtime;
+pub use usher_vfg as vfg;
+pub use usher_workloads as workloads;

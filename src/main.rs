@@ -1,0 +1,182 @@
+//! `usher` — command-line front door to the whole pipeline.
+//!
+//! ```text
+//! usher run <file.tc>                 run a TinyC program natively
+//! usher check <file.tc>               analyze + run under guided instrumentation
+//! usher analyze <file.tc>             static analysis report (no execution)
+//! usher ir <file.tc>                  dump the O0+IM IR
+//! usher dis <file.tc>                 dump parseable IR text (.uir)
+//! usher vfg <file.tc>                 dump the value-flow graph as DOT
+//! ```
+//!
+//! Inputs ending in `.uir` are parsed as IR text instead of TinyC.
+//!
+//! Options: `--config msan|tl|tlat|opt1|usher|msan-bit|usher-bit` (default `usher`),
+//! `--opt O0|O1|O2` (default `O0`, meaning O0+IM), `--seed <n>` for the
+//! deterministic `input()` stream.
+
+use std::process::ExitCode;
+
+use usher::core::{run_config, Config};
+use usher::frontend::compile_with;
+use usher::ir::OptLevel;
+use usher::runtime::{run, RunOptions};
+use usher::vfg::{analyze_module, VfgMode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("usher: {msg}");
+            eprintln!();
+            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+    let mut cmd = None;
+    let mut file = None;
+    let mut config = Config::USHER;
+    let mut level = OptLevel::O0Im;
+    let mut seed = 0x5eedu64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => {
+                let v = it.next().ok_or("--config needs a value")?;
+                config = match v.as_str() {
+                    "msan" => Config::MSAN,
+                    "tl" => Config::USHER_TL,
+                    "tlat" => Config::USHER_TL_AT,
+                    "opt1" => Config::USHER_OPT1,
+                    "usher" => Config::USHER,
+                    "msan-bit" => Config::MSAN_BIT,
+                    "usher-bit" => Config::USHER_BIT,
+                    other => return Err(format!("unknown config {other}")),
+                };
+            }
+            "--opt" => {
+                let v = it.next().ok_or("--opt needs a value")?;
+                level = match v.as_str() {
+                    "O0" | "O0+IM" => OptLevel::O0Im,
+                    "O1" => OptLevel::O1,
+                    "O2" => OptLevel::O2,
+                    other => return Err(format!("unknown opt level {other}")),
+                };
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            _ if cmd.is_none() => cmd = Some(a.clone()),
+            _ if file.is_none() => file = Some(a.clone()),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+
+    let cmd = cmd.ok_or("missing command")?;
+    let file = file.ok_or("missing input file")?;
+    let source =
+        std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let module = if file.ends_with(".uir") {
+        usher::ir::parse_text(&source).map_err(|e| e.to_string())?
+    } else {
+        compile_with(&source, level).map_err(|e| e.to_string())?
+    };
+    let opts = RunOptions { input_seed: seed, ..Default::default() };
+
+    match cmd.as_str() {
+        "run" => {
+            let r = run(&module, None, &opts);
+            for v in &r.trace {
+                println!("{v}");
+            }
+            if let Some(t) = r.trap {
+                eprintln!("trap: {t:?}");
+                return Ok(ExitCode::from(3));
+            }
+            if !r.ground_truth.is_empty() {
+                eprintln!(
+                    "note: {} use(s) of undefined values occurred (run `usher check` to detect them)",
+                    r.ground_truth.len()
+                );
+            }
+            Ok(ExitCode::from(r.exit.unwrap_or(0).rem_euclid(256) as u8))
+        }
+        "check" => {
+            let out = run_config(&module, config);
+            let r = run(&module, Some(&out.plan), &opts);
+            for v in &r.trace {
+                println!("{v}");
+            }
+            for ev in &r.detected {
+                eprintln!(
+                    "warning: use of an undefined value at {} in function {} ({:?})",
+                    ev.site,
+                    module.funcs[ev.site.func].name,
+                    ev.kind
+                );
+                if let Some(origin) = ev.origin {
+                    eprintln!(
+                        "    note: value originated at {} in function {}",
+                        origin,
+                        module.funcs[origin.func].name
+                    );
+                }
+            }
+            eprintln!(
+                "[{}] {} propagation(s), {} check(s) planned; slowdown {:.0}% vs native",
+                out.plan.name,
+                out.plan.stats.propagations,
+                out.plan.stats.checks,
+                r.counters.slowdown_pct()
+            );
+            if let Some(t) = r.trap {
+                eprintln!("trap: {t:?}");
+                return Ok(ExitCode::from(3));
+            }
+            Ok(if r.detected.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+        }
+        "analyze" => {
+            let out = run_config(&module, config);
+            println!("configuration : {}", out.plan.name);
+            println!("analysis time : {:.3}s", out.analysis_seconds);
+            if let Some(vfg) = &out.vfg {
+                println!("VFG nodes     : {}", vfg.len());
+                println!("checks        : {}", vfg.checks.len());
+                let s = vfg.stats;
+                println!(
+                    "stores        : {} strong / {} semi-strong / {} weak-singleton / {} multi",
+                    s.strong_stores, s.semi_strong_stores, s.weak_singleton_stores, s.multi_target_stores
+                );
+            }
+            if let Some(gamma) = &out.gamma {
+                println!("bot nodes     : {}", gamma.bot_count());
+            }
+            println!("plan          : {} ops, {} propagations, {} checks",
+                out.plan.stats.ops, out.plan.stats.propagations, out.plan.stats.checks);
+            if out.opt2_redirected > 0 {
+                println!("opt2          : {} node(s) redirected to T", out.opt2_redirected);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "ir" => {
+            print!("{}", usher::ir::print_module(&module));
+            Ok(ExitCode::SUCCESS)
+        }
+        "dis" => {
+            print!("{}", usher::ir::write_text(&module));
+            Ok(ExitCode::SUCCESS)
+        }
+        "vfg" => {
+            let (_pa, _ms, vfg) = analyze_module(&module, VfgMode::Full);
+            print!("{}", vfg.to_dot(&module));
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}

@@ -1,0 +1,191 @@
+//! Proptest-based invariants on the core data structures: dominator
+//! trees over random CFGs, type layouts over random type trees, and
+//! definedness resolution monotonicity over random programs.
+
+use proptest::prelude::*;
+
+use usher::core::resolve;
+use usher::frontend::compile_o0im;
+use usher::ir::{
+    Cfg, DomTree, FuncBuilder, Module, ObjKind, Operand, StructDef, Type, TypeId,
+};
+use usher::vfg::{analyze_module, VfgMode};
+use usher::workloads::{generate, GenConfig};
+
+// ---- random CFGs -> dominator invariants --------------------------------
+
+/// Builds a function whose CFG is derived from a random edge list over
+/// `n` blocks (block 0 is entry; every block gets a valid terminator).
+fn build_cfg(n: usize, edges: &[(usize, usize)]) -> Module {
+    let mut m = Module::new();
+    let fid = m.declare_func("f", None);
+    let mut b = FuncBuilder::new(&mut m, fid);
+    for _ in 1..n {
+        b.new_block();
+    }
+    // Collect up to two successors per block.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (s, t) in edges {
+        let (s, t) = (s % n, t % n);
+        if succs[s].len() < 2 && !succs[s].contains(&t) {
+            succs[s].push(t);
+        }
+    }
+    for (i, ss) in succs.iter().enumerate() {
+        b.set_block(usher::ir::BlockId(i as u32));
+        match ss.as_slice() {
+            [] => b.ret(None),
+            [t] => b.jmp(usher::ir::BlockId(*t as u32)),
+            [t, e] => b.br(Operand::Const(1), usher::ir::BlockId(*t as u32), usher::ir::BlockId(*e as u32)),
+            _ => unreachable!(),
+        }
+    }
+    b.finish();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dominator_tree_invariants(
+        n in 2usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12), 1..24),
+    ) {
+        let m = build_cfg(n, &edges);
+        let f = &m.funcs[usher::ir::FuncId(0)];
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let entry = f.entry;
+        for bb in cfg.rpo.iter().copied() {
+            // Entry dominates every reachable block.
+            prop_assert!(dt.dominates(entry, bb));
+            // Dominance is reflexive.
+            prop_assert!(dt.dominates(bb, bb));
+            // The idom strictly dominates (except entry itself).
+            if bb != entry {
+                let id = dt.idom[bb].expect("reachable block has an idom");
+                prop_assert!(dt.dominates(id, bb));
+                prop_assert!(id != bb);
+            }
+        }
+        // Unreachable blocks have no idom.
+        for bb in f.blocks.indices() {
+            if !cfg.is_reachable(bb) {
+                prop_assert!(dt.idom[bb].is_none() || bb == entry);
+            }
+        }
+    }
+
+    #[test]
+    fn layout_classes_partition_cells(
+        fields in prop::collection::vec((0usize..3, 1u32..5), 1..6),
+    ) {
+        // Build a struct of ints / int-arrays / nested pairs.
+        let mut m = Module::new();
+        let int = m.types.int();
+        let pair = m.types.add_struct(StructDef {
+            name: "Pair".into(),
+            fields: vec![("a".into(), int), ("b".into(), int)],
+        });
+        let pair_ty = m.types.intern(Type::Struct(pair));
+        let field_tys: Vec<TypeId> = fields
+            .iter()
+            .map(|(kind, len)| match kind {
+                0 => int,
+                1 => m.types.intern(Type::Array(int, *len)),
+                _ => pair_ty,
+            })
+            .collect();
+        let s = m.types.add_struct(StructDef {
+            name: "S".into(),
+            fields: field_tys.iter().enumerate().map(|(i, t)| (format!("f{i}"), *t)).collect(),
+        });
+        let sty = m.types.intern(Type::Struct(s));
+        let layout = m.types.layout(sty);
+
+        // Every cell has a class below num_classes.
+        prop_assert_eq!(layout.cells.len(), layout.classes.len());
+        for &c in &layout.classes {
+            prop_assert!(c < layout.num_classes);
+        }
+        // Classes are contiguous runs per field and every class is
+        // inhabited.
+        for class in 0..layout.num_classes {
+            prop_assert!(layout.classes.contains(&class));
+        }
+        // Size equals the sum of the field sizes.
+        let expected: u32 = field_tys.iter().map(|t| m.types.size_in_cells(*t)).sum();
+        prop_assert_eq!(layout.size(), expected);
+    }
+
+    #[test]
+    fn object_class_of_cell_is_total(kind in 0usize..3, len in 1u32..9) {
+        let mut m = Module::new();
+        let int = m.types.int();
+        let ty = match kind {
+            0 => int,
+            1 => m.types.intern(Type::Array(int, len)),
+            _ => {
+                let s = m.types.add_struct(StructDef {
+                    name: "T".into(),
+                    fields: (0..len).map(|i| (format!("f{i}"), int)).collect(),
+                });
+                m.types.intern(Type::Struct(s))
+            }
+        };
+        let o = m.add_object("o", ObjKind::Global, ty, true, false);
+        let od = &m.objects[o];
+        for cell in 0..od.size * 2 {
+            let class = od.class_of_cell(cell);
+            prop_assert!(class < od.num_classes, "cell {cell} class {class}");
+        }
+    }
+}
+
+// ---- resolution invariants over generated programs -----------------------
+
+#[test]
+fn context_depth_is_monotonically_precise() {
+    // More context can only shrink (or keep) the Bot set.
+    for seed in 0..25u64 {
+        let src = generate(seed, GenConfig::default());
+        let m = compile_o0im(&src).expect("generated programs compile");
+        let (_pa, _ms, vfg) = analyze_module(&m, VfgMode::Full);
+        let g0 = resolve(&vfg, 0);
+        let g1 = resolve(&vfg, 1);
+        let g2 = resolve(&vfg, 2);
+        for n in 0..vfg.len() as u32 {
+            // k=1 Bot implies k=0 Bot; k=2 Bot implies k=1 Bot.
+            assert!(!g1.is_bot(n) || g0.is_bot(n), "seed {seed} node {n}");
+            assert!(!g2.is_bot(n) || g1.is_bot(n), "seed {seed} node {n}");
+        }
+    }
+}
+
+#[test]
+fn tl_only_bot_set_covers_full_mode_tl_bots() {
+    // The TL-only graph treats memory as unknown, so any Tl node that is
+    // Bot under the full analysis must also be Bot under TL-only (on the
+    // shared node population).
+    for seed in 0..25u64 {
+        let src = generate(seed, GenConfig::default());
+        let m = compile_o0im(&src).expect("generated programs compile");
+        let (_pa1, _ms1, tl) = analyze_module(&m, VfgMode::TlOnly);
+        let (_pa2, _ms2, full) = analyze_module(&m, VfgMode::Full);
+        let g_tl = resolve(&tl, 1);
+        let g_full = resolve(&full, 1);
+        for (i, kind) in full.nodes.iter().enumerate() {
+            if let usher::vfg::NodeKind::Tl(f, v) = kind {
+                if let Some(tn) = tl.tl(*f, *v) {
+                    if g_full.is_bot(i as u32) {
+                        assert!(
+                            g_tl.is_bot(tn),
+                            "seed {seed}: {f:?}/{v:?} Bot in full but Top in TL-only"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based soundness tests over the random-program corpus.
+//!
+//! For every generated program (memory-safe, terminating, deliberately
+//! sprinkled with uninitialized and conditionally-initialized values):
+//!
+//! 1. full instrumentation detects exactly the ground-truth oracle's
+//!    undefined-value uses;
+//! 2. every guided configuration without Opt II detects exactly the same
+//!    sites as full instrumentation (the paper's soundness claim);
+//! 3. with Opt II, detections are a subset and the program-level verdict
+//!    (buggy / clean) is unchanged;
+//! 4. instrumentation never changes program semantics.
+
+use usher::core::{run_config, Config};
+use usher::frontend::compile_o0im;
+use usher::runtime::{run, RunOptions, RunResult};
+use usher::workloads::{generate, GenConfig};
+
+fn opts() -> RunOptions {
+    RunOptions { fuel: 2_000_000, ..Default::default() }
+}
+
+fn run_seed(seed: u64) -> (Vec<(String, RunResult)>, RunResult, String) {
+    let src = generate(seed, GenConfig::default());
+    let m = compile_o0im(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+    let native = run(&m, None, &opts());
+    let runs = Config::ALL
+        .iter()
+        .map(|cfg| {
+            let out = run_config(&m, *cfg);
+            (cfg.name.to_string(), run(&m, Some(&out.plan), &opts()))
+        })
+        .collect();
+    (runs, native, src)
+}
+
+#[test]
+fn corpus_full_instrumentation_matches_oracle() {
+    for seed in 0..120u64 {
+        let (runs, native, src) = run_seed(seed);
+        let (name, full) = &runs[0];
+        assert_eq!(name, "MSan");
+        assert_eq!(
+            full.detected_sites(),
+            native.ground_truth_sites(),
+            "seed {seed}: MSan != oracle\n{src}"
+        );
+    }
+}
+
+#[test]
+fn corpus_guided_matches_full_without_opt2() {
+    for seed in 0..120u64 {
+        let (runs, _native, src) = run_seed(seed);
+        let full_sites = runs[0].1.detected_sites();
+        for (name, r) in &runs[1..4] {
+            assert_eq!(
+                r.detected_sites(),
+                full_sites,
+                "seed {seed}: {name} != MSan\n{src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_opt2_is_a_dominated_subset_with_same_verdict() {
+    for seed in 0..120u64 {
+        let (runs, _native, src) = run_seed(seed);
+        let full = &runs[0].1;
+        let usher = &runs[4].1;
+        assert!(
+            usher.detected_sites().is_subset(&full.detected_sites()),
+            "seed {seed}: Usher invented a site\n{src}"
+        );
+        assert_eq!(
+            usher.detected.is_empty(),
+            full.detected.is_empty(),
+            "seed {seed}: verdict flipped\n{src}"
+        );
+    }
+}
+
+#[test]
+fn corpus_semantics_preserved_under_instrumentation() {
+    for seed in 0..120u64 {
+        let (runs, native, src) = run_seed(seed);
+        for (name, r) in &runs {
+            assert_eq!(r.trace, native.trace, "seed {seed}: {name} changed output\n{src}");
+            assert_eq!(r.trap, native.trap, "seed {seed}: {name} changed termination\n{src}");
+        }
+    }
+}
+
+#[test]
+fn corpus_guided_cost_never_exceeds_full() {
+    for seed in 0..60u64 {
+        let (runs, _native, src) = run_seed(seed);
+        let full_cost = runs[0].1.counters.shadow_cost;
+        let usher_cost = runs[4].1.counters.shadow_cost;
+        assert!(
+            usher_cost <= full_cost,
+            "seed {seed}: Usher shadow cost {usher_cost} > MSan {full_cost}\n{src}"
+        );
+    }
+}
+
+#[test]
+fn corpus_with_heavy_uninit_pressure() {
+    // Crank the uninitialized-local probability: more real flows of
+    // undefined values through the programs.
+    let cfg = GenConfig { uninit_pct: 70, helpers: 4, max_stmts: 8 };
+    for seed in 1000..1040u64 {
+        let src = generate(seed, cfg);
+        let m = compile_o0im(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let native = run(&m, None, &opts());
+        let msan = run_config(&m, Config::MSAN);
+        let full = run(&m, Some(&msan.plan), &opts());
+        assert_eq!(
+            full.detected_sites(),
+            native.ground_truth_sites(),
+            "seed {seed}\n{src}"
+        );
+        let u = run_config(&m, Config::USHER_TL_AT);
+        let guided = run(&m, Some(&u.plan), &opts());
+        assert_eq!(guided.detected_sites(), full.detected_sites(), "seed {seed}\n{src}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Round-trip property: every workload module (and random corpus module)
+//! survives IR-text serialization — identical re-print, identical
+//! verification, identical execution.
+
+use usher::ir::{parse_text, verify, write_text};
+use usher::runtime::{run, RunOptions};
+use usher::workloads::{all_workloads, generate, GenConfig, Scale};
+
+#[test]
+fn workload_modules_round_trip() {
+    for w in all_workloads(Scale::TEST) {
+        let m = w.compile_o0im().expect(w.name);
+        let text = write_text(&m);
+        let parsed = parse_text(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}\n--- text ---\n{text}", w.name));
+        assert!(verify(&parsed).is_ok(), "{}: {:?}", w.name, verify(&parsed));
+        let text2 = write_text(&parsed);
+        assert_eq!(text, text2, "{}: reprint differs", w.name);
+
+        // Behavioural equality.
+        let opts = RunOptions::default();
+        let a = run(&m, None, &opts);
+        let b = run(&parsed, None, &opts);
+        assert_eq!(a.trace, b.trace, "{}", w.name);
+        assert_eq!(a.exit, b.exit, "{}", w.name);
+        assert_eq!(a.trap, b.trap, "{}", w.name);
+    }
+}
+
+#[test]
+fn corpus_modules_round_trip() {
+    for seed in 0..60u64 {
+        let src = generate(seed, GenConfig::default());
+        let m = usher::frontend::compile_o0im(&src).expect("generated programs compile");
+        let text = write_text(&m);
+        let parsed = parse_text(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(write_text(&parsed), text, "seed {seed}");
+        let opts = RunOptions { fuel: 1_000_000, ..Default::default() };
+        let a = run(&m, None, &opts);
+        let b = run(&parsed, None, &opts);
+        assert_eq!(a.trace, b.trace, "seed {seed}");
+        assert_eq!(a.ground_truth_sites(), b.ground_truth_sites(), "seed {seed}");
+    }
+}
+
+#[test]
+fn analysis_results_survive_round_trip() {
+    // The guided plan computed on a parsed module must match the one
+    // computed on the original (all ids are preserved).
+    use usher::core::{run_config, Config};
+    let w = usher::workloads::workload("254.gap", Scale::TEST).unwrap();
+    let m = w.compile_o0im().unwrap();
+    let parsed = parse_text(&write_text(&m)).unwrap();
+    let a = run_config(&m, Config::USHER);
+    let b = run_config(&parsed, Config::USHER);
+    assert_eq!(a.plan.stats, b.plan.stats);
+    assert_eq!(a.opt2_redirected, b.opt2_redirected);
+}
