@@ -1,25 +1,43 @@
 //! Wall-clock cost of the static analysis itself (Table 1's "Time"
 //! column): pointer analysis + memory SSA + VFG + resolution + planning.
+//!
+//! Std-only micro-bench harness (no external deps so the workspace builds
+//! in network-isolated environments): N timed iterations after a warmup,
+//! reporting min/median wall time per configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use usher_core::{run_config, Config};
 use usher_workloads::{workload, Scale};
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_time");
-    group.sample_size(10);
+fn bench<F: FnMut()>(label: &str, mut f: F) {
+    const ITERS: usize = 10;
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{label:<40} min {:>8.3}ms  median {:>8.3}ms",
+        samples[0],
+        samples[ITERS / 2]
+    );
+}
+
+fn main() {
+    println!("analysis_time (std-only bench, 10 iterations)");
     for name in ["176.gcc", "253.perlbmk", "255.vortex"] {
         let w = workload(name, Scale::TEST).expect("workload exists");
         let m = w.compile_o0im().expect("compiles");
-        group.bench_with_input(BenchmarkId::new("usher_full", name), &m, |b, m| {
-            b.iter(|| run_config(m, Config::USHER))
+        bench(&format!("usher_full/{name}"), || {
+            std::hint::black_box(run_config(&m, Config::USHER));
         });
-        group.bench_with_input(BenchmarkId::new("usher_tl", name), &m, |b, m| {
-            b.iter(|| run_config(m, Config::USHER_TL))
+        bench(&format!("usher_tl/{name}"), || {
+            std::hint::black_box(run_config(&m, Config::USHER_TL));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

@@ -2,34 +2,49 @@
 //! instrumentation, full instrumentation (MSan) and guided (Usher).
 //!
 //! The deterministic cost model in `figure10` is the primary metric; this
-//! bench confirms that real elapsed time moves the same way.
+//! bench confirms that real elapsed time moves the same way. Std-only
+//! harness (no external deps) so offline builds work.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use usher_core::{run_config, Config};
 use usher_runtime::{run, RunOptions};
 use usher_workloads::{workload, Scale};
 
-fn bench_slowdown(c: &mut Criterion) {
+fn bench<F: FnMut()>(label: &str, mut f: F) {
+    const ITERS: usize = 10;
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{label:<40} min {:>8.3}ms  median {:>8.3}ms",
+        samples[0],
+        samples[ITERS / 2]
+    );
+}
+
+fn main() {
     let opts = RunOptions::default();
-    let mut group = c.benchmark_group("figure10_wallclock");
-    group.sample_size(10);
+    println!("figure10_wallclock (std-only bench, 10 iterations)");
     for name in ["164.gzip", "181.mcf", "253.perlbmk", "300.twolf"] {
         let w = workload(name, Scale::TEST).expect("workload exists");
         let m = w.compile_o0im().expect("compiles");
         let msan = run_config(&m, Config::MSAN).plan;
         let usher = run_config(&m, Config::USHER).plan;
-        group.bench_with_input(BenchmarkId::new("native", name), &m, |b, m| {
-            b.iter(|| run(m, None, &opts))
+        bench(&format!("native/{name}"), || {
+            std::hint::black_box(run(&m, None, &opts));
         });
-        group.bench_with_input(BenchmarkId::new("msan", name), &m, |b, m| {
-            b.iter(|| run(m, Some(&msan), &opts))
+        bench(&format!("msan/{name}"), || {
+            std::hint::black_box(run(&m, Some(&msan), &opts));
         });
-        group.bench_with_input(BenchmarkId::new("usher", name), &m, |b, m| {
-            b.iter(|| run(m, Some(&usher), &opts))
+        bench(&format!("usher/{name}"), || {
+            std::hint::black_box(run(&m, Some(&usher), &opts));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_slowdown);
-criterion_main!(benches);

@@ -2,36 +2,56 @@
 //! first 40 generator seeds and prints any seed whose total exceeds
 //! 300ms — the tool that caught the runaway-loop generator bug.
 //!
+//! Analysis goes through a shared [`Pipeline`], so the per-stage split
+//! (including what the five configurations share via the cache) comes
+//! from the driver's telemetry instead of hand-rolled timers.
+//!
 //! ```sh
 //! cargo run --release -p usher-bench --example profile_seeds
 //! ```
 
 use std::time::Instant;
-use usher::core::{run_config, Config};
-use usher::frontend::compile_o0im;
+use usher::core::Config;
+use usher::driver::{Pipeline, PipelineOptions, SourceInput};
 use usher::runtime::{run, RunOptions};
 use usher::workloads::{generate, GenConfig};
 
 fn main() {
-    let opts = RunOptions { fuel: 2_000_000, ..Default::default() };
+    let opts = RunOptions {
+        fuel: 2_000_000,
+        ..Default::default()
+    };
+    let pipe = Pipeline::new();
     for seed in 0..40u64 {
         let t0 = Instant::now();
         let src = generate(seed, GenConfig::default());
-        let m = compile_o0im(&src).unwrap();
-        let t1 = Instant::now();
         let mut per = Vec::new();
         for cfg in Config::ALL {
-            let ta = Instant::now();
-            let out = run_config(&m, cfg);
+            let pr = pipe
+                .run(
+                    format!("seed{seed}"),
+                    SourceInput::TinyC(src.clone()),
+                    PipelineOptions::from_config(cfg),
+                )
+                .expect("generated program compiles");
             let tb = Instant::now();
-            let r = run(&m, Some(&out.plan), &opts);
-            let tc = Instant::now();
-            per.push(format!("{}: a={:?} r={:?} native_ops={}", cfg.name, tb-ta, tc-tb, r.counters.native_ops));
+            let r = run(&pr.module, Some(&pr.plan), &opts);
+            per.push(format!(
+                "{}: a={:.1}ms (cached {}/{}) r={:?} native_ops={}",
+                cfg.name,
+                1e3 * pr.report.total_seconds,
+                pr.report.cache_hits,
+                pr.report.cache_hits + pr.report.cache_misses,
+                tb.elapsed(),
+                r.counters.native_ops
+            ));
         }
         let total = t0.elapsed();
         if total.as_millis() > 300 {
-            println!("seed {seed}: compile={:?} total={:?}", t1-t0, total);
-            for p in per { println!("   {p}"); }
+            println!("seed {seed}: total={total:?}");
+            for p in per {
+                println!("   {p}");
+            }
         }
     }
     println!("done");

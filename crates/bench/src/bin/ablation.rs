@@ -4,12 +4,17 @@
 //! * the semi-strong update rule on/off (the paper's novel mechanism);
 //! * Opt I and Opt II individually.
 //!
+//! Each variant is a [`GuidedKnobs`] tweak run through the shared
+//! pipeline, so all six variants reuse the compiled module, pointer
+//! analysis and memory SSA from the cache, and variants that share a VFG
+//! (same semi-strong setting) reuse that too.
+//!
 //! Reported as the suite-average dynamic slowdown of the resulting plan.
 
-use usher_bench::average;
-use usher_core::{guided_plan, redundant_check_elimination, resolve, GuidedOpts};
+use usher_bench::{average, cli::BenchArgs};
+use usher_driver::{GuidedKnobs, Job, PipelineOptions, SourceInput};
 use usher_runtime::{run, RunOptions};
-use usher_vfg::{build_memssa, build_with, BuildOpts, VfgMode};
+use usher_vfg::VfgMode;
 use usher_workloads::{all_workloads, Scale};
 
 struct Variant {
@@ -21,55 +26,97 @@ struct Variant {
 }
 
 const VARIANTS: [Variant; 6] = [
-    Variant { name: "full Usher (k=1)", k: 1, semi_strong: true, opt1: true, opt2: true },
-    Variant { name: "k=0 (ctx-insensitive)", k: 0, semi_strong: true, opt1: true, opt2: true },
-    Variant { name: "k=2", k: 2, semi_strong: true, opt1: true, opt2: true },
-    Variant { name: "no semi-strong", k: 1, semi_strong: false, opt1: true, opt2: true },
-    Variant { name: "no Opt I", k: 1, semi_strong: true, opt1: false, opt2: true },
-    Variant { name: "no Opt II", k: 1, semi_strong: true, opt1: true, opt2: false },
+    Variant {
+        name: "full Usher (k=1)",
+        k: 1,
+        semi_strong: true,
+        opt1: true,
+        opt2: true,
+    },
+    Variant {
+        name: "k=0 (ctx-insensitive)",
+        k: 0,
+        semi_strong: true,
+        opt1: true,
+        opt2: true,
+    },
+    Variant {
+        name: "k=2",
+        k: 2,
+        semi_strong: true,
+        opt1: true,
+        opt2: true,
+    },
+    Variant {
+        name: "no semi-strong",
+        k: 1,
+        semi_strong: false,
+        opt1: true,
+        opt2: true,
+    },
+    Variant {
+        name: "no Opt I",
+        k: 1,
+        semi_strong: true,
+        opt1: false,
+        opt2: true,
+    },
+    Variant {
+        name: "no Opt II",
+        k: 1,
+        semi_strong: true,
+        opt1: true,
+        opt2: false,
+    },
 ];
 
+impl Variant {
+    fn options(&self) -> PipelineOptions {
+        let knobs = GuidedKnobs {
+            mode: VfgMode::Full,
+            semi_strong: self.semi_strong,
+            context_depth: self.k,
+            opt1: self.opt1,
+            opt2: self.opt2,
+        };
+        PipelineOptions {
+            guided: Some(knobs),
+            ..PipelineOptions::default()
+        }
+        .labelled(self.name)
+    }
+}
+
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::TEST,
-        _ => Scale::REF,
-    };
+    let args = BenchArgs::parse(Scale::REF);
+    let pipe = args.pipeline();
     let opts = RunOptions::default();
-    println!("Ablation over the design choices (scale n={})\n", scale.n);
-    println!("{:<24} {:>14} {:>16} {:>12}", "variant", "avg slowdown", "avg propagations", "avg checks");
+    let workloads = all_workloads(args.scale);
+    println!(
+        "Ablation over the design choices (scale n={})\n",
+        args.scale.n
+    );
+    println!(
+        "{:<24} {:>14} {:>16} {:>12}",
+        "variant", "avg slowdown", "avg propagations", "avg checks"
+    );
 
     for v in VARIANTS {
+        let jobs: Vec<Job> = workloads
+            .iter()
+            .map(|w| Job::new(w.name, SourceInput::TinyC(w.source.clone()), v.options()))
+            .collect();
+        let (runs, batch) = pipe.run_batch(&jobs);
+        args.emit_report(&batch);
         let mut slowdowns = Vec::new();
         let mut props = Vec::new();
         let mut checks = Vec::new();
-        for w in all_workloads(scale) {
-            let m = w.compile_o0im().expect(w.name);
-            let pa = usher_pointer::analyze(&m);
-            let ms = build_memssa(&m, &pa);
-            let vfg = build_with(
-                &m,
-                &pa,
-                &ms,
-                BuildOpts { mode: VfgMode::Full, semi_strong: v.semi_strong },
-            );
-            let gamma = if v.opt2 {
-                redundant_check_elimination(&m, &pa, &ms, &vfg, v.k).gamma
-            } else {
-                resolve(&vfg, v.k)
-            };
-            let plan = guided_plan(
-                &m,
-                &pa,
-                &ms,
-                &vfg,
-                &gamma,
-                GuidedOpts { opt1: v.opt1, full_memory: false, bit_level: false },
-                v.name,
-            );
-            let r = run(&m, Some(&plan), &opts);
-            slowdowns.push(r.counters.slowdown_pct());
-            props.push(plan.stats.propagations as f64);
-            checks.push(plan.stats.checks as f64);
+        for r in runs {
+            let r = r.expect("suite compiles");
+            let exec = run(&r.module, Some(&r.plan), &opts);
+            slowdowns.push(exec.counters.slowdown_pct());
+            props.push(r.plan.stats.propagations as f64);
+            checks.push(r.plan.stats.checks as f64);
         }
         println!(
             "{:<24} {:>13.0}% {:>16.0} {:>12.0}",

@@ -1,23 +1,29 @@
 //! Regenerates Figure 10: execution-time slowdowns (normalized to native)
 //! for MSan and the four Usher variants over the 15-workload suite.
 
-use usher_bench::{render_figure10, run_suite};
+use usher_bench::cli::BenchArgs;
+use usher_bench::{render_figure10, run_suite_with};
 use usher_runtime::RunOptions;
 use usher_workloads::Scale;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::TEST,
-        _ => Scale::REF,
-    };
-    let rows = run_suite(scale, &RunOptions::default());
-    println!("Figure 10: runtime slowdown vs native (scale n={})", scale.n);
-    print!("{}", render_figure10(&rows));
+    let args = BenchArgs::parse(Scale::REF);
+    let pipe = args.pipeline();
+    let suite = run_suite_with(args.scale, &RunOptions::default(), &pipe);
+    args.emit_report(&suite.batch);
+    println!(
+        "Figure 10: runtime slowdown vs native (scale n={})",
+        args.scale.n
+    );
+    print!("{}", render_figure10(&suite.rows));
     // Section 4.5: one genuine bug in 197.parser, found by every tool.
-    for row in &rows {
+    for row in &suite.rows {
         for r in &row.runs {
             if r.detected_sites > 0 {
-                println!("note: {} detected {} undefined-use site(s) under {}", row.name, r.detected_sites, r.config);
+                println!(
+                    "note: {} detected {} undefined-use site(s) under {}",
+                    row.name, r.detected_sites, r.config
+                );
             }
         }
     }

@@ -1,16 +1,16 @@
 //! Regenerates Figure 11: static numbers of shadow propagations and
 //! runtime checks per configuration, normalized to MSan.
 
-use usher_bench::{render_figure11, run_suite};
+use usher_bench::cli::BenchArgs;
+use usher_bench::{render_figure11, run_suite_with};
 use usher_runtime::RunOptions;
 use usher_workloads::Scale;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::TEST,
-        _ => Scale::REF,
-    };
-    let rows = run_suite(scale, &RunOptions::default());
-    println!("Figure 11 (scale n={})", scale.n);
-    print!("{}", render_figure11(&rows));
+    let args = BenchArgs::parse(Scale::REF);
+    let pipe = args.pipeline();
+    let suite = run_suite_with(args.scale, &RunOptions::default(), &pipe);
+    args.emit_report(&suite.batch);
+    println!("Figure 11 (scale n={})", args.scale.n);
+    print!("{}", render_figure11(&suite.rows));
 }

@@ -1,20 +1,48 @@
 //! Regenerates Table 1: per-benchmark statistics of the value-flow
 //! analysis under O0+IM.
 
-use usher_core::{render_table1, table1_row};
+use usher_bench::cli::BenchArgs;
+use usher_core::{render_table1, table1_row_from, AnalysisFacts, Config};
+use usher_driver::{Job, PipelineOptions, SourceInput};
 use usher_workloads::{all_workloads, Scale};
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("test") => Scale::TEST,
-        _ => Scale::REF,
-    };
+    let args = BenchArgs::parse(Scale::REF);
+    let pipe = args.pipeline();
+    let workloads = all_workloads(args.scale);
+    let jobs: Vec<Job> = workloads
+        .iter()
+        .map(|w| {
+            Job::new(
+                w.name,
+                SourceInput::TinyC(w.source.clone()),
+                PipelineOptions::from_config(Config::USHER),
+            )
+        })
+        .collect();
+    let (runs, batch) = pipe.run_batch(&jobs);
+    args.emit_report(&batch);
+
     let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        let m = w.compile_o0im().unwrap_or_else(|e| panic!("{} fails: {e}", w.name));
-        rows.push(table1_row(w.name, &w.source, &m));
+    for (w, r) in workloads.iter().zip(runs) {
+        let r = r.unwrap_or_else(|e| panic!("{} fails: {e}", w.name));
+        let vfg = r.vfg.as_ref().expect("guided config builds a VFG");
+        rows.push(table1_row_from(
+            w.name,
+            &w.source,
+            &r.module,
+            AnalysisFacts {
+                vfg,
+                mfcs_simplified: r.plan.stats.mfcs_simplified,
+                opt2_redirected: r.opt2_redirected,
+                analysis_seconds: r.report.total_seconds,
+            },
+        ));
     }
-    println!("Table 1: benchmark statistics under O0+IM (scale n={})", scale.n);
+    println!(
+        "Table 1: benchmark statistics under O0+IM (scale n={})",
+        args.scale.n
+    );
     print!("{}", render_table1(&rows));
     println!("\n%F  = % of address-taken objects uninitialized when allocated");
     println!("S   = semi-strong rule applications per non-array heap allocation site");

@@ -7,7 +7,15 @@
 //! * `figure10` — execution-time slowdowns per configuration (Figure 10);
 //! * `figure11` — static shadow propagations / checks vs MSan (Figure 11);
 //! * `optlevels` — the `-O1`/`-O2` comparison (Section 4.6);
-//! * Criterion wall-clock benches in `benches/`.
+//! * `ablation` — the design-choice ablation;
+//! * std-only wall-clock benches in `benches/`.
+//!
+//! All static analysis routes through the [`usher_driver::Pipeline`], so
+//! the five configurations of one workload share the compiled module (and
+//! every other common pipeline prefix) through the artifact cache, and
+//! whole suites are scheduled across the worker pool. Every binary takes
+//! `--threads N`, `--no-cache` and `--report` (JSON-lines telemetry on
+//! stderr); see [`cli`].
 //!
 //! Numbers come from the deterministic interpreter cost model; the
 //! *shape* (who wins, by roughly what factor, where the outliers are) is
@@ -16,10 +24,17 @@
 
 #![warn(missing_docs)]
 
-use usher_core::{run_config, Config, PlanStats};
+use std::sync::Arc;
+
+use usher_core::{Config, PlanStats};
+use usher_driver::{
+    parallel_map, BatchReport, Job, Pipeline, PipelineOptions, PipelineRun, SourceInput,
+};
 use usher_ir::{Module, OptLevel};
 use usher_runtime::{run, RunOptions, RunResult};
 use usher_workloads::{all_workloads, Scale, Workload};
+
+pub mod cli;
 
 /// Result of running one workload under one configuration.
 #[derive(Clone, Debug)]
@@ -47,40 +62,108 @@ pub struct WorkloadRuns {
     pub runs: Vec<ConfigRun>,
 }
 
-/// Runs a compiled module under every configuration of Figure 10.
-pub fn run_all_configs(name: &str, m: &Module, opts: &RunOptions) -> WorkloadRuns {
-    let native = run(m, None, opts);
+/// A whole-suite result: the Figure 10/11 rows plus the pipeline's batch
+/// telemetry.
+pub struct SuiteResult {
+    /// One row per workload, in suite order.
+    pub rows: Vec<WorkloadRuns>,
+    /// Analysis-phase telemetry (stage times, cache hits, wall clock).
+    pub batch: BatchReport,
+}
+
+/// Executes an analyzed plan and folds the dynamic numbers into a
+/// [`ConfigRun`].
+fn execute(pr: &PipelineRun, opts: &RunOptions) -> ConfigRun {
+    let result = run(&pr.module, Some(&pr.plan), opts);
+    ConfigRun {
+        config: pr.options.label.clone(),
+        plan_stats: pr.plan.stats,
+        slowdown_pct: result.counters.slowdown_pct(),
+        detected_sites: result.detected_sites().len(),
+        result,
+    }
+}
+
+/// Runs a compiled module under every configuration of Figure 10,
+/// analyzing through `pipe` (so repeated prefixes hit its cache).
+pub fn run_all_configs_with(
+    pipe: &Pipeline,
+    name: &str,
+    m: Arc<Module>,
+    opts: &RunOptions,
+) -> WorkloadRuns {
+    let native = run(&m, None, opts);
     let runs = Config::ALL
         .iter()
         .map(|cfg| {
-            let out = run_config(m, *cfg);
-            let result = run(m, Some(&out.plan), opts);
-            ConfigRun {
-                config: cfg.name.to_string(),
-                plan_stats: out.plan.stats,
-                slowdown_pct: result.counters.slowdown_pct(),
-                detected_sites: result.detected_sites().len(),
-                result,
-            }
+            let pr = pipe.run_module(name, m.clone(), PipelineOptions::from_config(*cfg));
+            execute(&pr, opts)
         })
         .collect();
-    WorkloadRuns { name: name.to_string(), native, runs }
+    WorkloadRuns {
+        name: name.to_string(),
+        native,
+        runs,
+    }
 }
 
-/// Runs the whole suite at a scale under every configuration.
-pub fn run_suite(scale: Scale, opts: &RunOptions) -> Vec<WorkloadRuns> {
-    all_workloads(scale)
+/// Runs a compiled module under every configuration of Figure 10 with a
+/// private single-threaded pipeline.
+pub fn run_all_configs(name: &str, m: &Module, opts: &RunOptions) -> WorkloadRuns {
+    run_all_configs_with(
+        &Pipeline::new().with_threads(1),
+        name,
+        Arc::new(m.clone()),
+        opts,
+    )
+}
+
+/// Runs the whole suite at a scale under every configuration: the
+/// analysis phase goes through [`Pipeline::run_batch`] (workload ×
+/// configuration jobs over the worker pool), the execution phase is
+/// fanned out per workload.
+pub fn run_suite_with(scale: Scale, opts: &RunOptions, pipe: &Pipeline) -> SuiteResult {
+    let workloads = all_workloads(scale);
+    let jobs: Vec<Job> = workloads
         .iter()
-        .map(|w| {
-            let m = w.compile_o0im().unwrap_or_else(|e| panic!("{} fails: {e}", w.name));
-            run_all_configs(w.name, &m, opts)
+        .flat_map(|w| {
+            Config::ALL.iter().map(|cfg| {
+                Job::new(
+                    w.name,
+                    SourceInput::TinyC(w.source.clone()),
+                    PipelineOptions::from_config(*cfg),
+                )
+            })
         })
-        .collect()
+        .collect();
+    let (analyzed, batch) = pipe.run_batch(&jobs);
+    let analyzed: Vec<PipelineRun> = analyzed
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("suite workload fails to compile: {e}")))
+        .collect();
+
+    let per_workload: Vec<&[PipelineRun]> = analyzed.chunks(Config::ALL.len()).collect();
+    let rows = parallel_map(pipe.threads(), &per_workload, |runs| {
+        let native = run(&runs[0].module, None, opts);
+        WorkloadRuns {
+            name: runs[0].name.clone(),
+            native,
+            runs: runs.iter().map(|pr| execute(pr, opts)).collect(),
+        }
+    });
+    SuiteResult { rows, batch }
+}
+
+/// Runs the whole suite with a private default pipeline; see
+/// [`run_suite_with`].
+pub fn run_suite(scale: Scale, opts: &RunOptions) -> Vec<WorkloadRuns> {
+    run_suite_with(scale, opts, &Pipeline::new()).rows
 }
 
 /// Compiles one workload at a given optimization level.
 pub fn compile_at(w: &Workload, level: OptLevel) -> Module {
-    w.compile_with(level).unwrap_or_else(|e| panic!("{} fails at {level}: {e}", w.name))
+    w.compile_with(level)
+        .unwrap_or_else(|e| panic!("{} fails at {level}: {e}", w.name))
 }
 
 /// Geometric-free average of slowdowns (the paper reports arithmetic
@@ -187,5 +270,18 @@ mod tests {
         }
         // MSan costs at least as much as full Usher.
         assert!(runs.runs[0].slowdown_pct >= runs.runs[4].slowdown_pct);
+    }
+
+    #[test]
+    fn shared_pipeline_reuses_the_frontend_across_configs() {
+        let w = usher_workloads::workload("crafty", Scale::TEST).unwrap();
+        let pipe = Pipeline::new().with_threads(1);
+        let m = Arc::new(w.compile_o0im().unwrap());
+        run_all_configs_with(&pipe, w.name, m, &RunOptions::default());
+        let stats = pipe.cache_stats();
+        assert!(
+            stats.hits > 0,
+            "five configs must share pipeline prefixes: {stats:?}"
+        );
     }
 }

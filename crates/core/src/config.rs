@@ -40,7 +40,11 @@ pub struct UsherConfig {
 
 impl Config {
     /// The MSan baseline: full instrumentation.
-    pub const MSAN: Config = Config { name: "MSan", usher: None, bit_level: false };
+    pub const MSAN: Config = Config {
+        name: "MSan",
+        usher: None,
+        bit_level: false,
+    };
     /// `Usher_TL`: top-level variables only, no optimizations.
     pub const USHER_TL: Config = Config {
         name: "Usher_TL",
@@ -91,7 +95,11 @@ impl Config {
     };
 
     /// Bit-precise MSan baseline (Section 4.1's Memcheck-style shadows).
-    pub const MSAN_BIT: Config = Config { name: "MSan/bit", usher: None, bit_level: true };
+    pub const MSAN_BIT: Config = Config {
+        name: "MSan/bit",
+        usher: None,
+        bit_level: true,
+    };
     /// Bit-precise full Usher.
     pub const USHER_BIT: Config = Config {
         name: "Usher/bit",
@@ -106,8 +114,13 @@ impl Config {
     };
 
     /// The five configurations of Figure 10, in plot order.
-    pub const ALL: [Config; 5] =
-        [Config::MSAN, Config::USHER_TL, Config::USHER_TL_AT, Config::USHER_OPT1, Config::USHER];
+    pub const ALL: [Config; 5] = [
+        Config::MSAN,
+        Config::USHER_TL,
+        Config::USHER_TL_AT,
+        Config::USHER_OPT1,
+        Config::USHER,
+    ];
 }
 
 /// Everything produced by one analysis run.

@@ -13,8 +13,7 @@
 use std::collections::{HashMap, HashSet};
 
 use usher_ir::{
-    Callee, ExtFunc, FuncId, GepOffset, Inst, Module, ObjId, Operand, Site, Terminator,
-    VarId,
+    Callee, ExtFunc, FuncId, GepOffset, Inst, Module, ObjId, Operand, Site, Terminator, VarId,
 };
 use usher_pointer::PointerAnalysis;
 use usher_vfg::{CheckKind, EdgeKind, MemDefKind, MemSsa, NodeKind, Vfg};
@@ -57,7 +56,13 @@ pub enum ShadowOp {
     /// Initialize the shadow of one field class of a freshly allocated
     /// object (`sigma(*x) := T/F` of the `[*-Alloc]` rules). `class` is
     /// the class representative cell; `count` the dynamic element count.
-    SetMemClass { addr: Operand, obj: ObjId, class: u32, defined: bool, count: Option<Operand> },
+    SetMemClass {
+        addr: Operand,
+        obj: ObjId,
+        class: u32,
+        defined: bool,
+        count: Option<Operand>,
+    },
     /// `sigma_g[index] := sigma(src)` (caller side of `[Bot-Para]`).
     ArgSh { index: usize, src: ShadowSrc },
     /// `sigma(dst) := sigma_g[index]` (callee side of `[Bot-Para]`).
@@ -69,9 +74,18 @@ pub enum ShadowOp {
     /// Bit-precise shadow of a binary operation (Memcheck-style, used in
     /// bit-level mode): the runtime combines the operand *values* and
     /// poison masks per operator.
-    BinSh { dst: VarId, op: usher_ir::BinOp, lhs: Operand, rhs: Operand },
+    BinSh {
+        dst: VarId,
+        op: usher_ir::BinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// Bit-precise shadow of a unary operation (bit-level mode).
-    UnSh { dst: VarId, op: usher_ir::UnOp, src: Operand },
+    UnSh {
+        dst: VarId,
+        op: usher_ir::UnOp,
+        src: Operand,
+    },
     /// `E(l) := (sigma(op) == F)` — a runtime check at a critical
     /// operation.
     Check { op: Operand, kind: CheckKind },
@@ -143,8 +157,16 @@ impl Plan {
 
     /// Recomputes `stats` from the recorded operations.
     pub fn finalize_stats(&mut self) {
-        let mut s = PlanStats { mfcs_simplified: self.stats.mfcs_simplified, ..Default::default() };
-        for ops in self.before.values().chain(self.after.values()).chain(self.entry.values()) {
+        let mut s = PlanStats {
+            mfcs_simplified: self.stats.mfcs_simplified,
+            ..Default::default()
+        };
+        for ops in self
+            .before
+            .values()
+            .chain(self.after.values())
+            .chain(self.entry.values())
+        {
             for op in ops {
                 s.ops += 1;
                 s.propagations += op.propagation_reads();
@@ -156,6 +178,24 @@ impl Plan {
         s.phis = self.tracked_phis.len();
         s.propagations += s.phis; // each tracked phi reads one incoming shadow
         self.stats = s;
+    }
+
+    /// Merges another plan fragment into this one. Fragments planned for
+    /// distinct functions touch disjoint sites, so per-function planning
+    /// (e.g. [`full_plan_func`]) can run in parallel and be absorbed in
+    /// any order; call [`Plan::finalize_stats`] once after the last merge.
+    pub fn absorb(&mut self, other: Plan) {
+        for (site, ops) in other.before {
+            self.before.entry(site).or_default().extend(ops);
+        }
+        for (site, ops) in other.after {
+            self.after.entry(site).or_default().extend(ops);
+        }
+        for (fid, ops) in other.entry {
+            self.entry.entry(fid).or_default().extend(ops);
+        }
+        self.tracked_phis.extend(other.tracked_phis);
+        self.stats.mfcs_simplified += other.stats.mfcs_simplified;
     }
 
     /// All operations planned at a site (before + after), for tests.
@@ -177,60 +217,112 @@ pub fn full_plan(m: &Module) -> Plan {
 
 /// [`full_plan`] with optional bit-level precision.
 pub fn full_plan_with(m: &Module, bit_level: bool) -> Plan {
-    let mut p = Plan { name: "MSan (full)".into(), ..Default::default() };
-    for (fid, func) in m.funcs.iter_enumerated() {
-        // Callee side of parameter passing.
-        for (i, param) in func.params.iter().enumerate() {
-            p.entry.entry(fid).or_default().push(ShadowOp::ParamSh { dst: *param, index: i });
-        }
-        for (bb, block) in func.blocks.iter_enumerated() {
-            for (idx, inst) in block.insts.iter().enumerate() {
-                let site = Site::new(fid, bb, idx);
-                full_inst(m, &mut p, site, inst, bit_level);
-            }
-            let term_site = Site::new(fid, bb, block.insts.len());
-            match &block.term {
-                Terminator::Br { cond, .. } => {
-                    if matches!(cond, Operand::Var(_) | Operand::Undef) {
-                        p.push_before(
-                            term_site,
-                            ShadowOp::Check { op: *cond, kind: CheckKind::BranchCond },
-                        );
-                    }
-                }
-                Terminator::Ret(Some(op)) => {
-                    p.push_before(term_site, ShadowOp::RetSh { src: shadow_src(*op) });
-                }
-                _ => {}
-            }
-        }
+    let mut p = Plan {
+        name: "MSan (full)".into(),
+        ..Default::default()
+    };
+    for fid in m.funcs.indices() {
+        p.absorb(full_plan_func(m, fid, bit_level));
     }
     p.finalize_stats();
+    p
+}
+
+/// Plans full instrumentation for a single function, as an unnamed plan
+/// fragment with unfinalized stats. Functions are instrumented
+/// independently, so the driver fans this out across worker threads and
+/// [`Plan::absorb`]s the fragments.
+pub fn full_plan_func(m: &Module, fid: FuncId, bit_level: bool) -> Plan {
+    let mut p = Plan::default();
+    let func = &m.funcs[fid];
+    // Callee side of parameter passing.
+    for (i, param) in func.params.iter().enumerate() {
+        p.entry.entry(fid).or_default().push(ShadowOp::ParamSh {
+            dst: *param,
+            index: i,
+        });
+    }
+    for (bb, block) in func.blocks.iter_enumerated() {
+        for (idx, inst) in block.insts.iter().enumerate() {
+            let site = Site::new(fid, bb, idx);
+            full_inst(m, &mut p, site, inst, bit_level);
+        }
+        let term_site = Site::new(fid, bb, block.insts.len());
+        match &block.term {
+            Terminator::Br { cond, .. } => {
+                if matches!(cond, Operand::Var(_) | Operand::Undef) {
+                    p.push_before(
+                        term_site,
+                        ShadowOp::Check {
+                            op: *cond,
+                            kind: CheckKind::BranchCond,
+                        },
+                    );
+                }
+            }
+            Terminator::Ret(Some(op)) => {
+                p.push_before(
+                    term_site,
+                    ShadowOp::RetSh {
+                        src: shadow_src(*op),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
     p
 }
 
 fn full_inst(m: &Module, p: &mut Plan, site: Site, inst: &Inst, bit_level: bool) {
     match inst {
         Inst::Copy { dst, src } => {
-            p.push_after(site, ShadowOp::CopyTl { dst: *dst, src: shadow_src(*src) });
+            p.push_after(
+                site,
+                ShadowOp::CopyTl {
+                    dst: *dst,
+                    src: shadow_src(*src),
+                },
+            );
         }
         Inst::Un { dst, op, src } => {
             if bit_level {
-                p.push_after(site, ShadowOp::UnSh { dst: *dst, op: *op, src: *src });
+                p.push_after(
+                    site,
+                    ShadowOp::UnSh {
+                        dst: *dst,
+                        op: *op,
+                        src: *src,
+                    },
+                );
             } else {
-                p.push_after(site, ShadowOp::CopyTl { dst: *dst, src: shadow_src(*src) });
+                p.push_after(
+                    site,
+                    ShadowOp::CopyTl {
+                        dst: *dst,
+                        src: shadow_src(*src),
+                    },
+                );
             }
         }
         Inst::Bin { dst, op, lhs, rhs } => {
             if bit_level {
                 p.push_after(
                     site,
-                    ShadowOp::BinSh { dst: *dst, op: *op, lhs: *lhs, rhs: *rhs },
+                    ShadowOp::BinSh {
+                        dst: *dst,
+                        op: *op,
+                        lhs: *lhs,
+                        rhs: *rhs,
+                    },
                 );
             } else {
                 p.push_after(
                     site,
-                    ShadowOp::AndTl { dst: *dst, srcs: vec![shadow_src(*lhs), shadow_src(*rhs)] },
+                    ShadowOp::AndTl {
+                        dst: *dst,
+                        srcs: vec![shadow_src(*lhs), shadow_src(*rhs)],
+                    },
                 );
             }
         }
@@ -257,41 +349,78 @@ fn full_inst(m: &Module, p: &mut Plan, site: Site, inst: &Inst, bit_level: bool)
         }
         Inst::Load { dst, addr } => {
             if matches!(addr, Operand::Var(_) | Operand::Undef) {
-                p.push_before(site, ShadowOp::Check { op: *addr, kind: CheckKind::LoadAddr });
+                p.push_before(
+                    site,
+                    ShadowOp::Check {
+                        op: *addr,
+                        kind: CheckKind::LoadAddr,
+                    },
+                );
             }
-            p.push_after(site, ShadowOp::LoadSh { dst: *dst, addr: *addr });
+            p.push_after(
+                site,
+                ShadowOp::LoadSh {
+                    dst: *dst,
+                    addr: *addr,
+                },
+            );
         }
         Inst::Store { addr, val } => {
             if matches!(addr, Operand::Var(_) | Operand::Undef) {
-                p.push_before(site, ShadowOp::Check { op: *addr, kind: CheckKind::StoreAddr });
+                p.push_before(
+                    site,
+                    ShadowOp::Check {
+                        op: *addr,
+                        kind: CheckKind::StoreAddr,
+                    },
+                );
             }
-            p.push_after(site, ShadowOp::StoreSh { addr: *addr, src: shadow_src(*val) });
+            p.push_after(
+                site,
+                ShadowOp::StoreSh {
+                    addr: *addr,
+                    src: shadow_src(*val),
+                },
+            );
         }
-        Inst::Call { dst, callee, args } => {
-            match callee {
-                Callee::External(ext) => {
-                    if let (Some(d), ExtFunc::InputInt) = (dst, ext) {
-                        p.push_after(site, ShadowOp::SetTl { dst: *d, defined: true });
+        Inst::Call { dst, callee, args } => match callee {
+            Callee::External(ext) => {
+                if let (Some(d), ExtFunc::InputInt) = (dst, ext) {
+                    p.push_after(
+                        site,
+                        ShadowOp::SetTl {
+                            dst: *d,
+                            defined: true,
+                        },
+                    );
+                }
+            }
+            Callee::Direct(_) | Callee::Indirect(_) => {
+                if let Callee::Indirect(t) = callee {
+                    if matches!(t, Operand::Var(_) | Operand::Undef) {
+                        p.push_before(
+                            site,
+                            ShadowOp::Check {
+                                op: *t,
+                                kind: CheckKind::CallTarget,
+                            },
+                        );
                     }
                 }
-                Callee::Direct(_) | Callee::Indirect(_) => {
-                    if let Callee::Indirect(t) = callee {
-                        if matches!(t, Operand::Var(_) | Operand::Undef) {
-                            p.push_before(
-                                site,
-                                ShadowOp::Check { op: *t, kind: CheckKind::CallTarget },
-                            );
-                        }
-                    }
-                    for (i, a) in args.iter().enumerate() {
-                        p.push_before(site, ShadowOp::ArgSh { index: i, src: shadow_src(*a) });
-                    }
-                    if let Some(d) = dst {
-                        p.push_after(site, ShadowOp::RetResultSh { dst: *d });
-                    }
+                for (i, a) in args.iter().enumerate() {
+                    p.push_before(
+                        site,
+                        ShadowOp::ArgSh {
+                            index: i,
+                            src: shadow_src(*a),
+                        },
+                    );
+                }
+                if let Some(d) = dst {
+                    p.push_after(site, ShadowOp::RetResultSh { dst: *d });
                 }
             }
-        }
+        },
         Inst::Phi { dst, .. } => {
             p.tracked_phis.insert((site.func, *dst));
         }
@@ -325,7 +454,10 @@ pub fn guided_plan(
     opts: GuidedOpts,
     name: impl Into<String>,
 ) -> Plan {
-    let mut p = Plan { name: name.into(), ..Default::default() };
+    let mut p = Plan {
+        name: name.into(),
+        ..Default::default()
+    };
     let mut g = Generator {
         m,
         pa,
@@ -350,7 +482,13 @@ pub fn guided_plan(
         if !gamma.is_bot(check.node) {
             continue; // [Top-Check]
         }
-        g.plan.push_before(check.site, ShadowOp::Check { op: check.operand, kind: check.kind });
+        g.plan.push_before(
+            check.site,
+            ShadowOp::Check {
+                op: check.operand,
+                kind: check.kind,
+            },
+        );
         if let Operand::Var(v) = check.operand {
             if let Some(n) = vfg.tl(check.site.func, v) {
                 g.demand(n);
@@ -404,7 +542,10 @@ impl<'a> Generator<'a> {
                             if self.store_sh_sites.insert(site) {
                                 self.plan.push_after(
                                     site,
-                                    ShadowOp::StoreSh { addr: *addr, src: shadow_src(*val) },
+                                    ShadowOp::StoreSh {
+                                        addr: *addr,
+                                        src: shadow_src(*val),
+                                    },
                                 );
                             }
                             if let Operand::Var(v) = val {
@@ -440,7 +581,10 @@ impl<'a> Generator<'a> {
     }
 
     fn demand_deps(&mut self, node: u32) {
-        let deps: Vec<u32> = self.vfg.deps[node as usize].iter().map(|(d, _)| *d).collect();
+        let deps: Vec<u32> = self.vfg.deps[node as usize]
+            .iter()
+            .map(|(d, _)| *d)
+            .collect();
         for d in deps {
             self.demand(d);
         }
@@ -459,7 +603,11 @@ impl<'a> Generator<'a> {
         if func.params.contains(&v) {
             // [Bot-Para]: callee entry reads sigma_g; every call site
             // writes it from the actual's shadow.
-            let index = func.params.iter().position(|p| *p == v).expect("checked above");
+            let index = func
+                .params
+                .iter()
+                .position(|p| *p == v)
+                .expect("checked above");
             self.plan
                 .entry
                 .entry(f)
@@ -486,14 +634,23 @@ impl<'a> Generator<'a> {
             // No defining statement (should not happen for non-params).
             return;
         };
-        let inst = self.m.funcs[f].blocks[site.block].insts.get(site.idx).cloned();
+        let inst = self.m.funcs[f].blocks[site.block]
+            .insts
+            .get(site.idx)
+            .cloned();
         let Some(inst) = inst else { return };
         match inst {
             Inst::Copy { dst, src } => {
                 if self.try_opt1(node, dst, site) {
                     return;
                 }
-                self.plan.push_after(site, ShadowOp::CopyTl { dst, src: shadow_src(src) });
+                self.plan.push_after(
+                    site,
+                    ShadowOp::CopyTl {
+                        dst,
+                        src: shadow_src(src),
+                    },
+                );
                 self.demand_deps(node);
             }
             Inst::Un { dst, op, src } => {
@@ -503,7 +660,13 @@ impl<'a> Generator<'a> {
                 if self.opts.bit_level {
                     self.plan.push_after(site, ShadowOp::UnSh { dst, op, src });
                 } else {
-                    self.plan.push_after(site, ShadowOp::CopyTl { dst, src: shadow_src(src) });
+                    self.plan.push_after(
+                        site,
+                        ShadowOp::CopyTl {
+                            dst,
+                            src: shadow_src(src),
+                        },
+                    );
                 }
                 self.demand_deps(node);
             }
@@ -512,11 +675,15 @@ impl<'a> Generator<'a> {
                     return;
                 }
                 if self.opts.bit_level {
-                    self.plan.push_after(site, ShadowOp::BinSh { dst, op, lhs, rhs });
+                    self.plan
+                        .push_after(site, ShadowOp::BinSh { dst, op, lhs, rhs });
                 } else {
                     self.plan.push_after(
                         site,
-                        ShadowOp::AndTl { dst, srcs: vec![shadow_src(lhs), shadow_src(rhs)] },
+                        ShadowOp::AndTl {
+                            dst,
+                            srcs: vec![shadow_src(lhs), shadow_src(rhs)],
+                        },
                     );
                 }
                 self.demand_deps(node);
@@ -535,8 +702,13 @@ impl<'a> Generator<'a> {
             Inst::Alloc { dst, count, .. } => {
                 // The pointer itself: Bot only via an undefined count.
                 if let Some(c) = count {
-                    self.plan
-                        .push_after(site, ShadowOp::AndTl { dst, srcs: vec![shadow_src(c)] });
+                    self.plan.push_after(
+                        site,
+                        ShadowOp::AndTl {
+                            dst,
+                            srcs: vec![shadow_src(c)],
+                        },
+                    );
                 }
                 self.demand_deps(node);
             }
@@ -545,7 +717,11 @@ impl<'a> Generator<'a> {
                 self.plan.push_after(site, ShadowOp::LoadSh { dst, addr });
                 self.demand_deps(node);
             }
-            Inst::Call { dst: Some(dst), callee, .. } => {
+            Inst::Call {
+                dst: Some(dst),
+                callee,
+                ..
+            } => {
                 match callee {
                     Callee::External(_) => {
                         // Externals always produce defined results; a Bot
@@ -586,7 +762,12 @@ impl<'a> Generator<'a> {
             let term_site = Site::new(g, bb, self.m.funcs[g].blocks[bb].insts.len());
             if let Some(op) = op {
                 if self.ret_sh_sites.insert(term_site) {
-                    self.plan.push_before(term_site, ShadowOp::RetSh { src: shadow_src(op) });
+                    self.plan.push_before(
+                        term_site,
+                        ShadowOp::RetSh {
+                            src: shadow_src(op),
+                        },
+                    );
                 }
             }
         }
@@ -624,7 +805,8 @@ impl<'a> Generator<'a> {
         if srcs.is_empty() {
             // All sources Top: the value is Top... but we are Bot; be
             // conservative and mark defined.
-            self.plan.push_after(site, ShadowOp::SetTl { dst, defined: true });
+            self.plan
+                .push_after(site, ShadowOp::SetTl { dst, defined: true });
         } else {
             self.plan.push_after(site, ShadowOp::AndTl { dst, srcs });
         }
@@ -632,7 +814,9 @@ impl<'a> Generator<'a> {
     }
 
     fn process_mem(&mut self, node: u32, f: FuncId, ver: usher_vfg::MemVerId) {
-        let Some(fs) = self.ms.funcs.get(&f) else { return };
+        let Some(fs) = self.ms.funcs.get(&f) else {
+            return;
+        };
         let def = fs.def(ver);
         match def.kind {
             MemDefKind::FormalIn | MemDefKind::Phi(_) => {
@@ -643,7 +827,9 @@ impl<'a> Generator<'a> {
             MemDefKind::Alloc(site) => {
                 // [Bot-Alloc]: set the fresh object's shadow.
                 let inst = self.m.funcs[f].blocks[site.block].insts[site.idx].clone();
-                let Inst::Alloc { dst, obj, count } = inst else { return };
+                let Inst::Alloc { dst, obj, count } = inst else {
+                    return;
+                };
                 let defined = self.m.objects[obj].zero_init;
                 self.plan.push_after(
                     site,
@@ -661,8 +847,16 @@ impl<'a> Generator<'a> {
                 // [Bot-Store*]: sigma(*x) := sigma(y), once per store.
                 if self.store_sh_sites.insert(site) {
                     let inst = self.m.funcs[f].blocks[site.block].insts[site.idx].clone();
-                    let Inst::Store { addr, val } = inst else { return };
-                    self.plan.push_after(site, ShadowOp::StoreSh { addr, src: shadow_src(val) });
+                    let Inst::Store { addr, val } = inst else {
+                        return;
+                    };
+                    self.plan.push_after(
+                        site,
+                        ShadowOp::StoreSh {
+                            addr,
+                            src: shadow_src(val),
+                        },
+                    );
                 }
                 self.demand_deps(node);
             }

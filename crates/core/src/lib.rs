@@ -32,12 +32,17 @@ pub mod resolve;
 pub mod stats;
 
 pub use config::{run_config, AnalysisOutput, Config, UsherConfig};
-pub use instrument::{full_plan, guided_plan, GuidedOpts, Plan, PlanStats, ShadowOp, ShadowSrc};
+pub use instrument::{
+    full_plan, full_plan_func, full_plan_with, guided_plan, GuidedOpts, Plan, PlanStats, ShadowOp,
+    ShadowSrc,
+};
 pub use merge::{access_equivalence_classes, resolve_merged, MergeStats};
 pub use mfc::{mfc, Mfc};
 pub use opt2::{redundant_check_elimination, Opt2Result};
 pub use resolve::{resolve, Definedness, Gamma};
-pub use stats::{nodes_reaching_checks, render_table1, table1_row, Table1Row};
+pub use stats::{
+    nodes_reaching_checks, render_table1, table1_row, table1_row_from, AnalysisFacts, Table1Row,
+};
 
 #[cfg(test)]
 mod tests {

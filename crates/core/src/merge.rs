@@ -128,7 +128,11 @@ pub fn resolve_merged(vfg: &Vfg, k: usize) -> (Gamma, MergeStats) {
     let bot: Vec<bool> = (0..n).map(|v| bot_classes[class[v] as usize]).collect();
     (
         Gamma::from_bot(bot, k),
-        MergeStats { nodes: n, classes: nclasses, rounds },
+        MergeStats {
+            nodes: n,
+            classes: nclasses,
+            rounds,
+        },
     )
 }
 

@@ -27,7 +27,9 @@ pub struct Mfc {
 
 /// Looks up the defining instruction of a top-level node.
 pub fn def_inst<'m>(m: &'m Module, vfg: &Vfg, node: u32) -> Option<&'m Inst> {
-    let NodeKind::Tl(f, _) = vfg.nodes[node as usize] else { return None };
+    let NodeKind::Tl(f, _) = vfg.nodes[node as usize] else {
+        return None;
+    };
     let site = vfg.def_site[node as usize]?;
     debug_assert_eq!(site.func, f);
     m.funcs[f].blocks[site.block].insts.get(site.idx)
@@ -179,7 +181,10 @@ mod tests {
         let value_mode = mfc(&m, &g, sink, true);
         let bit_mode = mfc(&m, &g, sink, false);
         // In bit-level mode the `&` result is a source, not folded.
-        assert!(bit_mode.folded < value_mode.folded, "{bit_mode:?} vs {value_mode:?}");
+        assert!(
+            bit_mode.folded < value_mode.folded,
+            "{bit_mode:?} vs {value_mode:?}"
+        );
     }
 
     #[test]

@@ -48,8 +48,12 @@ pub fn redundant_check_elimination(
     };
 
     for check in &vfg.checks {
-        let Operand::Var(x) = check.operand else { continue };
-        let Some(x_node) = vfg.tl(check.site.func, x) else { continue };
+        let Operand::Var(x) = check.operand else {
+            continue;
+        };
+        let Some(x_node) = vfg.tl(check.site.func, x) else {
+            continue;
+        };
 
         // x-bar: the MFC, extended with concrete locations read by loads
         // inside it (Algorithm 1, line 4).
@@ -57,10 +61,16 @@ pub fn redundant_check_elimination(
         let mut ax: HashSet<u32> = closure.nodes.clone();
         let tl_members: Vec<u32> = closure.nodes.iter().copied().collect();
         for n in tl_members {
-            let Some(site) = vfg.def_site[n as usize] else { continue };
-            let NodeKind::Tl(f, _) = vfg.nodes[n as usize] else { continue };
+            let Some(site) = vfg.def_site[n as usize] else {
+                continue;
+            };
+            let NodeKind::Tl(f, _) = vfg.nodes[n as usize] else {
+                continue;
+            };
             let Some(fs) = ms.funcs.get(&f) else { continue };
-            let Some(mus) = fs.mus.get(&site) else { continue };
+            let Some(mus) = fs.mus.get(&site) else {
+                continue;
+            };
             // Only loads carry mus at TL def sites.
             for mu in mus {
                 if pa.is_concrete(mu.loc) {
@@ -73,17 +83,17 @@ pub fn redundant_check_elimination(
 
         // R_x: nodes outside the closure that depend on it, whose defining
         // statement is dominated by the check.
-        dts.entry(check.site.func).or_insert_with(|| {
-            dt_of(check.site.func)
-        });
+        dts.entry(check.site.func)
+            .or_insert_with(|| dt_of(check.site.func));
         for &t in &ax {
-            let user_list: Vec<u32> =
-                vfg.users[t as usize].iter().map(|(r, _)| *r).collect();
+            let user_list: Vec<u32> = vfg.users[t as usize].iter().map(|(r, _)| *r).collect();
             for r in user_list {
                 if ax.contains(&r) || r == check.node {
                     continue;
                 }
-                let Some(r_site) = vfg.def_site[r as usize] else { continue };
+                let Some(r_site) = vfg.def_site[r as usize] else {
+                    continue;
+                };
                 if r_site.func != check.site.func {
                     continue;
                 }
@@ -98,7 +108,10 @@ pub fn redundant_check_elimination(
     }
 
     let gamma = resolve(&g2, k);
-    Opt2Result { gamma, redirected: redirected.len() }
+    Opt2Result {
+        gamma,
+        redirected: redirected.len(),
+    }
 }
 
 fn dominates_site(dt: &DomTree, a: Site, b: Site) -> bool {

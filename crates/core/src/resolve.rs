@@ -48,6 +48,16 @@ impl Gamma {
     pub fn bot_count(&self) -> usize {
         self.bot.iter().filter(|b| **b).count()
     }
+
+    /// Number of VFG nodes this map covers.
+    pub fn len(&self) -> usize {
+        self.bot.len()
+    }
+
+    /// Whether the map covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.bot.is_empty()
+    }
 }
 
 /// A k-limited calling context: the most recent unmatched call sites.
@@ -61,7 +71,10 @@ struct Ctx {
 
 impl Ctx {
     fn empty() -> Ctx {
-        Ctx { stack: Vec::new(), overflowed: false }
+        Ctx {
+            stack: Vec::new(),
+            overflowed: false,
+        }
     }
 
     fn push(&self, site: Site, k: usize) -> Ctx {
@@ -98,19 +111,17 @@ impl Ctx {
 /// sensitivity (the paper uses `k = 1`).
 pub fn resolve(vfg: &Vfg, k: usize) -> Gamma {
     let bot = resolve_graph(&vfg.users, vfg.f_root, vfg.nodes.len(), k);
-    Gamma { bot, context_depth: k }
+    Gamma {
+        bot,
+        context_depth: k,
+    }
 }
 
 /// The underlying reachability engine: given forward (flows-to) adjacency
 /// `users`, marks every node reachable from `f_root` under partially
 /// balanced, `k`-limited call/return matching. Exposed so clients (e.g.
 /// access-equivalence merging) can resolve quotient graphs.
-pub fn resolve_graph(
-    users: &[Vec<(u32, EdgeKind)>],
-    f_root: u32,
-    n: usize,
-    k: usize,
-) -> Vec<bool> {
+pub fn resolve_graph(users: &[Vec<(u32, EdgeKind)>], f_root: u32, n: usize, k: usize) -> Vec<bool> {
     let mut bot = vec![false; n];
     let mut visited: HashSet<(u32, Ctx)> = HashSet::new();
     let mut work: Vec<(u32, Ctx)> = Vec::new();
@@ -261,7 +272,11 @@ mod tests {
             }";
         let (m, g, gamma1) = gamma_for(src, 1);
         let r = ret_node(&m, &g, "main");
-        assert_eq!(gamma1.of(r), Definedness::Top, "k=1 separates the two call sites");
+        assert_eq!(
+            gamma1.of(r),
+            Definedness::Top,
+            "k=1 separates the two call sites"
+        );
 
         let (m0, g0, gamma0) = gamma_for(src, 0);
         let r0 = ret_node(&m0, &g0, "main");

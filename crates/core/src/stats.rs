@@ -51,8 +51,40 @@ pub struct Table1Row {
     pub opt2_redirected: usize,
 }
 
-/// Collects a Table 1 row for a compiled module.
+/// The full-Usher analysis artifacts a Table 1 row is derived from.
+/// Decouples the statistics collector from stage wiring so callers that
+/// already ran the pipeline (e.g. `usher-driver`) reuse their artifacts.
+pub struct AnalysisFacts<'a> {
+    /// The VFG built under `Config::USHER`.
+    pub vfg: &'a Vfg,
+    /// MFCs simplified by Opt I (from the guided plan's stats).
+    pub mfcs_simplified: usize,
+    /// Nodes redirected to `T` by Opt II.
+    pub opt2_redirected: usize,
+    /// Analysis wall-clock seconds.
+    pub analysis_seconds: f64,
+}
+
+/// Collects a Table 1 row for a compiled module, running the full-Usher
+/// analysis itself (convenience wrapper over [`table1_row_from`]).
 pub fn table1_row(name: &str, source: &str, m: &Module) -> Table1Row {
+    let out = run_config(m, Config::USHER);
+    let vfg = out.vfg.as_ref().expect("guided config builds a VFG");
+    table1_row_from(
+        name,
+        source,
+        m,
+        AnalysisFacts {
+            vfg,
+            mfcs_simplified: out.plan.stats.mfcs_simplified,
+            opt2_redirected: out.opt2_redirected,
+            analysis_seconds: out.analysis_seconds,
+        },
+    )
+}
+
+/// Collects a Table 1 row from precomputed full-Usher analysis artifacts.
+pub fn table1_row_from(name: &str, source: &str, m: &Module, facts: AnalysisFacts) -> Table1Row {
     let mut row = Table1Row {
         name: name.to_string(),
         kloc: source.lines().count() as f64 / 1000.0,
@@ -74,15 +106,17 @@ pub fn table1_row(name: &str, source: &str, m: &Module) -> Table1Row {
             uninit += 1;
         }
     }
-    row.pct_uninit = if total_at == 0 { 0.0 } else { 100.0 * uninit as f64 / total_at as f64 };
+    row.pct_uninit = if total_at == 0 {
+        0.0
+    } else {
+        100.0 * uninit as f64 / total_at as f64
+    };
 
-    // Full Usher run for VFG stats, Opt I/II effect sizes and timing.
-    let out = run_config(m, Config::USHER);
-    row.time_secs = out.analysis_seconds;
-    let vfg = out.vfg.as_ref().expect("guided config builds a VFG");
+    let vfg = facts.vfg;
+    row.time_secs = facts.analysis_seconds;
     row.vfg_nodes = vfg.len();
     row.mem_mb = approx_mem_mb(vfg);
-    let s = out.vfg_stats;
+    let s = vfg.stats;
     let singleton = s.strong_stores + s.weak_singleton_stores + s.semi_strong_stores;
     let total = s.total_stores.max(1);
     let _ = singleton;
@@ -104,12 +138,11 @@ pub fn table1_row(name: &str, source: &str, m: &Module) -> Table1Row {
             }
         }
     }
-    row.semi_per_heap_site =
-        s.semi_strong_stores as f64 / heap_sites.max(1) as f64;
+    row.semi_per_heap_site = s.semi_strong_stores as f64 / heap_sites.max(1) as f64;
 
     row.pct_b = 100.0 * nodes_reaching_checks(vfg) as f64 / vfg.len().max(1) as f64;
-    row.opt1_simplified = out.plan.stats.mfcs_simplified;
-    row.opt2_redirected = out.opt2_redirected;
+    row.opt1_simplified = facts.mfcs_simplified;
+    row.opt2_redirected = facts.opt2_redirected;
     row
 }
 
@@ -131,7 +164,13 @@ pub fn nodes_reaching_checks(vfg: &Vfg) -> usize {
         }
     }
     // Exclude the virtual check nodes themselves.
-    seen.len().saturating_sub(vfg.checks.iter().map(|c| c.node).collect::<HashSet<_>>().len())
+    seen.len().saturating_sub(
+        vfg.checks
+            .iter()
+            .map(|c| c.node)
+            .collect::<HashSet<_>>()
+            .len(),
+    )
 }
 
 fn approx_mem_mb(vfg: &Vfg) -> f64 {

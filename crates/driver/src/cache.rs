@@ -1,0 +1,117 @@
+//! The in-memory artifact cache shared by every run of a [`crate::Pipeline`].
+//!
+//! Keys are stable content hashes of `(source, relevant options)` built in
+//! [`crate::options`]; values are `Arc`-shared immutable artifacts, so a
+//! hit costs a pointer clone. A single mutex guards the map — stage
+//! computations dominate by orders of magnitude, and entries are inserted
+//! at most once per key, so contention is negligible at driver job
+//! granularity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use usher_core::{Gamma, Plan};
+use usher_ir::Module;
+use usher_pointer::PointerAnalysis;
+use usher_vfg::{MemSsa, Vfg};
+
+/// One cached stage output.
+#[derive(Clone)]
+pub enum Artifact {
+    /// Compiled module (frontend output).
+    Module(Arc<Module>),
+    /// Pointer analysis.
+    Pointer(Arc<PointerAnalysis>),
+    /// Memory SSA.
+    MemSsa(Arc<MemSsa>),
+    /// Value-flow graph.
+    Vfg(Arc<Vfg>),
+    /// Resolved definedness map plus Opt II's redirected-node count.
+    Gamma(Arc<Gamma>, usize),
+    /// Instrumentation plan.
+    Plan(Arc<Plan>),
+}
+
+/// Global hit/miss counters of a cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned an artifact.
+    pub hits: usize,
+    /// Lookups that found nothing (the stage then ran).
+    pub misses: usize,
+    /// Artifacts currently stored.
+    pub entries: usize,
+}
+
+/// A thread-safe artifact store keyed by stable content hashes.
+#[derive(Default)]
+pub struct ArtifactCache {
+    map: Mutex<HashMap<u64, Artifact>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// Looks up an artifact, counting the hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<Artifact> {
+        let got = self.map.lock().expect("cache poisoned").get(&key).cloned();
+        match got {
+            Some(a) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(a)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an artifact. Racing inserts of the same key are benign:
+    /// stage computations are deterministic, so both values are equal and
+    /// either may win.
+    pub fn insert(&self, key: u64, artifact: Artifact) {
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, artifact);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache poisoned").len(),
+        }
+    }
+
+    /// Drops every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = ArtifactCache::new();
+        assert!(c.lookup(1).is_none());
+        c.insert(1, Artifact::Module(Arc::new(Module::default())));
+        assert!(c.lookup(1).is_some());
+        assert!(c.lookup(2).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Canonical textual renderings of analysis artifacts, for byte-identity
+//! comparisons in determinism tests and cache validation.
+//!
+//! Plans keep their instrumentation in hash maps, whose iteration order is
+//! process-randomized — two equal plans rarely `Debug`-print identically.
+//! The fingerprints below sort every map by its key first, so equal
+//! artifacts always render to equal strings.
+
+use std::fmt::Write as _;
+
+use usher_core::{Gamma, Plan};
+
+/// A canonical, order-independent rendering of a plan's instrumentation.
+/// Two plans are semantically equal iff their fingerprints are equal
+/// (the display `name` is deliberately excluded).
+pub fn plan_fingerprint(p: &Plan) -> String {
+    let mut s = String::new();
+
+    let mut entries: Vec<_> = p.entry.iter().collect();
+    entries.sort_by_key(|(fid, _)| **fid);
+    for (fid, ops) in entries {
+        let _ = writeln!(s, "entry {fid}: {ops:?}");
+    }
+
+    let mut before: Vec<_> = p.before.iter().collect();
+    before.sort_by_key(|(site, _)| **site);
+    for (site, ops) in before {
+        let _ = writeln!(s, "before {site}: {ops:?}");
+    }
+
+    let mut after: Vec<_> = p.after.iter().collect();
+    after.sort_by_key(|(site, _)| **site);
+    for (site, ops) in after {
+        let _ = writeln!(s, "after {site}: {ops:?}");
+    }
+
+    let mut phis: Vec<_> = p.tracked_phis.iter().collect();
+    phis.sort();
+    for (fid, var) in phis {
+        let _ = writeln!(s, "phi {fid} {var}");
+    }
+
+    let st = p.stats;
+    let _ = writeln!(
+        s,
+        "stats ops={} propagations={} checks={} phis={} mfcs={}",
+        st.ops, st.propagations, st.checks, st.phis, st.mfcs_simplified
+    );
+    s
+}
+
+/// A canonical rendering of a resolved definedness map: context depth plus
+/// the `Bot` bit of every node, packed as hex nibbles.
+pub fn gamma_fingerprint(g: &Gamma) -> String {
+    let mut s = format!("k={} n={} bot=", g.context_depth, g.len());
+    let mut nibble = 0u8;
+    for i in 0..g.len() {
+        nibble = (nibble << 1) | u8::from(g.is_bot(i as u32));
+        if i % 4 == 3 {
+            let _ = write!(s, "{nibble:x}");
+            nibble = 0;
+        }
+    }
+    if g.len() % 4 != 0 {
+        nibble <<= 4 - g.len() % 4;
+        let _ = write!(s, "{nibble:x}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usher_core::{run_config, Config};
+
+    const SRC: &str = "
+        int g;
+        def helper(int a) -> int { int t; if (a > 1) { t = a; } return t; }
+        def main(int c) -> int { g = helper(c); print(g); return 0; }
+    ";
+
+    #[test]
+    fn equal_plans_have_equal_fingerprints() {
+        let m = usher_frontend::compile_o0im(SRC).unwrap();
+        let a = run_config(&m, Config::USHER);
+        let b = run_config(&m, Config::USHER);
+        assert_eq!(plan_fingerprint(&a.plan), plan_fingerprint(&b.plan));
+        assert_eq!(
+            gamma_fingerprint(a.gamma.as_ref().unwrap()),
+            gamma_fingerprint(b.gamma.as_ref().unwrap())
+        );
+    }
+
+    #[test]
+    fn different_configs_have_different_fingerprints() {
+        let m = usher_frontend::compile_o0im(SRC).unwrap();
+        let usher = run_config(&m, Config::USHER);
+        let msan = run_config(&m, Config::MSAN);
+        assert_ne!(plan_fingerprint(&usher.plan), plan_fingerprint(&msan.plan));
+    }
+}

@@ -1,0 +1,100 @@
+//! Stable content hashing for cache keys.
+//!
+//! Artifact cache keys must be reproducible across runs and across
+//! threads, so they are built with an explicit FNV-1a writer instead of
+//! `std::hash` (whose `SipHash` keys are randomized per process for
+//! `HashMap`, and whose layout is not guaranteed stable across releases).
+
+/// An incremental FNV-1a (64-bit) key writer.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyWriter(u64);
+
+impl KeyWriter {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a key tagged with a stage label, so keys of different
+    /// stages never collide structurally.
+    pub fn new(tag: &str) -> KeyWriter {
+        let mut k = KeyWriter(Self::OFFSET);
+        k.str(tag);
+        k
+    }
+
+    /// Mixes raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Mixes a length-prefixed string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes())
+    }
+
+    /// Mixes a 64-bit integer.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Mixes a boolean.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.bytes(&[u8::from(v)])
+    }
+
+    /// The finished key.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let a = {
+            let mut k = KeyWriter::new("frontend");
+            k.str("def main() {}").u64(0);
+            k.finish()
+        };
+        let b = {
+            let mut k = KeyWriter::new("frontend");
+            k.str("def main() {}").u64(0);
+            k.finish()
+        };
+        assert_eq!(a, b, "same inputs, same key");
+        let c = {
+            let mut k = KeyWriter::new("frontend");
+            k.str("def main() {}").u64(1);
+            k.finish()
+        };
+        assert_ne!(a, c, "different option, different key");
+        let d = {
+            let mut k = KeyWriter::new("pointer");
+            k.str("def main() {}").u64(0);
+            k.finish()
+        };
+        assert_ne!(a, d, "different stage tag, different key");
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_ambiguity() {
+        let a = {
+            let mut k = KeyWriter::new("t");
+            k.str("ab").str("c");
+            k.finish()
+        };
+        let b = {
+            let mut k = KeyWriter::new("t");
+            k.str("a").str("bc");
+            k.finish()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,770 @@
+//! The pipeline driver: typed stage execution with caching, timing and
+//! parallel scheduling.
+//!
+//! Stage order is Parse → Lower → Inline → Mem2Reg → Opt (the frontend,
+//! cached as one compiled-module artifact) → Pointer → MemSsa → VfgBuild
+//! → Resolve → Instrument. The MSan baseline takes the short path
+//! frontend → Instrument. Every stage consults the [`ArtifactCache`]
+//! under a key from [`PipelineOptions`], so a sweep over configurations
+//! recomputes only the suffix each configuration actually changes.
+//!
+//! Parallelism comes in two grains:
+//!
+//! * **batch**: [`Pipeline::run_batch`] schedules whole jobs (program ×
+//!   configuration) over the worker pool, the natural grain for benchmark
+//!   sweeps;
+//! * **per-function**: single runs split memory-SSA construction and
+//!   full-instrumentation planning across functions — the two stages that
+//!   are embarrassingly parallel once the interprocedural mod/ref
+//!   summaries exist. (Guided planning is demand-driven across function
+//!   boundaries and stays sequential.)
+//!
+//! Both grains produce results in deterministic input order, and every
+//! stage computation is deterministic, so thread count can never change
+//! an artifact — only how fast it arrives.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use usher_core::{
+    full_plan_func, guided_plan, redundant_check_elimination, resolve, Gamma, GuidedOpts, Plan,
+};
+use usher_frontend::CompileError;
+use usher_ir::{mem2reg, optimize, run_inline, FuncId, InlinePolicy, Module};
+use usher_pointer::PointerAnalysis;
+use usher_vfg::{
+    build_function_ssa, build_with, modref_summaries, BuildOpts, MemSsa, Vfg, VfgMode,
+};
+
+use crate::cache::{Artifact, ArtifactCache, CacheStats};
+use crate::key::KeyWriter;
+use crate::options::PipelineOptions;
+use crate::pool::{default_threads, parallel_map};
+use crate::report::{BatchReport, PipelineReport, Stage, StageTiming};
+
+/// Any failure a pipeline run can produce.
+#[derive(Clone, Debug)]
+pub enum DriverError {
+    /// TinyC front-end failure.
+    Compile(CompileError),
+    /// IR-text parse failure.
+    Text(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Compile(e) => write!(f, "{e}"),
+            DriverError::Text(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<CompileError> for DriverError {
+    fn from(e: CompileError) -> Self {
+        DriverError::Compile(e)
+    }
+}
+
+/// A program in any of the forms the driver accepts.
+#[derive(Clone)]
+pub enum SourceInput {
+    /// TinyC source text.
+    TinyC(String),
+    /// IR text (`.uir`), taken as already preprocessed: the frontend
+    /// stages other than parsing are skipped.
+    IrText(String),
+    /// An already-compiled module; the frontend is skipped entirely.
+    Module(Arc<Module>),
+}
+
+impl SourceInput {
+    /// A stable content key for the program, independent of the options.
+    fn source_key(&self) -> u64 {
+        match self {
+            SourceInput::TinyC(s) => {
+                let mut k = KeyWriter::new("src-tinyc");
+                k.str(s);
+                k.finish()
+            }
+            SourceInput::IrText(s) => {
+                let mut k = KeyWriter::new("src-uir");
+                k.str(s);
+                k.finish()
+            }
+            SourceInput::Module(m) => {
+                let mut k = KeyWriter::new("src-module");
+                k.str(&usher_ir::write_text(m));
+                k.finish()
+            }
+        }
+    }
+}
+
+/// One unit of batch work: a named program under one configuration.
+#[derive(Clone)]
+pub struct Job {
+    /// Display name (workload name in telemetry).
+    pub name: String,
+    /// The program.
+    pub source: SourceInput,
+    /// The configuration.
+    pub options: PipelineOptions,
+}
+
+impl Job {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, source: SourceInput, options: PipelineOptions) -> Job {
+        Job {
+            name: name.into(),
+            source,
+            options,
+        }
+    }
+}
+
+/// Everything one pipeline run produces. Artifacts are `Arc`-shared with
+/// the cache; absent analyses (`None`) mean the configuration skipped the
+/// stage (the MSan baseline, or memory SSA in top-level-only mode).
+pub struct PipelineRun {
+    /// Workload name.
+    pub name: String,
+    /// The options the run used.
+    pub options: PipelineOptions,
+    /// The compiled module.
+    pub module: Arc<Module>,
+    /// Pointer analysis (guided configurations only).
+    pub pa: Option<Arc<PointerAnalysis>>,
+    /// Memory SSA (guided full-mode configurations only).
+    pub memssa: Option<Arc<MemSsa>>,
+    /// The value-flow graph (guided configurations only).
+    pub vfg: Option<Arc<Vfg>>,
+    /// Resolved definedness (guided configurations only).
+    pub gamma: Option<Arc<Gamma>>,
+    /// Nodes redirected to `T` by Opt II.
+    pub opt2_redirected: usize,
+    /// The instrumentation plan.
+    pub plan: Arc<Plan>,
+    /// Telemetry for this run.
+    pub report: PipelineReport,
+}
+
+/// The pipeline driver: the one place stage wiring lives.
+pub struct Pipeline {
+    cache: ArtifactCache,
+    threads: usize,
+    use_cache: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+/// Internal per-run execution state.
+struct RunCtx<'a> {
+    cache: &'a ArtifactCache,
+    use_cache: bool,
+    threads: usize,
+    stages: Vec<StageTiming>,
+    hits: usize,
+    misses: usize,
+}
+
+impl RunCtx<'_> {
+    fn lookup(&mut self, key: u64) -> Option<Artifact> {
+        if !self.use_cache {
+            return None;
+        }
+        let got = self.cache.lookup(key);
+        if got.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        got
+    }
+
+    fn store(&self, key: u64, artifact: Artifact) {
+        if self.use_cache {
+            self.cache.insert(key, artifact);
+        }
+    }
+
+    fn record(&mut self, stage: Stage, seconds: f64, cached: bool) {
+        self.stages.push(StageTiming {
+            stage,
+            seconds,
+            cached,
+        });
+    }
+
+    /// Runs `compute`, recording its wall time under `stage`.
+    fn timed<R>(&mut self, stage: Stage, compute: impl FnOnce(&mut Self) -> R) -> R {
+        let t = Instant::now();
+        let r = compute(self);
+        self.record(stage, t.elapsed().as_secs_f64(), false);
+        r
+    }
+
+    /// Marks the frontend stages for `input` as cache-served.
+    fn record_frontend_cached(&mut self, input: &SourceInput) {
+        match input {
+            SourceInput::TinyC(_) => {
+                for stage in [
+                    Stage::Parse,
+                    Stage::Lower,
+                    Stage::Inline,
+                    Stage::Mem2Reg,
+                    Stage::Opt,
+                ] {
+                    self.record(stage, 0.0, true);
+                }
+            }
+            SourceInput::IrText(_) => self.record(Stage::Parse, 0.0, true),
+            SourceInput::Module(_) => {}
+        }
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with caching on and the machine's default parallelism.
+    pub fn new() -> Pipeline {
+        Pipeline {
+            cache: ArtifactCache::new(),
+            threads: default_threads(),
+            use_cache: true,
+        }
+    }
+
+    /// Sets the worker-thread count (1 = fully sequential).
+    pub fn with_threads(mut self, threads: usize) -> Pipeline {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Disables the artifact cache (every stage recomputes).
+    pub fn without_cache(mut self) -> Pipeline {
+        self.use_cache = false;
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Global cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops all cached artifacts.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Runs one program through the pipeline, using per-function
+    /// parallelism inside the parallel-friendly stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first front-end error for TinyC or IR-text inputs.
+    pub fn run(
+        &self,
+        name: impl Into<String>,
+        source: SourceInput,
+        options: PipelineOptions,
+    ) -> Result<PipelineRun, DriverError> {
+        self.run_inner(name.into(), &source, &options, self.threads)
+    }
+
+    /// Runs TinyC source; sugar for [`Pipeline::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first front-end error.
+    pub fn run_source(
+        &self,
+        name: impl Into<String>,
+        src: &str,
+        options: PipelineOptions,
+    ) -> Result<PipelineRun, DriverError> {
+        self.run(name, SourceInput::TinyC(src.to_string()), options)
+    }
+
+    /// Runs an already-compiled module; sugar for [`Pipeline::run`].
+    pub fn run_module(
+        &self,
+        name: impl Into<String>,
+        module: Arc<Module>,
+        options: PipelineOptions,
+    ) -> PipelineRun {
+        self.run(name, SourceInput::Module(module), options)
+            .expect("module inputs cannot fail the frontend")
+    }
+
+    /// Compiles a program through the cached frontend without running any
+    /// analysis — for IR-dumping tools and native execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first front-end error.
+    pub fn compile(
+        &self,
+        source: &SourceInput,
+        options: &PipelineOptions,
+    ) -> Result<Arc<Module>, DriverError> {
+        let mut ctx = RunCtx {
+            cache: &self.cache,
+            use_cache: self.use_cache,
+            threads: self.threads,
+            stages: Vec::new(),
+            hits: 0,
+            misses: 0,
+        };
+        self.frontend(&mut ctx, source, options, source.source_key())
+    }
+
+    /// Runs a batch of jobs across the worker pool (one job per worker at
+    /// a time; per-function parallelism is disabled inside batch jobs so
+    /// the coarse grain owns the cores). Results come back in job order,
+    /// with a [`BatchReport`] covering the successful runs.
+    pub fn run_batch(&self, jobs: &[Job]) -> (Vec<Result<PipelineRun, DriverError>>, BatchReport) {
+        let t = Instant::now();
+        let runs = parallel_map(self.threads, jobs, |job| {
+            self.run_inner(job.name.clone(), &job.source, &job.options, 1)
+        });
+        let report = BatchReport {
+            threads: self.threads,
+            wall_seconds: t.elapsed().as_secs_f64(),
+            runs: runs
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|r| r.report.clone())
+                .collect(),
+        };
+        (runs, report)
+    }
+
+    fn run_inner(
+        &self,
+        name: String,
+        source: &SourceInput,
+        options: &PipelineOptions,
+        threads: usize,
+    ) -> Result<PipelineRun, DriverError> {
+        let start = Instant::now();
+        let mut ctx = RunCtx {
+            cache: &self.cache,
+            use_cache: self.use_cache,
+            threads,
+            stages: Vec::new(),
+            hits: 0,
+            misses: 0,
+        };
+        let src_key = source.source_key();
+
+        let module = self.frontend(&mut ctx, source, options, src_key)?;
+
+        let (pa, memssa, vfg, gamma, opt2_redirected, plan) = match &options.guided {
+            None => {
+                let plan = self.msan_plan(&mut ctx, &module, options, src_key);
+                (None, None, None, None, 0, plan)
+            }
+            Some(g) => {
+                let g = *g;
+
+                // Pointer analysis.
+                let pk = options.pointer_key(src_key);
+                let pa: Arc<PointerAnalysis> = match ctx.lookup(pk) {
+                    Some(Artifact::Pointer(pa)) => {
+                        ctx.record(Stage::Pointer, 0.0, true);
+                        pa
+                    }
+                    _ => {
+                        let pa = ctx.timed(Stage::Pointer, |_| {
+                            Arc::new(usher_pointer::analyze(&module))
+                        });
+                        ctx.store(pk, Artifact::Pointer(pa.clone()));
+                        pa
+                    }
+                };
+
+                // Memory SSA (full mode only; TL-only runs on an empty one).
+                let memssa: Arc<MemSsa> = match g.mode {
+                    VfgMode::TlOnly => Arc::new(MemSsa::default()),
+                    VfgMode::Full => {
+                        let mk = options.memssa_key(src_key);
+                        match ctx.lookup(mk) {
+                            Some(Artifact::MemSsa(ms)) => {
+                                ctx.record(Stage::MemSsa, 0.0, true);
+                                ms
+                            }
+                            _ => {
+                                let ms = ctx.timed(Stage::MemSsa, |c| {
+                                    Arc::new(build_memssa_parallel(&module, &pa, c.threads))
+                                });
+                                ctx.store(mk, Artifact::MemSsa(ms.clone()));
+                                ms
+                            }
+                        }
+                    }
+                };
+
+                // VFG.
+                let vk = options.vfg_key(src_key, &g);
+                let vfg: Arc<Vfg> = match ctx.lookup(vk) {
+                    Some(Artifact::Vfg(v)) => {
+                        ctx.record(Stage::VfgBuild, 0.0, true);
+                        v
+                    }
+                    _ => {
+                        let v = ctx.timed(Stage::VfgBuild, |_| {
+                            Arc::new(build_with(
+                                &module,
+                                &pa,
+                                &memssa,
+                                BuildOpts {
+                                    mode: g.mode,
+                                    semi_strong: g.semi_strong,
+                                },
+                            ))
+                        });
+                        ctx.store(vk, Artifact::Vfg(v.clone()));
+                        v
+                    }
+                };
+
+                // Resolution (+ Opt II).
+                let rk = options.resolve_key(src_key, &g);
+                let (gamma, redirected): (Arc<Gamma>, usize) = match ctx.lookup(rk) {
+                    Some(Artifact::Gamma(gm, r)) => {
+                        ctx.record(Stage::Resolve, 0.0, true);
+                        (gm, r)
+                    }
+                    _ => {
+                        let (gm, r) = ctx.timed(Stage::Resolve, |_| {
+                            if g.opt2 {
+                                let r = redundant_check_elimination(
+                                    &module,
+                                    &pa,
+                                    &memssa,
+                                    &vfg,
+                                    g.context_depth,
+                                );
+                                (Arc::new(r.gamma), r.redirected)
+                            } else {
+                                (Arc::new(resolve(&vfg, g.context_depth)), 0)
+                            }
+                        });
+                        ctx.store(rk, Artifact::Gamma(gm.clone(), r));
+                        (gm, r)
+                    }
+                };
+
+                // Guided instrumentation planning (+ Opt I).
+                let plk = options.plan_key(src_key);
+                let plan: Arc<Plan> = match ctx.lookup(plk) {
+                    Some(Artifact::Plan(p)) => {
+                        ctx.record(Stage::Instrument, 0.0, true);
+                        relabel(p, &options.label)
+                    }
+                    _ => {
+                        let p = ctx.timed(Stage::Instrument, |_| {
+                            let opts = GuidedOpts {
+                                opt1: g.opt1,
+                                full_memory: g.mode == VfgMode::TlOnly,
+                                bit_level: options.bit_level,
+                            };
+                            Arc::new(guided_plan(
+                                &module,
+                                &pa,
+                                &memssa,
+                                &vfg,
+                                &gamma,
+                                opts,
+                                options.label.clone(),
+                            ))
+                        });
+                        ctx.store(plk, Artifact::Plan(p.clone()));
+                        p
+                    }
+                };
+
+                (
+                    Some(pa),
+                    Some(memssa),
+                    Some(vfg),
+                    Some(gamma),
+                    redirected,
+                    plan,
+                )
+            }
+        };
+
+        let report = PipelineReport {
+            workload: name.clone(),
+            config: options.label.clone(),
+            opt_level: format!("{:?}", options.opt_level),
+            stages: ctx.stages,
+            cache_hits: ctx.hits,
+            cache_misses: ctx.misses,
+            total_seconds: start.elapsed().as_secs_f64(),
+            plan_stats: plan.stats,
+            vfg_stats: vfg.as_ref().map(|v| v.stats).unwrap_or_default(),
+            vfg_nodes: vfg.as_ref().map_or(0, |v| v.len()),
+            bot_nodes: gamma.as_ref().map_or(0, |g| g.bot_count()),
+            opt2_redirected,
+        };
+
+        Ok(PipelineRun {
+            name,
+            options: options.clone(),
+            module,
+            pa,
+            memssa,
+            vfg,
+            gamma,
+            opt2_redirected,
+            plan,
+            report,
+        })
+    }
+
+    /// The frontend super-stage: parse/lower/inline/mem2reg/opt, cached as
+    /// one compiled-module artifact but timed per substage.
+    fn frontend(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        source: &SourceInput,
+        options: &PipelineOptions,
+        src_key: u64,
+    ) -> Result<Arc<Module>, DriverError> {
+        if let SourceInput::Module(m) = source {
+            return Ok(m.clone());
+        }
+        let fk = options.frontend_key(src_key);
+        if let Some(Artifact::Module(m)) = ctx.lookup(fk) {
+            ctx.record_frontend_cached(source);
+            return Ok(m);
+        }
+        let module = match source {
+            SourceInput::Module(_) => unreachable!("handled above"),
+            SourceInput::IrText(text) => Arc::new(ctx.timed(Stage::Parse, |_| {
+                usher_ir::parse_text(text).map_err(|e| DriverError::Text(e.to_string()))
+            })?),
+            SourceInput::TinyC(src) => {
+                let prog = ctx
+                    .timed(Stage::Parse, |_| usher_frontend::parser::parse(src))
+                    .map_err(|e| DriverError::Compile(CompileError::Parse(e)))?;
+                let mut m = ctx.timed(Stage::Lower, |_| {
+                    let m = usher_frontend::lower::lower(&prog).map_err(CompileError::Lower)?;
+                    usher_ir::verify(&m)
+                        .map_err(|errs| CompileError::Verify(format!("{errs:?}")))?;
+                    Ok::<Module, CompileError>(m)
+                })?;
+                ctx.timed(Stage::Inline, |_| {
+                    run_inline(&mut m, InlinePolicy::default())
+                });
+                ctx.timed(Stage::Mem2Reg, |_| mem2reg(&mut m));
+                ctx.timed(Stage::Opt, |_| {
+                    optimize(&mut m, options.opt_level);
+                    usher_ir::verify(&m).map_err(|errs| CompileError::Verify(format!("{errs:?}")))
+                })?;
+                Arc::new(m)
+            }
+        };
+        ctx.store(fk, Artifact::Module(module.clone()));
+        Ok(module)
+    }
+
+    /// The MSan baseline plan: full instrumentation, planned per function
+    /// in parallel and absorbed in deterministic function order.
+    fn msan_plan(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        module: &Module,
+        options: &PipelineOptions,
+        src_key: u64,
+    ) -> Arc<Plan> {
+        let pk = options.plan_key(src_key);
+        if let Some(Artifact::Plan(p)) = ctx.lookup(pk) {
+            ctx.record(Stage::Instrument, 0.0, true);
+            return relabel(p, &options.label);
+        }
+        let plan = ctx.timed(Stage::Instrument, |c| {
+            let fids: Vec<FuncId> = module.funcs.indices().collect();
+            let parts = parallel_map(c.threads, &fids, |&fid| {
+                full_plan_func(module, fid, options.bit_level)
+            });
+            let mut p = Plan {
+                name: options.label.clone(),
+                ..Default::default()
+            };
+            for part in parts {
+                p.absorb(part);
+            }
+            p.finalize_stats();
+            Arc::new(p)
+        });
+        ctx.store(pk, Artifact::Plan(plan.clone()));
+        plan
+    }
+}
+
+/// Re-labels a cache-shared plan when the caller's display label differs
+/// (cache keys deliberately exclude the label).
+fn relabel(p: Arc<Plan>, label: &str) -> Arc<Plan> {
+    if p.name == label {
+        p
+    } else {
+        let mut q = (*p).clone();
+        q.name = label.to_string();
+        Arc::new(q)
+    }
+}
+
+/// Memory SSA with the per-function phase fanned out over the pool. The
+/// interprocedural mod/ref summaries are sequential (they are a
+/// fixed-point over the call graph); each function's versioning is then
+/// independent.
+fn build_memssa_parallel(m: &Module, pa: &PointerAnalysis, threads: usize) -> MemSsa {
+    let modref = modref_summaries(m, pa);
+    let fids: Vec<FuncId> = m.funcs.indices().collect();
+    let per_func = parallel_map(threads, &fids, |&fid| {
+        build_function_ssa(m, pa, fid, &modref)
+    });
+    let mut out = MemSsa::default();
+    for (fid, fs) in fids.into_iter().zip(per_func) {
+        if let Some(fs) = fs {
+            out.funcs.insert(fid, fs);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usher_core::Config;
+
+    const SRC: &str = "
+        int g;
+        def helper(int a) -> int { int t; if (a > 1) { t = a; } return t; }
+        def main(int c) -> int { g = helper(c); print(g); return 0; }
+    ";
+
+    #[test]
+    fn run_matches_run_config() {
+        let pipe = Pipeline::new().with_threads(1);
+        let run = pipe
+            .run_source("t", SRC, PipelineOptions::from_config(Config::USHER))
+            .expect("compiles");
+        let m = usher_frontend::compile_o0im(SRC).unwrap();
+        let want = usher_core::run_config(&m, Config::USHER);
+        assert_eq!(
+            crate::fingerprint::plan_fingerprint(&run.plan),
+            crate::fingerprint::plan_fingerprint(&want.plan),
+        );
+        assert_eq!(run.opt2_redirected, want.opt2_redirected);
+        assert_eq!(run.report.bot_nodes, want.gamma.unwrap().bot_count());
+    }
+
+    #[test]
+    fn msan_run_matches_run_config() {
+        for threads in [1, 4] {
+            let pipe = Pipeline::new().with_threads(threads);
+            let run = pipe
+                .run_source("t", SRC, PipelineOptions::from_config(Config::MSAN))
+                .expect("compiles");
+            let m = usher_frontend::compile_o0im(SRC).unwrap();
+            let want = usher_core::run_config(&m, Config::MSAN);
+            assert_eq!(
+                crate::fingerprint::plan_fingerprint(&run.plan),
+                crate::fingerprint::plan_fingerprint(&want.plan),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_run_is_fully_cached() {
+        let pipe = Pipeline::new();
+        let opts = PipelineOptions::from_config(Config::USHER);
+        let cold = pipe.run_source("t", SRC, opts.clone()).unwrap();
+        assert_eq!(cold.report.cache_hits, 0);
+        let warm = pipe.run_source("t", SRC, opts).unwrap();
+        assert_eq!(warm.report.cache_misses, 0, "{:?}", warm.report.stages);
+        assert!(warm.report.stages.iter().all(|s| s.cached));
+        assert_eq!(
+            crate::fingerprint::plan_fingerprint(&cold.plan),
+            crate::fingerprint::plan_fingerprint(&warm.plan),
+        );
+    }
+
+    #[test]
+    fn no_cache_pipeline_never_hits() {
+        let pipe = Pipeline::new().without_cache();
+        let opts = PipelineOptions::from_config(Config::USHER);
+        pipe.run_source("t", SRC, opts.clone()).unwrap();
+        let again = pipe.run_source("t", SRC, opts).unwrap();
+        assert_eq!(again.report.cache_hits, 0);
+        assert_eq!(pipe.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn uir_roundtrip_runs() {
+        let m = usher_frontend::compile_o0im(SRC).unwrap();
+        let text = usher_ir::write_text(&m);
+        let pipe = Pipeline::new();
+        let run = pipe
+            .run(
+                "uir",
+                SourceInput::IrText(text),
+                PipelineOptions::from_config(Config::MSAN),
+            )
+            .expect("parses");
+        assert!(run.plan.stats.ops > 0);
+        let want = usher_core::run_config(&m, Config::MSAN);
+        assert_eq!(
+            crate::fingerprint::plan_fingerprint(&run.plan),
+            crate::fingerprint::plan_fingerprint(&want.plan),
+        );
+    }
+
+    #[test]
+    fn batch_preserves_job_order() {
+        let pipe = Pipeline::new().with_threads(4);
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| {
+                Job::new(
+                    format!("job{i}"),
+                    SourceInput::TinyC(SRC.to_string()),
+                    PipelineOptions::from_config(Config::USHER),
+                )
+            })
+            .collect();
+        let (runs, report) = pipe.run_batch(&jobs);
+        assert_eq!(runs.len(), 6);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().name, format!("job{i}"));
+        }
+        assert_eq!(report.runs.len(), 6);
+        assert_eq!(report.threads, 4);
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let pipe = Pipeline::new();
+        let res = pipe.run_source("bad", "def main() { x = 1; }", PipelineOptions::default());
+        match res {
+            Err(err) => assert!(matches!(err, DriverError::Compile(_)), "{err}"),
+            Ok(_) => panic!("expected a compile error"),
+        }
+    }
+}

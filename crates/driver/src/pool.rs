@@ -1,0 +1,85 @@
+//! A std-only fork-join scheduler with deterministic result ordering.
+//!
+//! Workers pull job indices from a shared atomic counter (work stealing
+//! degenerates to striding, which is fine for the driver's coarse jobs)
+//! and write each result into its input's slot, so the output order is
+//! the input order no matter which worker ran what. A panicking job
+//! propagates through [`std::thread::scope`]'s implicit join, preserving
+//! the fail-fast behaviour of the sequential loops this replaces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `threads` workers, returning results in
+/// input order. `threads <= 1` (or a single item) runs inline with no
+/// thread overhead, so callers can pass their knob through unchecked.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("job completed")
+        })
+        .collect()
+}
+
+/// The scheduler's default worker count: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let out = parallel_map(threads, &items, |&i| i * 3);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * 3).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &none, |x| *x).is_empty());
+        assert_eq!(parallel_map(8, &[41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(64, &[1, 2, 3], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Pipeline telemetry: per-stage wall time, cache hits/misses and the
+//! analysis counters, exportable as JSON lines for the bench harness.
+
+use std::fmt::Write as _;
+
+use usher_core::PlanStats;
+use usher_vfg::VfgStats;
+
+/// A stage of the analysis pipeline, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// TinyC (or IR text) parsing.
+    Parse,
+    /// AST lowering to raw IR.
+    Lower,
+    /// Function inlining (the `IM` of `O0+IM`).
+    Inline,
+    /// SSA construction (`mem2reg`).
+    Mem2Reg,
+    /// Scalar optimization pipeline (`-O1`/`-O2`).
+    Opt,
+    /// Andersen pointer analysis.
+    Pointer,
+    /// Memory SSA construction.
+    MemSsa,
+    /// Value-flow graph construction.
+    VfgBuild,
+    /// Definedness resolution (including Opt II when enabled).
+    Resolve,
+    /// Instrumentation planning (full or guided, including Opt I).
+    Instrument,
+}
+
+impl Stage {
+    /// Stable display/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Lower => "lower",
+            Stage::Inline => "inline",
+            Stage::Mem2Reg => "mem2reg",
+            Stage::Opt => "opt",
+            Stage::Pointer => "pointer",
+            Stage::MemSsa => "memssa",
+            Stage::VfgBuild => "vfg",
+            Stage::Resolve => "resolve",
+            Stage::Instrument => "instrument",
+        }
+    }
+}
+
+/// One stage's contribution to a run.
+#[derive(Clone, Copy, Debug)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: Stage,
+    /// Wall-clock seconds spent (0 when served from cache).
+    pub seconds: f64,
+    /// Whether the artifact came from the cache.
+    pub cached: bool,
+}
+
+/// Telemetry for one pipeline run (one program under one configuration).
+#[derive(Clone, Debug, Default)]
+pub struct PipelineReport {
+    /// Program/workload name.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// Compiler level name (`O0+IM`, `O1`, `O2`).
+    pub opt_level: String,
+    /// Per-stage timings in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Stage lookups served from the artifact cache in this run.
+    pub cache_hits: usize,
+    /// Stage lookups that missed and computed in this run.
+    pub cache_misses: usize,
+    /// Total wall-clock seconds of the run (analysis only, no execution).
+    pub total_seconds: f64,
+    /// Static plan statistics.
+    pub plan_stats: PlanStats,
+    /// VFG construction statistics (zero for the MSan baseline).
+    pub vfg_stats: VfgStats,
+    /// VFG node count (0 for the MSan baseline).
+    pub vfg_nodes: usize,
+    /// `Bot` nodes after resolution (0 for the MSan baseline).
+    pub bot_nodes: usize,
+    /// Nodes redirected to `T` by Opt II.
+    pub opt2_redirected: usize,
+}
+
+/// Escapes a string for inclusion in JSON output.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl PipelineReport {
+    /// Seconds spent in stages that actually ran (cache misses).
+    pub fn computed_seconds(&self) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| !s.cached)
+            .map(|s| s.seconds)
+            .sum()
+    }
+
+    /// Renders the report as one JSON object on one line (JSONL record).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"workload\":\"{}\",\"config\":\"{}\",\"opt_level\":\"{}\",\"total_seconds\":{:.6},\"cache\":{{\"hits\":{},\"misses\":{}}}",
+            esc(&self.workload),
+            esc(&self.config),
+            esc(&self.opt_level),
+            self.total_seconds,
+            self.cache_hits,
+            self.cache_misses,
+        );
+        let _ = write!(s, ",\"stages\":[");
+        for (i, st) in self.stages.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"stage\":\"{}\",\"seconds\":{:.6},\"cached\":{}}}",
+                if i > 0 { "," } else { "" },
+                st.stage.name(),
+                st.seconds,
+                st.cached,
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"plan\":{{\"ops\":{},\"propagations\":{},\"checks\":{},\"phis\":{},\"mfcs_simplified\":{}}}",
+            self.plan_stats.ops,
+            self.plan_stats.propagations,
+            self.plan_stats.checks,
+            self.plan_stats.phis,
+            self.plan_stats.mfcs_simplified,
+        );
+        let _ = write!(
+            s,
+            ",\"vfg\":{{\"nodes\":{},\"bot\":{},\"opt2_redirected\":{},\"strong_stores\":{},\"semi_strong_stores\":{},\"weak_singleton_stores\":{},\"multi_target_stores\":{}}}}}",
+            self.vfg_nodes,
+            self.bot_nodes,
+            self.opt2_redirected,
+            self.vfg_stats.strong_stores,
+            self.vfg_stats.semi_strong_stores,
+            self.vfg_stats.weak_singleton_stores,
+            self.vfg_stats.multi_target_stores,
+        );
+        s
+    }
+}
+
+/// Telemetry for a whole batch: one record per run plus the batch header.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Worker threads the batch was scheduled on.
+    pub threads: usize,
+    /// End-to-end wall-clock seconds for the batch.
+    pub wall_seconds: f64,
+    /// Per-run reports, in job submission order.
+    pub runs: Vec<PipelineReport>,
+}
+
+impl BatchReport {
+    /// Sum of per-run analysis seconds (what a sequential schedule would
+    /// roughly cost); compare with `wall_seconds` for observed speedup.
+    pub fn cpu_seconds(&self) -> f64 {
+        self.runs.iter().map(|r| r.total_seconds).sum()
+    }
+
+    /// Renders the batch as JSON lines: a `batch` header record followed
+    /// by one record per run.
+    pub fn to_json_lines(&self) -> String {
+        let mut s = format!(
+            "{{\"batch\":{{\"threads\":{},\"wall_seconds\":{:.6},\"cpu_seconds\":{:.6},\"runs\":{}}}}}\n",
+            self.threads,
+            self.wall_seconds,
+            self.cpu_seconds(),
+            self.runs.len(),
+        );
+        for r in &self.runs {
+            s.push_str(&r.to_json_line());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_is_wellformed_enough() {
+        let r = PipelineReport {
+            workload: "164.gzip".into(),
+            config: "Usher \"full\"".into(),
+            opt_level: "O0+IM".into(),
+            stages: vec![
+                StageTiming {
+                    stage: Stage::Parse,
+                    seconds: 0.001,
+                    cached: false,
+                },
+                StageTiming {
+                    stage: Stage::Pointer,
+                    seconds: 0.0,
+                    cached: true,
+                },
+            ],
+            cache_hits: 1,
+            cache_misses: 1,
+            total_seconds: 0.001,
+            ..Default::default()
+        };
+        let line = r.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\\\"full\\\""), "escaped quotes: {line}");
+        assert!(line.contains("\"stage\":\"pointer\""));
+        assert!(!line.contains('\n'));
+        // Braces balance.
+        let opens = line.matches('{').count();
+        let closes = line.matches('}').count();
+        assert_eq!(opens, closes, "{line}");
+    }
+
+    #[test]
+    fn batch_emits_header_plus_one_line_per_run() {
+        let b = BatchReport {
+            threads: 4,
+            wall_seconds: 1.0,
+            runs: vec![PipelineReport::default(), PipelineReport::default()],
+        };
+        let rendered = b.to_json_lines();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"batch\""));
+    }
+}

@@ -1,0 +1,186 @@
+//! Cache correctness properties:
+//!
+//! 1. warm (cache-served) runs produce artifacts byte-identical to cold
+//!    (computed) runs;
+//! 2. flipping one [`PipelineOptions`] field invalidates exactly the
+//!    suffix of stages that depends on it, observed through the
+//!    `cached` flags of the per-stage timings.
+
+use usher_core::Config;
+use usher_driver::{
+    gamma_fingerprint, plan_fingerprint, GuidedKnobs, Pipeline, PipelineOptions, PipelineRun, Stage,
+};
+use usher_workloads::{workload, Scale};
+
+fn suite_source() -> String {
+    workload("197.parser", Scale::TEST)
+        .expect("workload exists")
+        .source
+}
+
+/// The stages a run served from the cache.
+fn cached_stages(run: &PipelineRun) -> Vec<Stage> {
+    run.report
+        .stages
+        .iter()
+        .filter(|s| s.cached)
+        .map(|s| s.stage)
+        .collect()
+}
+
+/// The stages a run actually computed.
+fn computed_stages(run: &PipelineRun) -> Vec<Stage> {
+    run.report
+        .stages
+        .iter()
+        .filter(|s| !s.cached)
+        .map(|s| s.stage)
+        .collect()
+}
+
+#[test]
+fn warm_runs_reproduce_cold_artifacts_exactly() {
+    let src = suite_source();
+    for cfg in [
+        Config::MSAN,
+        Config::USHER,
+        Config::USHER_TL,
+        Config::USHER_BIT,
+    ] {
+        let pipe = Pipeline::new().with_threads(1);
+        let opts = PipelineOptions::from_config(cfg);
+        let cold = pipe.run_source("p", &src, opts.clone()).expect("compiles");
+        let warm = pipe.run_source("p", &src, opts).expect("compiles");
+
+        assert!(
+            computed_stages(&warm).is_empty(),
+            "warm run must be fully cached ({})",
+            cfg.name
+        );
+        assert_eq!(
+            plan_fingerprint(&cold.plan),
+            plan_fingerprint(&warm.plan),
+            "{}",
+            cfg.name
+        );
+        match (&cold.gamma, &warm.gamma) {
+            (Some(a), Some(b)) => assert_eq!(gamma_fingerprint(a), gamma_fingerprint(b)),
+            (None, None) => {}
+            _ => panic!("warm run changed which artifacts exist ({})", cfg.name),
+        }
+        assert_eq!(cold.opt2_redirected, warm.opt2_redirected);
+    }
+}
+
+/// Runs `base` to warm the cache, then `changed`, and returns the changed
+/// run (whose `cached` flags show which stages survived the flip).
+fn warm_then(changed: PipelineOptions) -> PipelineRun {
+    let src = suite_source();
+    let pipe = Pipeline::new().with_threads(1);
+    pipe.run_source("p", &src, PipelineOptions::from_config(Config::USHER))
+        .expect("compiles");
+    pipe.run_source("p", &src, changed).expect("compiles")
+}
+
+const FRONTEND: [Stage; 5] = [
+    Stage::Parse,
+    Stage::Lower,
+    Stage::Inline,
+    Stage::Mem2Reg,
+    Stage::Opt,
+];
+
+#[test]
+fn flipping_opt1_recomputes_only_instrumentation() {
+    let mut g = GuidedKnobs::default();
+    g.opt1 = false;
+    let run = warm_then(PipelineOptions {
+        guided: Some(g),
+        ..Default::default()
+    });
+    assert_eq!(computed_stages(&run), vec![Stage::Instrument]);
+    let mut expect: Vec<Stage> = FRONTEND.to_vec();
+    expect.extend([
+        Stage::Pointer,
+        Stage::MemSsa,
+        Stage::VfgBuild,
+        Stage::Resolve,
+    ]);
+    assert_eq!(cached_stages(&run), expect);
+}
+
+#[test]
+fn flipping_bit_level_recomputes_only_instrumentation() {
+    let opts = PipelineOptions {
+        bit_level: true,
+        ..Default::default()
+    };
+    let run = warm_then(opts);
+    assert_eq!(computed_stages(&run), vec![Stage::Instrument]);
+}
+
+#[test]
+fn flipping_opt2_recomputes_resolution_onward() {
+    let mut g = GuidedKnobs::default();
+    g.opt2 = false;
+    let run = warm_then(PipelineOptions {
+        guided: Some(g),
+        ..Default::default()
+    });
+    assert_eq!(
+        computed_stages(&run),
+        vec![Stage::Resolve, Stage::Instrument]
+    );
+}
+
+#[test]
+fn changing_context_depth_recomputes_resolution_onward() {
+    let mut g = GuidedKnobs::default();
+    g.context_depth = 2;
+    let run = warm_then(PipelineOptions {
+        guided: Some(g),
+        ..Default::default()
+    });
+    assert_eq!(
+        computed_stages(&run),
+        vec![Stage::Resolve, Stage::Instrument]
+    );
+}
+
+#[test]
+fn flipping_semi_strong_recomputes_vfg_onward() {
+    let mut g = GuidedKnobs::default();
+    g.semi_strong = false;
+    let run = warm_then(PipelineOptions {
+        guided: Some(g),
+        ..Default::default()
+    });
+    assert_eq!(
+        computed_stages(&run),
+        vec![Stage::VfgBuild, Stage::Resolve, Stage::Instrument]
+    );
+}
+
+#[test]
+fn changing_opt_level_recomputes_everything() {
+    let run = warm_then(PipelineOptions::default().at_level(usher_ir::OptLevel::O2));
+    assert!(cached_stages(&run).is_empty(), "{:?}", run.report.stages);
+}
+
+#[test]
+fn changing_label_recomputes_nothing_and_renames_the_plan() {
+    let run = warm_then(PipelineOptions::default().labelled("renamed"));
+    assert!(computed_stages(&run).is_empty(), "{:?}", run.report.stages);
+    assert_eq!(run.plan.name, "renamed");
+}
+
+#[test]
+fn disabled_cache_reports_no_cached_stages() {
+    let src = suite_source();
+    let pipe = Pipeline::new().with_threads(1).without_cache();
+    let opts = PipelineOptions::from_config(Config::USHER);
+    pipe.run_source("p", &src, opts.clone()).expect("compiles");
+    let again = pipe.run_source("p", &src, opts).expect("compiles");
+    assert!(cached_stages(&again).is_empty());
+    assert_eq!(pipe.cache_stats().entries, 0);
+}

@@ -1,0 +1,117 @@
+//! Thread count must never change an artifact: a whole-suite batch run at
+//! `threads = 1` and `threads = N` must produce byte-identical plans,
+//! definedness maps and statistics tables.
+
+use usher_core::Config;
+use usher_driver::{
+    gamma_fingerprint, plan_fingerprint, Job, Pipeline, PipelineOptions, PipelineRun, SourceInput,
+};
+use usher_workloads::{all_workloads, Scale};
+
+/// The suite × {MSan, full Usher, Usher_TL} as driver jobs.
+fn suite_jobs() -> Vec<Job> {
+    all_workloads(Scale::TEST)
+        .iter()
+        .flat_map(|w| {
+            [Config::MSAN, Config::USHER, Config::USHER_TL]
+                .into_iter()
+                .map(|cfg| {
+                    Job::new(
+                        w.name,
+                        SourceInput::TinyC(w.source.clone()),
+                        PipelineOptions::from_config(cfg),
+                    )
+                })
+        })
+        .collect()
+}
+
+/// Renders everything semantically observable about a run: the canonical
+/// plan, the resolved `Gamma`, and the stats that feed the paper's tables.
+fn observable(run: &PipelineRun) -> String {
+    let mut s = format!("== {} / {} ==\n", run.name, run.options.label);
+    s.push_str(&plan_fingerprint(&run.plan));
+    if let Some(g) = &run.gamma {
+        s.push_str(&gamma_fingerprint(g));
+        s.push('\n');
+    }
+    let vs = run.report.vfg_stats;
+    s.push_str(&format!(
+        "vfg nodes={} bot={} opt2={} stores={}/{}/{}/{}\n",
+        run.report.vfg_nodes,
+        run.report.bot_nodes,
+        run.opt2_redirected,
+        vs.strong_stores,
+        vs.semi_strong_stores,
+        vs.weak_singleton_stores,
+        vs.multi_target_stores,
+    ));
+    s
+}
+
+#[test]
+fn batch_results_are_identical_across_thread_counts() {
+    let jobs = suite_jobs();
+
+    let sequential = Pipeline::new().with_threads(1);
+    let (seq_runs, seq_report) = sequential.run_batch(&jobs);
+
+    let parallel = Pipeline::new().with_threads(8);
+    let (par_runs, par_report) = parallel.run_batch(&jobs);
+
+    assert_eq!(seq_report.threads, 1);
+    assert_eq!(par_report.threads, 8);
+    assert_eq!(seq_runs.len(), par_runs.len());
+
+    for (s, p) in seq_runs.iter().zip(par_runs.iter()) {
+        let s = s.as_ref().expect("suite compiles");
+        let p = p.as_ref().expect("suite compiles");
+        assert_eq!(s.name, p.name, "job order must be preserved");
+        assert_eq!(
+            observable(s),
+            observable(p),
+            "{} / {}",
+            s.name,
+            s.options.label
+        );
+    }
+}
+
+#[test]
+fn per_function_parallelism_matches_sequential_single_runs() {
+    // Single runs use per-function parallelism inside memory SSA and MSan
+    // planning; compare against fully sequential runs without a shared
+    // cache in between.
+    for w in all_workloads(Scale::TEST).into_iter().take(4) {
+        for cfg in [Config::MSAN, Config::USHER] {
+            let seq = Pipeline::new()
+                .with_threads(1)
+                .run_source(w.name, &w.source, PipelineOptions::from_config(cfg))
+                .expect("compiles");
+            let par = Pipeline::new()
+                .with_threads(8)
+                .run_source(w.name, &w.source, PipelineOptions::from_config(cfg))
+                .expect("compiles");
+            assert_eq!(
+                observable(&seq),
+                observable(&par),
+                "{} / {}",
+                w.name,
+                cfg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_batch_shares_work_through_the_cache() {
+    let pipe = Pipeline::new().with_threads(8);
+    let (_, _) = pipe.run_batch(&suite_jobs());
+    let stats = pipe.cache_stats();
+    // Three configurations per workload share at least the compiled
+    // module; the two guided ones share the pointer analysis too.
+    assert!(
+        stats.hits > 0,
+        "batch must reuse shared prefixes: {stats:?}"
+    );
+}

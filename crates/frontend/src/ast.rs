@@ -18,7 +18,10 @@ pub enum TypeExpr {
     /// `T*`
     Ptr(Box<TypeExpr>),
     /// `fn(T, ...) -> int` / `fn(T, ...)`
-    FuncPtr { params: Vec<TypeExpr>, has_ret: bool },
+    FuncPtr {
+        params: Vec<TypeExpr>,
+        has_ret: bool,
+    },
 }
 
 /// Binary operators at the AST level (no short-circuit forms here;
@@ -118,13 +121,22 @@ pub struct Stmt {
 #[derive(Clone, Debug, PartialEq)]
 pub enum StmtKind {
     /// `T name;` / `T name = init;` / `T name[n];`
-    Decl { ty: TypeExpr, name: String, array: Option<u32>, init: Option<Expr> },
+    Decl {
+        ty: TypeExpr,
+        name: String,
+        array: Option<u32>,
+        init: Option<Expr>,
+    },
     /// `lvalue = value;`
     Assign { lvalue: Expr, value: Expr },
     /// Expression statement (calls).
     Expr(Expr),
     /// `if (cond) { .. } else { .. }`
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
     /// `while (cond) { .. }`
     While { cond: Expr, body: Vec<Stmt> },
     /// `return e?;`

@@ -122,10 +122,9 @@ mod tests {
 
     #[test]
     fn compiles_quickstart() {
-        let m = compile_o0im(
-            "def main() -> int { int x = 2; int y = x * 21; print(y); return 0; }",
-        )
-        .unwrap();
+        let m =
+            compile_o0im("def main() -> int { int x = 2; int y = x * 21; print(y); return 0; }")
+                .unwrap();
         assert!(m.is_runnable());
     }
 
@@ -136,17 +135,18 @@ mod tests {
         // All scalar locals promoted: no loads/stores/allocs remain.
         for block in f.blocks.iter() {
             for inst in &block.insts {
-                assert!(!matches!(inst, Inst::Load { .. } | Inst::Store { .. } | Inst::Alloc { .. }));
+                assert!(!matches!(
+                    inst,
+                    Inst::Load { .. } | Inst::Store { .. } | Inst::Alloc { .. }
+                ));
             }
         }
     }
 
     #[test]
     fn address_taken_local_stays_in_memory() {
-        let m = compile_o0im(
-            "def f() -> int { int a = 1; int *p = &a; *p = 2; return a; }",
-        )
-        .unwrap();
+        let m =
+            compile_o0im("def f() -> int { int a = 1; int *p = &a; *p = 2; return a; }").unwrap();
         let f = &m.funcs[m.func_by_name("f").unwrap()];
         // `a`'s slot must survive (its address escapes into p). p itself
         // is promoted.
@@ -187,10 +187,9 @@ mod tests {
 
     #[test]
     fn calloc_is_zero_init_and_dynamic_malloc_collapses() {
-        let m = compile(
-            "def main(int n) { int *p; int *q; p = calloc(16); q = malloc(n); *p = *q; }",
-        )
-        .unwrap();
+        let m =
+            compile("def main(int n) { int *p; int *q; p = calloc(16); q = malloc(n); *p = *q; }")
+                .unwrap();
         let heap: Vec<_> = m
             .objects
             .iter()
@@ -207,9 +206,10 @@ mod tests {
     fn missing_return_yields_undef() {
         let m = compile("def f(int c) -> int { if (c) { return 1; } }").unwrap();
         let f = &m.funcs[m.func_by_name("f").unwrap()];
-        let has_undef_ret = f.blocks.iter().any(|b| {
-            matches!(b.term, usher_ir::Terminator::Ret(Some(Operand::Undef)))
-        });
+        let has_undef_ret = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, usher_ir::Terminator::Ret(Some(Operand::Undef))));
         assert!(has_undef_ret);
     }
 
@@ -221,11 +221,13 @@ mod tests {
         )
         .unwrap();
         let main = &m.funcs[m.main.unwrap()];
-        assert!(main
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Call { callee: Callee::Indirect(_), .. })));
+        assert!(main.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(
+            i,
+            Inst::Call {
+                callee: Callee::Indirect(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -237,7 +239,13 @@ mod tests {
         .unwrap();
         let main = &m.funcs[m.main.unwrap()];
         let has_field_gep = main.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Gep { offset: usher_ir::GepOffset::Field(1), .. })
+            matches!(
+                i,
+                Inst::Gep {
+                    offset: usher_ir::GepOffset::Field(1),
+                    ..
+                }
+            )
         });
         assert!(has_field_gep);
     }
@@ -247,7 +255,13 @@ mod tests {
         let m = compile("def main() { int a[4]; int i = 1; a[i] = 2; }").unwrap();
         let main = &m.funcs[m.main.unwrap()];
         assert!(main.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Gep { offset: usher_ir::GepOffset::Index { .. }, .. })
+            matches!(
+                i,
+                Inst::Gep {
+                    offset: usher_ir::GepOffset::Index { .. },
+                    ..
+                }
+            )
         }));
     }
 
@@ -272,10 +286,9 @@ mod tests {
 
     #[test]
     fn error_arity_mismatch() {
-        let e = compile(
-            "def f(int a, int b) -> int { return a + b; } def main() { int x = f(1); }",
-        )
-        .unwrap_err();
+        let e =
+            compile("def f(int a, int b) -> int { return a + b; } def main() { int x = f(1); }")
+                .unwrap_err();
         assert!(e.to_string().contains("arguments"));
     }
 
@@ -298,7 +311,11 @@ mod tests {
         )
         .unwrap();
         let f = &m.funcs[m.func_by_name("f").unwrap()];
-        assert!(f.blocks.len() >= 4, "short-circuit needs extra blocks, got {}", f.blocks.len());
+        assert!(
+            f.blocks.len() >= 4,
+            "short-circuit needs extra blocks, got {}",
+            f.blocks.len()
+        );
     }
 
     #[test]
@@ -314,7 +331,10 @@ mod tests {
         let f = &m.funcs[m.func_by_name("f").unwrap()];
         assert!(f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(
             i,
-            Inst::Gep { offset: usher_ir::GepOffset::Index { .. }, .. }
+            Inst::Gep {
+                offset: usher_ir::GepOffset::Index { .. },
+                ..
+            }
         )));
     }
 }

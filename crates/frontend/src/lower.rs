@@ -39,7 +39,10 @@ impl std::error::Error for LowerError {}
 type Result<T> = std::result::Result<T, LowerError>;
 
 fn err<T>(line: u32, message: impl Into<String>) -> Result<T> {
-    Err(LowerError { message: message.into(), line })
+    Err(LowerError {
+        message: message.into(),
+        line,
+    })
 }
 
 /// Lowers a parsed program into an IR module.
@@ -57,7 +60,10 @@ pub fn lower(prog: &Program) -> Result<Module> {
         if struct_ids.contains_key(&s.name) {
             return err(s.line, format!("duplicate struct {}", s.name));
         }
-        let id = m.types.add_struct(usher_ir::StructDef { name: s.name.clone(), fields: vec![] });
+        let id = m.types.add_struct(usher_ir::StructDef {
+            name: s.name.clone(),
+            fields: vec![],
+        });
         struct_ids.insert(s.name.clone(), id);
     }
     // --- Pass 2: struct bodies (by-value fields must be complete already).
@@ -118,7 +124,11 @@ pub fn lower(prog: &Program) -> Result<Module> {
     }
 
     // --- Lower bodies.
-    let env = Env { struct_ids: &struct_ids, globals: &globals, funcs: &funcs };
+    let env = Env {
+        struct_ids: &struct_ids,
+        globals: &globals,
+        funcs: &funcs,
+    };
     for f in &prog.funcs {
         let (fid, ptys, ret) = funcs[&f.name].clone();
         let mut lw = Lowerer {
@@ -153,9 +163,10 @@ fn resolve_type(
             let i = resolve_type(m, struct_ids, inner, line)?;
             m.types.ptr_to(i)
         }
-        TypeExpr::FuncPtr { params, has_ret } => {
-            m.types.intern(Type::FuncPtr { params: params.len() as u32, has_ret: *has_ret })
-        }
+        TypeExpr::FuncPtr { params, has_ret } => m.types.intern(Type::FuncPtr {
+            params: params.len() as u32,
+            has_ret: *has_ret,
+        }),
     })
 }
 
@@ -203,7 +214,9 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         // promotes the non-address-taken ones.
         for ((_, pname), pty) in f.params.iter().zip(ptys.iter()) {
             let pvar = self.b.param(pname.clone(), *pty);
-            let (slot, _) = self.b.alloc(pname.clone(), ObjKind::Stack(self.fid), *pty, false, None);
+            let (slot, _) =
+                self.b
+                    .alloc(pname.clone(), ObjKind::Stack(self.fid), *pty, false, None);
             self.b.store(slot.into(), pvar.into());
             self.declare_local(pname, Local { slot, ty: *pty }, f.line)?;
         }
@@ -254,12 +267,19 @@ impl<'m, 'p> Lowerer<'m, 'p> {
     fn lower_stmt(&mut self, s: &Stmt) -> Result<()> {
         self.ensure_open();
         match &s.kind {
-            StmtKind::Decl { ty, name, array, init } => {
+            StmtKind::Decl {
+                ty,
+                name,
+                array,
+                init,
+            } => {
                 let mut t = resolve_type(self.b.module, self.env.struct_ids, ty, s.line)?;
                 if let Some(n) = array {
                     t = self.b.module.types.intern(Type::Array(t, (*n).max(1)));
                 }
-                let (slot, _) = self.b.alloc(name.clone(), ObjKind::Stack(self.fid), t, false, None);
+                let (slot, _) =
+                    self.b
+                        .alloc(name.clone(), ObjKind::Stack(self.fid), t, false, None);
                 self.declare_local(name, Local { slot, ty: t }, s.line)?;
                 if let Some(e) = init {
                     if array.is_some() || matches!(self.b.module.types.get(t), Type::Struct(_)) {
@@ -282,7 +302,11 @@ impl<'m, 'p> Lowerer<'m, 'p> {
                 self.lower_expr_stmt(e)?;
                 Ok(())
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.lower_expr(cond)?;
                 let then_bb = self.b.new_block();
                 let else_bb = self.b.new_block();
@@ -367,7 +391,11 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         }
         err(
             line,
-            format!("type mismatch: expected {}, found {}", t.display(dst), t.display(src)),
+            format!(
+                "type mismatch: expected {}, found {}",
+                t.display(dst),
+                t.display(src)
+            ),
         )
     }
 
@@ -391,7 +419,12 @@ impl<'m, 'p> Lowerer<'m, 'p> {
     fn lower_expr_expect(&mut self, e: &Expr, expected: Option<TypeId>) -> Result<Value> {
         let int = self.b.module.types.int();
         match &e.kind {
-            ExprKind::Int(n) => Ok(Value { op: Operand::Const(*n), ty: expected.filter(|t| self.b.module.types.is_pointer(*t) && *n == 0).unwrap_or(int) }),
+            ExprKind::Int(n) => Ok(Value {
+                op: Operand::Const(*n),
+                ty: expected
+                    .filter(|t| self.b.module.types.is_pointer(*t) && *n == 0)
+                    .unwrap_or(int),
+            }),
             ExprKind::Ident(name) => self.lower_ident(name, e.line),
             ExprKind::Unary(op, inner) => {
                 let v = self.lower_expr(inner)?;
@@ -401,19 +434,28 @@ impl<'m, 'p> Lowerer<'m, 'p> {
                     AstUnOp::Not => UnOp::Not,
                     AstUnOp::BitNot => UnOp::BitNot,
                 };
-                Ok(Value { op: self.b.un(o, v.op).into(), ty: int })
+                Ok(Value {
+                    op: self.b.un(o, v.op).into(),
+                    ty: int,
+                })
             }
             ExprKind::Deref(inner) => {
                 let v = self.lower_expr(inner)?;
                 let Some(pointee) = self.b.module.types.pointee(v.ty) else {
                     return err(inner.line, "dereference of a non-pointer");
                 };
-                self.load_place(Place { addr: v.op, ty: pointee })
+                self.load_place(Place {
+                    addr: v.op,
+                    ty: pointee,
+                })
             }
             ExprKind::AddrOf(inner) => {
                 let place = self.lower_place(inner)?;
                 let pty = self.b.module.types.ptr_to(place.ty);
-                Ok(Value { op: place.addr, ty: pty })
+                Ok(Value {
+                    op: place.addr,
+                    ty: pty,
+                })
             }
             ExprKind::Binary(op, lhs, rhs) => self.lower_binary(*op, lhs, rhs, e.line),
             ExprKind::Logic(op, lhs, rhs) => self.lower_logic(*op, lhs, rhs),
@@ -428,8 +470,14 @@ impl<'m, 'p> Lowerer<'m, 'p> {
             ExprKind::Malloc(n) => self.lower_alloc(n, expected, false, e.line),
             ExprKind::Calloc(n) => self.lower_alloc(n, expected, true, e.line),
             ExprKind::Input => {
-                let v = self.b.call_ext(ExtFunc::InputInt, vec![], Some(int)).expect("input returns");
-                Ok(Value { op: v.into(), ty: int })
+                let v = self
+                    .b
+                    .call_ext(ExtFunc::InputInt, vec![], Some(int))
+                    .expect("input returns");
+                Ok(Value {
+                    op: v.into(),
+                    ty: int,
+                })
             }
         }
     }
@@ -438,7 +486,10 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         if t == self.b.module.types.int() {
             Ok(())
         } else {
-            err(line, format!("expected int, found {}", self.b.module.types.display(t)))
+            err(
+                line,
+                format!("expected int, found {}", self.b.module.types.display(t)),
+            )
         }
     }
 
@@ -450,12 +501,14 @@ impl<'m, 'p> Lowerer<'m, 'p> {
             return self.read_var(Operand::Global(obj), ty);
         }
         if let Some((fid, ptys, ret)) = self.env.funcs.get(name) {
-            let fp = self
-                .b
-                .module
-                .types
-                .intern(Type::FuncPtr { params: ptys.len() as u32, has_ret: ret.is_some() });
-            return Ok(Value { op: Operand::Func(*fid), ty: fp });
+            let fp = self.b.module.types.intern(Type::FuncPtr {
+                params: ptys.len() as u32,
+                has_ret: ret.is_some(),
+            });
+            return Ok(Value {
+                op: Operand::Func(*fid),
+                ty: fp,
+            });
         }
         err(line, format!("unknown name {name}"))
     }
@@ -485,11 +538,17 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         match self.b.module.types.get(place.ty).clone() {
             Type::Array(elem, _) => {
                 let pe = self.b.module.types.ptr_to(elem);
-                Ok(Value { op: place.addr, ty: pe })
+                Ok(Value {
+                    op: place.addr,
+                    ty: pe,
+                })
             }
             _ => {
                 let v = self.b.load(place.addr, place.ty);
-                Ok(Value { op: v.into(), ty: place.ty })
+                Ok(Value {
+                    op: v.into(),
+                    ty: place.ty,
+                })
             }
         }
     }
@@ -504,12 +563,10 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         match op {
             AstBinOp::Add | AstBinOp::Sub if l_ptr && r.ty == int => {
                 // Pointer arithmetic: p + i / p - i.
-                let elem = self
-                    .b
-                    .module
-                    .types
-                    .pointee(l.ty)
-                    .ok_or(LowerError { message: "arithmetic on fn pointer".into(), line })?;
+                let elem = self.b.module.types.pointee(l.ty).ok_or(LowerError {
+                    message: "arithmetic on fn pointer".into(),
+                    line,
+                })?;
                 let elem_cells = self.b.module.types.size_in_cells(elem);
                 let idx = if op == AstBinOp::Sub {
                     self.b.un(UnOp::Neg, r.op).into()
@@ -517,17 +574,26 @@ impl<'m, 'p> Lowerer<'m, 'p> {
                     r.op
                 };
                 let g = self.b.gep_index(l.op, idx, elem_cells, l.ty);
-                Ok(Value { op: g.into(), ty: l.ty })
+                Ok(Value {
+                    op: g.into(),
+                    ty: l.ty,
+                })
             }
             AstBinOp::Eq | AstBinOp::Ne if l_ptr || r_ptr => {
                 let b = self.to_ir_binop(op);
-                Ok(Value { op: self.b.bin(b, l.op, r.op).into(), ty: int })
+                Ok(Value {
+                    op: self.b.bin(b, l.op, r.op).into(),
+                    ty: int,
+                })
             }
             _ => {
                 self.expect_int(l.ty, lhs.line)?;
                 self.expect_int(r.ty, rhs.line)?;
                 let b = self.to_ir_binop(op);
-                Ok(Value { op: self.b.bin(b, l.op, r.op).into(), ty: int })
+                Ok(Value {
+                    op: self.b.bin(b, l.op, r.op).into(),
+                    ty: int,
+                })
             }
         }
     }
@@ -557,7 +623,9 @@ impl<'m, 'p> Lowerer<'m, 'p> {
     /// mem2reg).
     fn lower_logic(&mut self, op: LogicOp, lhs: &Expr, rhs: &Expr) -> Result<Value> {
         let int = self.b.module.types.int();
-        let (slot, _) = self.b.alloc("sc", ObjKind::Stack(self.fid), int, false, None);
+        let (slot, _) = self
+            .b
+            .alloc("sc", ObjKind::Stack(self.fid), int, false, None);
         let l = self.lower_expr(lhs)?;
         self.expect_int(l.ty, lhs.line)?;
         let rhs_bb = self.b.new_block();
@@ -582,7 +650,10 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         self.b.jmp(join);
         self.b.set_block(join);
         let v = self.b.load(slot.into(), int);
-        Ok(Value { op: v.into(), ty: int })
+        Ok(Value {
+            op: v.into(),
+            ty: int,
+        })
     }
 
     fn lower_alloc(
@@ -608,15 +679,24 @@ impl<'m, 'p> Lowerer<'m, 'p> {
                 } else {
                     self.b.module.types.intern(Type::Array(elem, *c as u32))
                 };
-                let (p, _) = self.b.alloc(name, ObjKind::Heap(self.fid), ty, zero_init, None);
-                Ok(Value { op: p.into(), ty: expected })
+                let (p, _) = self
+                    .b
+                    .alloc(name, ObjKind::Heap(self.fid), ty, zero_init, None);
+                Ok(Value {
+                    op: p.into(),
+                    ty: expected,
+                })
             }
             _ => {
                 let v = self.lower_expr(n)?;
                 self.expect_int(v.ty, n.line)?;
                 let (p, _) =
-                    self.b.alloc(name, ObjKind::Heap(self.fid), elem, zero_init, Some(v.op));
-                Ok(Value { op: p.into(), ty: expected })
+                    self.b
+                        .alloc(name, ObjKind::Heap(self.fid), elem, zero_init, Some(v.op));
+                Ok(Value {
+                    op: p.into(),
+                    ty: expected,
+                })
             }
         }
     }
@@ -637,7 +717,11 @@ impl<'m, 'p> Lowerer<'m, 'p> {
                     let v = self.lower_expr(&args[0])?;
                     self.expect_int(v.ty, args[0].line)?;
                     self.b.call_ext(ExtFunc::PrintInt, vec![v.op], None);
-                    return Ok(if statement { None } else { return err(e.line, "print returns no value") });
+                    return Ok(if statement {
+                        None
+                    } else {
+                        return err(e.line, "print returns no value");
+                    });
                 }
                 "abort" => {
                     self.b.call_ext(ExtFunc::Abort, vec![], None);
@@ -672,7 +756,10 @@ impl<'m, 'p> Lowerer<'m, 'p> {
             return err(callee.line, "call of a non-function value");
         };
         if args.len() != params as usize {
-            return err(e.line, format!("expected {} arguments, found {}", params, args.len()));
+            return err(
+                e.line,
+                format!("expected {} arguments, found {}", params, args.len()),
+            );
         }
         let ops = self.lower_args(args, None, e.line)?;
         let ret = if has_ret { Some(int) } else { None };
@@ -688,7 +775,10 @@ impl<'m, 'p> Lowerer<'m, 'p> {
     ) -> Result<Vec<Operand>> {
         if let Some(ptys) = ptys {
             if ptys.len() != args.len() {
-                return err(line, format!("expected {} arguments, found {}", ptys.len(), args.len()));
+                return err(
+                    line,
+                    format!("expected {} arguments, found {}", ptys.len(), args.len()),
+                );
             }
         }
         let mut ops = Vec::with_capacity(args.len());
@@ -711,7 +801,10 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         line: u32,
     ) -> Result<Option<Value>> {
         match (dst, ret) {
-            (Some(d), Some(t)) => Ok(Some(Value { op: d.into(), ty: t })),
+            (Some(d), Some(t)) => Ok(Some(Value {
+                op: d.into(),
+                ty: t,
+            })),
             (None, None) if statement => Ok(None),
             (None, None) => err(line, "void call used as a value"),
             _ => unreachable!("dst presence always mirrors ret type"),
@@ -724,10 +817,16 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         match &e.kind {
             ExprKind::Ident(name) => {
                 if let Some(local) = self.lookup_local(name) {
-                    return Ok(Place { addr: local.slot.into(), ty: local.ty });
+                    return Ok(Place {
+                        addr: local.slot.into(),
+                        ty: local.ty,
+                    });
                 }
                 if let Some(&(obj, ty)) = self.env.globals.get(name) {
-                    return Ok(Place { addr: Operand::Global(obj), ty });
+                    return Ok(Place {
+                        addr: Operand::Global(obj),
+                        ty,
+                    });
                 }
                 err(e.line, format!("unknown variable {name}"))
             }
@@ -748,7 +847,10 @@ impl<'m, 'p> Lowerer<'m, 'p> {
                 let elem_cells = self.b.module.types.size_in_cells(elem);
                 let pty = self.b.module.types.ptr_to(elem);
                 let g = self.b.gep_index(b.op, i.op, elem_cells, pty);
-                Ok(Place { addr: g.into(), ty: elem })
+                Ok(Place {
+                    addr: g.into(),
+                    ty: elem,
+                })
             }
             ExprKind::Field(base, fname) => {
                 let place = self.lower_place(base)?;
@@ -759,7 +861,14 @@ impl<'m, 'p> Lowerer<'m, 'p> {
                 let Some(pointee) = self.b.module.types.pointee(v.ty) else {
                     return err(base.line, "-> on a non-pointer");
                 };
-                self.field_place(Place { addr: v.op, ty: pointee }, fname, e.line)
+                self.field_place(
+                    Place {
+                        addr: v.op,
+                        ty: pointee,
+                    },
+                    fname,
+                    e.line,
+                )
             }
             _ => err(e.line, "expression is not assignable"),
         }
@@ -777,6 +886,9 @@ impl<'m, 'p> Lowerer<'m, 'p> {
         let offset = self.b.module.types.field_offset(place.ty, idx);
         let pty = self.b.module.types.ptr_to(fty);
         let g = self.b.gep_field(place.addr, offset, pty);
-        Ok(Place { addr: g.into(), ty: fty })
+        Ok(Place {
+            addr: g.into(),
+            ty: fty,
+        })
     }
 }

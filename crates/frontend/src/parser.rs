@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: format!("unexpected character {:?}", e.ch), line: e.line }
+        ParseError {
+            message: format!("unexpected character {:?}", e.ch),
+            line: e.line,
+        }
     }
 }
 
@@ -83,7 +86,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, line: self.line() }
+        ParseError {
+            message,
+            line: self.line(),
+        }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -127,7 +133,10 @@ impl Parser {
     /// `struct N { ... };` vs a global of struct type: look for `{` after
     /// the name.
     fn is_struct_def(&self) -> bool {
-        matches!(self.toks.get(self.pos + 2).map(|s| &s.tok), Some(Tok::LBrace))
+        matches!(
+            self.toks.get(self.pos + 2).map(|s| &s.tok),
+            Some(Tok::LBrace)
+        )
     }
 
     fn struct_def(&mut self) -> Result<StructItem, ParseError> {
@@ -165,7 +174,12 @@ impl Parser {
             None
         };
         self.expect(&Tok::Semi)?;
-        Ok(GlobalItem { ty, name, array, line })
+        Ok(GlobalItem {
+            ty,
+            name,
+            array,
+            line,
+        })
     }
 
     fn func_def(&mut self) -> Result<FuncDef, ParseError> {
@@ -185,9 +199,19 @@ impl Parser {
             }
             self.expect(&Tok::RParen)?;
         }
-        let ret = if self.eat(&Tok::Arrow) { Some(self.type_expr()?) } else { None };
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
         let body = self.block()?;
-        Ok(FuncDef { name, params, ret, body, line })
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
     }
 
     // ---- types --------------------------------------------------------
@@ -255,7 +279,11 @@ impl Parser {
             Tok::KwFor => self.for_stmt()?,
             Tok::KwReturn => {
                 self.bump();
-                let e = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                let e = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
                 StmtKind::Return(e)
             }
@@ -285,9 +313,18 @@ impl Parser {
         } else {
             None
         };
-        let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.expect(&Tok::Semi)?;
-        Ok(StmtKind::Decl { ty, name, array, init })
+        Ok(StmtKind::Decl {
+            ty,
+            name,
+            array,
+            init,
+        })
     }
 
     fn if_stmt(&mut self) -> Result<StmtKind, ParseError> {
@@ -307,7 +344,11 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(StmtKind::If { cond, then_body, else_body })
+        Ok(StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        })
     }
 
     /// `for (init; cond; step) body` desugars to
@@ -331,7 +372,10 @@ impl Parser {
             Some(Stmt { kind, line })
         };
         let cond = if self.peek() == &Tok::Semi {
-            Expr { kind: ExprKind::Int(1), line: self.line() }
+            Expr {
+                kind: ExprKind::Int(1),
+                line: self.line(),
+            }
         } else {
             self.expr()?
         };
@@ -343,14 +387,20 @@ impl Parser {
             let lvalue = self.expr()?;
             self.expect(&Tok::Assign)?;
             let value = self.expr()?;
-            Some(Stmt { kind: StmtKind::Assign { lvalue, value }, line: sline })
+            Some(Stmt {
+                kind: StmtKind::Assign { lvalue, value },
+                line: sline,
+            })
         };
         self.expect(&Tok::RParen)?;
         let mut body = self.block()?;
         if let Some(s) = step {
             body.push(s);
         }
-        let w = Stmt { kind: StmtKind::While { cond, body }, line };
+        let w = Stmt {
+            kind: StmtKind::While { cond, body },
+            line,
+        };
         Ok(match init {
             Some(i) => StmtKind::Block(vec![i, w]),
             None => w.kind,
@@ -381,7 +431,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.logic_and()?;
-            lhs = Expr { kind: ExprKind::Logic(LogicOp::Or, Box::new(lhs), Box::new(rhs)), line };
+            lhs = Expr {
+                kind: ExprKind::Logic(LogicOp::Or, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
         }
         Ok(lhs)
     }
@@ -392,7 +445,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.bit_or()?;
-            lhs = Expr { kind: ExprKind::Logic(LogicOp::And, Box::new(lhs), Box::new(rhs)), line };
+            lhs = Expr {
+                kind: ExprKind::Logic(LogicOp::And, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
         }
         Ok(lhs)
     }
@@ -434,7 +490,10 @@ impl Parser {
     }
 
     fn equality(&mut self) -> Result<Expr, ParseError> {
-        self.bin_level(&[(Tok::EqEq, AstBinOp::Eq), (Tok::NotEq, AstBinOp::Ne)], Self::relational)
+        self.bin_level(
+            &[(Tok::EqEq, AstBinOp::Eq), (Tok::NotEq, AstBinOp::Ne)],
+            Self::relational,
+        )
     }
 
     fn relational(&mut self) -> Result<Expr, ParseError> {
@@ -450,16 +509,26 @@ impl Parser {
     }
 
     fn shift(&mut self) -> Result<Expr, ParseError> {
-        self.bin_level(&[(Tok::Shl, AstBinOp::Shl), (Tok::Shr, AstBinOp::Shr)], Self::additive)
+        self.bin_level(
+            &[(Tok::Shl, AstBinOp::Shl), (Tok::Shr, AstBinOp::Shr)],
+            Self::additive,
+        )
     }
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
-        self.bin_level(&[(Tok::Plus, AstBinOp::Add), (Tok::Minus, AstBinOp::Sub)], Self::multiplicative)
+        self.bin_level(
+            &[(Tok::Plus, AstBinOp::Add), (Tok::Minus, AstBinOp::Sub)],
+            Self::multiplicative,
+        )
     }
 
     fn multiplicative(&mut self) -> Result<Expr, ParseError> {
         self.bin_level(
-            &[(Tok::Star, AstBinOp::Mul), (Tok::Slash, AstBinOp::Div), (Tok::Percent, AstBinOp::Rem)],
+            &[
+                (Tok::Star, AstBinOp::Mul),
+                (Tok::Slash, AstBinOp::Div),
+                (Tok::Percent, AstBinOp::Rem),
+            ],
             Self::unary,
         )
     }
@@ -501,17 +570,26 @@ impl Parser {
                     self.bump();
                     let idx = self.expr()?;
                     self.expect(&Tok::RBracket)?;
-                    e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        line,
+                    };
                 }
                 Tok::Dot => {
                     self.bump();
                     let f = self.ident()?;
-                    e = Expr { kind: ExprKind::Field(Box::new(e), f), line };
+                    e = Expr {
+                        kind: ExprKind::Field(Box::new(e), f),
+                        line,
+                    };
                 }
                 Tok::Arrow => {
                     self.bump();
                     let f = self.ident()?;
-                    e = Expr { kind: ExprKind::Arrow(Box::new(e), f), line };
+                    e = Expr {
+                        kind: ExprKind::Arrow(Box::new(e), f),
+                        line,
+                    };
                 }
                 Tok::LParen => {
                     self.bump();
@@ -525,7 +603,10 @@ impl Parser {
                         }
                         self.expect(&Tok::RParen)?;
                     }
-                    e = Expr { kind: ExprKind::Call(Box::new(e), args), line };
+                    e = Expr {
+                        kind: ExprKind::Call(Box::new(e), args),
+                        line,
+                    };
                 }
                 _ => break,
             }
@@ -604,7 +685,9 @@ mod tests {
     #[test]
     fn precedence_mul_binds_tighter_than_add() {
         let p = parse("def f() -> int { return 1 + 2 * 3; }").unwrap();
-        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
         let ExprKind::Binary(AstBinOp::Add, _, rhs) = &e.kind else {
             panic!("expected +, got {e:?}")
         };
@@ -614,15 +697,22 @@ mod tests {
     #[test]
     fn parses_short_circuit_and_comparisons() {
         let p = parse("def f(int a, int b) -> int { return a < 3 && b > 1 || a == b; }").unwrap();
-        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Logic(LogicOp::Or, _, _)));
     }
 
     #[test]
     fn parses_pointer_struct_access_chain() {
         let p = parse("def f(struct T *p) { p->next->v = p->v + (*p).v; }").unwrap();
-        let StmtKind::Assign { lvalue, .. } = &p.funcs[0].body[0].kind else { panic!() };
-        assert!(matches!(lvalue.kind, ExprKind::Field(..) | ExprKind::Arrow(..)));
+        let StmtKind::Assign { lvalue, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            lvalue.kind,
+            ExprKind::Field(..) | ExprKind::Arrow(..)
+        ));
     }
 
     #[test]
@@ -644,9 +734,11 @@ mod tests {
         body.iter().any(|s| match &s.kind {
             StmtKind::While { .. } => true,
             StmtKind::Block(b) => fn_contains_while(b),
-            StmtKind::If { then_body, else_body, .. } => {
-                fn_contains_while(then_body) || fn_contains_while(else_body)
-            }
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => fn_contains_while(then_body) || fn_contains_while(else_body),
             _ => false,
         })
     }
@@ -655,7 +747,9 @@ mod tests {
     fn parses_function_pointer_type_and_indirect_call() {
         let p = parse("def f(fn(int) -> int g, int x) -> int { return g(x); }").unwrap();
         assert!(matches!(p.funcs[0].params[0].0, TypeExpr::FuncPtr { .. }));
-        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Call(..)));
     }
 
@@ -674,7 +768,9 @@ mod tests {
     #[test]
     fn parses_else_if_chain() {
         let p = parse("def f(int x) -> int { if (x < 0) { return 0; } else if (x == 0) { return 1; } else { return 2; } }").unwrap();
-        let StmtKind::If { else_body, .. } = &p.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::If { else_body, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
         assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
     }
 }

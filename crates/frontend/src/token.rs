@@ -30,22 +30,22 @@ pub enum Tok {
     RBracket,
     Comma,
     Semi,
-    Arrow,    // ->
+    Arrow, // ->
     Dot,
-    Assign,   // =
+    Assign, // =
     // Operators
     Plus,
     Minus,
     Star,
     Slash,
     Percent,
-    Amp,      // &
-    Pipe,     // |
-    Caret,    // ^
-    Tilde,    // ~
-    Bang,     // !
-    Shl,      // <<
-    Shr,      // >>
+    Amp,   // &
+    Pipe,  // |
+    Caret, // ^
+    Tilde, // ~
+    Bang,  // !
+    Shl,   // <<
+    Shr,   // >>
     EqEq,
     NotEq,
     Lt,
@@ -87,7 +87,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character {:?} on line {}",
+            self.ch, self.line
+        )
     }
 }
 
@@ -132,13 +136,14 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 let n: i64 = src[start..i].parse().unwrap_or(i64::MAX);
-                out.push(Spanned { tok: Tok::Int(n), line });
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    line,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -159,7 +164,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned { tok, line });
             }
             _ => {
-                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
                 let (tok, len) = match two {
                     "->" => (Tok::Arrow, 2),
                     "<<" => (Tok::Shl, 2),
@@ -204,7 +213,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -220,7 +232,13 @@ mod tests {
     fn lexes_keywords_and_idents() {
         assert_eq!(
             toks("def foo int x"),
-            vec![Tok::KwDef, Tok::Ident("foo".into()), Tok::KwInt, Tok::Ident("x".into()), Tok::Eof]
+            vec![
+                Tok::KwDef,
+                Tok::Ident("foo".into()),
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
         );
     }
 
@@ -251,7 +269,10 @@ mod tests {
     #[test]
     fn skips_line_and_block_comments() {
         let src = "a // comment\n/* multi\nline */ b";
-        assert_eq!(toks(src), vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            toks(src),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -270,6 +291,9 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("0 42 1000000"), vec![Tok::Int(0), Tok::Int(42), Tok::Int(1000000), Tok::Eof]);
+        assert_eq!(
+            toks("0 42 1000000"),
+            vec![Tok::Int(0), Tok::Int(42), Tok::Int(1000000), Tok::Eof]
+        );
     }
 }

@@ -22,7 +22,11 @@ fn eval_const(expr: &str) -> i64 {
 fn arithmetic_precedence() {
     assert_eq!(eval_const("1 + 2 * 3"), 7);
     assert_eq!(eval_const("(1 + 2) * 3"), 9);
-    assert_eq!(eval_const("10 - 4 - 3"), 3, "subtraction is left-associative");
+    assert_eq!(
+        eval_const("10 - 4 - 3"),
+        3,
+        "subtraction is left-associative"
+    );
     assert_eq!(eval_const("20 / 2 / 5"), 2, "division is left-associative");
     assert_eq!(eval_const("17 % 5"), 2);
 }
@@ -44,8 +48,16 @@ fn comparison_and_equality() {
     assert_eq!(eval_const("5 <= 4"), 0);
     assert_eq!(eval_const("3 == 3"), 1);
     assert_eq!(eval_const("3 != 3"), 0);
-    assert_eq!(eval_const("1 + 2 == 3"), 1, "arithmetic binds tighter than ==");
-    assert_eq!(eval_const("2 < 3 == 1"), 1, "relational binds tighter than ==");
+    assert_eq!(
+        eval_const("1 + 2 == 3"),
+        1,
+        "arithmetic binds tighter than =="
+    );
+    assert_eq!(
+        eval_const("2 < 3 == 1"),
+        1,
+        "relational binds tighter than =="
+    );
 }
 
 #[test]
@@ -162,18 +174,18 @@ fn unterminated_block_reports_line() {
 fn duplicate_definitions_rejected() {
     assert!(err_of("int g; int g; def main() {}").contains("duplicate"));
     assert!(err_of("def f() {} def f() {} def main() {}").contains("duplicate"));
-    assert!(err_of("struct S { int a; }; struct S { int b; }; def main() {}")
-        .contains("duplicate"));
+    assert!(
+        err_of("struct S { int a; }; struct S { int b; }; def main() {}").contains("duplicate")
+    );
     assert!(err_of("def main() { int x; int x; }").contains("duplicate"));
 }
 
 #[test]
 fn unknown_struct_and_field_errors() {
     assert!(err_of("def main() { struct Nope *p; p = 0; }").contains("unknown struct"));
-    assert!(err_of(
-        "struct S { int a; }; def main() { struct S s; s.b = 1; }"
-    )
-    .contains("no field"));
+    assert!(
+        err_of("struct S { int a; }; def main() { struct S s; s.b = 1; }").contains("no field")
+    );
 }
 
 #[test]
@@ -209,7 +221,10 @@ fn pointer_conditions_are_c_style_truthy() {
 #[test]
 fn malloc_without_pointer_context_rejected() {
     let e = err_of("def main() { int x = malloc(4); }");
-    assert!(e.contains("non-pointer") || e.contains("pointer-typed"), "{e}");
+    assert!(
+        e.contains("non-pointer") || e.contains("pointer-typed"),
+        "{e}"
+    );
 }
 
 #[test]

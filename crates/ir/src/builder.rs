@@ -33,7 +33,13 @@ impl<'m> FuncBuilder<'m> {
     pub fn new(module: &'m mut Module, fid: FuncId) -> Self {
         let f = Function::new(module.funcs[fid].name.clone(), module.funcs[fid].ret_ty);
         let cur = f.entry;
-        FuncBuilder { module, fid, f, cur, sealed: false }
+        FuncBuilder {
+            module,
+            fid,
+            f,
+            cur,
+            sealed: false,
+        }
     }
 
     /// The id of the function being built.
@@ -121,7 +127,9 @@ impl<'m> FuncBuilder<'m> {
         zero_init: bool,
         count: Option<Operand>,
     ) -> (VarId, ObjId) {
-        let obj = self.module.add_object(name, kind, ty, zero_init, count.is_some());
+        let obj = self
+            .module
+            .add_object(name, kind, ty, zero_init, count.is_some());
         let pty = self.module.types.ptr_to(ty);
         let dst = self.f.new_var("p", pty);
         self.push(Inst::Alloc { dst, obj, count });
@@ -131,14 +139,28 @@ impl<'m> FuncBuilder<'m> {
     /// `dst := &base.field`, result typed `ty` (a pointer type).
     pub fn gep_field(&mut self, base: Operand, field: u32, ty: TypeId) -> VarId {
         let dst = self.f.new_var("g", ty);
-        self.push(Inst::Gep { dst, base, offset: GepOffset::Field(field) });
+        self.push(Inst::Gep {
+            dst,
+            base,
+            offset: GepOffset::Field(field),
+        });
         dst
     }
 
     /// `dst := &base[index]`, result typed `ty` (a pointer type).
-    pub fn gep_index(&mut self, base: Operand, index: Operand, elem_cells: u32, ty: TypeId) -> VarId {
+    pub fn gep_index(
+        &mut self,
+        base: Operand,
+        index: Operand,
+        elem_cells: u32,
+        ty: TypeId,
+    ) -> VarId {
         let dst = self.f.new_var("g", ty);
-        self.push(Inst::Gep { dst, base, offset: GepOffset::Index { index, elem_cells } });
+        self.push(Inst::Gep {
+            dst,
+            base,
+            offset: GepOffset::Index { index, elem_cells },
+        });
         dst
     }
 
@@ -156,14 +178,24 @@ impl<'m> FuncBuilder<'m> {
 
     /// Calls `callee(args)`, returning the result register when `ret_ty`
     /// is present.
-    pub fn call(&mut self, callee: Callee, args: Vec<Operand>, ret_ty: Option<TypeId>) -> Option<VarId> {
+    pub fn call(
+        &mut self,
+        callee: Callee,
+        args: Vec<Operand>,
+        ret_ty: Option<TypeId>,
+    ) -> Option<VarId> {
         let dst = ret_ty.map(|ty| self.f.new_var("r", ty));
         self.push(Inst::Call { dst, callee, args });
         dst
     }
 
     /// Calls an external function.
-    pub fn call_ext(&mut self, ext: ExtFunc, args: Vec<Operand>, ret_ty: Option<TypeId>) -> Option<VarId> {
+    pub fn call_ext(
+        &mut self,
+        ext: ExtFunc,
+        args: Vec<Operand>,
+        ret_ty: Option<TypeId>,
+    ) -> Option<VarId> {
         self.call(Callee::External(ext), args, ret_ty)
     }
 
@@ -186,7 +218,11 @@ impl<'m> FuncBuilder<'m> {
         if then_bb == else_bb {
             self.jmp(then_bb);
         } else {
-            self.f.blocks[self.cur].term = Terminator::Br { cond, then_bb, else_bb };
+            self.f.blocks[self.cur].term = Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            };
         }
     }
 
@@ -235,7 +271,10 @@ mod tests {
         b.set_block(next);
         b.ret(None);
         b.finish();
-        assert!(matches!(m.funcs[fid].blocks[BlockId(0)].term, Terminator::Jmp(_)));
+        assert!(matches!(
+            m.funcs[fid].blocks[BlockId(0)].term,
+            Terminator::Jmp(_)
+        ));
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl Cfg {
         for (i, bb) in rpo.iter().enumerate() {
             rpo_index[*bb] = i;
         }
-        Cfg { preds, succs, rpo, rpo_index }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
     }
 
     /// Whether `bb` is reachable from entry.
@@ -76,8 +81,11 @@ mod tests {
         let b = f.new_block();
         let join = f.new_block();
         let dead = f.new_block();
-        f.blocks[entry].term =
-            Terminator::Br { cond: Operand::Const(1), then_bb: a, else_bb: b };
+        f.blocks[entry].term = Terminator::Br {
+            cond: Operand::Const(1),
+            then_bb: a,
+            else_bb: b,
+        };
         f.blocks[a].term = Terminator::Jmp(join);
         f.blocks[b].term = Terminator::Jmp(join);
         f.blocks[join].term = Terminator::Ret(None);

@@ -108,7 +108,14 @@ impl DomTree {
             }
         }
 
-        DomTree { idom, children, frontier, tin, tout, entry: f.entry }
+        DomTree {
+            idom,
+            children,
+            frontier,
+            tin,
+            tout,
+            entry: f.entry,
+        }
     }
 
     /// Whether block `a` dominates block `b` (reflexive). Unreachable
@@ -200,7 +207,10 @@ mod tests {
 
     #[test]
     fn diamond_idoms() {
-        let f = build(&[(0, vec![1, 2]), (1, vec![3]), (2, vec![3]), (3, vec![])], 4);
+        let f = build(
+            &[(0, vec![1, 2]), (1, vec![3]), (2, vec![3]), (3, vec![])],
+            4,
+        );
         let cfg = Cfg::compute(&f);
         let dt = DomTree::compute(&f, &cfg);
         assert_eq!(dt.idom[BlockId(1)], Some(BlockId(0)));
@@ -213,7 +223,10 @@ mod tests {
 
     #[test]
     fn diamond_frontiers() {
-        let f = build(&[(0, vec![1, 2]), (1, vec![3]), (2, vec![3]), (3, vec![])], 4);
+        let f = build(
+            &[(0, vec![1, 2]), (1, vec![3]), (2, vec![3]), (3, vec![])],
+            4,
+        );
         let cfg = Cfg::compute(&f);
         let dt = DomTree::compute(&f, &cfg);
         assert_eq!(dt.frontier[BlockId(1)], vec![BlockId(3)]);
@@ -224,7 +237,10 @@ mod tests {
     #[test]
     fn loop_frontier_contains_header() {
         // 0 -> 1; 1 -> {2, 3}; 2 -> 1; 3 -> ret. Block 1 is a loop header.
-        let f = build(&[(0, vec![1]), (1, vec![2, 3]), (2, vec![1]), (3, vec![])], 4);
+        let f = build(
+            &[(0, vec![1]), (1, vec![2, 3]), (2, vec![1]), (3, vec![])],
+            4,
+        );
         let cfg = Cfg::compute(&f);
         let dt = DomTree::compute(&f, &cfg);
         assert_eq!(dt.idom[BlockId(2)], Some(BlockId(1)));

@@ -63,7 +63,10 @@ pub struct IdxVec<I: Idx, T> {
 impl<I: Idx, T> IdxVec<I, T> {
     /// Creates an empty vector.
     pub fn new() -> Self {
-        IdxVec { raw: Vec::new(), _marker: PhantomData }
+        IdxVec {
+            raw: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates a vector with `n` copies of `value`.
@@ -71,12 +74,18 @@ impl<I: Idx, T> IdxVec<I, T> {
     where
         T: Clone,
     {
-        IdxVec { raw: vec![value; n], _marker: PhantomData }
+        IdxVec {
+            raw: vec![value; n],
+            _marker: PhantomData,
+        }
     }
 
     /// Wraps an existing `Vec`.
     pub fn from_raw(raw: Vec<T>) -> Self {
-        IdxVec { raw, _marker: PhantomData }
+        IdxVec {
+            raw,
+            _marker: PhantomData,
+        }
     }
 
     /// Appends `value` and returns its index.
@@ -103,7 +112,10 @@ impl<I: Idx, T> IdxVec<I, T> {
 
     /// Iterates over `(index, &element)` pairs.
     pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> {
-        self.raw.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+        self.raw
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_usize(i), t))
     }
 
     /// Iterates over all valid indices.
@@ -166,7 +178,10 @@ impl<I: Idx, T: fmt::Debug> fmt::Debug for IdxVec<I, T> {
 
 impl<I: Idx, T> FromIterator<T> for IdxVec<I, T> {
     fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
-        IdxVec { raw: Vec::from_iter(iter), _marker: PhantomData }
+        IdxVec {
+            raw: Vec::from_iter(iter),
+            _marker: PhantomData,
+        }
     }
 }
 

@@ -30,7 +30,12 @@ pub struct InlinePolicy {
 
 impl Default for InlinePolicy {
     fn default() -> Self {
-        InlinePolicy { fnptr_params: true, alloc_wrappers: true, max_callee_insts: 60, max_growth: 8 }
+        InlinePolicy {
+            fnptr_params: true,
+            alloc_wrappers: true,
+            max_callee_insts: 60,
+            max_growth: 8,
+        }
     }
 }
 
@@ -89,7 +94,10 @@ fn select_targets(m: &Module, policy: InlinePolicy) -> HashMap<FuncId, ()> {
             continue;
         }
         let has_fnptr_param = f.params.iter().any(|p| {
-            matches!(m.types.get(f.vars[*p].ty), crate::types::Type::FuncPtr { .. })
+            matches!(
+                m.types.get(f.vars[*p].ty),
+                crate::types::Type::FuncPtr { .. }
+            )
         });
         let is_wrapper = f.ret_ty.is_some_and(|t| m.types.is_pointer(t))
             && f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
@@ -103,9 +111,10 @@ fn select_targets(m: &Module, policy: InlinePolicy) -> HashMap<FuncId, ()> {
 }
 
 fn is_directly_recursive(f: &Function, fid: FuncId) -> bool {
-    f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-        matches!(i, Inst::Call { callee: Callee::Direct(g), .. } if *g == fid)
-    })
+    f.blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .any(|i| matches!(i, Inst::Call { callee: Callee::Direct(g), .. } if *g == fid))
 }
 
 fn find_inlinable_call(
@@ -116,7 +125,11 @@ fn find_inlinable_call(
     let f = &m.funcs[caller];
     for (bb, block) in f.blocks.iter_enumerated() {
         for (idx, inst) in block.insts.iter().enumerate() {
-            if let Inst::Call { callee: Callee::Direct(g), .. } = inst {
+            if let Inst::Call {
+                callee: Callee::Direct(g),
+                ..
+            } = inst
+            {
                 if *g != caller && targets.contains_key(g) {
                     return Some((bb, idx, *g));
                 }
@@ -159,7 +172,12 @@ fn inline_one(m: &mut Module, caller: FuncId, bb: BlockId, idx: usize, callee: F
 
     // --- Extract the call.
     let call_inst = f.blocks[bb].insts[idx].clone();
-    let Inst::Call { dst: call_dst, args, .. } = call_inst else {
+    let Inst::Call {
+        dst: call_dst,
+        args,
+        ..
+    } = call_inst
+    else {
         panic!("inline_one pointed at a non-call instruction");
     };
 
@@ -235,10 +253,19 @@ fn inline_one(m: &mut Module, caller: FuncId, bb: BlockId, idx: usize, callee: F
             0 => {
                 // Callee never returns normally; the continuation is
                 // unreachable but the dst must still be defined.
-                cont_block.insts.push(Inst::Copy { dst, src: Operand::Undef });
+                cont_block.insts.push(Inst::Copy {
+                    dst,
+                    src: Operand::Undef,
+                });
             }
-            1 => cont_block.insts.push(Inst::Copy { dst, src: ret_incomings[0].1 }),
-            _ => cont_block.insts.push(Inst::Phi { dst, incomings: ret_incomings.clone() }),
+            1 => cont_block.insts.push(Inst::Copy {
+                dst,
+                src: ret_incomings[0].1,
+            }),
+            _ => cont_block.insts.push(Inst::Phi {
+                dst,
+                incomings: ret_incomings.clone(),
+            }),
         }
     }
     cont_block.insts.extend(tail_insts);
@@ -265,7 +292,10 @@ fn inline_one(m: &mut Module, caller: FuncId, bb: BlockId, idx: usize, callee: F
 
     // --- Bind arguments and jump into the cloned entry.
     for (p, a) in callee_fn.params.iter().zip(args.iter()) {
-        f.blocks[bb].insts.push(Inst::Copy { dst: remap_var(*p), src: *a });
+        f.blocks[bb].insts.push(Inst::Copy {
+            dst: remap_var(*p),
+            src: *a,
+        });
     }
     f.blocks[bb].term = Terminator::Jmp(remap_block(callee_fn.entry));
 
@@ -318,11 +348,13 @@ mod tests {
         assert!(verify(&m).is_ok(), "{:?}", verify(&m));
         // main no longer calls wrapper.
         let f = &m.funcs[mid];
-        assert!(!f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Call { callee: Callee::Direct(_), .. })));
+        assert!(!f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(
+            i,
+            Inst::Call {
+                callee: Callee::Direct(_),
+                ..
+            }
+        )));
         // Two distinct Alloc sites now exist in main.
         let allocs: Vec<_> = f
             .blocks
@@ -341,7 +373,10 @@ mod tests {
     fn inlines_fnptr_param_function() {
         let mut m = Module::new();
         let int = m.types.int();
-        let fp = m.types.intern(Type::FuncPtr { params: 1, has_ret: true });
+        let fp = m.types.intern(Type::FuncPtr {
+            params: 1,
+            has_ret: true,
+        });
         let callee = m.declare_func("apply", Some(int));
         let target = m.declare_func("double_it", Some(int));
         let mid = m.declare_func("main", None);
@@ -356,14 +391,20 @@ mod tests {
             let mut b = FuncBuilder::new(&mut m, callee);
             let g = b.param("g", fp);
             let x = b.param("x", int);
-            let r = b.call(Callee::Indirect(g.into()), vec![x.into()], Some(int)).unwrap();
+            let r = b
+                .call(Callee::Indirect(g.into()), vec![x.into()], Some(int))
+                .unwrap();
             b.ret(Some(r.into()));
             b.finish();
         }
         {
             let mut b = FuncBuilder::new(&mut m, mid);
             let r = b
-                .call(Callee::Direct(callee), vec![Operand::Func(target), Operand::Const(21)], Some(int))
+                .call(
+                    Callee::Direct(callee),
+                    vec![Operand::Func(target), Operand::Const(21)],
+                    Some(int),
+                )
                 .unwrap();
             b.call_ext(ExtFunc::PrintInt, vec![r.into()], None);
             b.ret(None);
@@ -378,7 +419,13 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Call { callee: Callee::Indirect(_), .. })));
+            .any(|i| matches!(
+                i,
+                Inst::Call {
+                    callee: Callee::Indirect(_),
+                    ..
+                }
+            )));
     }
 
     #[test]
@@ -404,7 +451,9 @@ mod tests {
         }
         {
             let mut b = FuncBuilder::new(&mut m, mid);
-            let p = b.call(Callee::Direct(wid), vec![Operand::Const(1)], Some(pint)).unwrap();
+            let p = b
+                .call(Callee::Direct(wid), vec![Operand::Const(1)], Some(pint))
+                .unwrap();
             b.store(p.into(), Operand::Const(3));
             b.ret(None);
             b.finish();
@@ -435,7 +484,9 @@ mod tests {
             b.br(n.into(), t, e);
             b.set_block(t);
             let n1 = b.bin(BinOp::Sub, n.into(), Operand::Const(1));
-            let r = b.call(Callee::Direct(rid), vec![n1.into()], Some(pint)).unwrap();
+            let r = b
+                .call(Callee::Direct(rid), vec![n1.into()], Some(pint))
+                .unwrap();
             b.ret(Some(r.into()));
             b.set_block(e);
             let (p, _) = b.alloc("h", ObjKind::Heap(rid), int, false, None);
@@ -444,7 +495,9 @@ mod tests {
         }
         {
             let mut b = FuncBuilder::new(&mut m, mid);
-            let p = b.call(Callee::Direct(rid), vec![Operand::Const(3)], Some(pint)).unwrap();
+            let p = b
+                .call(Callee::Direct(rid), vec![Operand::Const(3)], Some(pint))
+                .unwrap();
             b.store(p.into(), Operand::Const(1));
             b.ret(None);
             b.finish();

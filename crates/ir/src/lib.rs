@@ -52,8 +52,8 @@ pub use dom::DomTree;
 pub use ids::{BlockId, FuncId, Idx, IdxVec, ObjId, StructId, TypeId, VarId};
 pub use inline::{run_inline, InlinePolicy, InlineStats};
 pub use module::{
-    BinOp, Block, Callee, ExtFunc, Function, GepOffset, Inst, Module, ObjKind, ObjectData,
-    Operand, Site, Terminator, UnOp, VarData,
+    BinOp, Block, Callee, ExtFunc, Function, GepOffset, Inst, Module, ObjKind, ObjectData, Operand,
+    Site, Terminator, UnOp, VarData,
 };
 pub use opt::{optimize, OptLevel};
 pub use printer::{function as print_function, module as print_module};

@@ -73,12 +73,18 @@ impl BinOp {
     /// Whether the operator is a bitwise operation, for which the bit-level
     /// shadow mode propagates per-bit (Section 4.1 bit-exactness).
     pub fn is_bitwise(self) -> bool {
-        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
     }
 
     /// Whether the operator is a comparison producing a boolean int.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -139,24 +145,44 @@ pub enum Inst {
     /// `dst := op src`.
     Un { dst: VarId, op: UnOp, src: Operand },
     /// `dst := lhs op rhs`.
-    Bin { dst: VarId, op: BinOp, lhs: Operand, rhs: Operand },
+    Bin {
+        dst: VarId,
+        op: BinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst := alloc obj` — stack or heap allocation site; `dst` points to
     /// a fresh instance of `obj`. `count`, if present, is a runtime element
     /// count for heap arrays. The object's `zero_init` flag says whether
     /// the memory starts defined (`alloc_T`) or undefined (`alloc_F`).
-    Alloc { dst: VarId, obj: ObjId, count: Option<Operand> },
+    Alloc {
+        dst: VarId,
+        obj: ObjId,
+        count: Option<Operand>,
+    },
     /// `dst := &base[offset]` — address arithmetic.
-    Gep { dst: VarId, base: Operand, offset: GepOffset },
+    Gep {
+        dst: VarId,
+        base: Operand,
+        offset: GepOffset,
+    },
     /// `dst := *addr`.
     Load { dst: VarId, addr: Operand },
     /// `*addr := val`.
     Store { addr: Operand, val: Operand },
     /// `dst := callee(args)`.
-    Call { dst: Option<VarId>, callee: Callee, args: Vec<Operand> },
+    Call {
+        dst: Option<VarId>,
+        callee: Callee,
+        args: Vec<Operand>,
+    },
     /// SSA phi. Incomings are ordered to match the block's predecessor
     /// list at the time of construction (the CFG is recomputed on demand;
     /// incomings name their predecessor explicitly).
-    Phi { dst: VarId, incomings: Vec<(BlockId, Operand)> },
+    Phi {
+        dst: VarId,
+        incomings: Vec<(BlockId, Operand)>,
+    },
 }
 
 impl Inst {
@@ -263,7 +289,11 @@ pub enum Terminator {
     /// Unconditional jump.
     Jmp(BlockId),
     /// Conditional branch on a (critical-operation) condition.
-    Br { cond: Operand, then_bb: BlockId, else_bb: BlockId },
+    Br {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Function return.
     Ret(Option<Operand>),
     /// Placeholder used transiently by builders; never executed.
@@ -275,7 +305,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jmp(b) => vec![*b],
-            Terminator::Br { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Br {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) | Terminator::Unreachable => vec![],
         }
     }
@@ -302,7 +334,9 @@ impl Terminator {
     pub fn map_targets(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             Terminator::Jmp(b) => *b = f(*b),
-            Terminator::Br { then_bb, else_bb, .. } => {
+            Terminator::Br {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = f(*then_bb);
                 *else_bb = f(*else_bb);
             }
@@ -323,7 +357,10 @@ pub struct Block {
 impl Block {
     /// An empty block ending in `Unreachable`.
     pub fn new() -> Self {
-        Block { insts: Vec::new(), term: Terminator::Unreachable }
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        }
     }
 }
 
@@ -364,12 +401,22 @@ impl Function {
     pub fn new(name: impl Into<String>, ret_ty: Option<TypeId>) -> Self {
         let mut blocks = IdxVec::new();
         let entry = blocks.push(Block::new());
-        Function { name: name.into(), params: Vec::new(), ret_ty, vars: IdxVec::new(), blocks, entry }
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret_ty,
+            vars: IdxVec::new(),
+            blocks,
+            entry,
+        }
     }
 
     /// Adds a fresh variable.
     pub fn new_var(&mut self, name: impl Into<String>, ty: TypeId) -> VarId {
-        self.vars.push(VarData { name: name.into(), ty })
+        self.vars.push(VarData {
+            name: name.into(),
+            ty,
+        })
     }
 
     /// Adds a fresh block.
@@ -456,12 +503,18 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new() -> Self {
-        Module { types: TypeTable::new(), ..Default::default() }
+        Module {
+            types: TypeTable::new(),
+            ..Default::default()
+        }
     }
 
     /// Finds a function by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter_enumerated().find(|(_, f)| f.name == name).map(|(i, _)| i)
+        self.funcs
+            .iter_enumerated()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, _)| i)
     }
 
     /// Registers an object built from `ty`'s layout.
@@ -474,7 +527,11 @@ impl Module {
         dynamic: bool,
     ) -> ObjId {
         let layout = self.types.layout(ty);
-        let is_array = dynamic || layout.num_classes == 1 && layout.size() > 1 && layout.classes.iter().all(|&c| c == 0) && matches!(self.types.get(ty), crate::types::Type::Array(..));
+        let is_array = dynamic
+            || layout.num_classes == 1
+                && layout.size() > 1
+                && layout.classes.iter().all(|&c| c == 0)
+                && matches!(self.types.get(ty), crate::types::Type::Array(..));
         let (field_classes, num_classes, is_array) = if dynamic {
             (vec![0; layout.size() as usize], 1, true)
         } else {
@@ -543,7 +600,12 @@ mod tests {
         let a = f.new_var("a", TypeId(0));
         let b = f.new_var("b", TypeId(0));
         let c = f.new_var("c", TypeId(0));
-        let i = Inst::Bin { dst: c, op: BinOp::Add, lhs: a.into(), rhs: b.into() };
+        let i = Inst::Bin {
+            dst: c,
+            op: BinOp::Add,
+            lhs: a.into(),
+            rhs: b.into(),
+        };
         assert_eq!(i.dst(), Some(c));
         let mut uses = vec![];
         i.for_each_use(|o| uses.push(o));
@@ -552,17 +614,30 @@ mod tests {
 
     #[test]
     fn map_uses_rewrites_all_operands() {
-        let mut i = Inst::Store { addr: Operand::Var(VarId(0)), val: Operand::Var(VarId(1)) };
+        let mut i = Inst::Store {
+            addr: Operand::Var(VarId(0)),
+            val: Operand::Var(VarId(1)),
+        };
         i.map_uses(|o| match o {
             Operand::Var(v) => Operand::Var(VarId(v.0 + 10)),
             o => o,
         });
-        assert_eq!(i, Inst::Store { addr: Operand::Var(VarId(10)), val: Operand::Var(VarId(11)) });
+        assert_eq!(
+            i,
+            Inst::Store {
+                addr: Operand::Var(VarId(10)),
+                val: Operand::Var(VarId(11))
+            }
+        );
     }
 
     #[test]
     fn terminator_successors() {
-        let t = Terminator::Br { cond: Operand::Const(1), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let t = Terminator::Br {
+            cond: Operand::Const(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
         assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Terminator::Ret(None).successors().is_empty());
     }

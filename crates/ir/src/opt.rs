@@ -86,7 +86,9 @@ pub fn remove_unreachable_blocks(f: &mut Function) -> bool {
     let mut new_blocks = IdxVec::new();
     for &bb in &cfg.rpo {
         let mut block = old_blocks[bb].clone();
-        block.term.map_targets(|t| remap[t].expect("successor of reachable block is reachable"));
+        block
+            .term
+            .map_targets(|t| remap[t].expect("successor of reachable block is reachable"));
         // Drop phi incomings from removed predecessors, remap the rest.
         for inst in &mut block.insts {
             if let Inst::Phi { incomings, .. } = inst {
@@ -172,19 +174,27 @@ pub fn copy_and_const_prop(f: &mut Function) -> bool {
             for inst in &mut block.insts {
                 inst.map_uses(|o| resolve(&value_of, o));
                 match inst {
-                    Inst::Copy { dst, src }
-                        if value_of.get(dst) != Some(src) => {
-                            value_of.insert(*dst, *src);
-                            round_changed = true;
-                        }
-                    Inst::Un { dst, op, src: Operand::Const(c) } => {
+                    Inst::Copy { dst, src } if value_of.get(dst) != Some(src) => {
+                        value_of.insert(*dst, *src);
+                        round_changed = true;
+                    }
+                    Inst::Un {
+                        dst,
+                        op,
+                        src: Operand::Const(c),
+                    } => {
                         let v = Operand::Const(eval_un(*op, *c));
                         if value_of.get(dst) != Some(&v) {
                             value_of.insert(*dst, v);
                             round_changed = true;
                         }
                     }
-                    Inst::Bin { dst, op, lhs: Operand::Const(a), rhs: Operand::Const(b) } => {
+                    Inst::Bin {
+                        dst,
+                        op,
+                        lhs: Operand::Const(a),
+                        rhs: Operand::Const(b),
+                    } => {
                         if let Some(c) = eval_bin(*op, *a, *b) {
                             let v = Operand::Const(c);
                             if value_of.get(dst) != Some(&v) {
@@ -202,11 +212,13 @@ pub fn copy_and_const_prop(f: &mut Function) -> bool {
                             .filter(|o| *o != Operand::Var(*dst))
                             .collect();
                         vals.dedup();
-                        if vals.len() == 1 && !matches!(vals[0], Operand::Undef)
-                            && value_of.get(dst) != Some(&vals[0]) {
-                                value_of.insert(*dst, vals[0]);
-                                round_changed = true;
-                            }
+                        if vals.len() == 1
+                            && !matches!(vals[0], Operand::Undef)
+                            && value_of.get(dst) != Some(&vals[0])
+                        {
+                            value_of.insert(*dst, vals[0]);
+                            round_changed = true;
+                        }
                     }
                     _ => {}
                 }
@@ -268,7 +280,12 @@ pub fn dce(f: &mut Function) -> bool {
 pub fn simplify_cfg(f: &mut Function) -> bool {
     let mut changed = false;
     for block in f.blocks.iter_mut() {
-        if let Terminator::Br { cond: Operand::Const(c), then_bb, else_bb } = block.term {
+        if let Terminator::Br {
+            cond: Operand::Const(c),
+            then_bb,
+            else_bb,
+        } = block.term
+        {
             block.term = Terminator::Jmp(if c != 0 { then_bb } else { else_bb });
             changed = true;
         }
@@ -286,7 +303,9 @@ pub fn merge_blocks(f: &mut Function) -> bool {
         let cfg = Cfg::compute(f);
         let mut merged = false;
         for a in cfg.rpo.clone() {
-            let Terminator::Jmp(b) = f.blocks[a].term else { continue };
+            let Terminator::Jmp(b) = f.blocks[a].term else {
+                continue;
+            };
             if b == f.entry || b == a || cfg.preds[b].len() != 1 {
                 continue;
             }
@@ -296,10 +315,7 @@ pub fn merge_blocks(f: &mut Function) -> bool {
             for inst in b_block {
                 match inst {
                     Inst::Phi { dst, incomings } => {
-                        let src = incomings
-                            .first()
-                            .map(|(_, o)| *o)
-                            .unwrap_or(Operand::Undef);
+                        let src = incomings.first().map(|(_, o)| *o).unwrap_or(Operand::Undef);
                         f.blocks[a].insts.push(Inst::Copy { dst, src });
                     }
                     other => f.blocks[a].insts.push(other),
@@ -387,10 +403,17 @@ pub fn canonicalize_geps(f: &mut Function) -> bool {
             if let Inst::Gep { dst, base, offset } = inst {
                 let zero = matches!(
                     offset,
-                    GepOffset::Field(0) | GepOffset::Index { index: Operand::Const(0), .. }
+                    GepOffset::Field(0)
+                        | GepOffset::Index {
+                            index: Operand::Const(0),
+                            ..
+                        }
                 );
                 if zero {
-                    *inst = Inst::Copy { dst: *dst, src: *base };
+                    *inst = Inst::Copy {
+                        dst: *dst,
+                        src: *base,
+                    };
                     changed = true;
                 }
             }
@@ -437,7 +460,11 @@ mod tests {
         let mut b = FuncBuilder::new(&mut m, fid);
         let dead = b.bin(BinOp::Add, Operand::Const(1), Operand::Const(2));
         let _ = dead;
-        b.call_ext(crate::module::ExtFunc::PrintInt, vec![Operand::Const(5)], None);
+        b.call_ext(
+            crate::module::ExtFunc::PrintInt,
+            vec![Operand::Const(5)],
+            None,
+        );
         b.ret(None);
         b.finish();
         let f = &mut m.funcs[fid];
@@ -477,16 +504,23 @@ mod tests {
         b.jmp(join);
         b.set_block(join);
         let entry = BlockId(0);
-        let p = b.phi(int, vec![(entry, Operand::Const(1)), (dead, Operand::Const(2))]);
+        let p = b.phi(
+            int,
+            vec![(entry, Operand::Const(1)), (dead, Operand::Const(2))],
+        );
         b.ret(Some(p.into()));
         b.finish();
         let f = &mut m.funcs[fid];
         assert!(remove_unreachable_blocks(f));
         let f = &m.funcs[fid];
-        let phi = f.blocks.iter().flat_map(|b| &b.insts).find_map(|i| match i {
-            Inst::Phi { incomings, .. } => Some(incomings.clone()),
-            _ => None,
-        });
+        let phi = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .find_map(|i| match i {
+                Inst::Phi { incomings, .. } => Some(incomings.clone()),
+                _ => None,
+            });
         assert_eq!(phi.unwrap().len(), 1);
         assert!(verify(&m).is_ok(), "{:?}", verify(&m));
     }

@@ -22,7 +22,12 @@ pub fn inst(m: &Module, i: &Inst) -> String {
     match i {
         Inst::Copy { dst, src } => format!("{dst} := {}", op(*src)),
         Inst::Un { dst, op: o, src } => format!("{dst} := {o:?} {}", op(*src)),
-        Inst::Bin { dst, op: o, lhs, rhs } => {
+        Inst::Bin {
+            dst,
+            op: o,
+            lhs,
+            rhs,
+        } => {
             format!("{dst} := {} {o:?} {}", op(*lhs), op(*rhs))
         }
         Inst::Alloc { dst, obj, count } => {
@@ -35,7 +40,11 @@ pub fn inst(m: &Module, i: &Inst) -> String {
         Inst::Gep { dst, base, offset } => match offset {
             GepOffset::Field(k) => format!("{dst} := gep {} field {k}", op(*base)),
             GepOffset::Index { index, elem_cells } => {
-                format!("{dst} := gep {} index {} x{elem_cells}", op(*base), op(*index))
+                format!(
+                    "{dst} := gep {} index {} x{elem_cells}",
+                    op(*base),
+                    op(*index)
+                )
             }
         },
         Inst::Load { dst, addr } => format!("{dst} := *{}", op(*addr)),
@@ -53,8 +62,10 @@ pub fn inst(m: &Module, i: &Inst) -> String {
             }
         }
         Inst::Phi { dst, incomings } => {
-            let inc: Vec<String> =
-                incomings.iter().map(|(bb, o)| format!("[{bb}: {}]", op(*o))).collect();
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(bb, o)| format!("[{bb}: {}]", op(*o)))
+                .collect();
             format!("{dst} := phi {}", inc.join(", "))
         }
     }
@@ -86,7 +97,11 @@ pub fn function(m: &Module, fid: FuncId, f: &Function) -> String {
         }
         let t = match &block.term {
             Terminator::Jmp(b) => format!("jmp {b}"),
-            Terminator::Br { cond, then_bb, else_bb } => {
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 format!("br {} ? {then_bb} : {else_bb}", operand(m, *cond))
             }
             Terminator::Ret(Some(o)) => format!("ret {}", operand(m, *o)),
@@ -103,7 +118,12 @@ pub fn function(m: &Module, fid: FuncId, f: &Function) -> String {
 pub fn module(m: &Module) -> String {
     let mut s = String::new();
     for &g in &m.globals {
-        let _ = writeln!(s, "global @{}: {}", m.objects[g].name, m.types.display(m.objects[g].ty));
+        let _ = writeln!(
+            s,
+            "global @{}: {}",
+            m.objects[g].name,
+            m.types.display(m.objects[g].ty)
+        );
     }
     for (fid, f) in m.funcs.iter_enumerated() {
         s.push('\n');
@@ -125,7 +145,12 @@ mod tests {
         let mut f = Function::new("main", Some(int));
         let a = f.new_var("a", int);
         let b = f.new_var("b", int);
-        let i = Inst::Bin { dst: b, op: BinOp::Add, lhs: a.into(), rhs: Operand::Const(1) };
+        let i = Inst::Bin {
+            dst: b,
+            op: BinOp::Add,
+            lhs: a.into(),
+            rhs: Operand::Const(1),
+        };
         m.funcs.push(f);
         let text = inst(&m, &i);
         assert_eq!(text, format!("{} := {} Add 1", VarId(1), VarId(0)));

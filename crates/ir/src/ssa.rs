@@ -59,8 +59,11 @@ fn promote_function(m: &mut Module, fid: FuncId) -> Mem2RegStats {
     let dt = DomTree::compute(f, &cfg);
 
     // Promo index per pointer var.
-    let promo_of: HashMap<VarId, usize> =
-        promotable.iter().enumerate().map(|(i, p)| (p.ptr, i)).collect();
+    let promo_of: HashMap<VarId, usize> = promotable
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.ptr, i))
+        .collect();
 
     // 2. Collect definition blocks per promoted slot.
     let nslots = promotable.len();
@@ -68,7 +71,10 @@ fn promote_function(m: &mut Module, fid: FuncId) -> Mem2RegStats {
     for (bb, block) in f.blocks.iter_enumerated() {
         for inst in &block.insts {
             match inst {
-                Inst::Store { addr: Operand::Var(p), .. } => {
+                Inst::Store {
+                    addr: Operand::Var(p),
+                    ..
+                } => {
                     if let Some(&i) = promo_of.get(p) {
                         if !def_blocks[i].contains(&bb) {
                             def_blocks[i].push(bb);
@@ -95,7 +101,13 @@ fn promote_function(m: &mut Module, fid: FuncId) -> Mem2RegStats {
     for (i, slot) in promotable.iter().enumerate() {
         for bb in dt.iterated_frontier(&def_blocks[i]) {
             let dst = f.new_var(format!("{}.phi", slot.name), slot.val_ty);
-            f.blocks[bb].insts.insert(0, Inst::Phi { dst, incomings: Vec::new() });
+            f.blocks[bb].insts.insert(
+                0,
+                Inst::Phi {
+                    dst,
+                    incomings: Vec::new(),
+                },
+            );
             phi_slot_at.insert((bb, dst), i);
             stats.phis_inserted += 1;
         }
@@ -105,8 +117,7 @@ fn promote_function(m: &mut Module, fid: FuncId) -> Mem2RegStats {
     let nblocks = f.blocks.len();
     let mut visited: IdxVec<BlockId, bool> = IdxVec::from_elem(false, nblocks);
     // Explicit stack of (block, current values on entry).
-    let mut stack: Vec<(BlockId, Vec<Operand>)> =
-        vec![(f.entry, vec![Operand::Undef; nslots])];
+    let mut stack: Vec<(BlockId, Vec<Operand>)> = vec![(f.entry, vec![Operand::Undef; nslots])];
 
     while let Some((bb, mut cur)) = stack.pop() {
         if visited[bb] {
@@ -123,11 +134,17 @@ fn promote_function(m: &mut Module, fid: FuncId) -> Mem2RegStats {
                     cur[promo_of[dst]] = Operand::Undef;
                     continue; // drop the alloc
                 }
-                Inst::Store { addr: Operand::Var(p), val } if promo_of.contains_key(p) => {
+                Inst::Store {
+                    addr: Operand::Var(p),
+                    val,
+                } if promo_of.contains_key(p) => {
                     cur[promo_of[p]] = *val;
                     continue; // drop the store
                 }
-                Inst::Load { dst, addr: Operand::Var(p) } if promo_of.contains_key(p) => {
+                Inst::Load {
+                    dst,
+                    addr: Operand::Var(p),
+                } if promo_of.contains_key(p) => {
                     let v = cur[promo_of[p]];
                     if v == Operand::Undef {
                         stats.undef_reads += 1;
@@ -154,7 +171,9 @@ fn promote_function(m: &mut Module, fid: FuncId) -> Mem2RegStats {
         // 5. Fill successor phis along each CFG edge.
         for &succ in &cfg.succs[bb] {
             for inst in f.blocks[succ].insts.iter_mut() {
-                let Inst::Phi { dst, incomings } = inst else { break };
+                let Inst::Phi { dst, incomings } = inst else {
+                    break;
+                };
                 if let Some(&i) = phi_slot_at.get(&(succ, *dst)) {
                     incomings.push((bb, cur[i]));
                 }
@@ -182,7 +201,12 @@ fn find_promotable(m: &Module, fid: FuncId) -> Vec<PromoSlot> {
     let mut cand: HashMap<VarId, PromoSlot> = HashMap::new();
     for block in f.blocks.iter() {
         for inst in &block.insts {
-            if let Inst::Alloc { dst, obj, count: None } = inst {
+            if let Inst::Alloc {
+                dst,
+                obj,
+                count: None,
+            } = inst
+            {
                 let o = &m.objects[*obj];
                 if matches!(o.kind, ObjKind::Stack(_)) && o.size == 1 && !o.is_array {
                     let val_ty = m
@@ -191,7 +215,11 @@ fn find_promotable(m: &Module, fid: FuncId) -> Vec<PromoSlot> {
                         .expect("alloc result is a pointer");
                     cand.insert(
                         *dst,
-                        PromoSlot { ptr: *dst, name: o.name.clone(), val_ty },
+                        PromoSlot {
+                            ptr: *dst,
+                            name: o.name.clone(),
+                            val_ty,
+                        },
                     );
                 }
             }
@@ -281,7 +309,10 @@ mod tests {
         for block in f.blocks.iter() {
             for inst in &block.insts {
                 assert!(
-                    !matches!(inst, Inst::Load { .. } | Inst::Store { .. } | Inst::Alloc { .. }),
+                    !matches!(
+                        inst,
+                        Inst::Load { .. } | Inst::Store { .. } | Inst::Alloc { .. }
+                    ),
                     "memory op survived: {inst:?}"
                 );
             }
@@ -351,7 +382,10 @@ mod tests {
         let f = &m.funcs[fid];
         assert!(f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(
             i,
-            Inst::Copy { src: Operand::Const(7), .. }
+            Inst::Copy {
+                src: Operand::Const(7),
+                ..
+            }
         )));
     }
 
@@ -371,7 +405,10 @@ mod tests {
         let f = &m.funcs[fid];
         assert!(f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(
             i,
-            Inst::Copy { src: Operand::Undef, .. }
+            Inst::Copy {
+                src: Operand::Undef,
+                ..
+            }
         )));
     }
 

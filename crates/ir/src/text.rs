@@ -125,7 +125,13 @@ pub fn write_text(m: &Module) -> String {
         };
         let _ = writeln!(s, "def @f{} \"{}\"{ret} {{", fid.0, f.name);
         for (vid, vd) in f.vars.iter_enumerated() {
-            let _ = writeln!(s, "  var %v{} \"{}\" {}", vid.0, vd.name, type_text(m, vd.ty));
+            let _ = writeln!(
+                s,
+                "  var %v{} \"{}\" {}",
+                vid.0,
+                vd.name,
+                type_text(m, vd.ty)
+            );
         }
         if !f.params.is_empty() {
             let ps: Vec<String> = f.params.iter().map(|p| format!("%v{}", p.0)).collect();
@@ -139,7 +145,11 @@ pub fn write_text(m: &Module) -> String {
             }
             let term = match &block.term {
                 Terminator::Jmp(b) => format!("jmp bb{}", b.0),
-                Terminator::Br { cond, then_bb, else_bb } => {
+                Terminator::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     format!("br {} bb{} bb{}", op_text(*cond), then_bb.0, else_bb.0)
                 }
                 Terminator::Ret(Some(o)) => format!("ret {}", op_text(*o)),
@@ -160,7 +170,12 @@ fn inst_text(inst: &Inst) -> String {
             format!("%v{} = un {op:?} {}", dst.0, op_text(*src))
         }
         Inst::Bin { dst, op, lhs, rhs } => {
-            format!("%v{} = bin {op:?} {} {}", dst.0, op_text(*lhs), op_text(*rhs))
+            format!(
+                "%v{} = bin {op:?} {} {}",
+                dst.0,
+                op_text(*lhs),
+                op_text(*rhs)
+            )
         }
         Inst::Alloc { dst, obj, count } => match count {
             Some(c) => format!("%v{} = alloc {} count {}", dst.0, obj.0, op_text(*c)),
@@ -234,7 +249,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, TextError> {
-        Err(TextError { message: msg.into(), line: self.line })
+        Err(TextError {
+            message: msg.into(),
+            line: self.line,
+        })
     }
 
     fn peek(&self) -> Option<&'a str> {
@@ -293,7 +311,18 @@ fn tokenize(line: &str) -> Vec<&str> {
                 while i < bytes.len()
                     && !matches!(
                         bytes[i] as char,
-                        ' ' | '\t' | ',' | ';' | '{' | '}' | '(' | ')' | ':' | '[' | ']' | '*' | '"'
+                        ' ' | '\t'
+                            | ','
+                            | ';'
+                            | '{'
+                            | '}'
+                            | '('
+                            | ')'
+                            | ':'
+                            | '['
+                            | ']'
+                            | '*'
+                            | '"'
                     )
                 {
                     i += 1;
@@ -361,7 +390,9 @@ fn parse_type(m: &mut Module, c: &mut Cursor) -> Result<TypeId, TextError> {
     let base = match c.next() {
         Some("int") => m.types.int(),
         Some("struct") => {
-            let Some(name) = c.next() else { return c.err("struct name") };
+            let Some(name) = c.next() else {
+                return c.err("struct name");
+            };
             match m.types.struct_by_name(name) {
                 Some(s) => m.types.intern(Type::Struct(s)),
                 None => return c.err(format!("unknown struct `{name}`")),
@@ -369,7 +400,9 @@ fn parse_type(m: &mut Module, c: &mut Cursor) -> Result<TypeId, TextError> {
         }
         Some("[") => {
             let elem = parse_type(m, c)?;
-            let Some(n) = c.next() else { return c.err("array length") };
+            let Some(n) = c.next() else {
+                return c.err("array length");
+            };
             let len: u32 = n.parse().map_err(|_| TextError {
                 message: format!("bad array length `{n}`"),
                 line: c.line,
@@ -380,7 +413,9 @@ fn parse_type(m: &mut Module, c: &mut Cursor) -> Result<TypeId, TextError> {
         Some(t) if t.starts_with("fn") => {
             // fn(N) or fn(N) -> int
             c.expect("(")?;
-            let Some(p) = c.next() else { return c.err("fn arity") };
+            let Some(p) = c.next() else {
+                return c.err("fn arity");
+            };
             let params: u32 = p.parse().map_err(|_| TextError {
                 message: format!("bad arity `{p}`"),
                 line: c.line,
@@ -447,40 +482,49 @@ pub fn parse_text(src: &str) -> Result<Module, TextError> {
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
-        let mut c = Cursor { toks: tokenize(line), pos: 0, line: lineno + 1 };
+        let mut c = Cursor {
+            toks: tokenize(line),
+            pos: 0,
+            line: lineno + 1,
+        };
         let Some(head) = c.peek() else { continue };
         match head {
             "struct" => {
                 c.next();
-                let Some(name) = c.next() else { return c.err("struct name") };
+                let Some(name) = c.next() else {
+                    return c.err("struct name");
+                };
                 c.expect("{")?;
                 let mut fields = Vec::new();
                 while !c.eat("}") {
-                    let Some(fname) = c.next() else { return c.err("field name") };
+                    let Some(fname) = c.next() else {
+                        return c.err("field name");
+                    };
                     c.expect(":")?;
                     // Collect the remaining tokens of this field's type.
                     let fty = parse_type(&mut m, &mut c)?;
                     fields.push((fname.to_string(), fty));
                 }
-                let sid = m
-                    .types
-                    .struct_by_name(name)
-                    .ok_or_else(|| TextError {
-                        message: format!("struct `{name}` not pre-declared"),
-                        line: c.line,
-                    })?;
+                let sid = m.types.struct_by_name(name).ok_or_else(|| TextError {
+                    message: format!("struct `{name}` not pre-declared"),
+                    line: c.line,
+                })?;
                 m.types.set_struct_fields(sid, fields);
             }
             "obj" => {
                 c.next();
                 let id: ObjId = {
-                    let Some(t) = c.next() else { return c.err("obj id") };
+                    let Some(t) = c.next() else {
+                        return c.err("obj id");
+                    };
                     ObjId(t.parse().map_err(|_| TextError {
                         message: format!("bad obj id `{t}`"),
                         line: c.line,
                     })?)
                 };
-                let Some(name) = c.next() else { return c.err("obj name") };
+                let Some(name) = c.next() else {
+                    return c.err("obj name");
+                };
                 let name = unquote(name);
                 let kind = match c.next() {
                     Some("global") => ObjKind::Global,
@@ -530,7 +574,11 @@ pub fn parse_text(src: &str) -> Result<Module, TextError> {
                 c.next();
                 let fid: FuncId = parse_id(&mut c, "@f")?;
                 let _name = c.next(); // already set in pass 1
-                let ret = if c.eat("->") { Some(parse_type(&mut m, &mut c)?) } else { None };
+                let ret = if c.eat("->") {
+                    Some(parse_type(&mut m, &mut c)?)
+                } else {
+                    None
+                };
                 c.expect("{")?;
                 m.funcs[fid].ret_ty = ret;
                 m.funcs[fid].blocks = crate::ids::IdxVec::new();
@@ -539,9 +587,13 @@ pub fn parse_text(src: &str) -> Result<Module, TextError> {
             }
             "var" => {
                 c.next();
-                let Some(fid) = cur_func else { return c.err("var outside def") };
+                let Some(fid) = cur_func else {
+                    return c.err("var outside def");
+                };
                 let v: VarId = parse_id(&mut c, "%v")?;
-                let Some(name) = c.next() else { return c.err("var name") };
+                let Some(name) = c.next() else {
+                    return c.err("var name");
+                };
                 let name = unquote(name);
                 let ty = parse_type(&mut m, &mut c)?;
                 let got = m.funcs[fid].new_var(name, ty);
@@ -551,7 +603,9 @@ pub fn parse_text(src: &str) -> Result<Module, TextError> {
             }
             "params" => {
                 c.next();
-                let Some(fid) = cur_func else { return c.err("params outside def") };
+                let Some(fid) = cur_func else {
+                    return c.err("params outside def");
+                };
                 while c.peek().is_some() {
                     let v: VarId = parse_id(&mut c, "%v")?;
                     m.funcs[fid].params.push(v);
@@ -559,7 +613,9 @@ pub fn parse_text(src: &str) -> Result<Module, TextError> {
             }
             "entry" => {
                 c.next();
-                let Some(fid) = cur_func else { return c.err("entry outside def") };
+                let Some(fid) = cur_func else {
+                    return c.err("entry outside def");
+                };
                 let b: BlockId = parse_id(&mut c, "bb")?;
                 m.funcs[fid].entry = b;
             }
@@ -568,7 +624,9 @@ pub fn parse_text(src: &str) -> Result<Module, TextError> {
                 cur_block = None;
             }
             _ if head.starts_with("bb") && line.ends_with(':') => {
-                let Some(fid) = cur_func else { return c.err("block outside def") };
+                let Some(fid) = cur_func else {
+                    return c.err("block outside def");
+                };
                 let b: BlockId = parse_id(&mut c, "bb")?;
                 let got = m.funcs[fid].new_block();
                 if got != b {
@@ -603,7 +661,11 @@ fn parse_stmt(m: &mut Module, fid: FuncId, bb: BlockId, c: &mut Cursor) -> Resul
             let cond = parse_operand(c)?;
             let t: BlockId = parse_id(c, "bb")?;
             let e: BlockId = parse_id(c, "bb")?;
-            m.funcs[fid].blocks[bb].term = Terminator::Br { cond, then_bb: t, else_bb: e };
+            m.funcs[fid].blocks[bb].term = Terminator::Br {
+                cond,
+                then_bb: t,
+                else_bb: e,
+            };
             return Ok(());
         }
         "ret" => {
@@ -627,7 +689,9 @@ fn parse_stmt(m: &mut Module, fid: FuncId, bb: BlockId, c: &mut Cursor) -> Resul
         c.next();
         let addr = parse_operand(c)?;
         let val = parse_operand(c)?;
-        m.funcs[fid].blocks[bb].insts.push(Inst::Store { addr, val });
+        m.funcs[fid].blocks[bb]
+            .insts
+            .push(Inst::Store { addr, val });
         return Ok(());
     }
     if head == "call" || head == "icall" || head == "ecall" {
@@ -639,9 +703,14 @@ fn parse_stmt(m: &mut Module, fid: FuncId, bb: BlockId, c: &mut Cursor) -> Resul
     // `%vN = <op> ...`
     let dst: VarId = parse_id(c, "%v")?;
     c.expect("=")?;
-    let Some(op) = c.next() else { return c.err("instruction kind") };
+    let Some(op) = c.next() else {
+        return c.err("instruction kind");
+    };
     let inst = match op {
-        "copy" => Inst::Copy { dst, src: parse_operand(c)? },
+        "copy" => Inst::Copy {
+            dst,
+            src: parse_operand(c)?,
+        },
         "un" => {
             let u = match c.next() {
                 Some("Neg") => UnOp::Neg,
@@ -649,51 +718,83 @@ fn parse_stmt(m: &mut Module, fid: FuncId, bb: BlockId, c: &mut Cursor) -> Resul
                 Some("BitNot") => UnOp::BitNot,
                 got => return c.err(format!("bad unop {got:?}")),
             };
-            Inst::Un { dst, op: u, src: parse_operand(c)? }
+            Inst::Un {
+                dst,
+                op: u,
+                src: parse_operand(c)?,
+            }
         }
         "bin" => {
-            let Some(name) = c.next() else { return c.err("binop") };
+            let Some(name) = c.next() else {
+                return c.err("binop");
+            };
             let b = parse_binop(name).ok_or_else(|| TextError {
                 message: format!("bad binop `{name}`"),
                 line: c.line,
             })?;
             let lhs = parse_operand(c)?;
             let rhs = parse_operand(c)?;
-            Inst::Bin { dst, op: b, lhs, rhs }
+            Inst::Bin {
+                dst,
+                op: b,
+                lhs,
+                rhs,
+            }
         }
         "alloc" => {
-            let Some(t) = c.next() else { return c.err("obj id") };
+            let Some(t) = c.next() else {
+                return c.err("obj id");
+            };
             let obj = ObjId(t.parse().map_err(|_| TextError {
                 message: format!("bad obj id `{t}`"),
                 line: c.line,
             })?);
-            let count = if c.eat("count") { Some(parse_operand(c)?) } else { None };
+            let count = if c.eat("count") {
+                Some(parse_operand(c)?)
+            } else {
+                None
+            };
             Inst::Alloc { dst, obj, count }
         }
         "gep" => {
             let base = parse_operand(c)?;
             match c.next() {
                 Some("field") => {
-                    let Some(t) = c.next() else { return c.err("field offset") };
+                    let Some(t) = c.next() else {
+                        return c.err("field offset");
+                    };
                     let k: u32 = t.parse().map_err(|_| TextError {
                         message: format!("bad field `{t}`"),
                         line: c.line,
                     })?;
-                    Inst::Gep { dst, base, offset: GepOffset::Field(k) }
+                    Inst::Gep {
+                        dst,
+                        base,
+                        offset: GepOffset::Field(k),
+                    }
                 }
                 Some("index") => {
                     let index = parse_operand(c)?;
-                    let Some(t) = c.next() else { return c.err("elem cells") };
+                    let Some(t) = c.next() else {
+                        return c.err("elem cells");
+                    };
                     let elem_cells: u32 = t.parse().map_err(|_| TextError {
                         message: format!("bad elem cells `{t}`"),
                         line: c.line,
                     })?;
-                    Inst::Gep { dst, base, offset: GepOffset::Index { index, elem_cells } }
+                    Inst::Gep {
+                        dst,
+                        base,
+                        offset: GepOffset::Index { index, elem_cells },
+                    }
                 }
                 got => return c.err(format!("bad gep kind {got:?}")),
             }
         }
-        "load" => Inst::Load { dst, addr: parse_operand(c)? },
+        "load" => Inst::Load {
+            dst,
+            addr: parse_operand(c)?,
+        },
         "call" | "icall" | "ecall" => {
             c.pos -= 1;
             parse_call(m, Some(dst), c)?

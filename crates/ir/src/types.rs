@@ -132,7 +132,10 @@ impl TypeTable {
 
     /// Finds a struct by name.
     pub fn struct_by_name(&self, name: &str) -> Option<StructId> {
-        self.structs.iter_enumerated().find(|(_, d)| d.name == name).map(|(i, _)| i)
+        self.structs
+            .iter_enumerated()
+            .find(|(_, d)| d.name == name)
+            .map(|(i, _)| i)
     }
 
     /// Whether `id` is a pointer (data or function) type.
@@ -170,12 +173,19 @@ impl TypeTable {
             panic!("field_offset on non-struct type {id:?}");
         };
         let def = self.structs[*s].clone();
-        def.fields[..idx].iter().map(|(_, t)| self.size_in_cells(*t)).sum()
+        def.fields[..idx]
+            .iter()
+            .map(|(_, t)| self.size_in_cells(*t))
+            .sum()
     }
 
     /// Computes the flattened [`Layout`] of `id`.
     pub fn layout(&self, id: TypeId) -> Layout {
-        let mut l = Layout { cells: Vec::new(), classes: Vec::new(), num_classes: 0 };
+        let mut l = Layout {
+            cells: Vec::new(),
+            classes: Vec::new(),
+            num_classes: 0,
+        };
         self.flatten(id, &mut l, false);
         l
     }
@@ -297,7 +307,11 @@ mod tests {
         let arr = t.intern(Type::Array(int, 2));
         let s = t.add_struct(StructDef {
             name: "Buf".into(),
-            fields: vec![("len".into(), int), ("data".into(), arr), ("cap".into(), int)],
+            fields: vec![
+                ("len".into(), int),
+                ("data".into(), arr),
+                ("cap".into(), int),
+            ],
         });
         let ty = t.intern(Type::Struct(s));
         let l = t.layout(ty);
@@ -312,7 +326,11 @@ mod tests {
         let int = t.int();
         let s = t.add_struct(StructDef {
             name: "Seg".into(),
-            fields: vec![("a".into(), point), ("b".into(), point), ("tag".into(), int)],
+            fields: vec![
+                ("a".into(), point),
+                ("b".into(), point),
+                ("tag".into(), int),
+            ],
         });
         let ty = t.intern(Type::Struct(s));
         assert_eq!(t.field_offset(ty, 0), 0);

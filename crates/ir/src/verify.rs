@@ -42,7 +42,10 @@ pub fn verify(m: &Module) -> Result<(), Vec<VerifyError>> {
     }
     if let Some(main) = m.main {
         if main.index() >= m.funcs.len() {
-            errors.push(VerifyError { func: main, message: "main id out of range".into() });
+            errors.push(VerifyError {
+                func: main,
+                message: "main id out of range".into(),
+            });
         }
     }
     if errors.is_empty() {
@@ -78,53 +81,54 @@ fn verify_function(m: &Module, fid: FuncId, f: &Function, errors: &mut Vec<Verif
 
     let cfg = Cfg::compute(f);
 
-    let check_operand = |op: Operand, bb: BlockId, errs: &mut Vec<VerifyError>| {
-        match op {
-            Operand::Var(v) => {
-                if v.index() >= f.vars.len() {
-                    errs.push(VerifyError {
-                        func: fid,
-                        message: format!("{bb}: use of out-of-range var {v}"),
-                    });
-                } else if !defined.contains(&v) {
-                    errs.push(VerifyError {
-                        func: fid,
-                        message: format!("{bb}: use of never-defined var {v}"),
-                    });
-                }
+    let check_operand = |op: Operand, bb: BlockId, errs: &mut Vec<VerifyError>| match op {
+        Operand::Var(v) => {
+            if v.index() >= f.vars.len() {
+                errs.push(VerifyError {
+                    func: fid,
+                    message: format!("{bb}: use of out-of-range var {v}"),
+                });
+            } else if !defined.contains(&v) {
+                errs.push(VerifyError {
+                    func: fid,
+                    message: format!("{bb}: use of never-defined var {v}"),
+                });
             }
-            Operand::Global(o) => {
-                if o.index() >= m.objects.len() {
-                    errs.push(VerifyError {
-                        func: fid,
-                        message: format!("{bb}: use of out-of-range object {o}"),
-                    });
-                }
-            }
-            Operand::Func(g) => {
-                if g.index() >= m.funcs.len() {
-                    errs.push(VerifyError {
-                        func: fid,
-                        message: format!("{bb}: use of out-of-range function {g}"),
-                    });
-                }
-            }
-            Operand::Const(_) | Operand::Undef => {}
         }
+        Operand::Global(o) => {
+            if o.index() >= m.objects.len() {
+                errs.push(VerifyError {
+                    func: fid,
+                    message: format!("{bb}: use of out-of-range object {o}"),
+                });
+            }
+        }
+        Operand::Func(g) => {
+            if g.index() >= m.funcs.len() {
+                errs.push(VerifyError {
+                    func: fid,
+                    message: format!("{bb}: use of out-of-range function {g}"),
+                });
+            }
+        }
+        Operand::Const(_) | Operand::Undef => {}
     };
 
     for (bb, block) in f.blocks.iter_enumerated() {
         for inst in &block.insts {
             inst.for_each_use(|op| check_operand(op, bb, errors));
             match inst {
-                Inst::Alloc { obj, .. }
-                    if obj.index() >= m.objects.len() => {
-                        errors.push(VerifyError {
-                            func: fid,
-                            message: format!("{bb}: alloc of out-of-range object {obj}"),
-                        });
-                    }
-                Inst::Call { callee: Callee::Direct(g), args, .. } => {
+                Inst::Alloc { obj, .. } if obj.index() >= m.objects.len() => {
+                    errors.push(VerifyError {
+                        func: fid,
+                        message: format!("{bb}: alloc of out-of-range object {obj}"),
+                    });
+                }
+                Inst::Call {
+                    callee: Callee::Direct(g),
+                    args,
+                    ..
+                } => {
                     if g.index() >= m.funcs.len() {
                         errors.push(VerifyError {
                             func: fid,
@@ -142,40 +146,34 @@ fn verify_function(m: &Module, fid: FuncId, f: &Function, errors: &mut Vec<Verif
                         });
                     }
                 }
-                Inst::Phi { incomings, .. }
-                    if cfg.is_reachable(bb) => {
-                        let preds: HashSet<BlockId> = cfg.preds[bb].iter().copied().collect();
-                        let inc: HashSet<BlockId> =
-                            incomings.iter().map(|(b, _)| *b).collect();
-                        if inc.len() != incomings.len() {
+                Inst::Phi { incomings, .. } if cfg.is_reachable(bb) => {
+                    let preds: HashSet<BlockId> = cfg.preds[bb].iter().copied().collect();
+                    let inc: HashSet<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
+                    if inc.len() != incomings.len() {
+                        errors.push(VerifyError {
+                            func: fid,
+                            message: format!("{bb}: phi with duplicate incoming blocks"),
+                        });
+                    }
+                    // Every incoming must be an actual predecessor; every
+                    // reachable predecessor must appear.
+                    for b in &inc {
+                        if !preds.contains(b) {
                             errors.push(VerifyError {
                                 func: fid,
-                                message: format!("{bb}: phi with duplicate incoming blocks"),
+                                message: format!("{bb}: phi incoming from non-predecessor {b}"),
                             });
                         }
-                        // Every incoming must be an actual predecessor; every
-                        // reachable predecessor must appear.
-                        for b in &inc {
-                            if !preds.contains(b) {
-                                errors.push(VerifyError {
-                                    func: fid,
-                                    message: format!(
-                                        "{bb}: phi incoming from non-predecessor {b}"
-                                    ),
-                                });
-                            }
-                        }
-                        for p in &preds {
-                            if cfg.is_reachable(*p) && !inc.contains(p) {
-                                errors.push(VerifyError {
-                                    func: fid,
-                                    message: format!(
-                                        "{bb}: phi missing incoming for predecessor {p}"
-                                    ),
-                                });
-                            }
+                    }
+                    for p in &preds {
+                        if cfg.is_reachable(*p) && !inc.contains(p) {
+                            errors.push(VerifyError {
+                                func: fid,
+                                message: format!("{bb}: phi missing incoming for predecessor {p}"),
+                            });
                         }
                     }
+                }
                 _ => {}
             }
         }
@@ -229,8 +227,14 @@ mod tests {
         let int = m.types.int();
         let f = &mut m.funcs[FuncId(0)];
         let v = f.new_var("v", int);
-        f.blocks[f.entry].insts.push(Inst::Copy { dst: v, src: Operand::Const(1) });
-        f.blocks[f.entry].insts.push(Inst::Copy { dst: v, src: Operand::Const(2) });
+        f.blocks[f.entry].insts.push(Inst::Copy {
+            dst: v,
+            src: Operand::Const(1),
+        });
+        f.blocks[f.entry].insts.push(Inst::Copy {
+            dst: v,
+            src: Operand::Const(2),
+        });
         let errs = verify(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("second definition")));
     }
@@ -242,7 +246,10 @@ mod tests {
         let f = &mut m.funcs[FuncId(0)];
         let v = f.new_var("v", int);
         let w = f.new_var("w", int);
-        f.blocks[f.entry].insts.push(Inst::Copy { dst: v, src: Operand::Var(w) });
+        f.blocks[f.entry].insts.push(Inst::Copy {
+            dst: v,
+            src: Operand::Var(w),
+        });
         let errs = verify(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("never-defined")));
     }
@@ -255,7 +262,9 @@ mod tests {
         f.blocks[f.entry].term = Terminator::Jmp(b);
         // b keeps its Unreachable terminator.
         let errs = verify(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("Unreachable terminator")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("Unreachable terminator")));
     }
 
     #[test]
@@ -287,7 +296,11 @@ mod tests {
         let f = &mut m.funcs[FuncId(0)];
         f.blocks[f.entry].insts.insert(
             0,
-            Inst::Call { dst: None, callee: Callee::Direct(gid), args: vec![] },
+            Inst::Call {
+                dst: None,
+                callee: Callee::Direct(gid),
+                args: vec![],
+            },
         );
         let errs = verify(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("expected 1")));
@@ -301,8 +314,14 @@ mod tests {
         let a = f.new_var("a", int);
         let b = f.new_var("b", int);
         let entry = f.entry;
-        f.blocks[entry].insts.push(Inst::Copy { dst: a, src: Operand::Const(1) });
-        f.blocks[entry].insts.push(Inst::Phi { dst: b, incomings: vec![] });
+        f.blocks[entry].insts.push(Inst::Copy {
+            dst: a,
+            src: Operand::Const(1),
+        });
+        f.blocks[entry].insts.push(Inst::Phi {
+            dst: b,
+            incomings: vec![],
+        });
         let errs = verify(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("phi after non-phi")));
     }

@@ -136,7 +136,10 @@ fn inliner_respects_growth_budget() {
     run_inline(&mut m, InlinePolicy::default());
     assert!(verify(&m).is_ok(), "{:?}", verify(&m));
     let after = m.inst_count();
-    assert!(after <= before.max(500) * 8 + 4000, "runaway growth: {before} -> {after}");
+    assert!(
+        after <= before.max(500) * 8 + 4000,
+        "runaway growth: {before} -> {after}"
+    );
 }
 
 #[test]
@@ -231,7 +234,10 @@ fn mem2reg_handles_nested_loop_redefinitions() {
         .blocks
         .iter()
         .flat_map(|b| &b.insts)
-        .all(|i| !matches!(i, Inst::Load { .. } | Inst::Store { .. } | Inst::Alloc { .. })));
+        .all(|i| !matches!(
+            i,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::Alloc { .. }
+        )));
 }
 
 #[test]
@@ -268,7 +274,15 @@ fn external_calls_survive_every_pass() {
         .blocks
         .iter()
         .flat_map(|b| &b.insts)
-        .filter(|i| matches!(i, Inst::Call { callee: Callee::External(ExtFunc::PrintInt), .. }))
+        .filter(|i| {
+            matches!(
+                i,
+                Inst::Call {
+                    callee: Callee::External(ExtFunc::PrintInt),
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(prints, 2);
 }
@@ -281,8 +295,14 @@ fn verifier_reports_multiple_errors_at_once() {
     let v = f.new_var("v", int);
     let w = f.new_var("w", int);
     let entry = f.entry;
-    f.blocks[entry].insts.push(Inst::Copy { dst: v, src: Operand::Var(w) });
-    f.blocks[entry].insts.push(Inst::Copy { dst: v, src: Operand::Const(1) });
+    f.blocks[entry].insts.push(Inst::Copy {
+        dst: v,
+        src: Operand::Var(w),
+    });
+    f.blocks[entry].insts.push(Inst::Copy {
+        dst: v,
+        src: Operand::Const(1),
+    });
     // term stays Unreachable (reachable entry): third error.
     let errs = verify(&m).unwrap_err();
     assert!(errs.len() >= 3, "{errs:?}");

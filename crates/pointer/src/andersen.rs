@@ -112,7 +112,10 @@ impl PointerAnalysis {
     pub fn rep(&self, obj: ObjId, cell: u32) -> Loc {
         let reps = &self.reps[&obj];
         let c = (cell as usize).min(reps.len().saturating_sub(1));
-        Loc { obj, field: reps.get(c).copied().unwrap_or(0) }
+        Loc {
+            obj,
+            field: reps.get(c).copied().unwrap_or(0),
+        }
     }
 
     /// All field-class representatives of an object.
@@ -274,7 +277,10 @@ impl<'m> Solver<'m> {
             return Loc { obj, field: 0 };
         }
         let c = (cell as usize) % reps.len();
-        Loc { obj, field: reps[c] }
+        Loc {
+            obj,
+            field: reps[c],
+        }
     }
 
     fn enqueue(&mut self, n: u32) {
@@ -366,7 +372,13 @@ impl<'m> Solver<'m> {
             }
             Inst::Alloc { dst, obj, .. } => {
                 let d = self.node(Node::Var(f, *dst));
-                self.add_targets(d, [Target::Loc(Loc { obj: *obj, field: 0 })]);
+                self.add_targets(
+                    d,
+                    [Target::Loc(Loc {
+                        obj: *obj,
+                        field: 0,
+                    })],
+                );
             }
             Inst::Gep { dst, base, offset } => {
                 let d = self.node(Node::Var(f, *dst));
@@ -379,8 +391,7 @@ impl<'m> Solver<'m> {
                         let b = self.find(b);
                         self.gep_cons[b as usize].push((kind.clone(), d));
                         // Replay existing targets.
-                        let existing: Vec<Target> =
-                            self.pts[b as usize].iter().copied().collect();
+                        let existing: Vec<Target> = self.pts[b as usize].iter().copied().collect();
                         for t in existing {
                             if let Target::Loc(l) = t {
                                 let shifted = self.shift(l, &kind);
@@ -404,8 +415,7 @@ impl<'m> Solver<'m> {
                     Some(a) => {
                         let a = self.find(a);
                         self.load_cons[a as usize].push(d);
-                        let existing: Vec<Target> =
-                            self.pts[a as usize].iter().copied().collect();
+                        let existing: Vec<Target> = self.pts[a as usize].iter().copied().collect();
                         for t in existing {
                             if let Target::Loc(l) = t {
                                 let mn = self.node(Node::Mem(l));
@@ -435,8 +445,7 @@ impl<'m> Solver<'m> {
                     Some(a) => {
                         let a = self.find(a);
                         self.store_cons[a as usize].push(src);
-                        let existing: Vec<Target> =
-                            self.pts[a as usize].iter().copied().collect();
+                        let existing: Vec<Target> = self.pts[a as usize].iter().copied().collect();
                         for t in existing {
                             if let Target::Loc(l) = t {
                                 self.apply_store(src, l);
@@ -502,7 +511,10 @@ impl<'m> Solver<'m> {
         match kind {
             GepKind::Field(k) => {
                 if obj.is_array {
-                    vec![Loc { obj: l.obj, field: 0 }]
+                    vec![Loc {
+                        obj: l.obj,
+                        field: 0,
+                    }]
                 } else {
                     let cell = l.field + k;
                     if (cell as usize) < obj.field_classes.len() {
@@ -516,14 +528,19 @@ impl<'m> Solver<'m> {
             }
             GepKind::Dynamic => {
                 if obj.is_array {
-                    vec![Loc { obj: l.obj, field: 0 }]
+                    vec![Loc {
+                        obj: l.obj,
+                        field: 0,
+                    }]
                 } else {
                     // Pointer arithmetic over a non-array object: be
                     // conservative, hit every field class.
                     let mut out: Vec<u32> = self.reps[&l.obj].clone();
                     out.sort_unstable();
                     out.dedup();
-                    out.into_iter().map(|field| Loc { obj: l.obj, field }).collect()
+                    out.into_iter()
+                        .map(|field| Loc { obj: l.obj, field })
+                        .collect()
                 }
             }
         }
@@ -628,8 +645,7 @@ impl<'m> Solver<'m> {
                     let w = succs[*ei];
                     *ei += 1;
                     if index[w as usize] == usize::MAX {
-                        let raw: Vec<u32> =
-                            self.copy_succs[w as usize].iter().copied().collect();
+                        let raw: Vec<u32> = self.copy_succs[w as usize].iter().copied().collect();
                         let wsuccs: Vec<u32> = raw.into_iter().map(|s| self.find(s)).collect();
                         index[w as usize] = next;
                         low[w as usize] = next;
@@ -693,7 +709,11 @@ impl<'m> Solver<'m> {
                 fresh.push(t);
             }
         }
-        fresh.extend(b_delta.into_iter().filter(|t| !self.pts[a as usize].contains(t)));
+        fresh.extend(
+            b_delta
+                .into_iter()
+                .filter(|t| !self.pts[a as usize].contains(t)),
+        );
         self.delta[a as usize].extend(fresh);
         for s in b_succs {
             self.copy_succs[a as usize].insert(s);
@@ -761,15 +781,20 @@ impl<'m> Solver<'m> {
             }
             for (&rep, &count) in &counts {
                 let dynamic = o.is_array;
-                single_cell.insert(Loc { obj: oid, field: rep }, count == 1 && !dynamic);
+                single_cell.insert(
+                    Loc {
+                        obj: oid,
+                        field: rep,
+                    },
+                    count == 1 && !dynamic,
+                );
             }
         }
 
         // Extract per-node results (resolving union-find).
         let mut var_pts: HashMap<(FuncId, VarId), Vec<Target>> = HashMap::new();
         let mut mem_pts: HashMap<Loc, Vec<Target>> = HashMap::new();
-        let entries: Vec<(Node, u32)> =
-            self.node_ids.iter().map(|(n, id)| (*n, *id)).collect();
+        let entries: Vec<(Node, u32)> = self.node_ids.iter().map(|(n, id)| (*n, *id)).collect();
         for (nk, id) in entries {
             let rep = self.find(id);
             let ts: Vec<Target> = self.pts[rep as usize].iter().copied().collect();
@@ -799,8 +824,8 @@ impl<'m> Solver<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use usher_ir::{Callee, FuncBuilder, Module, ObjKind, StructDef, Type};
     use usher_frontend_shim::compile;
+    use usher_ir::{Callee, FuncBuilder, Module, ObjKind, StructDef, Type};
 
     /// Tests compile tiny programs through a minimal local shim to avoid a
     /// dev-dependency cycle; see the integration tests at the workspace
@@ -847,8 +872,14 @@ mod tests {
         let p = vars[2];
         let pts = pa.pts_var(fid, p);
         assert_eq!(pts.len(), 2);
-        assert!(pts.contains(&Loc { obj: objs[0], field: 0 }));
-        assert!(pts.contains(&Loc { obj: objs[1], field: 0 }));
+        assert!(pts.contains(&Loc {
+            obj: objs[0],
+            field: 0
+        }));
+        assert!(pts.contains(&Loc {
+            obj: objs[1],
+            field: 0
+        }));
     }
 
     #[test]
@@ -858,15 +889,27 @@ mod tests {
         // q := *p where *p may contain a (which points to x).
         let q = vars[3];
         let pts = pa.pts_var(fid, q);
-        assert!(pts.contains(&Loc { obj: objs[0], field: 0 }), "{pts:?}");
+        assert!(
+            pts.contains(&Loc {
+                obj: objs[0],
+                field: 0
+            }),
+            "{pts:?}"
+        );
     }
 
     #[test]
     fn concrete_objects_in_main_outside_loops() {
         let (m, _fid, _vars, objs) = compile();
         let pa = analyze(&m);
-        assert!(pa.is_concrete(Loc { obj: objs[0], field: 0 }));
-        assert!(pa.is_concrete(Loc { obj: objs[1], field: 0 }));
+        assert!(pa.is_concrete(Loc {
+            obj: objs[0],
+            field: 0
+        }));
+        assert!(pa.is_concrete(Loc {
+            obj: objs[1],
+            field: 0
+        }));
     }
 
     #[test]
@@ -874,7 +917,13 @@ mod tests {
         let (m, fid, vars, objs) = compile();
         let pa = analyze(&m);
         let a = vars[0];
-        assert_eq!(pa.unique_target(fid, a.into()), Some(Loc { obj: objs[0], field: 0 }));
+        assert_eq!(
+            pa.unique_target(fid, a.into()),
+            Some(Loc {
+                obj: objs[0],
+                field: 0
+            })
+        );
         let p = vars[2];
         assert_eq!(pa.unique_target(fid, p.into()), None);
     }
@@ -926,7 +975,10 @@ mod tests {
     fn indirect_call_resolved_on_the_fly() {
         let mut m = Module::new();
         let int = m.types.int();
-        let fp = m.types.intern(Type::FuncPtr { params: 0, has_ret: true });
+        let fp = m.types.intern(Type::FuncPtr {
+            params: 0,
+            has_ret: true,
+        });
         let gid = m.declare_func("g", Some(int));
         let fid = m.declare_func("main", None);
         m.main = Some(fid);
@@ -967,7 +1019,9 @@ mod tests {
             let mut b = FuncBuilder::new(&mut m, fid);
             let (a, o) = b.alloc("x", ObjKind::Stack(fid), int, false, None);
             obj = o;
-            q = b.call(Callee::Direct(gid), vec![a.into()], Some(pint)).unwrap();
+            q = b
+                .call(Callee::Direct(gid), vec![a.into()], Some(pint))
+                .unwrap();
             b.store(q.into(), Operand::Const(1));
             b.ret(None);
             b.finish();

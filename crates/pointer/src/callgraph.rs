@@ -12,7 +12,6 @@ use std::collections::{HashMap, HashSet};
 
 use usher_ir::{BlockId, Cfg, FuncId, Function, Idx, Module, Site};
 
-
 /// Per-function loop information: which blocks sit on a CFG cycle.
 #[derive(Clone, Debug)]
 pub struct LoopInfo {
@@ -24,7 +23,9 @@ impl LoopInfo {
     pub fn compute(f: &Function) -> LoopInfo {
         let cfg = Cfg::compute(f);
         let n = f.blocks.len();
-        let mut info = LoopInfo { in_loop: vec![false; n] };
+        let mut info = LoopInfo {
+            in_loop: vec![false; n],
+        };
         // Iterative Tarjan.
         let mut index = vec![usize::MAX; n];
         let mut low = vec![0usize; n];
@@ -70,8 +71,8 @@ impl LoopInfo {
                                 break;
                             }
                         }
-                        let self_loop =
-                            comp.len() == 1 && cfg.succs[BlockId(v as u32)].contains(&BlockId(v as u32));
+                        let self_loop = comp.len() == 1
+                            && cfg.succs[BlockId(v as u32)].contains(&BlockId(v as u32));
                         if comp.len() > 1 || self_loop {
                             for w in comp {
                                 info.in_loop[w] = true;
@@ -230,14 +231,17 @@ impl CallGraph {
                 if self.runs_once.contains(&f) || self.recursive.contains(&f) {
                     continue;
                 }
-                let Some(sites) = self.callers.get(&f) else { continue };
+                let Some(sites) = self.callers.get(&f) else {
+                    continue;
+                };
                 if sites.len() != 1 {
                     continue;
                 }
                 let site = sites[0];
                 let caller_once = self.runs_once.contains(&site.func);
-                let out_of_loop =
-                    loops.get(&site.func).is_some_and(|li| !li.in_loop(site.block));
+                let out_of_loop = loops
+                    .get(&site.func)
+                    .is_some_and(|li| !li.in_loop(site.block));
                 if caller_once && out_of_loop {
                     self.runs_once.insert(f);
                     changed = true;
@@ -309,7 +313,10 @@ mod tests {
         b.ret(None);
         b.finish();
         // Manually check the self-edge case.
-        assert!(matches!(m.funcs[fid].blocks[BlockId(1)].term, Terminator::Br { .. }));
+        assert!(matches!(
+            m.funcs[fid].blocks[BlockId(1)].term,
+            Terminator::Br { .. }
+        ));
         let li = LoopInfo::compute(&m.funcs[fid]);
         assert!(li.in_loop(BlockId(1)));
         assert!(!li.in_loop(BlockId(2)));
@@ -329,8 +336,11 @@ mod tests {
         cg.add_edge(s_ab, b);
         cg.add_edge(s_bc, c);
         cg.add_edge(s_cb, b); // b <-> c cycle
-        let loops: HashMap<FuncId, LoopInfo> =
-            m.funcs.indices().map(|f| (f, LoopInfo::compute(&m.funcs[f]))).collect();
+        let loops: HashMap<FuncId, LoopInfo> = m
+            .funcs
+            .indices()
+            .map(|f| (f, LoopInfo::compute(&m.funcs[f])))
+            .collect();
         cg.finalize(&m, &loops);
         assert!(cg.recursive.contains(&b));
         assert!(cg.recursive.contains(&c));
@@ -352,8 +362,11 @@ mod tests {
         }
         let mut cg = CallGraph::default();
         cg.add_edge(Site::new(main, BlockId(0), 0), helper);
-        let loops: HashMap<FuncId, LoopInfo> =
-            m.funcs.indices().map(|f| (f, LoopInfo::compute(&m.funcs[f]))).collect();
+        let loops: HashMap<FuncId, LoopInfo> = m
+            .funcs
+            .indices()
+            .map(|f| (f, LoopInfo::compute(&m.funcs[f])))
+            .collect();
         cg.finalize(&m, &loops);
         assert!(cg.runs_once.contains(&main));
         assert!(cg.runs_once.contains(&helper));
@@ -388,8 +401,11 @@ mod tests {
         }
         let mut cg = CallGraph::default();
         cg.add_edge(Site::new(main, BlockId(2), 0), helper);
-        let loops: HashMap<FuncId, LoopInfo> =
-            m.funcs.indices().map(|f| (f, LoopInfo::compute(&m.funcs[f]))).collect();
+        let loops: HashMap<FuncId, LoopInfo> = m
+            .funcs
+            .indices()
+            .map(|f| (f, LoopInfo::compute(&m.funcs[f])))
+            .collect();
         cg.finalize(&m, &loops);
         assert!(!cg.runs_once.contains(&helper));
     }
@@ -407,10 +423,18 @@ mod tests {
         }
         let mut cg = CallGraph::default();
         cg.add_edge(Site::new(a, BlockId(0), 0), b);
-        let loops: HashMap<FuncId, LoopInfo> =
-            m.funcs.indices().map(|f| (f, LoopInfo::compute(&m.funcs[f]))).collect();
+        let loops: HashMap<FuncId, LoopInfo> = m
+            .funcs
+            .indices()
+            .map(|f| (f, LoopInfo::compute(&m.funcs[f])))
+            .collect();
         cg.finalize(&m, &loops);
-        let pos = |f: FuncId| cg.bottom_up.iter().position(|scc| scc.contains(&f)).unwrap();
+        let pos = |f: FuncId| {
+            cg.bottom_up
+                .iter()
+                .position(|scc| scc.contains(&f))
+                .unwrap()
+        };
         assert!(pos(b) < pos(a), "callee b must come before caller a");
     }
 }

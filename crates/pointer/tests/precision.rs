@@ -41,7 +41,11 @@ fn field_sensitivity_separates_struct_fields() {
     let mut pts = Vec::new();
     for block in m.funcs[fid].blocks.iter() {
         for inst in &block.insts {
-            if let Inst::Store { addr: Operand::Var(v), .. } = inst {
+            if let Inst::Store {
+                addr: Operand::Var(v),
+                ..
+            } = inst
+            {
                 pts.push(pa.pts_var(fid, *v));
             }
         }
@@ -50,7 +54,10 @@ fn field_sensitivity_separates_struct_fields() {
     assert_eq!(pts[0].len(), 1);
     assert_eq!(pts[1].len(), 1);
     assert_ne!(pts[0][0], pts[1][0], "x and y must be distinct locations");
-    assert_eq!(pts[0][0].obj, pts[1][0].obj, "same object, different fields");
+    assert_eq!(
+        pts[0][0].obj, pts[1][0].obj,
+        "same object, different fields"
+    );
 }
 
 #[test]
@@ -68,7 +75,11 @@ fn array_collapse_merges_element_accesses() {
     let mut pts = Vec::new();
     for block in m.funcs[fid].blocks.iter() {
         for inst in &block.insts {
-            if let Inst::Store { addr: Operand::Var(v), .. } = inst {
+            if let Inst::Store {
+                addr: Operand::Var(v),
+                ..
+            } = inst
+            {
                 pts.push(pa.pts_var(fid, *v));
             }
         }
@@ -106,7 +117,9 @@ fn linked_structures_chase_through_memory() {
         .map(|(i, _)| i)
         .expect("b exists");
     assert!(
-        all_store_targets.iter().any(|l| l.obj == b_obj && l.field == 0),
+        all_store_targets
+            .iter()
+            .any(|l| l.obj == b_obj && l.field == 0),
         "p->v must reach b.v: {all_store_targets:?}"
     );
     let _ = pts;
@@ -126,13 +139,7 @@ fn indirect_call_through_stored_function_pointer() {
     );
     // The indirect call must resolve to double_it.
     let target = m.func_by_name("double_it").unwrap();
-    let resolved: Vec<FuncId> = pa
-        .call_graph
-        .callees
-        .values()
-        .flatten()
-        .copied()
-        .collect();
+    let resolved: Vec<FuncId> = pa.call_graph.callees.values().flatten().copied().collect();
     assert!(resolved.contains(&target), "{resolved:?}");
 }
 
@@ -151,7 +158,11 @@ fn distinct_heap_sites_stay_distinct() {
     let mut pts = Vec::new();
     for block in m.funcs[fid].blocks.iter() {
         for inst in &block.insts {
-            if let Inst::Store { addr: Operand::Var(v), .. } = inst {
+            if let Inst::Store {
+                addr: Operand::Var(v),
+                ..
+            } = inst
+            {
                 pts.push(pa.pts_var(fid, *v));
             }
         }
@@ -182,7 +193,11 @@ fn wrapper_inlining_gives_per_callsite_heap_objects() {
     let mut pts = Vec::new();
     for block in m.funcs[fid].blocks.iter() {
         for inst in &block.insts {
-            if let Inst::Store { addr: Operand::Var(v), .. } = inst {
+            if let Inst::Store {
+                addr: Operand::Var(v),
+                ..
+            } = inst
+            {
                 pts.push(pa.pts_var(fid, *v));
             }
         }
@@ -231,7 +246,10 @@ fn recursive_list_build_is_sound() {
     // build is recursive: its objects are not concrete.
     for l in &load_targets {
         if matches!(m.objects[l.obj].kind, ObjKind::Heap(_)) {
-            assert!(!pa.is_concrete(*l), "recursive allocation cannot be concrete");
+            assert!(
+                !pa.is_concrete(*l),
+                "recursive allocation cannot be concrete"
+            );
         }
     }
 }
@@ -264,7 +282,11 @@ fn unique_target_rejects_fn_pointer_mixtures() {
     // h holds only a function target: no memory location.
     for block in m.funcs[fid].blocks.iter() {
         for inst in &block.insts {
-            if let Inst::Call { callee: usher_ir::Callee::Indirect(Operand::Var(v)), .. } = inst {
+            if let Inst::Call {
+                callee: usher_ir::Callee::Indirect(Operand::Var(v)),
+                ..
+            } = inst
+            {
                 assert!(pa.pts_var(fid, *v).is_empty());
                 assert_eq!(pa.fn_targets(fid, *v).len(), 1);
                 assert_eq!(pa.unique_target(fid, Operand::Var(*v)), None);

@@ -19,12 +19,12 @@ use std::collections::{BTreeSet, HashMap};
 
 use usher_core::{Plan, ShadowOp, ShadowSrc};
 use usher_ir::{
-    BinOp, BlockId, Callee, ExtFunc, FuncId, GepOffset, Idx, Inst, Module, ObjId, ObjKind,
-    Operand, Site, Terminator, UnOp, VarId,
+    BinOp, BlockId, Callee, ExtFunc, FuncId, GepOffset, Idx, Inst, Module, ObjId, ObjKind, Operand,
+    Site, Terminator, UnOp, VarId,
 };
 use usher_vfg::CheckKind;
 
-use crate::value::{Addr, Counters, CostModel, RunOptions, Trap, UndefEvent, Value};
+use crate::value::{Addr, CostModel, Counters, RunOptions, Trap, UndefEvent, Value};
 
 /// One memory cell: a value plus its ground-truth definedness.
 #[derive(Clone, Copy, Debug)]
@@ -61,20 +61,30 @@ impl Sh {
     const DEFINED: Sh = Sh { mask: 0, origin: 0 };
 
     fn poison(origin: u32) -> Sh {
-        Sh { mask: POISON, origin }
+        Sh {
+            mask: POISON,
+            origin,
+        }
     }
 
     /// Same provenance, different mask (clears the origin when fully
     /// defined).
     fn with_mask(self, mask: u64) -> Sh {
-        Sh { mask, origin: if mask == 0 { 0 } else { self.origin } }
+        Sh {
+            mask,
+            origin: if mask == 0 { 0 } else { self.origin },
+        }
     }
 
     /// Union of poison; provenance of the first poisoned side wins.
     fn or(self, other: Sh) -> Sh {
         Sh {
             mask: self.mask | other.mask,
-            origin: if self.mask != 0 { self.origin } else { other.origin },
+            origin: if self.mask != 0 {
+                self.origin
+            } else {
+                other.origin
+            },
         }
     }
 }
@@ -195,7 +205,13 @@ impl<'a> Machine<'a> {
         let id = self.mem.len() as u32;
         self.mem.push(Instance {
             obj,
-            cells: vec![Cell { value: Value::Int(0), defined: zero_defined }; cells],
+            cells: vec![
+                Cell {
+                    value: Value::Int(0),
+                    defined: zero_defined
+                };
+                cells
+            ],
             freed: false,
         });
         self.sh_mem.push(vec![Sh::DEFINED; cells]);
@@ -281,9 +297,7 @@ impl<'a> Machine<'a> {
         let frame = self.stack.last_mut().expect("frame exists");
         let func = &self.m.funcs[frame.func];
         let block = &func.blocks[frame.block];
-        while frame.idx < block.insts.len()
-            && matches!(block.insts[frame.idx], Inst::Phi { .. })
-        {
+        while frame.idx < block.insts.len() && matches!(block.insts[frame.idx], Inst::Phi { .. }) {
             frame.idx += 1;
         }
     }
@@ -297,9 +311,13 @@ impl<'a> Machine<'a> {
                 let frame = self.stack.last().expect("frame exists");
                 frame.regs[v.index()].expect("SSA guarantees def before use")
             }
-            Operand::Global(o) => {
-                (Value::Ptr(Addr { inst: self.globals[&o], cell: 0 }), true)
-            }
+            Operand::Global(o) => (
+                Value::Ptr(Addr {
+                    inst: self.globals[&o],
+                    cell: 0,
+                }),
+                true,
+            ),
             Operand::Func(f) => (Value::Func(f), true),
             Operand::Undef => (Value::Int(0), false),
         }
@@ -325,9 +343,7 @@ impl<'a> Machine<'a> {
 
     fn shadow_of_src(&mut self, src: &ShadowSrc, site: Site) -> Sh {
         match src {
-            ShadowSrc::Tl(v) => {
-                self.stack.last().expect("frame exists").sh_regs[v.index()]
-            }
+            ShadowSrc::Tl(v) => self.stack.last().expect("frame exists").sh_regs[v.index()],
             ShadowSrc::Const(true) => Sh::DEFINED,
             ShadowSrc::Const(false) => {
                 let o = self.origin_id(site);
@@ -374,7 +390,11 @@ impl<'a> Machine<'a> {
 
     fn record_gt(&mut self, site: Site, kind: CheckKind, gt_defined: bool) {
         if !gt_defined && self.gt_seen.insert(site) {
-            self.gt.push(UndefEvent { site, kind, origin: None });
+            self.gt.push(UndefEvent {
+                site,
+                kind,
+                origin: None,
+            });
         }
     }
 
@@ -474,7 +494,13 @@ impl<'a> Machine<'a> {
                         self.sh_mem[a.inst as usize][a.cell as usize] = b;
                     }
                 }
-                ShadowOp::SetMemClass { addr, obj, class, defined, .. } => {
+                ShadowOp::SetMemClass {
+                    addr,
+                    obj,
+                    class,
+                    defined,
+                    ..
+                } => {
                     let (av, _) = self.eval(*addr);
                     if let Value::Ptr(a) = av {
                         let len = self.mem[a.inst as usize].cells.len();
@@ -527,7 +553,11 @@ impl<'a> Machine<'a> {
                     let sh = self.shadow_of_op(*op, site);
                     if sh.mask != 0 && self.detected_seen.insert(site) {
                         let origin = self.origin_site(sh.origin);
-                        self.detected.push(UndefEvent { site, kind: *kind, origin });
+                        self.detected.push(UndefEvent {
+                            site,
+                            kind: *kind,
+                            origin,
+                        });
                     }
                 }
             }
@@ -579,7 +609,9 @@ impl<'a> Machine<'a> {
             Inst::Un { dst, op, src } => {
                 self.counters.native_cost += self.cost.native_simple;
                 let (v, gt) = self.eval(*src);
-                let Value::Int(n) = v else { return Err(Trap::TypeError(site)) };
+                let Value::Int(n) = v else {
+                    return Err(Trap::TypeError(site));
+                };
                 let r = match op {
                     UnOp::Neg => n.wrapping_neg(),
                     UnOp::Not => (n == 0) as i64,
@@ -662,18 +694,29 @@ impl<'a> Machine<'a> {
                     }
                     ObjKind::Global => unreachable!("globals are never alloc'd"),
                 };
-                self.set_reg(*dst, Value::Ptr(Addr { inst: inst_id, cell: 0 }), true);
+                self.set_reg(
+                    *dst,
+                    Value::Ptr(Addr {
+                        inst: inst_id,
+                        cell: 0,
+                    }),
+                    true,
+                );
                 Ok(true)
             }
             Inst::Gep { dst, base, offset } => {
                 self.counters.native_cost += self.cost.native_simple;
                 let (b, gb) = self.eval(*base);
-                let Value::Ptr(a) = b else { return Err(Trap::NullDeref(site)) };
+                let Value::Ptr(a) = b else {
+                    return Err(Trap::NullDeref(site));
+                };
                 let (delta, gi) = match offset {
                     GepOffset::Field(k) => (*k as i64, true),
                     GepOffset::Index { index, elem_cells } => {
                         let (iv, gi) = self.eval(*index);
-                        let Value::Int(i) = iv else { return Err(Trap::TypeError(site)) };
+                        let Value::Int(i) = iv else {
+                            return Err(Trap::TypeError(site));
+                        };
                         (i.wrapping_mul(*elem_cells as i64), gi)
                     }
                 };
@@ -683,7 +726,10 @@ impl<'a> Machine<'a> {
                 }
                 self.set_reg(
                     *dst,
-                    Value::Ptr(Addr { inst: a.inst, cell: cell as u32 }),
+                    Value::Ptr(Addr {
+                        inst: a.inst,
+                        cell: cell as u32,
+                    }),
                     gb && gi,
                 );
                 Ok(true)
@@ -703,8 +749,10 @@ impl<'a> Machine<'a> {
                 self.record_gt(site, CheckKind::StoreAddr, gt);
                 let a = self.deref(av, site)?;
                 let (v, gv) = self.eval(*val);
-                self.mem[a.inst as usize].cells[a.cell as usize] =
-                    Cell { value: v, defined: gv };
+                self.mem[a.inst as usize].cells[a.cell as usize] = Cell {
+                    value: v,
+                    defined: gv,
+                };
                 Ok(true)
             }
             Inst::Call { dst, callee, args } => {
@@ -759,7 +807,9 @@ impl<'a> Machine<'a> {
         match ext {
             ExtFunc::PrintInt => {
                 let (v, _) = self.eval(args[0]);
-                let Value::Int(n) = v else { return Err(Trap::TypeError(site)) };
+                let Value::Int(n) = v else {
+                    return Err(Trap::TypeError(site));
+                };
                 self.trace.push(n);
             }
             ExtFunc::InputInt => {
@@ -797,7 +847,11 @@ impl<'a> Machine<'a> {
                 self.enter_block(*b);
                 Step::Continue
             }
-            Terminator::Br { cond, then_bb, else_bb } => {
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 self.counters.native_cost += self.cost.native_simple;
                 let (v, gt) = self.eval(*cond);
                 self.record_gt(site, CheckKind::BranchCond, gt);
@@ -820,9 +874,8 @@ impl<'a> Machine<'a> {
                     Some(frame) => {
                         // Complete the suspended call in the caller.
                         let caller_site = Site::new(frame.func, frame.block, frame.idx);
-                        let call_inst = self.m.funcs[frame.func].blocks[frame.block].insts
-                            [frame.idx]
-                            .clone();
+                        let call_inst =
+                            self.m.funcs[frame.func].blocks[frame.block].insts[frame.idx].clone();
                         if let Inst::Call { dst: Some(d), .. } = call_inst {
                             let (v, gt) = retval.unwrap_or((Value::Int(0), false));
                             self.set_reg(d, v, gt);
@@ -850,7 +903,9 @@ impl<'a> Machine<'a> {
         let mut writes: Vec<(VarId, Value, bool, Option<Sh>)> = Vec::new();
         let mut nphis = 0usize;
         for inst in &block.insts {
-            let Inst::Phi { dst, incomings } = inst else { break };
+            let Inst::Phi { dst, incomings } = inst else {
+                break;
+            };
             nphis += 1;
             let inc = incomings
                 .iter()

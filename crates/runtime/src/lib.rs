@@ -163,7 +163,11 @@ mod tests {
     #[test]
     fn use_after_free_traps() {
         let r = native("def main() { int *p; p = malloc(2); free(p); *p = 1; }");
-        assert!(matches!(r.trap, Some(Trap::UseAfterFree(_))), "{:?}", r.trap);
+        assert!(
+            matches!(r.trap, Some(Trap::UseAfterFree(_))),
+            "{:?}",
+            r.trap
+        );
     }
 
     #[test]
@@ -175,7 +179,14 @@ mod tests {
     #[test]
     fn fuel_exhaustion_is_reported() {
         let m = compile("def main() { while (1) { } }");
-        let r = run(&m, None, &RunOptions { fuel: 1000, ..Default::default() });
+        let r = run(
+            &m,
+            None,
+            &RunOptions {
+                fuel: 1000,
+                ..Default::default()
+            },
+        );
         assert!(matches!(r.trap, Some(Trap::FuelExhausted)));
     }
 
@@ -185,8 +196,19 @@ mod tests {
             "def loop_forever(int n) -> int { return loop_forever(n + 1); }
              def main() -> int { return loop_forever(0); }",
         );
-        let r = run(&m, None, &RunOptions { max_depth: 64, ..Default::default() });
-        assert!(matches!(r.trap, Some(Trap::StackOverflow(_))), "{:?}", r.trap);
+        let r = run(
+            &m,
+            None,
+            &RunOptions {
+                max_depth: 64,
+                ..Default::default()
+            },
+        );
+        assert!(
+            matches!(r.trap, Some(Trap::StackOverflow(_))),
+            "{:?}",
+            r.trap
+        );
     }
 
     // ---- ground truth ------------------------------------------------------
@@ -367,7 +389,10 @@ mod tests {
         let m = compile(src);
         let full = with_config(&m, Config::MSAN);
         let usher = with_config(&m, Config::USHER);
-        assert!(!full.detected.is_empty(), "iterations 1..3 read indeterminate x");
+        assert!(
+            !full.detected.is_empty(),
+            "iterations 1..3 read indeterminate x"
+        );
         assert_eq!(usher.detected_sites(), full.detected_sites());
     }
 }

@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn slowdown_pct_is_relative_to_native() {
-        let c = Counters { native_cost: 100, shadow_cost: 250, ..Default::default() };
+        let c = Counters {
+            native_cost: 100,
+            shadow_cost: 250,
+            ..Default::default()
+        };
         assert!((c.slowdown_pct() - 250.0).abs() < 1e-9);
         let zero = Counters::default();
         assert_eq!(zero.slowdown_pct(), 0.0);

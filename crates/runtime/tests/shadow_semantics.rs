@@ -256,8 +256,15 @@ fn guided_matches_full_on_the_same_shapes() {
         let (_m, full) = msan(src);
         let guided = usher(src);
         // Opt II may suppress dominated duplicates only.
-        assert!(guided.detected_sites().is_subset(&full.detected_sites()), "{src}");
-        assert_eq!(guided.detected.is_empty(), full.detected.is_empty(), "{src}");
+        assert!(
+            guided.detected_sites().is_subset(&full.detected_sites()),
+            "{src}"
+        );
+        assert_eq!(
+            guided.detected.is_empty(),
+            full.detected.is_empty(),
+            "{src}"
+        );
     }
 }
 

@@ -19,8 +19,8 @@
 use std::collections::HashMap;
 
 use usher_ir::{
-    Callee, Cfg, DomTree, ExtFunc, FuncId, GepOffset, Inst, Module, Operand, Site,
-    Terminator, VarId,
+    Callee, Cfg, DomTree, ExtFunc, FuncId, GepOffset, Inst, Module, Operand, Site, Terminator,
+    VarId,
 };
 use usher_pointer::{Loc, PointerAnalysis};
 
@@ -248,13 +248,24 @@ pub struct BuildOpts {
 
 impl Default for BuildOpts {
     fn default() -> Self {
-        BuildOpts { mode: VfgMode::Full, semi_strong: true }
+        BuildOpts {
+            mode: VfgMode::Full,
+            semi_strong: true,
+        }
     }
 }
 
 /// Builds the VFG for a module with default options.
 pub fn build(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, mode: VfgMode) -> Vfg {
-    build_with(m, pa, ms, BuildOpts { mode, ..Default::default() })
+    build_with(
+        m,
+        pa,
+        ms,
+        BuildOpts {
+            mode,
+            ..Default::default()
+        },
+    )
 }
 
 /// Builds the VFG with explicit options.
@@ -272,20 +283,24 @@ pub fn build_with(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, opts: BuildOpts
         // loc -> [(site, old version at the alloc)].
         let mut alloc_chis: HashMap<Loc, Vec<(Site, MemVerId)>> = HashMap::new();
         if let Some(fs) = fs {
-            for (site, chis) in &fs.chis {
-                for c in chis {
+            let mut chi_sites: Vec<Site> = fs.chis.keys().copied().collect();
+            chi_sites.sort_unstable();
+            for site in chi_sites {
+                for c in &fs.chis[&site] {
                     if matches!(fs.def(c.new).kind, crate::memssa::MemDefKind::Alloc(_)) {
-                        alloc_chis.entry(c.loc).or_default().push((*site, c.old));
+                        alloc_chis.entry(c.loc).or_default().push((site, c.old));
                     }
                 }
             }
         }
 
-        // Region phi edges.
+        // Region phi edges, in block order so node numbering is stable.
         if mode == VfgMode::Full {
             if let Some(fs) = fs {
-                for phis in fs.phis.values() {
-                    for p in phis {
+                let mut phi_blocks: Vec<_> = fs.phis.keys().copied().collect();
+                phi_blocks.sort_unstable();
+                for bb in phi_blocks {
+                    for p in &fs.phis[&bb] {
                         let d = b.node(NodeKind::Mem(fid, p.def));
                         for (_, inc) in &p.incomings {
                             let i = b.node(NodeKind::Mem(fid, *inc));
@@ -333,7 +348,12 @@ fn register_check(g: &mut Vfg, site: Site, op: Operand, kind: CheckKind, f: Func
     g.def_site[node as usize] = Some(site);
     let target = op_node(g, f, op);
     g.add_edge(node, target, EdgeKind::Direct);
-    g.checks.push(Check { node, site, operand: op, kind });
+    g.checks.push(Check {
+        node,
+        site,
+        operand: op,
+        kind,
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -394,7 +414,11 @@ fn build_inst(
             if full {
                 if let Some(fs) = fs {
                     if let Some(chis) = fs.chis.get(&site) {
-                        let init = if m.objects[*obj].zero_init { g.t_root } else { g.f_root };
+                        let init = if m.objects[*obj].zero_init {
+                            g.t_root
+                        } else {
+                            g.f_root
+                        };
                         for c in chis {
                             let n = g.node(NodeKind::Mem(fid, c.new));
                             g.def_site[n as usize] = Some(site);
@@ -453,7 +477,9 @@ fn build_inst(
                     // Semi-strong: bypass back to the dominating
                     // allocation's incoming version when one exists.
                     let dominating = alloc_chis.get(&c.loc).and_then(|sites| {
-                        sites.iter().find(|(asite, _)| dominates_site(dt, *asite, site))
+                        sites
+                            .iter()
+                            .find(|(asite, _)| dominates_site(dt, *asite, site))
                     });
                     match dominating {
                         Some((_, old_at_alloc)) => {
@@ -547,11 +573,12 @@ fn build_inst(
                     g.add_edge(n, o, EdgeKind::Direct);
                     for &gcallee in &callees {
                         if let Some(cal) = ms.funcs.get(&gcallee) {
-                            for outs in cal.ret_mus.values() {
-                                for mu in outs {
+                            let mut ret_blocks: Vec<_> = cal.ret_mus.keys().copied().collect();
+                            ret_blocks.sort_unstable();
+                            for bb in ret_blocks {
+                                for mu in &cal.ret_mus[&bb] {
                                     if mu.loc == c.loc {
-                                        let out_node =
-                                            g.node(NodeKind::Mem(gcallee, mu.def));
+                                        let out_node = g.node(NodeKind::Mem(gcallee, mu.def));
                                         g.add_edge(n, out_node, EdgeKind::Ret(site));
                                     }
                                 }

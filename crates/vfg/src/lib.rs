@@ -14,12 +14,14 @@ pub mod build;
 pub mod memssa;
 pub mod printer;
 
-pub use build::{build, build_with, BuildOpts, Check, CheckKind, EdgeKind, NodeKind, Vfg, VfgMode, VfgStats};
-pub use printer::{print_annotated, print_module_annotated};
-pub use memssa::{
-    build as build_memssa, ChiDef, FuncMemSsa, MemDef, MemDefKind, MemSsa, MemVerId, MuUse,
-    RegionPhi,
+pub use build::{
+    build, build_with, BuildOpts, Check, CheckKind, EdgeKind, NodeKind, Vfg, VfgMode, VfgStats,
 };
+pub use memssa::{
+    build as build_memssa, build_function_ssa, modref_summaries, ChiDef, FuncMemSsa, MemDef,
+    MemDefKind, MemSsa, MemVerId, ModRef, MuUse, RegionPhi,
+};
+pub use printer::{print_annotated, print_module_annotated};
 
 /// Convenience: pointer analysis + memory SSA + VFG in one call.
 pub fn analyze_module(
@@ -167,7 +169,10 @@ mod tests {
         // Reading an uninitialized promoted local produces Undef, which
         // must connect to F.
         let (_m, g) = vfg_for("def main() -> int { int x; return x + 1; }");
-        assert!(!g.users[g.f_root as usize].is_empty(), "something must depend on F");
+        assert!(
+            !g.users[g.f_root as usize].is_empty(),
+            "something must depend on F"
+        );
     }
 
     #[test]

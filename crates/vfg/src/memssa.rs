@@ -19,7 +19,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use usher_ir::{BlockId, Callee, Cfg, DomTree, ExtFunc, FuncId, Idx, Inst, Module, ObjKind, Site, Terminator};
+use usher_ir::{
+    BlockId, Callee, Cfg, DomTree, ExtFunc, FuncId, Idx, Inst, Module, ObjKind, Site, Terminator,
+};
 use usher_pointer::{Loc, PointerAnalysis};
 
 /// A memory-version definition id, local to one function.
@@ -118,9 +120,20 @@ pub struct MemSsa {
     pub funcs: HashMap<FuncId, FuncMemSsa>,
 }
 
-/// Builds memory SSA for every function.
-pub fn build(m: &Module, pa: &PointerAnalysis) -> MemSsa {
-    // --- Mod/Ref summaries, bottom-up over call-graph SCCs.
+/// Whole-program mod/ref summaries: the sequential prefix of memory-SSA
+/// construction (interprocedural, bottom-up over call-graph SCCs). Once
+/// computed, the per-function SSA phase ([`build_function_ssa`]) is
+/// independent per function and may run in parallel.
+#[derive(Clone, Debug, Default)]
+pub struct ModRef {
+    /// Locations each function (transitively) may modify.
+    pub mods: HashMap<FuncId, HashSet<Loc>>,
+    /// Locations each function (transitively) may read.
+    pub refs: HashMap<FuncId, HashSet<Loc>>,
+}
+
+/// Computes the [`ModRef`] summaries for every function.
+pub fn modref_summaries(m: &Module, pa: &PointerAnalysis) -> ModRef {
     let mut mods: HashMap<FuncId, HashSet<Loc>> = HashMap::new();
     let mut refs: HashMap<FuncId, HashSet<Loc>> = HashMap::new();
     for f in m.funcs.indices() {
@@ -165,10 +178,16 @@ pub fn build(m: &Module, pa: &PointerAnalysis) -> MemSsa {
                 let sites: Vec<Site> = call_sites(m, f);
                 for site in sites {
                     for &g in pa.call_graph.callees_of(site) {
-                        let callee_mods: Vec<Loc> =
-                            mods[&g].iter().copied().filter(|l| visible_outside(m, g, *l)).collect();
-                        let callee_refs: Vec<Loc> =
-                            refs[&g].iter().copied().filter(|l| visible_outside(m, g, *l)).collect();
+                        let callee_mods: Vec<Loc> = mods[&g]
+                            .iter()
+                            .copied()
+                            .filter(|l| visible_outside(m, g, *l))
+                            .collect();
+                        let callee_refs: Vec<Loc> = refs[&g]
+                            .iter()
+                            .copied()
+                            .filter(|l| visible_outside(m, g, *l))
+                            .collect();
                         let fm = mods.get_mut(&f).expect("init above");
                         for l in callee_mods {
                             changed |= fm.insert(l);
@@ -185,15 +204,34 @@ pub fn build(m: &Module, pa: &PointerAnalysis) -> MemSsa {
             }
         }
     }
+    ModRef { mods, refs }
+}
 
-    // --- Per-function SSA.
+/// Builds memory SSA for one function given precomputed [`ModRef`]
+/// summaries. Returns `None` for bodiless declarations. Functions are
+/// independent at this phase, so callers (e.g. the `usher-driver`
+/// scheduler) may fan this out across worker threads.
+pub fn build_function_ssa(
+    m: &Module,
+    pa: &PointerAnalysis,
+    fid: FuncId,
+    modref: &ModRef,
+) -> Option<FuncMemSsa> {
+    if m.funcs[fid].blocks.is_empty() {
+        return None;
+    }
+    Some(build_function(m, pa, fid, &modref.mods, &modref.refs))
+}
+
+/// Builds memory SSA for every function (sequential reference wiring;
+/// the driver parallelizes the per-function phase).
+pub fn build(m: &Module, pa: &PointerAnalysis) -> MemSsa {
+    let modref = modref_summaries(m, pa);
     let mut out = MemSsa::default();
-    for (fid, func) in m.funcs.iter_enumerated() {
-        if func.blocks.is_empty() {
-            continue;
+    for fid in m.funcs.indices() {
+        if let Some(fs) = build_function_ssa(m, pa, fid, &modref) {
+            out.funcs.insert(fid, fs);
         }
-        let fs = build_function(m, pa, fid, &mods, &refs);
-        out.funcs.insert(fid, fs);
     }
     out
 }
@@ -330,8 +368,7 @@ fn build_function(
     }
 
     // --- Version numbering.
-    let loc_idx: HashMap<Loc, usize> =
-        versioned.iter().enumerate().map(|(i, l)| (*l, i)).collect();
+    let loc_idx: HashMap<Loc, usize> = versioned.iter().enumerate().map(|(i, l)| (*l, i)).collect();
     let new_def = |fs: &mut FuncMemSsa, loc: Loc, kind: MemDefKind| -> MemVerId {
         let id = MemVerId(fs.defs.len() as u32);
         fs.defs.push(MemDef { loc, kind });
@@ -347,9 +384,13 @@ fn build_function(
     }
 
     // Phi placement at iterated dominance frontiers; entry is a def block
-    // for every loc (the formal-in).
+    // for every loc (the formal-in). Iterate locs in discovery order, not
+    // map order, so version numbering and per-block phi order are stable.
     let mut phi_at: HashMap<(BlockId, usize), MemVerId> = HashMap::new();
-    for (l, blocks) in &def_blocks {
+    for l in &versioned {
+        let Some(blocks) = def_blocks.get(l) else {
+            continue;
+        };
         let li = loc_idx[l];
         let mut dbs = blocks.clone();
         dbs.push(func.entry);
@@ -383,11 +424,19 @@ fn build_function(
 
         for (idx, inst) in func.blocks[bb].insts.iter().enumerate() {
             let site = Site::new(fid, bb, idx);
-            let Some(e) = effects.get(&site) else { continue };
+            let Some(e) = effects.get(&site) else {
+                continue;
+            };
             // mus first (they read the pre-state).
             if !e.mus.is_empty() {
-                let mus: Vec<MuUse> =
-                    e.mus.iter().map(|l| MuUse { loc: *l, def: cur[loc_idx[l]] }).collect();
+                let mus: Vec<MuUse> = e
+                    .mus
+                    .iter()
+                    .map(|l| MuUse {
+                        loc: *l,
+                        def: cur[loc_idx[l]],
+                    })
+                    .collect();
                 fs.mus.insert(site, mus);
             }
             if !e.chis.is_empty() {
@@ -414,7 +463,10 @@ fn build_function(
                 .summary_out
                 .iter()
                 .filter(|l| loc_idx.contains_key(l))
-                .map(|l| MuUse { loc: *l, def: cur[loc_idx[l]] })
+                .map(|l| MuUse {
+                    loc: *l,
+                    def: cur[loc_idx[l]],
+                })
                 .collect();
             outs.sort_by_key(|mu| mu.loc);
             fs.ret_mus.insert(bb, outs);
@@ -503,7 +555,10 @@ mod tests {
         let call_chis: Vec<_> = fs
             .chis
             .iter()
-            .filter(|(_, cs)| cs.iter().any(|c| matches!(fs.def(c.new).kind, MemDefKind::CallChi(_))))
+            .filter(|(_, cs)| {
+                cs.iter()
+                    .any(|c| matches!(fs.def(c.new).kind, MemDefKind::CallChi(_)))
+            })
             .collect();
         assert_eq!(call_chis.len(), 1);
         let call_mus: Vec<_> = fs.mus.iter().collect();
@@ -577,7 +632,10 @@ mod tests {
         let store_chis: Vec<_> = fs
             .chis
             .values()
-            .filter(|cs| cs.iter().any(|c| matches!(fs.def(c.new).kind, MemDefKind::StoreChi(_))))
+            .filter(|cs| {
+                cs.iter()
+                    .any(|c| matches!(fs.def(c.new).kind, MemDefKind::StoreChi(_)))
+            })
             .collect();
         assert_eq!(store_chis.len(), 1);
         assert_eq!(store_chis[0].len(), 2, "{store_chis:?}");

@@ -32,11 +32,9 @@ pub fn print_annotated(m: &Module, fid: FuncId, ms: &MemSsa) -> String {
     };
 
     // Header with virtual parameters.
-    let mut vins: Vec<String> =
-        fs.summary_in.iter().map(|l| loc_name(m, *l)).collect();
+    let mut vins: Vec<String> = fs.summary_in.iter().map(|l| loc_name(m, *l)).collect();
     vins.sort();
-    let mut vouts: Vec<String> =
-        fs.summary_out.iter().map(|l| loc_name(m, *l)).collect();
+    let mut vouts: Vec<String> = fs.summary_out.iter().map(|l| loc_name(m, *l)).collect();
     vouts.sort();
     let _ = writeln!(
         s,
@@ -51,8 +49,11 @@ pub fn print_annotated(m: &Module, fid: FuncId, ms: &MemSsa) -> String {
         let _ = writeln!(s, "{bb}:");
         if let Some(phis) = fs.phis.get(&bb) {
             for p in phis {
-                let incs: Vec<String> =
-                    p.incomings.iter().map(|(pb, v)| format!("{pb}: {}", ver(m, fs, *v))).collect();
+                let incs: Vec<String> = p
+                    .incomings
+                    .iter()
+                    .map(|(pb, v)| format!("{pb}: {}", ver(m, fs, *v)))
+                    .collect();
                 let _ = writeln!(s, "  {} := phi({})", ver(m, fs, p.def), incs.join(", "));
             }
         }
@@ -60,8 +61,10 @@ pub fn print_annotated(m: &Module, fid: FuncId, ms: &MemSsa) -> String {
             let site = usher_ir::Site::new(fid, bb, idx);
             let mut line = format!("  {}", usher_ir::printer::inst(m, inst));
             if let Some(mus) = fs.mus.get(&site) {
-                let parts: Vec<String> =
-                    mus.iter().map(|mu| format!("mu({})", ver(m, fs, mu.def))).collect();
+                let parts: Vec<String> = mus
+                    .iter()
+                    .map(|mu| format!("mu({})", ver(m, fs, mu.def)))
+                    .collect();
                 let _ = write!(line, "  [{}]", parts.join(", "));
             }
             if let Some(chis) = fs.chis.get(&site) {
@@ -81,8 +84,7 @@ pub fn print_annotated(m: &Module, fid: FuncId, ms: &MemSsa) -> String {
                 };
                 if let Some(outs) = fs.ret_mus.get(&bb) {
                     if !outs.is_empty() {
-                        let parts: Vec<String> =
-                            outs.iter().map(|mu| ver(m, fs, mu.def)).collect();
+                        let parts: Vec<String> = outs.iter().map(|mu| ver(m, fs, mu.def)).collect();
                         let _ = write!(line, "  [{}]", parts.join(", "));
                     }
                 }
@@ -91,7 +93,11 @@ pub fn print_annotated(m: &Module, fid: FuncId, ms: &MemSsa) -> String {
             Terminator::Jmp(b) => {
                 let _ = writeln!(s, "  jmp {b}");
             }
-            Terminator::Br { cond, then_bb, else_bb } => {
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let _ = writeln!(
                     s,
                     "  br {} ? {then_bb} : {else_bb}",
@@ -136,8 +142,14 @@ mod tests {
         let text = print_module_annotated(&m, &ms);
         assert!(text.contains("mu("), "loads carry mu lists:\n{text}");
         assert!(text.contains(":= chi("), "stores carry chi lists:\n{text}");
-        assert!(text.contains("[in: "), "virtual input parameters shown:\n{text}");
-        assert!(text.contains("[out: "), "virtual output parameters shown:\n{text}");
+        assert!(
+            text.contains("[in: "),
+            "virtual input parameters shown:\n{text}"
+        );
+        assert!(
+            text.contains("[out: "),
+            "virtual output parameters shown:\n{text}"
+        );
         let _ = usher_ir::FuncId(0).index();
     }
 

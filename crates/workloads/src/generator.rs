@@ -56,7 +56,11 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { helpers: 3, max_stmts: 7, uninit_pct: 35 }
+        GenConfig {
+            helpers: 3,
+            max_stmts: 7,
+            uninit_pct: 35,
+        }
     }
 }
 
@@ -138,8 +142,7 @@ impl GenCtx {
                     if self.rng.pct(60) {
                         let c = self.int_expr(1);
                         let e = self.int_expr(1);
-                        let _ =
-                            writeln!(out, "{pad}if ({c}) {{ {v} = {e}; }}");
+                        let _ = writeln!(out, "{pad}if ({c}) {{ {v} = {e}; }}");
                     }
                 } else {
                     let e = self.int_expr(2);

@@ -85,7 +85,9 @@ pub fn all_workloads(scale: Scale) -> Vec<Workload> {
 
 /// Finds one workload by (suffix of its) name.
 pub fn workload(name: &str, scale: Scale) -> Option<Workload> {
-    all_workloads(scale).into_iter().find(|w| w.name == name || w.name.ends_with(name))
+    all_workloads(scale)
+        .into_iter()
+        .find(|w| w.name == name || w.name.ends_with(name))
 }
 
 fn instantiate(template: &str, scale: Scale) -> String {

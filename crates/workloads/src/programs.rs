@@ -12,21 +12,81 @@
 
 /// (name, description, TinyC source template with `@N@` scale holes).
 pub const PROGRAMS: [(&str, &str, &str); 15] = [
-    ("164.gzip", "LZ77-style hash-chain compressor over a synthetic buffer", GZIP),
-    ("175.vpr", "FPGA placement: grid of cells, cost-driven swaps", VPR),
-    ("176.gcc", "compiler-ish: expression trees, constant folding, fnptr pass pipeline", GCC),
-    ("177.mesa", "3D pipeline: fixed-point vertex transform and lighting", MESA),
-    ("179.art", "neural-network image matcher over weight matrices", ART),
-    ("181.mcf", "network simplex: pointer-chasing over arcs and nodes", MCF),
-    ("183.equake", "sparse matrix-vector product (CSR) earthquake kernel", EQUAKE),
-    ("186.crafty", "bitboard chess kernel: shifts, masks, popcounts", CRAFTY),
-    ("188.ammp", "molecular dynamics: force accumulation over an atom list", AMMP),
-    ("197.parser", "recursive-descent parser with heap AST (contains one real bug)", PARSER),
-    ("253.perlbmk", "bytecode interpreter: dispatch loop, operand stack, hash table", PERLBMK),
-    ("254.gap", "computer algebra: arena allocator and list workspace", GAP),
-    ("255.vortex", "object database: record store/load traffic", VORTEX),
-    ("256.bzip2", "block-sorting compressor: counting sort and MTF", BZIP2),
-    ("300.twolf", "standard-cell placement by simulated annealing", TWOLF),
+    (
+        "164.gzip",
+        "LZ77-style hash-chain compressor over a synthetic buffer",
+        GZIP,
+    ),
+    (
+        "175.vpr",
+        "FPGA placement: grid of cells, cost-driven swaps",
+        VPR,
+    ),
+    (
+        "176.gcc",
+        "compiler-ish: expression trees, constant folding, fnptr pass pipeline",
+        GCC,
+    ),
+    (
+        "177.mesa",
+        "3D pipeline: fixed-point vertex transform and lighting",
+        MESA,
+    ),
+    (
+        "179.art",
+        "neural-network image matcher over weight matrices",
+        ART,
+    ),
+    (
+        "181.mcf",
+        "network simplex: pointer-chasing over arcs and nodes",
+        MCF,
+    ),
+    (
+        "183.equake",
+        "sparse matrix-vector product (CSR) earthquake kernel",
+        EQUAKE,
+    ),
+    (
+        "186.crafty",
+        "bitboard chess kernel: shifts, masks, popcounts",
+        CRAFTY,
+    ),
+    (
+        "188.ammp",
+        "molecular dynamics: force accumulation over an atom list",
+        AMMP,
+    ),
+    (
+        "197.parser",
+        "recursive-descent parser with heap AST (contains one real bug)",
+        PARSER,
+    ),
+    (
+        "253.perlbmk",
+        "bytecode interpreter: dispatch loop, operand stack, hash table",
+        PERLBMK,
+    ),
+    (
+        "254.gap",
+        "computer algebra: arena allocator and list workspace",
+        GAP,
+    ),
+    (
+        "255.vortex",
+        "object database: record store/load traffic",
+        VORTEX,
+    ),
+    (
+        "256.bzip2",
+        "block-sorting compressor: counting sort and MTF",
+        BZIP2,
+    ),
+    (
+        "300.twolf",
+        "standard-cell placement by simulated annealing",
+        TWOLF,
+    ),
 ];
 
 const GZIP: &str = r#"

@@ -1,13 +1,28 @@
-//! Configuration shoot-out over the whole 15-workload suite: prints the
-//! Figure 10 slowdown table and the Figure 11 static-reduction tables.
+//! Configuration shoot-out over the whole 15-workload suite: analyze
+//! every workload under all five configurations through one shared
+//! pipeline, then print Figure 10-style slowdowns and Figure 11-style
+//! static reductions, plus the cache telemetry showing how much work the
+//! configurations shared.
 //!
 //! ```sh
 //! cargo run --release --example compare_configs          # test scale
 //! cargo run --release --example compare_configs -- ref   # paper scale
 //! ```
 
-use usher::runtime::RunOptions;
-use usher::workloads::Scale;
+use usher::core::{Config, PlanStats};
+use usher::driver::{Job, Pipeline, PipelineOptions, SourceInput};
+use usher::runtime::{run, RunOptions};
+use usher::workloads::{all_workloads, Scale};
+
+struct ConfigRun {
+    plan_stats: PlanStats,
+    slowdown_pct: f64,
+}
+
+struct WorkloadRuns {
+    name: String,
+    runs: Vec<ConfigRun>,
+}
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -15,81 +30,95 @@ fn main() {
         _ => Scale::TEST,
     };
     println!("running the 15-workload suite at scale n={} ...\n", scale.n);
-    let rows = usher_bench_shim::run_suite(scale, &RunOptions::default());
+
+    let pipe = Pipeline::new();
+    let workloads = all_workloads(scale);
+    let jobs: Vec<Job> = workloads
+        .iter()
+        .flat_map(|w| {
+            Config::ALL.iter().map(|cfg| {
+                Job::new(
+                    w.name,
+                    SourceInput::TinyC(w.source.clone()),
+                    PipelineOptions::from_config(*cfg),
+                )
+            })
+        })
+        .collect();
+    let (analyzed, batch) = pipe.run_batch(&jobs);
+
+    let opts = RunOptions::default();
+    let rows: Vec<WorkloadRuns> = analyzed
+        .chunks(Config::ALL.len())
+        .map(|chunk| {
+            let runs = chunk
+                .iter()
+                .map(|r| {
+                    let r = r.as_ref().expect("suite compiles");
+                    let exec = run(&r.module, Some(&r.plan), &opts);
+                    ConfigRun {
+                        plan_stats: r.plan.stats,
+                        slowdown_pct: exec.counters.slowdown_pct(),
+                    }
+                })
+                .collect();
+            WorkloadRuns {
+                name: chunk[0].as_ref().expect("suite compiles").name.clone(),
+                runs,
+            }
+        })
+        .collect();
+
     println!("== Figure 10: runtime slowdown vs native ==");
-    print!("{}", usher_bench_shim::render_figure10(&rows));
+    print!("{}", render_figure10(&rows));
     println!();
-    print!("{}", usher_bench_shim::render_figure11(&rows));
+    print!("{}", render_figure11(&rows));
+
+    let stats = pipe.cache_stats();
+    println!(
+        "\npipeline: {} jobs in {:.2}s wall ({:.2}s cpu) on {} threads; cache {} hits / {} misses",
+        batch.runs.len(),
+        batch.wall_seconds,
+        batch.cpu_seconds(),
+        batch.threads,
+        stats.hits,
+        stats.misses,
+    );
 }
 
-/// The bench crate is not a dependency of the facade (it depends on it
-/// the other way around in spirit); inline the tiny driver here instead.
-mod usher_bench_shim {
-    use usher::core::{run_config, Config, PlanStats};
-    use usher::runtime::{run, RunOptions, RunResult};
-    use usher::workloads::{all_workloads, Scale};
-
-    pub struct ConfigRun {
-        pub plan_stats: PlanStats,
-        pub slowdown_pct: f64,
+fn render_figure10(rows: &[WorkloadRuns]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "{:<14}", "Benchmark");
+    for cfg in Config::ALL {
+        let _ = write!(s, "{:>13}", cfg.name);
     }
-
-    pub struct WorkloadRuns {
-        pub name: String,
-        pub runs: Vec<ConfigRun>,
-    }
-
-    pub fn run_suite(scale: Scale, opts: &RunOptions) -> Vec<WorkloadRuns> {
-        all_workloads(scale)
-            .iter()
-            .map(|w| {
-                let m = w.compile_o0im().expect("suite compiles");
-                let runs = Config::ALL
-                    .iter()
-                    .map(|cfg| {
-                        let out = run_config(&m, *cfg);
-                        let r: RunResult = run(&m, Some(&out.plan), opts);
-                        ConfigRun {
-                            plan_stats: out.plan.stats,
-                            slowdown_pct: r.counters.slowdown_pct(),
-                        }
-                    })
-                    .collect();
-                WorkloadRuns { name: w.name.to_string(), runs }
-            })
-            .collect()
-    }
-
-    pub fn render_figure10(rows: &[WorkloadRuns]) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = write!(s, "{:<14}", "Benchmark");
-        for cfg in Config::ALL {
-            let _ = write!(s, "{:>13}", cfg.name);
+    let _ = writeln!(s);
+    for row in rows {
+        let _ = write!(s, "{:<14}", row.name);
+        for r in &row.runs {
+            let _ = write!(s, "{:>12.0}%", r.slowdown_pct);
         }
         let _ = writeln!(s);
-        for row in rows {
-            let _ = write!(s, "{:<14}", row.name);
-            for r in &row.runs {
-                let _ = write!(s, "{:>12.0}%", r.slowdown_pct);
-            }
-            let _ = writeln!(s);
-        }
-        s
     }
+    s
+}
 
-    pub fn render_figure11(rows: &[WorkloadRuns]) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(s, "== Figure 11: static propagations (% of MSan) ==");
-        for row in rows {
-            let _ = write!(s, "{:<14}", row.name);
-            let base = row.runs[0].plan_stats.propagations.max(1) as f64;
-            for r in row.runs.iter().skip(1) {
-                let _ = write!(s, "{:>12.0}%", 100.0 * r.plan_stats.propagations as f64 / base);
-            }
-            let _ = writeln!(s);
+fn render_figure11(rows: &[WorkloadRuns]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "== Figure 11: static propagations (% of MSan) ==");
+    for row in rows {
+        let _ = write!(s, "{:<14}", row.name);
+        let base = row.runs[0].plan_stats.propagations.max(1) as f64;
+        for r in row.runs.iter().skip(1) {
+            let _ = write!(
+                s,
+                "{:>12.0}%",
+                100.0 * r.plan_stats.propagations as f64 / base
+            );
         }
-        s
+        let _ = writeln!(s);
     }
+    s
 }

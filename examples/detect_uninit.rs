@@ -10,7 +10,8 @@
 //! cargo run --example detect_uninit
 //! ```
 
-use usher::core::{run_config, Config};
+use usher::core::Config;
+use usher::driver::{Pipeline, PipelineOptions, SourceInput};
 use usher::runtime::{run, RunOptions};
 use usher::workloads::{workload, Scale};
 
@@ -18,12 +19,25 @@ fn main() {
     let w = workload("197.parser", Scale::TEST).expect("parser workload exists");
     println!("workload: {} — {}", w.name, w.description);
 
-    let module = w.compile_o0im().expect("compiles");
+    let pipe = Pipeline::new();
     let opts = RunOptions::default();
 
+    // Compile once through the pipeline; the module is shared (and the
+    // analysis prefixes cached) across all five configurations below.
+    let first = pipe
+        .run(
+            w.name,
+            SourceInput::TinyC(w.source.clone()),
+            PipelineOptions::from_config(Config::MSAN),
+        )
+        .expect("compiles");
+
     // Ground truth, independent of any instrumentation.
-    let native = run(&module, None, &opts);
-    println!("\nground truth: {} undefined-value use(s) at critical operations", native.ground_truth.len());
+    let native = run(&first.module, None, &opts);
+    println!(
+        "\nground truth: {} undefined-value use(s) at critical operations",
+        native.ground_truth.len()
+    );
     for ev in &native.ground_truth {
         println!("  oracle: {} ({:?})", ev.site, ev.kind);
     }
@@ -31,14 +45,20 @@ fn main() {
     // Every detector configuration.
     println!();
     for cfg in Config::ALL {
-        let out = run_config(&module, cfg);
-        let r = run(&module, Some(&out.plan), &opts);
+        let pr = pipe
+            .run(
+                w.name,
+                SourceInput::TinyC(w.source.clone()),
+                PipelineOptions::from_config(cfg),
+            )
+            .expect("compiles");
+        let r = run(&pr.module, Some(&pr.plan), &opts);
         println!(
             "{:<12} -> detected {} site(s), {:>5} static propagations, {:>3} checks, {:>4.0}% slowdown",
             cfg.name,
             r.detected_sites().len(),
-            out.plan.stats.propagations,
-            out.plan.stats.checks,
+            pr.plan.stats.propagations,
+            pr.plan.stats.checks,
             r.counters.slowdown_pct(),
         );
         assert_eq!(

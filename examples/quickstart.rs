@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use usher::core::{run_config, Config};
-use usher::frontend::compile_o0im;
+use usher::core::Config;
+use usher::driver::{Pipeline, PipelineOptions};
 use usher::runtime::{run, RunOptions};
 
 fn main() {
@@ -31,25 +31,49 @@ fn main() {
         }
     "#;
 
-    // 1. Compile under the paper's O0+IM configuration.
-    let module = compile_o0im(source).expect("program is well-formed");
-
-    // 2. Run the static analysis + instrumentation planning for both the
-    //    MSan baseline and full Usher.
-    let msan = run_config(&module, Config::MSAN);
-    let usher = run_config(&module, Config::USHER);
-    println!("MSan  plan: {:>4} propagations, {:>2} checks", msan.plan.stats.propagations, msan.plan.stats.checks);
-    println!("Usher plan: {:>4} propagations, {:>2} checks", usher.plan.stats.propagations, usher.plan.stats.checks);
+    // 1.+2. Compile under O0+IM and plan instrumentation for both the
+    //    MSan baseline and full Usher. The pipeline caches the compiled
+    //    module, so the second run reuses the frontend.
+    let pipe = Pipeline::new();
+    let msan = pipe
+        .run_source(
+            "quickstart",
+            source,
+            PipelineOptions::from_config(Config::MSAN),
+        )
+        .expect("program is well-formed");
+    let usher = pipe
+        .run_source(
+            "quickstart",
+            source,
+            PipelineOptions::from_config(Config::USHER),
+        )
+        .expect("program is well-formed");
+    println!(
+        "MSan  plan: {:>4} propagations, {:>2} checks",
+        msan.plan.stats.propagations, msan.plan.stats.checks
+    );
+    println!(
+        "Usher plan: {:>4} propagations, {:>2} checks",
+        usher.plan.stats.propagations, usher.plan.stats.checks
+    );
 
     // 3. Execute under each plan; both detect the same bug, Usher cheaper.
     let opts = RunOptions::default();
-    let m_run = run(&module, Some(&msan.plan), &opts);
-    let u_run = run(&module, Some(&usher.plan), &opts);
+    let m_run = run(&msan.module, Some(&msan.plan), &opts);
+    let u_run = run(&usher.module, Some(&usher.plan), &opts);
 
     for ev in &u_run.detected {
-        println!("usher: use of undefined value at {} ({:?})", ev.site, ev.kind);
+        println!(
+            "usher: use of undefined value at {} ({:?})",
+            ev.site, ev.kind
+        );
     }
-    assert_eq!(m_run.detected_sites(), u_run.detected_sites(), "same detection");
+    assert_eq!(
+        m_run.detected_sites(),
+        u_run.detected_sites(),
+        "same detection"
+    );
     println!(
         "slowdown: MSan {:.0}%  vs  Usher {:.0}%",
         m_run.counters.slowdown_pct(),

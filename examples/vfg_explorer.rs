@@ -7,9 +7,8 @@
 //! cargo run --example vfg_explorer -- my_prog.tc    # your own TinyC
 //! ```
 
-use usher::core::resolve;
-use usher::frontend::compile_o0im;
-use usher::vfg::{analyze_module, print_module_annotated, VfgMode};
+use usher::driver::{GuidedKnobs, Pipeline, PipelineOptions};
+use usher::vfg::print_module_annotated;
 
 const DEMO: &str = r#"
     // Figure 6's shape: a fresh allocation in a loop, strongly coupled
@@ -35,11 +34,29 @@ fn main() {
         None => DEMO.to_string(),
     };
 
-    let module = compile_o0im(&source).expect("program compiles");
-    let (_pa, ms, vfg) = analyze_module(&module, VfgMode::Full);
+    // Full VFG, raw k=1 resolution (no Opt I/II rewriting), via the
+    // pipeline driver.
+    let knobs = GuidedKnobs {
+        opt1: false,
+        opt2: false,
+        ..Default::default()
+    };
+    let options = PipelineOptions {
+        guided: Some(knobs),
+        ..Default::default()
+    }
+    .labelled("vfg_explorer");
+    let pr = Pipeline::new()
+        .run_source("vfg_explorer", &source, options)
+        .expect("program compiles");
+
+    let module = &pr.module;
+    let ms = pr.memssa.as_ref().expect("full mode builds memory SSA");
+    let vfg = pr.vfg.as_ref().expect("guided run builds a VFG");
+    let gamma = pr.gamma.as_ref().expect("guided run resolves definedness");
+
     eprintln!("== memory SSA after O0+IM (Figure 5 style) ==");
-    eprintln!("{}", print_module_annotated(&module, &ms));
-    let gamma = resolve(&vfg, 1);
+    eprintln!("{}", print_module_annotated(module, ms));
 
     eprintln!("== VFG summary ==");
     eprintln!("nodes: {}", vfg.len());
@@ -54,5 +71,5 @@ fn main() {
     );
 
     // DOT on stdout so it can be piped into `dot -Tsvg`.
-    println!("{}", vfg.to_dot(&module));
+    println!("{}", vfg.to_dot(module));
 }

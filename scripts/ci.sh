@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, offline release build, full offline test run.
+# The build environment has no registry access, so everything runs with
+# --offline; the workspace has no third-party dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> CI OK"

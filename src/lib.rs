@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub use usher_core as core;
+pub use usher_driver as driver;
 pub use usher_frontend as frontend;
 pub use usher_ir as ir;
 pub use usher_pointer as pointer;

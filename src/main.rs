@@ -13,15 +13,18 @@
 //!
 //! Options: `--config msan|tl|tlat|opt1|usher|msan-bit|usher-bit` (default `usher`),
 //! `--opt O0|O1|O2` (default `O0`, meaning O0+IM), `--seed <n>` for the
-//! deterministic `input()` stream.
+//! deterministic `input()` stream, `--threads <n>` for the pipeline's
+//! worker pool, `--no-cache` to disable artifact caching, and `--report`
+//! to print per-stage JSON telemetry on stderr.
+//!
+//! All analysis routes through [`usher::driver::Pipeline`].
 
 use std::process::ExitCode;
 
-use usher::core::{run_config, Config};
-use usher::frontend::compile_with;
+use usher::core::Config;
+use usher::driver::{Pipeline, PipelineOptions, PipelineRun, SourceInput};
 use usher::ir::OptLevel;
 use usher::runtime::{run, RunOptions};
-use usher::vfg::{analyze_module, VfgMode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +33,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("usher: {msg}");
             eprintln!();
-            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N]");
+            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--no-cache] [--report]");
             ExitCode::from(2)
         }
     }
@@ -42,6 +45,9 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let mut config = Config::USHER;
     let mut level = OptLevel::O0Im;
     let mut seed = 0x5eedu64;
+    let mut threads = None;
+    let mut use_cache = true;
+    let mut report = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -72,6 +78,16 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
+            "--no-cache" => use_cache = false,
+            "--report" => report = true,
             _ if cmd.is_none() => cmd = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
             other => return Err(format!("unexpected argument {other}")),
@@ -80,17 +96,38 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
 
     let cmd = cmd.ok_or("missing command")?;
     let file = file.ok_or("missing input file")?;
-    let source =
-        std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let module = if file.ends_with(".uir") {
-        usher::ir::parse_text(&source).map_err(|e| e.to_string())?
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let source = if file.ends_with(".uir") {
+        SourceInput::IrText(text)
     } else {
-        compile_with(&source, level).map_err(|e| e.to_string())?
+        SourceInput::TinyC(text)
     };
-    let opts = RunOptions { input_seed: seed, ..Default::default() };
+
+    let mut pipe = Pipeline::new();
+    if let Some(n) = threads {
+        pipe = pipe.with_threads(n);
+    }
+    if !use_cache {
+        pipe = pipe.without_cache();
+    }
+    let options = PipelineOptions::from_config(config).at_level(level);
+    let analyze = |opts: PipelineOptions| -> Result<PipelineRun, String> {
+        let pr = pipe
+            .run(&file, source.clone(), opts)
+            .map_err(|e| e.to_string())?;
+        if report {
+            eprintln!("{}", pr.report.to_json_line());
+        }
+        Ok(pr)
+    };
+    let opts = RunOptions {
+        input_seed: seed,
+        ..Default::default()
+    };
 
     match cmd.as_str() {
         "run" => {
+            let module = pipe.compile(&source, &options).map_err(|e| e.to_string())?;
             let r = run(&module, None, &opts);
             for v in &r.trace {
                 println!("{v}");
@@ -108,73 +145,88 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::from(r.exit.unwrap_or(0).rem_euclid(256) as u8))
         }
         "check" => {
-            let out = run_config(&module, config);
-            let r = run(&module, Some(&out.plan), &opts);
+            let pr = analyze(options)?;
+            let r = run(&pr.module, Some(&pr.plan), &opts);
             for v in &r.trace {
                 println!("{v}");
             }
             for ev in &r.detected {
                 eprintln!(
                     "warning: use of an undefined value at {} in function {} ({:?})",
-                    ev.site,
-                    module.funcs[ev.site.func].name,
-                    ev.kind
+                    ev.site, pr.module.funcs[ev.site.func].name, ev.kind
                 );
                 if let Some(origin) = ev.origin {
                     eprintln!(
                         "    note: value originated at {} in function {}",
-                        origin,
-                        module.funcs[origin.func].name
+                        origin, pr.module.funcs[origin.func].name
                     );
                 }
             }
             eprintln!(
                 "[{}] {} propagation(s), {} check(s) planned; slowdown {:.0}% vs native",
-                out.plan.name,
-                out.plan.stats.propagations,
-                out.plan.stats.checks,
+                pr.plan.name,
+                pr.plan.stats.propagations,
+                pr.plan.stats.checks,
                 r.counters.slowdown_pct()
             );
             if let Some(t) = r.trap {
                 eprintln!("trap: {t:?}");
                 return Ok(ExitCode::from(3));
             }
-            Ok(if r.detected.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+            Ok(if r.detected.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
         }
         "analyze" => {
-            let out = run_config(&module, config);
-            println!("configuration : {}", out.plan.name);
-            println!("analysis time : {:.3}s", out.analysis_seconds);
-            if let Some(vfg) = &out.vfg {
+            let pr = analyze(options)?;
+            println!("configuration : {}", pr.plan.name);
+            println!("analysis time : {:.3}s", pr.report.total_seconds);
+            if let Some(vfg) = &pr.vfg {
                 println!("VFG nodes     : {}", vfg.len());
                 println!("checks        : {}", vfg.checks.len());
                 let s = vfg.stats;
                 println!(
                     "stores        : {} strong / {} semi-strong / {} weak-singleton / {} multi",
-                    s.strong_stores, s.semi_strong_stores, s.weak_singleton_stores, s.multi_target_stores
+                    s.strong_stores,
+                    s.semi_strong_stores,
+                    s.weak_singleton_stores,
+                    s.multi_target_stores
                 );
             }
-            if let Some(gamma) = &out.gamma {
+            if let Some(gamma) = &pr.gamma {
                 println!("bot nodes     : {}", gamma.bot_count());
             }
-            println!("plan          : {} ops, {} propagations, {} checks",
-                out.plan.stats.ops, out.plan.stats.propagations, out.plan.stats.checks);
-            if out.opt2_redirected > 0 {
-                println!("opt2          : {} node(s) redirected to T", out.opt2_redirected);
+            println!(
+                "plan          : {} ops, {} propagations, {} checks",
+                pr.plan.stats.ops, pr.plan.stats.propagations, pr.plan.stats.checks
+            );
+            if pr.opt2_redirected > 0 {
+                println!(
+                    "opt2          : {} node(s) redirected to T",
+                    pr.opt2_redirected
+                );
             }
             Ok(ExitCode::SUCCESS)
         }
         "ir" => {
+            let module = pipe.compile(&source, &options).map_err(|e| e.to_string())?;
             print!("{}", usher::ir::print_module(&module));
             Ok(ExitCode::SUCCESS)
         }
         "dis" => {
+            let module = pipe.compile(&source, &options).map_err(|e| e.to_string())?;
             print!("{}", usher::ir::write_text(&module));
             Ok(ExitCode::SUCCESS)
         }
         "vfg" => {
-            let (_pa, _ms, vfg) = analyze_module(&module, VfgMode::Full);
-            print!("{}", vfg.to_dot(&module));
+            let pr = analyze(options)?;
+            let vfg = pr
+                .vfg
+                .as_ref()
+                .ok_or("the msan config builds no VFG; pick a guided one")?;
+            print!("{}", vfg.to_dot(&pr.module));
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other}")),

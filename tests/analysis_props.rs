@@ -1,16 +1,16 @@
-//! Proptest-based invariants on the core data structures: dominator
+//! Property-style invariants on the core data structures: dominator
 //! trees over random CFGs, type layouts over random type trees, and
 //! definedness resolution monotonicity over random programs.
-
-use proptest::prelude::*;
+//!
+//! Random inputs come from the repo's own deterministic xorshift
+//! generator ([`usher::workloads::Rng`]) rather than an external
+//! property-testing crate, so the workspace builds with no network.
 
 use usher::core::resolve;
 use usher::frontend::compile_o0im;
-use usher::ir::{
-    Cfg, DomTree, FuncBuilder, Module, ObjKind, Operand, StructDef, Type, TypeId,
-};
+use usher::ir::{Cfg, DomTree, FuncBuilder, Module, ObjKind, Operand, StructDef, Type, TypeId};
 use usher::vfg::{analyze_module, VfgMode};
-use usher::workloads::{generate, GenConfig};
+use usher::workloads::{generate, GenConfig, Rng};
 
 // ---- random CFGs -> dominator invariants --------------------------------
 
@@ -36,7 +36,11 @@ fn build_cfg(n: usize, edges: &[(usize, usize)]) -> Module {
         match ss.as_slice() {
             [] => b.ret(None),
             [t] => b.jmp(usher::ir::BlockId(*t as u32)),
-            [t, e] => b.br(Operand::Const(1), usher::ir::BlockId(*t as u32), usher::ir::BlockId(*e as u32)),
+            [t, e] => b.br(
+                Operand::Const(1),
+                usher::ir::BlockId(*t as u32),
+                usher::ir::BlockId(*e as u32),
+            ),
             _ => unreachable!(),
         }
     }
@@ -44,14 +48,15 @@ fn build_cfg(n: usize, edges: &[(usize, usize)]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dominator_tree_invariants(
-        n in 2usize..12,
-        edges in prop::collection::vec((0usize..12, 0usize..12), 1..24),
-    ) {
+#[test]
+fn dominator_tree_invariants() {
+    let mut rng = Rng::new(0xd0c5);
+    for _case in 0..64 {
+        let n = 2 + rng.below(10);
+        let n_edges = 1 + rng.below(23);
+        let edges: Vec<(usize, usize)> = (0..n_edges)
+            .map(|_| (rng.below(12), rng.below(12)))
+            .collect();
         let m = build_cfg(n, &edges);
         let f = &m.funcs[usher::ir::FuncId(0)];
         let cfg = Cfg::compute(f);
@@ -59,28 +64,32 @@ proptest! {
         let entry = f.entry;
         for bb in cfg.rpo.iter().copied() {
             // Entry dominates every reachable block.
-            prop_assert!(dt.dominates(entry, bb));
+            assert!(dt.dominates(entry, bb), "n={n} edges={edges:?}");
             // Dominance is reflexive.
-            prop_assert!(dt.dominates(bb, bb));
+            assert!(dt.dominates(bb, bb));
             // The idom strictly dominates (except entry itself).
             if bb != entry {
                 let id = dt.idom[bb].expect("reachable block has an idom");
-                prop_assert!(dt.dominates(id, bb));
-                prop_assert!(id != bb);
+                assert!(dt.dominates(id, bb), "n={n} edges={edges:?}");
+                assert!(id != bb);
             }
         }
         // Unreachable blocks have no idom.
         for bb in f.blocks.indices() {
             if !cfg.is_reachable(bb) {
-                prop_assert!(dt.idom[bb].is_none() || bb == entry);
+                assert!(dt.idom[bb].is_none() || bb == entry);
             }
         }
     }
+}
 
-    #[test]
-    fn layout_classes_partition_cells(
-        fields in prop::collection::vec((0usize..3, 1u32..5), 1..6),
-    ) {
+#[test]
+fn layout_classes_partition_cells() {
+    let mut rng = Rng::new(0x1a10);
+    for _case in 0..64 {
+        let fields: Vec<(usize, u32)> = (0..1 + rng.below(5))
+            .map(|_| (rng.below(3), 1 + rng.below(4) as u32))
+            .collect();
         // Build a struct of ints / int-arrays / nested pairs.
         let mut m = Module::new();
         let int = m.types.int();
@@ -99,28 +108,37 @@ proptest! {
             .collect();
         let s = m.types.add_struct(StructDef {
             name: "S".into(),
-            fields: field_tys.iter().enumerate().map(|(i, t)| (format!("f{i}"), *t)).collect(),
+            fields: field_tys
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (format!("f{i}"), *t))
+                .collect(),
         });
         let sty = m.types.intern(Type::Struct(s));
         let layout = m.types.layout(sty);
 
         // Every cell has a class below num_classes.
-        prop_assert_eq!(layout.cells.len(), layout.classes.len());
+        assert_eq!(layout.cells.len(), layout.classes.len());
         for &c in &layout.classes {
-            prop_assert!(c < layout.num_classes);
+            assert!(c < layout.num_classes, "fields={fields:?}");
         }
         // Classes are contiguous runs per field and every class is
         // inhabited.
         for class in 0..layout.num_classes {
-            prop_assert!(layout.classes.contains(&class));
+            assert!(layout.classes.contains(&class), "fields={fields:?}");
         }
         // Size equals the sum of the field sizes.
         let expected: u32 = field_tys.iter().map(|t| m.types.size_in_cells(*t)).sum();
-        prop_assert_eq!(layout.size(), expected);
+        assert_eq!(layout.size(), expected, "fields={fields:?}");
     }
+}
 
-    #[test]
-    fn object_class_of_cell_is_total(kind in 0usize..3, len in 1u32..9) {
+#[test]
+fn object_class_of_cell_is_total() {
+    let mut rng = Rng::new(0xce11);
+    for _case in 0..64 {
+        let kind = rng.below(3);
+        let len = 1 + rng.below(8) as u32;
         let mut m = Module::new();
         let int = m.types.int();
         let ty = match kind {
@@ -138,7 +156,10 @@ proptest! {
         let od = &m.objects[o];
         for cell in 0..od.size * 2 {
             let class = od.class_of_cell(cell);
-            prop_assert!(class < od.num_classes, "cell {cell} class {class}");
+            assert!(
+                class < od.num_classes,
+                "kind {kind} len {len} cell {cell} class {class}"
+            );
         }
     }
 }

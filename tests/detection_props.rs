@@ -17,7 +17,10 @@ use usher::runtime::{run, RunOptions, RunResult};
 use usher::workloads::{generate, GenConfig};
 
 fn opts() -> RunOptions {
-    RunOptions { fuel: 2_000_000, ..Default::default() }
+    RunOptions {
+        fuel: 2_000_000,
+        ..Default::default()
+    }
 }
 
 fn run_seed(seed: u64) -> (Vec<(String, RunResult)>, RunResult, String) {
@@ -86,8 +89,14 @@ fn corpus_semantics_preserved_under_instrumentation() {
     for seed in 0..120u64 {
         let (runs, native, src) = run_seed(seed);
         for (name, r) in &runs {
-            assert_eq!(r.trace, native.trace, "seed {seed}: {name} changed output\n{src}");
-            assert_eq!(r.trap, native.trap, "seed {seed}: {name} changed termination\n{src}");
+            assert_eq!(
+                r.trace, native.trace,
+                "seed {seed}: {name} changed output\n{src}"
+            );
+            assert_eq!(
+                r.trap, native.trap,
+                "seed {seed}: {name} changed termination\n{src}"
+            );
         }
     }
 }
@@ -109,7 +118,11 @@ fn corpus_guided_cost_never_exceeds_full() {
 fn corpus_with_heavy_uninit_pressure() {
     // Crank the uninitialized-local probability: more real flows of
     // undefined values through the programs.
-    let cfg = GenConfig { uninit_pct: 70, helpers: 4, max_stmts: 8 };
+    let cfg = GenConfig {
+        uninit_pct: 70,
+        helpers: 4,
+        max_stmts: 8,
+    };
     for seed in 1000..1040u64 {
         let src = generate(seed, cfg);
         let m = compile_o0im(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
@@ -123,6 +136,10 @@ fn corpus_with_heavy_uninit_pressure() {
         );
         let u = run_config(&m, Config::USHER_TL_AT);
         let guided = run(&m, Some(&u.plan), &opts());
-        assert_eq!(guided.detected_sites(), full.detected_sites(), "seed {seed}\n{src}");
+        assert_eq!(
+            guided.detected_sites(),
+            full.detected_sites(),
+            "seed {seed}\n{src}"
+        );
     }
 }

@@ -73,8 +73,17 @@ fn guided_configs_detect_exactly_what_msan_detects() {
         // subset relation must hold.
         let usher = run_config(&m, Config::USHER);
         let r = run(&m, Some(&usher.plan), &opts());
-        assert!(r.detected_sites().is_subset(&full.detected_sites()), "{}", w.name);
-        assert_eq!(r.detected.is_empty(), full.detected.is_empty(), "{}", w.name);
+        assert!(
+            r.detected_sites().is_subset(&full.detected_sites()),
+            "{}",
+            w.name
+        );
+        assert_eq!(
+            r.detected.is_empty(),
+            full.detected.is_empty(),
+            "{}",
+            w.name
+        );
     }
 }
 

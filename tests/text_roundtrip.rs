@@ -11,8 +11,8 @@ fn workload_modules_round_trip() {
     for w in all_workloads(Scale::TEST) {
         let m = w.compile_o0im().expect(w.name);
         let text = write_text(&m);
-        let parsed = parse_text(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}\n--- text ---\n{text}", w.name));
+        let parsed =
+            parse_text(&text).unwrap_or_else(|e| panic!("{}: {e}\n--- text ---\n{text}", w.name));
         assert!(verify(&parsed).is_ok(), "{}: {:?}", w.name, verify(&parsed));
         let text2 = write_text(&parsed);
         assert_eq!(text, text2, "{}: reprint differs", w.name);
@@ -35,11 +35,18 @@ fn corpus_modules_round_trip() {
         let text = write_text(&m);
         let parsed = parse_text(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(write_text(&parsed), text, "seed {seed}");
-        let opts = RunOptions { fuel: 1_000_000, ..Default::default() };
+        let opts = RunOptions {
+            fuel: 1_000_000,
+            ..Default::default()
+        };
         let a = run(&m, None, &opts);
         let b = run(&parsed, None, &opts);
         assert_eq!(a.trace, b.trace, "seed {seed}");
-        assert_eq!(a.ground_truth_sites(), b.ground_truth_sites(), "seed {seed}");
+        assert_eq!(
+            a.ground_truth_sites(),
+            b.ground_truth_sites(),
+            "seed {seed}"
+        );
     }
 }
 
