@@ -1,0 +1,133 @@
+//! Pointer-analysis / resolution stage benchmark: before (the retained
+//! reference implementations) vs after (bitmap points-to sets, interned
+//! contexts, CSR traversal) over the workload-generator seed ladder.
+//!
+//! Emits one JSON object (the `BENCH_pointer_resolve.json` format) on
+//! stdout; `scripts/bench.sh` redirects it into the repo. Results are
+//! cross-checked in-process: both solver generations must agree on the
+//! points-to sets and the resolved `Bot` set before any time is reported.
+//!
+//! Usage: `stage_bench [--quick]` (`--quick` = fewer seeds, one timing
+//! iteration — the CI smoke path).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use usher_core::{resolve, resolve_reference};
+use usher_vfg::{build, build_memssa, VfgMode};
+use usher_workloads::{generate, GenConfig};
+
+/// One rung of the seed ladder: (generator seed, helpers, max stmts).
+const LADDER: &[(u64, usize, usize)] = &[
+    (11, 8, 8),
+    (23, 16, 10),
+    (37, 32, 12),
+    (53, 64, 12),
+    (71, 96, 14),
+    (97, 128, 14),
+    (131, 160, 14),
+];
+
+const CONTEXT_DEPTH: usize = 1;
+
+fn time_min<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (seeds, iters): (&[(u64, usize, usize)], usize) = if quick {
+        (&LADDER[..2], 1)
+    } else {
+        (LADDER, 5)
+    };
+
+    let mut workloads = String::new();
+    let mut largest: Option<(String, f64, f64)> = None;
+
+    for (i, &(seed, helpers, stmts)) in seeds.iter().enumerate() {
+        let cfg = GenConfig {
+            helpers,
+            max_stmts: stmts,
+            uninit_pct: 35,
+        };
+        let src = generate(seed, cfg);
+        let m = usher_frontend::compile_o0im(&src).expect("generated workloads compile");
+
+        // Correctness gate: the two solver generations must agree before
+        // their timings mean anything.
+        let pa = usher_pointer::analyze(&m);
+        let pa_ref = usher_pointer::analyze_reference(&m);
+        let ms = build_memssa(&m, &pa);
+        let g = build(&m, &pa, &ms, VfgMode::Full);
+        let gamma = resolve(&g, CONTEXT_DEPTH);
+        let gamma_ref = resolve_reference(&g, CONTEXT_DEPTH);
+        for v in 0..g.len() as u32 {
+            assert_eq!(
+                gamma.is_bot(v),
+                gamma_ref.is_bot(v),
+                "seed {seed}: resolver generations disagree at node {v}"
+            );
+        }
+        assert_eq!(
+            pa.call_graph.callees, pa_ref.call_graph.callees,
+            "seed {seed}: solver generations disagree on the call graph"
+        );
+
+        let t_pointer_before = time_min(iters, || usher_pointer::analyze_reference(&m));
+        let t_pointer_after = time_min(iters, || usher_pointer::analyze(&m));
+        let t_resolve_before = time_min(iters, || resolve_reference(&g, CONTEXT_DEPTH));
+        let t_resolve_after = time_min(iters, || resolve(&g, CONTEXT_DEPTH));
+
+        let p_speedup = t_pointer_before / t_pointer_after.max(1e-9);
+        let r_speedup = t_resolve_before / t_resolve_after.max(1e-9);
+        let name = format!("gen-{seed}");
+        let _ = write!(
+            workloads,
+            "{}{{\"name\":\"{name}\",\"seed\":{seed},\"helpers\":{helpers},\"source_bytes\":{},\"vfg_nodes\":{},\
+             \"pointer\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
+             \"resolve\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
+             \"solver\":{{\"nodes\":{},\"interned_targets\":{},\"pops\":{},\"merges\":{},\"peak_pts_words\":{}}},\
+             \"contexts\":{},\"visited_states\":{},\"bot_nodes\":{}}}",
+            if i > 0 { "," } else { "" },
+            src.len(),
+            g.len(),
+            t_pointer_before * 1e3,
+            t_pointer_after * 1e3,
+            p_speedup,
+            t_resolve_before * 1e3,
+            t_resolve_after * 1e3,
+            r_speedup,
+            pa.stats.nodes,
+            pa.stats.interned_targets,
+            pa.stats.pops,
+            pa.stats.merges,
+            pa.stats.peak_pts_words,
+            gamma.stats.interned_contexts,
+            gamma.stats.visited_states,
+            gamma.bot_count(),
+        );
+        largest = Some((name, p_speedup, r_speedup));
+        eprintln!(
+            "seed={seed} helpers={helpers} nodes={} pointer {:.2}ms -> {:.2}ms ({p_speedup:.2}x) resolve {:.2}ms -> {:.2}ms ({r_speedup:.2}x)",
+            g.len(),
+            t_pointer_before * 1e3,
+            t_pointer_after * 1e3,
+            t_resolve_before * 1e3,
+            t_resolve_after * 1e3,
+        );
+    }
+
+    let (lname, lp, lr) = largest.expect("at least one seed");
+    println!(
+        "{{\"bench\":\"pointer_resolve\",\"quick\":{quick},\"iters\":{iters},\"context_depth\":{CONTEXT_DEPTH},\
+         \"workloads\":[{workloads}],\
+         \"largest\":{{\"name\":\"{lname}\",\"pointer_speedup\":{lp:.2},\"resolve_speedup\":{lr:.2}}}}}"
+    );
+}

@@ -123,11 +123,12 @@ pub fn resolve_merged(vfg: &Vfg, k: usize) -> (Gamma, MergeStats) {
         }
     }
     let f_class = class[vfg.f_root as usize];
-    let bot_classes = resolve_graph(&users, f_class, nclasses, k);
+    let users = usher_vfg::Csr::from_adjacency(&users);
+    let (bot_classes, rstats) = resolve_graph(&users, f_class, k);
 
     let bot: Vec<bool> = (0..n).map(|v| bot_classes[class[v] as usize]).collect();
     (
-        Gamma::from_bot(bot, k),
+        Gamma::from_bot_with_stats(bot, k, rstats),
         MergeStats {
             nodes: n,
             classes: nclasses,

@@ -6,11 +6,18 @@
 //! call site, exit through another) are ruled out. The paper configures
 //! 1-call-site sensitivity; the depth is a parameter here (0 recovers a
 //! context-insensitive analysis, useful as an ablation).
+//!
+//! The engine walks the `users` adjacency in CSR form and interns the
+//! k-limited contexts into a dense `u32` space ([`CtxTable`]): push/pop
+//! become table lookups, and the visited set is a per-node bitset indexed
+//! by `CtxId` — no per-edge allocation or hashing. The original
+//! clone-and-hash engine is retained as [`resolve_reference`] for the
+//! representation-equivalence tests and `scripts/bench.sh`.
 
 use std::collections::HashSet;
 
-use usher_ir::Site;
-use usher_vfg::{EdgeKind, Vfg};
+use usher_ir::{FxHashMap, Site};
+use usher_vfg::{Csr, EdgeKind, Vfg};
 
 /// The definedness state of a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,12 +28,23 @@ pub enum Definedness {
     Bot,
 }
 
+/// Counters from one resolution run (threaded into driver telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// Distinct k-limited contexts interned.
+    pub interned_contexts: usize,
+    /// `(node, context)` states visited.
+    pub visited_states: usize,
+}
+
 /// The resolved `Gamma` map.
 #[derive(Clone, Debug)]
 pub struct Gamma {
     bot: Vec<bool>,
     /// Context depth used.
     pub context_depth: usize,
+    /// Resolution counters.
+    pub stats: ResolveStats,
 }
 
 impl Gamma {
@@ -58,11 +76,238 @@ impl Gamma {
     pub fn is_empty(&self) -> bool {
         self.bot.is_empty()
     }
+
+    /// Builds a `Gamma` from a raw bot vector (used by the merged
+    /// resolution path).
+    pub fn from_bot(bot: Vec<bool>, context_depth: usize) -> Gamma {
+        Gamma {
+            bot,
+            context_depth,
+            stats: ResolveStats::default(),
+        }
+    }
+
+    /// Like [`Gamma::from_bot`] but keeps the engine's counters.
+    pub fn from_bot_with_stats(bot: Vec<bool>, context_depth: usize, stats: ResolveStats) -> Gamma {
+        Gamma {
+            bot,
+            context_depth,
+            stats,
+        }
+    }
 }
 
-/// A k-limited calling context: the most recent unmatched call sites.
-/// `overflowed` records that older entries were dropped, after which
-/// returns become unconstrained (sound over-approximation).
+/// Interned k-limited calling contexts.
+///
+/// A context is a stack of at most `k` unmatched call sites plus an
+/// `overflowed` bit recording that older entries were dropped (after
+/// which returns become unconstrained — sound over-approximation).
+/// Contexts are deduplicated into dense `u32` ids; push results are
+/// memoized per `(ctx, site)` and pop results per ctx (a pop only
+/// depends on the stack top).
+struct CtxTable {
+    /// id -> (stack, overflowed).
+    entries: Vec<(Vec<Site>, bool)>,
+    ids: FxHashMap<(Vec<Site>, bool), u32>,
+    push_cache: FxHashMap<(u32, Site), u32>,
+    /// id -> id of the context with the top popped (for a matching top).
+    pop_cache: Vec<Option<u32>>,
+    k: usize,
+}
+
+impl CtxTable {
+    fn new(k: usize) -> CtxTable {
+        let mut t = CtxTable {
+            entries: Vec::new(),
+            ids: FxHashMap::default(),
+            push_cache: FxHashMap::default(),
+            pop_cache: Vec::new(),
+            k,
+        };
+        t.intern(Vec::new(), false);
+        t
+    }
+
+    /// The empty context.
+    fn empty(&self) -> u32 {
+        0
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn intern(&mut self, stack: Vec<Site>, overflowed: bool) -> u32 {
+        if let Some(&id) = self.ids.get(&(stack.clone(), overflowed)) {
+            return id;
+        }
+        let id = self.entries.len() as u32;
+        self.entries.push((stack.clone(), overflowed));
+        self.ids.insert((stack, overflowed), id);
+        self.pop_cache.push(None);
+        id
+    }
+
+    /// Entering a callee through `site`.
+    fn push(&mut self, ctx: u32, site: Site) -> u32 {
+        if let Some(&id) = self.push_cache.get(&(ctx, site)) {
+            return id;
+        }
+        let (stack, overflowed) = &self.entries[ctx as usize];
+        let id = if self.k == 0 {
+            let stack = stack.clone();
+            self.intern(stack, true)
+        } else {
+            let mut stack = stack.clone();
+            let mut overflowed = *overflowed;
+            stack.push(site);
+            if stack.len() > self.k {
+                stack.remove(0);
+                overflowed = true;
+            }
+            self.intern(stack, overflowed)
+        };
+        self.push_cache.insert((ctx, site), id);
+        id
+    }
+
+    /// Leaving a callee through `site`; `None` when the return is
+    /// unrealizable in this context.
+    fn pop(&mut self, ctx: u32, site: Site) -> Option<u32> {
+        let (stack, overflowed) = &self.entries[ctx as usize];
+        match stack.last() {
+            Some(&top) if top == site => {
+                if let Some(id) = self.pop_cache[ctx as usize] {
+                    return Some(id);
+                }
+                let mut stack = stack.clone();
+                let overflowed = *overflowed;
+                stack.pop();
+                let id = self.intern(stack, overflowed);
+                self.pop_cache[ctx as usize] = Some(id);
+                Some(id)
+            }
+            Some(_) => None, // mismatched return: unrealizable
+            None => {
+                // Nothing tracked: either we overflowed (permissive) or
+                // the value originated inside the callee (partially
+                // balanced path) — both allowed.
+                Some(ctx)
+            }
+        }
+    }
+}
+
+/// Per-node visited bitsets indexed by `CtxId`, stored as one flat
+/// strided buffer (one allocation, grown only when the context count
+/// crosses a 64-multiple).
+struct Visited {
+    words: Vec<u64>,
+    /// Words per node.
+    stride: usize,
+    n: usize,
+    states: usize,
+}
+
+impl Visited {
+    fn new(n: usize) -> Visited {
+        Visited {
+            words: vec![0u64; n],
+            stride: 1,
+            n,
+            states: 0,
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self, need: usize) {
+        let new_stride = need.next_power_of_two();
+        let mut new_words = vec![0u64; self.n * new_stride];
+        for v in 0..self.n {
+            new_words[v * new_stride..v * new_stride + self.stride]
+                .copy_from_slice(&self.words[v * self.stride..(v + 1) * self.stride]);
+        }
+        self.words = new_words;
+        self.stride = new_stride;
+    }
+
+    /// Marks `(node, ctx)`; returns whether it was new.
+    #[inline]
+    fn insert(&mut self, node: u32, ctx: u32) -> bool {
+        let wi = (ctx / 64) as usize;
+        if wi >= self.stride {
+            self.grow(wi + 1);
+        }
+        let w = &mut self.words[node as usize * self.stride + wi];
+        let mask = 1u64 << (ctx % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.states += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Resolves definedness over the VFG with `k`-call-site context
+/// sensitivity (the paper uses `k = 1`).
+pub fn resolve(vfg: &Vfg, k: usize) -> Gamma {
+    let users = vfg.users_csr();
+    let (bot, stats) = resolve_graph(users, vfg.f_root, k);
+    Gamma {
+        bot,
+        context_depth: k,
+        stats,
+    }
+}
+
+/// The underlying reachability engine: given forward (flows-to) adjacency
+/// `users` in CSR form, marks every node reachable from `f_root` under
+/// partially balanced, `k`-limited call/return matching. Exposed so
+/// clients (e.g. access-equivalence merging) can resolve quotient graphs.
+pub fn resolve_graph(users: &Csr, f_root: u32, k: usize) -> (Vec<bool>, ResolveStats) {
+    let n = users.len();
+    let mut bot = vec![false; n];
+    let mut ctxs = CtxTable::new(k);
+    let mut visited = Visited::new(n);
+    let mut work: Vec<(u32, u32)> = Vec::new();
+
+    let empty = ctxs.empty();
+    visited.insert(f_root, empty);
+    work.push((f_root, empty));
+    bot[f_root as usize] = true;
+
+    while let Some((node, ctx)) = work.pop() {
+        // Flow to every user (a node that depends on `node`).
+        for (user, kind) in users.edges(node) {
+            let next_ctx = match kind {
+                EdgeKind::Direct => ctx,
+                // user = callee formal, node = caller actual: entering.
+                EdgeKind::Call(site) => ctxs.push(ctx, site),
+                // user = caller result, node = callee return: leaving.
+                EdgeKind::Ret(site) => match ctxs.pop(ctx, site) {
+                    Some(c) => c,
+                    None => continue,
+                },
+            };
+            if visited.insert(user, next_ctx) {
+                bot[user as usize] = true;
+                work.push((user, next_ctx));
+            }
+        }
+    }
+    let stats = ResolveStats {
+        interned_contexts: ctxs.len(),
+        visited_states: visited.states,
+    };
+    (bot, stats)
+}
+
+// ---- reference engine (pre-overhaul), kept for equivalence/bench ---------
+
+/// A k-limited calling context as an owned stack (the reference engine's
+/// representation; the production engine interns these).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct Ctx {
     stack: Vec<Site>,
@@ -96,32 +341,30 @@ impl Ctx {
         let mut c = self.clone();
         match c.stack.pop() {
             Some(top) if top == site => Some(c),
-            Some(_) => None, // mismatched return: unrealizable
-            None => {
-                // Nothing tracked: either we overflowed (permissive) or
-                // the value originated inside the callee (partially
-                // balanced path) — both allowed.
-                Some(c)
-            }
+            Some(_) => None,
+            None => Some(c),
         }
     }
 }
 
-/// Resolves definedness over the VFG with `k`-call-site context
-/// sensitivity (the paper uses `k = 1`).
-pub fn resolve(vfg: &Vfg, k: usize) -> Gamma {
-    let bot = resolve_graph(&vfg.users, vfg.f_root, vfg.nodes.len(), k);
+/// The original clone-and-hash resolution engine, kept as the oracle for
+/// the interned/CSR engine. Semantics are frozen; do not optimize.
+pub fn resolve_reference(vfg: &Vfg, k: usize) -> Gamma {
+    let bot = resolve_graph_reference(&vfg.users, vfg.f_root, vfg.nodes.len(), k);
     Gamma {
         bot,
         context_depth: k,
+        stats: ResolveStats::default(),
     }
 }
 
-/// The underlying reachability engine: given forward (flows-to) adjacency
-/// `users`, marks every node reachable from `f_root` under partially
-/// balanced, `k`-limited call/return matching. Exposed so clients (e.g.
-/// access-equivalence merging) can resolve quotient graphs.
-pub fn resolve_graph(users: &[Vec<(u32, EdgeKind)>], f_root: u32, n: usize, k: usize) -> Vec<bool> {
+/// Reference counterpart of [`resolve_graph`] over plain adjacency lists.
+pub fn resolve_graph_reference(
+    users: &[Vec<(u32, EdgeKind)>],
+    f_root: u32,
+    n: usize,
+    k: usize,
+) -> Vec<bool> {
     let mut bot = vec![false; n];
     let mut visited: HashSet<(u32, Ctx)> = HashSet::new();
     let mut work: Vec<(u32, Ctx)> = Vec::new();
@@ -132,13 +375,10 @@ pub fn resolve_graph(users: &[Vec<(u32, EdgeKind)>], f_root: u32, n: usize, k: u
     bot[f_root as usize] = true;
 
     while let Some((node, ctx)) = work.pop() {
-        // Flow to every user (a node that depends on `node`).
         for &(user, kind) in &users[node as usize] {
             let next_ctx = match kind {
                 EdgeKind::Direct => Some(ctx.clone()),
-                // user = callee formal, node = caller actual: entering.
                 EdgeKind::Call(site) => Some(ctx.push(site, k)),
-                // user = caller result, node = callee return: leaving.
                 EdgeKind::Ret(site) => ctx.pop(site),
             };
             let Some(next_ctx) = next_ctx else { continue };
@@ -150,14 +390,6 @@ pub fn resolve_graph(users: &[Vec<(u32, EdgeKind)>], f_root: u32, n: usize, k: u
         }
     }
     bot
-}
-
-impl Gamma {
-    /// Builds a `Gamma` from a raw bot vector (used by the merged
-    /// resolution path).
-    pub fn from_bot(bot: Vec<bool>, context_depth: usize) -> Gamma {
-        Gamma { bot, context_depth }
-    }
 }
 
 #[cfg(test)]
@@ -354,5 +586,41 @@ mod tests {
             assert_eq!(gamma.of(n), Definedness::Top);
         }
         let _ = FuncId(0).index();
+    }
+
+    #[test]
+    fn interned_engine_matches_reference_across_depths() {
+        let src = "
+            def id(int x) -> int { return x; }
+            def pass(int y) -> int { return id(y); }
+            def main() -> int {
+                int u;
+                int a = pass(u);
+                int b = pass(3);
+                int *p;
+                p = malloc(2);
+                *p = a;
+                return b + *p;
+            }";
+        let m = compile_o0im(src).expect("compiles");
+        let (_pa, _ms, g) = analyze_module(&m, VfgMode::Full);
+        for k in 0..4 {
+            let fast = resolve(&g, k);
+            let slow = resolve_reference(&g, k);
+            for v in 0..g.len() as u32 {
+                assert_eq!(fast.is_bot(v), slow.is_bot(v), "node {v} at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_stats_are_populated() {
+        let (_m, _g, gamma) = gamma_for(
+            "def id(int x) -> int { return x; }
+             def main() { int u; print(id(u)); }",
+            1,
+        );
+        assert!(gamma.stats.interned_contexts >= 1);
+        assert!(gamma.stats.visited_states >= 1);
     }
 }

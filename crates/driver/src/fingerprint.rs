@@ -61,7 +61,7 @@ pub fn gamma_fingerprint(g: &Gamma) -> String {
             nibble = 0;
         }
     }
-    if g.len() % 4 != 0 {
+    if !g.len().is_multiple_of(4) {
         nibble <<= 4 - g.len() % 4;
         let _ = write!(s, "{nibble:x}");
     }

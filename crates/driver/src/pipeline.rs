@@ -520,6 +520,8 @@ impl Pipeline {
             vfg_nodes: vfg.as_ref().map_or(0, |v| v.len()),
             bot_nodes: gamma.as_ref().map_or(0, |g| g.bot_count()),
             opt2_redirected,
+            solver_stats: pa.as_ref().map(|p| p.stats).unwrap_or_default(),
+            resolve_stats: gamma.as_ref().map(|g| g.stats).unwrap_or_default(),
         };
 
         Ok(PipelineRun {

@@ -3,7 +3,8 @@
 
 use std::fmt::Write as _;
 
-use usher_core::PlanStats;
+use usher_core::{PlanStats, ResolveStats};
+use usher_pointer::SolverStats;
 use usher_vfg::VfgStats;
 
 /// A stage of the analysis pipeline, in execution order.
@@ -87,6 +88,12 @@ pub struct PipelineReport {
     pub bot_nodes: usize,
     /// Nodes redirected to `T` by Opt II.
     pub opt2_redirected: usize,
+    /// Pointer-solver counters (pops, merges, interned targets, peak pts
+    /// words); zero when the stage was served from cache or skipped.
+    pub solver_stats: SolverStats,
+    /// Resolution counters (interned contexts, visited states); zero when
+    /// served from cache or skipped.
+    pub resolve_stats: ResolveStats,
 }
 
 /// Escapes a string for inclusion in JSON output.
@@ -153,7 +160,7 @@ impl PipelineReport {
         );
         let _ = write!(
             s,
-            ",\"vfg\":{{\"nodes\":{},\"bot\":{},\"opt2_redirected\":{},\"strong_stores\":{},\"semi_strong_stores\":{},\"weak_singleton_stores\":{},\"multi_target_stores\":{}}}}}",
+            ",\"vfg\":{{\"nodes\":{},\"bot\":{},\"opt2_redirected\":{},\"strong_stores\":{},\"semi_strong_stores\":{},\"weak_singleton_stores\":{},\"multi_target_stores\":{}}}",
             self.vfg_nodes,
             self.bot_nodes,
             self.opt2_redirected,
@@ -161,6 +168,20 @@ impl PipelineReport {
             self.vfg_stats.semi_strong_stores,
             self.vfg_stats.weak_singleton_stores,
             self.vfg_stats.multi_target_stores,
+        );
+        let _ = write!(
+            s,
+            ",\"solver\":{{\"nodes\":{},\"interned_targets\":{},\"pops\":{},\"merges\":{},\"peak_pts_words\":{}}}",
+            self.solver_stats.nodes,
+            self.solver_stats.interned_targets,
+            self.solver_stats.pops,
+            self.solver_stats.merges,
+            self.solver_stats.peak_pts_words,
+        );
+        let _ = write!(
+            s,
+            ",\"resolve\":{{\"interned_contexts\":{},\"visited_states\":{}}}}}",
+            self.resolve_stats.interned_contexts, self.resolve_stats.visited_states,
         );
         s
     }

@@ -92,8 +92,10 @@ const FRONTEND: [Stage; 5] = [
 
 #[test]
 fn flipping_opt1_recomputes_only_instrumentation() {
-    let mut g = GuidedKnobs::default();
-    g.opt1 = false;
+    let g = GuidedKnobs {
+        opt1: false,
+        ..Default::default()
+    };
     let run = warm_then(PipelineOptions {
         guided: Some(g),
         ..Default::default()
@@ -121,8 +123,10 @@ fn flipping_bit_level_recomputes_only_instrumentation() {
 
 #[test]
 fn flipping_opt2_recomputes_resolution_onward() {
-    let mut g = GuidedKnobs::default();
-    g.opt2 = false;
+    let g = GuidedKnobs {
+        opt2: false,
+        ..Default::default()
+    };
     let run = warm_then(PipelineOptions {
         guided: Some(g),
         ..Default::default()
@@ -135,8 +139,10 @@ fn flipping_opt2_recomputes_resolution_onward() {
 
 #[test]
 fn changing_context_depth_recomputes_resolution_onward() {
-    let mut g = GuidedKnobs::default();
-    g.context_depth = 2;
+    let g = GuidedKnobs {
+        context_depth: 2,
+        ..Default::default()
+    };
     let run = warm_then(PipelineOptions {
         guided: Some(g),
         ..Default::default()
@@ -149,8 +155,10 @@ fn changing_context_depth_recomputes_resolution_onward() {
 
 #[test]
 fn flipping_semi_strong_recomputes_vfg_onward() {
-    let mut g = GuidedKnobs::default();
-    g.semi_strong = false;
+    let g = GuidedKnobs {
+        semi_strong: false,
+        ..Default::default()
+    };
     let run = warm_then(PipelineOptions {
         guided: Some(g),
         ..Default::default()

@@ -36,6 +36,7 @@
 pub mod builder;
 pub mod cfg;
 pub mod dom;
+pub mod fxhash;
 pub mod ids;
 pub mod inline;
 pub mod module;
@@ -49,6 +50,7 @@ pub mod verify;
 pub use builder::FuncBuilder;
 pub use cfg::Cfg;
 pub use dom::DomTree;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{BlockId, FuncId, Idx, IdxVec, ObjId, StructId, TypeId, VarId};
 pub use inline::{run_inline, InlinePolicy, InlineStats};
 pub use module::{

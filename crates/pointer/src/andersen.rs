@@ -1,10 +1,22 @@
 //! The Andersen-style inclusion solver.
+//!
+//! Points-to targets are interned into a dense `u32` space and each
+//! node's set is a hybrid sparse/dense bitmap ([`crate::pts::PtsSet`]),
+//! so difference propagation and SCC merges are bitwise
+//! union-with-difference instead of per-element `BTreeSet` inserts. The
+//! periodic Tarjan cycle collapse runs over a CSR snapshot of the
+//! copy-edge graph. The original `BTreeSet`-based solver is retained in
+//! [`crate::reference`] as the equivalence/benchmark baseline.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
-use usher_ir::{Callee, FuncId, GepOffset, Inst, Module, ObjId, Operand, Site, Terminator, VarId};
+use usher_ir::{
+    Callee, FuncId, FxHashMap, FxHashSet, GepOffset, Idx, Inst, Module, ObjId, Operand, Site,
+    Terminator, VarId,
+};
 
 use crate::callgraph::{CallGraph, LoopInfo};
+use crate::pts::PtsSet;
 
 /// A points-to target: a field of an abstract object, identified by its
 /// canonical (representative) cell — the first cell of its field class.
@@ -16,29 +28,33 @@ pub struct Loc {
     pub field: u32,
 }
 
-/// Solver node kinds.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Node {
-    /// A top-level variable.
-    Var(FuncId, VarId),
-    /// The contents of an abstract memory field.
-    Mem(Loc),
-    /// A function's return value.
-    Ret(FuncId),
-}
-
 /// Points-to targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-enum Target {
+pub(crate) enum Target {
     Loc(Loc),
     Func(FuncId),
+}
+
+/// Counters from one solver run (threaded into driver telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Solver nodes created (variables, memory fields, returns).
+    pub nodes: usize,
+    /// Distinct points-to targets interned.
+    pub interned_targets: usize,
+    /// Worklist pops until the fixpoint.
+    pub pops: usize,
+    /// Union-find merges performed by cycle collapsing.
+    pub merges: usize,
+    /// Peak 64-bit words held by all points-to sets at once.
+    pub peak_pts_words: usize,
 }
 
 /// The result of [`analyze`].
 #[derive(Clone, Debug)]
 pub struct PointerAnalysis {
-    var_pts: HashMap<(FuncId, VarId), Vec<Target>>,
-    mem_pts: HashMap<Loc, Vec<Target>>,
+    pub(crate) var_pts: HashMap<(FuncId, VarId), Vec<Target>>,
+    pub(crate) mem_pts: HashMap<Loc, Vec<Target>>,
     /// The resolved call graph (direct + indirect).
     pub call_graph: CallGraph,
     /// Per-function loop info (reused by VFG construction and Opt II).
@@ -47,9 +63,11 @@ pub struct PointerAnalysis {
     /// strong updates when additionally single-cell).
     pub concrete_objects: HashSet<ObjId>,
     /// Per-object: class representative of every cell.
-    reps: HashMap<ObjId, Vec<u32>>,
+    pub(crate) reps: FxHashMap<ObjId, Vec<u32>>,
     /// Per-object: whether each class rep covers exactly one cell.
-    single_cell: HashMap<Loc, bool>,
+    pub(crate) single_cell: FxHashMap<Loc, bool>,
+    /// Solver counters.
+    pub stats: SolverStats,
 }
 
 impl PointerAnalysis {
@@ -167,7 +185,115 @@ pub fn analyze(m: &Module) -> PointerAnalysis {
     s.finish()
 }
 
-#[derive(Clone, Debug)]
+/// Cell-class representatives per object, shared by both solvers.
+pub(crate) fn object_reps(m: &Module) -> FxHashMap<ObjId, Vec<u32>> {
+    let mut reps = FxHashMap::default();
+    for (oid, o) in m.objects.iter_enumerated() {
+        // rep[cell] = first cell with the same class.
+        let mut first: HashMap<u32, u32> = HashMap::new();
+        let mut r = Vec::with_capacity(o.field_classes.len());
+        for (cell, &class) in o.field_classes.iter().enumerate() {
+            let rep = *first.entry(class).or_insert(cell as u32);
+            r.push(rep);
+        }
+        if r.is_empty() {
+            r.push(0);
+        }
+        reps.insert(oid, r);
+    }
+    reps
+}
+
+/// Shared finalization: concreteness, single-cell classes, call-graph
+/// derived info. Used by both the bitmap solver and the reference one so
+/// their outputs agree field for field.
+pub(crate) fn finish_analysis(
+    m: &Module,
+    mut cg: CallGraph,
+    reps: FxHashMap<ObjId, Vec<u32>>,
+    var_pts: HashMap<(FuncId, VarId), Vec<Target>>,
+    mem_pts: HashMap<Loc, Vec<Target>>,
+    stats: SolverStats,
+) -> PointerAnalysis {
+    let loops: HashMap<FuncId, LoopInfo> = m
+        .funcs
+        .iter_enumerated()
+        .map(|(f, func)| (f, LoopInfo::compute(func)))
+        .collect();
+    cg.finalize(m, &loops);
+
+    // Concrete objects: allocation executes at most once. One pass over
+    // the module records each object's first allocation block, then each
+    // object is decided in O(1) (the per-object block scan was quadratic
+    // in allocation-heavy modules).
+    let mut alloc_block: FxHashMap<ObjId, usher_ir::BlockId> = FxHashMap::default();
+    for (_f, func) in m.funcs.iter_enumerated() {
+        for (bb, block) in func.blocks.iter_enumerated() {
+            for inst in &block.insts {
+                if let Inst::Alloc { obj, .. } = inst {
+                    alloc_block.entry(*obj).or_insert(bb);
+                }
+            }
+        }
+    }
+    let mut concrete = HashSet::new();
+    for (oid, o) in m.objects.iter_enumerated() {
+        match o.kind {
+            usher_ir::ObjKind::Global => {
+                concrete.insert(oid);
+            }
+            usher_ir::ObjKind::Stack(f) | usher_ir::ObjKind::Heap(f) => {
+                if !cg.runs_once.contains(&f) || cg.recursive.contains(&f) {
+                    continue;
+                }
+                if let Some(&bb) = alloc_block.get(&oid) {
+                    if !loops[&f].in_loop(bb) {
+                        concrete.insert(oid);
+                    }
+                }
+            }
+        }
+    }
+
+    // Single-cell classes. A rep is always a cell index of its own
+    // object, so counting into a dense scratch vector replaces the
+    // per-object hash map.
+    let mut single_cell: FxHashMap<Loc, bool> = FxHashMap::default();
+    let mut counts: Vec<u32> = Vec::new();
+    for (oid, o) in m.objects.iter_enumerated() {
+        let object_reps = &reps[&oid];
+        counts.clear();
+        counts.resize(object_reps.len(), 0);
+        for &r in object_reps {
+            counts[r as usize] += 1;
+        }
+        let dynamic = o.is_array;
+        for (cell, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                single_cell.insert(
+                    Loc {
+                        obj: oid,
+                        field: cell as u32,
+                    },
+                    count == 1 && !dynamic,
+                );
+            }
+        }
+    }
+
+    PointerAnalysis {
+        var_pts,
+        mem_pts,
+        call_graph: cg,
+        loops,
+        concrete_objects: concrete,
+        reps,
+        single_cell,
+        stats,
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
 enum GepKind {
     Field(u32),
     Dynamic,
@@ -175,28 +301,50 @@ enum GepKind {
 
 struct Solver<'m> {
     m: &'m Module,
-    node_ids: HashMap<Node, u32>,
-    nodes: Vec<Node>,
+    /// Dense node layout: `[vars per function | returns | memory cells]`.
+    /// Every possible node has a precomputed id, so node resolution is
+    /// pure arithmetic and all per-node tables are allocated exactly once.
+    var_base: Vec<u32>,
+    ret_base: u32,
+    mem_base: u32,
+    obj_base: Vec<u32>,
+    n_nodes: usize,
     parent: Vec<u32>,
-    pts: Vec<BTreeSet<Target>>,
-    delta: Vec<Vec<Target>>,
-    copy_succs: Vec<BTreeSet<u32>>,
+    /// Interned targets: id -> payload.
+    targets: Vec<Target>,
+    target_ids: FxHashMap<Target, u32>,
+    /// Points-to sets over interned target ids.
+    pts: Vec<PtsSet>,
+    /// Pending difference per node (unique ids, each also in `pts`).
+    delta: Vec<Vec<u32>>,
+    /// Copy successors as sorted id vectors.
+    copy_succs: Vec<Vec<u32>>,
     /// On new Loc in pts(n): add copy edge Mem(loc) -> dst.
-    load_cons: Vec<Vec<u32>>,
+    load_cons: ConsArena<u32>,
     /// On new Loc in pts(n): add copy edge src -> Mem(loc).
-    store_cons: Vec<Vec<StoreSrc>>,
+    store_cons: ConsArena<StoreSrc>,
     /// On new Loc in pts(n): add shifted target to dst.
-    gep_cons: Vec<Vec<(GepKind, u32)>>,
+    gep_cons: ConsArena<(GepKind, u32)>,
     /// On new Func in pts(n): wire the call at this site.
-    call_cons: Vec<Vec<Site>>,
-    /// (site, args, dst) info for indirect wiring.
-    site_info: HashMap<Site, (Vec<Operand>, Option<VarId>)>,
-    wired: HashSet<(Site, FuncId)>,
+    call_cons: ConsArena<Site>,
+    /// Flat arena of call-site argument operands; sites store ranges.
+    call_args: Vec<Operand>,
+    /// (args range, dst) per call site, for (indirect) wiring.
+    site_info: FxHashMap<Site, (u32, u32, Option<VarId>)>,
+    wired: FxHashSet<(Site, FuncId)>,
     worklist: VecDeque<u32>,
     in_wl: Vec<bool>,
     cg: CallGraph,
-    reps: HashMap<ObjId, Vec<u32>>,
+    reps: FxHashMap<ObjId, Vec<u32>>,
+    /// Reusable snapshot buffer (cuts transient allocations on the
+    /// constraint-replay paths).
+    scratch: Vec<u32>,
+    /// Reusable union-difference buffer.
+    fresh_buf: Vec<u32>,
     pops: usize,
+    merges: usize,
+    cur_words: usize,
+    peak_words: usize,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -205,60 +353,158 @@ enum StoreSrc {
     Const(Target),
 }
 
-impl<'m> Solver<'m> {
-    fn new(m: &'m Module) -> Self {
-        let mut reps = HashMap::new();
-        for (oid, o) in m.objects.iter_enumerated() {
-            // rep[cell] = first cell with the same class.
-            let mut first: HashMap<u32, u32> = HashMap::new();
-            let mut r = Vec::with_capacity(o.field_classes.len());
-            for (cell, &class) in o.field_classes.iter().enumerate() {
-                let rep = *first.entry(class).or_insert(cell as u32);
-                r.push(rep);
-            }
-            if r.is_empty() {
-                r.push(0);
-            }
-            reps.insert(oid, r);
-        }
-        Solver {
-            m,
-            node_ids: HashMap::new(),
-            nodes: Vec::new(),
-            parent: Vec::new(),
-            pts: Vec::new(),
-            delta: Vec::new(),
-            copy_succs: Vec::new(),
-            load_cons: Vec::new(),
-            store_cons: Vec::new(),
-            gep_cons: Vec::new(),
-            call_cons: Vec::new(),
-            site_info: HashMap::new(),
-            wired: HashSet::new(),
-            worklist: VecDeque::new(),
-            in_wl: Vec::new(),
-            cg: CallGraph::default(),
-            reps,
-            pops: 0,
+/// List terminator sentinel for [`ConsArena`].
+const NIL: u32 = u32::MAX;
+
+/// Per-node constraint lists stored as singly linked chains in one flat
+/// arena. Compared to a `Vec<Vec<T>>` over every node this needs three
+/// allocations total (instead of one per non-empty node), appends and
+/// SCC-merge concatenations are O(1), and teardown frees three blocks.
+/// Lists preserve append order; `concat(a, b)` appends b's chain to a's.
+struct ConsArena<T> {
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    /// `(payload, next-index)`; `NIL` terminates a chain.
+    items: Vec<(T, u32)>,
+}
+
+impl<T: Copy> ConsArena<T> {
+    fn new(n: usize) -> Self {
+        ConsArena {
+            head: vec![NIL; n],
+            tail: vec![NIL; n],
+            items: Vec::new(),
         }
     }
 
-    fn node(&mut self, n: Node) -> u32 {
-        if let Some(&id) = self.node_ids.get(&n) {
-            return self.find(id);
+    #[inline]
+    fn push(&mut self, n: u32, item: T) {
+        let id = self.items.len() as u32;
+        self.items.push((item, NIL));
+        let n = n as usize;
+        if self.head[n] == NIL {
+            self.head[n] = id;
+        } else {
+            self.items[self.tail[n] as usize].1 = id;
         }
-        let id = self.nodes.len() as u32;
-        self.nodes.push(n);
-        self.parent.push(id);
-        self.pts.push(BTreeSet::new());
-        self.delta.push(Vec::new());
-        self.copy_succs.push(BTreeSet::new());
-        self.load_cons.push(Vec::new());
-        self.store_cons.push(Vec::new());
-        self.gep_cons.push(Vec::new());
-        self.call_cons.push(Vec::new());
-        self.in_wl.push(false);
-        self.node_ids.insert(n, id);
+        self.tail[n] = id;
+    }
+
+    #[inline]
+    fn first(&self, n: u32) -> u32 {
+        self.head[n as usize]
+    }
+
+    #[inline]
+    fn get(&self, cursor: u32) -> (T, u32) {
+        self.items[cursor as usize]
+    }
+
+    /// Moves b's list onto the end of a's; b becomes empty.
+    fn concat(&mut self, a: u32, b: u32) {
+        let (a, b) = (a as usize, b as usize);
+        if self.head[b] == NIL {
+            return;
+        }
+        if self.head[a] == NIL {
+            self.head[a] = self.head[b];
+        } else {
+            self.items[self.tail[a] as usize].1 = self.head[b];
+        }
+        self.tail[a] = self.tail[b];
+        self.head[b] = NIL;
+        self.tail[b] = NIL;
+    }
+}
+
+/// Distinct mutable borrows of two slots of one slice.
+fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (l, r) = v.split_at_mut(j);
+        (&mut l[i], &mut r[0])
+    } else {
+        let (l, r) = v.split_at_mut(i);
+        (&mut r[0], &mut l[j])
+    }
+}
+
+impl<'m> Solver<'m> {
+    fn new(m: &'m Module) -> Self {
+        let reps = object_reps(m);
+        let mut var_base = Vec::with_capacity(m.funcs.len());
+        let mut next = 0u32;
+        for (_f, func) in m.funcs.iter_enumerated() {
+            var_base.push(next);
+            next += func.vars.len() as u32;
+        }
+        let ret_base = next;
+        next += m.funcs.len() as u32;
+        let mem_base = next;
+        let mut obj_base = Vec::with_capacity(m.objects.len());
+        let mut mem_off = 0u32;
+        for (oid, _o) in m.objects.iter_enumerated() {
+            obj_base.push(mem_off);
+            mem_off += reps[&oid].len() as u32;
+        }
+        let n_nodes = (mem_base + mem_off) as usize;
+        Solver {
+            m,
+            var_base,
+            ret_base,
+            mem_base,
+            obj_base,
+            n_nodes,
+            parent: (0..n_nodes as u32).collect(),
+            targets: Vec::new(),
+            target_ids: FxHashMap::default(),
+            pts: vec![PtsSet::new(); n_nodes],
+            delta: vec![Vec::new(); n_nodes],
+            copy_succs: vec![Vec::new(); n_nodes],
+            load_cons: ConsArena::new(n_nodes),
+            store_cons: ConsArena::new(n_nodes),
+            gep_cons: ConsArena::new(n_nodes),
+            call_cons: ConsArena::new(n_nodes),
+            call_args: Vec::new(),
+            site_info: FxHashMap::default(),
+            wired: FxHashSet::default(),
+            worklist: VecDeque::new(),
+            in_wl: vec![false; n_nodes],
+            cg: CallGraph::default(),
+            reps,
+            scratch: Vec::new(),
+            fresh_buf: Vec::new(),
+            pops: 0,
+            merges: 0,
+            cur_words: 0,
+            peak_words: 0,
+        }
+    }
+
+    #[inline]
+    fn var_node(&self, f: FuncId, v: VarId) -> u32 {
+        self.var_base[f.index()] + v.index() as u32
+    }
+
+    #[inline]
+    fn ret_node(&self, f: FuncId) -> u32 {
+        self.ret_base + f.index() as u32
+    }
+
+    /// The memory node of a Loc (whose field is always one of its
+    /// object's cell indices).
+    #[inline]
+    fn mem_node(&self, l: Loc) -> u32 {
+        self.mem_base + self.obj_base[l.obj.index()] + l.field
+    }
+
+    fn tid(&mut self, t: Target) -> u32 {
+        if let Some(&id) = self.target_ids.get(&t) {
+            return id;
+        }
+        let id = self.targets.len() as u32;
+        self.targets.push(t);
+        self.target_ids.insert(t, id);
         id
     }
 
@@ -291,18 +537,62 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn add_targets(&mut self, n: u32, ts: impl IntoIterator<Item = Target>) {
-        let n = self.find(n);
+    fn track_words(&mut self, before: usize, after: usize) {
+        self.cur_words = self.cur_words + after - before;
+        self.peak_words = self.peak_words.max(self.cur_words);
+    }
+
+    /// Inserts interned ids into `pts(n)`, queueing the genuinely new.
+    fn add_target_ids(&mut self, n: u32, ids: &[u32]) {
+        let n = self.find(n) as usize;
+        let before = self.pts[n].words();
         let mut added = false;
-        for t in ts {
-            if self.pts[n as usize].insert(t) {
-                self.delta[n as usize].push(t);
+        for &id in ids {
+            if self.pts[n].insert(id) {
+                self.delta[n].push(id);
                 added = true;
             }
         }
+        let after = self.pts[n].words();
+        self.track_words(before, after);
         if added {
-            self.enqueue(n);
+            self.enqueue(n as u32);
         }
+    }
+
+    fn add_targets(&mut self, n: u32, ts: impl IntoIterator<Item = Target>) {
+        let n = self.find(n) as usize;
+        let before = self.pts[n].words();
+        let mut added = false;
+        for t in ts {
+            let id = self.tid(t);
+            if self.pts[n].insert(id) {
+                self.delta[n].push(id);
+                added = true;
+            }
+        }
+        let after = self.pts[n].words();
+        self.track_words(before, after);
+        if added {
+            self.enqueue(n as u32);
+        }
+    }
+
+    /// Unions `pts(from)` into `pts(to)` by bitwise union-with-difference,
+    /// queueing `to` when it gained targets. `from != to` (resolved).
+    fn flow_full_pts(&mut self, from: u32, to: u32) {
+        let mut fresh = std::mem::take(&mut self.fresh_buf);
+        fresh.clear();
+        let (src, dst) = two_mut(&mut self.pts, from as usize, to as usize);
+        let before = dst.words();
+        dst.union_with_diff(src, &mut fresh);
+        let after = dst.words();
+        self.track_words(before, after);
+        if !fresh.is_empty() {
+            self.delta[to as usize].extend(fresh.iter().copied());
+            self.enqueue(to);
+        }
+        self.fresh_buf = fresh;
     }
 
     fn add_copy_edge(&mut self, from: u32, to: u32) {
@@ -311,15 +601,28 @@ impl<'m> Solver<'m> {
         if from == to {
             return;
         }
-        if self.copy_succs[from as usize].insert(to) {
-            let ts: Vec<Target> = self.pts[from as usize].iter().copied().collect();
-            self.add_targets(to, ts);
+        let succs = &mut self.copy_succs[from as usize];
+        if let Err(pos) = succs.binary_search(&to) {
+            succs.insert(pos, to);
+            self.flow_full_pts(from, to);
         }
+    }
+
+    /// Runs `f` over a snapshot of `pts(n)` through a reusable buffer —
+    /// the borrow-friendly replacement for the collect-into-fresh-`Vec`
+    /// pattern the seeding and replay paths previously repeated.
+    fn with_pts_snapshot<R>(&mut self, n: u32, f: impl FnOnce(&mut Self, &[u32]) -> R) -> R {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf.extend(self.pts[n as usize].iter());
+        let r = f(self, &buf);
+        self.scratch = buf;
+        r
     }
 
     fn operand_node(&mut self, f: FuncId, op: Operand) -> Option<u32> {
         match op {
-            Operand::Var(v) => Some(self.node(Node::Var(f, v))),
+            Operand::Var(v) => Some(self.var_node(f, v)),
             _ => None,
         }
     }
@@ -353,17 +656,23 @@ impl<'m> Solver<'m> {
                     self.seed_inst(fid, Site::new(fid, bb, idx), inst);
                 }
                 if let Terminator::Ret(Some(op)) = &block.term {
-                    let r = self.node(Node::Ret(fid));
+                    let r = self.ret_node(fid);
                     self.flow_into(fid, *op, r);
                 }
             }
         }
     }
 
+    /// Replays one existing Loc target against a gep constraint.
+    fn apply_gep(&mut self, l: Loc, kind: &GepKind, dst: u32) {
+        let shifted = self.shift(l, kind);
+        self.add_targets(dst, shifted.into_iter().map(Target::Loc));
+    }
+
     fn seed_inst(&mut self, f: FuncId, site: Site, inst: &Inst) {
         match inst {
             Inst::Copy { dst, src } => {
-                let d = self.node(Node::Var(f, *dst));
+                let d = self.var_node(f, *dst);
                 self.flow_into(f, *src, d);
             }
             Inst::Un { .. } | Inst::Bin { .. } => {
@@ -371,7 +680,7 @@ impl<'m> Solver<'m> {
                 // discipline (pointer arithmetic is a gep).
             }
             Inst::Alloc { dst, obj, .. } => {
-                let d = self.node(Node::Var(f, *dst));
+                let d = self.var_node(f, *dst);
                 self.add_targets(
                     d,
                     [Target::Loc(Loc {
@@ -381,7 +690,7 @@ impl<'m> Solver<'m> {
                 );
             }
             Inst::Gep { dst, base, offset } => {
-                let d = self.node(Node::Var(f, *dst));
+                let d = self.var_node(f, *dst);
                 let kind = match offset {
                     GepOffset::Field(k) => GepKind::Field(*k),
                     GepOffset::Index { .. } => GepKind::Dynamic,
@@ -389,44 +698,44 @@ impl<'m> Solver<'m> {
                 match self.operand_node(f, *base) {
                     Some(b) => {
                         let b = self.find(b);
-                        self.gep_cons[b as usize].push((kind.clone(), d));
+                        self.gep_cons.push(b, (kind, d));
                         // Replay existing targets.
-                        let existing: Vec<Target> = self.pts[b as usize].iter().copied().collect();
-                        for t in existing {
-                            if let Target::Loc(l) = t {
-                                let shifted = self.shift(l, &kind);
-                                self.add_targets(d, shifted.into_iter().map(Target::Loc));
+                        self.with_pts_snapshot(b, |s, ids| {
+                            for &id in ids {
+                                if let Target::Loc(l) = s.targets[id as usize] {
+                                    s.apply_gep(l, &kind, d);
+                                }
                             }
-                        }
+                        });
                     }
                     None => {
                         for t in self.operand_const_targets(*base) {
                             if let Target::Loc(l) = t {
-                                let shifted = self.shift(l, &kind);
-                                self.add_targets(d, shifted.into_iter().map(Target::Loc));
+                                self.apply_gep(l, &kind, d);
                             }
                         }
                     }
                 }
             }
             Inst::Load { dst, addr } => {
-                let d = self.node(Node::Var(f, *dst));
+                let d = self.var_node(f, *dst);
                 match self.operand_node(f, *addr) {
                     Some(a) => {
                         let a = self.find(a);
-                        self.load_cons[a as usize].push(d);
-                        let existing: Vec<Target> = self.pts[a as usize].iter().copied().collect();
-                        for t in existing {
-                            if let Target::Loc(l) = t {
-                                let mn = self.node(Node::Mem(l));
-                                self.add_copy_edge(mn, d);
+                        self.load_cons.push(a, d);
+                        self.with_pts_snapshot(a, |s, ids| {
+                            for &id in ids {
+                                if let Target::Loc(l) = s.targets[id as usize] {
+                                    let mn = s.mem_node(l);
+                                    s.add_copy_edge(mn, d);
+                                }
                             }
-                        }
+                        });
                     }
                     None => {
                         for t in self.operand_const_targets(*addr) {
                             if let Target::Loc(l) = t {
-                                let mn = self.node(Node::Mem(l));
+                                let mn = self.mem_node(l);
                                 self.add_copy_edge(mn, d);
                             }
                         }
@@ -444,13 +753,14 @@ impl<'m> Solver<'m> {
                 match self.operand_node(f, *addr) {
                     Some(a) => {
                         let a = self.find(a);
-                        self.store_cons[a as usize].push(src);
-                        let existing: Vec<Target> = self.pts[a as usize].iter().copied().collect();
-                        for t in existing {
-                            if let Target::Loc(l) = t {
-                                self.apply_store(src, l);
+                        self.store_cons.push(a, src);
+                        self.with_pts_snapshot(a, |s, ids| {
+                            for &id in ids {
+                                if let Target::Loc(l) = s.targets[id as usize] {
+                                    s.apply_store(src, l);
+                                }
                             }
-                        }
+                        });
                     }
                     None => {
                         for t in self.operand_const_targets(*addr) {
@@ -462,20 +772,23 @@ impl<'m> Solver<'m> {
                 }
             }
             Inst::Call { dst, callee, args } => {
-                self.site_info.insert(site, (args.clone(), *dst));
+                let start = self.call_args.len() as u32;
+                self.call_args.extend_from_slice(args);
+                self.site_info
+                    .insert(site, (start, args.len() as u32, *dst));
                 match callee {
                     Callee::Direct(g) => self.wire_call(site, *g),
                     Callee::Indirect(op) => match self.operand_node(f, *op) {
                         Some(t) => {
                             let t = self.find(t);
-                            self.call_cons[t as usize].push(site);
-                            let existing: Vec<Target> =
-                                self.pts[t as usize].iter().copied().collect();
-                            for tg in existing {
-                                if let Target::Func(g) = tg {
-                                    self.wire_call(site, g);
+                            self.call_cons.push(t, site);
+                            self.with_pts_snapshot(t, |s, ids| {
+                                for &id in ids {
+                                    if let Target::Func(g) = s.targets[id as usize] {
+                                        s.wire_call(site, g);
+                                    }
                                 }
-                            }
+                            });
                         }
                         None => {
                             if let Operand::Func(g) = op {
@@ -490,7 +803,7 @@ impl<'m> Solver<'m> {
                 }
             }
             Inst::Phi { dst, incomings } => {
-                let d = self.node(Node::Var(f, *dst));
+                let d = self.var_node(f, *dst);
                 for (_, op) in incomings {
                     self.flow_into(f, *op, d);
                 }
@@ -499,7 +812,7 @@ impl<'m> Solver<'m> {
     }
 
     fn apply_store(&mut self, src: StoreSrc, loc: Loc) {
-        let mn = self.node(Node::Mem(loc));
+        let mn = self.mem_node(loc);
         match src {
             StoreSrc::Node(n) => self.add_copy_edge(n, mn),
             StoreSrc::Const(t) => self.add_targets(mn, [t]),
@@ -516,14 +829,10 @@ impl<'m> Solver<'m> {
                         field: 0,
                     }]
                 } else {
+                    // In-layout and out-of-layout constant offsets both map
+                    // through the repeated element layout.
                     let cell = l.field + k;
-                    if (cell as usize) < obj.field_classes.len() {
-                        vec![self.rep_loc(l.obj, cell)]
-                    } else {
-                        // Out-of-layout constant offset (dynamic heap blocks
-                        // repeat their element layout).
-                        vec![self.rep_loc(l.obj, cell)]
-                    }
+                    vec![self.rep_loc(l.obj, cell)]
                 }
             }
             GepKind::Dynamic => {
@@ -551,16 +860,16 @@ impl<'m> Solver<'m> {
             return;
         }
         self.cg.add_edge(site, g);
-        let (args, dst) = self.site_info[&site].clone();
-        let callee = &self.m.funcs[g];
-        let params: Vec<VarId> = callee.params.clone();
-        for (p, a) in params.iter().zip(args.iter()) {
-            let pn = self.node(Node::Var(g, *p));
-            self.flow_into(site.func, *a, pn);
+        let m = self.m;
+        let (start, len, dst) = self.site_info[&site];
+        for (i, &p) in m.funcs[g].params.iter().enumerate().take(len as usize) {
+            let a = self.call_args[start as usize + i];
+            let pn = self.var_node(g, p);
+            self.flow_into(site.func, a, pn);
         }
         if let Some(d) = dst {
-            let dn = self.node(Node::Var(site.func, d));
-            let rn = self.node(Node::Ret(g));
+            let dn = self.var_node(site.func, d);
+            let rn = self.ret_node(g);
             self.add_copy_edge(rn, dn);
         }
     }
@@ -580,34 +889,55 @@ impl<'m> Solver<'m> {
                 self.collapse_cycles();
             }
 
-            // Copy successors receive the delta.
-            let succs: Vec<u32> = self.copy_succs[n as usize].iter().copied().collect();
-            for s in succs {
-                self.add_targets(s, delta.iter().copied());
+            // Copy successors receive the delta. The list is taken out
+            // rather than cloned; any edge out of `n` added while it is
+            // out flows its points-to set at insertion, so merging the
+            // two sorted lists afterwards loses nothing.
+            let succs = std::mem::take(&mut self.copy_succs[n as usize]);
+            for &s in &succs {
+                self.add_target_ids(s, &delta);
             }
-            // Complex constraints react to new targets.
-            let loads = self.load_cons[n as usize].clone();
-            let stores = self.store_cons[n as usize].clone();
-            let geps = self.gep_cons[n as usize].clone();
-            let calls = self.call_cons[n as usize].clone();
-            for t in &delta {
-                match t {
+            let added = std::mem::replace(&mut self.copy_succs[n as usize], succs);
+            for a in added {
+                let v = &mut self.copy_succs[n as usize];
+                if let Err(pos) = v.binary_search(&a) {
+                    v.insert(pos, a);
+                }
+            }
+            // Complex constraints react to new targets. The arena chains
+            // only grow during seeding and SCC merges, never inside this
+            // scan, so cursor walks see a frozen list without cloning.
+            for &t in &delta {
+                match self.targets[t as usize] {
                     Target::Loc(l) => {
-                        for &d in &loads {
-                            let mn = self.node(Node::Mem(*l));
-                            self.add_copy_edge(mn, d);
+                        let mut cur = self.load_cons.first(n);
+                        if cur != NIL {
+                            let mn = self.mem_node(l);
+                            while cur != NIL {
+                                let (d, next) = self.load_cons.get(cur);
+                                self.add_copy_edge(mn, d);
+                                cur = next;
+                            }
                         }
-                        for &src in &stores {
-                            self.apply_store(src, *l);
+                        let mut cur = self.store_cons.first(n);
+                        while cur != NIL {
+                            let (src, next) = self.store_cons.get(cur);
+                            self.apply_store(src, l);
+                            cur = next;
                         }
-                        for (kind, d) in &geps {
-                            let shifted = self.shift(*l, kind);
-                            self.add_targets(*d, shifted.into_iter().map(Target::Loc));
+                        let mut cur = self.gep_cons.first(n);
+                        while cur != NIL {
+                            let ((kind, d), next) = self.gep_cons.get(cur);
+                            self.apply_gep(l, &kind, d);
+                            cur = next;
                         }
                     }
                     Target::Func(g) => {
-                        for &site in &calls {
-                            self.wire_call(site, *g);
+                        let mut cur = self.call_cons.first(n);
+                        while cur != NIL {
+                            let (site, next) = self.call_cons.get(cur);
+                            self.wire_call(site, g);
+                            cur = next;
                         }
                     }
                 }
@@ -615,44 +945,65 @@ impl<'m> Solver<'m> {
         }
     }
 
-    /// Tarjan over copy edges; merges every nontrivial SCC into one node.
+    /// Tarjan over a CSR snapshot of the (representative-resolved)
+    /// copy-edge graph; merges every nontrivial SCC into one node.
     fn collapse_cycles(&mut self) {
-        let n = self.nodes.len();
-        let mut index = vec![usize::MAX; n];
-        let mut low = vec![0usize; n];
+        let n = self.n_nodes;
+        // Resolve every node's representative once, then freeze the copy
+        // graph into offsets + edges arrays (struct-of-arrays CSR).
+        let node_rep: Vec<u32> = (0..n as u32).map(|i| self.find(i)).collect();
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            if node_rep[v] == v as u32 {
+                offsets[v + 1] = self.copy_succs[v].len() as u32;
+            }
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut edges = vec![0u32; offsets[n] as usize];
+        for v in 0..n {
+            if node_rep[v] != v as u32 {
+                continue;
+            }
+            let base = offsets[v] as usize;
+            for (i, &s) in self.copy_succs[v].iter().enumerate() {
+                edges[base + i] = node_rep[s as usize];
+            }
+        }
+
+        let mut index = vec![u32::MAX; n];
+        let mut low = vec![0u32; n];
         let mut on_stack = vec![false; n];
         let mut stack: Vec<u32> = Vec::new();
-        let mut next = 0usize;
-        let mut call_stack: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+        let mut next = 0u32;
+        // (node, next edge cursor into `edges`)
+        let mut call_stack: Vec<(u32, u32)> = Vec::new();
         let mut merges: Vec<Vec<u32>> = Vec::new();
 
         for start in 0..n as u32 {
-            if self.parent[start as usize] != start || index[start as usize] != usize::MAX {
+            if node_rep[start as usize] != start || index[start as usize] != u32::MAX {
                 continue;
             }
-            let raw: Vec<u32> = self.copy_succs[start as usize].iter().copied().collect();
-            let succs: Vec<u32> = raw.into_iter().map(|s| self.find(s)).collect();
-            call_stack.push((start, succs, 0));
+            call_stack.push((start, offsets[start as usize]));
             index[start as usize] = next;
             low[start as usize] = next;
             next += 1;
             stack.push(start);
             on_stack[start as usize] = true;
 
-            while let Some((v, succs, ei)) = call_stack.last_mut() {
+            while let Some((v, cursor)) = call_stack.last_mut() {
                 let v = *v;
-                if *ei < succs.len() {
-                    let w = succs[*ei];
-                    *ei += 1;
-                    if index[w as usize] == usize::MAX {
-                        let raw: Vec<u32> = self.copy_succs[w as usize].iter().copied().collect();
-                        let wsuccs: Vec<u32> = raw.into_iter().map(|s| self.find(s)).collect();
+                if *cursor < offsets[v as usize + 1] {
+                    let w = edges[*cursor as usize];
+                    *cursor += 1;
+                    if index[w as usize] == u32::MAX {
                         index[w as usize] = next;
                         low[w as usize] = next;
                         next += 1;
                         stack.push(w);
                         on_stack[w as usize] = true;
-                        call_stack.push((w, wsuccs, 0));
+                        call_stack.push((w, offsets[w as usize]));
                     } else if on_stack[w as usize] {
                         low[v as usize] = low[v as usize].min(index[w as usize]);
                     }
@@ -671,7 +1022,7 @@ impl<'m> Solver<'m> {
                         }
                     }
                     call_stack.pop();
-                    if let Some((u, _, _)) = call_stack.last() {
+                    if let Some((u, _)) = call_stack.last() {
                         let u = *u;
                         low[u as usize] = low[u as usize].min(low[v as usize]);
                     }
@@ -687,137 +1038,152 @@ impl<'m> Solver<'m> {
         }
     }
 
+    /// Merges `b` into `a`. Only the genuinely fresh targets (b's pts
+    /// minus a's) enter `delta[a]`; b's inherited constraints and copy
+    /// successors are replayed against a's full set directly — instead of
+    /// the previous full-points-to replay on every merge, which was
+    /// quadratic across SCC chains.
     fn merge(&mut self, a: u32, b: u32) {
         let a = self.find(a);
         let b = self.find(b);
         if a == b {
             return;
         }
+        self.merges += 1;
         self.parent[b as usize] = a;
         let b_pts = std::mem::take(&mut self.pts[b as usize]);
-        let b_delta = std::mem::take(&mut self.delta[b as usize]);
+        // Pending entries of b are a subset of b_pts: the union below and
+        // the constraint replay cover them.
+        let _b_delta = std::mem::take(&mut self.delta[b as usize]);
         let b_succs = std::mem::take(&mut self.copy_succs[b as usize]);
-        let b_loads = std::mem::take(&mut self.load_cons[b as usize]);
-        let b_stores = std::mem::take(&mut self.store_cons[b as usize]);
-        let b_geps = std::mem::take(&mut self.gep_cons[b as usize]);
-        let b_calls = std::mem::take(&mut self.call_cons[b as usize]);
+        self.track_words(b_pts.words(), 0);
 
-        // New targets for a = b's pts not already in a.
-        let mut fresh: Vec<Target> = Vec::new();
-        for t in b_pts {
-            if self.pts[a as usize].insert(t) {
-                fresh.push(t);
+        // 1. Union b's targets into a; only the difference becomes delta
+        //    (a's own constraints and successors see it on the next pop).
+        let mut fresh = std::mem::take(&mut self.fresh_buf);
+        fresh.clear();
+        let before = self.pts[a as usize].words();
+        self.pts[a as usize].union_with_diff(&b_pts, &mut fresh);
+        let after = self.pts[a as usize].words();
+        self.track_words(before, after);
+        self.delta[a as usize].extend(fresh.iter().copied());
+        self.fresh_buf = fresh;
+
+        // 2. b's constraints have only seen b's targets: replay them
+        //    against the merged set once (idempotent for the overlap),
+        //    then splice b's chains onto a's.
+        self.with_pts_snapshot(a, |s, ids| {
+            for &id in ids {
+                match s.targets[id as usize] {
+                    Target::Loc(l) => {
+                        let mut cur = s.load_cons.first(b);
+                        while cur != NIL {
+                            let (d, next) = s.load_cons.get(cur);
+                            let mn = s.mem_node(l);
+                            s.add_copy_edge(mn, d);
+                            cur = next;
+                        }
+                        let mut cur = s.store_cons.first(b);
+                        while cur != NIL {
+                            let (src, next) = s.store_cons.get(cur);
+                            s.apply_store(src, l);
+                            cur = next;
+                        }
+                        let mut cur = s.gep_cons.first(b);
+                        while cur != NIL {
+                            let ((kind, d), next) = s.gep_cons.get(cur);
+                            s.apply_gep(l, &kind, d);
+                            cur = next;
+                        }
+                    }
+                    Target::Func(g) => {
+                        let mut cur = s.call_cons.first(b);
+                        while cur != NIL {
+                            let (site, next) = s.call_cons.get(cur);
+                            s.wire_call(site, g);
+                            cur = next;
+                        }
+                    }
+                }
             }
-        }
-        fresh.extend(
-            b_delta
-                .into_iter()
-                .filter(|t| !self.pts[a as usize].contains(t)),
-        );
-        self.delta[a as usize].extend(fresh);
+        });
+        self.load_cons.concat(a, b);
+        self.store_cons.concat(a, b);
+        self.gep_cons.concat(a, b);
+        self.call_cons.concat(a, b);
+
+        // 3. b's copy successors are fresh edges out of a: flow the full
+        //    merged set to each (deduplicated against a's existing edges).
         for s in b_succs {
-            self.copy_succs[a as usize].insert(s);
+            self.add_copy_edge(a, s);
         }
-        self.load_cons[a as usize].extend(b_loads);
-        self.store_cons[a as usize].extend(b_stores);
-        self.gep_cons[a as usize].extend(b_geps);
-        self.call_cons[a as usize].extend(b_calls);
-        // Everything already in a's pts must be replayed against b's
-        // constraints; simplest sound move: re-add the full set as delta.
-        let all: Vec<Target> = self.pts[a as usize].iter().copied().collect();
-        self.delta[a as usize] = all;
         self.enqueue(a);
     }
 
     // ---- finalization ----------------------------------------------------
 
     fn finish(mut self) -> PointerAnalysis {
-        let loops: HashMap<FuncId, LoopInfo> = self
-            .m
-            .funcs
-            .iter_enumerated()
-            .map(|(f, func)| (f, LoopInfo::compute(func)))
-            .collect();
-        self.cg.finalize(self.m, &loops);
-
-        // Concrete objects: allocation executes at most once.
-        let mut concrete = HashSet::new();
-        for (oid, o) in self.m.objects.iter_enumerated() {
-            match o.kind {
-                usher_ir::ObjKind::Global => {
-                    concrete.insert(oid);
+        // Extract per-node results (resolving union-find). Target order in
+        // the output is the payload (`Target`) order, matching the
+        // reference solver's `BTreeSet` iteration: interned ids are mapped
+        // to payload-order ranks once, so per-node ordering is a plain
+        // `u32` sort. Nodes with empty sets are not materialized (the
+        // accessors default to empty).
+        let mut order: Vec<u32> = (0..self.targets.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| self.targets[i as usize]);
+        let mut rank_of = vec![0u32; self.targets.len()];
+        for (rank, &id) in order.iter().enumerate() {
+            rank_of[id as usize] = rank as u32;
+        }
+        // Paired vectors first, then exact-size collects: the map
+        // allocates once instead of rehashing through its growth ladder.
+        let mut var_rows: Vec<((FuncId, VarId), Vec<Target>)> = Vec::new();
+        let mut mem_rows: Vec<(Loc, Vec<Target>)> = Vec::new();
+        let mut ranks: Vec<u32> = Vec::new();
+        let extract = |slf: &mut Self, id: u32, ranks: &mut Vec<u32>| -> Option<Vec<Target>> {
+            let rep = slf.find(id);
+            if slf.pts[rep as usize].is_empty() {
+                return None;
+            }
+            ranks.clear();
+            ranks.extend(slf.pts[rep as usize].iter().map(|id| rank_of[id as usize]));
+            ranks.sort_unstable();
+            Some(
+                ranks
+                    .iter()
+                    .map(|&r| slf.targets[order[r as usize] as usize])
+                    .collect(),
+            )
+        };
+        for (f, func) in self.m.funcs.iter_enumerated() {
+            for (v, _) in func.vars.iter_enumerated() {
+                let id = self.var_node(f, v);
+                if let Some(ts) = extract(&mut self, id, &mut ranks) {
+                    var_rows.push(((f, v), ts));
                 }
-                usher_ir::ObjKind::Stack(f) | usher_ir::ObjKind::Heap(f) => {
-                    if !self.cg.runs_once.contains(&f) || self.cg.recursive.contains(&f) {
-                        continue;
-                    }
-                    // Find the allocation block.
-                    let func = &self.m.funcs[f];
-                    let mut once = false;
-                    'outer: for (bb, block) in func.blocks.iter_enumerated() {
-                        for inst in &block.insts {
-                            if let Inst::Alloc { obj, .. } = inst {
-                                if *obj == oid {
-                                    once = !loops[&f].in_loop(bb);
-                                    break 'outer;
-                                }
-                            }
-                        }
-                    }
-                    if once {
-                        concrete.insert(oid);
-                    }
+            }
+        }
+        for (oid, _o) in self.m.objects.iter_enumerated() {
+            let cells = self.reps[&oid].len() as u32;
+            for field in 0..cells {
+                let l = Loc { obj: oid, field };
+                let id = self.mem_node(l);
+                if let Some(ts) = extract(&mut self, id, &mut ranks) {
+                    mem_rows.push((l, ts));
                 }
             }
         }
 
-        // Single-cell classes.
-        let mut single_cell: HashMap<Loc, bool> = HashMap::new();
-        for (oid, o) in self.m.objects.iter_enumerated() {
-            let reps = &self.reps[&oid];
-            let mut counts: HashMap<u32, u32> = HashMap::new();
-            for &r in reps {
-                *counts.entry(r).or_insert(0) += 1;
-            }
-            for (&rep, &count) in &counts {
-                let dynamic = o.is_array;
-                single_cell.insert(
-                    Loc {
-                        obj: oid,
-                        field: rep,
-                    },
-                    count == 1 && !dynamic,
-                );
-            }
-        }
-
-        // Extract per-node results (resolving union-find).
-        let mut var_pts: HashMap<(FuncId, VarId), Vec<Target>> = HashMap::new();
-        let mut mem_pts: HashMap<Loc, Vec<Target>> = HashMap::new();
-        let entries: Vec<(Node, u32)> = self.node_ids.iter().map(|(n, id)| (*n, *id)).collect();
-        for (nk, id) in entries {
-            let rep = self.find(id);
-            let ts: Vec<Target> = self.pts[rep as usize].iter().copied().collect();
-            match nk {
-                Node::Var(f, v) => {
-                    var_pts.insert((f, v), ts);
-                }
-                Node::Mem(l) => {
-                    mem_pts.insert(l, ts);
-                }
-                Node::Ret(_) => {}
-            }
-        }
-
-        PointerAnalysis {
-            var_pts,
-            mem_pts,
-            call_graph: self.cg,
-            loops,
-            concrete_objects: concrete,
-            reps: self.reps,
-            single_cell,
-        }
+        let var_pts: HashMap<(FuncId, VarId), Vec<Target>> = var_rows.into_iter().collect();
+        let mem_pts: HashMap<Loc, Vec<Target>> = mem_rows.into_iter().collect();
+        let stats = SolverStats {
+            nodes: self.n_nodes,
+            interned_targets: self.targets.len(),
+            pops: self.pops,
+            merges: self.merges,
+            peak_pts_words: self.peak_words,
+        };
+        finish_analysis(self.m, self.cg, self.reps, var_pts, mem_pts, stats)
     }
 }
 
@@ -1070,5 +1436,14 @@ mod tests {
         b.finish();
         let pa = analyze(&m);
         assert!(!pa.is_concrete(Loc { obj, field: 0 }));
+    }
+
+    #[test]
+    fn solver_stats_are_populated() {
+        let (m, _fid, _vars, _objs) = compile();
+        let pa = analyze(&m);
+        assert!(pa.stats.nodes > 0);
+        assert!(pa.stats.interned_targets >= 2);
+        assert!(pa.stats.pops > 0);
     }
 }

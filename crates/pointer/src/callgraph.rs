@@ -127,32 +127,38 @@ impl CallGraph {
     }
 
     /// Finalizes derived info: recursion SCCs, bottom-up order and the
-    /// multiplicity analysis.
+    /// multiplicity analysis. Edge lists are canonicalized (sorted) first,
+    /// so downstream consumers (VFG node interning, mod/ref order) see the
+    /// same graph regardless of the order the solver discovered edges in.
     pub fn finalize(&mut self, m: &Module, loops: &HashMap<FuncId, LoopInfo>) {
+        for cs in self.callees.values_mut() {
+            cs.sort_unstable();
+        }
+        for ss in self.callers.values_mut() {
+            ss.sort_unstable();
+        }
         self.compute_sccs(m);
         self.compute_multiplicity(m, loops);
     }
 
     fn compute_sccs(&mut self, m: &Module) {
-        // Tarjan over the function-level graph.
+        // Tarjan over the function-level graph (successors collected in
+        // sorted site order so the bottom-up SCC order is deterministic).
         let n = m.funcs.len();
-        let succs: Vec<Vec<usize>> = m
-            .funcs
-            .indices()
-            .map(|f| {
-                let mut out: Vec<usize> = Vec::new();
-                for (site, cs) in &self.callees {
-                    if site.func == f {
-                        for c in cs {
-                            if !out.contains(&c.index()) {
-                                out.push(c.index());
-                            }
-                        }
-                    }
-                }
-                out
-            })
-            .collect();
+        let mut edges: Vec<(Site, FuncId)> = Vec::new();
+        for (site, cs) in &self.callees {
+            for c in cs {
+                edges.push((*site, *c));
+            }
+        }
+        edges.sort_unstable();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (site, c) in edges {
+            let out = &mut succs[site.func.index()];
+            if !out.contains(&c.index()) {
+                out.push(c.index());
+            }
+        }
 
         let mut index = vec![usize::MAX; n];
         let mut low = vec![0usize; n];

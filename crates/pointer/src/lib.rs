@@ -17,12 +17,19 @@
 //!   in `usher_ir::inline` (each inlined wrapper copy gets fresh objects).
 //!
 //! The solver is a worklist with difference propagation and periodic
-//! Tarjan cycle collapsing over the copy-edge graph.
+//! Tarjan cycle collapsing over the copy-edge graph. Points-to sets are
+//! hybrid sparse/dense bitmaps over interned target ids ([`pts`]); the
+//! original `BTreeSet`-based solver is kept in [`reference`] as the
+//! equivalence and benchmark baseline.
 
 #![warn(missing_docs)]
 
 pub mod andersen;
 pub mod callgraph;
+pub mod pts;
+pub mod reference;
 
-pub use andersen::{analyze, Loc, PointerAnalysis};
+pub use andersen::{analyze, Loc, PointerAnalysis, SolverStats};
 pub use callgraph::{CallGraph, LoopInfo};
+pub use pts::PtsSet;
+pub use reference::analyze_reference;

@@ -1,0 +1,289 @@
+//! Hybrid sparse/dense points-to sets over interned target ids.
+//!
+//! Small sets (the overwhelming majority in Andersen's analysis) are a
+//! sorted `Vec<u32>` — one cache line, branch-predictable membership by
+//! binary search. Past [`SPARSE_MAX`] elements a set spills into a word
+//! bitmap (`Vec<u64>` indexed by target id), where union-with-difference
+//! — the inner loop of difference propagation and SCC merging — becomes
+//! a handful of bitwise operations per 64 targets instead of a tree
+//! insert per element.
+
+/// Elements above which a set switches from sorted-vec to bitmap form.
+pub const SPARSE_MAX: usize = 48;
+
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Sorted, deduplicated ids.
+    Sparse(Vec<u32>),
+    /// Word bitmap indexed by id; `len` caches the population count.
+    Dense { words: Vec<u64>, len: usize },
+}
+
+/// A set of interned target ids with hybrid representation.
+#[derive(Clone, Debug)]
+pub struct PtsSet {
+    repr: Repr,
+}
+
+impl Default for PtsSet {
+    fn default() -> Self {
+        PtsSet::new()
+    }
+}
+
+impl PtsSet {
+    /// An empty set (sparse, no allocation).
+    pub fn new() -> PtsSet {
+        PtsSet {
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(v) => v.len(),
+            Repr::Dense { len, .. } => *len,
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap footprint in 64-bit words (telemetry: `peak_pts_words`).
+    pub fn words(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(v) => v.capacity().div_ceil(2),
+            Repr::Dense { words, .. } => words.capacity(),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u32) -> bool {
+        match &self.repr {
+            Repr::Sparse(v) => v.binary_search(&id).is_ok(),
+            Repr::Dense { words, .. } => {
+                let w = (id / 64) as usize;
+                w < words.len() && words[w] & (1u64 << (id % 64)) != 0
+            }
+        }
+    }
+
+    /// Inserts an id; returns whether it was new.
+    pub fn insert(&mut self, id: u32) -> bool {
+        match &mut self.repr {
+            Repr::Sparse(v) => match v.binary_search(&id) {
+                Ok(_) => false,
+                Err(pos) => {
+                    v.insert(pos, id);
+                    if v.len() > SPARSE_MAX {
+                        self.densify();
+                    }
+                    true
+                }
+            },
+            Repr::Dense { words, len } => {
+                let w = (id / 64) as usize;
+                if w >= words.len() {
+                    words.resize(w + 1, 0);
+                }
+                let mask = 1u64 << (id % 64);
+                if words[w] & mask == 0 {
+                    words[w] |= mask;
+                    *len += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn densify(&mut self) {
+        if let Repr::Sparse(v) = &self.repr {
+            let top = v.last().copied().unwrap_or(0);
+            let mut words = vec![0u64; (top / 64 + 1) as usize];
+            for &id in v {
+                words[(id / 64) as usize] |= 1u64 << (id % 64);
+            }
+            let len = v.len();
+            self.repr = Repr::Dense { words, len };
+        }
+    }
+
+    /// Iterates elements in ascending id order.
+    pub fn iter(&self) -> PtsIter<'_> {
+        match &self.repr {
+            Repr::Sparse(v) => PtsIter::Sparse(v.iter()),
+            Repr::Dense { words, .. } => PtsIter::Dense {
+                words,
+                word_idx: 0,
+                cur: words.first().copied().unwrap_or(0),
+            },
+        }
+    }
+
+    /// Unions `other` into `self`, appending every genuinely new id to
+    /// `fresh` in ascending order. The bitwise union-with-difference that
+    /// replaces per-element `BTreeSet` inserts on the propagation path.
+    pub fn union_with_diff(&mut self, other: &PtsSet, fresh: &mut Vec<u32>) {
+        match &other.repr {
+            Repr::Sparse(ov) => {
+                for &id in ov {
+                    if self.insert(id) {
+                        fresh.push(id);
+                    }
+                }
+            }
+            Repr::Dense {
+                words: ow,
+                len: olen,
+            } => {
+                if self.len() + olen > SPARSE_MAX {
+                    self.densify();
+                }
+                match &mut self.repr {
+                    Repr::Dense { words, len } => {
+                        if words.len() < ow.len() {
+                            words.resize(ow.len(), 0);
+                        }
+                        for (wi, (&o, s)) in ow.iter().zip(words.iter_mut()).enumerate() {
+                            let mut diff = o & !*s;
+                            if diff != 0 {
+                                *s |= o;
+                                while diff != 0 {
+                                    let bit = diff.trailing_zeros();
+                                    fresh.push(wi as u32 * 64 + bit);
+                                    *len += 1;
+                                    diff &= diff - 1;
+                                }
+                            }
+                        }
+                    }
+                    Repr::Sparse(_) => {
+                        // len() + olen <= SPARSE_MAX yet other is dense:
+                        // fall back to element inserts.
+                        for id in other.iter() {
+                            if self.insert(id) {
+                                fresh.push(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`PtsSet`].
+pub enum PtsIter<'a> {
+    /// Over a sorted vec.
+    Sparse(std::slice::Iter<'a, u32>),
+    /// Over a word bitmap.
+    Dense {
+        /// The words.
+        words: &'a [u64],
+        /// Current word index.
+        word_idx: usize,
+        /// Remaining bits of the current word.
+        cur: u64,
+    },
+}
+
+impl Iterator for PtsIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            PtsIter::Sparse(it) => it.next().copied(),
+            PtsIter::Dense {
+                words,
+                word_idx,
+                cur,
+            } => loop {
+                if *cur != 0 {
+                    let bit = cur.trailing_zeros();
+                    *cur &= *cur - 1;
+                    return Some(*word_idx as u32 * 64 + bit);
+                }
+                *word_idx += 1;
+                if *word_idx >= words.len() {
+                    return None;
+                }
+                *cur = words[*word_idx];
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iter_sparse() {
+        let mut s = PtsSet::new();
+        assert!(s.insert(7));
+        assert!(s.insert(3));
+        assert!(!s.insert(7));
+        assert!(s.contains(3) && s.contains(7) && !s.contains(5));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn densifies_past_threshold_and_stays_consistent() {
+        let mut s = PtsSet::new();
+        let ids: Vec<u32> = (0..200).map(|i| i * 3 + 1).collect();
+        for &id in &ids {
+            assert!(s.insert(id));
+        }
+        assert!(matches!(s.repr, Repr::Dense { .. }));
+        assert_eq!(s.len(), 200);
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids);
+        for &id in &ids {
+            assert!(s.contains(id));
+            assert!(!s.insert(id));
+        }
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn union_with_diff_reports_exactly_the_new_ids() {
+        for (a_n, b_n) in [(10usize, 20usize), (100, 10), (10, 100), (100, 200)] {
+            let mut a = PtsSet::new();
+            let mut b = PtsSet::new();
+            let mut expect_fresh = Vec::new();
+            for i in 0..a_n as u32 {
+                a.insert(i * 2);
+            }
+            for i in 0..b_n as u32 {
+                let id = i * 3;
+                b.insert(id);
+                if !a.contains(id) {
+                    expect_fresh.push(id);
+                }
+            }
+            let mut fresh = Vec::new();
+            a.union_with_diff(&b, &mut fresh);
+            assert_eq!(fresh, expect_fresh, "a={a_n} b={b_n}");
+            for id in b.iter() {
+                assert!(a.contains(id));
+            }
+            let mut again = Vec::new();
+            a.union_with_diff(&b, &mut again);
+            assert!(again.is_empty(), "second union adds nothing");
+        }
+    }
+
+    #[test]
+    fn words_tracks_footprint() {
+        let mut s = PtsSet::new();
+        for i in 0..512 {
+            s.insert(i);
+        }
+        assert!(s.words() >= 8, "512 bits need >= 8 words: {}", s.words());
+    }
+}

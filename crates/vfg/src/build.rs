@@ -130,6 +130,8 @@ pub struct Vfg {
     pub stats: VfgStats,
     /// The mode this graph was built in.
     pub mode: VfgMode,
+    /// Lazily frozen CSR form of `users` (invalidated on mutation).
+    pub(crate) users_csr_cache: std::sync::OnceLock<crate::Csr>,
 }
 
 impl Vfg {
@@ -145,6 +147,7 @@ impl Vfg {
             def_site: Vec::new(),
             stats: VfgStats::default(),
             mode,
+            users_csr_cache: std::sync::OnceLock::new(),
         };
         g.t_root = g.node(NodeKind::RootT);
         g.f_root = g.node(NodeKind::RootF);
@@ -162,6 +165,7 @@ impl Vfg {
         self.users.push(Vec::new());
         self.def_site.push(None);
         self.ids.insert(kind, id);
+        self.users_csr_cache.take();
         id
     }
 
@@ -187,12 +191,14 @@ impl Vfg {
         }
         self.deps[from as usize].push((to, kind));
         self.users[to as usize].push((from, kind));
+        self.users_csr_cache.take();
     }
 
     /// Removes a dependence edge (used by Opt II's graph surgery).
     pub fn remove_edge(&mut self, from: u32, to: u32) {
         self.deps[from as usize].retain(|(t, _)| *t != to);
         self.users[to as usize].retain(|(f, _)| *f != from);
+        self.users_csr_cache.take();
     }
 
     /// Number of nodes.

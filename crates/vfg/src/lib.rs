@@ -11,12 +11,14 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod csr;
 pub mod memssa;
 pub mod printer;
 
 pub use build::{
     build, build_with, BuildOpts, Check, CheckKind, EdgeKind, NodeKind, Vfg, VfgMode, VfgStats,
 };
+pub use csr::Csr;
 pub use memssa::{
     build as build_memssa, build_function_ssa, modref_summaries, ChiDef, FuncMemSsa, MemDef,
     MemDefKind, MemSsa, MemVerId, ModRef, MuUse, RegionPhi,

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Stage benchmark: reference (pre-overhaul) vs current pointer solver and
+# definedness resolver over the workload-generator seed ladder.
+#
+# Full mode writes BENCH_pointer_resolve.json at the repo root (the file
+# is checked in so reviewers can see the numbers a change shipped with).
+# `--quick` runs two small seeds with one timing iteration and discards
+# the output — the CI smoke path; it proves the harness and the
+# in-process equivalence gate still run, not performance.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p usher-bench
+
+if [ "${1:-}" = "--quick" ]; then
+    echo "==> stage_bench --quick (smoke)"
+    ./target/release/stage_bench --quick >/dev/null
+    echo "==> bench smoke OK"
+else
+    echo "==> stage_bench (full ladder)"
+    # Progress lines go to stderr; the JSON object is stdout.
+    ./target/release/stage_bench > BENCH_pointer_resolve.json
+    echo "==> wrote BENCH_pointer_resolve.json"
+fi

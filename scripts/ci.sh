@@ -12,7 +12,13 @@ cargo fmt --all -- --check
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
+
+echo "==> bench smoke"
+sh scripts/bench.sh --quick
 
 echo "==> CI OK"

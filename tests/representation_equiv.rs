@@ -1,0 +1,159 @@
+//! Representation-equivalence suite for the solver data-structure
+//! overhaul: the bitmap/interned/CSR implementations must be invisible
+//! in every observable result. Each generated workload is pushed through
+//! the pipeline twice — once with the optimized pointer solver and
+//! definedness resolver, once with the retained reference
+//! implementations — and everything downstream is compared: points-to
+//! sets, call graph, concreteness, the resolved `Gamma`, and the final
+//! instrumentation plans (guided, Opt I, and TL variants).
+//!
+//! Random inputs come from the repo's own deterministic workload
+//! generator, so the suite needs no external property-testing crate.
+
+use usher::core::{guided_plan, resolve, resolve_reference, Gamma, GuidedOpts, Plan};
+use usher::frontend::compile_o0im;
+use usher::ir::Module;
+use usher::pointer::{analyze, analyze_reference, PointerAnalysis};
+use usher::vfg::{build, build_memssa, VfgMode};
+use usher::workloads::{generate, GenConfig};
+
+const CONTEXT_DEPTH: usize = 1;
+
+/// Every observable of the pointer analysis, via public accessors.
+fn assert_pointer_equiv(m: &Module, new: &PointerAnalysis, old: &PointerAnalysis, tag: &str) {
+    for (f, func) in m.funcs.iter_enumerated() {
+        for (v, _) in func.vars.iter_enumerated() {
+            assert_eq!(
+                new.pts_var(f, v),
+                old.pts_var(f, v),
+                "{tag}: pts_var({f:?}, {v:?})"
+            );
+            assert_eq!(
+                new.fn_targets(f, v),
+                old.fn_targets(f, v),
+                "{tag}: fn_targets({f:?}, {v:?})"
+            );
+        }
+    }
+    for (oid, _) in m.objects.iter_enumerated() {
+        let fields = new.all_fields(oid);
+        assert_eq!(fields, old.all_fields(oid), "{tag}: all_fields({oid:?})");
+        for loc in fields {
+            assert_eq!(
+                new.pts_mem(loc),
+                old.pts_mem(loc),
+                "{tag}: pts_mem({loc:?})"
+            );
+            assert_eq!(
+                new.is_concrete(loc),
+                old.is_concrete(loc),
+                "{tag}: is_concrete({loc:?})"
+            );
+            assert_eq!(
+                new.is_single_cell(loc),
+                old.is_single_cell(loc),
+                "{tag}: is_single_cell({loc:?})"
+            );
+        }
+    }
+    assert_eq!(
+        new.call_graph.callees, old.call_graph.callees,
+        "{tag}: call graph callees"
+    );
+    assert_eq!(
+        new.call_graph.callers, old.call_graph.callers,
+        "{tag}: call graph callers"
+    );
+    assert_eq!(
+        new.concrete_objects, old.concrete_objects,
+        "{tag}: concrete objects"
+    );
+}
+
+fn assert_gamma_equiv(n_nodes: usize, new: &Gamma, old: &Gamma, tag: &str) {
+    for v in 0..n_nodes as u32 {
+        assert_eq!(new.is_bot(v), old.is_bot(v), "{tag}: Gamma at node {v}");
+    }
+    assert_eq!(new.bot_count(), old.bot_count(), "{tag}: bot count");
+}
+
+fn assert_plan_equiv(new: &Plan, old: &Plan, tag: &str) {
+    assert_eq!(new.stats, old.stats, "{tag}: plan stats");
+    assert_eq!(new.before, old.before, "{tag}: before ops");
+    assert_eq!(new.after, old.after, "{tag}: after ops");
+    assert_eq!(new.entry, old.entry, "{tag}: entry ops");
+    assert_eq!(new.tracked_phis, old.tracked_phis, "{tag}: tracked phis");
+}
+
+/// Runs both generations end to end over one module and compares every
+/// observable. The reference side rebuilds its own memory SSA and VFG so
+/// the two pipelines share nothing past the IR.
+fn check_module(m: &Module, tag: &str) {
+    let pa_new = analyze(m);
+    let pa_old = analyze_reference(m);
+    assert_pointer_equiv(m, &pa_new, &pa_old, tag);
+
+    for (mode, mode_name) in [(VfgMode::Full, "full"), (VfgMode::TlOnly, "tl")] {
+        let tag = format!("{tag}/{mode_name}");
+        let ms_new = match mode {
+            VfgMode::Full => build_memssa(m, &pa_new),
+            VfgMode::TlOnly => Default::default(),
+        };
+        let ms_old = match mode {
+            VfgMode::Full => build_memssa(m, &pa_old),
+            VfgMode::TlOnly => Default::default(),
+        };
+        let g_new = build(m, &pa_new, &ms_new, mode);
+        let g_old = build(m, &pa_old, &ms_old, mode);
+        assert_eq!(g_new.len(), g_old.len(), "{tag}: VFG size");
+
+        let gamma_new = resolve(&g_new, CONTEXT_DEPTH);
+        let gamma_old = resolve_reference(&g_old, CONTEXT_DEPTH);
+        assert_gamma_equiv(g_new.len(), &gamma_new, &gamma_old, &tag);
+
+        let opt_variants = [
+            GuidedOpts::default(),
+            GuidedOpts {
+                opt1: true,
+                ..Default::default()
+            },
+            GuidedOpts {
+                full_memory: true,
+                ..Default::default()
+            },
+        ];
+        for (i, opts) in opt_variants.into_iter().enumerate() {
+            let plan_new = guided_plan(m, &pa_new, &ms_new, &g_new, &gamma_new, opts, "equiv");
+            let plan_old = guided_plan(m, &pa_old, &ms_old, &g_old, &gamma_old, opts, "equiv");
+            assert_plan_equiv(&plan_new, &plan_old, &format!("{tag}/opts{i}"));
+        }
+    }
+}
+
+#[test]
+fn generations_agree_on_small_seeds() {
+    for seed in 0..20u64 {
+        let cfg = GenConfig {
+            helpers: 4 + (seed as usize % 5),
+            max_stmts: 6 + (seed as usize % 4),
+            uninit_pct: 35,
+        };
+        let src = generate(seed, cfg);
+        let m = compile_o0im(&src).expect("generated workloads compile");
+        check_module(&m, &format!("seed-{seed}"));
+    }
+}
+
+#[test]
+fn generations_agree_on_larger_workloads() {
+    for (seed, helpers, stmts) in [(211u64, 24usize, 12usize), (223, 40, 12)] {
+        let cfg = GenConfig {
+            helpers,
+            max_stmts: stmts,
+            uninit_pct: 35,
+        };
+        let src = generate(seed, cfg);
+        let m = compile_o0im(&src).expect("generated workloads compile");
+        check_module(&m, &format!("large-{seed}"));
+    }
+}
