@@ -1,34 +1,51 @@
-//! Pointer-analysis / resolution stage benchmark: before (the retained
-//! reference implementations) vs after (bitmap points-to sets, interned
-//! contexts, CSR traversal) over the workload-generator seed ladder.
+//! Stage benchmark: times all ten driver stages end-to-end over the
+//! workload-generator seed ladder, plus focused before/after rungs for
+//! the three overhauled analysis stages — pointer analysis (bitmap
+//! solver vs reference), VFG construction (CSR-first builder vs the
+//! frozen adjacency-list reference) and definedness resolution (SCC
+//! condensation + context bit-lanes vs the frozen visited-state walk).
 //!
-//! Emits one JSON object (the `BENCH_pointer_resolve.json` format) on
-//! stdout; `scripts/bench.sh` redirects it into the repo. Results are
-//! cross-checked in-process: both solver generations must agree on the
-//! points-to sets and the resolved `Bot` set before any time is reported.
+//! The resolve rung measures the *same work as the driver's Resolve
+//! stage*: Opt II discovery plus re-resolution, on both sides. Every
+//! timing is gated by in-process cross-checks — frozen-reference freeze
+//! must be structurally identical to the CSR-first build, all `Gamma`s
+//! must agree node-for-node, Opt II must redirect the same nodes, and
+//! the final instrumentation plans must be byte-identical.
 //!
-//! Usage: `stage_bench [--quick]` (`--quick` = fewer seeds, one timing
-//! iteration — the CI smoke path).
+//! Emits one JSON object (the `BENCH_stages.json` format) on stdout;
+//! `scripts/bench.sh` redirects it into the repo.
+//!
+//! Usage: `stage_bench [--quick]` (`--quick` = two smoke rungs, fewer
+//! iterations, and a regression guard: exits nonzero if the condensed
+//! vfg+resolve pipeline is slower than the frozen reference).
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
-use usher_core::{resolve, resolve_reference};
-use usher_vfg::{build, build_memssa, VfgMode};
-use usher_workloads::{generate, GenConfig};
-
-/// One rung of the seed ladder: (generator seed, helpers, max stmts).
-const LADDER: &[(u64, usize, usize)] = &[
-    (11, 8, 8),
-    (23, 16, 10),
-    (37, 32, 12),
-    (53, 64, 12),
-    (71, 96, 14),
-    (97, 128, 14),
-    (131, 160, 14),
-];
+use usher_core::{
+    guided_plan, redundant_check_elimination, redundant_check_elimination_reference, resolve,
+    resolve_reference, Config, GuidedOpts,
+};
+use usher_driver::{plan_fingerprint, Pipeline, PipelineOptions};
+use usher_vfg::{build, build_memssa, build_reference, Vfg, VfgMode};
+use usher_workloads::{generate, ladder_config, SEED_LADDER};
 
 const CONTEXT_DEPTH: usize = 1;
+
+/// The driver stages in execution order (for stable JSON key order).
+const STAGE_NAMES: [&str; 10] = [
+    "parse",
+    "lower",
+    "inline",
+    "mem2reg",
+    "opt",
+    "pointer",
+    "memssa",
+    "vfg",
+    "resolve",
+    "instrument",
+];
 
 fn time_min<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
@@ -40,94 +57,236 @@ fn time_min<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
-fn main() {
+/// The frozen reference and the CSR-first builder must produce the same
+/// graph, bit for bit: same node interning order, same deduplicated
+/// dependence CSR, same transposed user CSR, same checks and stats.
+fn assert_freeze_equal(g: &Vfg, frozen: &Vfg, tag: &str) {
+    assert_eq!(g.nodes, frozen.nodes, "{tag}: node tables differ");
+    assert_eq!(g.deps.offsets, frozen.deps.offsets, "{tag}: deps offsets");
+    assert_eq!(g.deps.targets, frozen.deps.targets, "{tag}: deps targets");
+    assert_eq!(g.deps.kinds, frozen.deps.kinds, "{tag}: deps kinds");
+    assert_eq!(
+        g.users.offsets, frozen.users.offsets,
+        "{tag}: users offsets"
+    );
+    assert_eq!(
+        g.users.targets, frozen.users.targets,
+        "{tag}: users targets"
+    );
+    assert_eq!(g.users.kinds, frozen.users.kinds, "{tag}: users kinds");
+    assert_eq!(g.def_site, frozen.def_site, "{tag}: def sites");
+    assert_eq!(g.checks.len(), frozen.checks.len(), "{tag}: check count");
+    assert_eq!(g.stats, frozen.stats, "{tag}: store-kind stats");
+}
+
+fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (seeds, iters): (&[(u64, usize, usize)], usize) = if quick {
-        (&LADDER[..2], 1)
+    let (rungs, iters): (&[(u64, usize, usize)], usize) = if quick {
+        (&SEED_LADDER[..2], 2)
     } else {
-        (LADDER, 5)
+        (&SEED_LADDER, 5)
+    };
+
+    let usher_opts = GuidedOpts {
+        opt1: true,
+        full_memory: false,
+        bit_level: false,
     };
 
     let mut workloads = String::new();
-    let mut largest: Option<(String, f64, f64)> = None;
+    let mut largest: Option<(String, f64, f64, f64)> = None;
+    let mut regression = false;
 
-    for (i, &(seed, helpers, stmts)) in seeds.iter().enumerate() {
-        let cfg = GenConfig {
-            helpers,
-            max_stmts: stmts,
-            uninit_pct: 35,
-        };
-        let src = generate(seed, cfg);
+    for (i, &(seed, helpers, stmts)) in rungs.iter().enumerate() {
+        let src = generate(seed, ladder_config(helpers, stmts));
+        let name = format!("gen-{seed}");
         let m = usher_frontend::compile_o0im(&src).expect("generated workloads compile");
 
-        // Correctness gate: the two solver generations must agree before
-        // their timings mean anything.
+        // Shared upstream artifacts for the vfg/resolve rungs.
         let pa = usher_pointer::analyze(&m);
-        let pa_ref = usher_pointer::analyze_reference(&m);
         let ms = build_memssa(&m, &pa);
+
+        // ---- correctness gates --------------------------------------
+        let rg = build_reference(&m, &pa, &ms, VfgMode::Full);
         let g = build(&m, &pa, &ms, VfgMode::Full);
+        assert_freeze_equal(&g, &rg.freeze(), &name);
+
         let gamma = resolve(&g, CONTEXT_DEPTH);
-        let gamma_ref = resolve_reference(&g, CONTEXT_DEPTH);
+        let gamma_ref = resolve_reference(&rg, CONTEXT_DEPTH);
         for v in 0..g.len() as u32 {
             assert_eq!(
                 gamma.is_bot(v),
                 gamma_ref.is_bot(v),
-                "seed {seed}: resolver generations disagree at node {v}"
+                "{name}: resolver generations disagree at node {v}"
             );
         }
+
+        let opt2 = redundant_check_elimination(&m, &pa, &ms, &g, CONTEXT_DEPTH);
+        let opt2_ref = redundant_check_elimination_reference(&m, &pa, &ms, &rg, CONTEXT_DEPTH);
         assert_eq!(
-            pa.call_graph.callees, pa_ref.call_graph.callees,
-            "seed {seed}: solver generations disagree on the call graph"
+            opt2.redirected, opt2_ref.redirected,
+            "{name}: Opt II redirection counts disagree"
+        );
+        for v in 0..g.len() as u32 {
+            assert_eq!(
+                opt2.gamma.is_bot(v),
+                opt2_ref.gamma.is_bot(v),
+                "{name}: Opt II gammas disagree at node {v}"
+            );
+        }
+
+        let plan = guided_plan(&m, &pa, &ms, &g, &opt2.gamma, usher_opts, "bench");
+        let plan_ref = guided_plan(
+            &m,
+            &pa,
+            &ms,
+            &rg.freeze(),
+            &opt2_ref.gamma,
+            usher_opts,
+            "bench",
+        );
+        assert_eq!(
+            plan_fingerprint(&plan),
+            plan_fingerprint(&plan_ref),
+            "{name}: instrumentation plans are not byte-identical"
         );
 
+        let pa_ref = usher_pointer::analyze_reference(&m);
+        assert_eq!(
+            pa.call_graph.callees, pa_ref.call_graph.callees,
+            "{name}: solver generations disagree on the call graph"
+        );
+
+        // ---- all ten driver stages + end-to-end ---------------------
+        let mut stage_ms = [f64::INFINITY; STAGE_NAMES.len()];
+        let mut total_ms = f64::INFINITY;
+        for _ in 0..iters {
+            let pipe = Pipeline::new().without_cache().with_threads(1);
+            let run = pipe
+                .run_source(&name, &src, PipelineOptions::from_config(Config::USHER))
+                .expect("pipeline runs");
+            for st in &run.report.stages {
+                let slot = STAGE_NAMES
+                    .iter()
+                    .position(|n| *n == st.stage.name())
+                    .expect("known stage");
+                stage_ms[slot] = stage_ms[slot].min(st.seconds * 1e3);
+            }
+            total_ms = total_ms.min(run.report.total_seconds * 1e3);
+        }
+
+        // ---- before/after rungs -------------------------------------
         let t_pointer_before = time_min(iters, || usher_pointer::analyze_reference(&m));
         let t_pointer_after = time_min(iters, || usher_pointer::analyze(&m));
-        let t_resolve_before = time_min(iters, || resolve_reference(&g, CONTEXT_DEPTH));
-        let t_resolve_after = time_min(iters, || resolve(&g, CONTEXT_DEPTH));
+
+        let t_vfg_before = time_min(iters, || build_reference(&m, &pa, &ms, VfgMode::Full));
+        let t_vfg_after = time_min(iters, || build(&m, &pa, &ms, VfgMode::Full));
+
+        // The resolve rung is the driver's Resolve stage: Opt II
+        // discovery plus re-resolution. The condensed side rebuilds the
+        // VFG outside the timed region each iteration so every sample
+        // pays for the SCC condensation, exactly as a driver run does.
+        let t_resolve_before = time_min(iters, || {
+            redundant_check_elimination_reference(&m, &pa, &ms, &rg, CONTEXT_DEPTH)
+        });
+        let t_resolve_after = {
+            let mut best = f64::INFINITY;
+            for _ in 0..iters {
+                let g_fresh = build(&m, &pa, &ms, VfgMode::Full);
+                let t = Instant::now();
+                std::hint::black_box(redundant_check_elimination(
+                    &m,
+                    &pa,
+                    &ms,
+                    &g_fresh,
+                    CONTEXT_DEPTH,
+                ));
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best
+        };
 
         let p_speedup = t_pointer_before / t_pointer_after.max(1e-9);
+        let v_speedup = t_vfg_before / t_vfg_after.max(1e-9);
         let r_speedup = t_resolve_before / t_resolve_after.max(1e-9);
-        let name = format!("gen-{seed}");
+        let combined =
+            (t_vfg_before + t_resolve_before) / (t_vfg_after + t_resolve_after).max(1e-9);
+        if quick && combined < 1.0 {
+            eprintln!(
+                "REGRESSION: {name}: condensed vfg+resolve {:.3}ms is slower than the \
+                 frozen reference {:.3}ms (combined speedup {combined:.2}x)",
+                (t_vfg_after + t_resolve_after) * 1e3,
+                (t_vfg_before + t_resolve_before) * 1e3,
+            );
+            regression = true;
+        }
+
+        let rs = opt2.gamma.stats;
         let _ = write!(
             workloads,
-            "{}{{\"name\":\"{name}\",\"seed\":{seed},\"helpers\":{helpers},\"source_bytes\":{},\"vfg_nodes\":{},\
-             \"pointer\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
-             \"resolve\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
-             \"solver\":{{\"nodes\":{},\"interned_targets\":{},\"pops\":{},\"merges\":{},\"peak_pts_words\":{}}},\
-             \"contexts\":{},\"visited_states\":{},\"bot_nodes\":{}}}",
+            "{}{{\"name\":\"{name}\",\"seed\":{seed},\"helpers\":{helpers},\"source_bytes\":{},\"vfg_nodes\":{}",
             if i > 0 { "," } else { "" },
             src.len(),
             g.len(),
+        );
+        let _ = write!(workloads, ",\"stages_ms\":{{");
+        for (j, n) in STAGE_NAMES.iter().enumerate() {
+            let _ = write!(
+                workloads,
+                "{}\"{n}\":{:.3}",
+                if j > 0 { "," } else { "" },
+                stage_ms[j],
+            );
+        }
+        let _ = write!(workloads, ",\"total\":{total_ms:.3}}}");
+        let _ = write!(
+            workloads,
+            ",\"pointer\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
+             \"vfg\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
+             \"resolve\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
+             \"combined_vfg_resolve_speedup\":{combined:.2},\
+             \"sccs\":{},\"nontrivial_sccs\":{},\"word_ops\":{},\
+             \"contexts\":{},\"visited_states\":{},\"bot_nodes\":{},\"opt2_redirected\":{},\
+             \"semi_strong_stores\":{}}}",
             t_pointer_before * 1e3,
             t_pointer_after * 1e3,
             p_speedup,
+            t_vfg_before * 1e3,
+            t_vfg_after * 1e3,
+            v_speedup,
             t_resolve_before * 1e3,
             t_resolve_after * 1e3,
             r_speedup,
-            pa.stats.nodes,
-            pa.stats.interned_targets,
-            pa.stats.pops,
-            pa.stats.merges,
-            pa.stats.peak_pts_words,
-            gamma.stats.interned_contexts,
-            gamma.stats.visited_states,
-            gamma.bot_count(),
+            rs.sccs,
+            rs.nontrivial_sccs,
+            rs.word_ops,
+            rs.interned_contexts,
+            rs.visited_states,
+            opt2.gamma.bot_count(),
+            opt2.redirected,
+            g.stats.semi_strong_stores,
         );
-        largest = Some((name, p_speedup, r_speedup));
+        largest = Some((name.clone(), v_speedup, r_speedup, combined));
         eprintln!(
-            "seed={seed} helpers={helpers} nodes={} pointer {:.2}ms -> {:.2}ms ({p_speedup:.2}x) resolve {:.2}ms -> {:.2}ms ({r_speedup:.2}x)",
+            "{name} helpers={helpers} nodes={} vfg {:.2}ms -> {:.2}ms ({v_speedup:.2}x) \
+             resolve {:.2}ms -> {:.2}ms ({r_speedup:.2}x) combined {combined:.2}x total {total_ms:.1}ms",
             g.len(),
-            t_pointer_before * 1e3,
-            t_pointer_after * 1e3,
+            t_vfg_before * 1e3,
+            t_vfg_after * 1e3,
             t_resolve_before * 1e3,
             t_resolve_after * 1e3,
         );
     }
 
-    let (lname, lp, lr) = largest.expect("at least one seed");
+    let (lname, lv, lr, lc) = largest.expect("at least one rung");
     println!(
-        "{{\"bench\":\"pointer_resolve\",\"quick\":{quick},\"iters\":{iters},\"context_depth\":{CONTEXT_DEPTH},\
+        "{{\"bench\":\"stages\",\"quick\":{quick},\"iters\":{iters},\"context_depth\":{CONTEXT_DEPTH},\
          \"workloads\":[{workloads}],\
-         \"largest\":{{\"name\":\"{lname}\",\"pointer_speedup\":{lp:.2},\"resolve_speedup\":{lr:.2}}}}}"
+         \"largest\":{{\"name\":\"{lname}\",\"vfg_speedup\":{lv:.2},\"resolve_speedup\":{lr:.2},\"combined_vfg_resolve_speedup\":{lc:.2}}}}}"
     );
+    if regression {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

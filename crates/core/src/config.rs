@@ -169,12 +169,11 @@ pub fn run_config(m: &Module, cfg: Config) -> AnalysisOutput {
                 VfgMode::TlOnly => MemSsa::default(),
             };
             let vfg = usher_vfg::build(m, &pa, &ms, u.mode);
-            let base_gamma = resolve(&vfg, u.context_depth);
             let (gamma, redirected) = if u.opt2 {
                 let r = redundant_check_elimination(m, &pa, &ms, &vfg, u.context_depth);
                 (r.gamma, r.redirected)
             } else {
-                (base_gamma, 0)
+                (resolve(&vfg, u.context_depth), 0)
             };
             let opts = GuidedOpts {
                 opt1: u.opt1,

@@ -581,10 +581,7 @@ impl<'a> Generator<'a> {
     }
 
     fn demand_deps(&mut self, node: u32) {
-        let deps: Vec<u32> = self.vfg.deps[node as usize]
-            .iter()
-            .map(|(d, _)| *d)
-            .collect();
+        let deps: Vec<u32> = self.vfg.deps.edges(node).map(|(d, _)| d).collect();
         for d in deps {
             self.demand(d);
         }
@@ -613,7 +610,7 @@ impl<'a> Generator<'a> {
                 .entry(f)
                 .or_default()
                 .push(ShadowOp::ParamSh { dst: v, index });
-            let deps: Vec<(u32, EdgeKind)> = self.vfg.deps[node as usize].clone();
+            let deps: Vec<(u32, EdgeKind)> = self.vfg.deps.edges(node).collect();
             for (dep, kind) in deps {
                 if let EdgeKind::Call(cs) = kind {
                     if self.arg_sh_done.insert((cs, index)) {

@@ -38,10 +38,10 @@ pub use instrument::{
 };
 pub use merge::{access_equivalence_classes, resolve_merged, MergeStats};
 pub use mfc::{mfc, Mfc};
-pub use opt2::{redundant_check_elimination, Opt2Result};
+pub use opt2::{redundant_check_elimination, redundant_check_elimination_reference, Opt2Result};
 pub use resolve::{
-    resolve, resolve_graph, resolve_graph_reference, resolve_reference, Definedness, Gamma,
-    ResolveStats,
+    resolve, resolve_condensed, resolve_graph, resolve_graph_reference, resolve_reference,
+    Definedness, Gamma, ResolveStats,
 };
 pub use stats::{
     nodes_reaching_checks, render_table1, table1_row, table1_row_from, AnalysisFacts, Table1Row,

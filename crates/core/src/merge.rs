@@ -51,12 +51,13 @@ pub fn access_equivalence_classes(vfg: &Vfg) -> (Vec<u32>, usize, usize) {
         rounds += 1;
         let mut next: Vec<u64> = Vec::with_capacity(n);
         for v in 0..n {
-            let mut sig: Vec<(u64, u64)> = vfg.deps[v]
-                .iter()
+            let mut sig: Vec<(u64, u64)> = vfg
+                .deps
+                .edges(v as u32)
                 .map(|(d, kind)| {
                     let mut h = DefaultHasher::new();
                     kind.hash(&mut h);
-                    (class[*d as usize], h.finish())
+                    (class[d as usize], h.finish())
                 })
                 .collect();
             sig.sort_unstable();
@@ -115,7 +116,7 @@ pub fn resolve_merged(vfg: &Vfg, k: usize) -> (Gamma, MergeStats) {
     let mut users: Vec<Vec<(u32, usher_vfg::EdgeKind)>> = vec![Vec::new(); nclasses];
     for v in 0..n {
         let cv = class[v];
-        for &(u, kind) in &vfg.users[v] {
+        for (u, kind) in vfg.users.edges(v as u32) {
             let cu = class[u as usize];
             if !users[cv as usize].contains(&(cu, kind)) {
                 users[cv as usize].push((cu, kind));

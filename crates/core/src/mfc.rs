@@ -83,7 +83,7 @@ pub fn mfc(m: &Module, vfg: &Vfg, x_node: u32, fold_bitwise: bool) -> Mfc {
             if !is_sink {
                 out.folded += 1;
             }
-            for &(dep, _) in &vfg.deps[v as usize] {
+            for (dep, _) in vfg.deps.edges(v) {
                 work.push((dep, false));
             }
         } else {

@@ -3,20 +3,31 @@
 //! If an undefined value is guaranteed to be detected at a critical
 //! statement `s`, its rippling effects on statements dominated by `s` are
 //! suppressed: every flow from the must-flow-from closure of `s`'s checked
-//! variable into a dominated definition `r` is redirected to `T` in a
-//! *copy* of the VFG, and definedness is re-resolved there. Guided
+//! variable into a dominated definition `r` is redirected to `T`, and
+//! definedness is re-resolved on the redirected graph. Guided
 //! instrumentation then runs on the **original** VFG with the new `Gamma`
 //! (so all shadow values stay correctly initialized) — which is exactly
 //! what [`crate::instrument::guided_plan`] does when handed this `Gamma`.
+//!
+//! The VFG is immutable, so the redirection is not graph surgery: the
+//! discovery loop collects the removed `(r, t)` dependence edges into a
+//! set and resolution runs over the *shared* condensation with those
+//! edges filtered out ([`crate::resolve::resolve_condensed`]). This is
+//! exact: removals only split SCCs (the condensation's topological order
+//! stays valid, the intra-SCC fixpoints simply converge faster), and the
+//! `r -> T` replacement edges cannot affect reachability from `F`
+//! because `T` has no dependencies and is therefore never marked. The
+//! original clone-and-mutate implementation is frozen as
+//! [`redundant_check_elimination_reference`] over [`RefVfg`].
 
 use std::collections::{HashMap, HashSet};
 
-use usher_ir::{Cfg, DomTree, FuncId, Module, Operand, Site};
+use usher_ir::{Cfg, DomTree, FuncId, FxHashSet, Inst, Module, Operand, Site};
 use usher_pointer::PointerAnalysis;
-use usher_vfg::{MemSsa, NodeKind, Vfg};
+use usher_vfg::{Csr, MemSsa, NodeKind, RefVfg, Vfg};
 
 use crate::mfc::mfc;
-use crate::resolve::{resolve, Gamma};
+use crate::resolve::{resolve_condensed, resolve_graph, Gamma};
 
 /// The result of running Opt II.
 #[derive(Clone, Debug)]
@@ -36,8 +47,10 @@ pub fn redundant_check_elimination(
     vfg: &Vfg,
     k: usize,
 ) -> Opt2Result {
-    let mut g2 = vfg.clone();
     let mut redirected: HashSet<u32> = HashSet::new();
+    // Removed dependence edges `(r, t)`, matched kind-blind like the
+    // reference's `remove_edge`.
+    let mut removed: FxHashSet<(u32, u32)> = FxHashSet::default();
 
     // Dominator trees per function, computed lazily.
     let mut dts: HashMap<FuncId, DomTree> = HashMap::new();
@@ -59,8 +72,7 @@ pub fn redundant_check_elimination(
         // inside it (Algorithm 1, line 4).
         let closure = mfc(m, vfg, x_node, true);
         let mut ax: HashSet<u32> = closure.nodes.clone();
-        let tl_members: Vec<u32> = closure.nodes.iter().copied().collect();
-        for n in tl_members {
+        for &n in &closure.nodes {
             let Some(site) = vfg.def_site[n as usize] else {
                 continue;
             };
@@ -86,6 +98,98 @@ pub fn redundant_check_elimination(
         dts.entry(check.site.func)
             .or_insert_with(|| dt_of(check.site.func));
         for &t in &ax {
+            for (r, _) in vfg.users.edges(t) {
+                if ax.contains(&r) || r == check.node {
+                    continue;
+                }
+                let Some(r_site) = vfg.def_site[r as usize] else {
+                    continue;
+                };
+                if r_site.func != check.site.func {
+                    continue;
+                }
+                let dt = &dts[&check.site.func];
+                if dominates_site(dt, check.site, r_site) {
+                    removed.insert((r, t));
+                    redirected.insert(r);
+                }
+            }
+        }
+    }
+
+    let gamma = resolve_condensed(vfg, k, |user, node| removed.contains(&(user, node)));
+    Opt2Result {
+        gamma,
+        redirected: redirected.len(),
+    }
+}
+
+fn dominates_site(dt: &DomTree, a: Site, b: Site) -> bool {
+    if a == b {
+        return false;
+    }
+    if a.block == b.block {
+        return a.idx < b.idx;
+    }
+    dt.dominates(a.block, b.block)
+}
+
+// ---- reference implementation (pre-overhaul), kept for equivalence ----
+
+/// The original Opt II: clone the adjacency-list VFG, surgically rewire
+/// it, and re-resolve with the visited-state walk over a freshly frozen
+/// CSR — exactly the pre-condensation cost profile. Semantics are
+/// frozen; do not optimize.
+pub fn redundant_check_elimination_reference(
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    vfg: &RefVfg,
+    k: usize,
+) -> Opt2Result {
+    let mut g2 = vfg.clone();
+    let mut redirected: HashSet<u32> = HashSet::new();
+
+    let mut dts: HashMap<FuncId, DomTree> = HashMap::new();
+    let dt_of = |f: FuncId| -> DomTree {
+        let func = &m.funcs[f];
+        let cfg = Cfg::compute(func);
+        DomTree::compute(func, &cfg)
+    };
+
+    for check in &vfg.checks {
+        let Operand::Var(x) = check.operand else {
+            continue;
+        };
+        let Some(x_node) = vfg.tl(check.site.func, x) else {
+            continue;
+        };
+
+        let closure = mfc_reference(m, vfg, x_node, true);
+        let mut ax: HashSet<u32> = closure.clone();
+        for &n in &closure {
+            let Some(site) = vfg.def_site[n as usize] else {
+                continue;
+            };
+            let NodeKind::Tl(f, _) = vfg.nodes[n as usize] else {
+                continue;
+            };
+            let Some(fs) = ms.funcs.get(&f) else { continue };
+            let Some(mus) = fs.mus.get(&site) else {
+                continue;
+            };
+            for mu in mus {
+                if pa.is_concrete(mu.loc) {
+                    if let Some(mn) = vfg.mem(f, mu.def) {
+                        ax.insert(mn);
+                    }
+                }
+            }
+        }
+
+        dts.entry(check.site.func)
+            .or_insert_with(|| dt_of(check.site.func));
+        for &t in &ax {
             let user_list: Vec<u32> = vfg.users[t as usize].iter().map(|(r, _)| *r).collect();
             for r in user_list {
                 if ax.contains(&r) || r == check.node {
@@ -107,19 +211,48 @@ pub fn redundant_check_elimination(
         }
     }
 
-    let gamma = resolve(&g2, k);
+    let users = Csr::from_adjacency(&g2.users);
+    let (bot, stats) = resolve_graph(&users, g2.f_root, k);
     Opt2Result {
-        gamma,
+        gamma: Gamma::from_bot_with_stats(bot, k, stats),
         redirected: redirected.len(),
     }
 }
 
-fn dominates_site(dt: &DomTree, a: Site, b: Site) -> bool {
-    if a == b {
-        return false;
+/// The MFC fold of [`crate::mfc::mfc`], restricted to the node set (all
+/// Opt II consumes) and reading the reference adjacency lists.
+fn mfc_reference(m: &Module, vfg: &RefVfg, x_node: u32, fold_bitwise: bool) -> HashSet<u32> {
+    let mut nodes: HashSet<u32> = HashSet::new();
+    let mut work = vec![x_node];
+    let mut seen: HashSet<u32> = HashSet::new();
+    while let Some(v) = work.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        if !matches!(vfg.nodes[v as usize], NodeKind::Tl(..)) {
+            continue;
+        }
+        nodes.insert(v);
+        let foldable = match def_inst_reference(m, vfg, v) {
+            Some(Inst::Copy { .. }) | Some(Inst::Un { .. }) | Some(Inst::Gep { .. }) => true,
+            Some(Inst::Bin { op, .. }) => fold_bitwise || !op.is_bitwise(),
+            Some(Inst::Alloc { .. }) => false,
+            _ => false,
+        };
+        if foldable {
+            for &(dep, _) in &vfg.deps[v as usize] {
+                work.push(dep);
+            }
+        }
     }
-    if a.block == b.block {
-        return a.idx < b.idx;
-    }
-    dt.dominates(a.block, b.block)
+    nodes
+}
+
+fn def_inst_reference<'m>(m: &'m Module, vfg: &RefVfg, node: u32) -> Option<&'m Inst> {
+    let NodeKind::Tl(f, _) = vfg.nodes[node as usize] else {
+        return None;
+    };
+    let site = vfg.def_site[node as usize]?;
+    debug_assert_eq!(site.func, f);
+    m.funcs[f].blocks[site.block].insts.get(site.idx)
 }

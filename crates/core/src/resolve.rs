@@ -7,17 +7,24 @@
 //! 1-call-site sensitivity; the depth is a parameter here (0 recovers a
 //! context-insensitive analysis, useful as an ablation).
 //!
-//! The engine walks the `users` adjacency in CSR form and interns the
-//! k-limited contexts into a dense `u32` space ([`CtxTable`]): push/pop
-//! become table lookups, and the visited set is a per-node bitset indexed
-//! by `CtxId` — no per-edge allocation or hashing. The original
-//! clone-and-hash engine is retained as [`resolve_reference`] for the
-//! representation-equivalence tests and `scripts/bench.sh`.
+//! The engine condenses the `users` graph into its SCC DAG (computed
+//! once per VFG, shared with Opt II) and propagates reachability as a
+//! single forward pass in topological order, with a worklist fixpoint
+//! only inside non-trivial components. Contexts are interned into a
+//! dense `u32` space ([`CtxTable`]) and each node carries a *lane
+//! bitset* over context ids: a `Direct` edge moves every context at
+//! once with word-parallel ORs, and only `Call`/`Ret` edges (which
+//! remap contexts through push/pop) iterate individual lanes. The
+//! per-`(node, context)` visited-state walk this replaces is retained as
+//! [`resolve_graph`] — it still resolves quotient graphs for
+//! access-equivalence merging and prices the frozen reference path in
+//! `scripts/bench.sh` — and the original clone-and-hash engine as
+//! [`resolve_reference`].
 
 use std::collections::HashSet;
 
 use usher_ir::{FxHashMap, Site};
-use usher_vfg::{Csr, EdgeKind, Vfg};
+use usher_vfg::{Csr, EdgeKind, RefVfg, Vfg};
 
 /// The definedness state of a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +42,13 @@ pub struct ResolveStats {
     pub interned_contexts: usize,
     /// `(node, context)` states visited.
     pub visited_states: usize,
+    /// SCCs in the users-graph condensation (0 for the walk engine).
+    pub sccs: usize,
+    /// SCCs needing an intra-component fixpoint (size > 1 or self-loop).
+    pub nontrivial_sccs: usize,
+    /// 64-bit word operations spent in lane propagation (0 for the walk
+    /// engine).
+    pub word_ops: usize,
 }
 
 /// The resolved `Gamma` map.
@@ -250,11 +264,219 @@ impl Visited {
     }
 }
 
+/// Per-node context-lane bitsets: lane `c` of node `v` set means the
+/// state `(v, context c)` is reachable from `(F, empty)`. One flat
+/// strided buffer; the stride (words per node) grows only when the
+/// interned-context count crosses a 64-multiple, and spills to as many
+/// words as the context space needs.
+struct Lanes {
+    words: Vec<u64>,
+    /// Words per node (power of two).
+    stride: usize,
+    n: usize,
+    /// Total set bits (= visited `(node, context)` states).
+    states: usize,
+    /// Word-level operations spent ORing and scanning lanes.
+    word_ops: usize,
+}
+
+impl Lanes {
+    fn new(n: usize) -> Lanes {
+        Lanes {
+            words: vec![0u64; n],
+            stride: 1,
+            n,
+            states: 0,
+            word_ops: 0,
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self, need: usize) {
+        let new_stride = need.next_power_of_two();
+        let mut new_words = vec![0u64; self.n * new_stride];
+        for v in 0..self.n {
+            new_words[v * new_stride..v * new_stride + self.stride]
+                .copy_from_slice(&self.words[v * self.stride..(v + 1) * self.stride]);
+        }
+        self.words = new_words;
+        self.stride = new_stride;
+    }
+
+    /// Sets lane `ctx` of `node`; returns whether it was clear.
+    #[inline]
+    fn set(&mut self, node: u32, ctx: u32) -> bool {
+        let wi = (ctx / 64) as usize;
+        if wi >= self.stride {
+            self.grow(wi + 1);
+        }
+        let w = &mut self.words[node as usize * self.stride + wi];
+        let mask = 1u64 << (ctx % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.states += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `node` has no reachable context.
+    #[inline]
+    fn row_empty(&self, node: u32) -> bool {
+        let lo = node as usize * self.stride;
+        self.words[lo..lo + self.stride].iter().all(|&w| w == 0)
+    }
+
+    /// `dst |= src`, word-parallel; returns whether any lane was added.
+    #[inline]
+    fn or_into(&mut self, src: u32, dst: u32) -> bool {
+        if src == dst {
+            return false;
+        }
+        let s = src as usize * self.stride;
+        let d = dst as usize * self.stride;
+        let mut changed = false;
+        for i in 0..self.stride {
+            let v = self.words[s + i];
+            self.word_ops += 1;
+            if v != 0 {
+                let old = self.words[d + i];
+                let new = old | v;
+                if new != old {
+                    self.words[d + i] = new;
+                    self.states += (old ^ new).count_ones() as usize;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Copies `node`'s row into `scratch` (so callers can iterate lanes
+    /// while `set` may reallocate the buffer, and so self-loop edges read
+    /// a stable snapshot).
+    #[inline]
+    fn snapshot(&mut self, node: u32, scratch: &mut Vec<u64>) {
+        let lo = node as usize * self.stride;
+        scratch.clear();
+        scratch.extend_from_slice(&self.words[lo..lo + self.stride]);
+        self.word_ops += self.stride;
+    }
+}
+
 /// Resolves definedness over the VFG with `k`-call-site context
-/// sensitivity (the paper uses `k = 1`).
+/// sensitivity (the paper uses `k = 1`), via the condensed context-lane
+/// engine.
 pub fn resolve(vfg: &Vfg, k: usize) -> Gamma {
-    let users = vfg.users_csr();
-    let (bot, stats) = resolve_graph(users, vfg.f_root, k);
+    resolve_condensed(vfg, k, |_, _| false)
+}
+
+/// The condensed engine, with an edge filter: the users edge `node ->
+/// user` is ignored when `skip(user, node)` returns true. Opt II resolves
+/// its redirected graph this way — edge *removals* only ever split SCCs,
+/// so the shared condensation's topological order stays valid and the
+/// graph never needs to be cloned or mutated.
+pub fn resolve_condensed(vfg: &Vfg, k: usize, skip: impl Fn(u32, u32) -> bool) -> Gamma {
+    let users = &vfg.users;
+    let cond = vfg.condensation();
+    let n = users.len();
+    let mut ctxs = CtxTable::new(k);
+    let mut lanes = Lanes::new(n);
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
+    let mut queued = vec![false; n];
+
+    lanes.set(vfg.f_root, ctxs.empty());
+
+    // Propagates u's lanes across one users edge. Direct edges move all
+    // contexts in one word-parallel OR; Call/Ret remap each lane through
+    // the context table, reading from a snapshot because `set` can grow
+    // the buffer mid-iteration (and because `w == u` self-loops must not
+    // observe their own writes within one transfer).
+    fn transfer(
+        lanes: &mut Lanes,
+        ctxs: &mut CtxTable,
+        scratch: &mut Vec<u64>,
+        u: u32,
+        w: u32,
+        kind: EdgeKind,
+    ) -> bool {
+        match kind {
+            EdgeKind::Direct => lanes.or_into(u, w),
+            EdgeKind::Call(site) | EdgeKind::Ret(site) => {
+                let is_call = matches!(kind, EdgeKind::Call(_));
+                lanes.snapshot(u, scratch);
+                let mut changed = false;
+                for (wi, &word) in scratch.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        let ctx = (wi as u32) * 64 + b;
+                        let next = if is_call {
+                            Some(ctxs.push(ctx, site))
+                        } else {
+                            ctxs.pop(ctx, site)
+                        };
+                        if let Some(nc) = next {
+                            changed |= lanes.set(w, nc);
+                        }
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    // SCCs in topological order of the condensation: every cross-SCC
+    // users edge points from a higher id to a lower one, so when an SCC
+    // is reached its members' lanes are final after the intra fixpoint.
+    for c in cond.topo_order() {
+        let members = cond.members_of(c);
+        // Intra-SCC fixpoint, seeded with members that already have
+        // reachable contexts.
+        for &u in members {
+            if !lanes.row_empty(u) {
+                queue.push(u);
+                queued[u as usize] = true;
+            }
+        }
+        while let Some(u) = queue.pop() {
+            queued[u as usize] = false;
+            for (w, kind) in users.edges(u) {
+                if cond.comp[w as usize] != c || skip(w, u) {
+                    continue;
+                }
+                if transfer(&mut lanes, &mut ctxs, &mut scratch, u, w, kind) && !queued[w as usize]
+                {
+                    queue.push(w);
+                    queued[w as usize] = true;
+                }
+            }
+        }
+        // Cross-SCC edges, once per member, with final lanes.
+        for &u in members {
+            if lanes.row_empty(u) {
+                continue;
+            }
+            for (w, kind) in users.edges(u) {
+                if cond.comp[w as usize] == c || skip(w, u) {
+                    continue;
+                }
+                transfer(&mut lanes, &mut ctxs, &mut scratch, u, w, kind);
+            }
+        }
+    }
+
+    let bot: Vec<bool> = (0..n as u32).map(|v| !lanes.row_empty(v)).collect();
+    let stats = ResolveStats {
+        interned_contexts: ctxs.len(),
+        visited_states: lanes.states,
+        sccs: cond.sccs,
+        nontrivial_sccs: cond.nontrivial,
+        word_ops: lanes.word_ops,
+    };
     Gamma {
         bot,
         context_depth: k,
@@ -300,6 +522,7 @@ pub fn resolve_graph(users: &Csr, f_root: u32, k: usize) -> (Vec<bool>, ResolveS
     let stats = ResolveStats {
         interned_contexts: ctxs.len(),
         visited_states: visited.states,
+        ..Default::default()
     };
     (bot, stats)
 }
@@ -347,9 +570,10 @@ impl Ctx {
     }
 }
 
-/// The original clone-and-hash resolution engine, kept as the oracle for
-/// the interned/CSR engine. Semantics are frozen; do not optimize.
-pub fn resolve_reference(vfg: &Vfg, k: usize) -> Gamma {
+/// The original clone-and-hash resolution engine over the frozen
+/// adjacency-list VFG, kept as the oracle for the condensed engine.
+/// Semantics are frozen; do not optimize.
+pub fn resolve_reference(vfg: &RefVfg, k: usize) -> Gamma {
     let bot = resolve_graph_reference(&vfg.users, vfg.f_root, vfg.nodes.len(), k);
     Gamma {
         bot,
@@ -603,14 +827,51 @@ mod tests {
                 return b + *p;
             }";
         let m = compile_o0im(src).expect("compiles");
-        let (_pa, _ms, g) = analyze_module(&m, VfgMode::Full);
+        let pa = usher_pointer::analyze(&m);
+        let ms = usher_vfg::build_memssa(&m, &pa);
+        let g = usher_vfg::build(&m, &pa, &ms, VfgMode::Full);
+        let rg = usher_vfg::build_reference(&m, &pa, &ms, VfgMode::Full);
         for k in 0..4 {
             let fast = resolve(&g, k);
-            let slow = resolve_reference(&g, k);
+            let walk = {
+                let (bot, stats) = resolve_graph(&g.users, g.f_root, k);
+                Gamma::from_bot_with_stats(bot, k, stats)
+            };
+            let slow = resolve_reference(&rg, k);
             for v in 0..g.len() as u32 {
                 assert_eq!(fast.is_bot(v), slow.is_bot(v), "node {v} at k={k}");
+                assert_eq!(fast.is_bot(v), walk.is_bot(v), "walk node {v} at k={k}");
             }
+            // The condensed engine reaches exactly the walk engine's
+            // `(node, context)` state set.
+            assert_eq!(
+                fast.stats.visited_states, walk.stats.visited_states,
+                "state counts at k={k}"
+            );
+            assert_eq!(
+                fast.stats.interned_contexts, walk.stats.interned_contexts,
+                "context counts at k={k}"
+            );
         }
+    }
+
+    #[test]
+    fn condensed_stats_expose_sccs_and_word_ops() {
+        // `s` starts undefined and circulates through the loop-carried
+        // phi cycle, so lane propagation must do real word work inside a
+        // non-trivial SCC.
+        let (_m, _g, gamma) = gamma_for(
+            "def main() {
+                 int i = 0;
+                 int s;
+                 while (i < 4) { s = s + i; i = i + 1; }
+                 print(s);
+             }",
+            1,
+        );
+        assert!(gamma.stats.sccs >= 1);
+        assert!(gamma.stats.nontrivial_sccs >= 1);
+        assert!(gamma.stats.word_ops >= 1);
     }
 
     #[test]

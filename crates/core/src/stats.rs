@@ -157,7 +157,7 @@ pub fn nodes_reaching_checks(vfg: &Vfg) -> usize {
         }
     }
     while let Some(n) = work.pop() {
-        for &(d, _) in &vfg.deps[n as usize] {
+        for (d, _) in vfg.deps.edges(n) {
             if seen.insert(d) {
                 work.push(d);
             }
@@ -174,7 +174,7 @@ pub fn nodes_reaching_checks(vfg: &Vfg) -> usize {
 }
 
 fn approx_mem_mb(vfg: &Vfg) -> f64 {
-    let edges: usize = vfg.deps.iter().map(Vec::len).sum();
+    let edges: usize = vfg.deps.targets.len();
     // Node records + two edge directions; a rough but deterministic proxy
     // for the analysis footprint.
     let bytes = vfg.len() * 64 + edges * 24 * 2;

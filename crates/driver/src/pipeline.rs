@@ -156,6 +156,7 @@ pub struct PipelineRun {
 pub struct Pipeline {
     cache: ArtifactCache,
     threads: usize,
+    requested_threads: usize,
     use_cache: bool,
 }
 
@@ -237,13 +238,18 @@ impl Pipeline {
         Pipeline {
             cache: ArtifactCache::new(),
             threads: default_threads(),
+            requested_threads: default_threads(),
             use_cache: true,
         }
     }
 
-    /// Sets the worker-thread count (1 = fully sequential).
+    /// Sets the worker-thread count (1 = fully sequential). Requests
+    /// beyond the host's available parallelism are clamped — extra
+    /// workers only add scheduling overhead — and the requested value is
+    /// kept for telemetry ([`BatchReport::requested_threads`]).
     pub fn with_threads(mut self, threads: usize) -> Pipeline {
-        self.threads = threads.max(1);
+        self.requested_threads = threads.max(1);
+        self.threads = self.requested_threads.min(default_threads()).max(1);
         self
     }
 
@@ -253,9 +259,14 @@ impl Pipeline {
         self
     }
 
-    /// The configured worker-thread count.
+    /// The effective worker-thread count (after clamping).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The worker-thread count the caller asked for, before clamping.
+    pub fn requested_threads(&self) -> usize {
+        self.requested_threads
     }
 
     /// Global cache counters.
@@ -341,6 +352,7 @@ impl Pipeline {
         });
         let report = BatchReport {
             threads: self.threads,
+            requested_threads: self.requested_threads,
             wall_seconds: t.elapsed().as_secs_f64(),
             runs: runs
                 .iter()
@@ -662,6 +674,17 @@ mod tests {
     ";
 
     #[test]
+    fn thread_requests_are_clamped_to_available_parallelism() {
+        let pipe = Pipeline::new().with_threads(100_000);
+        assert_eq!(pipe.requested_threads(), 100_000);
+        assert!(pipe.threads() <= crate::pool::default_threads());
+        assert!(pipe.threads() >= 1);
+        let (_runs, report) = pipe.run_batch(&[]);
+        assert_eq!(report.requested_threads, 100_000);
+        assert_eq!(report.threads, pipe.threads());
+    }
+
+    #[test]
     fn run_matches_run_config() {
         let pipe = Pipeline::new().with_threads(1);
         let run = pipe
@@ -757,7 +780,8 @@ mod tests {
             assert_eq!(r.as_ref().unwrap().name, format!("job{i}"));
         }
         assert_eq!(report.runs.len(), 6);
-        assert_eq!(report.threads, 4);
+        assert_eq!(report.requested_threads, 4);
+        assert_eq!(report.threads, 4.min(crate::pool::default_threads()));
     }
 
     #[test]

@@ -180,8 +180,12 @@ impl PipelineReport {
         );
         let _ = write!(
             s,
-            ",\"resolve\":{{\"interned_contexts\":{},\"visited_states\":{}}}}}",
-            self.resolve_stats.interned_contexts, self.resolve_stats.visited_states,
+            ",\"resolve\":{{\"interned_contexts\":{},\"visited_states\":{},\"sccs\":{},\"nontrivial_sccs\":{},\"word_ops\":{}}}}}",
+            self.resolve_stats.interned_contexts,
+            self.resolve_stats.visited_states,
+            self.resolve_stats.sccs,
+            self.resolve_stats.nontrivial_sccs,
+            self.resolve_stats.word_ops,
         );
         s
     }
@@ -190,8 +194,11 @@ impl PipelineReport {
 /// Telemetry for a whole batch: one record per run plus the batch header.
 #[derive(Clone, Debug, Default)]
 pub struct BatchReport {
-    /// Worker threads the batch was scheduled on.
+    /// Worker threads the batch was actually scheduled on (clamped to the
+    /// host's available parallelism).
     pub threads: usize,
+    /// Worker threads the caller asked for before clamping.
+    pub requested_threads: usize,
     /// End-to-end wall-clock seconds for the batch.
     pub wall_seconds: f64,
     /// Per-run reports, in job submission order.
@@ -209,8 +216,9 @@ impl BatchReport {
     /// by one record per run.
     pub fn to_json_lines(&self) -> String {
         let mut s = format!(
-            "{{\"batch\":{{\"threads\":{},\"wall_seconds\":{:.6},\"cpu_seconds\":{:.6},\"runs\":{}}}}}\n",
+            "{{\"batch\":{{\"threads\":{},\"requested_threads\":{},\"wall_seconds\":{:.6},\"cpu_seconds\":{:.6},\"runs\":{}}}}}\n",
             self.threads,
+            self.requested_threads,
             self.wall_seconds,
             self.cpu_seconds(),
             self.runs.len(),
@@ -265,6 +273,7 @@ mod tests {
     fn batch_emits_header_plus_one_line_per_run() {
         let b = BatchReport {
             threads: 4,
+            requested_threads: 8,
             wall_seconds: 1.0,
             runs: vec![PipelineReport::default(), PipelineReport::default()],
         };
@@ -272,5 +281,6 @@ mod tests {
         let lines: Vec<&str> = rendered.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("\"batch\""));
+        assert!(lines[0].contains("\"requested_threads\":8"));
     }
 }

@@ -1,10 +1,21 @@
-//! Value-flow graph construction (Section 3.2).
+//! Value-flow graph construction (Section 3.2), straight into CSR form.
 //!
 //! Nodes are SSA definitions (top-level variables and memory versions)
 //! plus the two roots `T` (defined) and `F` (undefined) and one virtual
 //! node per runtime check. An edge `v -> w` records that `v`'s value
 //! *depends on* `w`'s. Interprocedural edges are labelled with their call
 //! site so definedness resolution can match calls with returns.
+//!
+//! The builder makes one pass over the module, interning nodes through
+//! dense per-function tables (top-level variables and memory versions
+//! both have dense per-function id spaces, so a `Vec<u32>` lookup
+//! replaces the old global `HashMap<NodeKind, u32>`) and appending edges
+//! to one flat arena. A count-then-fill pass then freezes the arena into
+//! the dependence CSR (deduplicating exactly like the old `add_edge`),
+//! and the users CSR is its counting-sort transpose. CSR *is* the
+//! primary representation: the graph is immutable after construction
+//! (Opt II filters edges instead of mutating), so there is no
+//! cache-invalidation dance.
 //!
 //! Stores implement the paper's three update flavors:
 //!
@@ -17,13 +28,16 @@
 //! * **weak** — everything else (`rho_m -> y`, `rho_m -> rho_n`).
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use usher_ir::{
-    Callee, Cfg, DomTree, ExtFunc, FuncId, GepOffset, Inst, Module, Operand, Site, Terminator,
+    Callee, Cfg, DomTree, ExtFunc, FuncId, GepOffset, Idx, Inst, Module, Operand, Site, Terminator,
     VarId,
 };
 use usher_pointer::{Loc, PointerAnalysis};
 
+use crate::condense::Condensation;
+use crate::csr::Csr;
 use crate::memssa::{MemSsa, MemVerId};
 
 /// Analysis scope: the paper's `Usher_TL` tracks only top-level variables;
@@ -108,16 +122,15 @@ pub struct VfgStats {
     pub store_chis: usize,
 }
 
-/// The value-flow graph.
+/// The value-flow graph, immutable after construction.
 #[derive(Clone, Debug)]
 pub struct Vfg {
     /// Node payloads.
     pub nodes: Vec<NodeKind>,
-    ids: HashMap<NodeKind, u32>,
-    /// `deps[v]` = nodes `v` depends on.
-    pub deps: Vec<Vec<(u32, EdgeKind)>>,
-    /// `users[v]` = nodes depending on `v` (reverse edges).
-    pub users: Vec<Vec<(u32, EdgeKind)>>,
+    /// `deps.edges(v)` = nodes `v` depends on.
+    pub deps: Csr,
+    /// `users.edges(v)` = nodes depending on `v` (reverse edges).
+    pub users: Csr,
     /// The `T` root.
     pub t_root: u32,
     /// The `F` root.
@@ -130,75 +143,95 @@ pub struct Vfg {
     pub stats: VfgStats,
     /// The mode this graph was built in.
     pub mode: VfgMode,
-    /// Lazily frozen CSR form of `users` (invalidated on mutation).
-    pub(crate) users_csr_cache: std::sync::OnceLock<crate::Csr>,
+    /// Dense per-function node tables: `[func][var] -> id + 1` (0 =
+    /// absent).
+    tl_ids: Vec<Vec<u32>>,
+    /// Dense per-function node tables: `[func][mem version] -> id + 1`.
+    mem_ids: Vec<Vec<u32>>,
+    /// Lazily computed SCC condensation of the `users` graph, shared by
+    /// Gamma resolution and Opt II.
+    condensation: OnceLock<Condensation>,
+}
+
+fn table_get(t: &[Vec<u32>], f: usize, i: usize) -> Option<u32> {
+    match t.get(f).and_then(|row| row.get(i)) {
+        Some(0) | None => None,
+        Some(&id) => Some(id - 1),
+    }
+}
+
+fn table_set(t: &mut Vec<Vec<u32>>, f: usize, i: usize, id: u32) {
+    if t.len() <= f {
+        t.resize(f + 1, Vec::new());
+    }
+    if t[f].len() <= i {
+        t[f].resize(i + 1, 0);
+    }
+    t[f][i] = id + 1;
 }
 
 impl Vfg {
-    fn new(mode: VfgMode) -> Vfg {
-        let mut g = Vfg {
-            nodes: Vec::new(),
-            ids: HashMap::new(),
-            deps: Vec::new(),
-            users: Vec::new(),
-            t_root: 0,
-            f_root: 0,
-            checks: Vec::new(),
-            def_site: Vec::new(),
-            stats: VfgStats::default(),
-            mode,
-            users_csr_cache: std::sync::OnceLock::new(),
-        };
-        g.t_root = g.node(NodeKind::RootT);
-        g.f_root = g.node(NodeKind::RootF);
-        g
-    }
-
-    /// Interns a node.
-    pub fn node(&mut self, kind: NodeKind) -> u32 {
-        if let Some(&id) = self.ids.get(&kind) {
-            return id;
+    /// Assembles a graph from finished parts, rebuilding the dense node
+    /// tables from the node payloads (used by
+    /// [`crate::reference::RefVfg::freeze`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        nodes: Vec<NodeKind>,
+        deps: Csr,
+        users: Csr,
+        t_root: u32,
+        f_root: u32,
+        checks: Vec<Check>,
+        def_site: Vec<Option<Site>>,
+        stats: VfgStats,
+        mode: VfgMode,
+    ) -> Vfg {
+        let mut tl_ids: Vec<Vec<u32>> = Vec::new();
+        let mut mem_ids: Vec<Vec<u32>> = Vec::new();
+        for (id, n) in nodes.iter().enumerate() {
+            match *n {
+                NodeKind::Tl(f, v) => table_set(&mut tl_ids, f.index(), v.index(), id as u32),
+                NodeKind::Mem(f, mv) => {
+                    table_set(&mut mem_ids, f.index(), mv.0 as usize, id as u32)
+                }
+                NodeKind::RootT | NodeKind::RootF | NodeKind::Check(_) => {}
+            }
         }
-        let id = self.nodes.len() as u32;
-        self.nodes.push(kind);
-        self.deps.push(Vec::new());
-        self.users.push(Vec::new());
-        self.def_site.push(None);
-        self.ids.insert(kind, id);
-        self.users_csr_cache.take();
-        id
-    }
-
-    /// Looks up an existing node.
-    pub fn lookup(&self, kind: NodeKind) -> Option<u32> {
-        self.ids.get(&kind).copied()
+        Vfg {
+            nodes,
+            deps,
+            users,
+            t_root,
+            f_root,
+            checks,
+            def_site,
+            stats,
+            mode,
+            tl_ids,
+            mem_ids,
+            condensation: OnceLock::new(),
+        }
     }
 
     /// Node id of a top-level variable, if it is in the graph.
     pub fn tl(&self, f: FuncId, v: VarId) -> Option<u32> {
-        self.lookup(NodeKind::Tl(f, v))
+        table_get(&self.tl_ids, f.index(), v.index())
     }
 
     /// Node id of a memory version, if it is in the graph.
     pub fn mem(&self, f: FuncId, v: MemVerId) -> Option<u32> {
-        self.lookup(NodeKind::Mem(f, v))
+        table_get(&self.mem_ids, f.index(), v.0 as usize)
     }
 
-    /// Adds `from -> to` (from depends on to).
-    pub fn add_edge(&mut self, from: u32, to: u32, kind: EdgeKind) {
-        if self.deps[from as usize].contains(&(to, kind)) {
-            return;
+    /// Looks up an existing node.
+    pub fn lookup(&self, kind: NodeKind) -> Option<u32> {
+        match kind {
+            NodeKind::RootT => Some(self.t_root),
+            NodeKind::RootF => Some(self.f_root),
+            NodeKind::Tl(f, v) => self.tl(f, v),
+            NodeKind::Mem(f, mv) => self.mem(f, mv),
+            NodeKind::Check(site) => self.checks.iter().find(|c| c.site == site).map(|c| c.node),
         }
-        self.deps[from as usize].push((to, kind));
-        self.users[to as usize].push((from, kind));
-        self.users_csr_cache.take();
-    }
-
-    /// Removes a dependence edge (used by Opt II's graph surgery).
-    pub fn remove_edge(&mut self, from: u32, to: u32) {
-        self.deps[from as usize].retain(|(t, _)| *t != to);
-        self.users[to as usize].retain(|(f, _)| *f != from);
-        self.users_csr_cache.take();
     }
 
     /// Number of nodes.
@@ -209,6 +242,16 @@ impl Vfg {
     /// Whether the graph is empty (it never is: the roots exist).
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// The SCC condensation of the `users` (flows-to) graph, computed
+    /// once per graph on first use. Definedness resolution propagates
+    /// over it in topological order; Opt II reuses the same condensation
+    /// because its edge *removals* can only coarsen the SCC structure, so
+    /// the order stays valid.
+    pub fn condensation(&self) -> &Condensation {
+        self.condensation
+            .get_or_init(|| Condensation::compute(&self.users))
     }
 
     /// Renders the graph in Graphviz DOT format (for the `vfg_explorer`
@@ -226,8 +269,8 @@ impl Vfg {
             };
             let _ = writeln!(s, "  n{i} [label=\"{label}\"];");
         }
-        for (i, deps) in self.deps.iter().enumerate() {
-            for (d, kind) in deps {
+        for i in 0..self.nodes.len() {
+            for (d, kind) in self.deps.edges(i as u32) {
                 let style = match kind {
                     EdgeKind::Direct => String::new(),
                     EdgeKind::Call(cs) => format!(" [color=blue,label=\"call {cs}\"]"),
@@ -261,6 +304,156 @@ impl Default for BuildOpts {
     }
 }
 
+/// The in-flight construction state: node tables plus one flat edge
+/// arena. Nodes are interned in the same traversal order as the frozen
+/// reference builder, so ids are identical across generations.
+struct Builder {
+    nodes: Vec<NodeKind>,
+    def_site: Vec<Option<Site>>,
+    tl_ids: Vec<Vec<u32>>,
+    mem_ids: Vec<Vec<u32>>,
+    /// `(from, to, kind)` in emission order; deduplicated at freeze.
+    edges: Vec<(u32, u32, EdgeKind)>,
+    t_root: u32,
+    f_root: u32,
+    checks: Vec<Check>,
+    stats: VfgStats,
+}
+
+impl Builder {
+    fn new(m: &Module, ms: &MemSsa) -> Builder {
+        let nfuncs = m.funcs.len();
+        let mut tl_ids = Vec::with_capacity(nfuncs);
+        let mut mem_ids = Vec::with_capacity(nfuncs);
+        for (fid, func) in m.funcs.iter_enumerated() {
+            tl_ids.push(vec![0u32; func.vars.len()]);
+            let defs = ms.funcs.get(&fid).map_or(0, |fs| fs.defs.len());
+            mem_ids.push(vec![0u32; defs]);
+        }
+        let mut b = Builder {
+            nodes: Vec::new(),
+            def_site: Vec::new(),
+            tl_ids,
+            mem_ids,
+            edges: Vec::new(),
+            t_root: 0,
+            f_root: 0,
+            checks: Vec::new(),
+            stats: VfgStats::default(),
+        };
+        b.t_root = b.fresh(NodeKind::RootT);
+        b.f_root = b.fresh(NodeKind::RootF);
+        b
+    }
+
+    fn fresh(&mut self, kind: NodeKind) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(kind);
+        self.def_site.push(None);
+        id
+    }
+
+    fn tl_node(&mut self, f: FuncId, v: VarId) -> u32 {
+        let slot = &mut self.tl_ids[f.index()][v.index()];
+        if *slot != 0 {
+            return *slot - 1;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(NodeKind::Tl(f, v));
+        self.def_site.push(None);
+        *slot = id + 1;
+        id
+    }
+
+    fn mem_node(&mut self, f: FuncId, mv: MemVerId) -> u32 {
+        let slot = &mut self.mem_ids[f.index()][mv.0 as usize];
+        if *slot != 0 {
+            return *slot - 1;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(NodeKind::Mem(f, mv));
+        self.def_site.push(None);
+        *slot = id + 1;
+        id
+    }
+
+    /// Check nodes need no table: each site is visited exactly once.
+    fn check_node(&mut self, site: Site) -> u32 {
+        self.fresh(NodeKind::Check(site))
+    }
+
+    #[inline]
+    fn edge(&mut self, from: u32, to: u32, kind: EdgeKind) {
+        self.edges.push((from, to, kind));
+    }
+
+    /// Count-then-fill: freezes the edge arena into the dependence CSR
+    /// (deduplicating `(to, kind)` per source, matching the reference
+    /// `add_edge`), derives the users CSR by transposition, and
+    /// assembles the graph.
+    fn finish(self, mode: VfgMode) -> Vfg {
+        let n = self.nodes.len();
+        let mut offsets = vec![0u32; n + 1];
+        for &(f, _, _) in &self.edges {
+            offsets[f as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0u32; self.edges.len()];
+        let mut kinds = vec![EdgeKind::Direct; self.edges.len()];
+        // fill[v] is the next free slot in v's region; duplicates leave
+        // the slot unfilled and are compacted out below.
+        let mut fill: Vec<u32> = offsets[..n].to_vec();
+        'arena: for &(f, t, k) in &self.edges {
+            let lo = offsets[f as usize] as usize;
+            let hi = fill[f as usize] as usize;
+            for i in lo..hi {
+                if targets[i] == t && kinds[i] == k {
+                    continue 'arena;
+                }
+            }
+            targets[hi] = t;
+            kinds[hi] = k;
+            fill[f as usize] += 1;
+        }
+        let mut compact_offsets = vec![0u32; n + 1];
+        let mut w = 0usize;
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = fill[v] as usize;
+            for i in lo..hi {
+                targets[w] = targets[i];
+                kinds[w] = kinds[i];
+                w += 1;
+            }
+            compact_offsets[v + 1] = w as u32;
+        }
+        targets.truncate(w);
+        kinds.truncate(w);
+        let deps = Csr {
+            offsets: compact_offsets,
+            targets,
+            kinds,
+        };
+        let users = deps.transpose();
+        Vfg {
+            nodes: self.nodes,
+            deps,
+            users,
+            t_root: self.t_root,
+            f_root: self.f_root,
+            checks: self.checks,
+            def_site: self.def_site,
+            stats: self.stats,
+            mode,
+            tl_ids: self.tl_ids,
+            mem_ids: self.mem_ids,
+            condensation: OnceLock::new(),
+        }
+    }
+}
+
 /// Builds the VFG for a module with default options.
 pub fn build(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, mode: VfgMode) -> Vfg {
     build_with(
@@ -277,8 +470,7 @@ pub fn build(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, mode: VfgMode) -> Vf
 /// Builds the VFG with explicit options.
 pub fn build_with(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, opts: BuildOpts) -> Vfg {
     let mode = opts.mode;
-    let mut g = Vfg::new(mode);
-    let b = &mut g;
+    let mut b = Builder::new(m, ms);
 
     for (fid, func) in m.funcs.iter_enumerated() {
         let cfg = Cfg::compute(func);
@@ -307,10 +499,10 @@ pub fn build_with(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, opts: BuildOpts
                 phi_blocks.sort_unstable();
                 for bb in phi_blocks {
                     for p in &fs.phis[&bb] {
-                        let d = b.node(NodeKind::Mem(fid, p.def));
+                        let d = b.mem_node(fid, p.def);
                         for (_, inc) in &p.incomings {
-                            let i = b.node(NodeKind::Mem(fid, *inc));
-                            b.add_edge(d, i, EdgeKind::Direct);
+                            let i = b.mem_node(fid, *inc);
+                            b.edge(d, i, EdgeKind::Direct);
                         }
                     }
                 }
@@ -323,38 +515,38 @@ pub fn build_with(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, opts: BuildOpts
             }
             for (idx, inst) in block.insts.iter().enumerate() {
                 let site = Site::new(fid, bb, idx);
-                build_inst(b, m, pa, ms, fid, site, inst, opts, &dt, &alloc_chis);
+                build_inst(&mut b, m, pa, ms, fid, site, inst, opts, &dt, &alloc_chis);
             }
             let term_site = Site::new(fid, bb, block.insts.len());
             match &block.term {
                 Terminator::Br { cond, .. } => {
-                    register_check(b, term_site, *cond, CheckKind::BranchCond, fid);
+                    register_check(&mut b, term_site, *cond, CheckKind::BranchCond, fid);
                 }
                 Terminator::Jmp(_) | Terminator::Ret(_) | Terminator::Unreachable => {}
             }
         }
     }
-    g
+    b.finish(mode)
 }
 
-fn op_node(g: &mut Vfg, f: FuncId, op: Operand) -> u32 {
+fn op_node(b: &mut Builder, f: FuncId, op: Operand) -> u32 {
     match op {
-        Operand::Var(v) => g.node(NodeKind::Tl(f, v)),
-        Operand::Const(_) | Operand::Global(_) | Operand::Func(_) => g.t_root,
-        Operand::Undef => g.f_root,
+        Operand::Var(v) => b.tl_node(f, v),
+        Operand::Const(_) | Operand::Global(_) | Operand::Func(_) => b.t_root,
+        Operand::Undef => b.f_root,
     }
 }
 
-fn register_check(g: &mut Vfg, site: Site, op: Operand, kind: CheckKind, f: FuncId) {
+fn register_check(b: &mut Builder, site: Site, op: Operand, kind: CheckKind, f: FuncId) {
     if !matches!(op, Operand::Var(_) | Operand::Undef) {
         // Constant addresses/conditions are trivially defined.
         return;
     }
-    let node = g.node(NodeKind::Check(site));
-    g.def_site[node as usize] = Some(site);
-    let target = op_node(g, f, op);
-    g.add_edge(node, target, EdgeKind::Direct);
-    g.checks.push(Check {
+    let node = b.check_node(site);
+    b.def_site[node as usize] = Some(site);
+    let target = op_node(b, f, op);
+    b.edge(node, target, EdgeKind::Direct);
+    b.checks.push(Check {
         node,
         site,
         operand: op,
@@ -364,7 +556,7 @@ fn register_check(g: &mut Vfg, site: Site, op: Operand, kind: CheckKind, f: Func
 
 #[allow(clippy::too_many_arguments)]
 fn build_inst(
-    g: &mut Vfg,
+    b: &mut Builder,
     m: &Module,
     pa: &PointerAnalysis,
     ms: &MemSsa,
@@ -378,89 +570,83 @@ fn build_inst(
     let full = opts.mode == VfgMode::Full;
     let fs = ms.funcs.get(&fid);
     match inst {
-        Inst::Copy { dst, src } => {
-            let d = g.node(NodeKind::Tl(fid, *dst));
-            g.def_site[d as usize] = Some(site);
-            let s = op_node(g, fid, *src);
-            g.add_edge(d, s, EdgeKind::Direct);
-        }
-        Inst::Un { dst, src, .. } => {
-            let d = g.node(NodeKind::Tl(fid, *dst));
-            g.def_site[d as usize] = Some(site);
-            let s = op_node(g, fid, *src);
-            g.add_edge(d, s, EdgeKind::Direct);
+        Inst::Copy { dst, src } | Inst::Un { dst, src, .. } => {
+            let d = b.tl_node(fid, *dst);
+            b.def_site[d as usize] = Some(site);
+            let s = op_node(b, fid, *src);
+            b.edge(d, s, EdgeKind::Direct);
         }
         Inst::Bin { dst, lhs, rhs, .. } => {
-            let d = g.node(NodeKind::Tl(fid, *dst));
-            g.def_site[d as usize] = Some(site);
-            let l = op_node(g, fid, *lhs);
-            let r = op_node(g, fid, *rhs);
-            g.add_edge(d, l, EdgeKind::Direct);
-            g.add_edge(d, r, EdgeKind::Direct);
+            let d = b.tl_node(fid, *dst);
+            b.def_site[d as usize] = Some(site);
+            let l = op_node(b, fid, *lhs);
+            let r = op_node(b, fid, *rhs);
+            b.edge(d, l, EdgeKind::Direct);
+            b.edge(d, r, EdgeKind::Direct);
         }
         Inst::Gep { dst, base, offset } => {
-            let d = g.node(NodeKind::Tl(fid, *dst));
-            g.def_site[d as usize] = Some(site);
-            let bnode = op_node(g, fid, *base);
-            g.add_edge(d, bnode, EdgeKind::Direct);
+            let d = b.tl_node(fid, *dst);
+            b.def_site[d as usize] = Some(site);
+            let bnode = op_node(b, fid, *base);
+            b.edge(d, bnode, EdgeKind::Direct);
             if let GepOffset::Index { index, .. } = offset {
-                let i = op_node(g, fid, *index);
-                g.add_edge(d, i, EdgeKind::Direct);
+                let i = op_node(b, fid, *index);
+                b.edge(d, i, EdgeKind::Direct);
             }
         }
         Inst::Alloc { dst, obj, count } => {
             // The resulting pointer is always defined.
-            let d = g.node(NodeKind::Tl(fid, *dst));
-            g.def_site[d as usize] = Some(site);
-            g.add_edge(d, g.t_root, EdgeKind::Direct);
+            let d = b.tl_node(fid, *dst);
+            b.def_site[d as usize] = Some(site);
+            b.edge(d, b.t_root, EdgeKind::Direct);
             if let Some(c) = count {
-                let cn = op_node(g, fid, *c);
-                g.add_edge(d, cn, EdgeKind::Direct);
+                let cn = op_node(b, fid, *c);
+                b.edge(d, cn, EdgeKind::Direct);
             }
             if full {
                 if let Some(fs) = fs {
                     if let Some(chis) = fs.chis.get(&site) {
                         let init = if m.objects[*obj].zero_init {
-                            g.t_root
+                            b.t_root
                         } else {
-                            g.f_root
+                            b.f_root
                         };
                         for c in chis {
-                            let n = g.node(NodeKind::Mem(fid, c.new));
-                            g.def_site[n as usize] = Some(site);
-                            let o = g.node(NodeKind::Mem(fid, c.old));
-                            g.add_edge(n, init, EdgeKind::Direct);
-                            g.add_edge(n, o, EdgeKind::Direct);
+                            let n = b.mem_node(fid, c.new);
+                            b.def_site[n as usize] = Some(site);
+                            let o = b.mem_node(fid, c.old);
+                            b.edge(n, init, EdgeKind::Direct);
+                            b.edge(n, o, EdgeKind::Direct);
                         }
                     }
                 }
             }
         }
         Inst::Load { dst, addr } => {
-            register_check(g, site, *addr, CheckKind::LoadAddr, fid);
-            let d = g.node(NodeKind::Tl(fid, *dst));
-            g.def_site[d as usize] = Some(site);
+            register_check(b, site, *addr, CheckKind::LoadAddr, fid);
+            let d = b.tl_node(fid, *dst);
+            b.def_site[d as usize] = Some(site);
             if full {
                 let mus = fs.and_then(|fs| fs.mus.get(&site));
                 match mus {
                     Some(mus) if !mus.is_empty() => {
-                        for mu in mus.clone() {
-                            let n = g.node(NodeKind::Mem(fid, mu.def));
-                            g.add_edge(d, n, EdgeKind::Direct);
+                        for mu in mus {
+                            let n = b.mem_node(fid, mu.def);
+                            b.edge(d, n, EdgeKind::Direct);
                         }
                     }
                     // A load with no resolvable target (null/unknown): be
                     // conservative.
-                    _ => g.add_edge(d, g.f_root, EdgeKind::Direct),
+                    _ => b.edge(d, b.f_root, EdgeKind::Direct),
                 }
             } else {
                 // TL-only: memory contents are unknown.
-                g.add_edge(d, g.f_root, EdgeKind::Direct);
+                b.edge(d, b.f_root, EdgeKind::Direct);
             }
         }
         Inst::Store { addr, val } => {
-            register_check(g, site, *addr, CheckKind::StoreAddr, fid);
-            g.stats.total_stores += 1;
+            register_check(b, site, *addr, CheckKind::StoreAddr, fid);
+            b.stats.total_stores += 1;
             if !full {
                 return;
             }
@@ -468,17 +654,17 @@ fn build_inst(
             let Some(chis) = fs.chis.get(&site) else {
                 return;
             };
-            g.stats.store_chis += chis.len();
-            let v = op_node(g, fid, *val);
+            b.stats.store_chis += chis.len();
+            let v = op_node(b, fid, *val);
             let unique = pa.unique_target(fid, *addr);
             if chis.len() == 1 && unique == Some(chis[0].loc) {
                 let c = chis[0];
-                let n = g.node(NodeKind::Mem(fid, c.new));
-                g.def_site[n as usize] = Some(site);
-                g.add_edge(n, v, EdgeKind::Direct);
+                let n = b.mem_node(fid, c.new);
+                b.def_site[n as usize] = Some(site);
+                b.edge(n, v, EdgeKind::Direct);
                 if pa.is_concrete(c.loc) {
                     // Strong update: the old version is killed.
-                    g.stats.strong_stores += 1;
+                    b.stats.strong_stores += 1;
                 } else if opts.semi_strong && pa.is_single_cell(c.loc) {
                     // Semi-strong: bypass back to the dominating
                     // allocation's incoming version when one exists.
@@ -489,66 +675,66 @@ fn build_inst(
                     });
                     match dominating {
                         Some((_, old_at_alloc)) => {
-                            let o = g.node(NodeKind::Mem(fid, *old_at_alloc));
-                            g.add_edge(n, o, EdgeKind::Direct);
-                            g.stats.semi_strong_stores += 1;
+                            let o = b.mem_node(fid, *old_at_alloc);
+                            b.edge(n, o, EdgeKind::Direct);
+                            b.stats.semi_strong_stores += 1;
                         }
                         None => {
-                            let o = g.node(NodeKind::Mem(fid, c.old));
-                            g.add_edge(n, o, EdgeKind::Direct);
-                            g.stats.weak_singleton_stores += 1;
+                            let o = b.mem_node(fid, c.old);
+                            b.edge(n, o, EdgeKind::Direct);
+                            b.stats.weak_singleton_stores += 1;
                         }
                     }
                 } else {
-                    let o = g.node(NodeKind::Mem(fid, c.old));
-                    g.add_edge(n, o, EdgeKind::Direct);
-                    g.stats.weak_singleton_stores += 1;
+                    let o = b.mem_node(fid, c.old);
+                    b.edge(n, o, EdgeKind::Direct);
+                    b.stats.weak_singleton_stores += 1;
                 }
             } else {
-                g.stats.multi_target_stores += 1;
-                for c in chis.clone() {
-                    let n = g.node(NodeKind::Mem(fid, c.new));
-                    g.def_site[n as usize] = Some(site);
-                    let o = g.node(NodeKind::Mem(fid, c.old));
-                    g.add_edge(n, v, EdgeKind::Direct);
-                    g.add_edge(n, o, EdgeKind::Direct);
+                b.stats.multi_target_stores += 1;
+                for c in chis {
+                    let n = b.mem_node(fid, c.new);
+                    b.def_site[n as usize] = Some(site);
+                    let o = b.mem_node(fid, c.old);
+                    b.edge(n, v, EdgeKind::Direct);
+                    b.edge(n, o, EdgeKind::Direct);
                 }
             }
         }
         Inst::Call { dst, callee, args } => {
             if let Callee::Indirect(t) = callee {
-                register_check(g, site, *t, CheckKind::CallTarget, fid);
+                register_check(b, site, *t, CheckKind::CallTarget, fid);
             }
             if let Callee::External(ext) = callee {
                 if let Some(d) = dst {
-                    let dn = g.node(NodeKind::Tl(fid, *d));
-                    g.def_site[dn as usize] = Some(site);
+                    let dn = b.tl_node(fid, *d);
+                    b.def_site[dn as usize] = Some(site);
                     // input() yields a defined value; other externals
                     // have no results.
                     let root = match ext {
-                        ExtFunc::InputInt => g.t_root,
-                        _ => g.t_root,
+                        ExtFunc::InputInt => b.t_root,
+                        _ => b.t_root,
                     };
-                    g.add_edge(dn, root, EdgeKind::Direct);
+                    b.edge(dn, root, EdgeKind::Direct);
                 }
                 return;
             }
-            let callees: Vec<FuncId> = pa.call_graph.callees_of(site).to_vec();
+            let callees: &[FuncId] = pa.call_graph.callees_of(site);
             // Top-level parameter and return flow.
-            for &gcallee in &callees {
+            for &gcallee in callees {
                 let callee_fn = &m.funcs[gcallee];
-                for (p, a) in callee_fn.params.clone().into_iter().zip(args.iter()) {
-                    let pn = g.node(NodeKind::Tl(gcallee, p));
-                    let an = op_node(g, fid, *a);
-                    g.add_edge(pn, an, EdgeKind::Call(site));
+                for (&p, a) in callee_fn.params.iter().zip(args.iter()) {
+                    let pn = b.tl_node(gcallee, p);
+                    let an = op_node(b, fid, *a);
+                    b.edge(pn, an, EdgeKind::Call(site));
                 }
                 if let Some(d) = dst {
-                    let dn = g.node(NodeKind::Tl(fid, *d));
-                    g.def_site[dn as usize] = Some(site);
+                    let dn = b.tl_node(fid, *d);
+                    b.def_site[dn as usize] = Some(site);
                     for block in callee_fn.blocks.iter() {
                         if let Terminator::Ret(Some(op)) = &block.term {
-                            let rn = op_node(g, gcallee, *op);
-                            g.add_edge(dn, rn, EdgeKind::Ret(site));
+                            let rn = op_node(b, gcallee, *op);
+                            b.edge(dn, rn, EdgeKind::Ret(site));
                         }
                     }
                 }
@@ -559,33 +745,33 @@ fn build_inst(
             let Some(fs) = fs else { return };
             // Virtual parameter flow.
             if let Some(mus) = fs.mus.get(&site) {
-                for mu in mus.clone() {
-                    let caller_ver = g.node(NodeKind::Mem(fid, mu.def));
-                    for &gcallee in &callees {
+                for mu in mus {
+                    let caller_ver = b.mem_node(fid, mu.def);
+                    for &gcallee in callees {
                         if let Some(cal) = ms.funcs.get(&gcallee) {
                             if let Some(&fin) = cal.formal_in.get(&mu.loc) {
-                                let fn_node = g.node(NodeKind::Mem(gcallee, fin));
-                                g.add_edge(fn_node, caller_ver, EdgeKind::Call(site));
+                                let fn_node = b.mem_node(gcallee, fin);
+                                b.edge(fn_node, caller_ver, EdgeKind::Call(site));
                             }
                         }
                     }
                 }
             }
             if let Some(chis) = fs.chis.get(&site) {
-                for c in chis.clone() {
-                    let n = g.node(NodeKind::Mem(fid, c.new));
-                    g.def_site[n as usize] = Some(site);
-                    let o = g.node(NodeKind::Mem(fid, c.old));
-                    g.add_edge(n, o, EdgeKind::Direct);
-                    for &gcallee in &callees {
+                for c in chis {
+                    let n = b.mem_node(fid, c.new);
+                    b.def_site[n as usize] = Some(site);
+                    let o = b.mem_node(fid, c.old);
+                    b.edge(n, o, EdgeKind::Direct);
+                    for &gcallee in callees {
                         if let Some(cal) = ms.funcs.get(&gcallee) {
                             let mut ret_blocks: Vec<_> = cal.ret_mus.keys().copied().collect();
                             ret_blocks.sort_unstable();
                             for bb in ret_blocks {
                                 for mu in &cal.ret_mus[&bb] {
                                     if mu.loc == c.loc {
-                                        let out_node = g.node(NodeKind::Mem(gcallee, mu.def));
-                                        g.add_edge(n, out_node, EdgeKind::Ret(site));
+                                        let out_node = b.mem_node(gcallee, mu.def);
+                                        b.edge(n, out_node, EdgeKind::Ret(site));
                                     }
                                 }
                             }
@@ -595,11 +781,11 @@ fn build_inst(
             }
         }
         Inst::Phi { dst, incomings } => {
-            let d = g.node(NodeKind::Tl(fid, *dst));
-            g.def_site[d as usize] = Some(site);
+            let d = b.tl_node(fid, *dst);
+            b.def_site[d as usize] = Some(site);
             for (_, op) in incomings {
-                let n = op_node(g, fid, *op);
-                g.add_edge(d, n, EdgeKind::Direct);
+                let n = op_node(b, fid, *op);
+                b.edge(d, n, EdgeKind::Direct);
             }
         }
     }

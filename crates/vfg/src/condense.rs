@@ -1,0 +1,207 @@
+//! SCC condensation of a CSR graph (iterative Tarjan).
+//!
+//! Definedness resolution propagates reachability from the `F` root over
+//! the *users* graph. That graph has cycles (loops, recursion, memory
+//! phis), so a plain topological sweep is impossible — but its
+//! condensation is a DAG, and Tarjan's algorithm emits SCCs in reverse
+//! topological order as a by-product. The resolver walks SCC ids from
+//! high to low (= topological order of the condensation), running a
+//! fixpoint only *inside* the non-trivial components.
+//!
+//! The condensation is computed once per VFG and shared: Opt II only
+//! ever *removes* edges, which can split an SCC into smaller ones but
+//! never merge two, so any topological order of the original
+//! condensation remains a valid topological order of the filtered graph
+//! — the resolver just runs its intra-SCC fixpoint over a component
+//! that happens to have become acyclic.
+
+use crate::csr::Csr;
+
+/// The SCC condensation of a graph.
+#[derive(Clone, Debug, Default)]
+pub struct Condensation {
+    /// `comp[v]` = SCC id of node `v`. Tarjan completes sink components
+    /// first, so ids increase against the edge direction: an edge
+    /// `u -> w` with `comp[u] != comp[w]` implies `comp[u] > comp[w]`.
+    pub comp: Vec<u32>,
+    /// Number of SCCs.
+    pub sccs: usize,
+    /// `member_offsets[c]..member_offsets[c + 1]` indexes `members` for
+    /// SCC `c`.
+    pub member_offsets: Vec<u32>,
+    /// Node ids grouped by SCC.
+    pub members: Vec<u32>,
+    /// SCCs with more than one node or a self-loop — the ones that need
+    /// an intra-component fixpoint.
+    pub nontrivial: usize,
+}
+
+impl Condensation {
+    /// Runs iterative Tarjan over `g` and groups nodes by component.
+    pub fn compute(g: &Csr) -> Condensation {
+        let n = g.len();
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![0u32; n];
+        let mut stack: Vec<u32> = Vec::new();
+        // (node, next-edge cursor); cursor indexes into g's flat arrays.
+        let mut call: Vec<(u32, u32)> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs = 0u32;
+        let mut nontrivial = 0usize;
+
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            call.push((root, g.offsets[root as usize]));
+            index[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+
+            while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+                let vi = v as usize;
+                if *cursor < g.offsets[vi + 1] {
+                    let w = g.targets[*cursor as usize];
+                    *cursor += 1;
+                    let wi = w as usize;
+                    if index[wi] == UNVISITED {
+                        index[wi] = next_index;
+                        lowlink[wi] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[wi] = true;
+                        call.push((w, g.offsets[wi]));
+                    } else if on_stack[wi] {
+                        lowlink[vi] = lowlink[vi].min(index[wi]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&mut (p, _)) = call.last_mut() {
+                        let pi = p as usize;
+                        lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                    }
+                    if lowlink[vi] == index[vi] {
+                        // v is an SCC root: pop its component.
+                        let mut size = 0usize;
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = sccs;
+                            size += 1;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if size > 1 || g.edges(v).any(|(t, _)| t == v) {
+                            nontrivial += 1;
+                        }
+                        sccs += 1;
+                    }
+                }
+            }
+        }
+
+        // Group members by component with a counting sort.
+        let nc = sccs as usize;
+        let mut member_offsets = vec![0u32; nc + 1];
+        for &c in &comp {
+            member_offsets[c as usize + 1] += 1;
+        }
+        for i in 0..nc {
+            member_offsets[i + 1] += member_offsets[i];
+        }
+        let mut members = vec![0u32; n];
+        let mut fill: Vec<u32> = member_offsets[..nc].to_vec();
+        for (v, &c) in comp.iter().enumerate() {
+            let slot = fill[c as usize] as usize;
+            members[slot] = v as u32;
+            fill[c as usize] += 1;
+        }
+
+        Condensation {
+            comp,
+            sccs: nc,
+            member_offsets,
+            members,
+            nontrivial,
+        }
+    }
+
+    /// Nodes of SCC `c`.
+    pub fn members_of(&self, c: u32) -> &[u32] {
+        let lo = self.member_offsets[c as usize] as usize;
+        let hi = self.member_offsets[c as usize + 1] as usize;
+        &self.members[lo..hi]
+    }
+
+    /// SCC ids in topological order of the condensation DAG (Tarjan
+    /// emits them reverse-topologically, so this walks ids downward).
+    pub fn topo_order(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.sccs as u32).rev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::EdgeKind;
+
+    fn csr(adj: &[Vec<u32>]) -> Csr {
+        let lists: Vec<Vec<(u32, EdgeKind)>> = adj
+            .iter()
+            .map(|row| row.iter().map(|&t| (t, EdgeKind::Direct)).collect())
+            .collect();
+        Csr::from_adjacency(&lists)
+    }
+
+    #[test]
+    fn chain_is_all_trivial() {
+        // 0 -> 1 -> 2
+        let c = Condensation::compute(&csr(&[vec![1], vec![2], vec![]]));
+        assert_eq!(c.sccs, 3);
+        assert_eq!(c.nontrivial, 0);
+        // Edge u -> w across SCCs implies comp[u] > comp[w] (sinks are
+        // completed, and therefore numbered, first).
+        assert!(c.comp[0] > c.comp[1]);
+        assert!(c.comp[1] > c.comp[2]);
+        // topo_order walks ids high -> low, so the source SCC comes
+        // first and the sink SCC last.
+        let order: Vec<u32> = c.topo_order().collect();
+        assert_eq!(order.first(), Some(&c.comp[0]));
+        assert_eq!(order.last(), Some(&c.comp[2]));
+    }
+
+    #[test]
+    fn cycle_collapses_to_one_scc() {
+        // 0 <-> 1, plus 1 -> 2
+        let c = Condensation::compute(&csr(&[vec![1], vec![0, 2], vec![]]));
+        assert_eq!(c.sccs, 2);
+        assert_eq!(c.nontrivial, 1);
+        assert_eq!(c.comp[0], c.comp[1]);
+        assert_ne!(c.comp[0], c.comp[2]);
+        let mut cyc = c.members_of(c.comp[0]).to_vec();
+        cyc.sort_unstable();
+        assert_eq!(cyc, vec![0, 1]);
+    }
+
+    #[test]
+    fn self_loop_is_nontrivial() {
+        let c = Condensation::compute(&csr(&[vec![0], vec![]]));
+        assert_eq!(c.sccs, 2);
+        assert_eq!(c.nontrivial, 1);
+    }
+
+    #[test]
+    fn cross_edges_respect_component_order() {
+        // Two cycles with a bridge: {0,1} -> {2,3}
+        let c = Condensation::compute(&csr(&[vec![1], vec![0, 2], vec![3], vec![2]]));
+        assert_eq!(c.sccs, 2);
+        assert_eq!(c.nontrivial, 2);
+        assert!(c.comp[0] > c.comp[2], "sink SCC numbered lower");
+    }
+}

@@ -11,19 +11,23 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod condense;
 pub mod csr;
 pub mod memssa;
 pub mod printer;
+pub mod reference;
 
 pub use build::{
     build, build_with, BuildOpts, Check, CheckKind, EdgeKind, NodeKind, Vfg, VfgMode, VfgStats,
 };
+pub use condense::Condensation;
 pub use csr::Csr;
 pub use memssa::{
     build as build_memssa, build_function_ssa, modref_summaries, ChiDef, FuncMemSsa, MemDef,
     MemDefKind, MemSsa, MemVerId, ModRef, MuUse, RegionPhi,
 };
 pub use printer::{print_annotated, print_module_annotated};
+pub use reference::{build_reference, build_with_reference, RefVfg};
 
 /// Convenience: pointer analysis + memory SSA + VFG in one call.
 pub fn analyze_module(
@@ -154,13 +158,11 @@ mod tests {
         );
         let mut has_call = false;
         let mut has_ret = false;
-        for deps in &g.deps {
-            for (_, k) in deps {
-                match k {
-                    EdgeKind::Call(_) => has_call = true,
-                    EdgeKind::Ret(_) => has_ret = true,
-                    EdgeKind::Direct => {}
-                }
+        for k in &g.deps.kinds {
+            match k {
+                EdgeKind::Call(_) => has_call = true,
+                EdgeKind::Ret(_) => has_ret = true,
+                EdgeKind::Direct => {}
             }
         }
         assert!(has_call && has_ret);
@@ -171,10 +173,51 @@ mod tests {
         // Reading an uninitialized promoted local produces Undef, which
         // must connect to F.
         let (_m, g) = vfg_for("def main() -> int { int x; return x + 1; }");
-        assert!(
-            !g.users[g.f_root as usize].is_empty(),
-            "something must depend on F"
-        );
+        assert!(g.users.degree(g.f_root) > 0, "something must depend on F");
+    }
+
+    #[test]
+    fn csr_builder_matches_frozen_reference() {
+        let src = "int g; int buf[4];
+             def f(int x) -> int { if (x) { return x + 1; } return g; }
+             def main(int c) {
+                 int *p;
+                 int i = 0;
+                 while (i < 4) {
+                     p = malloc(1);
+                     *p = f(i);
+                     buf[i] = *p;
+                     i = i + 1;
+                 }
+                 if (c) { g = buf[2]; }
+                 print(g);
+             }";
+        let m = compile_o0im(src).expect("compiles");
+        for mode in [VfgMode::Full, VfgMode::TlOnly] {
+            let pa = usher_pointer::analyze(&m);
+            let ms = match mode {
+                VfgMode::Full => build_memssa(&m, &pa),
+                VfgMode::TlOnly => MemSsa::default(),
+            };
+            let new = build(&m, &pa, &ms, mode);
+            let old = build_reference(&m, &pa, &ms, mode).freeze();
+            assert_eq!(new.nodes, old.nodes, "{mode:?}: node interning order");
+            assert_eq!(new.deps.offsets, old.deps.offsets, "{mode:?}: dep offsets");
+            assert_eq!(new.deps.targets, old.deps.targets, "{mode:?}: dep targets");
+            assert_eq!(new.deps.kinds, old.deps.kinds, "{mode:?}: dep kinds");
+            assert_eq!(
+                new.users.offsets, old.users.offsets,
+                "{mode:?}: user offsets"
+            );
+            assert_eq!(
+                new.users.targets, old.users.targets,
+                "{mode:?}: user targets"
+            );
+            assert_eq!(new.users.kinds, old.users.kinds, "{mode:?}: user kinds");
+            assert_eq!(new.checks, old.checks, "{mode:?}: checks");
+            assert_eq!(new.def_site, old.def_site, "{mode:?}: def sites");
+            assert_eq!(new.stats, old.stats, "{mode:?}: stats");
+        }
     }
 
     #[test]

@@ -130,7 +130,7 @@ impl GenCtx {
 
     fn stmt(&mut self, out: &mut String, indent: usize) {
         let pad = Self::pad(indent);
-        let choice = self.rng.below(10);
+        let choice = self.rng.below(11);
         match choice {
             // New int local, possibly uninitialized.
             0 | 1 => {
@@ -216,6 +216,34 @@ impl GenCtx {
                 self.ints.retain(|v| v != &i);
                 self.counters.retain(|v| v != &i);
             }
+            // Allocation-dominated store through a fresh single-cell
+            // block — the paper's Figure 6 semi-strong-update pattern.
+            // The allocation dominates the store, the target is a unique
+            // single-cell abstract location, so the store may bypass the
+            // incoming (undefined) memory version.
+            9 => {
+                let p = self.fresh("q");
+                let e = self.int_expr(1);
+                if self.depth < 2 && self.rng.pct(50) {
+                    // Loop-carried variant: a fresh block per iteration.
+                    let i = self.fresh("i");
+                    let bound = 2 + self.rng.below(4);
+                    let _ = writeln!(
+                        out,
+                        "{pad}for (int {i} = 0; {i} < {bound}; {i} = {i} + 1) {{"
+                    );
+                    let _ = writeln!(out, "{pad}    int *{p};");
+                    let _ = writeln!(out, "{pad}    {p} = malloc(1);");
+                    let _ = writeln!(out, "{pad}    *{p} = {e} + {i};");
+                    let _ = writeln!(out, "{pad}    print(*{p});");
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}int *{p};");
+                    let _ = writeln!(out, "{pad}{p} = malloc(1);");
+                    let _ = writeln!(out, "{pad}*{p} = {e};");
+                    self.ptrs.push((p, 1));
+                }
+            }
             // Print something (keeps values observable).
             _ => {
                 let e = self.int_expr(1);
@@ -276,9 +304,23 @@ pub fn generate(seed: u64, cfg: GenConfig) -> String {
     ctx.ints = vec![];
     ctx.ptrs.clear();
     ctx.stmts(&mut out, 1);
-    // Calls into helpers so interprocedural flow is exercised.
+    // Calls into helpers so interprocedural flow is exercised. Some
+    // arguments are fresh, possibly-uninitialized locals, so undefined
+    // values actually cross call boundaries (the flows the resolver's
+    // calling contexts exist to distinguish).
     for name in &helper_names {
-        let a = ctx.int_expr(1);
+        let a = if ctx.rng.pct(40) {
+            let u = ctx.fresh("u");
+            let _ = writeln!(out, "    int {u};");
+            if ctx.rng.pct(50) {
+                let c = ctx.int_expr(1);
+                let e = ctx.int_expr(1);
+                let _ = writeln!(out, "    if ({c}) {{ {u} = {e}; }}");
+            }
+            u
+        } else {
+            ctx.int_expr(1)
+        };
         let b = ctx.int_expr(1);
         let v = ctx.fresh("r");
         let _ = writeln!(out, "    int {v} = {name}({a}, {b});");

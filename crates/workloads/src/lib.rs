@@ -22,6 +22,31 @@ pub mod programs;
 
 pub use generator::{generate, GenConfig, Rng};
 
+/// The generator seed ladder used by the benchmark harness and the
+/// representation-equivalence suites: `(seed, helpers, max_stmts)`,
+/// ordered smallest to largest. Keeping it here means the bench binary,
+/// the CI smoke run and the property tests all measure/check the exact
+/// same programs.
+pub const SEED_LADDER: [(u64, usize, usize); 7] = [
+    (11, 8, 8),
+    (23, 16, 10),
+    (37, 32, 12),
+    (53, 64, 12),
+    (71, 96, 14),
+    (97, 128, 14),
+    (131, 160, 14),
+];
+
+/// Instantiates one seed-ladder rung's generator configuration with the
+/// ladder's standard 35% uninitialized-declaration rate.
+pub fn ladder_config(helpers: usize, max_stmts: usize) -> GenConfig {
+    GenConfig {
+        helpers,
+        max_stmts,
+        uninit_pct: 35,
+    }
+}
+
 use usher_frontend::CompileError;
 use usher_ir::{Module, OptLevel};
 

@@ -1,12 +1,16 @@
 #!/usr/bin/env sh
-# Stage benchmark: reference (pre-overhaul) vs current pointer solver and
-# definedness resolver over the workload-generator seed ladder.
+# Stage benchmark: all ten driver stages end-to-end plus before/after
+# rungs for the overhauled pointer, VFG-construction and resolve stages
+# (frozen reference implementations vs the CSR/condensation pipeline)
+# over the workload-generator seed ladder.
 #
-# Full mode writes BENCH_pointer_resolve.json at the repo root (the file
-# is checked in so reviewers can see the numbers a change shipped with).
-# `--quick` runs two small seeds with one timing iteration and discards
-# the output — the CI smoke path; it proves the harness and the
-# in-process equivalence gate still run, not performance.
+# Full mode writes BENCH_stages.json at the repo root (the file is
+# checked in so reviewers can see the numbers a change shipped with).
+# `--quick` runs the two smoke rungs with fewer timing iterations and
+# discards the JSON — the CI smoke path. In quick mode stage_bench is
+# also a regression guard: it exits nonzero if the condensed vfg+resolve
+# pipeline measures slower than the frozen reference, which fails CI via
+# `set -e`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,12 +18,12 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline -p usher-bench
 
 if [ "${1:-}" = "--quick" ]; then
-    echo "==> stage_bench --quick (smoke)"
+    echo "==> stage_bench --quick (smoke + regression guard)"
     ./target/release/stage_bench --quick >/dev/null
     echo "==> bench smoke OK"
 else
     echo "==> stage_bench (full ladder)"
     # Progress lines go to stderr; the JSON object is stdout.
-    ./target/release/stage_bench > BENCH_pointer_resolve.json
-    echo "==> wrote BENCH_pointer_resolve.json"
+    ./target/release/stage_bench > BENCH_stages.json
+    echo "==> wrote BENCH_stages.json"
 fi

@@ -1,21 +1,27 @@
-//! Representation-equivalence suite for the solver data-structure
-//! overhaul: the bitmap/interned/CSR implementations must be invisible
-//! in every observable result. Each generated workload is pushed through
-//! the pipeline twice — once with the optimized pointer solver and
-//! definedness resolver, once with the retained reference
-//! implementations — and everything downstream is compared: points-to
-//! sets, call graph, concreteness, the resolved `Gamma`, and the final
-//! instrumentation plans (guided, Opt I, and TL variants).
+//! Representation-equivalence suite for the solver and graph
+//! data-structure overhauls: the bitmap/interned/CSR implementations and
+//! the condensation-based resolver must be invisible in every observable
+//! result. Each generated workload is pushed through the pipeline twice
+//! — once with the optimized pointer solver, CSR-first VFG builder and
+//! condensed definedness resolver, once with the retained reference
+//! implementations (adjacency-list [`usher::vfg::RefVfg`], visited-state
+//! walk, clone-and-mutate Opt II) — and everything downstream is
+//! compared: points-to sets, call graph, concreteness, the resolved
+//! `Gamma`, Opt II redirections, and the final instrumentation plans
+//! (guided, Opt I, Opt II, and TL variants).
 //!
 //! Random inputs come from the repo's own deterministic workload
 //! generator, so the suite needs no external property-testing crate.
 
-use usher::core::{guided_plan, resolve, resolve_reference, Gamma, GuidedOpts, Plan};
+use usher::core::{
+    guided_plan, redundant_check_elimination, redundant_check_elimination_reference, resolve,
+    resolve_reference, Gamma, GuidedOpts, Plan,
+};
 use usher::frontend::compile_o0im;
 use usher::ir::Module;
 use usher::pointer::{analyze, analyze_reference, PointerAnalysis};
-use usher::vfg::{build, build_memssa, VfgMode};
-use usher::workloads::{generate, GenConfig};
+use usher::vfg::{build, build_memssa, build_reference, VfgMode};
+use usher::workloads::{generate, ladder_config, GenConfig, SEED_LADDER};
 
 const CONTEXT_DEPTH: usize = 1;
 
@@ -86,8 +92,8 @@ fn assert_plan_equiv(new: &Plan, old: &Plan, tag: &str) {
 }
 
 /// Runs both generations end to end over one module and compares every
-/// observable. The reference side rebuilds its own memory SSA and VFG so
-/// the two pipelines share nothing past the IR.
+/// observable. The reference side rebuilds its own memory SSA and
+/// adjacency-list VFG so the two pipelines share nothing past the IR.
 fn check_module(m: &Module, tag: &str) {
     let pa_new = analyze(m);
     let pa_old = analyze_reference(m);
@@ -104,12 +110,31 @@ fn check_module(m: &Module, tag: &str) {
             VfgMode::TlOnly => Default::default(),
         };
         let g_new = build(m, &pa_new, &ms_new, mode);
-        let g_old = build(m, &pa_old, &ms_old, mode);
-        assert_eq!(g_new.len(), g_old.len(), "{tag}: VFG size");
+        let rg_old = build_reference(m, &pa_old, &ms_old, mode);
+        assert_eq!(g_new.len(), rg_old.len(), "{tag}: VFG size");
+        // Frozen reference graph (CSR form) for plan construction.
+        let g_old = rg_old.freeze();
 
         let gamma_new = resolve(&g_new, CONTEXT_DEPTH);
-        let gamma_old = resolve_reference(&g_old, CONTEXT_DEPTH);
+        let gamma_old = resolve_reference(&rg_old, CONTEXT_DEPTH);
         assert_gamma_equiv(g_new.len(), &gamma_new, &gamma_old, &tag);
+
+        // Opt II: the skip-predicate condensed re-resolution must match
+        // the frozen clone-and-mutate surgery, redirection for
+        // redirection and node for node.
+        let o_new = redundant_check_elimination(m, &pa_new, &ms_new, &g_new, CONTEXT_DEPTH);
+        let o_old =
+            redundant_check_elimination_reference(m, &pa_old, &ms_old, &rg_old, CONTEXT_DEPTH);
+        assert_eq!(
+            o_new.redirected, o_old.redirected,
+            "{tag}: Opt II redirected counts"
+        );
+        assert_gamma_equiv(
+            g_new.len(),
+            &o_new.gamma,
+            &o_old.gamma,
+            &format!("{tag}/opt2"),
+        );
 
         let opt_variants = [
             GuidedOpts::default(),
@@ -127,6 +152,16 @@ fn check_module(m: &Module, tag: &str) {
             let plan_old = guided_plan(m, &pa_old, &ms_old, &g_old, &gamma_old, opts, "equiv");
             assert_plan_equiv(&plan_new, &plan_old, &format!("{tag}/opts{i}"));
         }
+
+        // The full Usher configuration: Opt I planning over the Opt II
+        // gamma, as the driver's Resolve + Instrument stages compose.
+        let opt1 = GuidedOpts {
+            opt1: true,
+            ..Default::default()
+        };
+        let plan_new = guided_plan(m, &pa_new, &ms_new, &g_new, &o_new.gamma, opt1, "equiv");
+        let plan_old = guided_plan(m, &pa_old, &ms_old, &g_old, &o_old.gamma, opt1, "equiv");
+        assert_plan_equiv(&plan_new, &plan_old, &format!("{tag}/opt2-plan"));
     }
 }
 
@@ -156,4 +191,87 @@ fn generations_agree_on_larger_workloads() {
         let m = compile_o0im(&src).expect("generated workloads compile");
         check_module(&m, &format!("large-{seed}"));
     }
+}
+
+#[test]
+fn generations_agree_on_the_small_ladder_rungs() {
+    // The exact programs the benchmark harness times, fully checked.
+    for &(seed, helpers, stmts) in &SEED_LADDER[..3] {
+        let src = generate(seed, ladder_config(helpers, stmts));
+        let m = compile_o0im(&src).expect("ladder rungs compile");
+        check_module(&m, &format!("ladder-{seed}"));
+    }
+}
+
+#[test]
+fn gamma_and_opt2_agree_on_large_ladder_rungs() {
+    // The larger rungs with cheap oracles: skip the per-location pointer
+    // sweep and the plan variants (covered above) and compare the hot
+    // observables — base Gamma, Opt II Gamma and the redirection count.
+    for &(seed, helpers, stmts) in &SEED_LADDER[3..5] {
+        let src = generate(seed, ladder_config(helpers, stmts));
+        let m = compile_o0im(&src).expect("ladder rungs compile");
+        let pa = analyze(&m);
+        let ms = build_memssa(&m, &pa);
+        let g = build(&m, &pa, &ms, VfgMode::Full);
+        let rg = build_reference(&m, &pa, &ms, VfgMode::Full);
+        assert_eq!(g.len(), rg.len(), "ladder-{seed}: VFG size");
+
+        let gamma = resolve(&g, CONTEXT_DEPTH);
+        let gamma_ref = resolve_reference(&rg, CONTEXT_DEPTH);
+        assert_gamma_equiv(g.len(), &gamma, &gamma_ref, &format!("ladder-{seed}"));
+
+        let o = redundant_check_elimination(&m, &pa, &ms, &g, CONTEXT_DEPTH);
+        let o_ref = redundant_check_elimination_reference(&m, &pa, &ms, &rg, CONTEXT_DEPTH);
+        assert_eq!(
+            o.redirected, o_ref.redirected,
+            "ladder-{seed}: Opt II redirected counts"
+        );
+        assert_gamma_equiv(
+            g.len(),
+            &o.gamma,
+            &o_ref.gamma,
+            &format!("ladder-{seed}/opt2"),
+        );
+    }
+}
+
+#[test]
+fn context_bitlanes_spill_to_multiple_words_and_stay_exact() {
+    // The condensed resolver packs contexts as bit lanes, 64 to a word.
+    // Programs with more than 64 call sites force every row past one
+    // word, exercising the strided multi-word path. The generator puts
+    // one call site per helper in `main`, so `helpers > 64` guarantees
+    // spilling at k = 1. Enumerate seeds until several such programs
+    // have been checked exactly against the reference walk.
+    // Note the generator maps seed to `seed | 1`, so only odd seeds are
+    // distinct programs.
+    let mut spilled = 0usize;
+    for seed in (301..341u64).step_by(2) {
+        let cfg = GenConfig {
+            helpers: 160,
+            max_stmts: 10,
+            uninit_pct: 35,
+        };
+        let src = generate(seed, cfg);
+        let m = compile_o0im(&src).expect("generated workloads compile");
+        let pa = analyze(&m);
+        let ms = build_memssa(&m, &pa);
+        let g = build(&m, &pa, &ms, VfgMode::Full);
+        let gamma = resolve(&g, CONTEXT_DEPTH);
+        if gamma.stats.interned_contexts <= 64 {
+            continue;
+        }
+        spilled += 1;
+        let rg = build_reference(&m, &pa, &ms, VfgMode::Full);
+        let gamma_ref = resolve_reference(&rg, CONTEXT_DEPTH);
+        assert_gamma_equiv(g.len(), &gamma, &gamma_ref, &format!("spill-{seed}"));
+        if spilled >= 3 {
+            break;
+        }
+    }
+    assert!(
+        spilled >= 1,
+        "no enumerated seed produced more than 64 interned contexts"
+    );
 }
