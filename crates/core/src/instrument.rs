@@ -470,6 +470,7 @@ pub fn guided_plan(
         store_sh_sites: HashSet::new(),
         ret_sh_sites: HashSet::new(),
         arg_sh_done: HashSet::new(),
+        top_mem_done: HashSet::new(),
         work: Vec::new(),
     };
 
@@ -513,6 +514,7 @@ struct Generator<'a> {
     store_sh_sites: HashSet<Site>,
     ret_sh_sites: HashSet<Site>,
     arg_sh_done: HashSet<(Site, usize)>,
+    top_mem_done: HashSet<u32>,
     work: Vec<u32>,
 }
 
@@ -583,7 +585,66 @@ impl<'a> Generator<'a> {
     fn demand_deps(&mut self, node: u32) {
         let deps: Vec<u32> = self.vfg.deps.edges(node).map(|(d, _)| d).collect();
         for d in deps {
-            self.demand(d);
+            if !self.gamma.is_bot(d) && matches!(self.vfg.nodes[d as usize], NodeKind::Mem(..)) {
+                // A Top *register* needs nothing — register shadows
+                // default to defined. A Top *memory* version does: the
+                // runtime cell may carry stale poison from a Bot path
+                // (e.g. the poisoning allocation), so the strong updates
+                // that make the region Top must still execute.
+                self.materialize_top_mem(d);
+            } else {
+                self.demand(d);
+            }
+        }
+    }
+
+    /// Realizes the `[Top-Store]` strong updates of a statically-defined
+    /// memory region that flows into a Bot consumer: gamma proves every
+    /// value stored here is defined, so each store writes the constant
+    /// `defined` shadow — but the write itself cannot be skipped, or the
+    /// cell would keep whatever poison an earlier Bot definition left and
+    /// surface it as a spurious detection at the consumer's check.
+    fn materialize_top_mem(&mut self, node: u32) {
+        if !self.top_mem_done.insert(node) {
+            return;
+        }
+        let NodeKind::Mem(f, ver) = self.vfg.nodes[node as usize] else {
+            return;
+        };
+        let Some(fs) = self.ms.funcs.get(&f) else {
+            return;
+        };
+        let def = fs.def(ver);
+        match def.kind {
+            MemDefKind::StoreChi(site) => {
+                if self.store_sh_sites.insert(site) {
+                    let inst = self.m.funcs[f].blocks[site.block].insts[site.idx].clone();
+                    let Inst::Store { addr, .. } = inst else {
+                        return;
+                    };
+                    self.plan.push_after(
+                        site,
+                        ShadowOp::StoreSh {
+                            addr,
+                            src: ShadowSrc::Const(true),
+                        },
+                    );
+                }
+                // A weak store lets the other cells of the class flow
+                // through from the previous version, which (being part of
+                // a Top state) must be materialized as well.
+                self.demand_deps(node);
+            }
+            MemDefKind::Alloc(_) => {
+                // A Top allocation is zero-initialized; runtime shadow
+                // memory defaults to defined, so nothing to execute.
+            }
+            MemDefKind::FormalIn | MemDefKind::Phi(_) | MemDefKind::CallChi(_) => {
+                // Merge/boundary nodes execute nothing themselves; every
+                // path into them must be materialized (Bot paths through
+                // the normal demand machinery).
+                self.demand_deps(node);
+            }
         }
     }
 

@@ -48,4 +48,4 @@ pub use key::KeyWriter;
 pub use options::{GuidedKnobs, PipelineOptions};
 pub use pipeline::{DriverError, Job, Pipeline, PipelineRun, SourceInput};
 pub use pool::{default_threads, parallel_map};
-pub use report::{BatchReport, PipelineReport, Stage, StageTiming};
+pub use report::{json_escape, BatchReport, PipelineReport, Stage, StageTiming};

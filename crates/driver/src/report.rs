@@ -96,6 +96,12 @@ pub struct PipelineReport {
     pub resolve_stats: ResolveStats,
 }
 
+/// Escapes a string for inclusion in JSON output. Public so every
+/// JSONL-emitting harness (reports, fuzz campaigns) shares one escaper.
+pub fn json_escape(s: &str) -> String {
+    esc(s)
+}
+
 /// Escapes a string for inclusion in JSON output.
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());

@@ -233,7 +233,11 @@ impl<'m, 'p> Lowerer<'m, 'p> {
     }
 
     fn declare_local(&mut self, name: &str, local: Local, line: u32) -> Result<()> {
-        let scope = self.scopes.last_mut().expect("scope stack is never empty");
+        let Some(scope) = self.scopes.last_mut() else {
+            // Lowering invariant; reported as an error rather than a panic
+            // so malformed input can never take the frontend down.
+            return err(line, "internal: scope stack empty during declaration");
+        };
         if scope.contains_key(name) {
             return err(line, format!("duplicate local {name}"));
         }
@@ -470,10 +474,9 @@ impl<'m, 'p> Lowerer<'m, 'p> {
             ExprKind::Malloc(n) => self.lower_alloc(n, expected, false, e.line),
             ExprKind::Calloc(n) => self.lower_alloc(n, expected, true, e.line),
             ExprKind::Input => {
-                let v = self
-                    .b
-                    .call_ext(ExtFunc::InputInt, vec![], Some(int))
-                    .expect("input returns");
+                let Some(v) = self.b.call_ext(ExtFunc::InputInt, vec![], Some(int)) else {
+                    return err(e.line, "internal: input() produced no result register");
+                };
                 Ok(Value {
                     op: v.into(),
                     ty: int,
@@ -807,7 +810,10 @@ impl<'m, 'p> Lowerer<'m, 'p> {
             })),
             (None, None) if statement => Ok(None),
             (None, None) => err(line, "void call used as a value"),
-            _ => unreachable!("dst presence always mirrors ret type"),
+            _ => err(
+                line,
+                "internal: call result register does not mirror return type",
+            ),
         }
     }
 

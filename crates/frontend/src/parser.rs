@@ -5,6 +5,21 @@ use std::fmt;
 use crate::ast::*;
 use crate::token::{lex, LexError, Spanned, Tok};
 
+/// Largest accepted constant array length. Anything bigger is almost
+/// certainly a typo or adversarial input, and zero-initializing it would
+/// dominate startup; `1 << 20` cells is far beyond any generated workload.
+const MAX_ARRAY_LEN: i64 = 1 << 20;
+
+/// Deepest allowed statement/expression nesting. The parser is
+/// recursive-descent, so nesting depth is stack depth: without a bound,
+/// adversarial input like thousands of `(`s or `{`s aborts the process
+/// with a stack overflow instead of returning an error. A parenthesized
+/// expression costs two levels (`expr` + `unary`), so this admits ~64
+/// nested parens — far beyond any real program, and empirically about
+/// half the depth at which an unoptimized build exhausts a 2 MiB test
+/// thread (the whole precedence chain sits on the stack per level).
+const MAX_NEST_DEPTH: u32 = 128;
+
 /// A parse error with the offending line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
@@ -38,13 +53,18 @@ impl From<LexError> for ParseError {
 /// Returns the first lexical or syntactic error encountered.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     p.program()
 }
 
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -112,6 +132,21 @@ impl Parser {
         }
     }
 
+    /// A constant array length inside `[...]`. Bounded so a declaration
+    /// can never demand an absurd zero-initialized allocation (and so the
+    /// later `u32` narrowing cannot silently truncate a huge literal).
+    fn array_len(&mut self) -> Result<u32, ParseError> {
+        let line = self.line();
+        let n = self.int_lit()?;
+        if !(0..=MAX_ARRAY_LEN).contains(&n) {
+            return Err(ParseError {
+                message: format!("array length {n} out of range (0..={MAX_ARRAY_LEN})"),
+                line,
+            });
+        }
+        Ok(n as u32)
+    }
+
     // ---- items --------------------------------------------------------
 
     fn program(&mut self) -> Result<Program, ParseError> {
@@ -149,9 +184,9 @@ impl Parser {
             let fty = self.type_expr()?;
             let fname = self.ident()?;
             let array = if self.eat(&Tok::LBracket) {
-                let n = self.int_lit()?;
+                let n = self.array_len()?;
                 self.expect(&Tok::RBracket)?;
-                Some(n as u32)
+                Some(n)
             } else {
                 None
             };
@@ -167,9 +202,9 @@ impl Parser {
         let ty = self.type_expr()?;
         let name = self.ident()?;
         let array = if self.eat(&Tok::LBracket) {
-            let n = self.int_lit()?;
+            let n = self.array_len()?;
             self.expect(&Tok::RBracket)?;
-            Some(n as u32)
+            Some(n)
         } else {
             None
         };
@@ -263,7 +298,29 @@ impl Parser {
         Ok(stmts)
     }
 
+    /// Bounds recursive-descent depth; every self-recursive production
+    /// (`stmt`, `expr`, `unary`) funnels through this wrapper.
+    fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_NEST_DEPTH {
+            return Err(ParseError {
+                message: format!("nesting deeper than {MAX_NEST_DEPTH} levels"),
+                line: self.line(),
+            });
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.nested(Self::stmt_inner)
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let line = self.line();
         let kind = match self.peek() {
             Tok::KwInt | Tok::KwStruct | Tok::KwFn => self.decl()?,
@@ -307,9 +364,9 @@ impl Parser {
         let ty = self.type_expr()?;
         let name = self.ident()?;
         let array = if self.eat(&Tok::LBracket) {
-            let n = self.int_lit()?;
+            let n = self.array_len()?;
             self.expect(&Tok::RBracket)?;
-            Some(n as u32)
+            Some(n)
         } else {
             None
         };
@@ -422,7 +479,7 @@ impl Parser {
     // ---- expressions ---------------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.logic_or()
+        self.nested(Self::logic_or)
     }
 
     fn logic_or(&mut self) -> Result<Expr, ParseError> {
@@ -534,6 +591,10 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.nested(Self::unary_inner)
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         let line = self.line();
         let kind = match self.peek() {
             Tok::Minus => {

@@ -163,12 +163,18 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 };
                 out.push(Spanned { tok, line });
             }
+            _ if !c.is_ascii() => {
+                // Non-ASCII input: decode the real scalar value for the
+                // error instead of slicing (a byte-offset slice inside a
+                // multi-byte character would panic).
+                let ch = src[i..].chars().next().unwrap_or('\u{fffd}');
+                return Err(LexError { ch, line });
+            }
             _ => {
-                let two = if i + 1 < bytes.len() {
-                    &src[i..i + 2]
-                } else {
-                    ""
-                };
+                // `i` is on an ASCII character; `i + 1` is a char boundary,
+                // but `i + 2` may fall inside a following multi-byte
+                // character — `get` declines the slice instead of panicking.
+                let two = src.get(i..i + 2).unwrap_or("");
                 let (tok, len) = match two {
                     "->" => (Tok::Arrow, 2),
                     "<<" => (Tok::Shl, 2),

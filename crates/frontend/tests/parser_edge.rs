@@ -213,6 +213,54 @@ fn assignment_to_rvalue_rejected() {
 }
 
 #[test]
+fn non_ascii_input_is_an_error_not_a_panic() {
+    // Multi-byte characters after a punctuation token used to panic the
+    // lexer's two-character operator lookahead by slicing mid-character.
+    for src in [
+        "def main() { int x = 1; } €",
+        "def main() { int x = 1 +€; }",
+        "int 🦀;",
+        "def main() { print(\u{4e2d}); }",
+        "<€",
+        "€",
+    ] {
+        let e = parse(src).unwrap_err();
+        assert!(
+            e.message.contains("unexpected character"),
+            "{src:?}: {}",
+            e.message
+        );
+    }
+}
+
+#[test]
+fn array_length_out_of_range_rejected() {
+    // 2^32 + 1 would previously truncate to 1 through the `as u32` cast.
+    assert!(err_of("int g[4294967297]; def main() {}").contains("out of range"));
+    assert!(err_of("struct S { int a[99999999999]; }; def main() {}").contains("out of range"));
+    assert!(err_of("def main() { int a[1048577]; }").contains("out of range"));
+    assert!(compile("def main() { int a[1048576]; }").is_ok());
+}
+
+#[test]
+fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+    // Recursive descent: without a depth bound these abort the process.
+    let parens = format!("def main() {{ return {}1; }}", "(".repeat(50_000));
+    assert!(err_of(&parens).contains("nesting deeper"));
+    let braces = format!("def main() {{ {}", "{".repeat(50_000));
+    assert!(err_of(&braces).contains("nesting deeper"));
+    let unary = format!("def main() {{ return {}1; }}", "!".repeat(50_000));
+    assert!(err_of(&unary).contains("nesting deeper"));
+    // Real programs sit far below the bound.
+    let ok = format!(
+        "def main() -> int {{ return {}1{}; }}",
+        "(".repeat(50),
+        ")".repeat(50)
+    );
+    assert!(compile(&ok).is_ok());
+}
+
+#[test]
 fn pointer_conditions_are_c_style_truthy() {
     // `if (p)` is idiomatic C; TinyC keeps it.
     assert!(compile("def main() { int *p; p = 0; if (p + 1) { print(1); } }").is_ok());

@@ -1,0 +1,276 @@
+//! Campaign orchestration: seed iteration, mutation, differential
+//! execution, minimization of failures, and JSONL telemetry.
+//!
+//! A campaign is fully determined by its [`CampaignConfig`]: the same
+//! config always visits the same programs in the same order and reaches
+//! the same verdict, which is what lets CI gate on a fixed smoke
+//! campaign.
+
+use std::time::Instant;
+
+use usher_driver::json_escape;
+use usher_workloads::{generate, GenConfig, Rng};
+
+use crate::classify::{Mismatch, MismatchKind, Outcome};
+use crate::differ::{differential, FaultInjection};
+use crate::minimize::minimize_mismatch;
+use crate::mutate::{mutate, mutate_chars};
+
+/// Everything that parameterizes one campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Number of generator seeds to visit.
+    pub seeds: u64,
+    /// First seed.
+    pub start: u64,
+    /// Mutants per seed (the unmutated program always runs too).
+    pub mutants: u32,
+    /// Front-end mode: character-level havoc whose only assertion is
+    /// "the compiler never panics".
+    pub frontend: bool,
+    /// Fault to inject into every differential run.
+    pub fault: FaultInjection,
+    /// Thread count for the driver cross-check's parallel variant.
+    pub threads: usize,
+    /// Generator shape.
+    pub gen: GenConfig,
+    /// Delta-debug each failure down to a minimal reproducer.
+    pub minimize: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seeds: 25,
+            start: 0,
+            mutants: 8,
+            frontend: false,
+            fault: FaultInjection::None,
+            threads: 4,
+            gen: GenConfig::default(),
+            minimize: true,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The fixed CI smoke campaign: small, deterministic, and expected to
+    /// finish in well under a minute with zero mismatches.
+    pub fn smoke() -> CampaignConfig {
+        CampaignConfig {
+            seeds: 12,
+            start: 0,
+            mutants: 6,
+            minimize: false,
+            threads: 2,
+            gen: GenConfig {
+                helpers: 2,
+                max_stmts: 6,
+                uninit_pct: 45,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Aggregate counters of one campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignStats {
+    /// Programs executed (bases plus mutants).
+    pub programs: u64,
+    /// Programs that failed to compile (a classified outcome).
+    pub compile_errors: u64,
+    /// Programs cut off by the step budget (a classified outcome).
+    pub fuel_exhausted: u64,
+    /// Total mismatches across all programs.
+    pub mismatches: u64,
+    /// Mismatch count per taxonomy class, in [`MismatchKind::ALL`] order.
+    pub by_kind: [u64; MismatchKind::ALL.len()],
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// One failing program with its evidence.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Generator seed of the base program.
+    pub seed: u64,
+    /// Mutant index (0 = the unmutated base).
+    pub mutant: u32,
+    /// Mutation operator that produced the program.
+    pub op: String,
+    /// The first (most severe) mismatch.
+    pub mismatch: Mismatch,
+    /// The failing source.
+    pub src: String,
+    /// Delta-debugged reproducer, when minimization ran.
+    pub minimized: Option<String>,
+}
+
+/// A finished campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOutcome {
+    /// Aggregate counters.
+    pub stats: CampaignStats,
+    /// Every failing program, in discovery order.
+    pub failures: Vec<Failure>,
+}
+
+impl CampaignOutcome {
+    /// Whether the campaign found nothing — the CI gate.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs a campaign. Every telemetry record goes to `emit` as one JSON
+/// object on one line (pipe it to a file for `--report`).
+pub fn run_campaign(cfg: &CampaignConfig, emit: &mut dyn FnMut(String)) -> CampaignOutcome {
+    let t0 = Instant::now();
+    let mut out = CampaignOutcome::default();
+    emit(format!(
+        "{{\"campaign\":{{\"seeds\":{},\"start\":{},\"mutants\":{},\"frontend\":{},\"fault\":\"{}\",\"threads\":{}}}}}",
+        cfg.seeds, cfg.start, cfg.mutants, cfg.frontend, cfg.fault.name(), cfg.threads
+    ));
+    for seed in cfg.start..cfg.start + cfg.seeds {
+        let base = generate(seed, cfg.gen);
+        // One RNG per seed: mutant k of seed s is reproducible without
+        // replaying mutants 0..k-1 of any other seed.
+        let mut rng = Rng::new(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xF5A5);
+        for mutant in 0..=cfg.mutants {
+            let (src, op) = if mutant == 0 {
+                (base.clone(), "base")
+            } else if cfg.frontend {
+                (mutate_chars(&base, &mut rng), "havoc")
+            } else {
+                mutate(&base, &mut rng)
+            };
+            // The driver cross-check is deterministic per source, so the
+            // unmutated corpus program carries it for the whole seed.
+            let driver_check = mutant == 0 && !cfg.frontend;
+            let d = differential(&src, cfg.fault, cfg.threads, driver_check);
+            record(cfg, seed, mutant, op, &src, d, &mut out, emit);
+        }
+    }
+    out.stats.seconds = t0.elapsed().as_secs_f64();
+    let by_kind = MismatchKind::ALL
+        .iter()
+        .zip(out.stats.by_kind)
+        .map(|(k, n)| format!("\"{}\":{n}", k.name()))
+        .collect::<Vec<_>>()
+        .join(",");
+    emit(format!(
+        "{{\"summary\":{{\"programs\":{},\"compile_errors\":{},\"fuel_exhausted\":{},\"mismatches\":{},\"by_kind\":{{{by_kind}}},\"seconds\":{:.3},\"programs_per_second\":{:.1}}}}}",
+        out.stats.programs,
+        out.stats.compile_errors,
+        out.stats.fuel_exhausted,
+        out.stats.mismatches,
+        out.stats.seconds,
+        out.stats.programs as f64 / out.stats.seconds.max(1e-9),
+    ));
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    cfg: &CampaignConfig,
+    seed: u64,
+    mutant: u32,
+    op: &str,
+    src: &str,
+    d: crate::differ::DiffResult,
+    out: &mut CampaignOutcome,
+    emit: &mut dyn FnMut(String),
+) {
+    out.stats.programs += 1;
+    match d.outcome {
+        Outcome::CompileError => out.stats.compile_errors += 1,
+        Outcome::FuelExhausted => out.stats.fuel_exhausted += 1,
+        _ => {}
+    }
+    emit(format!(
+        "{{\"seed\":{seed},\"mutant\":{mutant},\"op\":\"{}\",\"outcome\":\"{}\",\"mismatches\":{}}}",
+        json_escape(op),
+        d.outcome.name(),
+        d.mismatches.len()
+    ));
+    if d.mismatches.is_empty() {
+        return;
+    }
+    out.stats.mismatches += d.mismatches.len() as u64;
+    for m in &d.mismatches {
+        let i = MismatchKind::ALL
+            .iter()
+            .position(|k| *k == m.kind)
+            .expect("kind is in ALL");
+        out.stats.by_kind[i] += 1;
+        emit(format!(
+            "{{\"mismatch\":{{\"seed\":{seed},\"mutant\":{mutant},\"kind\":\"{}\",\"config\":\"{}\",\"detail\":\"{}\"}}}}",
+            m.kind.name(),
+            json_escape(&m.config),
+            json_escape(&m.detail)
+        ));
+    }
+    let first = d.mismatches[0].clone();
+    let minimized = (cfg.minimize && first.kind != MismatchKind::FrontendPanic)
+        .then(|| minimize_mismatch(src, cfg.fault, first.kind, &first.config));
+    out.failures.push(Failure {
+        seed,
+        mutant,
+        op: op.to_string(),
+        mismatch: first,
+        src: src.to_string(),
+        minimized,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_is_clean_and_deterministic() {
+        let cfg = CampaignConfig {
+            seeds: 2,
+            mutants: 2,
+            ..CampaignConfig::smoke()
+        };
+        let mut lines_a = Vec::new();
+        let a = run_campaign(&cfg, &mut |l| lines_a.push(l));
+        let mut lines_b = Vec::new();
+        let b = run_campaign(&cfg, &mut |l| lines_b.push(l));
+        assert!(a.is_clean(), "{:?}", a.failures);
+        assert_eq!(a.stats.programs, b.stats.programs);
+        assert_eq!(a.stats.compile_errors, b.stats.compile_errors);
+        assert_eq!(a.stats.mismatches, b.stats.mismatches);
+        // All records except the timing summary are byte-identical.
+        assert_eq!(lines_a.len(), lines_b.len());
+        for (x, y) in lines_a.iter().zip(&lines_b).take(lines_a.len() - 1) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn drop_checks_campaign_finds_and_minimizes_unsoundness() {
+        // Seeds 4..6 of the smoke generator shape are buggy programs
+        // (the sabotage is only observable when there is something to
+        // miss).
+        let cfg = CampaignConfig {
+            seeds: 2,
+            start: 4,
+            mutants: 0,
+            fault: FaultInjection::DropChecks,
+            minimize: true,
+            ..CampaignConfig::smoke()
+        };
+        let out = run_campaign(&cfg, &mut |_| {});
+        assert!(
+            !out.is_clean(),
+            "stripping every check must surface missed detections"
+        );
+        let f = &out.failures[0];
+        assert_eq!(f.mismatch.kind, MismatchKind::MissedDetection);
+        let min = f.minimized.as_ref().expect("minimization was on");
+        assert!(min.lines().count() <= f.src.lines().count());
+    }
+}

@@ -1,0 +1,263 @@
+//! Mismatch taxonomy: turns one program's [`OracleRuns`] into a verdict
+//! plus a (usually empty) list of classified soundness violations.
+//!
+//! The rules mirror the paper's claims exactly:
+//!
+//! 1. MSan detects exactly the ground-truth undefined-value uses;
+//! 2. every guided configuration without Opt II detects exactly MSan's
+//!    sites;
+//! 3. with Opt II, detections are a dominated subset and the program-level
+//!    verdict (buggy / clean) is unchanged;
+//! 4. instrumentation never changes program semantics or termination;
+//! 5. guided shadow cost never exceeds full-instrumentation shadow cost.
+//!
+//! Fuel exhaustion is **not** a mismatch: the budget is charged once per
+//! native step and shadow operations are free, so the native run and every
+//! instrumented run execute the identical native prefix before trapping —
+//! all comparisons above stay valid on that prefix.
+
+use std::fmt;
+
+use usher_runtime::Trap;
+
+use crate::oracle::OracleRuns;
+
+/// What kind of disagreement a differential run surfaced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MismatchKind {
+    /// A guided configuration missed a detection the baseline made — an
+    /// unsoundness, the worst class.
+    MissedDetection,
+    /// A configuration reported an undefined-value use the ground truth
+    /// does not contain.
+    SpuriousDetection,
+    /// Instrumentation changed the program's observable output.
+    SemanticsDivergence,
+    /// Instrumentation changed how (or whether) the program trapped.
+    TrapDivergence,
+    /// The guided plan's shadow cost exceeded full instrumentation's —
+    /// the acceleration claim inverted.
+    CostInversion,
+    /// The driver produced different plans for the same program across
+    /// thread counts, caching modes, or versus the core analysis.
+    PlanDivergence,
+    /// The front end panicked instead of returning a structured error.
+    FrontendPanic,
+}
+
+impl MismatchKind {
+    /// Every kind, severity-ordered (worst first).
+    pub const ALL: [MismatchKind; 7] = [
+        MismatchKind::MissedDetection,
+        MismatchKind::SpuriousDetection,
+        MismatchKind::SemanticsDivergence,
+        MismatchKind::TrapDivergence,
+        MismatchKind::CostInversion,
+        MismatchKind::PlanDivergence,
+        MismatchKind::FrontendPanic,
+    ];
+
+    /// Stable telemetry tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            MismatchKind::MissedDetection => "missed-detection",
+            MismatchKind::SpuriousDetection => "spurious-detection",
+            MismatchKind::SemanticsDivergence => "semantics-divergence",
+            MismatchKind::TrapDivergence => "trap-divergence",
+            MismatchKind::CostInversion => "cost-inversion",
+            MismatchKind::PlanDivergence => "plan-divergence",
+            MismatchKind::FrontendPanic => "frontend-panic",
+        }
+    }
+}
+
+impl fmt::Display for MismatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One classified disagreement.
+#[derive(Clone, Debug)]
+pub struct Mismatch {
+    /// The taxonomy class.
+    pub kind: MismatchKind,
+    /// Name of the configuration that disagreed (or `"driver"` /
+    /// `"frontend"` for non-config findings).
+    pub config: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.config, self.detail)
+    }
+}
+
+/// Whole-program verdict of one differential execution. All variants are
+/// *classified* outcomes — none of them is a finding by itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion with no undefined-value use.
+    Clean,
+    /// Ran to completion; the ground truth contains this many distinct
+    /// undefined-value use sites.
+    Buggy(usize),
+    /// The step budget ran out before completion (expected under fuel
+    /// fault injection and for mutants with unbounded loops).
+    FuelExhausted,
+    /// The source did not compile (expected for many mutants).
+    CompileError,
+}
+
+impl Outcome {
+    /// Stable telemetry tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Clean => "clean",
+            Outcome::Buggy(_) => "buggy",
+            Outcome::FuelExhausted => "fuel-exhausted",
+            Outcome::CompileError => "compile-error",
+        }
+    }
+}
+
+/// Classifies one oracle execution into a verdict and its mismatches.
+pub fn classify(o: &OracleRuns) -> (Outcome, Vec<Mismatch>) {
+    let mut out = Vec::new();
+    let truth = o.native.ground_truth_sites();
+
+    let (msan_name, msan) = &o.runs[0];
+    let msan_sites = msan.detected_sites();
+
+    // Rule 1: the baseline against the ground truth.
+    for site in msan_sites.difference(&truth) {
+        out.push(Mismatch {
+            kind: MismatchKind::SpuriousDetection,
+            config: msan_name.clone(),
+            detail: format!("detected {site} which the oracle never saw"),
+        });
+    }
+    for site in truth.difference(&msan_sites) {
+        out.push(Mismatch {
+            kind: MismatchKind::MissedDetection,
+            config: msan_name.clone(),
+            detail: format!("oracle saw an undefined use at {site}, baseline missed it"),
+        });
+    }
+
+    // Rule 2: exact-match configurations (everything between the baseline
+    // and full Usher runs without Opt II).
+    for (name, r) in &o.runs[1..o.runs.len() - 1] {
+        let sites = r.detected_sites();
+        for site in sites.difference(&msan_sites) {
+            out.push(Mismatch {
+                kind: MismatchKind::SpuriousDetection,
+                config: name.clone(),
+                detail: format!("detected {site}, baseline did not"),
+            });
+        }
+        for site in msan_sites.difference(&sites) {
+            out.push(Mismatch {
+                kind: MismatchKind::MissedDetection,
+                config: name.clone(),
+                detail: format!("baseline detected {site}, this configuration missed it"),
+            });
+        }
+    }
+
+    // Rule 3: full Usher (Opt II) is a dominated subset with the same
+    // program-level verdict.
+    let (usher_name, usher) = &o.runs[o.runs.len() - 1];
+    let usher_sites = usher.detected_sites();
+    for site in usher_sites.difference(&msan_sites) {
+        out.push(Mismatch {
+            kind: MismatchKind::SpuriousDetection,
+            config: usher_name.clone(),
+            detail: format!("invented {site} outside the baseline's detections"),
+        });
+    }
+    if usher.detected.is_empty() && !msan.detected.is_empty() {
+        out.push(Mismatch {
+            kind: MismatchKind::MissedDetection,
+            config: usher_name.clone(),
+            detail: format!(
+                "verdict flipped: baseline found {} site(s), Opt II reported a clean program",
+                msan_sites.len()
+            ),
+        });
+    }
+
+    // Rule 4: semantics and termination, every configuration.
+    for (name, r) in &o.runs {
+        if r.trace != o.native.trace {
+            out.push(Mismatch {
+                kind: MismatchKind::SemanticsDivergence,
+                config: name.clone(),
+                detail: format!(
+                    "output diverged after {} common value(s)",
+                    r.trace
+                        .iter()
+                        .zip(&o.native.trace)
+                        .take_while(|(a, b)| a == b)
+                        .count()
+                ),
+            });
+        }
+        if r.trap != o.native.trap {
+            out.push(Mismatch {
+                kind: MismatchKind::TrapDivergence,
+                config: name.clone(),
+                detail: format!(
+                    "native trapped {:?}, instrumented {:?}",
+                    o.native.trap, r.trap
+                ),
+            });
+        }
+    }
+
+    // Rule 5: the acceleration direction.
+    let full_cost = msan.counters.shadow_cost;
+    let usher_cost = usher.counters.shadow_cost;
+    if usher_cost > full_cost {
+        out.push(Mismatch {
+            kind: MismatchKind::CostInversion,
+            config: usher_name.clone(),
+            detail: format!("guided shadow cost {usher_cost} > full instrumentation {full_cost}"),
+        });
+    }
+
+    let outcome = if o.native.trap == Some(Trap::FuelExhausted) {
+        Outcome::FuelExhausted
+    } else if truth.is_empty() {
+        Outcome::Clean
+    } else {
+        Outcome::Buggy(truth.len())
+    };
+    (outcome, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::run_seed;
+    use usher_workloads::GenConfig;
+
+    #[test]
+    fn generated_corpus_classifies_without_mismatches() {
+        for seed in 0..12u64 {
+            let o = run_seed(seed, GenConfig::default());
+            let (outcome, mismatches) = classify(&o);
+            assert!(mismatches.is_empty(), "seed {seed}: {mismatches:?}");
+            assert!(matches!(outcome, Outcome::Clean | Outcome::Buggy(_)));
+        }
+    }
+
+    #[test]
+    fn kinds_have_unique_stable_names() {
+        let names: std::collections::BTreeSet<_> =
+            MismatchKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), MismatchKind::ALL.len());
+    }
+}

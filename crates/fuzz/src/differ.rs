@@ -1,0 +1,341 @@
+//! The differential executor: one program in, a verdict plus classified
+//! mismatches out.
+//!
+//! Per program it runs the native ground-truth oracle, the MSan baseline
+//! plan and every guided preset (see [`crate::oracle`]), classifies the
+//! results (see [`crate::classify`]), and — for unmutated corpus programs
+//! — cross-checks the driver: the same source through [`Pipeline`] at one
+//! thread and many, with the artifact cache on and off, must produce
+//! byte-identical plan fingerprints, all equal to the core analysis'
+//! plan.
+//!
+//! Fault injection deliberately perturbs a run to prove the harness
+//! classifies adversity instead of mislabelling it:
+//!
+//! * [`FaultInjection::FuelExhaustion`] — a tiny step budget; every run
+//!   must trap [`usher_runtime::Trap::FuelExhausted`] at the identical
+//!   point, and the outcome is classified, not a mismatch.
+//! * [`FaultInjection::CacheEviction`] — evicts the driver's artifact
+//!   cache between two otherwise identical runs; rebuilt artifacts must
+//!   fingerprint identically (a cache-poisoning probe).
+//! * [`FaultInjection::TrapForcing`] — tiny recursion/allocation caps
+//!   force trap paths; native and instrumented runs must trap alike.
+//! * [`FaultInjection::DropChecks`] — strips every `Check` from the
+//!   guided plans, synthesizing unsoundness. The harness must report
+//!   `missed-detection` on buggy programs; the minimizer property test
+//!   relies on this as its reliable failure source.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use usher_core::{run_config, Config, Plan, ShadowOp};
+use usher_driver::{plan_fingerprint, Pipeline, PipelineOptions};
+use usher_frontend::compile_o0im;
+use usher_runtime::{run, RunOptions};
+
+use crate::classify::{classify, Mismatch, MismatchKind, Outcome};
+use crate::oracle::{run_options, OracleRuns};
+
+/// A deliberate perturbation of the differential run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// No fault: the plain soundness comparison.
+    None,
+    /// Run everything under a tiny step budget.
+    FuelExhaustion,
+    /// Evict the driver's artifact cache between two identical runs and
+    /// require identical rebuilt plans.
+    CacheEviction,
+    /// Tiny call-depth and allocation caps to force trap paths.
+    TrapForcing,
+    /// Strip every runtime check from the guided plans (synthetic
+    /// unsoundness; the harness must catch it).
+    DropChecks,
+}
+
+impl FaultInjection {
+    /// Every mode, for sweeps.
+    pub const ALL: [FaultInjection; 5] = [
+        FaultInjection::None,
+        FaultInjection::FuelExhaustion,
+        FaultInjection::CacheEviction,
+        FaultInjection::TrapForcing,
+        FaultInjection::DropChecks,
+    ];
+
+    /// Stable CLI/telemetry tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultInjection::None => "none",
+            FaultInjection::FuelExhaustion => "fuel",
+            FaultInjection::CacheEviction => "cache-evict",
+            FaultInjection::TrapForcing => "trap-force",
+            FaultInjection::DropChecks => "drop-checks",
+        }
+    }
+
+    /// Parses a CLI tag.
+    pub fn parse(s: &str) -> Option<FaultInjection> {
+        FaultInjection::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    /// The run options this fault imposes.
+    pub fn options(self) -> RunOptions {
+        let mut o = run_options();
+        match self {
+            FaultInjection::FuelExhaustion => o.fuel = 600,
+            FaultInjection::TrapForcing => {
+                o.max_depth = 6;
+                o.max_alloc_cells = 4;
+            }
+            _ => {}
+        }
+        o
+    }
+}
+
+/// The result of one differential execution.
+#[derive(Debug)]
+pub struct DiffResult {
+    /// Whole-program verdict.
+    pub outcome: Outcome,
+    /// Classified disagreements (empty on a sound run).
+    pub mismatches: Vec<Mismatch>,
+}
+
+/// Removes every runtime check from a plan, keeping propagation intact —
+/// the surgical way to make a guided configuration unsound on purpose.
+pub fn strip_checks(plan: &mut Plan) {
+    for ops in plan
+        .before
+        .values_mut()
+        .chain(plan.after.values_mut())
+        .chain(plan.entry.values_mut())
+    {
+        ops.retain(|op| !matches!(op, ShadowOp::Check { .. }));
+    }
+    plan.finalize_stats();
+}
+
+/// Runs one source program differentially.
+///
+/// `driver_check` additionally routes the program through the driver at
+/// one thread and `threads`, cache on and off, and compares plan
+/// fingerprints (skipped for mutants in hot campaign loops — plan
+/// construction is deterministic per source, so checking each corpus
+/// program once suffices).
+pub fn differential(
+    src: &str,
+    fault: FaultInjection,
+    threads: usize,
+    driver_check: bool,
+) -> DiffResult {
+    // The front end owes every input a structured result; a panic is a
+    // finding in its own right.
+    let compiled = catch_unwind(AssertUnwindSafe(|| compile_o0im(src)));
+    let m = match compiled {
+        Err(panic) => {
+            return DiffResult {
+                outcome: Outcome::CompileError,
+                mismatches: vec![Mismatch {
+                    kind: MismatchKind::FrontendPanic,
+                    config: "frontend".to_string(),
+                    detail: format!("compile_o0im panicked: {}", panic_text(&panic)),
+                }],
+            }
+        }
+        Ok(Err(_)) => {
+            return DiffResult {
+                outcome: Outcome::CompileError,
+                mismatches: Vec::new(),
+            }
+        }
+        Ok(Ok(m)) => m,
+    };
+    if !m.is_runnable() {
+        // Compiles but has no `main` (delta debugging routinely produces
+        // this): nothing to run differentially.
+        return DiffResult {
+            outcome: Outcome::CompileError,
+            mismatches: Vec::new(),
+        };
+    }
+
+    let opts = fault.options();
+    let native = run(&m, None, &opts);
+    let mut runs = Vec::with_capacity(Config::ALL.len());
+    let mut core_fingerprints = Vec::new();
+    for (i, cfg) in Config::ALL.iter().enumerate() {
+        let out = run_config(&m, *cfg);
+        let mut plan = out.plan;
+        core_fingerprints.push((cfg.name, plan_fingerprint(&plan)));
+        if fault == FaultInjection::DropChecks && i > 0 {
+            strip_checks(&mut plan);
+        }
+        runs.push((cfg.name.to_string(), run(&m, Some(&plan), &opts)));
+    }
+    let oracle = OracleRuns {
+        src: src.to_string(),
+        native,
+        runs,
+    };
+    let (outcome, mut mismatches) = classify(&oracle);
+
+    // Plan construction is independent of run-time faults; under
+    // DropChecks the guided plans are intentionally different, so the
+    // driver comparison would only report our own sabotage.
+    if driver_check && fault != FaultInjection::DropChecks {
+        cross_check_driver(
+            src,
+            threads,
+            fault == FaultInjection::CacheEviction,
+            &core_fingerprints,
+            &mut mismatches,
+        );
+    }
+    DiffResult {
+        outcome,
+        mismatches,
+    }
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The driver must produce the same plan as the core analysis for every
+/// preset, at any thread count, with the cache on, off, or evicted
+/// mid-sequence.
+fn cross_check_driver(
+    src: &str,
+    threads: usize,
+    evict: bool,
+    core_fingerprints: &[(&'static str, String)],
+    mismatches: &mut Vec<Mismatch>,
+) {
+    for (cfg, core_fp) in core_fingerprints {
+        let popts = PipelineOptions::from_config(
+            Config::ALL
+                .into_iter()
+                .find(|c| c.name == *cfg)
+                .expect("fingerprints built from Config::ALL"),
+        );
+        let variants: [(&str, Pipeline); 3] = [
+            ("threads=1", Pipeline::new().with_threads(1)),
+            ("threads=N", Pipeline::new().with_threads(threads.max(2))),
+            ("no-cache", Pipeline::new().without_cache()),
+        ];
+        for (label, pipe) in variants {
+            match pipe.run_source("fuzz", src, popts.clone()) {
+                Ok(r) => {
+                    let fp = plan_fingerprint(&r.plan);
+                    if fp != *core_fp {
+                        mismatches.push(Mismatch {
+                            kind: MismatchKind::PlanDivergence,
+                            config: (*cfg).to_string(),
+                            detail: format!("driver ({label}) plan differs from core analysis"),
+                        });
+                    }
+                }
+                Err(e) => mismatches.push(Mismatch {
+                    kind: MismatchKind::PlanDivergence,
+                    config: (*cfg).to_string(),
+                    detail: format!("driver ({label}) failed on a compilable program: {e}"),
+                }),
+            }
+        }
+        if evict {
+            // Cache-poisoning probe: warm the cache, evict it, and require
+            // the rebuilt artifacts to fingerprint identically.
+            let pipe = Pipeline::new();
+            let warm = pipe.run_source("fuzz", src, popts.clone());
+            pipe.clear_cache();
+            let cold = pipe.run_source("fuzz", src, popts.clone());
+            if let (Ok(a), Ok(b)) = (warm, cold) {
+                if plan_fingerprint(&a.plan) != plan_fingerprint(&b.plan) {
+                    mismatches.push(Mismatch {
+                        kind: MismatchKind::PlanDivergence,
+                        config: (*cfg).to_string(),
+                        detail: "plan changed across a cache eviction".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usher_workloads::{generate, GenConfig};
+
+    #[test]
+    fn corpus_programs_are_sound_with_driver_cross_check() {
+        for seed in 0..4u64 {
+            let src = generate(seed, GenConfig::default());
+            let d = differential(&src, FaultInjection::None, 4, true);
+            assert!(d.mismatches.is_empty(), "seed {seed}: {:?}", d.mismatches);
+        }
+    }
+
+    #[test]
+    fn fuel_fault_is_an_outcome_not_a_mismatch() {
+        // A program guaranteed to exceed 600 steps.
+        let src = generate(0, GenConfig::default());
+        let d = differential(&src, FaultInjection::FuelExhaustion, 2, false);
+        assert_eq!(d.outcome, Outcome::FuelExhausted);
+        assert!(d.mismatches.is_empty(), "{:?}", d.mismatches);
+    }
+
+    #[test]
+    fn trap_forcing_keeps_runs_aligned() {
+        for seed in 0..4u64 {
+            let src = generate(seed, GenConfig::default());
+            let d = differential(&src, FaultInjection::TrapForcing, 2, false);
+            assert!(d.mismatches.is_empty(), "seed {seed}: {:?}", d.mismatches);
+        }
+    }
+
+    #[test]
+    fn drop_checks_surfaces_missed_detections_on_buggy_programs() {
+        // Find a seed whose program is buggy, sabotage the guided plans,
+        // and require the harness to classify the unsoundness.
+        for seed in 0..64u64 {
+            let clean = differential(
+                &generate(seed, GenConfig::default()),
+                FaultInjection::None,
+                2,
+                false,
+            );
+            if let Outcome::Buggy(_) = clean.outcome {
+                let d = differential(
+                    &generate(seed, GenConfig::default()),
+                    FaultInjection::DropChecks,
+                    2,
+                    false,
+                );
+                assert!(
+                    d.mismatches
+                        .iter()
+                        .any(|m| m.kind == MismatchKind::MissedDetection),
+                    "seed {seed}: sabotage went unnoticed: {:?}",
+                    d.mismatches
+                );
+                return;
+            }
+        }
+        panic!("no buggy seed in 0..64 — generator regressed?");
+    }
+
+    #[test]
+    fn compile_errors_are_classified_silently() {
+        let d = differential("def main( {", FaultInjection::None, 2, true);
+        assert_eq!(d.outcome, Outcome::CompileError);
+        assert!(d.mismatches.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # usher-fuzz
+//!
+//! Differential fuzzing across the static/dynamic soundness boundary of
+//! the Usher reproduction: the one place where "the guided plan detects
+//! exactly what full instrumentation detects, which detects exactly what
+//! the ground-truth oracle saw" is attacked instead of assumed.
+//!
+//! The crate is organized as a pipeline of small pieces:
+//!
+//! * [`mutate`] — semantic statement-level mutations and character-level
+//!   havoc over generated TinyC programs;
+//! * [`oracle`] — the shared runner producing native + per-preset runs
+//!   (also used by the repository's property-test suites);
+//! * [`classify`] — the mismatch taxonomy (missed detection, spurious
+//!   detection, semantics/trap divergence, cost inversion, plan
+//!   divergence, front-end panic);
+//! * [`differ`] — the differential executor with driver cross-checking
+//!   (threads × cache) and fault injection (fuel exhaustion, cache
+//!   eviction, trap forcing, check dropping);
+//! * [`minimize`] — line-granular delta debugging that preserves the
+//!   mismatch class while shrinking;
+//! * [`campaign`] — deterministic seed-driven orchestration with JSONL
+//!   telemetry, used by `usher fuzz` and the CI smoke gate.
+//!
+//! ```
+//! use usher_fuzz::{differential, FaultInjection};
+//! use usher_workloads::{generate, GenConfig};
+//!
+//! let src = generate(1, GenConfig::default());
+//! let d = differential(&src, FaultInjection::None, 2, false);
+//! assert!(d.mismatches.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod classify;
+pub mod differ;
+pub mod minimize;
+pub mod mutate;
+pub mod oracle;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, CampaignStats, Failure};
+pub use classify::{classify, Mismatch, MismatchKind, Outcome};
+pub use differ::{differential, strip_checks, DiffResult, FaultInjection};
+pub use minimize::{ddmin_lines, minimize_mismatch};
+pub use mutate::{mutate, mutate_chars, OPS};
+pub use oracle::{run_module, run_options, run_seed, run_source, OracleRuns};

@@ -1,0 +1,98 @@
+//! Delta-debugging minimizer: shrinks a failing program to a small
+//! reproducer that still exhibits the *same* mismatch class against the
+//! *same* configuration.
+//!
+//! Granularity is source lines — the generator emits one statement per
+//! line, so line-level ddmin converges quickly and never splits a token.
+
+use crate::classify::MismatchKind;
+use crate::differ::{differential, FaultInjection};
+
+/// Classic ddmin over lines: repeatedly removes line chunks while `pred`
+/// still holds. `pred` must hold for `src` itself; the result is
+/// 1-minimal in the sense that no single remaining chunk at the final
+/// granularity can be dropped.
+pub fn ddmin_lines(src: &str, pred: &dyn Fn(&str) -> bool) -> String {
+    debug_assert!(pred(src), "predicate must hold for the input");
+    let mut lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+    let mut n = 2usize;
+    while lines.len() >= 2 {
+        let mut reduced = false;
+        for i in 0..n {
+            let start = i * lines.len() / n;
+            let end = (i + 1) * lines.len() / n;
+            if start == end {
+                continue;
+            }
+            let candidate: Vec<String> = lines[..start]
+                .iter()
+                .chain(&lines[end..])
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && pred(&candidate.join("\n")) {
+                lines = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            n = n.saturating_sub(1).max(2);
+        } else {
+            if n >= lines.len() {
+                break;
+            }
+            n = (n * 2).min(lines.len());
+        }
+    }
+    lines.join("\n")
+}
+
+/// Minimizes a program that produced a `(kind, config)` mismatch under
+/// `fault`, preserving that exact mismatch class throughout. Returns the
+/// input unchanged if it does not actually exhibit the mismatch (e.g. a
+/// flaky report — which itself would be a determinism bug caught by the
+/// replay suite).
+pub fn minimize_mismatch(
+    src: &str,
+    fault: FaultInjection,
+    kind: MismatchKind,
+    config: &str,
+) -> String {
+    let pred = |s: &str| {
+        differential(s, fault, 1, false)
+            .mismatches
+            .iter()
+            .any(|m| m.kind == kind && m.config == config)
+    };
+    if !pred(src) {
+        return src.to_string();
+    }
+    ddmin_lines(src, &pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_isolates_the_failing_line() {
+        let src = (0..40)
+            .map(|i| format!("line {i}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let out = ddmin_lines(&src, &|s| s.contains("line 23"));
+        assert_eq!(out, "line 23");
+    }
+
+    #[test]
+    fn ddmin_keeps_conjoined_causes() {
+        let src = (0..32)
+            .map(|i| format!("l{i}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let out = ddmin_lines(&src, &|s| s.contains("l3\n") && s.contains("l27"));
+        let kept: Vec<&str> = out.lines().collect();
+        assert!(kept.contains(&"l3") && kept.contains(&"l27"), "{out}");
+        assert!(kept.len() <= 4, "{out}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Mutation engine over generated TinyC sources.
+//!
+//! Two modes:
+//!
+//! * [`mutate`] — *semantic* mutations at statement granularity (delete,
+//!   duplicate, reorder, init↔uninit flips, aliasing-pattern injection,
+//!   call-boundary rewrites). Mutants usually still compile; the ones
+//!   that do stress the analysis with value flows the generator alone
+//!   never produces.
+//! * [`mutate_chars`] — *havoc* mutations at character granularity
+//!   (including multi-byte UTF-8 insertion), used by the front-end fuzz
+//!   mode whose only assertion is "the compiler returns an error instead
+//!   of panicking".
+//!
+//! Both are driven by the workloads crate's std-only xorshift [`Rng`],
+//! so a `(seed, mutant-index)` pair always reproduces the same program.
+
+use usher_workloads::Rng;
+
+/// Names of the semantic mutation operators, for telemetry.
+pub const OPS: [&str; 6] = [
+    "delete-stmt",
+    "duplicate-stmt",
+    "swap-adjacent",
+    "flip-init",
+    "inject-alias",
+    "rewrite-call",
+];
+
+/// Applies one random semantic mutation. Returns the mutated source and
+/// the name of the operator that actually applied; if no operator finds a
+/// target (degenerate input) the source is returned unchanged as
+/// `"noop"`.
+pub fn mutate(src: &str, rng: &mut Rng) -> (String, &'static str) {
+    let start = rng.below(OPS.len());
+    for i in 0..OPS.len() {
+        let op = OPS[(start + i) % OPS.len()];
+        let applied = match op {
+            "delete-stmt" => delete_stmt(src, rng),
+            "duplicate-stmt" => duplicate_stmt(src, rng),
+            "swap-adjacent" => swap_adjacent(src, rng),
+            "flip-init" => flip_init(src, rng),
+            "inject-alias" => inject_alias(src, rng),
+            "rewrite-call" => rewrite_call(src, rng),
+            _ => unreachable!(),
+        };
+        if let Some(mutated) = applied {
+            return (mutated, op);
+        }
+    }
+    (src.to_string(), "noop")
+}
+
+/// Indices of indented single-statement lines (`...;` inside a body) —
+/// the safe unit for deletion, duplication and reordering.
+fn stmt_lines(lines: &[&str]) -> Vec<usize> {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            l.starts_with(' ') && l.trim_end().ends_with(';') && !l.trim_start().starts_with("//")
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn delete_stmt(src: &str, rng: &mut Rng) -> Option<String> {
+    let mut lines: Vec<&str> = src.lines().collect();
+    let stmts = stmt_lines(&lines);
+    if stmts.is_empty() {
+        return None;
+    }
+    lines.remove(stmts[rng.below(stmts.len())]);
+    Some(lines.join("\n"))
+}
+
+fn duplicate_stmt(src: &str, rng: &mut Rng) -> Option<String> {
+    let mut lines: Vec<&str> = src.lines().collect();
+    let stmts = stmt_lines(&lines);
+    if stmts.is_empty() {
+        return None;
+    }
+    let i = stmts[rng.below(stmts.len())];
+    lines.insert(i, lines[i]);
+    Some(lines.join("\n"))
+}
+
+fn swap_adjacent(src: &str, rng: &mut Rng) -> Option<String> {
+    let mut lines: Vec<&str> = src.lines().collect();
+    let stmts = stmt_lines(&lines);
+    let pairs: Vec<usize> = stmts
+        .iter()
+        .copied()
+        .filter(|&i| i + 1 < lines.len() && stmts.contains(&(i + 1)))
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let i = pairs[rng.below(pairs.len())];
+    lines.swap(i, i + 1);
+    Some(lines.join("\n"))
+}
+
+/// `int v = e;` ↔ `int v;` — the single most productive operator: it
+/// converts initialized locals into fresh undefined-value sources and
+/// vice versa, moving the ground truth the analysis must track.
+fn flip_init(src: &str, rng: &mut Rng) -> Option<String> {
+    let lines: Vec<&str> = src.lines().collect();
+    let decls: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| decl_name(l).is_some())
+        .map(|(i, _)| i)
+        .collect();
+    if decls.is_empty() {
+        return None;
+    }
+    let i = decls[rng.below(decls.len())];
+    let name = decl_name(lines[i]).expect("filtered above");
+    let indent = &lines[i][..lines[i].len() - lines[i].trim_start().len()];
+    let flipped = if lines[i].contains('=') {
+        format!("{indent}int {name};")
+    } else {
+        format!("{indent}int {name} = {};", rng.below(90) + 1)
+    };
+    let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    out[i] = flipped;
+    Some(out.join("\n"))
+}
+
+/// The variable of a simple scalar declaration line, if it is one.
+fn decl_name(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    if !line.starts_with(' ') || !t.starts_with("int ") || t.contains('*') || t.contains('[') {
+        return None;
+    }
+    let rest = &t[4..];
+    let end = rest.find(['=', ';'])?;
+    let name = rest[..end].trim();
+    (!name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        .then_some(name)
+}
+
+/// Inserts a pointer alias to an existing scalar local and either stores
+/// or loads through it — value flows through may-alias pointers are where
+/// the guided plan has the most room to be wrong.
+fn inject_alias(src: &str, rng: &mut Rng) -> Option<String> {
+    let lines: Vec<&str> = src.lines().collect();
+    let decls: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| decl_name(l).is_some())
+        .map(|(i, _)| i)
+        .collect();
+    if decls.is_empty() {
+        return None;
+    }
+    let i = decls[rng.below(decls.len())];
+    let name = decl_name(lines[i]).expect("filtered above").to_string();
+    let indent = lines[i][..lines[i].len() - lines[i].trim_start().len()].to_string();
+    let k = src.matches("__fz").count();
+    let use_line = if rng.pct(50) {
+        // A load through the alias: a use of whatever definedness the
+        // aliased local carries at this point.
+        format!("{indent}print(*__fz{k});")
+    } else {
+        // A store through the alias: defines the local on a path the
+        // front end never wrote.
+        format!("{indent}*__fz{k} = {};", rng.below(90) + 1)
+    };
+    let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    out.splice(
+        i + 1..i + 1,
+        [
+            format!("{indent}int *__fz{k};"),
+            format!("{indent}__fz{k} = &{name};"),
+            use_line,
+        ],
+    );
+    Some(out.join("\n"))
+}
+
+/// Rewrites one helper-call boundary: swaps the two arguments or retargets
+/// the call at a different helper (all helpers share the signature
+/// `(int, int) -> int`, so the mutant stays type-correct).
+fn rewrite_call(src: &str, rng: &mut Rng) -> Option<String> {
+    let lines: Vec<&str> = src.lines().collect();
+    let helpers: Vec<String> = lines
+        .iter()
+        .filter_map(|l| {
+            let rest = l.strip_prefix("def helper")?;
+            let end = rest.find('(')?;
+            Some(format!("helper{}", &rest[..end]))
+        })
+        .collect();
+    let calls: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.starts_with(' ') && l.contains("helper") && l.contains('('))
+        .map(|(i, _)| i)
+        .collect();
+    if calls.is_empty() {
+        return None;
+    }
+    let i = calls[rng.below(calls.len())];
+    let line = lines[i];
+    let mutated = if rng.pct(50) && helpers.len() > 1 {
+        // Retarget: replace the callee with a different helper.
+        let at = line.find("helper")?;
+        let end = at + line[at..].find('(')?;
+        let other = &helpers[rng.below(helpers.len())];
+        format!("{}{}{}", &line[..at], other, &line[end..])
+    } else {
+        // Swap the two arguments of the call.
+        let open = line.find('(')?;
+        let close = line.rfind(')')?;
+        let inner = &line[open + 1..close];
+        let comma = top_level_comma(inner)?;
+        let (a, b) = (inner[..comma].trim(), inner[comma + 1..].trim());
+        format!("{}({b}, {a}{}", &line[..open], &line[close..])
+    };
+    let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    out[i] = mutated;
+    Some(out.join("\n"))
+}
+
+/// The byte offset of the first comma at parenthesis depth zero.
+fn top_level_comma(s: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Characters the havoc mutator injects: TinyC surface syntax plus
+/// multi-byte UTF-8 — the latter is what flushed out the lexer's
+/// char-boundary panic.
+const HAVOC_CHARS: &[char] = &[
+    ';', '{', '}', '(', ')', '[', ']', '=', '<', '>', '&', '*', '-', '0', '9', ' ', '\n', '\0',
+    '€', '🦀', '中', 'é', '\u{7f}', '\u{2028}',
+];
+
+/// Applies 1–4 random character-level edits. Output is valid UTF-8 (Rust
+/// strings always are) but almost never valid TinyC; the only contract
+/// the compiler owes it is a structured error.
+pub fn mutate_chars(src: &str, rng: &mut Rng) -> String {
+    let mut chars: Vec<char> = src.chars().collect();
+    for _ in 0..rng.below(4) + 1 {
+        if chars.is_empty() {
+            chars.push(HAVOC_CHARS[rng.below(HAVOC_CHARS.len())]);
+            continue;
+        }
+        match rng.below(4) {
+            0 => {
+                let i = rng.below(chars.len() + 1);
+                chars.insert(i, HAVOC_CHARS[rng.below(HAVOC_CHARS.len())]);
+            }
+            1 => {
+                let i = rng.below(chars.len());
+                chars.remove(i);
+            }
+            2 => {
+                let i = rng.below(chars.len());
+                chars[i] = HAVOC_CHARS[rng.below(HAVOC_CHARS.len())];
+            }
+            _ => {
+                // Duplicate a chunk somewhere else.
+                let start = rng.below(chars.len());
+                let len = (rng.below(24) + 1).min(chars.len() - start);
+                let chunk: Vec<char> = chars[start..start + len].to_vec();
+                let at = rng.below(chars.len() + 1);
+                chars.splice(at..at, chunk);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usher_workloads::{generate, GenConfig};
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let src = generate(5, GenConfig::default());
+        let (a, op_a) = mutate(&src, &mut Rng::new(99));
+        let (b, op_b) = mutate(&src, &mut Rng::new(99));
+        assert_eq!(a, b);
+        assert_eq!(op_a, op_b);
+    }
+
+    #[test]
+    fn every_operator_eventually_applies() {
+        let src = generate(2, GenConfig::default());
+        let mut seen = std::collections::BTreeSet::new();
+        let mut rng = Rng::new(7);
+        for _ in 0..400 {
+            let (_, op) = mutate(&src, &mut rng);
+            seen.insert(op);
+        }
+        for op in OPS {
+            assert!(seen.contains(op), "operator {op} never applied");
+        }
+    }
+
+    #[test]
+    fn flip_init_round_trips_a_declaration() {
+        let src = "def main() -> int {\n    int x = 3;\n    return 0;\n}";
+        let mut rng = Rng::new(1);
+        let (once, op) = mutate_with_op(src, &mut rng, "flip-init");
+        assert_eq!(op, "flip-init");
+        assert!(once.contains("int x;"), "{once}");
+    }
+
+    fn mutate_with_op(src: &str, rng: &mut Rng, want: &str) -> (String, &'static str) {
+        for _ in 0..200 {
+            let (m, op) = mutate(src, rng);
+            if op == want {
+                return (m, op);
+            }
+        }
+        panic!("operator {want} never selected");
+    }
+
+    #[test]
+    fn havoc_handles_multibyte_without_panicking() {
+        let src = generate(1, GenConfig::default());
+        let mut rng = Rng::new(42);
+        for _ in 0..500 {
+            let m = mutate_chars(&src, &mut rng);
+            assert!(std::str::from_utf8(m.as_bytes()).is_ok());
+        }
+    }
+}

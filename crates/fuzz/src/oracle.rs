@@ -1,0 +1,103 @@
+//! The shared oracle runner: one implementation of "run a program natively
+//! and under every instrumentation preset" used by the differential
+//! executor, the property-test suites and the replay harness.
+//!
+//! The soundness definition of the whole reproduction lives in the data
+//! this module produces: the native run carries the ground-truth
+//! undefined-value uses (the interpreter tracks real definedness bits),
+//! and each entry of [`OracleRuns::runs`] is the same program under one
+//! [`Config::ALL`] preset, in preset order.
+
+use usher_core::{run_config, Config};
+use usher_frontend::{compile_o0im, CompileError};
+use usher_ir::Module;
+use usher_runtime::{run, RunOptions, RunResult};
+use usher_workloads::{generate, GenConfig};
+
+/// The standard step budget for differential runs: large enough that every
+/// generated program terminates, small enough that a mutant with an
+/// accidental unbounded loop is cut off quickly.
+pub const DIFF_FUEL: u64 = 2_000_000;
+
+/// Run options shared by every differential comparison.
+pub fn run_options() -> RunOptions {
+    RunOptions {
+        fuel: DIFF_FUEL,
+        ..Default::default()
+    }
+}
+
+/// One program's complete differential evidence.
+#[derive(Debug)]
+pub struct OracleRuns {
+    /// The TinyC source that was executed.
+    pub src: String,
+    /// The uninstrumented run; its events are the ground truth.
+    pub native: RunResult,
+    /// `(config name, run)` for every [`Config::ALL`] preset, in order:
+    /// `runs[0]` is the MSan baseline, `runs[4]` full Usher.
+    pub runs: Vec<(String, RunResult)>,
+}
+
+/// Runs a compiled module natively and under every preset.
+pub fn run_module(m: &Module, opts: &RunOptions) -> (RunResult, Vec<(String, RunResult)>) {
+    let native = run(m, None, opts);
+    let runs = Config::ALL
+        .iter()
+        .map(|cfg| {
+            let out = run_config(m, *cfg);
+            (cfg.name.to_string(), run(m, Some(&out.plan), opts))
+        })
+        .collect();
+    (native, runs)
+}
+
+/// Compiles a source program and runs it through the full oracle.
+///
+/// # Errors
+///
+/// Propagates front-end errors; mutated programs routinely fail to
+/// compile, and that is a classified outcome rather than a finding.
+pub fn run_source(src: &str, opts: &RunOptions) -> Result<OracleRuns, CompileError> {
+    let m = compile_o0im(src)?;
+    let (native, runs) = run_module(&m, opts);
+    Ok(OracleRuns {
+        src: src.to_string(),
+        native,
+        runs,
+    })
+}
+
+/// Generates the corpus program for `seed` and runs it through the full
+/// oracle under the standard options.
+///
+/// # Panics
+///
+/// Panics if the generated program fails to compile — generator output is
+/// guaranteed well-formed, so that is a generator bug worth a loud stop.
+pub fn run_seed(seed: u64, cfg: GenConfig) -> OracleRuns {
+    let src = generate(seed, cfg);
+    match run_source(&src, &run_options()) {
+        Ok(o) => o,
+        Err(e) => panic!("seed {seed}: generated program failed to compile: {e}\n{src}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_runs_cover_every_preset_in_order() {
+        let o = run_seed(3, GenConfig::default());
+        let names: Vec<&str> = o.runs.iter().map(|(n, _)| n.as_str()).collect();
+        let want: Vec<&str> = Config::ALL.iter().map(|c| c.name).collect();
+        assert_eq!(names, want);
+        assert_eq!(names[0], "MSan");
+    }
+
+    #[test]
+    fn run_source_reports_compile_errors() {
+        assert!(run_source("def main( {", &run_options()).is_err());
+    }
+}

@@ -237,9 +237,15 @@ impl<'a> Machine<'a> {
     fn run(mut self, main: FuncId) -> RunResult {
         self.push_frame(main, Vec::new());
         let outcome = loop {
+            // The step budget is charged here and nowhere else: guard and
+            // decrement live at one site so the accounting cannot drift
+            // from the exhaustion check (shadow operations are free — both
+            // the native and every instrumented run execute the identical
+            // native prefix before trapping).
             if self.fuel == 0 {
                 break Step::Trapped(Trap::FuelExhausted);
             }
+            self.fuel = self.fuel.saturating_sub(1);
             match self.step() {
                 Step::Continue => {}
                 other => break other,
@@ -575,7 +581,6 @@ impl<'a> Machine<'a> {
         let insts_len = func.blocks[block].insts.len();
         let site = Site::new(f, block, idx.min(insts_len));
 
-        self.fuel -= 1;
         self.counters.native_ops += 1;
 
         if idx < insts_len {

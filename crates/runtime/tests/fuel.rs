@@ -1,0 +1,93 @@
+//! Fuel (step-budget) accounting tests: exhaustion is an explicit trap,
+//! charged at exactly one site, and instrumentation can never change when
+//! it fires — native and instrumented runs execute the identical native
+//! prefix before trapping.
+
+use usher_core::{run_config, Config};
+use usher_frontend::compile_o0im;
+use usher_runtime::{run, RunOptions, RunResult, Trap};
+
+const LOOPY: &str = "
+    def main() -> int {
+        int s = 0;
+        for (int i = 0; i < 1000; i = i + 1) {
+            s = s + i;
+            print(s);
+        }
+        return s;
+    }
+";
+
+fn with_fuel(fuel: u64) -> (RunResult, Vec<RunResult>) {
+    let m = compile_o0im(LOOPY).expect("compiles");
+    let opts = RunOptions {
+        fuel,
+        ..Default::default()
+    };
+    let native = run(&m, None, &opts);
+    let instrumented = Config::ALL
+        .iter()
+        .map(|cfg| {
+            let out = run_config(&m, *cfg);
+            run(&m, Some(&out.plan), &opts)
+        })
+        .collect();
+    (native, instrumented)
+}
+
+#[test]
+fn out_of_fuel_traps_explicitly() {
+    let (native, _) = with_fuel(100);
+    assert_eq!(native.trap, Some(Trap::FuelExhausted));
+    assert!(native.exit.is_none());
+}
+
+#[test]
+fn zero_fuel_traps_before_any_step() {
+    let (native, _) = with_fuel(0);
+    assert_eq!(native.trap, Some(Trap::FuelExhausted));
+    assert_eq!(native.counters.native_ops, 0);
+    assert!(native.trace.is_empty());
+}
+
+#[test]
+fn fuel_budget_bounds_native_ops_exactly() {
+    // The budget is charged once per native step; phi-prefix execution at
+    // block entry rides on its terminator's step. Exhaustion must happen
+    // after at most `fuel` charged steps.
+    for fuel in [1u64, 7, 50, 333] {
+        let (native, _) = with_fuel(fuel);
+        assert_eq!(native.trap, Some(Trap::FuelExhausted), "fuel {fuel}");
+        assert!(
+            native.counters.native_ops >= fuel,
+            "fuel {fuel}: only {} ops",
+            native.counters.native_ops
+        );
+    }
+}
+
+#[test]
+fn instrumentation_never_changes_the_exhaustion_point() {
+    for fuel in [0u64, 1, 13, 100, 1000] {
+        let (native, instrumented) = with_fuel(fuel);
+        for r in &instrumented {
+            assert_eq!(r.trap, native.trap, "fuel {fuel}");
+            assert_eq!(r.trace, native.trace, "fuel {fuel}");
+            assert_eq!(
+                r.counters.native_ops, native.counters.native_ops,
+                "fuel {fuel}"
+            );
+        }
+    }
+}
+
+#[test]
+fn enough_fuel_runs_to_completion() {
+    let (native, instrumented) = with_fuel(1_000_000);
+    assert_eq!(native.trap, None);
+    assert!(native.exit.is_some());
+    for r in &instrumented {
+        assert_eq!(r.trap, None);
+        assert_eq!(r.trace, native.trace);
+    }
+}

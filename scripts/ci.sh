@@ -18,6 +18,14 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> fuzz smoke"
+# A fixed, deterministic differential campaign across the static/dynamic
+# soundness boundary (plus a fuel-fault and a front-end havoc pass).
+# Exit code 1 — any classified mismatch — fails the gate.
+./target/release/usher fuzz --smoke
+./target/release/usher fuzz --smoke --fault fuel
+./target/release/usher fuzz --seeds 6 --mutants 10 --frontend --no-minimize
+
 echo "==> bench smoke"
 sh scripts/bench.sh --quick
 

@@ -20,6 +20,7 @@
 pub use usher_core as core;
 pub use usher_driver as driver;
 pub use usher_frontend as frontend;
+pub use usher_fuzz as fuzz;
 pub use usher_ir as ir;
 pub use usher_pointer as pointer;
 pub use usher_runtime as runtime;

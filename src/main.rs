@@ -7,6 +7,7 @@
 //! usher ir <file.tc>                  dump the O0+IM IR
 //! usher dis <file.tc>                 dump parseable IR text (.uir)
 //! usher vfg <file.tc>                 dump the value-flow graph as DOT
+//! usher fuzz [--smoke] [...]          differential fuzzing campaign
 //! ```
 //!
 //! Inputs ending in `.uir` are parsed as IR text instead of TinyC.
@@ -16,6 +17,15 @@
 //! deterministic `input()` stream, `--threads <n>` for the pipeline's
 //! worker pool, `--no-cache` to disable artifact caching, and `--report`
 //! to print per-stage JSON telemetry on stderr.
+//!
+//! `usher fuzz` runs a deterministic differential campaign: generated
+//! programs (and their mutants) executed natively, under the MSan
+//! baseline plan and under every guided preset, with results classified
+//! against the ground truth. `--smoke` is the fixed CI gate; `--seeds`,
+//! `--start`, `--mutants`, `--frontend`, `--fault none|fuel|cache-evict|
+//! trap-force|drop-checks`, `--threads`, `--no-minimize`, `--report FILE`
+//! (JSONL telemetry) and `--out DIR` (minimized reproducers) shape ad-hoc
+//! campaigns. Exit code 1 means the campaign found at least one mismatch.
 //!
 //! All analysis routes through [`usher::driver::Pipeline`].
 
@@ -34,12 +44,16 @@ fn main() -> ExitCode {
             eprintln!("usher: {msg}");
             eprintln!();
             eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--no-cache] [--report]");
+            eprintln!("       usher fuzz [--smoke] [--seeds N] [--start N] [--mutants N] [--frontend] [--fault MODE] [--threads N] [--no-minimize] [--report FILE] [--out DIR]");
             ExitCode::from(2)
         }
     }
 }
 
 fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return fuzz_command(&args[1..]);
+    }
     let mut cmd = None;
     let mut file = None;
     let mut config = Config::USHER;
@@ -231,4 +245,102 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown command {other}")),
     }
+}
+
+fn fuzz_command(args: &[String]) -> Result<ExitCode, String> {
+    use usher::fuzz::{run_campaign, CampaignConfig, FaultInjection};
+
+    let mut cfg = CampaignConfig::default();
+    let mut smoke = false;
+    let mut report_path: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                smoke = true;
+                cfg = CampaignConfig::smoke();
+            }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                cfg.seeds = v.parse().map_err(|_| format!("bad seed count {v}"))?;
+            }
+            "--start" => {
+                let v = it.next().ok_or("--start needs a value")?;
+                cfg.start = v.parse().map_err(|_| format!("bad start seed {v}"))?;
+            }
+            "--mutants" => {
+                let v = it.next().ok_or("--mutants needs a value")?;
+                cfg.mutants = v.parse().map_err(|_| format!("bad mutant count {v}"))?;
+            }
+            "--frontend" => cfg.frontend = true,
+            "--fault" => {
+                let v = it.next().ok_or("--fault needs a value")?;
+                cfg.fault = FaultInjection::parse(v).ok_or_else(|| {
+                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks)")
+                })?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                cfg.threads = n;
+            }
+            "--no-minimize" => cfg.minimize = false,
+            "--report" => report_path = Some(it.next().ok_or("--report needs a path")?.clone()),
+            "--out" => out_dir = Some(it.next().ok_or("--out needs a directory")?.clone()),
+            other => return Err(format!("unexpected fuzz argument {other}")),
+        }
+    }
+
+    let mut report_file = match &report_path {
+        Some(p) => Some(std::fs::File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?),
+        None => None,
+    };
+    let mut emit = |line: String| {
+        use std::io::Write as _;
+        match &mut report_file {
+            Some(f) => {
+                let _ = writeln!(f, "{line}");
+            }
+            None => eprintln!("{line}"),
+        }
+    };
+
+    let out = run_campaign(&cfg, &mut emit);
+    for f in &out.failures {
+        eprintln!(
+            "FAILURE seed {} mutant {} ({}): {}",
+            f.seed, f.mutant, f.op, f.mismatch
+        );
+        if let (Some(dir), Some(min)) = (&out_dir, &f.minimized) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            let path = format!(
+                "{dir}/{}-s{}-m{}.tc",
+                f.mismatch.kind.name(),
+                f.seed,
+                f.mutant
+            );
+            std::fs::write(&path, format!("{min}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("    minimized reproducer written to {path}");
+        }
+    }
+    eprintln!(
+        "fuzz{}: {} program(s), {} compile error(s), {} fuel-exhausted, {} mismatch(es) in {:.1}s",
+        if smoke { " --smoke" } else { "" },
+        out.stats.programs,
+        out.stats.compile_errors,
+        out.stats.fuel_exhausted,
+        out.stats.mismatches,
+        out.stats.seconds
+    );
+    Ok(if out.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }

@@ -10,43 +10,26 @@
 //! 3. with Opt II, detections are a subset and the program-level verdict
 //!    (buggy / clean) is unchanged;
 //! 4. instrumentation never changes program semantics.
+//!
+//! The runner is the fuzzing crate's oracle — the same implementation the
+//! differential fuzzer attacks — so a soundness hole found by either
+//! harness is a failure of both.
 
-use usher::core::{run_config, Config};
-use usher::frontend::compile_o0im;
-use usher::runtime::{run, RunOptions, RunResult};
-use usher::workloads::{generate, GenConfig};
-
-fn opts() -> RunOptions {
-    RunOptions {
-        fuel: 2_000_000,
-        ..Default::default()
-    }
-}
-
-fn run_seed(seed: u64) -> (Vec<(String, RunResult)>, RunResult, String) {
-    let src = generate(seed, GenConfig::default());
-    let m = compile_o0im(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
-    let native = run(&m, None, &opts());
-    let runs = Config::ALL
-        .iter()
-        .map(|cfg| {
-            let out = run_config(&m, *cfg);
-            (cfg.name.to_string(), run(&m, Some(&out.plan), &opts()))
-        })
-        .collect();
-    (runs, native, src)
-}
+use usher::fuzz::classify::{classify, Outcome};
+use usher::fuzz::oracle::run_seed;
+use usher::workloads::GenConfig;
 
 #[test]
 fn corpus_full_instrumentation_matches_oracle() {
     for seed in 0..120u64 {
-        let (runs, native, src) = run_seed(seed);
-        let (name, full) = &runs[0];
+        let o = run_seed(seed, GenConfig::default());
+        let (name, full) = &o.runs[0];
         assert_eq!(name, "MSan");
         assert_eq!(
             full.detected_sites(),
-            native.ground_truth_sites(),
-            "seed {seed}: MSan != oracle\n{src}"
+            o.native.ground_truth_sites(),
+            "seed {seed}: MSan != oracle\n{}",
+            o.src
         );
     }
 }
@@ -54,13 +37,14 @@ fn corpus_full_instrumentation_matches_oracle() {
 #[test]
 fn corpus_guided_matches_full_without_opt2() {
     for seed in 0..120u64 {
-        let (runs, _native, src) = run_seed(seed);
-        let full_sites = runs[0].1.detected_sites();
-        for (name, r) in &runs[1..4] {
+        let o = run_seed(seed, GenConfig::default());
+        let full_sites = o.runs[0].1.detected_sites();
+        for (name, r) in &o.runs[1..4] {
             assert_eq!(
                 r.detected_sites(),
                 full_sites,
-                "seed {seed}: {name} != MSan\n{src}"
+                "seed {seed}: {name} != MSan\n{}",
+                o.src
             );
         }
     }
@@ -69,17 +53,19 @@ fn corpus_guided_matches_full_without_opt2() {
 #[test]
 fn corpus_opt2_is_a_dominated_subset_with_same_verdict() {
     for seed in 0..120u64 {
-        let (runs, _native, src) = run_seed(seed);
-        let full = &runs[0].1;
-        let usher = &runs[4].1;
+        let o = run_seed(seed, GenConfig::default());
+        let full = &o.runs[0].1;
+        let usher = &o.runs[4].1;
         assert!(
             usher.detected_sites().is_subset(&full.detected_sites()),
-            "seed {seed}: Usher invented a site\n{src}"
+            "seed {seed}: Usher invented a site\n{}",
+            o.src
         );
         assert_eq!(
             usher.detected.is_empty(),
             full.detected.is_empty(),
-            "seed {seed}: verdict flipped\n{src}"
+            "seed {seed}: verdict flipped\n{}",
+            o.src
         );
     }
 }
@@ -87,15 +73,17 @@ fn corpus_opt2_is_a_dominated_subset_with_same_verdict() {
 #[test]
 fn corpus_semantics_preserved_under_instrumentation() {
     for seed in 0..120u64 {
-        let (runs, native, src) = run_seed(seed);
-        for (name, r) in &runs {
+        let o = run_seed(seed, GenConfig::default());
+        for (name, r) in &o.runs {
             assert_eq!(
-                r.trace, native.trace,
-                "seed {seed}: {name} changed output\n{src}"
+                r.trace, o.native.trace,
+                "seed {seed}: {name} changed output\n{}",
+                o.src
             );
             assert_eq!(
-                r.trap, native.trap,
-                "seed {seed}: {name} changed termination\n{src}"
+                r.trap, o.native.trap,
+                "seed {seed}: {name} changed termination\n{}",
+                o.src
             );
         }
     }
@@ -104,13 +92,36 @@ fn corpus_semantics_preserved_under_instrumentation() {
 #[test]
 fn corpus_guided_cost_never_exceeds_full() {
     for seed in 0..60u64 {
-        let (runs, _native, src) = run_seed(seed);
-        let full_cost = runs[0].1.counters.shadow_cost;
-        let usher_cost = runs[4].1.counters.shadow_cost;
+        let o = run_seed(seed, GenConfig::default());
+        let full_cost = o.runs[0].1.counters.shadow_cost;
+        let usher_cost = o.runs[4].1.counters.shadow_cost;
         assert!(
             usher_cost <= full_cost,
-            "seed {seed}: Usher shadow cost {usher_cost} > MSan {full_cost}\n{src}"
+            "seed {seed}: Usher shadow cost {usher_cost} > MSan {full_cost}\n{}",
+            o.src
         );
+    }
+}
+
+#[test]
+fn corpus_classifier_agrees_rule_by_rule() {
+    // The taxonomy classifier is the union of the rules above; it must
+    // never fire on the sound corpus, and its verdict must match the
+    // ground truth.
+    for seed in 0..120u64 {
+        let o = run_seed(seed, GenConfig::default());
+        let (outcome, mismatches) = classify(&o);
+        assert!(
+            mismatches.is_empty(),
+            "seed {seed}: {mismatches:?}\n{}",
+            o.src
+        );
+        let truth = o.native.ground_truth_sites();
+        match outcome {
+            Outcome::Clean => assert!(truth.is_empty(), "seed {seed}"),
+            Outcome::Buggy(n) => assert_eq!(n, truth.len(), "seed {seed}"),
+            other => panic!("seed {seed}: unexpected outcome {other:?}"),
+        }
     }
 }
 
@@ -124,22 +135,21 @@ fn corpus_with_heavy_uninit_pressure() {
         max_stmts: 8,
     };
     for seed in 1000..1040u64 {
-        let src = generate(seed, cfg);
-        let m = compile_o0im(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
-        let native = run(&m, None, &opts());
-        let msan = run_config(&m, Config::MSAN);
-        let full = run(&m, Some(&msan.plan), &opts());
+        let o = run_seed(seed, cfg);
+        let full = &o.runs[0].1;
         assert_eq!(
             full.detected_sites(),
-            native.ground_truth_sites(),
-            "seed {seed}\n{src}"
+            o.native.ground_truth_sites(),
+            "seed {seed}\n{}",
+            o.src
         );
-        let u = run_config(&m, Config::USHER_TL_AT);
-        let guided = run(&m, Some(&u.plan), &opts());
+        let guided = &o.runs[2].1;
+        assert_eq!(o.runs[2].0, "Usher_TL+AT");
         assert_eq!(
             guided.detected_sites(),
             full.detected_sites(),
-            "seed {seed}\n{src}"
+            "seed {seed}\n{}",
+            o.src
         );
     }
 }

@@ -1,0 +1,97 @@
+//! Replays the minimized regression corpus and checks the minimizer's
+//! core property.
+//!
+//! Every `.tc` file under `tests/corpus/regressions/` was once a fuzzing
+//! finding; replaying them keeps each fixed bug fixed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use usher::frontend::compile_o0im;
+use usher::fuzz::{differential, minimize_mismatch, FaultInjection, MismatchKind, Outcome};
+use usher::workloads::{generate, GenConfig};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/regressions")
+}
+
+fn corpus_files() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("regression corpus directory exists")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            (path.extension()? == "tc").then(|| {
+                (
+                    path.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(&path).expect("corpus file is readable"),
+                )
+            })
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        !corpus_files().is_empty(),
+        "the regression corpus must contain at least one reproducer"
+    );
+}
+
+#[test]
+fn replay_frontend_never_panics_on_corpus() {
+    for (name, src) in corpus_files() {
+        let r = catch_unwind(AssertUnwindSafe(|| compile_o0im(&src).map(|_| ())));
+        assert!(r.is_ok(), "{name}: front end panicked");
+    }
+}
+
+#[test]
+fn replay_corpus_differentially_clean() {
+    for (name, src) in corpus_files() {
+        let d = differential(&src, FaultInjection::None, 2, true);
+        assert!(d.mismatches.is_empty(), "{name}: {:?}", d.mismatches);
+    }
+}
+
+#[test]
+fn minimized_repro_preserves_the_mismatch_class() {
+    // Synthesize a reliable unsoundness (strip every runtime check from
+    // the guided plans) on a known-buggy corpus program, minimize it, and
+    // require the shrunken program to exhibit the identical
+    // (kind, config) mismatch.
+    let gen = GenConfig {
+        helpers: 2,
+        max_stmts: 6,
+        uninit_pct: 45,
+    };
+    let seed = (0..64u64)
+        .find(|&s| {
+            matches!(
+                differential(&generate(s, gen), FaultInjection::None, 1, false).outcome,
+                Outcome::Buggy(_)
+            )
+        })
+        .expect("a buggy seed exists in 0..64");
+    let src = generate(seed, gen);
+    let d = differential(&src, FaultInjection::DropChecks, 1, false);
+    let m = d
+        .mismatches
+        .iter()
+        .find(|m| m.kind == MismatchKind::MissedDetection)
+        .expect("check stripping on a buggy program is a missed detection");
+
+    let min = minimize_mismatch(&src, FaultInjection::DropChecks, m.kind, &m.config);
+    assert!(min.lines().count() <= src.lines().count());
+    let replay = differential(&min, FaultInjection::DropChecks, 1, false);
+    assert!(
+        replay
+            .mismatches
+            .iter()
+            .any(|r| r.kind == m.kind && r.config == m.config),
+        "minimized program lost the mismatch: {:?}",
+        replay.mismatches
+    );
+}
