@@ -104,7 +104,13 @@ fn main() {
     for v in VARIANTS {
         let jobs: Vec<Job> = workloads
             .iter()
-            .map(|w| Job::new(w.name, SourceInput::TinyC(w.source.clone()), v.options()))
+            .map(|w| {
+                Job::new(
+                    w.name,
+                    SourceInput::TinyC(w.source.clone()),
+                    args.apply(v.options()),
+                )
+            })
             .collect();
         let (runs, batch) = pipe.run_batch(&jobs);
         args.emit_report(&batch);

@@ -16,7 +16,7 @@ fn main() {
             Job::new(
                 w.name,
                 SourceInput::TinyC(w.source.clone()),
-                PipelineOptions::from_config(Config::USHER),
+                args.apply(PipelineOptions::from_config(Config::USHER)),
             )
         })
         .collect();
@@ -26,7 +26,16 @@ fn main() {
     let mut rows = Vec::new();
     for (w, r) in workloads.iter().zip(runs) {
         let r = r.unwrap_or_else(|e| panic!("{} fails: {e}", w.name));
-        let vfg = r.vfg.as_ref().expect("guided config builds a VFG");
+        // A budgeted run that degraded to full instrumentation has no
+        // VFG to report statistics from; its row would be meaningless.
+        let Some(vfg) = r.vfg.as_ref() else {
+            eprintln!(
+                "note: {} degraded to full instrumentation ({} event(s)); no Table 1 row",
+                w.name,
+                r.report.degrade_events.len()
+            );
+            continue;
+        };
         rows.push(table1_row_from(
             w.name,
             &w.source,

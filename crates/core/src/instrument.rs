@@ -129,6 +129,20 @@ pub struct PlanStats {
     pub mfcs_simplified: usize,
 }
 
+/// How a function's instrumentation was planned. Degradation
+/// observability: the driver reports how many functions kept their
+/// guided plan versus fell back to full instrumentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanProvenance {
+    /// Full MSan-style instrumentation by configuration.
+    Full,
+    /// Usher-guided instrumentation.
+    Guided,
+    /// Full instrumentation substituted for a guided plan because the
+    /// analysis budget ran out (or a stage failed) for this function.
+    FallbackFull,
+}
+
 /// A complete instrumentation plan for a module.
 #[derive(Clone, Debug, Default)]
 pub struct Plan {
@@ -144,6 +158,9 @@ pub struct Plan {
     pub stats: PlanStats,
     /// Configuration label (for reports).
     pub name: String,
+    /// Per-function provenance (absent for bare fragments; plan
+    /// fingerprints deliberately exclude it).
+    pub provenance: HashMap<FuncId, PlanProvenance>,
 }
 
 impl Plan {
@@ -196,6 +213,23 @@ impl Plan {
         }
         self.tracked_phis.extend(other.tracked_phis);
         self.stats.mfcs_simplified += other.stats.mfcs_simplified;
+        self.provenance.extend(other.provenance);
+    }
+
+    /// How many functions carry each provenance, as
+    /// `(full, guided, fallback_full)`.
+    pub fn provenance_counts(&self) -> (usize, usize, usize) {
+        let mut full = 0;
+        let mut guided = 0;
+        let mut fallback = 0;
+        for p in self.provenance.values() {
+            match p {
+                PlanProvenance::Full => full += 1,
+                PlanProvenance::Guided => guided += 1,
+                PlanProvenance::FallbackFull => fallback += 1,
+            }
+        }
+        (full, guided, fallback)
     }
 
     /// All operations planned at a site (before + after), for tests.
@@ -228,12 +262,21 @@ pub fn full_plan_with(m: &Module, bit_level: bool) -> Plan {
     p
 }
 
+/// Marks every function of `m` with the given provenance (the driver
+/// uses this to stamp whole-module fallback plans).
+pub fn stamp_provenance(p: &mut Plan, m: &Module, prov: PlanProvenance) {
+    for fid in m.funcs.indices() {
+        p.provenance.insert(fid, prov);
+    }
+}
+
 /// Plans full instrumentation for a single function, as an unnamed plan
 /// fragment with unfinalized stats. Functions are instrumented
 /// independently, so the driver fans this out across worker threads and
 /// [`Plan::absorb`]s the fragments.
 pub fn full_plan_func(m: &Module, fid: FuncId, bit_level: bool) -> Plan {
     let mut p = Plan::default();
+    p.provenance.insert(fid, PlanProvenance::Full);
     let func = &m.funcs[fid];
     // Callee side of parameter passing.
     for (i, param) in func.params.iter().enumerate() {
@@ -454,6 +497,47 @@ pub fn guided_plan(
     opts: GuidedOpts,
     name: impl Into<String>,
 ) -> Plan {
+    guided_plan_with_fallback(m, pa, ms, vfg, gamma, opts, &HashSet::new(), name)
+}
+
+/// Builds a mixed plan: Usher-guided instrumentation everywhere except
+/// the functions in `fallback`, which get the always-sound full (MSan)
+/// fragment instead. The driver uses this for per-function degradation
+/// when the analysis budget runs out before `Gamma` covers the whole
+/// module.
+///
+/// Soundness across the guided/full boundary: top-level SSA registers
+/// are function-local, so all cross-function top-level coupling flows
+/// through the `sigma_g` argument slots and `sigma_ret`:
+///
+/// * a call from a *guided* function into a fallback callee writes every
+///   argument slot (the full fragment's `ParamSh` reads them all);
+/// * a call from a *fallback* function into a guided callee needs the
+///   callee to write `sigma_ret` at every return (the full fragment's
+///   `RetResultSh` reads it) with the returned value's shadow chain
+///   maintained;
+/// * memory couples through the shared shadow memory, so `full_memory`
+///   is forced on whenever any function degrades (the full fragments
+///   load from and store to shadow cells everywhere — exactly the
+///   `Usher_TL` coupling argument).
+///
+/// With an empty `fallback` set this is byte-identical to a pure guided
+/// plan.
+#[allow(clippy::too_many_arguments)]
+pub fn guided_plan_with_fallback(
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    vfg: &Vfg,
+    gamma: &Gamma,
+    opts: GuidedOpts,
+    fallback: &HashSet<FuncId>,
+    name: impl Into<String>,
+) -> Plan {
+    let mut opts = opts;
+    if !fallback.is_empty() {
+        opts.full_memory = true;
+    }
     let mut p = Plan {
         name: name.into(),
         ..Default::default()
@@ -465,6 +549,7 @@ pub fn guided_plan(
         vfg,
         gamma,
         opts,
+        fallback,
         plan: &mut p,
         processed: HashSet::new(),
         store_sh_sites: HashSet::new(),
@@ -478,8 +563,12 @@ pub fn guided_plan(
         g.instrument_all_memory();
     }
 
-    // [Bot-Check]: demand every possibly-undefined checked value.
+    // [Bot-Check]: demand every possibly-undefined checked value. Checks
+    // inside fallback functions come from their full fragments instead.
     for check in &vfg.checks {
+        if fallback.contains(&check.site.func) {
+            continue;
+        }
         if !gamma.is_bot(check.node) {
             continue; // [Top-Check]
         }
@@ -496,7 +585,81 @@ pub fn guided_plan(
             }
         }
     }
+
+    // Boundary patches at every call crossing the guided/full divide.
+    if !fallback.is_empty() {
+        for (fid, func) in m.funcs.iter_enumerated() {
+            let caller_degraded = fallback.contains(&fid);
+            for (bb, block) in func.blocks.iter_enumerated() {
+                for (idx, inst) in block.insts.iter().enumerate() {
+                    let Inst::Call { callee, args, .. } = inst else {
+                        continue;
+                    };
+                    if matches!(callee, Callee::External(_)) {
+                        continue;
+                    }
+                    let site = Site::new(fid, bb, idx);
+                    let callees = pa.call_graph.callees_of(site);
+                    if caller_degraded {
+                        // The full fragment's RetResultSh here reads
+                        // sigma_ret: every guided callee must write it,
+                        // with the returned value's shadow maintained.
+                        for &gc in callees {
+                            if fallback.contains(&gc) {
+                                continue;
+                            }
+                            g.emit_ret_shadows(gc);
+                            for b2 in m.funcs[gc].blocks.iter() {
+                                if let Terminator::Ret(Some(Operand::Var(v))) = b2.term {
+                                    if let Some(n) = vfg.tl(gc, v) {
+                                        g.demand(n);
+                                    }
+                                }
+                            }
+                        }
+                    } else if callees.iter().any(|gc| fallback.contains(gc)) {
+                        // A fallback callee's full fragment reads every
+                        // sigma_g slot at entry: write them all here.
+                        for (i, a) in args.iter().enumerate() {
+                            if g.arg_sh_done.insert((site, i)) {
+                                g.plan.push_before(
+                                    site,
+                                    ShadowOp::ArgSh {
+                                        index: i,
+                                        src: shadow_src(*a),
+                                    },
+                                );
+                            }
+                            if let Operand::Var(v) = a {
+                                if let Some(n) = vfg.tl(fid, *v) {
+                                    g.demand(n);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     g.run();
+
+    // Substitute the full fragment for every degraded function, in
+    // sorted order so the emitted op order is deterministic.
+    let mut degraded: Vec<FuncId> = fallback.iter().copied().collect();
+    degraded.sort_unstable();
+    let bit_level = opts.bit_level;
+    for fid in degraded {
+        p.absorb(full_plan_func(m, fid, bit_level));
+    }
+    for fid in m.funcs.indices() {
+        let prov = if fallback.contains(&fid) {
+            PlanProvenance::FallbackFull
+        } else {
+            PlanProvenance::Guided
+        };
+        p.provenance.insert(fid, prov);
+    }
 
     p.finalize_stats();
     p
@@ -509,6 +672,10 @@ struct Generator<'a> {
     vfg: &'a Vfg,
     gamma: &'a Gamma,
     opts: GuidedOpts,
+    /// Functions degraded to their full fragment: the guided generator
+    /// must neither emit into them nor demand their nodes (the full
+    /// fragment already maintains every shadow there).
+    fallback: &'a HashSet<FuncId>,
     plan: &'a mut Plan,
     processed: HashSet<u32>,
     store_sh_sites: HashSet<Site>,
@@ -524,6 +691,11 @@ impl<'a> Generator<'a> {
     /// chains are maintained.
     fn instrument_all_memory(&mut self) {
         for (fid, func) in self.m.funcs.iter_enumerated() {
+            if self.fallback.contains(&fid) {
+                // The full fragment already poisons allocations and
+                // propagates stores in degraded functions.
+                continue;
+            }
             for (bb, block) in func.blocks.iter_enumerated() {
                 for (idx, inst) in block.insts.iter().enumerate() {
                     let site = Site::new(fid, bb, idx);
@@ -571,9 +743,30 @@ impl<'a> Generator<'a> {
         if !self.gamma.is_bot(node) {
             return;
         }
+        if self.in_fallback(node) {
+            // The node's function is degraded to full instrumentation:
+            // its full fragment maintains every shadow in it.
+            return;
+        }
         if self.processed.insert(node) {
             self.work.push(node);
         }
+    }
+
+    /// The function a node belongs to, when it has one (roots don't).
+    fn node_func(&self, node: u32) -> Option<FuncId> {
+        match self.vfg.nodes[node as usize] {
+            NodeKind::Tl(f, _) | NodeKind::Mem(f, _) => Some(f),
+            NodeKind::Check(site) => Some(site.func),
+            NodeKind::RootT | NodeKind::RootF => None,
+        }
+    }
+
+    fn in_fallback(&self, node: u32) -> bool {
+        !self.fallback.is_empty()
+            && self
+                .node_func(node)
+                .is_some_and(|f| self.fallback.contains(&f))
     }
 
     fn run(&mut self) {
@@ -585,6 +778,13 @@ impl<'a> Generator<'a> {
     fn demand_deps(&mut self, node: u32) {
         let deps: Vec<u32> = self.vfg.deps.edges(node).map(|(d, _)| d).collect();
         for d in deps {
+            if self.in_fallback(d) {
+                // Neither demand nor materialize into a degraded
+                // function: its full fragment emits the real StoreSh at
+                // every store (a Const(true) materialization there would
+                // fight it and mask detections).
+                continue;
+            }
             if !self.gamma.is_bot(d) && matches!(self.vfg.nodes[d as usize], NodeKind::Mem(..)) {
                 // A Top *register* needs nothing — register shadows
                 // default to defined. A Top *memory* version does: the
@@ -674,6 +874,11 @@ impl<'a> Generator<'a> {
             let deps: Vec<(u32, EdgeKind)> = self.vfg.deps.edges(node).collect();
             for (dep, kind) in deps {
                 if let EdgeKind::Call(cs) = kind {
+                    if self.fallback.contains(&cs.func) {
+                        // The caller is degraded: its full fragment
+                        // already writes every sigma_g slot at this site.
+                        continue;
+                    }
                     if self.arg_sh_done.insert((cs, index)) {
                         let src = match self.vfg.nodes[dep as usize] {
                             NodeKind::Tl(_, av) => ShadowSrc::Tl(av),
@@ -788,7 +993,13 @@ impl<'a> Generator<'a> {
                     _ => {
                         // [Bot-Ret].
                         self.plan.push_after(site, ShadowOp::RetResultSh { dst });
-                        for &g in self.pa.call_graph.callees_of(site) {
+                        let callees: Vec<FuncId> = self.pa.call_graph.callees_of(site).to_vec();
+                        for g in callees {
+                            if self.fallback.contains(&g) {
+                                // A degraded callee's full fragment
+                                // already writes sigma_ret at returns.
+                                continue;
+                            }
                             self.emit_ret_shadows(g);
                         }
                         self.demand_deps(node);

@@ -33,15 +33,18 @@ pub mod stats;
 
 pub use config::{run_config, AnalysisOutput, Config, UsherConfig};
 pub use instrument::{
-    full_plan, full_plan_func, full_plan_with, guided_plan, GuidedOpts, Plan, PlanStats, ShadowOp,
-    ShadowSrc,
+    full_plan, full_plan_func, full_plan_with, guided_plan, guided_plan_with_fallback,
+    stamp_provenance, GuidedOpts, Plan, PlanProvenance, PlanStats, ShadowOp, ShadowSrc,
 };
 pub use merge::{access_equivalence_classes, resolve_merged, MergeStats};
 pub use mfc::{mfc, Mfc};
-pub use opt2::{redundant_check_elimination, redundant_check_elimination_reference, Opt2Result};
+pub use opt2::{
+    redundant_check_elimination, redundant_check_elimination_budgeted,
+    redundant_check_elimination_reference, Opt2Outcome, Opt2Result,
+};
 pub use resolve::{
-    resolve, resolve_condensed, resolve_graph, resolve_graph_reference, resolve_reference,
-    Definedness, Gamma, ResolveStats,
+    resolve, resolve_budgeted, resolve_condensed, resolve_condensed_budgeted, resolve_graph,
+    resolve_graph_reference, resolve_reference, Definedness, Gamma, ResolveStats,
 };
 pub use stats::{
     nodes_reaching_checks, render_table1, table1_row, table1_row_from, AnalysisFacts, Table1Row,

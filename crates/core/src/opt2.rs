@@ -22,12 +22,12 @@
 
 use std::collections::{HashMap, HashSet};
 
-use usher_ir::{Cfg, DomTree, FuncId, FxHashSet, Inst, Module, Operand, Site};
+use usher_ir::{Budget, Cfg, DomTree, FuncId, FxHashSet, Inst, Module, Operand, Site};
 use usher_pointer::PointerAnalysis;
 use usher_vfg::{Csr, MemSsa, NodeKind, RefVfg, Vfg};
 
 use crate::mfc::mfc;
-use crate::resolve::{resolve_condensed, resolve_graph, Gamma};
+use crate::resolve::{resolve_condensed_budgeted, resolve_graph, Gamma};
 
 /// The result of running Opt II.
 #[derive(Clone, Debug)]
@@ -39,6 +39,31 @@ pub struct Opt2Result {
     pub redirected: usize,
 }
 
+/// What a budgeted Opt II run produced.
+#[derive(Clone, Debug)]
+pub struct Opt2Outcome {
+    /// The (possibly partially discovered / partially resolved) result.
+    pub result: Opt2Result,
+    /// Per-node resolve coverage when the budget ran out during
+    /// resolution: `resolved[v]` true means `v`'s value is exact (see
+    /// [`crate::resolve::resolve_condensed_budgeted`]). `None` means
+    /// resolution completed.
+    pub resolved: Option<Vec<bool>>,
+    /// Whether the discovery loop visited every check. Each check's
+    /// redirections are independently sound, so a truncated discovery is
+    /// still a correct (just weaker) Opt II — but it is *not* the
+    /// unbudgeted output, so callers must not cache it.
+    pub discovery_complete: bool,
+}
+
+impl Opt2Outcome {
+    /// Whether the outcome is byte-identical to an unbudgeted run (and
+    /// therefore safe to cache).
+    pub fn is_complete(&self) -> bool {
+        self.discovery_complete && self.resolved.is_none()
+    }
+}
+
 /// Runs Algorithm 1 and re-resolves definedness with context depth `k`.
 pub fn redundant_check_elimination(
     m: &Module,
@@ -47,10 +72,30 @@ pub fn redundant_check_elimination(
     vfg: &Vfg,
     k: usize,
 ) -> Opt2Result {
+    let out = redundant_check_elimination_budgeted(m, pa, ms, vfg, k, &Budget::unlimited());
+    debug_assert!(out.is_complete(), "unlimited budgets never exhaust");
+    out.result
+}
+
+/// Budgeted Opt II. Charges the discovery loop per check, per closure
+/// node and per examined user edge; resolution continues on the same
+/// budget through the anytime engine. Stopping discovery early keeps the
+/// redirections found so far — each check's removals stand on their own
+/// (running Opt II on a subset of checks is just a weaker Opt II), so
+/// the partial set is sound.
+pub fn redundant_check_elimination_budgeted(
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    vfg: &Vfg,
+    k: usize,
+    budget: &Budget,
+) -> Opt2Outcome {
     let mut redirected: HashSet<u32> = HashSet::new();
     // Removed dependence edges `(r, t)`, matched kind-blind like the
     // reference's `remove_edge`.
     let mut removed: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut discovery_complete = true;
 
     // Dominator trees per function, computed lazily.
     let mut dts: HashMap<FuncId, DomTree> = HashMap::new();
@@ -60,7 +105,11 @@ pub fn redundant_check_elimination(
         DomTree::compute(func, &cfg)
     };
 
-    for check in &vfg.checks {
+    'discovery: for check in &vfg.checks {
+        if !budget.charge(1) {
+            discovery_complete = false;
+            break 'discovery;
+        }
         let Operand::Var(x) = check.operand else {
             continue;
         };
@@ -71,6 +120,10 @@ pub fn redundant_check_elimination(
         // x-bar: the MFC, extended with concrete locations read by loads
         // inside it (Algorithm 1, line 4).
         let closure = mfc(m, vfg, x_node, true);
+        if !budget.charge(closure.nodes.len() as u64) {
+            discovery_complete = false;
+            break 'discovery;
+        }
         let mut ax: HashSet<u32> = closure.nodes.clone();
         for &n in &closure.nodes {
             let Some(site) = vfg.def_site[n as usize] else {
@@ -99,6 +152,15 @@ pub fn redundant_check_elimination(
             .or_insert_with(|| dt_of(check.site.func));
         for &t in &ax {
             for (r, _) in vfg.users.edges(t) {
+                if !budget.charge(1) {
+                    // Dropping the rest of THIS check's redirections is
+                    // fine too: a subset of removals re-resolves to a
+                    // Gamma that is correct for the original graph plus
+                    // the removals actually applied, and the filter
+                    // below only consults `removed`.
+                    discovery_complete = false;
+                    break 'discovery;
+                }
                 if ax.contains(&r) || r == check.node {
                     continue;
                 }
@@ -117,10 +179,15 @@ pub fn redundant_check_elimination(
         }
     }
 
-    let gamma = resolve_condensed(vfg, k, |user, node| removed.contains(&(user, node)));
-    Opt2Result {
-        gamma,
-        redirected: redirected.len(),
+    let (gamma, resolved) =
+        resolve_condensed_budgeted(vfg, k, |user, node| removed.contains(&(user, node)), budget);
+    Opt2Outcome {
+        result: Opt2Result {
+            gamma,
+            redirected: redirected.len(),
+        },
+        resolved,
+        discovery_complete,
     }
 }
 

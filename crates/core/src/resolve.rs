@@ -23,7 +23,7 @@
 
 use std::collections::HashSet;
 
-use usher_ir::{FxHashMap, Site};
+use usher_ir::{Budget, FxHashMap, Site};
 use usher_vfg::{Csr, EdgeKind, RefVfg, Vfg};
 
 /// The definedness state of a node.
@@ -378,6 +378,78 @@ pub fn resolve(vfg: &Vfg, k: usize) -> Gamma {
 /// so the shared condensation's topological order stays valid and the
 /// graph never needs to be cloned or mutated.
 pub fn resolve_condensed(vfg: &Vfg, k: usize, skip: impl Fn(u32, u32) -> bool) -> Gamma {
+    resolve_condensed_budgeted(vfg, k, skip, &Budget::unlimited()).0
+}
+
+/// Budgeted resolution with default options (no edge filter).
+///
+/// See [`resolve_condensed_budgeted`] for the anytime contract.
+pub fn resolve_budgeted(vfg: &Vfg, k: usize, budget: &Budget) -> (Gamma, Option<Vec<bool>>) {
+    resolve_condensed_budgeted(vfg, k, |_, _| false, budget)
+}
+
+// Propagates u's lanes across one users edge. Direct edges move all
+// contexts in one word-parallel OR; Call/Ret remap each lane through
+// the context table, reading from a snapshot because `set` can grow
+// the buffer mid-iteration (and because `w == u` self-loops must not
+// observe their own writes within one transfer).
+fn transfer(
+    lanes: &mut Lanes,
+    ctxs: &mut CtxTable,
+    scratch: &mut Vec<u64>,
+    u: u32,
+    w: u32,
+    kind: EdgeKind,
+) -> bool {
+    match kind {
+        EdgeKind::Direct => lanes.or_into(u, w),
+        EdgeKind::Call(site) | EdgeKind::Ret(site) => {
+            let is_call = matches!(kind, EdgeKind::Call(_));
+            lanes.snapshot(u, scratch);
+            let mut changed = false;
+            for (wi, &word) in scratch.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let ctx = (wi as u32) * 64 + b;
+                    let next = if is_call {
+                        Some(ctxs.push(ctx, site))
+                    } else {
+                        ctxs.pop(ctx, site)
+                    };
+                    if let Some(nc) = next {
+                        changed |= lanes.set(w, nc);
+                    }
+                }
+            }
+            changed
+        }
+    }
+}
+
+/// The anytime condensed engine.
+///
+/// The condensation is processed in topological order, and every users
+/// edge points from an earlier-processed SCC to a later one — so by the
+/// time an SCC's intra-component fixpoint and cross-edge pass finish,
+/// its members have received every inbound contribution they ever will:
+/// their `Gamma` values are **exact**, not approximations. That makes
+/// resolution an anytime algorithm: stop between (or inside) SCCs, keep
+/// the exact prefix, and conservatively force every node of the current
+/// and all unprocessed SCCs to `Bot` (more propagation can only move a
+/// node Top→Bot, so forced-Bot over-approximates — sound).
+///
+/// Returns the map plus `Some(resolved)` when the budget ran out:
+/// `resolved[v]` is true iff `v`'s SCC was fully processed and its value
+/// is exact. `None` means the run completed and the map is identical to
+/// the unbudgeted engine's.
+pub fn resolve_condensed_budgeted(
+    vfg: &Vfg,
+    k: usize,
+    skip: impl Fn(u32, u32) -> bool,
+    budget: &Budget,
+) -> (Gamma, Option<Vec<bool>>) {
     let users = &vfg.users;
     let cond = vfg.condensation();
     let n = users.len();
@@ -386,54 +458,20 @@ pub fn resolve_condensed(vfg: &Vfg, k: usize, skip: impl Fn(u32, u32) -> bool) -
     let mut scratch: Vec<u64> = Vec::new();
     let mut queue: Vec<u32> = Vec::new();
     let mut queued = vec![false; n];
+    let mut resolved = vec![false; n];
+    let mut exhausted = false;
 
     lanes.set(vfg.f_root, ctxs.empty());
-
-    // Propagates u's lanes across one users edge. Direct edges move all
-    // contexts in one word-parallel OR; Call/Ret remap each lane through
-    // the context table, reading from a snapshot because `set` can grow
-    // the buffer mid-iteration (and because `w == u` self-loops must not
-    // observe their own writes within one transfer).
-    fn transfer(
-        lanes: &mut Lanes,
-        ctxs: &mut CtxTable,
-        scratch: &mut Vec<u64>,
-        u: u32,
-        w: u32,
-        kind: EdgeKind,
-    ) -> bool {
-        match kind {
-            EdgeKind::Direct => lanes.or_into(u, w),
-            EdgeKind::Call(site) | EdgeKind::Ret(site) => {
-                let is_call = matches!(kind, EdgeKind::Call(_));
-                lanes.snapshot(u, scratch);
-                let mut changed = false;
-                for (wi, &word) in scratch.iter().enumerate() {
-                    let mut bits = word;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros();
-                        bits &= bits - 1;
-                        let ctx = (wi as u32) * 64 + b;
-                        let next = if is_call {
-                            Some(ctxs.push(ctx, site))
-                        } else {
-                            ctxs.pop(ctx, site)
-                        };
-                        if let Some(nc) = next {
-                            changed |= lanes.set(w, nc);
-                        }
-                    }
-                }
-                changed
-            }
-        }
-    }
 
     // SCCs in topological order of the condensation: every cross-SCC
     // users edge points from a higher id to a lower one, so when an SCC
     // is reached its members' lanes are final after the intra fixpoint.
-    for c in cond.topo_order() {
+    'sccs: for c in cond.topo_order() {
         let members = cond.members_of(c);
+        if !budget.charge(members.len() as u64) {
+            exhausted = true;
+            break 'sccs;
+        }
         // Intra-SCC fixpoint, seeded with members that already have
         // reachable contexts.
         for &u in members {
@@ -447,6 +485,10 @@ pub fn resolve_condensed(vfg: &Vfg, k: usize, skip: impl Fn(u32, u32) -> bool) -
             for (w, kind) in users.edges(u) {
                 if cond.comp[w as usize] != c || skip(w, u) {
                     continue;
+                }
+                if !budget.charge(1) {
+                    exhausted = true;
+                    break 'sccs;
                 }
                 if transfer(&mut lanes, &mut ctxs, &mut scratch, u, w, kind) && !queued[w as usize]
                 {
@@ -464,12 +506,25 @@ pub fn resolve_condensed(vfg: &Vfg, k: usize, skip: impl Fn(u32, u32) -> bool) -
                 if cond.comp[w as usize] == c || skip(w, u) {
                     continue;
                 }
+                if !budget.charge(1) {
+                    exhausted = true;
+                    break 'sccs;
+                }
                 transfer(&mut lanes, &mut ctxs, &mut scratch, u, w, kind);
             }
         }
+        for &u in members {
+            resolved[u as usize] = true;
+        }
     }
 
-    let bot: Vec<bool> = (0..n as u32).map(|v| !lanes.row_empty(v)).collect();
+    let bot: Vec<bool> = if exhausted {
+        (0..n as u32)
+            .map(|v| !resolved[v as usize] || !lanes.row_empty(v))
+            .collect()
+    } else {
+        (0..n as u32).map(|v| !lanes.row_empty(v)).collect()
+    };
     let stats = ResolveStats {
         interned_contexts: ctxs.len(),
         visited_states: lanes.states,
@@ -477,11 +532,12 @@ pub fn resolve_condensed(vfg: &Vfg, k: usize, skip: impl Fn(u32, u32) -> bool) -
         nontrivial_sccs: cond.nontrivial,
         word_ops: lanes.word_ops,
     };
-    Gamma {
+    let gamma = Gamma {
         bot,
         context_depth: k,
         stats,
-    }
+    };
+    (gamma, if exhausted { Some(resolved) } else { None })
 }
 
 /// The underlying reachability engine: given forward (flows-to) adjacency
@@ -872,6 +928,60 @@ mod tests {
         assert!(gamma.stats.sccs >= 1);
         assert!(gamma.stats.nontrivial_sccs >= 1);
         assert!(gamma.stats.word_ops >= 1);
+    }
+
+    #[test]
+    fn budgeted_resolve_is_exact_where_covered_and_bot_elsewhere() {
+        let src = "
+            def id(int x) -> int { return x; }
+            def pass(int y) -> int { return id(y); }
+            def main() -> int {
+                int u;
+                int a = pass(u);
+                int b = pass(3);
+                int *p;
+                p = malloc(2);
+                *p = a;
+                return b + *p;
+            }";
+        let m = compile_o0im(src).expect("compiles");
+        let (_pa, _ms, g) = analyze_module(&m, VfgMode::Full);
+        let full = resolve(&g, 1);
+        // An unlimited budget must reproduce the unbudgeted map, with no
+        // coverage vector.
+        let (same, cov) = resolve_budgeted(&g, 1, &Budget::unlimited());
+        assert!(cov.is_none());
+        for v in 0..g.len() as u32 {
+            assert_eq!(same.is_bot(v), full.is_bot(v));
+        }
+        // Every budget from starvation to surplus: covered nodes exact,
+        // uncovered nodes forced Bot (never a spurious Top).
+        for steps in 0..200 {
+            let (partial, cov) = resolve_budgeted(&g, 1, &Budget::limited(steps));
+            match cov {
+                None => {
+                    for v in 0..g.len() as u32 {
+                        assert_eq!(partial.is_bot(v), full.is_bot(v), "complete run diverged");
+                    }
+                }
+                Some(resolved) => {
+                    for v in 0..g.len() as u32 {
+                        if resolved[v as usize] {
+                            assert_eq!(
+                                partial.is_bot(v),
+                                full.is_bot(v),
+                                "covered node {v} must be exact at budget {steps}"
+                            );
+                        } else {
+                            assert!(
+                                partial.is_bot(v),
+                                "uncovered node {v} must be Bot at budget {steps}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,15 +6,35 @@
 //! computations dominate by orders of magnitude, and entries are inserted
 //! at most once per key, so contention is negligible at driver job
 //! granularity.
+//!
+//! **Self-healing**: every entry carries a structural digest of its
+//! artifact plus the cache format version it was written under. A lookup
+//! re-derives the digest and treats any mismatch — bit rot, a buggy
+//! mutation of a shared artifact, or an entry written by an older format
+//! — as a miss: the entry is evicted, the stage recomputes, and the
+//! recovery is counted in [`CacheStats::corrupt_recovered`]. A poisoned
+//! mutex (a panic inside a cache operation on another thread) is likewise
+//! recovered rather than propagated: the map's state is always a
+//! consistent snapshot because every critical section is a single
+//! `HashMap` operation.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use usher_core::{Gamma, Plan};
-use usher_ir::Module;
+use usher_ir::{FxHasher, Idx, Module};
 use usher_pointer::PointerAnalysis;
 use usher_vfg::{MemSsa, Vfg};
+
+use crate::fingerprint::plan_fingerprint;
+
+/// Version tag of the cache entry format. Bump this whenever an
+/// artifact's semantics change in a way old entries must not survive;
+/// entries from another version are evicted on lookup exactly like
+/// corrupt ones.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
 
 /// One cached stage output.
 #[derive(Clone)]
@@ -33,6 +53,110 @@ pub enum Artifact {
     Plan(Arc<Plan>),
 }
 
+fn hash_str(h: &mut FxHasher, s: &str) {
+    h.write_usize(s.len());
+    h.write(s.as_bytes());
+}
+
+/// Structural digest of an artifact, stable across runs within one
+/// process (it hashes content, never addresses). Deliberately built on
+/// deterministic orderings: map keys are sorted before hashing.
+pub fn artifact_digest(a: &Artifact) -> u64 {
+    let mut h = FxHasher::default();
+    match a {
+        Artifact::Module(m) => {
+            h.write_u64(1);
+            hash_str(&mut h, &usher_ir::write_text(m));
+        }
+        Artifact::Pointer(pa) => {
+            h.write_u64(2);
+            h.write_u64(pa.digest());
+        }
+        Artifact::MemSsa(ms) => {
+            h.write_u64(3);
+            let mut fids: Vec<_> = ms.funcs.keys().copied().collect();
+            fids.sort_unstable();
+            for fid in fids {
+                let fs = &ms.funcs[&fid];
+                h.write_usize(fid.index());
+                hash_str(&mut h, &format!("{:?}", fs.defs));
+                let mut sites: Vec<_> = fs.mus.keys().copied().collect();
+                sites.sort_unstable();
+                for s in sites {
+                    hash_str(&mut h, &format!("{s:?}{:?}", fs.mus[&s]));
+                }
+                let mut sites: Vec<_> = fs.chis.keys().copied().collect();
+                sites.sort_unstable();
+                for s in sites {
+                    hash_str(&mut h, &format!("{s:?}{:?}", fs.chis[&s]));
+                }
+                let mut blocks: Vec<_> = fs.phis.keys().copied().collect();
+                blocks.sort_unstable();
+                for b in blocks {
+                    hash_str(&mut h, &format!("{b:?}{:?}", fs.phis[&b]));
+                }
+                let mut blocks: Vec<_> = fs.ret_mus.keys().copied().collect();
+                blocks.sort_unstable();
+                for b in blocks {
+                    hash_str(&mut h, &format!("{b:?}{:?}", fs.ret_mus[&b]));
+                }
+                let mut locs: Vec<_> = fs.formal_in.iter().map(|(l, v)| (*l, *v)).collect();
+                locs.sort_unstable_by_key(|(l, _)| *l);
+                hash_str(&mut h, &format!("{locs:?}"));
+                let mut sin: Vec<_> = fs.summary_in.iter().copied().collect();
+                sin.sort_unstable();
+                let mut sout: Vec<_> = fs.summary_out.iter().copied().collect();
+                sout.sort_unstable();
+                hash_str(&mut h, &format!("{sin:?}{sout:?}"));
+            }
+        }
+        Artifact::Vfg(v) => {
+            h.write_u64(4);
+            for n in &v.nodes {
+                n.hash(&mut h);
+            }
+            for w in &v.deps.offsets {
+                h.write_u32(*w);
+            }
+            for w in &v.deps.targets {
+                h.write_u32(*w);
+            }
+            hash_str(&mut h, &format!("{:?}", v.deps.kinds));
+            hash_str(&mut h, &format!("{:?}", v.checks));
+            hash_str(&mut h, &format!("{:?}", v.def_site));
+            hash_str(&mut h, &format!("{:?}{:?}", v.stats, v.mode));
+            h.write_u32(v.t_root);
+            h.write_u32(v.f_root);
+        }
+        Artifact::Gamma(g, redirected) => {
+            h.write_u64(5);
+            let mut word = 0u64;
+            for v in 0..g.len() as u32 {
+                word = (word << 1) | u64::from(g.is_bot(v));
+                if v % 64 == 63 {
+                    h.write_u64(word);
+                    word = 0;
+                }
+            }
+            h.write_u64(word);
+            h.write_usize(g.len());
+            h.write_usize(g.context_depth);
+            h.write_usize(*redirected);
+        }
+        Artifact::Plan(p) => {
+            h.write_u64(6);
+            hash_str(&mut h, &plan_fingerprint(p));
+        }
+    }
+    h.finish()
+}
+
+struct Entry {
+    artifact: Artifact,
+    digest: u64,
+    version: u32,
+}
+
 /// Global hit/miss counters of a cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -42,14 +166,18 @@ pub struct CacheStats {
     pub misses: usize,
     /// Artifacts currently stored.
     pub entries: usize,
+    /// Entries evicted because their digest or format version no longer
+    /// matched (each one recomputed and re-cached transparently).
+    pub corrupt_recovered: usize,
 }
 
 /// A thread-safe artifact store keyed by stable content hashes.
 #[derive(Default)]
 pub struct ArtifactCache {
-    map: Mutex<HashMap<u64, Artifact>>,
+    map: Mutex<HashMap<u64, Entry>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    corrupt_recovered: AtomicUsize,
 }
 
 impl ArtifactCache {
@@ -58,29 +186,62 @@ impl ArtifactCache {
         ArtifactCache::default()
     }
 
-    /// Looks up an artifact, counting the hit or miss.
+    /// Locks the map, recovering from a poisoned mutex: every critical
+    /// section is a single map operation, so the state under a poison is
+    /// still consistent.
+    fn map(&self) -> MutexGuard<'_, HashMap<u64, Entry>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up an artifact, counting the hit or miss. An entry whose
+    /// digest no longer matches its artifact, or that was written under
+    /// a different [`CACHE_FORMAT_VERSION`], is evicted and reported as
+    /// a miss so the caller recomputes.
     pub fn lookup(&self, key: u64) -> Option<Artifact> {
-        let got = self.map.lock().expect("cache poisoned").get(&key).cloned();
-        match got {
-            Some(a) => {
+        self.lookup_verified(key).0
+    }
+
+    /// [`ArtifactCache::lookup`], additionally reporting whether **this**
+    /// lookup evicted a corrupt or version-skewed entry — so a run can
+    /// attribute the recovery to itself in telemetry even when the cache
+    /// is shared across concurrent jobs.
+    pub fn lookup_verified(&self, key: u64) -> (Option<Artifact>, bool) {
+        let mut map = self.map();
+        match map.get(&key) {
+            Some(e) => {
+                if e.version != CACHE_FORMAT_VERSION || artifact_digest(&e.artifact) != e.digest {
+                    map.remove(&key);
+                    drop(map);
+                    self.corrupt_recovered.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return (None, true);
+                }
+                let a = e.artifact.clone();
+                drop(map);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(a)
+                (Some(a), false)
             }
             None => {
+                drop(map);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                (None, false)
             }
         }
     }
 
-    /// Stores an artifact. Racing inserts of the same key are benign:
-    /// stage computations are deterministic, so both values are equal and
-    /// either may win.
+    /// Stores an artifact under its digest. Racing inserts of the same
+    /// key are benign: stage computations are deterministic, so both
+    /// values are equal and either may win.
     pub fn insert(&self, key: u64, artifact: Artifact) {
-        self.map
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, artifact);
+        let digest = artifact_digest(&artifact);
+        self.map().insert(
+            key,
+            Entry {
+                artifact,
+                digest,
+                version: CACHE_FORMAT_VERSION,
+            },
+        );
     }
 
     /// Current counters.
@@ -88,13 +249,47 @@ impl ArtifactCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache poisoned").len(),
+            entries: self.map().len(),
+            corrupt_recovered: self.corrupt_recovered.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every entry (counters keep accumulating).
     pub fn clear(&self) {
-        self.map.lock().expect("cache poisoned").clear();
+        self.map().clear();
+    }
+
+    /// Fault injection: flips the stored digest of every entry, leaving
+    /// the artifacts intact. Every subsequent lookup of these keys
+    /// detects the mismatch, evicts, and recomputes — the detectable
+    /// corruption the self-healing path is built for. Returns how many
+    /// entries were corrupted.
+    pub fn corrupt_digests(&self) -> usize {
+        let mut map = self.map();
+        for e in map.values_mut() {
+            e.digest ^= 0xdead_beef_dead_beef;
+        }
+        map.len()
+    }
+
+    /// Fault injection: replaces every cached *plan* with an empty plan
+    /// and recomputes the digest so the corruption is **not** detectable
+    /// by the integrity check. Exists purely so the fuzz harness can
+    /// prove its cache-corruption probe would catch a checksum scheme
+    /// that silently stopped working. Returns how many plans were
+    /// swapped.
+    pub fn corrupt_plans_undetectably(&self) -> usize {
+        let mut map = self.map();
+        let mut swapped = 0;
+        for e in map.values_mut() {
+            if matches!(e.artifact, Artifact::Plan(_)) {
+                let empty = Artifact::Plan(Arc::new(Plan::default()));
+                e.digest = artifact_digest(&empty);
+                e.artifact = empty;
+                swapped += 1;
+            }
+        }
+        swapped
     }
 }
 
@@ -111,7 +306,42 @@ mod tests {
         assert!(c.lookup(2).is_none());
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        assert_eq!(s.corrupt_recovered, 0);
         c.clear();
         assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn corrupted_entries_are_evicted_and_counted() {
+        let c = ArtifactCache::new();
+        c.insert(7, Artifact::Module(Arc::new(Module::default())));
+        assert_eq!(c.corrupt_digests(), 1);
+        assert!(c.lookup(7).is_none(), "corrupt entry must read as a miss");
+        let s = c.stats();
+        assert_eq!(s.corrupt_recovered, 1);
+        assert_eq!(s.entries, 0, "corrupt entry is evicted");
+        // Recompute-and-reinsert heals the slot.
+        c.insert(7, Artifact::Module(Arc::new(Module::default())));
+        assert!(c.lookup(7).is_some());
+    }
+
+    #[test]
+    fn version_skew_reads_as_corruption() {
+        let c = ArtifactCache::new();
+        c.insert(9, Artifact::Module(Arc::new(Module::default())));
+        c.map().get_mut(&9).unwrap().version = CACHE_FORMAT_VERSION + 1;
+        assert!(c.lookup(9).is_none());
+        assert_eq!(c.stats().corrupt_recovered, 1);
+    }
+
+    #[test]
+    fn undetectable_plan_swap_passes_the_integrity_check() {
+        let c = ArtifactCache::new();
+        c.insert(3, Artifact::Plan(Arc::new(Plan::default())));
+        assert_eq!(c.corrupt_plans_undetectably(), 1);
+        // The checksum cannot see this one — the cross-run fingerprint
+        // probe in the fuzz harness is what catches it.
+        assert!(c.lookup(3).is_some());
+        assert_eq!(c.stats().corrupt_recovered, 0);
     }
 }

@@ -42,10 +42,10 @@ mod pipeline;
 mod pool;
 mod report;
 
-pub use cache::{Artifact, ArtifactCache, CacheStats};
+pub use cache::{artifact_digest, Artifact, ArtifactCache, CacheStats, CACHE_FORMAT_VERSION};
 pub use fingerprint::{gamma_fingerprint, plan_fingerprint};
 pub use key::KeyWriter;
 pub use options::{GuidedKnobs, PipelineOptions};
 pub use pipeline::{DriverError, Job, Pipeline, PipelineRun, SourceInput};
-pub use pool::{default_threads, parallel_map};
-pub use report::{json_escape, BatchReport, PipelineReport, Stage, StageTiming};
+pub use pool::{default_threads, parallel_map, parallel_map_catching};
+pub use report::{json_escape, BatchReport, DegradeEvent, PipelineReport, Stage, StageTiming};

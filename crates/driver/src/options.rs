@@ -15,6 +15,12 @@
 //! | `guided.opt1`         | instrumentation                      |
 //! | `bit_level`           | instrumentation                      |
 //! | `label`               | nothing (display only)               |
+//!
+//! Degradation knobs — `budget_steps`, `deadline_ms`, `strict`,
+//! `inject_panic` — are deliberately excluded from **every** key: only
+//! complete, fault-free artifacts are ever cached, and those are
+//! byte-identical to what an unlimited run produces, so a budgeted run
+//! may both consume and feed the same cache as an unbudgeted one.
 
 use usher_core::Config;
 use usher_ir::OptLevel;
@@ -64,6 +70,23 @@ pub struct PipelineOptions {
     /// Display name stamped on the produced plan and telemetry. Not part
     /// of any cache key.
     pub label: String,
+    /// Step budget shared by every analysis stage of the run (pointer
+    /// solving, MemSSA, VFG construction, resolution). `None` is
+    /// unlimited. On exhaustion the run degrades soundly — per function
+    /// when resolution ran out, whole-module otherwise — instead of
+    /// failing. Not part of any cache key.
+    pub budget_steps: Option<u64>,
+    /// Wall-clock deadline in milliseconds, polled at stage boundaries.
+    /// `None` is unlimited. Not part of any cache key.
+    pub deadline_ms: Option<u64>,
+    /// Treat any degradation (budget exhaustion, deadline, contained
+    /// stage panic) as a hard error instead of falling back. Not part of
+    /// any cache key.
+    pub strict: bool,
+    /// Fault injection: panic inside the named stage's contained region
+    /// (a stage name as printed in telemetry, e.g. `"resolve"`). Testing
+    /// hook; not part of any cache key.
+    pub inject_panic: Option<String>,
 }
 
 impl Default for PipelineOptions {
@@ -81,6 +104,10 @@ impl PipelineOptions {
                 guided: None,
                 bit_level: cfg.bit_level,
                 label: cfg.name.to_string(),
+                budget_steps: None,
+                deadline_ms: None,
+                strict: false,
+                inject_panic: None,
             },
             Some(u) => PipelineOptions {
                 opt_level: OptLevel::O0Im,
@@ -93,6 +120,10 @@ impl PipelineOptions {
                 }),
                 bit_level: u.bit_level,
                 label: cfg.name.to_string(),
+                budget_steps: None,
+                deadline_ms: None,
+                strict: false,
+                inject_panic: None,
             },
         }
     }
@@ -106,6 +137,30 @@ impl PipelineOptions {
     /// Same options under a different display label.
     pub fn labelled(mut self, label: impl Into<String>) -> PipelineOptions {
         self.label = label.into();
+        self
+    }
+
+    /// Same options with an analysis step budget.
+    pub fn with_budget_steps(mut self, steps: Option<u64>) -> PipelineOptions {
+        self.budget_steps = steps;
+        self
+    }
+
+    /// Same options with a wall-clock deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: Option<u64>) -> PipelineOptions {
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Same options with strict mode (degradations become errors).
+    pub fn strict(mut self, strict: bool) -> PipelineOptions {
+        self.strict = strict;
+        self
+    }
+
+    /// Same options with a panic injected into the named stage.
+    pub fn with_inject_panic(mut self, stage: Option<String>) -> PipelineOptions {
+        self.inject_panic = stage;
         self
     }
 
@@ -252,6 +307,26 @@ mod tests {
 
         // label moves nothing.
         let changed = base.clone().labelled("other");
+        assert_eq!(base.plan_key(src), changed.plan_key(src));
+    }
+
+    #[test]
+    fn degradation_knobs_never_touch_cache_keys() {
+        let src = 0x5678;
+        let base = PipelineOptions::from_config(Config::USHER);
+        let g = base.guided.unwrap();
+        let changed = base
+            .clone()
+            .with_budget_steps(Some(100))
+            .with_deadline_ms(Some(5))
+            .strict(true)
+            .with_inject_panic(Some("resolve".into()));
+        let cg = changed.guided.unwrap();
+        assert_eq!(base.frontend_key(src), changed.frontend_key(src));
+        assert_eq!(base.pointer_key(src), changed.pointer_key(src));
+        assert_eq!(base.memssa_key(src), changed.memssa_key(src));
+        assert_eq!(base.vfg_key(src, &g), changed.vfg_key(src, &cg));
+        assert_eq!(base.resolve_key(src, &g), changed.resolve_key(src, &cg));
         assert_eq!(base.plan_key(src), changed.plan_key(src));
     }
 }

@@ -22,26 +22,54 @@
 //! Both grains produce results in deterministic input order, and every
 //! stage computation is deterministic, so thread count can never change
 //! an artifact — only how fast it arrives.
+//!
+//! # Graceful degradation
+//!
+//! Guided analysis is an *optimization*: the full-MSan plan is always
+//! sound, so any guided stage may be abandoned without losing
+//! detections. Three containment layers implement that (see DESIGN.md
+//! §10):
+//!
+//! * a cooperative step [`Budget`] (plus optional wall-clock deadline)
+//!   threads through pointer solving, memory SSA, VFG construction and
+//!   resolution; exhaustion mid-resolution degrades only the functions
+//!   whose nodes were left unresolved, exhaustion earlier degrades the
+//!   whole module;
+//! * every guided stage computation runs under `catch_unwind`, so a
+//!   panic (or an injected one, via
+//!   [`PipelineOptions::inject_panic`]) becomes a fallback instead of a
+//!   crash — and in [`Pipeline::run_batch`] a panicking job poisons only
+//!   its own slot;
+//! * cache entries carry digests and are transparently recomputed when
+//!   corrupt ([`crate::cache`]).
+//!
+//! Degraded artifacts are **never cached**: only complete, fault-free
+//! results enter the cache, which keeps budgeted and unbudgeted runs
+//! safely interchangeable over one cache.
 
+use std::collections::HashSet;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use usher_core::{
-    full_plan_func, guided_plan, redundant_check_elimination, resolve, Gamma, GuidedOpts, Plan,
+    full_plan_func, guided_plan_with_fallback, redundant_check_elimination_budgeted,
+    resolve_budgeted, stamp_provenance, Gamma, GuidedOpts, Plan, PlanProvenance,
 };
 use usher_frontend::CompileError;
-use usher_ir::{mem2reg, optimize, run_inline, FuncId, InlinePolicy, Module};
+use usher_ir::{mem2reg, optimize, run_inline, Budget, Exhausted, FuncId, InlinePolicy, Module};
 use usher_pointer::PointerAnalysis;
 use usher_vfg::{
-    build_function_ssa, build_with, modref_summaries, BuildOpts, MemSsa, Vfg, VfgMode,
+    build_function_ssa_budgeted, build_with_budgeted, modref_summaries_budgeted, BuildOpts, MemSsa,
+    NodeKind, Vfg, VfgMode,
 };
 
 use crate::cache::{Artifact, ArtifactCache, CacheStats};
 use crate::key::KeyWriter;
-use crate::options::PipelineOptions;
-use crate::pool::{default_threads, parallel_map};
-use crate::report::{BatchReport, PipelineReport, Stage, StageTiming};
+use crate::options::{GuidedKnobs, PipelineOptions};
+use crate::pool::{default_threads, panic_message, parallel_map, parallel_map_catching};
+use crate::report::{BatchReport, DegradeEvent, PipelineReport, Stage, StageTiming};
 
 /// Any failure a pipeline run can produce.
 #[derive(Clone, Debug)]
@@ -50,6 +78,26 @@ pub enum DriverError {
     Compile(CompileError),
     /// IR-text parse failure.
     Text(String),
+    /// A stage panicked. Outside strict mode this only surfaces where no
+    /// sound fallback exists (the full-instrumentation path itself, or a
+    /// whole batch job); guided-stage panics degrade instead.
+    StagePanic {
+        /// Stage name (as in telemetry), or `"batch"` for a whole job.
+        stage: &'static str,
+        /// The panic message.
+        detail: String,
+    },
+    /// Strict mode: the analysis step budget ran out in `stage` (a
+    /// non-strict run would have degraded soundly instead).
+    BudgetExhausted {
+        /// Stage name as in telemetry.
+        stage: &'static str,
+    },
+    /// Strict mode: the wall-clock deadline passed before `stage`.
+    DeadlineExceeded {
+        /// Stage name as in telemetry.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for DriverError {
@@ -57,6 +105,15 @@ impl fmt::Display for DriverError {
         match self {
             DriverError::Compile(e) => write!(f, "{e}"),
             DriverError::Text(e) => write!(f, "{e}"),
+            DriverError::StagePanic { stage, detail } => {
+                write!(f, "stage '{stage}' panicked: {detail}")
+            }
+            DriverError::BudgetExhausted { stage } => {
+                write!(f, "strict mode: step budget exhausted in stage '{stage}'")
+            }
+            DriverError::DeadlineExceeded { stage } => {
+                write!(f, "strict mode: deadline exceeded before stage '{stage}'")
+            }
         }
     }
 }
@@ -174,14 +231,37 @@ struct RunCtx<'a> {
     stages: Vec<StageTiming>,
     hits: usize,
     misses: usize,
+    degrades: Vec<DegradeEvent>,
+    corrupt_recovered: usize,
 }
 
 impl RunCtx<'_> {
+    fn new<'a>(cache: &'a ArtifactCache, use_cache: bool, threads: usize) -> RunCtx<'a> {
+        RunCtx {
+            cache,
+            use_cache,
+            threads,
+            stages: Vec::new(),
+            hits: 0,
+            misses: 0,
+            degrades: Vec::new(),
+            corrupt_recovered: 0,
+        }
+    }
+
     fn lookup(&mut self, key: u64) -> Option<Artifact> {
         if !self.use_cache {
             return None;
         }
-        let got = self.cache.lookup(key);
+        let (got, recovered) = self.cache.lookup_verified(key);
+        if recovered {
+            self.corrupt_recovered += 1;
+            self.degrades.push(DegradeEvent {
+                stage: "cache",
+                reason: "cache-corrupt",
+                detail: "corrupt or version-skewed entry evicted; recomputing".to_string(),
+            });
+        }
         if got.is_some() {
             self.hits += 1;
         } else {
@@ -279,6 +359,21 @@ impl Pipeline {
         self.cache.clear();
     }
 
+    /// Fault injection: flips every cache entry's stored digest so the
+    /// next lookup detects the corruption, evicts and recomputes. See
+    /// [`ArtifactCache::corrupt_digests`]. Returns entries corrupted.
+    pub fn corrupt_cache(&self) -> usize {
+        self.cache.corrupt_digests()
+    }
+
+    /// Fault injection the checksum **cannot** see: swaps cached plans
+    /// for empty ones with recomputed digests. Exists so harnesses can
+    /// prove their cross-run probes would catch a broken checksum. See
+    /// [`ArtifactCache::corrupt_plans_undetectably`].
+    pub fn corrupt_cache_undetectably(&self) -> usize {
+        self.cache.corrupt_plans_undetectably()
+    }
+
     /// Runs one program through the pipeline, using per-function
     /// parallelism inside the parallel-friendly stages.
     ///
@@ -309,6 +404,12 @@ impl Pipeline {
     }
 
     /// Runs an already-compiled module; sugar for [`Pipeline::run`].
+    ///
+    /// # Panics
+    ///
+    /// Module inputs cannot fail the frontend, so this only panics for
+    /// strict-mode degradation errors — strict callers should use
+    /// [`Pipeline::run`] and handle the `Result`.
     pub fn run_module(
         &self,
         name: impl Into<String>,
@@ -316,7 +417,7 @@ impl Pipeline {
         options: PipelineOptions,
     ) -> PipelineRun {
         self.run(name, SourceInput::Module(module), options)
-            .expect("module inputs cannot fail the frontend")
+            .expect("module inputs cannot fail outside strict mode")
     }
 
     /// Compiles a program through the cached frontend without running any
@@ -330,14 +431,7 @@ impl Pipeline {
         source: &SourceInput,
         options: &PipelineOptions,
     ) -> Result<Arc<Module>, DriverError> {
-        let mut ctx = RunCtx {
-            cache: &self.cache,
-            use_cache: self.use_cache,
-            threads: self.threads,
-            stages: Vec::new(),
-            hits: 0,
-            misses: 0,
-        };
+        let mut ctx = RunCtx::new(&self.cache, self.use_cache, self.threads);
         self.frontend(&mut ctx, source, options, source.source_key())
     }
 
@@ -347,9 +441,22 @@ impl Pipeline {
     /// with a [`BatchReport`] covering the successful runs.
     pub fn run_batch(&self, jobs: &[Job]) -> (Vec<Result<PipelineRun, DriverError>>, BatchReport) {
         let t = Instant::now();
-        let runs = parallel_map(self.threads, jobs, |job| {
-            self.run_inner(job.name.clone(), &job.source, &job.options, 1)
-        });
+        let runs: Vec<Result<PipelineRun, DriverError>> =
+            parallel_map_catching(self.threads, jobs, |job| {
+                self.run_inner(job.name.clone(), &job.source, &job.options, 1)
+            })
+            .into_iter()
+            .map(|r| match r {
+                Ok(run) => run,
+                // A panic that escaped even the per-stage containment
+                // (frontend, full-plan path, report assembly) poisons
+                // only this job; siblings are untouched.
+                Err(detail) => Err(DriverError::StagePanic {
+                    stage: "batch",
+                    detail,
+                }),
+            })
+            .collect();
         let report = BatchReport {
             threads: self.threads,
             requested_threads: self.requested_threads,
@@ -371,15 +478,12 @@ impl Pipeline {
         threads: usize,
     ) -> Result<PipelineRun, DriverError> {
         let start = Instant::now();
-        let mut ctx = RunCtx {
-            cache: &self.cache,
-            use_cache: self.use_cache,
-            threads,
-            stages: Vec::new(),
-            hits: 0,
-            misses: 0,
-        };
+        let mut ctx = RunCtx::new(&self.cache, self.use_cache, threads);
         let src_key = source.source_key();
+        let budget = Budget::new(
+            options.budget_steps,
+            options.deadline_ms.map(Duration::from_millis),
+        );
 
         let module = self.frontend(&mut ctx, source, options, src_key)?;
 
@@ -388,136 +492,26 @@ impl Pipeline {
                 let plan = self.msan_plan(&mut ctx, &module, options, src_key);
                 (None, None, None, None, 0, plan)
             }
-            Some(g) => {
-                let g = *g;
-
-                // Pointer analysis.
-                let pk = options.pointer_key(src_key);
-                let pa: Arc<PointerAnalysis> = match ctx.lookup(pk) {
-                    Some(Artifact::Pointer(pa)) => {
-                        ctx.record(Stage::Pointer, 0.0, true);
-                        pa
+            Some(g) => match self.run_guided(&mut ctx, &module, options, *g, src_key, &budget) {
+                Ok(out) => out,
+                Err(GuidedAbort::Hard(e)) => return Err(e),
+                Err(GuidedAbort::Degrade(event)) => {
+                    if options.strict {
+                        return Err(strict_error(&event));
                     }
-                    _ => {
-                        let pa = ctx.timed(Stage::Pointer, |_| {
-                            Arc::new(usher_pointer::analyze(&module))
-                        });
-                        ctx.store(pk, Artifact::Pointer(pa.clone()));
-                        pa
-                    }
-                };
-
-                // Memory SSA (full mode only; TL-only runs on an empty one).
-                let memssa: Arc<MemSsa> = match g.mode {
-                    VfgMode::TlOnly => Arc::new(MemSsa::default()),
-                    VfgMode::Full => {
-                        let mk = options.memssa_key(src_key);
-                        match ctx.lookup(mk) {
-                            Some(Artifact::MemSsa(ms)) => {
-                                ctx.record(Stage::MemSsa, 0.0, true);
-                                ms
-                            }
-                            _ => {
-                                let ms = ctx.timed(Stage::MemSsa, |c| {
-                                    Arc::new(build_memssa_parallel(&module, &pa, c.threads))
-                                });
-                                ctx.store(mk, Artifact::MemSsa(ms.clone()));
-                                ms
-                            }
-                        }
-                    }
-                };
-
-                // VFG.
-                let vk = options.vfg_key(src_key, &g);
-                let vfg: Arc<Vfg> = match ctx.lookup(vk) {
-                    Some(Artifact::Vfg(v)) => {
-                        ctx.record(Stage::VfgBuild, 0.0, true);
-                        v
-                    }
-                    _ => {
-                        let v = ctx.timed(Stage::VfgBuild, |_| {
-                            Arc::new(build_with(
-                                &module,
-                                &pa,
-                                &memssa,
-                                BuildOpts {
-                                    mode: g.mode,
-                                    semi_strong: g.semi_strong,
-                                },
-                            ))
-                        });
-                        ctx.store(vk, Artifact::Vfg(v.clone()));
-                        v
-                    }
-                };
-
-                // Resolution (+ Opt II).
-                let rk = options.resolve_key(src_key, &g);
-                let (gamma, redirected): (Arc<Gamma>, usize) = match ctx.lookup(rk) {
-                    Some(Artifact::Gamma(gm, r)) => {
-                        ctx.record(Stage::Resolve, 0.0, true);
-                        (gm, r)
-                    }
-                    _ => {
-                        let (gm, r) = ctx.timed(Stage::Resolve, |_| {
-                            if g.opt2 {
-                                let r = redundant_check_elimination(
-                                    &module,
-                                    &pa,
-                                    &memssa,
-                                    &vfg,
-                                    g.context_depth,
-                                );
-                                (Arc::new(r.gamma), r.redirected)
-                            } else {
-                                (Arc::new(resolve(&vfg, g.context_depth)), 0)
-                            }
-                        });
-                        ctx.store(rk, Artifact::Gamma(gm.clone(), r));
-                        (gm, r)
-                    }
-                };
-
-                // Guided instrumentation planning (+ Opt I).
-                let plk = options.plan_key(src_key);
-                let plan: Arc<Plan> = match ctx.lookup(plk) {
-                    Some(Artifact::Plan(p)) => {
-                        ctx.record(Stage::Instrument, 0.0, true);
-                        relabel(p, &options.label)
-                    }
-                    _ => {
-                        let p = ctx.timed(Stage::Instrument, |_| {
-                            let opts = GuidedOpts {
-                                opt1: g.opt1,
-                                full_memory: g.mode == VfgMode::TlOnly,
-                                bit_level: options.bit_level,
-                            };
-                            Arc::new(guided_plan(
-                                &module,
-                                &pa,
-                                &memssa,
-                                &vfg,
-                                &gamma,
-                                opts,
-                                options.label.clone(),
-                            ))
-                        });
-                        ctx.store(plk, Artifact::Plan(p.clone()));
-                        p
-                    }
-                };
-
-                (
-                    Some(pa),
-                    Some(memssa),
-                    Some(vfg),
-                    Some(gamma),
-                    redirected,
-                    plan,
-                )
-            }
+                    ctx.degrades.push(event);
+                    // Whole-module sound fallback: full instrumentation,
+                    // exempt from the budget (it must always complete).
+                    let plan = ctx.timed(Stage::Instrument, |c| {
+                        full_fallback_plan(&module, options, c.threads)
+                    });
+                    (None, None, None, None, 0, plan)
+                }
+            },
         };
+
+        let functions_total = module.funcs.indices().count();
+        let (_, _, functions_degraded) = plan.provenance_counts();
 
         let report = PipelineReport {
             workload: name.clone(),
@@ -534,6 +528,12 @@ impl Pipeline {
             opt2_redirected,
             solver_stats: pa.as_ref().map(|p| p.stats).unwrap_or_default(),
             resolve_stats: gamma.as_ref().map(|g| g.stats).unwrap_or_default(),
+            degrade_events: ctx.degrades,
+            functions_degraded,
+            functions_total,
+            budget_spent: budget.spent(),
+            budget_limit: options.budget_steps,
+            cache_corrupt_recovered: ctx.corrupt_recovered,
         };
 
         Ok(PipelineRun {
@@ -548,6 +548,277 @@ impl Pipeline {
             plan,
             report,
         })
+    }
+
+    /// The guided pipeline suffix (Pointer → MemSsa → VfgBuild → Resolve
+    /// → Instrument) under budget, deadline and panic containment.
+    ///
+    /// Aborting with [`GuidedAbort::Degrade`] means "the guided analysis
+    /// cannot soundly continue, instrument the whole module fully"; the
+    /// per-function path (resolution exhaustion with full coverage
+    /// attribution) is handled internally and does not abort.
+    #[allow(clippy::type_complexity)]
+    fn run_guided(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        module: &Arc<Module>,
+        options: &PipelineOptions,
+        g: GuidedKnobs,
+        src_key: u64,
+        budget: &Budget,
+    ) -> Result<
+        (
+            Option<Arc<PointerAnalysis>>,
+            Option<Arc<MemSsa>>,
+            Option<Arc<Vfg>>,
+            Option<Arc<Gamma>>,
+            usize,
+            Arc<Plan>,
+        ),
+        GuidedAbort,
+    > {
+        // Pointer analysis. A partial points-to solution
+        // under-approximates (missed aliases would un-instrument real
+        // flows), so exhaustion or a panic here degrades the module.
+        let pk = options.pointer_key(src_key);
+        let pa: Arc<PointerAnalysis> = match ctx.lookup(pk) {
+            Some(Artifact::Pointer(pa)) => {
+                ctx.record(Stage::Pointer, 0.0, true);
+                pa
+            }
+            _ => {
+                deadline_gate(budget, Stage::Pointer)?;
+                let computed = ctx.timed(Stage::Pointer, |_| {
+                    contained(options, Stage::Pointer, || {
+                        usher_pointer::analyze_budgeted(module, budget)
+                    })
+                });
+                let pa = Arc::new(stage_result(computed, Stage::Pointer)?);
+                ctx.store(pk, Artifact::Pointer(pa.clone()));
+                pa
+            }
+        };
+
+        // Memory SSA (full mode only; TL-only runs on an empty one). A
+        // partial SSA under-approximates mod/ref effects: degrade.
+        let memssa: Arc<MemSsa> = match g.mode {
+            VfgMode::TlOnly => Arc::new(MemSsa::default()),
+            VfgMode::Full => {
+                let mk = options.memssa_key(src_key);
+                match ctx.lookup(mk) {
+                    Some(Artifact::MemSsa(ms)) => {
+                        ctx.record(Stage::MemSsa, 0.0, true);
+                        ms
+                    }
+                    _ => {
+                        deadline_gate(budget, Stage::MemSsa)?;
+                        let computed = ctx.timed(Stage::MemSsa, |c| {
+                            let threads = c.threads;
+                            contained(options, Stage::MemSsa, || {
+                                build_memssa_parallel_budgeted(module, &pa, threads, budget)
+                            })
+                        });
+                        let ms = Arc::new(stage_result(computed, Stage::MemSsa)?);
+                        ctx.store(mk, Artifact::MemSsa(ms.clone()));
+                        ms
+                    }
+                }
+            }
+        };
+
+        // VFG. A partial graph misses value-flow edges (unsound to
+        // resolve over): degrade.
+        let vk = options.vfg_key(src_key, &g);
+        let vfg: Arc<Vfg> = match ctx.lookup(vk) {
+            Some(Artifact::Vfg(v)) => {
+                ctx.record(Stage::VfgBuild, 0.0, true);
+                v
+            }
+            _ => {
+                deadline_gate(budget, Stage::VfgBuild)?;
+                let computed = ctx.timed(Stage::VfgBuild, |_| {
+                    contained(options, Stage::VfgBuild, || {
+                        build_with_budgeted(
+                            module,
+                            &pa,
+                            &memssa,
+                            BuildOpts {
+                                mode: g.mode,
+                                semi_strong: g.semi_strong,
+                            },
+                            budget,
+                        )
+                    })
+                });
+                let v = Arc::new(stage_result(computed, Stage::VfgBuild)?);
+                ctx.store(vk, Artifact::Vfg(v.clone()));
+                v
+            }
+        };
+
+        // Resolution (+ Opt II). This is the anytime stage: exhaustion
+        // keeps exact values for every fully-processed SCC and forces
+        // the rest to Bot, so only functions owning unresolved nodes
+        // need the full-instrumentation fallback.
+        let rk = options.resolve_key(src_key, &g);
+        let mut fallback: HashSet<FuncId> = HashSet::new();
+        let mut gamma_complete = true;
+        let (gamma, redirected): (Arc<Gamma>, usize) = match ctx.lookup(rk) {
+            Some(Artifact::Gamma(gm, r)) => {
+                ctx.record(Stage::Resolve, 0.0, true);
+                (gm, r)
+            }
+            _ => {
+                deadline_gate(budget, Stage::Resolve)?;
+                let computed = ctx.timed(Stage::Resolve, |_| {
+                    contained(options, Stage::Resolve, || {
+                        if g.opt2 {
+                            let out = redundant_check_elimination_budgeted(
+                                module,
+                                &pa,
+                                &memssa,
+                                &vfg,
+                                g.context_depth,
+                                budget,
+                            );
+                            let complete = out.is_complete();
+                            (
+                                out.result.gamma,
+                                out.result.redirected,
+                                out.resolved,
+                                complete,
+                            )
+                        } else {
+                            let (gm, cov) = resolve_budgeted(&vfg, g.context_depth, budget);
+                            let complete = cov.is_none();
+                            (gm, 0, cov, complete)
+                        }
+                    })
+                });
+                // A panic mid-resolution leaves no coverage map to
+                // attribute: degrade the module.
+                let (gm, r, coverage, complete) = computed.map_err(|detail| {
+                    GuidedAbort::Degrade(DegradeEvent {
+                        stage: Stage::Resolve.name(),
+                        reason: "stage-panic",
+                        detail,
+                    })
+                })?;
+                let gm = Arc::new(gm);
+                if complete {
+                    ctx.store(rk, Artifact::Gamma(gm.clone(), r));
+                } else {
+                    gamma_complete = false;
+                    let Some(cov) = coverage else {
+                        // Opt II discovery was truncated without touching
+                        // resolution coverage — cannot happen with a
+                        // sticky budget, but degrade defensively.
+                        return Err(GuidedAbort::Degrade(DegradeEvent {
+                            stage: Stage::Resolve.name(),
+                            reason: "budget-exhausted",
+                            detail: "check-elimination discovery truncated".to_string(),
+                        }));
+                    };
+                    match degraded_functions(&vfg, &cov) {
+                        Some(funcs) if funcs.is_empty() => {
+                            // Exhausted after the last SCC: the map is
+                            // fully exact, only its cacheability is lost.
+                        }
+                        Some(funcs) => {
+                            if options.strict {
+                                return Err(GuidedAbort::Hard(DriverError::BudgetExhausted {
+                                    stage: Stage::Resolve.name(),
+                                }));
+                            }
+                            ctx.degrades.push(DegradeEvent {
+                                stage: Stage::Resolve.name(),
+                                reason: "budget-exhausted",
+                                detail: format!(
+                                    "anytime resolution: {} of {} functions degrade to full instrumentation",
+                                    funcs.len(),
+                                    module.funcs.indices().count(),
+                                ),
+                            });
+                            fallback = funcs;
+                        }
+                        None => {
+                            // An ownerless root node is unresolved — no
+                            // per-function attribution is sound.
+                            return Err(GuidedAbort::Degrade(DegradeEvent {
+                                stage: Stage::Resolve.name(),
+                                reason: "budget-exhausted",
+                                detail: "resolution exhausted before root nodes".to_string(),
+                            }));
+                        }
+                    }
+                }
+                (gm, r)
+            }
+        };
+
+        // Guided instrumentation planning (+ Opt I). With a non-empty
+        // fallback set this emits the mixed plan: guided fragments for
+        // covered functions, full instrumentation for degraded ones,
+        // with every cross-boundary shadow coupling forced (see
+        // `guided_plan_with_fallback`). Mixed or budget-truncated plans
+        // are never cached.
+        let plk = options.plan_key(src_key);
+        let cached_plan = if fallback.is_empty() {
+            ctx.lookup(plk)
+        } else {
+            None
+        };
+        let plan: Arc<Plan> = match cached_plan {
+            Some(Artifact::Plan(p)) => {
+                ctx.record(Stage::Instrument, 0.0, true);
+                relabel(p, &options.label)
+            }
+            _ => {
+                deadline_gate(budget, Stage::Instrument)?;
+                let computed = ctx.timed(Stage::Instrument, |_| {
+                    contained(options, Stage::Instrument, || {
+                        let opts = GuidedOpts {
+                            opt1: g.opt1,
+                            full_memory: g.mode == VfgMode::TlOnly,
+                            bit_level: options.bit_level,
+                        };
+                        guided_plan_with_fallback(
+                            module,
+                            &pa,
+                            &memssa,
+                            &vfg,
+                            &gamma,
+                            opts,
+                            &fallback,
+                            options.label.clone(),
+                        )
+                    })
+                });
+                // Planning itself is not budgeted, but it can panic; the
+                // full-plan generator is a separate, simpler code path,
+                // so degrading the module still makes progress.
+                let p = Arc::new(computed.map_err(|detail| {
+                    GuidedAbort::Degrade(DegradeEvent {
+                        stage: Stage::Instrument.name(),
+                        reason: "stage-panic",
+                        detail,
+                    })
+                })?);
+                if fallback.is_empty() && gamma_complete {
+                    ctx.store(plk, Artifact::Plan(p.clone()));
+                }
+                p
+            }
+        };
+
+        Ok((
+            Some(pa),
+            Some(memssa),
+            Some(vfg),
+            Some(gamma),
+            redirected,
+            plan,
+        ))
     }
 
     /// The frontend super-stage: parse/lower/inline/mem2reg/opt, cached as
@@ -631,6 +902,123 @@ impl Pipeline {
     }
 }
 
+/// How the guided pipeline suffix aborts.
+enum GuidedAbort {
+    /// Degrade the whole module to full instrumentation (or, in strict
+    /// mode, surface the event as an error).
+    Degrade(DegradeEvent),
+    /// Propagate as-is (strict-mode conversions made inside the suffix).
+    Hard(DriverError),
+}
+
+/// Strict mode maps a would-be degradation to its typed error.
+fn strict_error(e: &DegradeEvent) -> DriverError {
+    match e.reason {
+        "budget-exhausted" => DriverError::BudgetExhausted { stage: e.stage },
+        "deadline" => DriverError::DeadlineExceeded { stage: e.stage },
+        _ => DriverError::StagePanic {
+            stage: e.stage,
+            detail: e.detail.clone(),
+        },
+    }
+}
+
+/// Degrades at a stage boundary when the wall-clock deadline has passed.
+fn deadline_gate(budget: &Budget, stage: Stage) -> Result<(), GuidedAbort> {
+    if budget.deadline_exceeded() {
+        Err(GuidedAbort::Degrade(DegradeEvent {
+            stage: stage.name(),
+            reason: "deadline",
+            detail: "wall-clock deadline passed at stage boundary".to_string(),
+        }))
+    } else {
+        Ok(())
+    }
+}
+
+/// Runs a stage computation under `catch_unwind`, firing the injected
+/// panic first when [`PipelineOptions::inject_panic`] names this stage.
+/// The artifacts a stage reads are immutable and the one it builds is
+/// dropped on unwind, so resuming past a caught panic observes no broken
+/// invariants (hence the `AssertUnwindSafe`).
+fn contained<R>(
+    options: &PipelineOptions,
+    stage: Stage,
+    f: impl FnOnce() -> R,
+) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if options.inject_panic.as_deref() == Some(stage.name()) {
+            panic!("injected panic in stage '{}'", stage.name());
+        }
+        f()
+    }))
+    .map_err(panic_message)
+}
+
+/// Classifies a contained, budgeted stage computation into its artifact
+/// or the degradation it caused.
+fn stage_result<R>(
+    r: Result<Result<R, Exhausted>, String>,
+    stage: Stage,
+) -> Result<R, GuidedAbort> {
+    match r {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(Exhausted)) => Err(GuidedAbort::Degrade(DegradeEvent {
+            stage: stage.name(),
+            reason: "budget-exhausted",
+            detail: "partial result under-approximates and was discarded".to_string(),
+        })),
+        Err(detail) => Err(GuidedAbort::Degrade(DegradeEvent {
+            stage: stage.name(),
+            reason: "stage-panic",
+            detail,
+        })),
+    }
+}
+
+/// Maps unresolved VFG nodes (under the anytime resolver's coverage map)
+/// to the functions that must fall back to full instrumentation. Returns
+/// `None` when an ownerless node — a root — is unresolved, in which case
+/// no per-function attribution is sound.
+fn degraded_functions(vfg: &Vfg, coverage: &[bool]) -> Option<HashSet<FuncId>> {
+    let mut funcs = HashSet::new();
+    for (v, &covered) in coverage.iter().enumerate().take(vfg.len()) {
+        if covered {
+            continue;
+        }
+        match vfg.nodes[v] {
+            NodeKind::Tl(f, _) | NodeKind::Mem(f, _) => {
+                funcs.insert(f);
+            }
+            NodeKind::Check(site) => {
+                funcs.insert(site.func);
+            }
+            NodeKind::RootT | NodeKind::RootF => return None,
+        }
+    }
+    Some(funcs)
+}
+
+/// The whole-module sound fallback: the full-MSan plan with every
+/// function stamped [`PlanProvenance::FallbackFull`]. Never cached — its
+/// content belongs to the MSan configuration's key, not this one's.
+fn full_fallback_plan(module: &Module, options: &PipelineOptions, threads: usize) -> Arc<Plan> {
+    let fids: Vec<FuncId> = module.funcs.indices().collect();
+    let parts = parallel_map(threads, &fids, |&fid| {
+        full_plan_func(module, fid, options.bit_level)
+    });
+    let mut p = Plan {
+        name: options.label.clone(),
+        ..Default::default()
+    };
+    for part in parts {
+        p.absorb(part);
+    }
+    stamp_provenance(&mut p, module, PlanProvenance::FallbackFull);
+    p.finalize_stats();
+    Arc::new(p)
+}
+
 /// Re-labels a cache-shared plan when the caller's display label differs
 /// (cache keys deliberately exclude the label).
 fn relabel(p: Arc<Plan>, label: &str) -> Arc<Plan> {
@@ -646,20 +1034,26 @@ fn relabel(p: Arc<Plan>, label: &str) -> Arc<Plan> {
 /// Memory SSA with the per-function phase fanned out over the pool. The
 /// interprocedural mod/ref summaries are sequential (they are a
 /// fixed-point over the call graph); each function's versioning is then
-/// independent.
-fn build_memssa_parallel(m: &Module, pa: &PointerAnalysis, threads: usize) -> MemSsa {
-    let modref = modref_summaries(m, pa);
+/// independent. The shared budget is charged from every worker; any
+/// exhaustion discards the whole (under-approximating) result.
+fn build_memssa_parallel_budgeted(
+    m: &Module,
+    pa: &PointerAnalysis,
+    threads: usize,
+    budget: &Budget,
+) -> Result<MemSsa, Exhausted> {
+    let modref = modref_summaries_budgeted(m, pa, budget)?;
     let fids: Vec<FuncId> = m.funcs.indices().collect();
     let per_func = parallel_map(threads, &fids, |&fid| {
-        build_function_ssa(m, pa, fid, &modref)
+        build_function_ssa_budgeted(m, pa, fid, &modref, budget)
     });
     let mut out = MemSsa::default();
     for (fid, fs) in fids.into_iter().zip(per_func) {
-        if let Some(fs) = fs {
+        if let Some(fs) = fs? {
             out.funcs.insert(fid, fs);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -792,5 +1186,162 @@ mod tests {
             Err(err) => assert!(matches!(err, DriverError::Compile(_)), "{err}"),
             Ok(_) => panic!("expected a compile error"),
         }
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_sound_full_fallback() {
+        let pipe = Pipeline::new().without_cache();
+        let opts = PipelineOptions::from_config(Config::USHER).with_budget_steps(Some(1));
+        let run = pipe
+            .run_source("t", SRC, opts)
+            .expect("degrades, not errors");
+        let m = usher_frontend::compile_o0im(SRC).unwrap();
+        let msan = usher_core::run_config(&m, Config::MSAN);
+        assert_eq!(
+            crate::fingerprint::plan_fingerprint(&run.plan),
+            crate::fingerprint::plan_fingerprint(&msan.plan),
+            "whole-module fallback must equal the full-MSan plan"
+        );
+        assert!(!run.report.degrade_events.is_empty());
+        assert_eq!(run.report.degrade_events[0].reason, "budget-exhausted");
+        let (_, _, fb) = run.plan.provenance_counts();
+        assert!(fb > 0);
+        assert_eq!(run.report.functions_degraded, run.report.functions_total);
+        assert!(run.report.budget_spent <= 1);
+    }
+
+    #[test]
+    fn budget_sweep_always_completes_and_converges() {
+        let pipe = Pipeline::new().without_cache();
+        let base = pipe
+            .run_source("t", SRC, PipelineOptions::from_config(Config::USHER))
+            .unwrap();
+        for steps in [0u64, 3, 30, 300, 3_000, 30_000] {
+            let opts = PipelineOptions::from_config(Config::USHER).with_budget_steps(Some(steps));
+            let run = pipe.run_source("t", SRC, opts).expect("never errors");
+            let (_, _, fb) = run.plan.provenance_counts();
+            if run.report.degrade_events.is_empty() {
+                assert_eq!(fb, 0, "steps={steps}");
+                assert_eq!(
+                    crate::fingerprint::plan_fingerprint(&run.plan),
+                    crate::fingerprint::plan_fingerprint(&base.plan),
+                    "clean budgeted run must match the unbudgeted plan (steps={steps})"
+                );
+            } else {
+                assert!(fb > 0, "degraded run must mark fallback functions");
+            }
+        }
+        let huge = pipe
+            .run_source(
+                "t",
+                SRC,
+                PipelineOptions::from_config(Config::USHER).with_budget_steps(Some(u64::MAX)),
+            )
+            .unwrap();
+        assert_eq!(
+            crate::fingerprint::plan_fingerprint(&huge.plan),
+            crate::fingerprint::plan_fingerprint(&base.plan),
+        );
+        assert!(huge.report.budget_spent > 0);
+        assert!(huge.report.degrade_events.is_empty());
+    }
+
+    #[test]
+    fn injected_panic_degrades_every_guided_stage() {
+        for stage in ["pointer", "memssa", "vfg", "resolve", "instrument"] {
+            let pipe = Pipeline::new().without_cache();
+            let opts = PipelineOptions::from_config(Config::USHER)
+                .with_inject_panic(Some(stage.to_string()));
+            let run = pipe.run_source("t", SRC, opts).expect("contained");
+            assert!(
+                run.report
+                    .degrade_events
+                    .iter()
+                    .any(|e| e.reason == "stage-panic" && e.stage == stage),
+                "{stage}: {:?}",
+                run.report.degrade_events
+            );
+            let (_, _, fb) = run.plan.provenance_counts();
+            assert_eq!(fb, run.report.functions_total, "{stage}");
+        }
+    }
+
+    #[test]
+    fn strict_mode_surfaces_degradations_as_errors() {
+        let pipe = Pipeline::new().without_cache();
+        let opts = PipelineOptions::from_config(Config::USHER)
+            .with_budget_steps(Some(1))
+            .strict(true);
+        match pipe.run_source("t", SRC, opts) {
+            Err(DriverError::BudgetExhausted { stage }) => {
+                assert!(
+                    ["pointer", "memssa", "vfg", "resolve"].contains(&stage),
+                    "{stage}"
+                );
+            }
+            Err(e) => panic!("expected BudgetExhausted, got {e}"),
+            Ok(_) => panic!("expected an error"),
+        }
+        let opts = PipelineOptions::from_config(Config::USHER)
+            .with_inject_panic(Some("resolve".to_string()))
+            .strict(true);
+        match pipe.run_source("t", SRC, opts) {
+            Err(DriverError::StagePanic { stage, detail }) => {
+                assert_eq!(stage, "resolve");
+                assert!(detail.contains("injected"), "{detail}");
+            }
+            Err(e) => panic!("expected StagePanic, got {e}"),
+            Ok(_) => panic!("expected an error"),
+        }
+    }
+
+    #[test]
+    fn batch_panic_poisons_only_its_job() {
+        let mk = |i: usize, faulty: bool| {
+            let mut o = PipelineOptions::from_config(Config::USHER);
+            if faulty {
+                o = o.with_inject_panic(Some("vfg".to_string())).strict(true);
+            }
+            Job::new(format!("job{i}"), SourceInput::TinyC(SRC.to_string()), o)
+        };
+        let pipe = Pipeline::new().without_cache().with_threads(3);
+        let (runs, report) = pipe.run_batch(&[mk(0, false), mk(1, true), mk(2, false)]);
+        assert!(
+            matches!(runs[1], Err(DriverError::StagePanic { .. })),
+            "faulty job must error, not crash the batch"
+        );
+        let clean: Vec<Job> = (0..3).map(|i| mk(i, false)).collect();
+        let (clean_runs, _) = pipe.run_batch(&clean);
+        for i in [0usize, 2] {
+            assert_eq!(
+                crate::fingerprint::plan_fingerprint(&runs[i].as_ref().unwrap().plan),
+                crate::fingerprint::plan_fingerprint(&clean_runs[i].as_ref().unwrap().plan),
+                "sibling job{i} must be byte-identical to the fault-free run"
+            );
+        }
+        assert_eq!(report.runs.len(), 2, "report covers the successful runs");
+    }
+
+    #[test]
+    fn corrupt_cache_self_heals_with_identical_plan() {
+        let pipe = Pipeline::new();
+        let opts = PipelineOptions::from_config(Config::USHER);
+        let cold = pipe.run_source("t", SRC, opts.clone()).unwrap();
+        assert!(pipe.corrupt_cache() > 0);
+        let healed = pipe.run_source("t", SRC, opts.clone()).unwrap();
+        assert_eq!(
+            crate::fingerprint::plan_fingerprint(&cold.plan),
+            crate::fingerprint::plan_fingerprint(&healed.plan),
+            "recovery must reproduce the original plan"
+        );
+        assert!(healed.report.cache_corrupt_recovered > 0);
+        assert!(healed
+            .report
+            .degrade_events
+            .iter()
+            .any(|e| e.reason == "cache-corrupt"));
+        assert!(pipe.cache_stats().corrupt_recovered > 0);
+        let warm = pipe.run_source("t", SRC, opts).unwrap();
+        assert_eq!(warm.report.cache_misses, 0, "cache is healthy again");
     }
 }

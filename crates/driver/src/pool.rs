@@ -47,6 +47,64 @@ where
         .collect()
 }
 
+/// [`parallel_map`] with per-job panic containment: a job that panics
+/// yields `Err(message)` in its slot instead of tearing down the whole
+/// batch. The worker that caught the panic keeps pulling jobs, so one
+/// poisoned job never deadlocks or starves its siblings, and every other
+/// slot holds exactly what a fault-free run would have produced.
+pub fn parallel_map_catching<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    // `f` only needs to be unwind-safe to the extent the caller's closure
+    // is re-entered after a catch; the pool never observes broken
+    // invariants itself because each job writes only its own slot.
+    let run = |item: &T| -> Result<R, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(panic_message)
+    };
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = run(&items[i]);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("job completed")
+        })
+        .collect()
+}
+
+/// Renders a caught panic payload as a message, the way the default
+/// panic hook would.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The scheduler's default worker count: the machine's available
 /// parallelism, or 1 if it cannot be determined.
 pub fn default_threads() -> usize {
@@ -81,5 +139,26 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(64, &[1, 2, 3], |x| x * x);
         assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn catching_map_contains_a_panicking_job() {
+        let items: Vec<usize> = (0..50).collect();
+        for threads in [1, 4] {
+            let out = parallel_map_catching(threads, &items, |&i| {
+                if i == 23 {
+                    panic!("job {i} exploded");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), items.len(), "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 23 {
+                    assert_eq!(r.as_ref().unwrap_err(), "job 23 exploded");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "sibling {i} must be intact");
+                }
+            }
+        }
     }
 }

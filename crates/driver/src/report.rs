@@ -61,6 +61,20 @@ pub struct StageTiming {
     pub cached: bool,
 }
 
+/// Why (part of) a run fell back to the always-sound full-MSan plan, or
+/// recovered from a fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradeEvent {
+    /// Stage name (as in [`Stage::name`], or `"batch"` for batch-level
+    /// containment).
+    pub stage: &'static str,
+    /// `"budget-exhausted"`, `"deadline"`, `"stage-panic"` or
+    /// `"cache-corrupt"`.
+    pub reason: &'static str,
+    /// Free-form detail (panic message, coverage summary, ...).
+    pub detail: String,
+}
+
 /// Telemetry for one pipeline run (one program under one configuration).
 #[derive(Clone, Debug, Default)]
 pub struct PipelineReport {
@@ -94,6 +108,22 @@ pub struct PipelineReport {
     /// Resolution counters (interned contexts, visited states); zero when
     /// served from cache or skipped.
     pub resolve_stats: ResolveStats,
+    /// Every degradation that occurred: budget exhaustion, deadline,
+    /// contained panic, cache-corruption recovery. Empty on a clean run.
+    pub degrade_events: Vec<DegradeEvent>,
+    /// Functions instrumented with the full-MSan fallback plan because
+    /// the guided analysis degraded (0 on a clean run).
+    pub functions_degraded: usize,
+    /// Total functions in the module.
+    pub functions_total: usize,
+    /// Analysis steps actually charged against the budget (0 when
+    /// unlimited — the unlimited path does not count).
+    pub budget_spent: u64,
+    /// The configured step budget, if any.
+    pub budget_limit: Option<u64>,
+    /// Cache entries found corrupt and transparently recomputed during
+    /// this run.
+    pub cache_corrupt_recovered: usize,
 }
 
 /// Escapes a string for inclusion in JSON output. Public so every
@@ -186,13 +216,34 @@ impl PipelineReport {
         );
         let _ = write!(
             s,
-            ",\"resolve\":{{\"interned_contexts\":{},\"visited_states\":{},\"sccs\":{},\"nontrivial_sccs\":{},\"word_ops\":{}}}}}",
+            ",\"resolve\":{{\"interned_contexts\":{},\"visited_states\":{},\"sccs\":{},\"nontrivial_sccs\":{},\"word_ops\":{}}}",
             self.resolve_stats.interned_contexts,
             self.resolve_stats.visited_states,
             self.resolve_stats.sccs,
             self.resolve_stats.nontrivial_sccs,
             self.resolve_stats.word_ops,
         );
+        let _ = write!(
+            s,
+            ",\"degraded\":{{\"functions_degraded\":{},\"functions_total\":{},\"budget_spent\":{},\"budget_limit\":{},\"cache_corrupt_recovered\":{},\"events\":[",
+            self.functions_degraded,
+            self.functions_total,
+            self.budget_spent,
+            self.budget_limit
+                .map_or_else(|| "null".to_string(), |l| l.to_string()),
+            self.cache_corrupt_recovered,
+        );
+        for (i, e) in self.degrade_events.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"stage\":\"{}\",\"reason\":\"{}\",\"detail\":\"{}\"}}",
+                if i > 0 { "," } else { "" },
+                e.stage,
+                e.reason,
+                esc(&e.detail),
+            );
+        }
+        s.push_str("]}}");
         s
     }
 }
@@ -268,11 +319,34 @@ mod tests {
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         assert!(line.contains("\\\"full\\\""), "escaped quotes: {line}");
         assert!(line.contains("\"stage\":\"pointer\""));
+        assert!(line.contains("\"degraded\":{"), "{line}");
+        assert!(line.contains("\"budget_limit\":null"), "{line}");
         assert!(!line.contains('\n'));
         // Braces balance.
         let opens = line.matches('{').count();
         let closes = line.matches('}').count();
         assert_eq!(opens, closes, "{line}");
+    }
+
+    #[test]
+    fn degrade_events_render_with_reason_and_detail() {
+        let r = PipelineReport {
+            degrade_events: vec![DegradeEvent {
+                stage: "resolve",
+                reason: "budget-exhausted",
+                detail: "3/7 functions degraded".into(),
+            }],
+            functions_degraded: 3,
+            functions_total: 7,
+            budget_spent: 128,
+            budget_limit: Some(128),
+            ..Default::default()
+        };
+        let line = r.to_json_line();
+        assert!(line.contains("\"reason\":\"budget-exhausted\""), "{line}");
+        assert!(line.contains("\"functions_degraded\":3"), "{line}");
+        assert!(line.contains("\"budget_limit\":128"), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //!   guided plans, synthesizing unsoundness. The harness must report
 //!   `missed-detection` on buggy programs; the minimizer property test
 //!   relies on this as its reliable failure source.
+//! * [`FaultInjection::CacheCorrupt`] — flips stored artifact digests in
+//!   a warmed driver cache; the self-healing lookup must evict the
+//!   damage, recompute, and converge on the identical plan while counting
+//!   the recovery.
+//! * [`FaultInjection::BudgetExhaust`] — starves the driver's analysis
+//!   budget at several levels; every degraded plan the anytime pipeline
+//!   produces must stay detection-equivalent to the MSan baseline.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -50,16 +57,24 @@ pub enum FaultInjection {
     /// Strip every runtime check from the guided plans (synthetic
     /// unsoundness; the harness must catch it).
     DropChecks,
+    /// Corrupt the driver's artifact cache in place; the pipeline must
+    /// detect the damage, heal, and produce an identical plan.
+    CacheCorrupt,
+    /// Starve the driver's analysis budget; the degraded plans must stay
+    /// detection-equivalent to the MSan baseline.
+    BudgetExhaust,
 }
 
 impl FaultInjection {
     /// Every mode, for sweeps.
-    pub const ALL: [FaultInjection; 5] = [
+    pub const ALL: [FaultInjection; 7] = [
         FaultInjection::None,
         FaultInjection::FuelExhaustion,
         FaultInjection::CacheEviction,
         FaultInjection::TrapForcing,
         FaultInjection::DropChecks,
+        FaultInjection::CacheCorrupt,
+        FaultInjection::BudgetExhaust,
     ];
 
     /// Stable CLI/telemetry tag.
@@ -70,6 +85,8 @@ impl FaultInjection {
             FaultInjection::CacheEviction => "cache-evict",
             FaultInjection::TrapForcing => "trap-force",
             FaultInjection::DropChecks => "drop-checks",
+            FaultInjection::CacheCorrupt => "cache-corrupt",
+            FaultInjection::BudgetExhaust => "budget-exhaust",
         }
     }
 
@@ -161,6 +178,13 @@ pub fn differential(
     }
 
     let opts = fault.options();
+    if fault == FaultInjection::BudgetExhaust {
+        // Degraded plans legitimately differ from the core analysis' (that
+        // is the whole point of graceful degradation), so the usual
+        // driver-vs-core cross-check is replaced by a pairwise
+        // detection-equivalence oracle against the MSan baseline.
+        return budget_exhaust_differential(src, &m, &opts);
+    }
     let native = run(&m, None, &opts);
     let mut runs = Vec::with_capacity(Config::ALL.len());
     let mut core_fingerprints = Vec::new();
@@ -184,13 +208,7 @@ pub fn differential(
     // DropChecks the guided plans are intentionally different, so the
     // driver comparison would only report our own sabotage.
     if driver_check && fault != FaultInjection::DropChecks {
-        cross_check_driver(
-            src,
-            threads,
-            fault == FaultInjection::CacheEviction,
-            &core_fingerprints,
-            &mut mismatches,
-        );
+        cross_check_driver(src, threads, fault, &core_fingerprints, &mut mismatches);
     }
     DiffResult {
         outcome,
@@ -208,13 +226,105 @@ fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Budget-exhaustion differential: the driver's plan under several levels
+/// of analysis starvation, each compared pairwise against the MSan
+/// baseline via [`classify`]'s rules 1 and 3–5. Budget 0 forces the
+/// whole-module fallback, the middle rungs mix per-function fallback with
+/// guided functions, and the last rung usually completes cleanly.
+fn budget_exhaust_differential(src: &str, m: &usher_ir::Module, opts: &RunOptions) -> DiffResult {
+    let msan_plan = run_config(m, Config::MSAN).plan;
+    let native = run(m, None, opts);
+    let msan_run = run(m, Some(&msan_plan), opts);
+    let mut outcome = None;
+    let mut mismatches = Vec::new();
+    for steps in [0u64, 64, 1024, 16_384] {
+        let popts = PipelineOptions::from_config(Config::USHER).with_budget_steps(Some(steps));
+        let name = format!("Usher[budget={steps}]");
+        match Pipeline::new()
+            .without_cache()
+            .run_source("fuzz", src, popts)
+        {
+            Ok(r) => {
+                let oracle = OracleRuns {
+                    src: src.to_string(),
+                    native: native.clone(),
+                    runs: vec![
+                        ("MSan".to_string(), msan_run.clone()),
+                        (name, run(m, Some(&r.plan), opts)),
+                    ],
+                };
+                let (o, ms) = classify(&oracle);
+                outcome.get_or_insert(o);
+                mismatches.extend(ms);
+            }
+            Err(e) => mismatches.push(Mismatch {
+                kind: MismatchKind::PlanDivergence,
+                config: name,
+                detail: format!("starved driver errored instead of degrading: {e}"),
+            }),
+        }
+    }
+    DiffResult {
+        outcome: outcome.unwrap_or(Outcome::CompileError),
+        mismatches,
+    }
+}
+
+/// Self-healing probe: warm a private cache, corrupt it in place, rerun,
+/// and require an identical plan plus a counted recovery. `undetectable`
+/// instead swaps in forged entries whose digests still verify — the probe
+/// must then report the divergence, the self-test proving the fingerprint
+/// comparison (not luck) is what guards the cache.
+fn cache_corruption_probe(
+    src: &str,
+    popts: &PipelineOptions,
+    cfg: &str,
+    undetectable: bool,
+    mismatches: &mut Vec<Mismatch>,
+) {
+    let pipe = Pipeline::new();
+    let Ok(warm) = pipe.run_source("fuzz", src, popts.clone()) else {
+        return; // compile errors are classified elsewhere
+    };
+    let tampered = if undetectable {
+        pipe.corrupt_cache_undetectably()
+    } else {
+        pipe.corrupt_cache()
+    };
+    if tampered == 0 {
+        return;
+    }
+    match pipe.run_source("fuzz", src, popts.clone()) {
+        Ok(healed) => {
+            if plan_fingerprint(&healed.plan) != plan_fingerprint(&warm.plan) {
+                mismatches.push(Mismatch {
+                    kind: MismatchKind::PlanDivergence,
+                    config: cfg.to_string(),
+                    detail: "plan changed after in-place cache corruption".to_string(),
+                });
+            } else if pipe.cache_stats().corrupt_recovered == 0 {
+                mismatches.push(Mismatch {
+                    kind: MismatchKind::PlanDivergence,
+                    config: cfg.to_string(),
+                    detail: "cache corruption went unnoticed by the integrity check".to_string(),
+                });
+            }
+        }
+        Err(e) => mismatches.push(Mismatch {
+            kind: MismatchKind::PlanDivergence,
+            config: cfg.to_string(),
+            detail: format!("pipeline failed after cache corruption: {e}"),
+        }),
+    }
+}
+
 /// The driver must produce the same plan as the core analysis for every
-/// preset, at any thread count, with the cache on, off, or evicted
-/// mid-sequence.
+/// preset, at any thread count, with the cache on, off, evicted
+/// mid-sequence, or corrupted in place.
 fn cross_check_driver(
     src: &str,
     threads: usize,
-    evict: bool,
+    fault: FaultInjection,
     core_fingerprints: &[(&'static str, String)],
     mismatches: &mut Vec<Mismatch>,
 ) {
@@ -249,7 +359,10 @@ fn cross_check_driver(
                 }),
             }
         }
-        if evict {
+        if fault == FaultInjection::CacheCorrupt {
+            cache_corruption_probe(src, &popts, cfg, false, mismatches);
+        }
+        if fault == FaultInjection::CacheEviction {
             // Cache-poisoning probe: warm the cache, evict it, and require
             // the rebuilt artifacts to fingerprint identically.
             let pipe = Pipeline::new();
@@ -337,5 +450,89 @@ mod tests {
         let d = differential("def main( {", FaultInjection::None, 2, true);
         assert_eq!(d.outcome, Outcome::CompileError);
         assert!(d.mismatches.is_empty());
+    }
+
+    #[test]
+    fn fault_names_round_trip_through_parse() {
+        for f in FaultInjection::ALL {
+            assert_eq!(FaultInjection::parse(f.name()), Some(f));
+        }
+        assert_eq!(FaultInjection::parse("bogus"), None);
+    }
+
+    #[test]
+    fn budget_exhaust_keeps_degraded_plans_sound() {
+        for seed in 0..3u64 {
+            let src = generate(seed, GenConfig::default());
+            let d = differential(&src, FaultInjection::BudgetExhaust, 2, false);
+            assert!(d.mismatches.is_empty(), "seed {seed}: {:?}", d.mismatches);
+            assert!(matches!(d.outcome, Outcome::Clean | Outcome::Buggy(_)));
+        }
+    }
+
+    #[test]
+    fn budget_exhaust_oracle_catches_sabotaged_degraded_plans() {
+        // Drop-checks-style self-test: the degraded-plan oracle is only
+        // trustworthy if it can see unsoundness. Strip every check from a
+        // fully starved run's plan on a buggy program and require the
+        // classifier to report the missed detections.
+        for seed in 0..64u64 {
+            let src = generate(seed, GenConfig::default());
+            let clean = differential(&src, FaultInjection::None, 2, false);
+            if !matches!(clean.outcome, Outcome::Buggy(_)) {
+                continue;
+            }
+            let m = compile_o0im(&src).expect("corpus program compiles");
+            let opts = run_options();
+            let msan_plan = run_config(&m, Config::MSAN).plan;
+            let popts = PipelineOptions::from_config(Config::USHER).with_budget_steps(Some(0));
+            let r = Pipeline::new()
+                .without_cache()
+                .run_source("fuzz", &src, popts)
+                .expect("starved driver degrades instead of failing");
+            let mut sabotaged = (*r.plan).clone();
+            strip_checks(&mut sabotaged);
+            let oracle = OracleRuns {
+                src: src.clone(),
+                native: run(&m, None, &opts),
+                runs: vec![
+                    ("MSan".to_string(), run(&m, Some(&msan_plan), &opts)),
+                    (
+                        "Usher[degraded,stripped]".to_string(),
+                        run(&m, Some(&sabotaged), &opts),
+                    ),
+                ],
+            };
+            let (_, mismatches) = classify(&oracle);
+            assert!(
+                mismatches
+                    .iter()
+                    .any(|m| m.kind == MismatchKind::MissedDetection),
+                "seed {seed}: sabotaged degraded plan went unnoticed: {mismatches:?}"
+            );
+            return;
+        }
+        panic!("no buggy seed in 0..64 — generator regressed?");
+    }
+
+    #[test]
+    fn cache_corrupt_fault_heals_on_corpus_programs() {
+        let src = generate(1, GenConfig::default());
+        let d = differential(&src, FaultInjection::CacheCorrupt, 2, true);
+        assert!(d.mismatches.is_empty(), "{:?}", d.mismatches);
+    }
+
+    #[test]
+    fn undetectable_cache_corruption_is_flagged_as_divergence() {
+        let src = generate(1, GenConfig::default());
+        let popts = PipelineOptions::from_config(Config::USHER);
+        let mut mismatches = Vec::new();
+        cache_corruption_probe(&src, &popts, "Usher", true, &mut mismatches);
+        assert!(
+            mismatches
+                .iter()
+                .any(|m| m.kind == MismatchKind::PlanDivergence),
+            "forged cache entry must surface as plan divergence: {mismatches:?}"
+        );
     }
 }

@@ -1,0 +1,206 @@
+//! Cooperative step budgets for the anytime analysis pipeline.
+//!
+//! The fixpoint loops in the pointer solver, memory-SSA construction,
+//! VFG building and definedness resolution are the places a pathological
+//! module can make the static analysis spin. A [`Budget`] lets the
+//! driver bound that work: the hot loops call [`Budget::charge`] with
+//! the number of abstract steps they are about to perform and bail out
+//! with [`Exhausted`] when the allowance runs dry, leaving the driver to
+//! degrade to the always-sound full-instrumentation plan instead of
+//! hanging.
+//!
+//! Design constraints, in order:
+//!
+//! * **The unlimited budget must cost nothing.** [`Budget::unlimited`]
+//!   carries no state at all; `charge` on it is one predictable branch,
+//!   so threading a budget through the hot loops cannot perturb the
+//!   benchmarked unbudgeted behavior.
+//! * **Exhaustion is sticky.** Once a charge fails, every later charge
+//!   fails too, so a stage that checks the budget only at loop heads
+//!   still terminates promptly even when helpers elsewhere keep
+//!   charging.
+//! * **Shared across threads.** One budget covers a whole pipeline run;
+//!   parallel shards (per-function memory SSA, for example) charge the
+//!   same pool through relaxed atomics — the limit is a bound, not an
+//!   exact accounting, and a few steps of overshoot are fine.
+//!
+//! The optional wall-clock deadline is deliberately *not* checked by
+//! `charge` (a syscall per worklist pop would dominate the loop); the
+//! driver polls [`Budget::deadline_exceeded`] at stage boundaries.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Error type for budgeted computations: the step allowance ran out.
+///
+/// Deliberately a unit struct — exhaustion carries no blame; the driver
+/// knows which stage it handed the budget to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exhausted;
+
+impl std::fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("analysis step budget exhausted")
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
+#[derive(Debug)]
+struct BudgetInner {
+    limit: u64,
+    spent: AtomicU64,
+    exhausted: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cooperative step counter with an optional wall-clock deadline.
+///
+/// Cloning is cheap and shares the pool: all clones charge the same
+/// counter.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    inner: Option<Arc<BudgetInner>>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never exhausts and never expires. Charging it is a
+    /// single branch — no atomics are touched.
+    pub fn unlimited() -> Budget {
+        Budget { inner: None }
+    }
+
+    /// A budget of `steps` abstract analysis steps.
+    pub fn limited(steps: u64) -> Budget {
+        Budget::new(Some(steps), None)
+    }
+
+    /// A budget with an optional step limit and an optional wall-clock
+    /// deadline (measured from now). `new(None, None)` is
+    /// [`Budget::unlimited`].
+    pub fn new(steps: Option<u64>, deadline: Option<Duration>) -> Budget {
+        if steps.is_none() && deadline.is_none() {
+            return Budget::unlimited();
+        }
+        Budget {
+            inner: Some(Arc::new(BudgetInner {
+                limit: steps.unwrap_or(u64::MAX),
+                spent: AtomicU64::new(0),
+                exhausted: AtomicBool::new(false),
+                deadline: deadline.map(|d| Instant::now() + d),
+            })),
+        }
+    }
+
+    /// Whether this budget can ever exhaust (step limit or deadline).
+    pub fn is_limited(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Charges `n` steps. Returns `false` — permanently, for every
+    /// later call too — once the cumulative charge exceeds the limit.
+    #[inline]
+    pub fn charge(&self, n: u64) -> bool {
+        let Some(inner) = &self.inner else {
+            return true;
+        };
+        if inner.exhausted.load(Ordering::Relaxed) {
+            return false;
+        }
+        let before = inner.spent.fetch_add(n, Ordering::Relaxed);
+        if before.saturating_add(n) > inner.limit {
+            inner.exhausted.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Charges `n` steps, mapping exhaustion to [`Exhausted`] so hot
+    /// loops can use `?`.
+    #[inline]
+    pub fn try_charge(&self, n: u64) -> Result<(), Exhausted> {
+        if self.charge(n) {
+            Ok(())
+        } else {
+            Err(Exhausted)
+        }
+    }
+
+    /// Steps charged so far (0 for the unlimited budget).
+    pub fn spent(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.spent.load(Ordering::Relaxed).min(i.limit))
+    }
+
+    /// Whether a charge has already failed.
+    pub fn is_exhausted(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.exhausted.load(Ordering::Relaxed))
+    }
+
+    /// Whether the wall-clock deadline has passed. Reads the clock, so
+    /// callers should poll this at stage boundaries only.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.deadline)
+            .is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        for _ in 0..1000 {
+            assert!(b.charge(u64::MAX / 2));
+        }
+        assert_eq!(b.spent(), 0);
+        assert!(!b.is_exhausted());
+        assert!(!b.deadline_exceeded());
+    }
+
+    #[test]
+    fn limited_budget_exhausts_and_stays_exhausted() {
+        let b = Budget::limited(10);
+        assert!(b.charge(6));
+        assert!(b.charge(4));
+        assert!(!b.charge(1), "11th step must fail");
+        assert!(!b.charge(0), "exhaustion is sticky even for free charges");
+        assert!(b.is_exhausted());
+        assert_eq!(b.spent(), 10, "spent is clamped to the limit");
+        assert_eq!(b.try_charge(1), Err(Exhausted));
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let a = Budget::limited(4);
+        let b = a.clone();
+        assert!(a.charge(2));
+        assert!(b.charge(2));
+        assert!(!a.charge(1));
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn elapsed_deadline_is_observed_without_affecting_steps() {
+        let b = Budget::new(None, Some(Duration::from_secs(0)));
+        assert!(b.is_limited());
+        assert!(b.deadline_exceeded());
+        // The deadline is polled, never charged: steps still flow.
+        assert!(b.charge(100));
+    }
+}

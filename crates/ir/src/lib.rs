@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod builder;
 pub mod cfg;
 pub mod dom;
@@ -47,6 +48,7 @@ pub mod text;
 pub mod types;
 pub mod verify;
 
+pub use budget::{Budget, Exhausted};
 pub use builder::FuncBuilder;
 pub use cfg::Cfg;
 pub use dom::DomTree;

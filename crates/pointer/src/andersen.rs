@@ -11,8 +11,8 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use usher_ir::{
-    Callee, FuncId, FxHashMap, FxHashSet, GepOffset, Idx, Inst, Module, ObjId, Operand, Site,
-    Terminator, VarId,
+    Budget, Callee, Exhausted, FuncId, FxHashMap, FxHashSet, GepOffset, Idx, Inst, Module, ObjId,
+    Operand, Site, Terminator, VarId,
 };
 
 use crate::callgraph::{CallGraph, LoopInfo};
@@ -175,14 +175,57 @@ impl PointerAnalysis {
             _ => 0,
         }
     }
+
+    /// A stable structural checksum of the analysis result, used by the
+    /// driver's self-healing artifact cache to detect corruption. Hash
+    /// maps are drained through explicit sorts so the digest never
+    /// depends on iteration order.
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = usher_ir::FxHasher::default();
+        let mut vars: Vec<_> = self.var_pts.iter().collect();
+        vars.sort_by_key(|(&k, _)| k);
+        for ((f, v), ts) in vars {
+            h.write_usize(f.index());
+            h.write_usize(v.index());
+            ts.hash(&mut h);
+        }
+        let mut mems: Vec<_> = self.mem_pts.iter().collect();
+        mems.sort_by_key(|(&l, _)| l);
+        for (l, ts) in mems {
+            h.write_usize(l.obj.index());
+            h.write_u32(l.field);
+            ts.hash(&mut h);
+        }
+        let mut objs: Vec<usize> = self.concrete_objects.iter().map(|o| o.index()).collect();
+        objs.sort_unstable();
+        objs.hash(&mut h);
+        h.write_usize(self.stats.nodes);
+        h.write_usize(self.stats.pops);
+        h.write_usize(self.stats.merges);
+        h.finish()
+    }
 }
 
 /// Runs the analysis over a module.
 pub fn analyze(m: &Module) -> PointerAnalysis {
+    analyze_budgeted(m, &Budget::unlimited()).expect("unlimited budgets never exhaust")
+}
+
+/// Runs the analysis under a cooperative step budget: one step per
+/// worklist pop. On exhaustion the partial fixpoint is discarded — a
+/// partial points-to solution *under*-approximates and must never feed
+/// the guided planner — and the caller is expected to degrade to full
+/// instrumentation.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget runs out before the fixpoint.
+pub fn analyze_budgeted(m: &Module, budget: &Budget) -> Result<PointerAnalysis, Exhausted> {
     let mut s = Solver::new(m);
     s.seed();
-    s.solve();
-    s.finish()
+    s.solve(budget)?;
+    Ok(s.finish())
 }
 
 /// Cell-class representatives per object, shared by both solvers.
@@ -876,8 +919,9 @@ impl<'m> Solver<'m> {
 
     // ---- solving ---------------------------------------------------------
 
-    fn solve(&mut self) {
+    fn solve(&mut self, budget: &Budget) -> Result<(), Exhausted> {
         while let Some(n) = self.worklist.pop_front() {
+            budget.try_charge(1)?;
             let n = self.find(n);
             self.in_wl[n as usize] = false;
             let delta = std::mem::take(&mut self.delta[n as usize]);
@@ -943,6 +987,7 @@ impl<'m> Solver<'m> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Tarjan over a CSR snapshot of the (representative-resolved)

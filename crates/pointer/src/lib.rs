@@ -29,7 +29,7 @@ pub mod callgraph;
 pub mod pts;
 pub mod reference;
 
-pub use andersen::{analyze, Loc, PointerAnalysis, SolverStats};
+pub use andersen::{analyze, analyze_budgeted, Loc, PointerAnalysis, SolverStats};
 pub use callgraph::{CallGraph, LoopInfo};
 pub use pts::PtsSet;
 pub use reference::analyze_reference;

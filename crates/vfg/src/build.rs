@@ -31,8 +31,8 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use usher_ir::{
-    Callee, Cfg, DomTree, ExtFunc, FuncId, GepOffset, Idx, Inst, Module, Operand, Site, Terminator,
-    VarId,
+    Budget, Callee, Cfg, DomTree, Exhausted, ExtFunc, FuncId, GepOffset, Idx, Inst, Module,
+    Operand, Site, Terminator, VarId,
 };
 use usher_pointer::{Loc, PointerAnalysis};
 
@@ -469,6 +469,22 @@ pub fn build(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, mode: VfgMode) -> Vf
 
 /// Builds the VFG with explicit options.
 pub fn build_with(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, opts: BuildOpts) -> Vfg {
+    build_with_budgeted(m, pa, ms, opts, &Budget::unlimited())
+        .expect("unlimited budgets never exhaust")
+}
+
+/// Budgeted VFG construction: charges one step per instruction visited.
+///
+/// On exhaustion the partially built graph is discarded — a VFG missing
+/// edges *under*-approximates value flow, so no partial result is sound
+/// to keep. The driver falls back to full instrumentation instead.
+pub fn build_with_budgeted(
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    opts: BuildOpts,
+    budget: &Budget,
+) -> Result<Vfg, Exhausted> {
     let mode = opts.mode;
     let mut b = Builder::new(m, ms);
 
@@ -514,9 +530,11 @@ pub fn build_with(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, opts: BuildOpts
                 continue;
             }
             for (idx, inst) in block.insts.iter().enumerate() {
+                budget.try_charge(1)?;
                 let site = Site::new(fid, bb, idx);
                 build_inst(&mut b, m, pa, ms, fid, site, inst, opts, &dt, &alloc_chis);
             }
+            budget.try_charge(1)?;
             let term_site = Site::new(fid, bb, block.insts.len());
             match &block.term {
                 Terminator::Br { cond, .. } => {
@@ -526,7 +544,7 @@ pub fn build_with(m: &Module, pa: &PointerAnalysis, ms: &MemSsa, opts: BuildOpts
             }
         }
     }
-    b.finish(mode)
+    Ok(b.finish(mode))
 }
 
 fn op_node(b: &mut Builder, f: FuncId, op: Operand) -> u32 {

@@ -18,13 +18,15 @@ pub mod printer;
 pub mod reference;
 
 pub use build::{
-    build, build_with, BuildOpts, Check, CheckKind, EdgeKind, NodeKind, Vfg, VfgMode, VfgStats,
+    build, build_with, build_with_budgeted, BuildOpts, Check, CheckKind, EdgeKind, NodeKind, Vfg,
+    VfgMode, VfgStats,
 };
 pub use condense::Condensation;
 pub use csr::Csr;
 pub use memssa::{
-    build as build_memssa, build_function_ssa, modref_summaries, ChiDef, FuncMemSsa, MemDef,
-    MemDefKind, MemSsa, MemVerId, ModRef, MuUse, RegionPhi,
+    build as build_memssa, build_function_ssa, build_function_ssa_budgeted, modref_summaries,
+    modref_summaries_budgeted, ChiDef, FuncMemSsa, MemDef, MemDefKind, MemSsa, MemVerId, ModRef,
+    MuUse, RegionPhi,
 };
 pub use printer::{print_annotated, print_module_annotated};
 pub use reference::{build_reference, build_with_reference, RefVfg};

@@ -20,7 +20,8 @@
 use std::collections::{HashMap, HashSet};
 
 use usher_ir::{
-    BlockId, Callee, Cfg, DomTree, ExtFunc, FuncId, Idx, Inst, Module, ObjKind, Site, Terminator,
+    BlockId, Budget, Callee, Cfg, DomTree, Exhausted, ExtFunc, FuncId, Idx, Inst, Module, ObjKind,
+    Site, Terminator,
 };
 use usher_pointer::{Loc, PointerAnalysis};
 
@@ -134,6 +135,21 @@ pub struct ModRef {
 
 /// Computes the [`ModRef`] summaries for every function.
 pub fn modref_summaries(m: &Module, pa: &PointerAnalysis) -> ModRef {
+    modref_summaries_budgeted(m, pa, &Budget::unlimited()).expect("unlimited budgets never exhaust")
+}
+
+/// [`modref_summaries`] under a cooperative step budget: one step per
+/// call-edge visit of the interprocedural fixpoint.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget runs out; a partial summary
+/// under-approximates mod/ref sets and must be discarded.
+pub fn modref_summaries_budgeted(
+    m: &Module,
+    pa: &PointerAnalysis,
+    budget: &Budget,
+) -> Result<ModRef, Exhausted> {
     let mut mods: HashMap<FuncId, HashSet<Loc>> = HashMap::new();
     let mut refs: HashMap<FuncId, HashSet<Loc>> = HashMap::new();
     for f in m.funcs.indices() {
@@ -178,6 +194,7 @@ pub fn modref_summaries(m: &Module, pa: &PointerAnalysis) -> ModRef {
                 let sites: Vec<Site> = call_sites(m, f);
                 for site in sites {
                     for &g in pa.call_graph.callees_of(site) {
+                        budget.try_charge(1)?;
                         let callee_mods: Vec<Loc> = mods[&g]
                             .iter()
                             .copied()
@@ -204,7 +221,7 @@ pub fn modref_summaries(m: &Module, pa: &PointerAnalysis) -> ModRef {
             }
         }
     }
-    ModRef { mods, refs }
+    Ok(ModRef { mods, refs })
 }
 
 /// Builds memory SSA for one function given precomputed [`ModRef`]
@@ -217,10 +234,28 @@ pub fn build_function_ssa(
     fid: FuncId,
     modref: &ModRef,
 ) -> Option<FuncMemSsa> {
+    build_function_ssa_budgeted(m, pa, fid, modref, &Budget::unlimited())
+        .expect("unlimited budgets never exhaust")
+}
+
+/// [`build_function_ssa`] under a cooperative step budget: one step per
+/// instruction visited during placement and renaming.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget runs out; the partial SSA form
+/// must be discarded.
+pub fn build_function_ssa_budgeted(
+    m: &Module,
+    pa: &PointerAnalysis,
+    fid: FuncId,
+    modref: &ModRef,
+    budget: &Budget,
+) -> Result<Option<FuncMemSsa>, Exhausted> {
     if m.funcs[fid].blocks.is_empty() {
-        return None;
+        return Ok(None);
     }
-    Some(build_function(m, pa, fid, &modref.mods, &modref.refs))
+    build_function(m, pa, fid, &modref.mods, &modref.refs, budget).map(Some)
 }
 
 /// Builds memory SSA for every function (sequential reference wiring;
@@ -260,7 +295,8 @@ fn build_function(
     fid: FuncId,
     mods: &HashMap<FuncId, HashSet<Loc>>,
     refs: &HashMap<FuncId, HashSet<Loc>>,
-) -> FuncMemSsa {
+    budget: &Budget,
+) -> Result<FuncMemSsa, Exhausted> {
     let func = &m.funcs[fid];
     let cfg = Cfg::compute(func);
     let dt = DomTree::compute(func, &cfg);
@@ -293,6 +329,7 @@ fn build_function(
             continue;
         }
         for (idx, inst) in block.insts.iter().enumerate() {
+            budget.try_charge(1)?;
             let site = Site::new(fid, bb, idx);
             match inst {
                 Inst::Load { addr, .. } => {
@@ -415,6 +452,7 @@ fn build_function(
             continue;
         }
         visited[bb.index()] = true;
+        budget.try_charge(1 + func.blocks[bb].insts.len() as u64)?;
 
         if let Some(phis) = fs.phis.get(&bb) {
             for p in phis {
@@ -486,7 +524,7 @@ fn build_function(
         }
     }
 
-    fs
+    Ok(fs)
 }
 
 #[cfg(test)]

@@ -26,6 +26,26 @@ echo "==> fuzz smoke"
 ./target/release/usher fuzz --smoke --fault fuel
 ./target/release/usher fuzz --seeds 6 --mutants 10 --frontend --no-minimize
 
+echo "==> degradation smoke"
+# Graceful degradation gate (DESIGN.md §10): the fault-injected fuzz
+# campaigns must classify clean, a starved CLI run must degrade — not
+# die — and say so in its telemetry, an injected stage panic must be
+# contained the same way, and --strict must turn the degradation into a
+# hard failure.
+./target/release/usher fuzz --smoke --fault budget-exhaust
+./target/release/usher fuzz --smoke --fault cache-corrupt
+DEG_TC=$(mktemp) && DEG_JSON=$(mktemp)
+./target/release/usher gen --seed 37 --helpers 16 --stmts 12 > "$DEG_TC"
+./target/release/usher analyze "$DEG_TC" --budget-steps 500 --no-cache --report > /dev/null 2> "$DEG_JSON"
+grep -q '"reason":"budget-exhausted"' "$DEG_JSON"
+./target/release/usher analyze "$DEG_TC" --inject-panic resolve --no-cache --report > /dev/null 2> "$DEG_JSON"
+grep -q '"reason":"stage-panic"' "$DEG_JSON"
+if ./target/release/usher analyze "$DEG_TC" --budget-steps 500 --no-cache --strict > /dev/null 2>&1; then
+    echo "error: --strict must fail on an exhausted budget" >&2
+    exit 1
+fi
+rm -f "$DEG_TC" "$DEG_JSON"
+
 echo "==> bench smoke"
 sh scripts/bench.sh --quick
 

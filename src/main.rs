@@ -7,6 +7,7 @@
 //! usher ir <file.tc>                  dump the O0+IM IR
 //! usher dis <file.tc>                 dump parseable IR text (.uir)
 //! usher vfg <file.tc>                 dump the value-flow graph as DOT
+//! usher gen [--seed N] [...]          generate a synthetic TinyC workload
 //! usher fuzz [--smoke] [...]          differential fuzzing campaign
 //! ```
 //!
@@ -18,12 +19,19 @@
 //! worker pool, `--no-cache` to disable artifact caching, and `--report`
 //! to print per-stage JSON telemetry on stderr.
 //!
+//! Degradation knobs (see DESIGN.md §10): `--budget-steps <n>` caps the
+//! analysis step budget, `--deadline-ms <n>` adds a wall-clock deadline,
+//! `--strict` turns sound degradations into errors, and
+//! `--inject-panic <stage>` panics inside the named stage's containment
+//! region (testing hook).
+//!
 //! `usher fuzz` runs a deterministic differential campaign: generated
 //! programs (and their mutants) executed natively, under the MSan
 //! baseline plan and under every guided preset, with results classified
 //! against the ground truth. `--smoke` is the fixed CI gate; `--seeds`,
 //! `--start`, `--mutants`, `--frontend`, `--fault none|fuel|cache-evict|
-//! trap-force|drop-checks`, `--threads`, `--no-minimize`, `--report FILE`
+//! trap-force|drop-checks|cache-corrupt|budget-exhaust`, `--threads`,
+//! `--no-minimize`, `--report FILE`
 //! (JSONL telemetry) and `--out DIR` (minimized reproducers) shape ad-hoc
 //! campaigns. Exit code 1 means the campaign found at least one mismatch.
 //!
@@ -43,7 +51,8 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("usher: {msg}");
             eprintln!();
-            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--no-cache] [--report]");
+            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--no-cache] [--report] [--budget-steps N] [--deadline-ms N] [--strict] [--inject-panic STAGE]");
+            eprintln!("       usher gen [--seed N] [--helpers N] [--stmts N]");
             eprintln!("       usher fuzz [--smoke] [--seeds N] [--start N] [--mutants N] [--frontend] [--fault MODE] [--threads N] [--no-minimize] [--report FILE] [--out DIR]");
             ExitCode::from(2)
         }
@@ -54,6 +63,9 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     if args.first().map(String::as_str) == Some("fuzz") {
         return fuzz_command(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("gen") {
+        return gen_command(&args[1..]);
+    }
     let mut cmd = None;
     let mut file = None;
     let mut config = Config::USHER;
@@ -62,6 +74,10 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let mut threads = None;
     let mut use_cache = true;
     let mut report = false;
+    let mut budget_steps = None;
+    let mut deadline_ms = None;
+    let mut strict = false;
+    let mut inject_panic = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -102,6 +118,19 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
             }
             "--no-cache" => use_cache = false,
             "--report" => report = true,
+            "--budget-steps" => {
+                let v = it.next().ok_or("--budget-steps needs a value")?;
+                budget_steps = Some(v.parse::<u64>().map_err(|_| format!("bad budget {v}"))?);
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                deadline_ms = Some(v.parse::<u64>().map_err(|_| format!("bad deadline {v}"))?);
+            }
+            "--strict" => strict = true,
+            "--inject-panic" => {
+                let v = it.next().ok_or("--inject-panic needs a stage name")?;
+                inject_panic = Some(v.clone());
+            }
             _ if cmd.is_none() => cmd = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
             other => return Err(format!("unexpected argument {other}")),
@@ -124,7 +153,12 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     if !use_cache {
         pipe = pipe.without_cache();
     }
-    let options = PipelineOptions::from_config(config).at_level(level);
+    let options = PipelineOptions::from_config(config)
+        .at_level(level)
+        .with_budget_steps(budget_steps)
+        .with_deadline_ms(deadline_ms)
+        .strict(strict)
+        .with_inject_panic(inject_panic);
     let analyze = |opts: PipelineOptions| -> Result<PipelineRun, String> {
         let pr = pipe
             .run(&file, source.clone(), opts)
@@ -247,6 +281,38 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// `usher gen`: print a deterministic synthetic TinyC workload to
+/// stdout — the same generator the fuzz and bench ladders use, exposed
+/// so shell harnesses (e.g. the CI degradation gate) can materialize a
+/// program of a chosen size without a checked-in fixture.
+fn gen_command(args: &[String]) -> Result<ExitCode, String> {
+    use usher::workloads::{generate, ladder_config};
+
+    let mut seed = 1u64;
+    let mut helpers = 6usize;
+    let mut stmts = 40usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--helpers" => {
+                let v = it.next().ok_or("--helpers needs a value")?;
+                helpers = v.parse().map_err(|_| format!("bad helper count {v}"))?;
+            }
+            "--stmts" => {
+                let v = it.next().ok_or("--stmts needs a value")?;
+                stmts = v.parse().map_err(|_| format!("bad statement count {v}"))?;
+            }
+            other => return Err(format!("unexpected gen argument {other}")),
+        }
+    }
+    print!("{}", generate(seed, ladder_config(helpers, stmts)));
+    Ok(ExitCode::SUCCESS)
+}
+
 fn fuzz_command(args: &[String]) -> Result<ExitCode, String> {
     use usher::fuzz::{run_campaign, CampaignConfig, FaultInjection};
 
@@ -278,7 +344,7 @@ fn fuzz_command(args: &[String]) -> Result<ExitCode, String> {
             "--fault" => {
                 let v = it.next().ok_or("--fault needs a value")?;
                 cfg.fault = FaultInjection::parse(v).ok_or_else(|| {
-                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks)")
+                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks|cache-corrupt|budget-exhaust)")
                 })?;
             }
             "--threads" => {

@@ -1,0 +1,166 @@
+//! Property tests for graceful degradation over the workload ladder.
+//!
+//! The anytime pipeline may be starved of budget or sabotaged with
+//! injected stage panics, but whatever plan it produces must be:
+//!
+//! 1. detection-equivalent to the MSan baseline (rules 1 and 3–5 of the
+//!    fuzzing classifier applied pairwise — degradation never costs a
+//!    detection and never invents one);
+//! 2. priced between the guided plan and full instrumentation in every
+//!    static cost metric (degradation pays for soundness with cost, never
+//!    with precision beyond the full plan's);
+//! 3. honestly labelled — per-function [`PlanProvenance`] plus degrade
+//!    events in the report — and byte-identical to the unbudgeted plan
+//!    whenever the budget never actually bit.
+
+use usher::core::{run_config, Config, PlanProvenance};
+use usher::driver::{plan_fingerprint, Pipeline, PipelineOptions};
+use usher::fuzz::classify::{classify, Outcome};
+use usher::fuzz::oracle::{run_options, OracleRuns};
+use usher::fuzz::{differential, FaultInjection};
+use usher::runtime::run;
+use usher::workloads::{generate, ladder_config, SEED_LADDER};
+
+#[test]
+fn ladder_degraded_plans_are_detection_equivalent_to_msan() {
+    // The budget-exhaust injector sweeps starvation levels from
+    // whole-module fallback to (usually) a clean completion; every rung
+    // of the ladder must classify mismatch-free at every level.
+    for &(seed, helpers, stmts) in &SEED_LADDER[..3] {
+        let src = generate(seed, ladder_config(helpers, stmts));
+        let d = differential(&src, FaultInjection::BudgetExhaust, 2, false);
+        assert!(
+            d.mismatches.is_empty(),
+            "rung seed {seed}: {:?}",
+            d.mismatches
+        );
+        assert!(matches!(d.outcome, Outcome::Clean | Outcome::Buggy(_)));
+    }
+}
+
+#[test]
+fn degraded_plan_cost_is_bounded_by_guided_and_full() {
+    let (seed, helpers, stmts) = SEED_LADDER[1];
+    let src = generate(seed, ladder_config(helpers, stmts));
+    let pipe = Pipeline::new().without_cache();
+    let guided = pipe
+        .run_source("guided", &src, PipelineOptions::from_config(Config::USHER))
+        .unwrap();
+    let full = pipe
+        .run_source("full", &src, PipelineOptions::from_config(Config::MSAN))
+        .unwrap();
+    for steps in [0u64, 32, 256, 2048, 65_536] {
+        let opts = PipelineOptions::from_config(Config::USHER).with_budget_steps(Some(steps));
+        let d = pipe.run_source("degraded", &src, opts).unwrap();
+        for (name, lo, got, hi) in [
+            (
+                "checks",
+                guided.plan.stats.checks,
+                d.plan.stats.checks,
+                full.plan.stats.checks,
+            ),
+            (
+                "propagations",
+                guided.plan.stats.propagations,
+                d.plan.stats.propagations,
+                full.plan.stats.propagations,
+            ),
+            (
+                "ops",
+                guided.plan.stats.ops,
+                d.plan.stats.ops,
+                full.plan.stats.ops,
+            ),
+        ] {
+            assert!(
+                lo <= got && got <= hi,
+                "budget {steps}: {name} {got} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn provenance_and_determinism_across_budgets() {
+    let (seed, helpers, stmts) = SEED_LADDER[0];
+    let src = generate(seed, ladder_config(helpers, stmts));
+    let pipe = Pipeline::new().without_cache();
+    let unlimited = pipe
+        .run_source("u", &src, PipelineOptions::from_config(Config::USHER))
+        .unwrap();
+    assert!(unlimited.report.degrade_events.is_empty());
+    assert!(unlimited
+        .plan
+        .provenance
+        .values()
+        .all(|p| *p == PlanProvenance::Guided));
+
+    // A budget that never bites must not perturb the plan at all.
+    let huge = pipe
+        .run_source(
+            "h",
+            &src,
+            PipelineOptions::from_config(Config::USHER).with_budget_steps(Some(u64::MAX)),
+        )
+        .unwrap();
+    assert_eq!(
+        plan_fingerprint(&huge.plan),
+        plan_fingerprint(&unlimited.plan)
+    );
+    assert!(huge.report.degrade_events.is_empty());
+
+    // A starved run must say so in both the plan and the report.
+    let starved = pipe
+        .run_source(
+            "s",
+            &src,
+            PipelineOptions::from_config(Config::USHER).with_budget_steps(Some(1)),
+        )
+        .unwrap();
+    assert!(!starved.report.degrade_events.is_empty());
+    assert!(starved
+        .plan
+        .provenance
+        .values()
+        .any(|p| *p == PlanProvenance::FallbackFull));
+    assert!(starved.report.functions_degraded > 0);
+    assert!(starved.report.functions_degraded <= starved.report.functions_total);
+}
+
+#[test]
+fn injected_stage_panics_never_cost_detections() {
+    let (seed, helpers, stmts) = SEED_LADDER[0];
+    let src = generate(seed, ladder_config(helpers, stmts));
+    let m = usher::frontend::compile_o0im(&src).unwrap();
+    let opts = run_options();
+    let native = run(&m, None, &opts);
+    let msan = run_config(&m, Config::MSAN);
+    for stage in ["pointer", "memssa", "vfg", "resolve", "instrument"] {
+        let popts =
+            PipelineOptions::from_config(Config::USHER).with_inject_panic(Some(stage.to_string()));
+        let r = Pipeline::new()
+            .without_cache()
+            .run_source("p", &src, popts)
+            .unwrap();
+        assert!(
+            r.report
+                .degrade_events
+                .iter()
+                .any(|e| e.reason == "stage-panic"),
+            "{stage}: panic was not reported"
+        );
+        let oracle = OracleRuns {
+            src: src.clone(),
+            native: native.clone(),
+            runs: vec![
+                ("MSan".to_string(), run(&m, Some(&msan.plan), &opts)),
+                (
+                    format!("Usher[panic@{stage}]"),
+                    run(&m, Some(&r.plan), &opts),
+                ),
+            ],
+        };
+        let (_, mismatches) = classify(&oracle);
+        assert!(mismatches.is_empty(), "{stage}: {mismatches:?}");
+    }
+}
