@@ -534,6 +534,8 @@ impl Pipeline {
             budget_spent: budget.spent(),
             budget_limit: options.budget_steps,
             cache_corrupt_recovered: ctx.corrupt_recovered,
+            request_id: None,
+            session_id: None,
         };
 
         Ok(PipelineRun {

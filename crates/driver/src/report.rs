@@ -124,6 +124,12 @@ pub struct PipelineReport {
     /// Cache entries found corrupt and transparently recomputed during
     /// this run.
     pub cache_corrupt_recovered: usize,
+    /// Originating request, when the run was issued by a serve-protocol
+    /// client. Interleaved concurrent-client records in one telemetry
+    /// stream are attributed through this pair.
+    pub request_id: Option<String>,
+    /// Originating serve session, when one exists.
+    pub session_id: Option<u64>,
 }
 
 /// Escapes a string for inclusion in JSON output. Public so every
@@ -174,6 +180,12 @@ impl PipelineReport {
             self.cache_hits,
             self.cache_misses,
         );
+        if let Some(rid) = &self.request_id {
+            let _ = write!(s, ",\"request_id\":\"{}\"", esc(rid));
+        }
+        if let Some(sid) = self.session_id {
+            let _ = write!(s, ",\"session_id\":{sid}");
+        }
         let _ = write!(s, ",\"stages\":[");
         for (i, st) in self.stages.iter().enumerate() {
             let _ = write!(
@@ -326,6 +338,22 @@ mod tests {
         let opens = line.matches('{').count();
         let closes = line.matches('}').count();
         assert_eq!(opens, closes, "{line}");
+    }
+
+    #[test]
+    fn request_and_session_ids_render_when_present() {
+        let anonymous = PipelineReport::default().to_json_line();
+        assert!(!anonymous.contains("request_id"), "{anonymous}");
+        assert!(!anonymous.contains("session_id"), "{anonymous}");
+        let r = PipelineReport {
+            request_id: Some("req-42".into()),
+            session_id: Some(7),
+            ..Default::default()
+        };
+        let line = r.to_json_line();
+        assert!(line.contains("\"request_id\":\"req-42\""), "{line}");
+        assert!(line.contains("\"session_id\":7"), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 
     #[test]

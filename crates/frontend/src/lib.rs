@@ -34,7 +34,9 @@ use std::fmt;
 
 use usher_ir::{mem2reg, optimize, run_inline, InlinePolicy, Module, OptLevel};
 
-pub use lower::LowerError;
+pub use lower::{
+    lower_program, relower_function, LowerEnv, LowerError, RelowerBlocked, RelowerError,
+};
 pub use parser::ParseError;
 
 /// Any front-end failure: lexing, parsing or lowering.

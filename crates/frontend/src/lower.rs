@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use usher_ir::{
-    BinOp, BlockId, Callee, ExtFunc, FuncBuilder, FuncId, Module, ObjKind, Operand, Type, TypeId,
-    UnOp, VarId,
+    BinOp, BlockId, Callee, ExtFunc, FuncBuilder, FuncId, Idx, Module, ObjKind, Operand, Type,
+    TypeId, UnOp, VarId,
 };
 
 use crate::ast::*;
@@ -45,6 +45,84 @@ fn err<T>(line: u32, message: impl Into<String>) -> Result<T> {
     })
 }
 
+/// Name-resolution state retained after lowering so that single
+/// functions can later be relowered in place (the serve subsystem's
+/// incremental edit path). Owns the maps that [`lower`] builds
+/// transiently.
+#[derive(Clone, Debug)]
+pub struct LowerEnv {
+    /// Struct name -> interned struct id.
+    pub struct_ids: HashMap<String, usher_ir::StructId>,
+    /// Global name -> (object, value type).
+    pub globals: HashMap<String, (usher_ir::ObjId, TypeId)>,
+    /// Function name -> (id, parameter types, return type).
+    pub funcs: HashMap<String, (FuncId, Vec<TypeId>, Option<TypeId>)>,
+    /// Per-function `[lo, hi)` ranges in the module object table claimed
+    /// by each body's allocations, indexed by `FuncId`. Globals live
+    /// below every range.
+    pub obj_ranges: Vec<(usize, usize)>,
+}
+
+impl LowerEnv {
+    fn as_env(&self) -> Env<'_> {
+        Env {
+            struct_ids: &self.struct_ids,
+            globals: &self.globals,
+            funcs: &self.funcs,
+        }
+    }
+}
+
+/// Why [`relower_function`] refused to splice an edit in place. None of
+/// these are user errors — they mean the edit's effects are not confined
+/// to one function body, so the caller must fall back to a full
+/// recompile. The variant name is recorded as fallback provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelowerBlocked {
+    /// The new definition's name is not a function of the module.
+    UnknownFunction,
+    /// Parameter or return types differ from the declared signature.
+    SignatureChanged,
+    /// The new body interned a type the module had never seen.
+    NewTypes,
+    /// The new body allocates a different number of objects, which would
+    /// shift every later object id in the module table.
+    ObjectCountChanged,
+}
+
+impl fmt::Display for RelowerBlocked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelowerBlocked::UnknownFunction => "unknown-function",
+            RelowerBlocked::SignatureChanged => "signature-changed",
+            RelowerBlocked::NewTypes => "new-types",
+            RelowerBlocked::ObjectCountChanged => "object-count-changed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error from [`relower_function`]: either a semantic error in the new
+/// body or a soundness gate that forces a full recompile.
+#[derive(Clone, Debug)]
+pub enum RelowerError {
+    /// The body itself is ill-formed.
+    Lower(LowerError),
+    /// The edit is not confined to the function body.
+    Blocked(RelowerBlocked),
+}
+
+impl fmt::Display for RelowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelowerError::Lower(e) => e.fmt(f),
+            RelowerError::Blocked(b) => write!(f, "relower blocked: {b}"),
+        }
+    }
+}
+
+impl std::error::Error for RelowerError {}
+
 /// Lowers a parsed program into an IR module.
 ///
 /// # Errors
@@ -52,6 +130,16 @@ fn err<T>(line: u32, message: impl Into<String>) -> Result<T> {
 /// Returns the first semantic error (unknown names, type mismatches,
 /// arity errors, invalid lvalues...).
 pub fn lower(prog: &Program) -> Result<Module> {
+    lower_program(prog).map(|(m, _)| m)
+}
+
+/// [`lower`], additionally returning the [`LowerEnv`] needed to relower
+/// individual functions later.
+///
+/// # Errors
+///
+/// Same as [`lower`].
+pub fn lower_program(prog: &Program) -> Result<(Module, LowerEnv)> {
     let mut m = Module::new();
 
     // --- Pass 1: struct names (so self-referential pointers resolve).
@@ -124,16 +212,20 @@ pub fn lower(prog: &Program) -> Result<Module> {
     }
 
     // --- Lower bodies.
-    let env = Env {
-        struct_ids: &struct_ids,
-        globals: &globals,
-        funcs: &funcs,
+    let env = LowerEnv {
+        struct_ids,
+        globals,
+        funcs,
+        obj_ranges: Vec::new(),
     };
+    let mut obj_ranges = Vec::with_capacity(prog.funcs.len());
+    let env_view = env.as_env();
     for f in &prog.funcs {
-        let (fid, ptys, ret) = funcs[&f.name].clone();
+        let (fid, ptys, ret) = env.funcs[&f.name].clone();
+        let lo = m.objects.len();
         let mut lw = Lowerer {
             b: FuncBuilder::new(&mut m, fid),
-            env: &env,
+            env: &env_view,
             scopes: vec![HashMap::new()],
             loops: Vec::new(),
             ret_ty: ret,
@@ -141,10 +233,93 @@ pub fn lower(prog: &Program) -> Result<Module> {
         };
         lw.lower_func(f, &ptys)?;
         lw.b.finish();
+        obj_ranges.push((lo, m.objects.len()));
     }
 
     m.main = m.func_by_name("main");
-    Ok(m)
+    let env = LowerEnv { obj_ranges, ..env };
+    Ok((m, env))
+}
+
+/// Relowers one function body in place from a fresh definition, leaving
+/// every other function, global, type and object slot of the module
+/// untouched. The new body's allocations are spliced into the exact
+/// object-table range the old body occupied, so a module relowered this
+/// way is structurally identical to a cold lowering of the edited
+/// source.
+///
+/// # Errors
+///
+/// [`RelowerError::Lower`] on a semantic error in the new body;
+/// [`RelowerError::Blocked`] when the edit is not confined to the body
+/// (signature change, new interned types, or a changed allocation
+/// count). On error the module is left in an unspecified state — callers
+/// must operate on a scratch clone.
+pub fn relower_function(
+    m: &mut Module,
+    env: &LowerEnv,
+    def: &FuncDef,
+) -> std::result::Result<(), RelowerError> {
+    let Some((fid, ptys, ret)) = env.funcs.get(&def.name).cloned() else {
+        return Err(RelowerError::Blocked(RelowerBlocked::UnknownFunction));
+    };
+    let types_before = m.types.len();
+
+    // --- Signature gate: re-resolve the declared types and demand exact
+    // equality with the retained declaration. (Resolution may intern a
+    // type the module never had; that also lands here, via the id
+    // mismatch or the type-count gate below.)
+    if def.params.len() != ptys.len() {
+        return Err(RelowerError::Blocked(RelowerBlocked::SignatureChanged));
+    }
+    let new_ret = match &def.ret {
+        Some(t) => {
+            Some(resolve_type(m, &env.struct_ids, t, def.line).map_err(RelowerError::Lower)?)
+        }
+        None => None,
+    };
+    if new_ret != ret {
+        return Err(RelowerError::Blocked(RelowerBlocked::SignatureChanged));
+    }
+    for ((pt, _), want) in def.params.iter().zip(ptys.iter()) {
+        let got = resolve_type(m, &env.struct_ids, pt, def.line).map_err(RelowerError::Lower)?;
+        if got != *want {
+            return Err(RelowerError::Blocked(RelowerBlocked::SignatureChanged));
+        }
+    }
+    if m.types.len() != types_before {
+        return Err(RelowerError::Blocked(RelowerBlocked::NewTypes));
+    }
+
+    // --- Splice the object table: free the old body's slots, keep the
+    // tail (objects of later functions) aside, relower into the gap.
+    let (lo, hi) = env.obj_ranges[fid.index()];
+    let tail: Vec<_> = m.objects.raw()[hi..].to_vec();
+    m.objects.truncate(lo);
+
+    let env_view = env.as_env();
+    let mut lw = Lowerer {
+        b: FuncBuilder::new(m, fid),
+        env: &env_view,
+        scopes: vec![HashMap::new()],
+        loops: Vec::new(),
+        ret_ty: ret,
+        fid,
+    };
+    let lowered = lw.lower_func(def, &ptys);
+    lw.b.finish();
+    lowered.map_err(RelowerError::Lower)?;
+
+    if m.objects.len() != hi {
+        return Err(RelowerError::Blocked(RelowerBlocked::ObjectCountChanged));
+    }
+    if m.types.len() != types_before {
+        return Err(RelowerError::Blocked(RelowerBlocked::NewTypes));
+    }
+    for o in tail {
+        m.objects.push(o);
+    }
+    Ok(())
 }
 
 fn resolve_type(

@@ -147,6 +147,13 @@ impl<I: Idx, T> IdxVec<I, T> {
     pub fn raw(&self) -> &[T] {
         &self.raw
     }
+
+    /// Shortens the vector to its first `len` elements. Used by the
+    /// incremental relowering splice, which truncates a function's object
+    /// slots, relowers into them, and re-appends the saved tail.
+    pub fn truncate(&mut self, len: usize) {
+        self.raw.truncate(len);
+    }
 }
 
 impl<I: Idx, T> Default for IdxVec<I, T> {

@@ -9,7 +9,7 @@
 //! "1-callsite-sensitive heap cloning applied to allocation wrapper
 //! functions" without a context-sensitive object naming scheme.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::ids::{BlockId, FuncId, Idx, VarId};
 use crate::module::{Block, Callee, Function, Inst, Module, ObjKind, Operand, Terminator};
@@ -49,9 +49,32 @@ pub struct InlineStats {
     pub heap_clones: usize,
 }
 
+/// Which functions the inliner touched or could have touched, cumulative
+/// over every fixpoint round. The serve engine's incremental edit path
+/// consults this: a function outside `involved` was neither an inline
+/// candidate in any round nor had code inlined into it, so its
+/// post-inline body is its raw lowered body and a body edit to it cannot
+/// change any *other* function's post-inline body.
+#[derive(Clone, Debug, Default)]
+pub struct InlineTrace {
+    /// Union of every round's target set plus every caller that had a
+    /// call site inlined into it.
+    pub involved: HashSet<FuncId>,
+    /// Union of every round's target set only (functions whose bodies
+    /// were candidates for being copied into callers).
+    pub targets: HashSet<FuncId>,
+}
+
 /// Runs the inliner to a bounded fixpoint.
 pub fn run_inline(m: &mut Module, policy: InlinePolicy) -> InlineStats {
+    run_inline_traced(m, policy).0
+}
+
+/// [`run_inline`], additionally reporting which functions participated
+/// (see [`InlineTrace`]).
+pub fn run_inline_traced(m: &mut Module, policy: InlinePolicy) -> (InlineStats, InlineTrace) {
     let mut stats = InlineStats::default();
+    let mut trace = InlineTrace::default();
     let budget = m.inst_count().saturating_mul(policy.max_growth).max(4000);
 
     for _round in 0..6 {
@@ -59,11 +82,13 @@ pub fn run_inline(m: &mut Module, policy: InlinePolicy) -> InlineStats {
         if targets.is_empty() {
             break;
         }
+        trace.targets.extend(targets.keys().copied());
+        trace.involved.extend(targets.keys().copied());
         let mut any = false;
         for caller in m.funcs.indices().collect::<Vec<_>>() {
             loop {
                 if m.inst_count() > budget {
-                    return stats;
+                    return (stats, trace);
                 }
                 let Some((bb, idx, callee)) = find_inlinable_call(m, caller, &targets) else {
                     break;
@@ -71,6 +96,7 @@ pub fn run_inline(m: &mut Module, policy: InlinePolicy) -> InlineStats {
                 let s = inline_one(m, caller, bb, idx, callee);
                 stats.sites_inlined += 1;
                 stats.heap_clones += s;
+                trace.involved.insert(caller);
                 any = true;
             }
         }
@@ -78,36 +104,48 @@ pub fn run_inline(m: &mut Module, policy: InlinePolicy) -> InlineStats {
             break;
         }
     }
-    stats
+    (stats, trace)
+}
+
+/// Whether `fid` satisfies the default policy's target predicate on the
+/// current module state (see [`select_targets`]). Evaluated by the serve
+/// engine against a freshly relowered body to decide whether the edit
+/// could draw the inliner in.
+pub fn is_inline_target(m: &Module, fid: FuncId) -> bool {
+    target_predicate(m, fid, &m.funcs[fid], InlinePolicy::default())
 }
 
 fn select_targets(m: &Module, policy: InlinePolicy) -> HashMap<FuncId, ()> {
     let mut targets = HashMap::new();
     for (fid, f) in m.funcs.iter_enumerated() {
-        if Some(fid) == m.main || f.blocks.is_empty() {
-            continue;
-        }
-        if f.inst_count() > policy.max_callee_insts {
-            continue;
-        }
-        if is_directly_recursive(f, fid) {
-            continue;
-        }
-        let has_fnptr_param = f.params.iter().any(|p| {
-            matches!(
-                m.types.get(f.vars[*p].ty),
-                crate::types::Type::FuncPtr { .. }
-            )
-        });
-        let is_wrapper = f.ret_ty.is_some_and(|t| m.types.is_pointer(t))
-            && f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-                matches!(i, Inst::Alloc { obj, .. } if matches!(m.objects[*obj].kind, ObjKind::Heap(_)))
-            });
-        if (policy.fnptr_params && has_fnptr_param) || (policy.alloc_wrappers && is_wrapper) {
+        if target_predicate(m, fid, f, policy) {
             targets.insert(fid, ());
         }
     }
     targets
+}
+
+fn target_predicate(m: &Module, fid: FuncId, f: &Function, policy: InlinePolicy) -> bool {
+    if Some(fid) == m.main || f.blocks.is_empty() {
+        return false;
+    }
+    if f.inst_count() > policy.max_callee_insts {
+        return false;
+    }
+    if is_directly_recursive(f, fid) {
+        return false;
+    }
+    let has_fnptr_param = f.params.iter().any(|p| {
+        matches!(
+            m.types.get(f.vars[*p].ty),
+            crate::types::Type::FuncPtr { .. }
+        )
+    });
+    let is_wrapper = f.ret_ty.is_some_and(|t| m.types.is_pointer(t))
+        && f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Alloc { obj, .. } if matches!(m.objects[*obj].kind, ObjKind::Heap(_)))
+        });
+    (policy.fnptr_params && has_fnptr_param) || (policy.alloc_wrappers && is_wrapper)
 }
 
 fn is_directly_recursive(f: &Function, fid: FuncId) -> bool {

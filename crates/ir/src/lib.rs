@@ -54,14 +54,16 @@ pub use cfg::Cfg;
 pub use dom::DomTree;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{BlockId, FuncId, Idx, IdxVec, ObjId, StructId, TypeId, VarId};
-pub use inline::{run_inline, InlinePolicy, InlineStats};
+pub use inline::{
+    is_inline_target, run_inline, run_inline_traced, InlinePolicy, InlineStats, InlineTrace,
+};
 pub use module::{
     BinOp, Block, Callee, ExtFunc, Function, GepOffset, Inst, Module, ObjKind, ObjectData, Operand,
     Site, Terminator, UnOp, VarData,
 };
 pub use opt::{optimize, OptLevel};
 pub use printer::{function as print_function, module as print_module};
-pub use ssa::{mem2reg, Mem2RegStats};
+pub use ssa::{mem2reg, mem2reg_function, Mem2RegStats};
 pub use text::{parse_text, write_text, TextError};
 pub use types::{CellKind, Layout, StructDef, Type, TypeTable};
 pub use verify::{verify, VerifyError};

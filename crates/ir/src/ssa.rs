@@ -42,6 +42,14 @@ pub fn mem2reg(m: &mut Module) -> Mem2RegStats {
     total
 }
 
+/// Runs `mem2reg` over a single function. Promotion is per-function (it
+/// reads only the function body and the module's object table), so the
+/// incremental serve path can promote one relowered body and leave every
+/// other function's SSA form untouched.
+pub fn mem2reg_function(m: &mut Module, fid: FuncId) -> Mem2RegStats {
+    promote_function(m, fid)
+}
+
 fn promote_function(m: &mut Module, fid: FuncId) -> Mem2RegStats {
     remove_unreachable_blocks(&mut m.funcs[fid]);
     let mut stats = Mem2RegStats::default();

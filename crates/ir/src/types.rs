@@ -125,6 +125,18 @@ impl TypeTable {
         self.structs[id].fields = fields;
     }
 
+    /// Number of interned types. The incremental relowering path
+    /// snapshots this to detect when an edit would have interned a new
+    /// type (which invalidates retained type-indexed state).
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether no types are interned (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
     /// Number of registered structs.
     pub fn num_structs(&self) -> usize {
         self.structs.len()

@@ -1,0 +1,1600 @@
+//! The persistent analysis engine behind `usher serve`.
+//!
+//! An [`Engine`] owns the two-tier artifact cache (the driver's in-memory
+//! [`ArtifactCache`] in front of an optional on-disk
+//! [`DiskStore`]) and a set of sessions, one per analyzed program.
+//! Requests from any number of protocol clients are serialized onto the
+//! engine; the heavy per-function work inside a cold analysis still fans
+//! out over the driver thread pool.
+//!
+//! ## Incremental edits
+//!
+//! An `edit` replaces one function's body. The engine re-lowers just that
+//! function into a scratch copy of the retained module and then decides,
+//! by a set of conservative gates, whether the retained pointer analysis
+//! is still observably valid:
+//!
+//! - the re-lowering itself refuses signature changes, new interned
+//!   types, unknown functions and allocation-site count changes
+//!   ([`usher_frontend::RelowerBlocked`]);
+//! - the edited function must not participate in inlining: not inlined
+//!   into others before, not an inline target now, and not calling (or
+//!   taking the address of) any function involved in inlining;
+//! - a structural diff of the old and new post-`mem2reg` bodies must find
+//!   identical instruction variants, identical destinations and identical
+//!   pointer-relevant operands. Operands may differ only where they are
+//!   provably invisible to the points-to solver: non-pointer constants,
+//!   `undef`, or non-pointer variables with empty points-to and
+//!   function-target sets (such operands contribute no constraint edges,
+//!   so swapping them cannot change any points-to set);
+//! - the function's own allocation sites must keep their kind, type,
+//!   size and field classing (`name` and `zero_init` are exempt — the
+//!   solver ignores both, and `zero_init` only feeds the recomputed
+//!   slices of the edited function).
+//!
+//! If every gate passes, only the function's memory-SSA and VFG slice is
+//! recomputed — the VFG is re-assembled from the build tape recorded at
+//! cold analysis time — followed by the (global, but cheap) resolve and
+//! planning stages. Any gate failure falls back to a full recompute with
+//! the reason recorded in the response and the telemetry line; fallbacks
+//! are sound, never silent.
+//!
+//! Incremental results are *not* persisted to the store: the session
+//! retains them in memory, and only full analyses (which equal what a
+//! cold run would produce) populate the cache tiers.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use usher_core::{
+    guided_plan, redundant_check_elimination, Config, Gamma, GuidedOpts, Plan, PlanProvenance,
+};
+use usher_driver::{
+    default_threads, gamma_fingerprint, parallel_map, plan_fingerprint, Artifact, ArtifactCache,
+    CacheStats, DegradeEvent, GuidedKnobs, KeyWriter, PipelineOptions, PipelineReport, Stage,
+    StageTiming,
+};
+use usher_frontend::{
+    lower_program, parser, relower_function, LowerEnv, RelowerBlocked, RelowerError,
+};
+use usher_ir::{
+    is_inline_target, mem2reg, mem2reg_function, optimize, run_inline_traced, verify, Callee,
+    FuncId, GepOffset, Idx, InlinePolicy, InlineTrace, Inst, Module, ObjId, Operand, OptLevel,
+    Terminator,
+};
+use usher_pointer::PointerAnalysis;
+use usher_vfg::{
+    build_function_ssa, build_with_tape, modref_summaries, rebuild_with_tape, BuildOpts, MemSsa,
+    ModRef, Vfg, VfgMode, VfgTape,
+};
+
+use crate::codec;
+use crate::store::{DiskStats, DiskStore, StoreKind};
+
+/// Engine construction options.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Root of the on-disk store; `None` disables the disk tier.
+    pub store_dir: Option<PathBuf>,
+    /// Size cap of the disk tier in bytes (0 = uncapped).
+    pub store_cap_bytes: u64,
+    /// Worker threads for parallel per-function stages.
+    pub threads: usize,
+    /// `false` bypasses both cache tiers entirely (`--no-cache`).
+    pub use_cache: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            store_dir: None,
+            store_cap_bytes: 256 << 20,
+            threads: default_threads(),
+            use_cache: true,
+        }
+    }
+}
+
+/// Request counters since engine start.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Cold `analyze` requests (full pipeline ran).
+    pub analyzes_cold: u64,
+    /// Warm `analyze` requests (served entirely from the cache tiers).
+    pub analyzes_warm: u64,
+    /// Edits that took the function-granular incremental path.
+    pub edits_incremental: u64,
+    /// Edits that fell back to a full recompute.
+    pub edits_fallback: u64,
+    /// Requests rejected with a user error.
+    pub user_errors: u64,
+    /// Total functions recomputed across all edits.
+    pub functions_recomputed: u64,
+}
+
+/// Result of an `analyze` request.
+#[derive(Debug)]
+pub struct AnalyzeOutcome {
+    /// Session handle for subsequent `edit`/`query` requests.
+    pub session_id: u64,
+    /// `"cold"` or `"warm"`.
+    pub mode: &'static str,
+    /// Functions in the analyzed module.
+    pub functions_total: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Telemetry (request/session ids filled by the server).
+    pub report: PipelineReport,
+}
+
+/// Result of an `edit` request.
+#[derive(Debug)]
+pub struct EditOutcome {
+    /// Whether the function-granular incremental path was taken.
+    pub incremental: bool,
+    /// Why the edit fell back to a full recompute (`None` when
+    /// incremental).
+    pub fallback_reason: Option<&'static str>,
+    /// Functions whose analysis slices were recomputed.
+    pub functions_recomputed: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Telemetry.
+    pub report: PipelineReport,
+}
+
+/// Result of a `query` request.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Full plan fingerprint (deterministic rendering of all shadow ops).
+    pub plan_fingerprint: String,
+    /// Full gamma fingerprint.
+    pub gamma_fingerprint: String,
+    /// FNV digest of the plan fingerprint (compact protocol form).
+    pub plan_digest: u64,
+    /// FNV digest of the gamma fingerprint.
+    pub gamma_digest: u64,
+    /// `Bot` node count of the resolved gamma.
+    pub bot_nodes: usize,
+    /// Plan provenance counts `(full, guided, fallback)`.
+    pub provenance: (usize, usize, usize),
+    /// Total shadow operations in the plan.
+    pub ops: usize,
+    /// Runtime checks in the plan.
+    pub checks: usize,
+    /// Functions in the module.
+    pub functions_total: usize,
+    /// Edits applied to this session so far.
+    pub edits: u64,
+}
+
+/// Result of a `stats` request.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineStats {
+    /// Live sessions.
+    pub sessions: usize,
+    /// Request counters.
+    pub counters: Counters,
+    /// Memory-tier cache counters.
+    pub memory: CacheStats,
+    /// Disk-tier counters, when the disk tier is enabled.
+    pub disk: Option<DiskStats>,
+    /// Hits over lookups across both tiers (0.0 when no lookups yet).
+    pub warm_hit_ratio: f64,
+}
+
+/// One function's line span in the session source: `[start, end)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FnSpan {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Retained analysis state for incremental edits.
+struct Backend {
+    module: Module,
+    env: LowerEnv,
+    inline: InlineTrace,
+    pa: PointerAnalysis,
+    modref: ModRef,
+    memssa: MemSsa,
+    vfg: Vfg,
+    tape: VfgTape,
+    gamma: Arc<Gamma>,
+    redirected: usize,
+    plan: Arc<Plan>,
+}
+
+/// Warm sessions are reconstructed from cached artifacts only; the first
+/// edit promotes them to a full backend via a recorded fallback.
+enum SessionState {
+    Warm {
+        module: Arc<Module>,
+        gamma: Arc<Gamma>,
+        plan: Arc<Plan>,
+    },
+    Ready(Box<Backend>),
+}
+
+struct Session {
+    lines: Vec<String>,
+    spans: Vec<FnSpan>,
+    edits: u64,
+    state: SessionState,
+}
+
+/// The serve engine: sessions plus the two-tier artifact cache.
+pub struct Engine {
+    opts: PipelineOptions,
+    knobs: GuidedKnobs,
+    cache: ArtifactCache,
+    disk: Option<DiskStore>,
+    use_cache: bool,
+    threads: usize,
+    sessions: HashMap<u64, Session>,
+    next_session: u64,
+    counters: Counters,
+}
+
+/// Stable FNV key of a TinyC source text — identical to the driver's
+/// source keying, so serve cache entries interoperate with batch-driver
+/// entries for the same source and knobs.
+fn source_key(src: &str) -> u64 {
+    let mut k = KeyWriter::new("src-tinyc");
+    k.str(src);
+    k.finish()
+}
+
+fn fnv_digest(s: &str) -> u64 {
+    let mut k = KeyWriter::new("fingerprint");
+    k.str(s);
+    k.finish()
+}
+
+fn split_lines(src: &str) -> Vec<String> {
+    src.lines().map(String::from).collect()
+}
+
+/// Scans top-level `def` spans with a brace-depth line scanner.
+///
+/// TinyC has no string or character literals, so brace counting per line
+/// (minus `//` comments) is exact.
+fn scan_spans(lines: &[String]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut depth: i64 = 0;
+    let mut open: Option<(String, usize)> = None;
+    let mut opened_brace = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let line = raw.split("//").next().unwrap_or("");
+        let trimmed = line.trim_start();
+        if depth == 0 && open.is_none() {
+            if let Some(rest) = trimmed.strip_prefix("def ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    open = Some((name, i));
+                    opened_brace = false;
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened_brace = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth == 0 && opened_brace {
+            if let Some((name, start)) = open.take() {
+                spans.push(FnSpan {
+                    name,
+                    start,
+                    end: i + 1,
+                });
+            }
+            opened_brace = false;
+        }
+    }
+    spans
+}
+
+/// Whether a plan contains any budget-fallback provenance. Such plans
+/// must never reach the persistent store (they encode a degraded run,
+/// not the analysis of the source).
+pub fn plan_is_degraded(plan: &Plan) -> bool {
+    plan.provenance
+        .values()
+        .any(|p| matches!(p, PlanProvenance::FallbackFull))
+}
+
+struct Computed {
+    backend: Backend,
+    stages: Vec<StageTiming>,
+}
+
+/// An operand the points-to solver provably never looks at: swapping it
+/// for another such operand cannot change any points-to or
+/// function-target set (it contributes no constraint edges).
+fn operand_invisible_to_pa(m: &Module, pa: &PointerAnalysis, fid: FuncId, op: Operand) -> bool {
+    match op {
+        Operand::Const(_) | Operand::Undef => true,
+        Operand::Var(v) => {
+            let f = &m.funcs[fid];
+            !m.types.is_pointer(f.vars[v].ty)
+                && pa.pts_var(fid, v).is_empty()
+                && pa.fn_targets(fid, v).is_empty()
+        }
+        Operand::Global(_) | Operand::Func(_) => false,
+    }
+}
+
+impl Engine {
+    /// Builds an engine with the serve preset (the paper's `Usher`
+    /// configuration at `O0+IM`, labelled `serve`; the label is excluded
+    /// from cache keys, so entries interoperate with the batch driver).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the disk store directory cannot be opened.
+    pub fn new(cfg: EngineConfig) -> Result<Engine, String> {
+        let opts = PipelineOptions::from_config(Config::USHER)
+            .at_level(OptLevel::O0Im)
+            .labelled("serve");
+        let knobs = opts.guided.expect("USHER preset is guided");
+        let disk = match (&cfg.store_dir, cfg.use_cache) {
+            (Some(dir), true) => Some(
+                DiskStore::open(dir, cfg.store_cap_bytes)
+                    .map_err(|e| format!("cannot open store dir {}: {e}", dir.display()))?,
+            ),
+            _ => None,
+        };
+        Ok(Engine {
+            opts,
+            knobs,
+            cache: ArtifactCache::new(),
+            disk,
+            use_cache: cfg.use_cache,
+            threads: cfg.threads.max(1),
+            sessions: HashMap::new(),
+            next_session: 1,
+            counters: Counters::default(),
+        })
+    }
+
+    fn build_opts(&self) -> BuildOpts {
+        BuildOpts {
+            mode: self.knobs.mode,
+            semi_strong: self.knobs.semi_strong,
+        }
+    }
+
+    fn guided_opts(&self) -> GuidedOpts {
+        GuidedOpts {
+            opt1: self.knobs.opt1,
+            full_memory: self.knobs.mode == VfgMode::TlOnly,
+            bit_level: self.opts.bit_level,
+        }
+    }
+
+    // -- two-tier cache ------------------------------------------------
+
+    fn load_module(&self, key: u64) -> Option<Arc<Module>> {
+        if !self.use_cache {
+            return None;
+        }
+        if let (Some(Artifact::Module(m)), _) = self.cache.lookup_verified(key) {
+            return Some(m);
+        }
+        let payload = self.disk.as_ref()?.load(key, StoreKind::Module)?;
+        let m = Arc::new(codec::decode_module(&payload).ok()?);
+        self.cache.insert(key, Artifact::Module(m.clone()));
+        Some(m)
+    }
+
+    fn load_gamma(&self, key: u64) -> Option<(Arc<Gamma>, usize)> {
+        if !self.use_cache {
+            return None;
+        }
+        if let (Some(Artifact::Gamma(g, r)), _) = self.cache.lookup_verified(key) {
+            return Some((g, r));
+        }
+        let payload = self.disk.as_ref()?.load(key, StoreKind::Gamma)?;
+        let (g, r) = codec::decode_gamma(&payload).ok()?;
+        let g = Arc::new(g);
+        self.cache.insert(key, Artifact::Gamma(g.clone(), r));
+        Some((g, r))
+    }
+
+    fn load_plan(&self, key: u64) -> Option<Arc<Plan>> {
+        if !self.use_cache {
+            return None;
+        }
+        if let (Some(Artifact::Plan(p)), _) = self.cache.lookup_verified(key) {
+            return Some(p);
+        }
+        let payload = self.disk.as_ref()?.load(key, StoreKind::Plan)?;
+        let p = Arc::new(codec::decode_plan(&payload).ok()?);
+        self.cache.insert(key, Artifact::Plan(p.clone()));
+        Some(p)
+    }
+
+    /// Persists a completed full analysis into both tiers. Degraded
+    /// plans are refused (serve's unbudgeted runs cannot produce them,
+    /// but the invariant is enforced here, not assumed).
+    fn persist(&self, sk: u64, b: &Backend) {
+        if !self.use_cache || plan_is_degraded(&b.plan) {
+            return;
+        }
+        let g = self.knobs;
+        let fk = self.opts.frontend_key(sk);
+        let rk = self.opts.resolve_key(sk, &g);
+        let plk = self.opts.plan_key(sk);
+        let module = Arc::new(b.module.clone());
+        self.cache.insert(fk, Artifact::Module(module.clone()));
+        self.cache.insert(
+            self.opts.pointer_key(sk),
+            Artifact::Pointer(Arc::new(b.pa.clone())),
+        );
+        self.cache.insert(
+            self.opts.memssa_key(sk),
+            Artifact::MemSsa(Arc::new(b.memssa.clone())),
+        );
+        self.cache.insert(
+            self.opts.vfg_key(sk, &g),
+            Artifact::Vfg(Arc::new(b.vfg.clone())),
+        );
+        self.cache
+            .insert(rk, Artifact::Gamma(b.gamma.clone(), b.redirected));
+        self.cache.insert(plk, Artifact::Plan(b.plan.clone()));
+        if let Some(disk) = &self.disk {
+            disk.store(fk, StoreKind::Module, &codec::encode_module(&module));
+            disk.store(
+                rk,
+                StoreKind::Gamma,
+                &codec::encode_gamma(&b.gamma, b.redirected),
+            );
+            disk.store(plk, StoreKind::Plan, &codec::encode_plan(&b.plan));
+        }
+    }
+
+    // -- full pipeline -------------------------------------------------
+
+    /// Runs the full cold pipeline, mirroring the driver's stage order:
+    /// Parse → Lower → Inline → Mem2Reg → Opt → Pointer → MemSsa →
+    /// VfgBuild → Resolve → Instrument, with per-function memory SSA
+    /// fanned over the driver thread pool.
+    fn full_compute(&self, src: &str) -> Result<Computed, String> {
+        let mut stages = Vec::new();
+        macro_rules! timed {
+            ($stage:expr, $e:expr) => {{
+                let t = Instant::now();
+                let v = $e;
+                stages.push(StageTiming {
+                    stage: $stage,
+                    seconds: t.elapsed().as_secs_f64(),
+                    cached: false,
+                });
+                v
+            }};
+        }
+        let prog = timed!(Stage::Parse, parser::parse(src)).map_err(|e| e.to_string())?;
+        let (mut module, env) =
+            timed!(Stage::Lower, lower_program(&prog)).map_err(|e| e.to_string())?;
+        if let Err(errs) = verify(&module) {
+            return Err(format!("internal verification failure: {errs:?}"));
+        }
+        let (_, inline) = timed!(
+            Stage::Inline,
+            run_inline_traced(&mut module, InlinePolicy::default())
+        );
+        timed!(Stage::Mem2Reg, mem2reg(&mut module));
+        timed!(Stage::Opt, optimize(&mut module, self.opts.opt_level));
+        if let Err(errs) = verify(&module) {
+            return Err(format!("internal verification failure: {errs:?}"));
+        }
+        let pa = timed!(Stage::Pointer, usher_pointer::analyze(&module));
+        let (modref, memssa) = timed!(Stage::MemSsa, {
+            let modref = modref_summaries(&module, &pa);
+            let fids: Vec<FuncId> = module.funcs.indices().collect();
+            let built = parallel_map(self.threads, &fids, |fid| {
+                build_function_ssa(&module, &pa, *fid, &modref)
+            });
+            let mut ms = MemSsa::default();
+            for (fid, fs) in fids.into_iter().zip(built) {
+                if let Some(fs) = fs {
+                    ms.funcs.insert(fid, fs);
+                }
+            }
+            (modref, ms)
+        });
+        let (vfg, tape) = timed!(
+            Stage::VfgBuild,
+            build_with_tape(&module, &pa, &memssa, self.build_opts())
+        );
+        let out = timed!(
+            Stage::Resolve,
+            redundant_check_elimination(&module, &pa, &memssa, &vfg, self.knobs.context_depth)
+        );
+        let plan = timed!(
+            Stage::Instrument,
+            guided_plan(
+                &module,
+                &pa,
+                &memssa,
+                &vfg,
+                &out.gamma,
+                self.guided_opts(),
+                self.opts.label.clone(),
+            )
+        );
+        Ok(Computed {
+            backend: Backend {
+                module,
+                env,
+                inline,
+                pa,
+                modref,
+                memssa,
+                vfg,
+                tape,
+                gamma: Arc::new(out.gamma),
+                redirected: out.redirected,
+                plan: Arc::new(plan),
+            },
+            stages,
+        })
+    }
+
+    // -- telemetry -----------------------------------------------------
+
+    fn base_report(&self, workload: String, stages: Vec<StageTiming>) -> PipelineReport {
+        PipelineReport {
+            workload,
+            config: self.opts.label.clone(),
+            opt_level: format!("{:?}", self.opts.opt_level),
+            stages,
+            ..PipelineReport::default()
+        }
+    }
+
+    fn fill_backend_stats(report: &mut PipelineReport, b: &Backend) {
+        report.plan_stats = b.plan.stats;
+        report.vfg_stats = b.vfg.stats;
+        report.vfg_nodes = b.vfg.len();
+        report.bot_nodes = b.gamma.bot_count();
+        report.opt2_redirected = b.redirected;
+        report.solver_stats = b.pa.stats;
+        report.resolve_stats = b.gamma.stats;
+        let (_, _, fallback) = b.plan.provenance_counts();
+        report.functions_degraded = fallback;
+        report.functions_total = b.module.funcs.len();
+    }
+
+    // -- requests ------------------------------------------------------
+
+    /// Analyzes a program, creating a session. Serves entirely from the
+    /// cache tiers when module, gamma and plan are all present (`warm`);
+    /// otherwise runs the full pipeline (`cold`) and populates both
+    /// tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first front-end error for invalid source.
+    pub fn analyze(&mut self, src: &str) -> Result<AnalyzeOutcome, String> {
+        let start = Instant::now();
+        let lines = split_lines(src);
+        let canon = lines.join("\n");
+        let spans = scan_spans(&lines);
+        let sk = source_key(&canon);
+        let g = self.knobs;
+        let mem0 = self.cache.stats();
+        let disk0 = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
+
+        // Warm path: every persisted artifact of this source is present.
+        let warm = self.load_module(self.opts.frontend_key(sk)).and_then(|m| {
+            let (gamma, _) = self.load_gamma(self.opts.resolve_key(sk, &g))?;
+            let plan = self.load_plan(self.opts.plan_key(sk))?;
+            Some((m, gamma, plan))
+        });
+        let (state, mode, stages) = match warm {
+            Some((module, gamma, plan)) => {
+                self.counters.analyzes_warm += 1;
+                (
+                    SessionState::Warm {
+                        module,
+                        gamma,
+                        plan,
+                    },
+                    "warm",
+                    Vec::new(),
+                )
+            }
+            None => {
+                let computed = self.full_compute(&canon).inspect_err(|_| {
+                    self.counters.user_errors += 1;
+                })?;
+                self.persist(sk, &computed.backend);
+                self.counters.analyzes_cold += 1;
+                (
+                    SessionState::Ready(Box::new(computed.backend)),
+                    "cold",
+                    computed.stages,
+                )
+            }
+        };
+        let functions_total = match &state {
+            SessionState::Warm { module, .. } => module.funcs.len(),
+            SessionState::Ready(b) => b.module.funcs.len(),
+        };
+
+        let sid = self.next_session;
+        self.next_session += 1;
+        let mut report = self.base_report(format!("session-{sid}"), stages);
+        let mem1 = self.cache.stats();
+        let disk1 = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
+        report.cache_hits = mem1.hits - mem0.hits + (disk1.hits - disk0.hits) as usize;
+        report.cache_misses = mem1.misses - mem0.misses + (disk1.misses - disk0.misses) as usize;
+        report.cache_corrupt_recovered = mem1.corrupt_recovered - mem0.corrupt_recovered
+            + (disk1.corrupt_recovered - disk0.corrupt_recovered) as usize;
+        report.functions_total = functions_total;
+        if let SessionState::Ready(b) = &state {
+            Self::fill_backend_stats(&mut report, b);
+        }
+        report.total_seconds = start.elapsed().as_secs_f64();
+        self.sessions.insert(
+            sid,
+            Session {
+                lines,
+                spans,
+                edits: 0,
+                state,
+            },
+        );
+        Ok(AnalyzeOutcome {
+            session_id: sid,
+            mode,
+            functions_total,
+            seconds: start.elapsed().as_secs_f64(),
+            report,
+        })
+    }
+
+    /// Applies an edit: replaces (or appends) one function definition and
+    /// re-analyzes, incrementally when the gates allow it.
+    ///
+    /// # Errors
+    ///
+    /// User errors (unknown session, malformed or semantically invalid
+    /// new body) leave the session completely unchanged.
+    pub fn edit(&mut self, sid: u64, func: &str, body: &str) -> Result<EditOutcome, String> {
+        let start = Instant::now();
+        if !self.sessions.contains_key(&sid) {
+            self.counters.user_errors += 1;
+            return Err(format!("unknown session {sid}"));
+        }
+
+        // Parse and validate the replacement definition up front.
+        let mut stages = Vec::new();
+        let t = Instant::now();
+        let prog = match parser::parse(body) {
+            Ok(p) => p,
+            Err(e) => {
+                self.counters.user_errors += 1;
+                return Err(format!("edit body: {e}"));
+            }
+        };
+        stages.push(StageTiming {
+            stage: Stage::Parse,
+            seconds: t.elapsed().as_secs_f64(),
+            cached: false,
+        });
+        if !prog.structs.is_empty() || !prog.globals.is_empty() || prog.funcs.len() != 1 {
+            self.counters.user_errors += 1;
+            return Err("edit body must be exactly one function definition".to_string());
+        }
+        let def = &prog.funcs[0];
+        if def.name != func {
+            self.counters.user_errors += 1;
+            return Err(format!(
+                "edit names function {func:?} but body defines {:?}",
+                def.name
+            ));
+        }
+
+        // Candidate source text (not committed until the edit succeeds).
+        let session = &self.sessions[&sid];
+        let mut new_lines = session.lines.clone();
+        let body_lines = split_lines(body);
+        let span = session.spans.iter().find(|s| s.name == func).cloned();
+        let mut appended = false;
+        match &span {
+            Some(s) => {
+                new_lines.splice(s.start..s.end, body_lines);
+            }
+            None => {
+                appended = true;
+                new_lines.extend(body_lines);
+            }
+        }
+
+        // Everything the splice phase needs, gathered up front so the
+        // mutable session borrow below stays field-local.
+        let bopts = self.build_opts();
+        let gopts = self.guided_opts();
+        let depth = self.knobs.context_depth;
+        let label = self.opts.label.clone();
+
+        // Fast path: only for sessions with a retained backend and an
+        // in-place replacement.
+        let fallback_reason: &'static str = 'fast: {
+            if appended {
+                break 'fast "new-function";
+            }
+            let Session {
+                state: SessionState::Ready(b),
+                ..
+            } = &self.sessions[&sid]
+            else {
+                break 'fast "backend-cold";
+            };
+            let Some(fid) = b.env.funcs.get(func).map(|t| t.0) else {
+                break 'fast "unknown-function";
+            };
+            if b.inline.involved.contains(&fid) {
+                break 'fast "inline-involved";
+            }
+            let t = Instant::now();
+            let mut scratch = b.module.clone();
+            match relower_function(&mut scratch, &b.env, def) {
+                Ok(()) => {}
+                Err(RelowerError::Lower(e)) => {
+                    self.counters.user_errors += 1;
+                    return Err(format!("edit body: {e}"));
+                }
+                Err(RelowerError::Blocked(blocked)) => {
+                    break 'fast relower_reason(&blocked);
+                }
+            }
+            stages.push(StageTiming {
+                stage: Stage::Lower,
+                seconds: t.elapsed().as_secs_f64(),
+                cached: false,
+            });
+            if is_inline_target(&scratch, fid) {
+                break 'fast "inline-target";
+            }
+            if raw_body_references_involved(&scratch, fid, &b.inline) {
+                break 'fast "calls-inline-target";
+            }
+            let t = Instant::now();
+            mem2reg_function(&mut scratch, fid);
+            stages.push(StageTiming {
+                stage: Stage::Mem2Reg,
+                seconds: t.elapsed().as_secs_f64(),
+                cached: false,
+            });
+            if !function_diff_allows_pa_reuse(&b.module, &scratch, fid, &b.pa) {
+                break 'fast "pointer-structure-changed";
+            }
+            if !object_ranges_compatible(&b.module, &scratch, fid, &b.env) {
+                break 'fast "pointer-structure-changed";
+            }
+
+            // All gates passed: splice. The retained pointer analysis is
+            // observably identical on the new module (the diff admits no
+            // new constraint edges), which the debug build re-derives
+            // and asserts via the mod/ref summaries.
+            #[cfg(debug_assertions)]
+            {
+                let mr = modref_summaries(&scratch, &b.pa);
+                debug_assert_eq!(mr.mods, b.modref.mods, "gated edit must preserve mod sets");
+                debug_assert_eq!(mr.refs, b.modref.refs, "gated edit must preserve ref sets");
+            }
+
+            let session = self.sessions.get_mut(&sid).expect("checked above");
+            let SessionState::Ready(b) = &mut session.state else {
+                unreachable!("matched Ready above");
+            };
+            let t = Instant::now();
+            match build_function_ssa(&scratch, &b.pa, fid, &b.modref) {
+                Some(fs) => {
+                    b.memssa.funcs.insert(fid, fs);
+                }
+                None => {
+                    b.memssa.funcs.remove(&fid);
+                }
+            }
+            stages.push(StageTiming {
+                stage: Stage::MemSsa,
+                seconds: t.elapsed().as_secs_f64(),
+                cached: false,
+            });
+            let t = Instant::now();
+            let (vfg, tape) = rebuild_with_tape(&scratch, &b.pa, &b.memssa, bopts, &b.tape, fid);
+            b.vfg = vfg;
+            b.tape = tape;
+            stages.push(StageTiming {
+                stage: Stage::VfgBuild,
+                seconds: t.elapsed().as_secs_f64(),
+                cached: false,
+            });
+            let t = Instant::now();
+            let out = redundant_check_elimination(&scratch, &b.pa, &b.memssa, &b.vfg, depth);
+            b.gamma = Arc::new(out.gamma);
+            b.redirected = out.redirected;
+            stages.push(StageTiming {
+                stage: Stage::Resolve,
+                seconds: t.elapsed().as_secs_f64(),
+                cached: false,
+            });
+            let t = Instant::now();
+            let plan = guided_plan(&scratch, &b.pa, &b.memssa, &b.vfg, &b.gamma, gopts, label);
+            b.plan = Arc::new(plan);
+            stages.push(StageTiming {
+                stage: Stage::Instrument,
+                seconds: t.elapsed().as_secs_f64(),
+                cached: false,
+            });
+            b.module = scratch;
+            session.lines = new_lines;
+            session.spans = scan_spans(&session.lines);
+            session.edits += 1;
+            self.counters.edits_incremental += 1;
+            self.counters.functions_recomputed += 1;
+
+            let mut report = self.base_report(format!("session-{sid}"), stages);
+            if let SessionState::Ready(b) = &self.sessions[&sid].state {
+                Self::fill_backend_stats(&mut report, b);
+            }
+            report.total_seconds = start.elapsed().as_secs_f64();
+            return Ok(EditOutcome {
+                incremental: true,
+                fallback_reason: None,
+                functions_recomputed: 1,
+                seconds: start.elapsed().as_secs_f64(),
+                report,
+            });
+        };
+
+        // Sound fallback: full recompute of the edited source, with the
+        // reason recorded (honest provenance, never silent).
+        let canon = new_lines.join("\n");
+        let computed = match self.full_compute(&canon) {
+            Ok(c) => c,
+            Err(e) => {
+                // The edited program does not compile as a whole (e.g. a
+                // signature change whose callers were not updated): user
+                // error, session unchanged.
+                self.counters.user_errors += 1;
+                return Err(format!("edit body: {e}"));
+            }
+        };
+        self.persist(source_key(&canon), &computed.backend);
+        let functions_recomputed = computed.backend.module.funcs.len();
+        let mut report = self.base_report(format!("session-{sid}"), computed.stages);
+        Self::fill_backend_stats(&mut report, &computed.backend);
+        report.degrade_events.push(DegradeEvent {
+            stage: "serve-edit",
+            reason: fallback_reason,
+            detail: format!("full recompute of session {sid} after edit of {func:?}"),
+        });
+        let session = self.sessions.get_mut(&sid).expect("checked above");
+        session.state = SessionState::Ready(Box::new(computed.backend));
+        session.lines = new_lines;
+        session.spans = scan_spans(&session.lines);
+        session.edits += 1;
+        self.counters.edits_fallback += 1;
+        self.counters.functions_recomputed += functions_recomputed as u64;
+        report.total_seconds = start.elapsed().as_secs_f64();
+        Ok(EditOutcome {
+            incremental: false,
+            fallback_reason: Some(fallback_reason),
+            functions_recomputed,
+            seconds: start.elapsed().as_secs_f64(),
+            report,
+        })
+    }
+
+    /// Reads the current analysis results of a session.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sessions.
+    pub fn query(&self, sid: u64) -> Result<QueryOutcome, String> {
+        let session = self
+            .sessions
+            .get(&sid)
+            .ok_or_else(|| format!("unknown session {sid}"))?;
+        let (module, gamma, plan): (&Module, &Gamma, &Plan) = match &session.state {
+            SessionState::Warm {
+                module,
+                gamma,
+                plan,
+            } => (module, gamma, plan),
+            SessionState::Ready(b) => (&b.module, &b.gamma, &b.plan),
+        };
+        let pf = plan_fingerprint(plan);
+        let gf = gamma_fingerprint(gamma);
+        Ok(QueryOutcome {
+            plan_digest: fnv_digest(&pf),
+            gamma_digest: fnv_digest(&gf),
+            plan_fingerprint: pf,
+            gamma_fingerprint: gf,
+            bot_nodes: gamma.bot_count(),
+            provenance: plan.provenance_counts(),
+            ops: plan.stats.ops,
+            checks: plan.stats.checks,
+            functions_total: module.funcs.len(),
+            edits: session.edits,
+        })
+    }
+
+    /// Engine-wide statistics.
+    pub fn stats(&self) -> EngineStats {
+        let memory = self.cache.stats();
+        let disk = self.disk.as_ref().map(|d| d.stats());
+        let d = disk.unwrap_or_default();
+        let hits = memory.hits as u64 + d.hits;
+        let lookups = hits + memory.misses as u64 + d.misses;
+        EngineStats {
+            sessions: self.sessions.len(),
+            counters: self.counters,
+            memory,
+            disk,
+            warm_hit_ratio: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+        }
+    }
+
+    /// Drops a session, releasing its retained state.
+    pub fn close(&mut self, sid: u64) -> bool {
+        self.sessions.remove(&sid).is_some()
+    }
+
+    /// The session's current source text.
+    #[must_use]
+    pub fn session_source(&self, sid: u64) -> Option<String> {
+        self.sessions.get(&sid).map(|s| s.lines.join("\n"))
+    }
+}
+
+/// Maps a [`RelowerBlocked`] gate onto its static fallback-reason name.
+fn relower_reason(b: &RelowerBlocked) -> &'static str {
+    match b {
+        RelowerBlocked::UnknownFunction => "unknown-function",
+        RelowerBlocked::SignatureChanged => "signature-changed",
+        RelowerBlocked::NewTypes => "new-types",
+        RelowerBlocked::ObjectCountChanged => "object-count-changed",
+    }
+}
+
+/// Whether the freshly re-lowered (raw) body of `fid` calls, or takes the
+/// address of, any function involved in inlining. Such edits could change
+/// what the inliner would have done on a cold run, so they fall back.
+fn raw_body_references_involved(m: &Module, fid: FuncId, inline: &InlineTrace) -> bool {
+    let f = &m.funcs[fid];
+    let mut found = false;
+    for block in f.blocks.iter() {
+        for inst in &block.insts {
+            inst.for_each_use(|op| {
+                if let Operand::Func(g) = op {
+                    if inline.involved.contains(&g) {
+                        found = true;
+                    }
+                }
+            });
+            if let Inst::Call {
+                callee: Callee::Direct(g),
+                ..
+            } = inst
+            {
+                if inline.involved.contains(g) {
+                    found = true;
+                }
+            }
+        }
+        block.term.for_each_use(|op| {
+            if let Operand::Func(g) = op {
+                if inline.involved.contains(&g) {
+                    found = true;
+                }
+            }
+        });
+    }
+    found
+}
+
+/// Structural diff of the old and new post-`mem2reg` bodies of `fid`.
+///
+/// Returns `true` when the bodies are identical except for operands that
+/// are provably invisible to the points-to solver (see module docs) — in
+/// which case the retained [`PointerAnalysis`] (including its per-
+/// function loop info, since the CFG is required identical) remains
+/// observably valid for the new module.
+fn function_diff_allows_pa_reuse(
+    m_old: &Module,
+    m_new: &Module,
+    fid: FuncId,
+    pa: &PointerAnalysis,
+) -> bool {
+    let fo = &m_old.funcs[fid];
+    let fnew = &m_new.funcs[fid];
+    if fo.params != fnew.params || fo.entry != fnew.entry {
+        return false;
+    }
+    if fo.vars.len() != fnew.vars.len() {
+        return false;
+    }
+    for v in fo.vars.indices() {
+        if fo.vars[v].ty != fnew.vars[v].ty {
+            return false;
+        }
+    }
+    if fo.blocks.len() != fnew.blocks.len() {
+        return false;
+    }
+    // An operand pair is acceptable when equal, or when BOTH sides are
+    // invisible to the solver. The new side is judged through the old
+    // module's tables — valid because the var tables and types were just
+    // required equal.
+    let lax = |a: &Operand, b: &Operand| {
+        a == b
+            || (operand_invisible_to_pa(m_old, pa, fid, *a)
+                && operand_invisible_to_pa(m_old, pa, fid, *b))
+    };
+    for bb in fo.blocks.indices() {
+        let bo = &fo.blocks[bb];
+        let bn = &fnew.blocks[bb];
+        if bo.insts.len() != bn.insts.len() {
+            return false;
+        }
+        for (io, inew) in bo.insts.iter().zip(&bn.insts) {
+            if io == inew {
+                continue;
+            }
+            let ok = match (io, inew) {
+                (Inst::Copy { dst: d1, src: s1 }, Inst::Copy { dst: d2, src: s2 }) => {
+                    d1 == d2 && lax(s1, s2)
+                }
+                (
+                    Inst::Un {
+                        dst: d1,
+                        op: o1,
+                        src: s1,
+                    },
+                    Inst::Un {
+                        dst: d2,
+                        op: o2,
+                        src: s2,
+                    },
+                ) => d1 == d2 && o1 == o2 && lax(s1, s2),
+                (
+                    Inst::Bin {
+                        dst: d1,
+                        op: o1,
+                        lhs: l1,
+                        rhs: r1,
+                    },
+                    Inst::Bin {
+                        dst: d2,
+                        op: o2,
+                        lhs: l2,
+                        rhs: r2,
+                    },
+                ) => d1 == d2 && o1 == o2 && lax(l1, l2) && lax(r1, r2),
+                (
+                    Inst::Alloc {
+                        dst: d1,
+                        obj: ob1,
+                        count: c1,
+                    },
+                    Inst::Alloc {
+                        dst: d2,
+                        obj: ob2,
+                        count: c2,
+                    },
+                ) => {
+                    d1 == d2
+                        && ob1 == ob2
+                        && match (c1, c2) {
+                            (None, None) => true,
+                            (Some(a), Some(b)) => lax(a, b),
+                            _ => false,
+                        }
+                }
+                (
+                    Inst::Gep {
+                        dst: d1,
+                        base: b1,
+                        offset: of1,
+                    },
+                    Inst::Gep {
+                        dst: d2,
+                        base: b2,
+                        offset: of2,
+                    },
+                ) => {
+                    // Base addresses are strict; only the runtime index of
+                    // an Index offset may vary (it feeds no points-to
+                    // constraint when non-pointer).
+                    d1 == d2
+                        && b1 == b2
+                        && match (of1, of2) {
+                            (GepOffset::Field(a), GepOffset::Field(b)) => a == b,
+                            (
+                                GepOffset::Index {
+                                    index: i1,
+                                    elem_cells: e1,
+                                },
+                                GepOffset::Index {
+                                    index: i2,
+                                    elem_cells: e2,
+                                },
+                            ) => e1 == e2 && lax(i1, i2),
+                            _ => false,
+                        }
+                }
+                (Inst::Load { dst: d1, addr: a1 }, Inst::Load { dst: d2, addr: a2 }) => {
+                    d1 == d2 && a1 == a2
+                }
+                (Inst::Store { addr: a1, val: v1 }, Inst::Store { addr: a2, val: v2 }) => {
+                    // Addresses strict; values lax (the `pts(*a) ⊇ pts(v)`
+                    // constraint only exists for pointer-typed values,
+                    // which the invisible class excludes).
+                    a1 == a2 && lax(v1, v2)
+                }
+                (
+                    Inst::Call {
+                        dst: d1,
+                        callee: c1,
+                        args: ar1,
+                    },
+                    Inst::Call {
+                        dst: d2,
+                        callee: c2,
+                        args: ar2,
+                    },
+                ) => {
+                    let callee_ok = match (c1, c2) {
+                        (Callee::Direct(a), Callee::Direct(b)) => a == b,
+                        (Callee::External(a), Callee::External(b)) => a == b,
+                        (Callee::Indirect(a), Callee::Indirect(b)) => a == b,
+                        _ => false,
+                    };
+                    d1 == d2
+                        && callee_ok
+                        && ar1.len() == ar2.len()
+                        && ar1.iter().zip(ar2).all(|(a, b)| lax(a, b))
+                }
+                (
+                    Inst::Phi {
+                        dst: d1,
+                        incomings: in1,
+                    },
+                    Inst::Phi {
+                        dst: d2,
+                        incomings: in2,
+                    },
+                ) => {
+                    d1 == d2
+                        && in1.len() == in2.len()
+                        && in1
+                            .iter()
+                            .zip(in2)
+                            .all(|((bb1, o1), (bb2, o2))| bb1 == bb2 && lax(o1, o2))
+                }
+                _ => false,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        let term_ok = match (&bo.term, &bn.term) {
+            (Terminator::Jmp(a), Terminator::Jmp(b)) => a == b,
+            (
+                Terminator::Br {
+                    cond: c1,
+                    then_bb: t1,
+                    else_bb: e1,
+                },
+                Terminator::Br {
+                    cond: c2,
+                    then_bb: t2,
+                    else_bb: e2,
+                },
+            ) => t1 == t2 && e1 == e2 && lax(c1, c2),
+            (Terminator::Ret(None), Terminator::Ret(None)) => true,
+            (Terminator::Ret(Some(a)), Terminator::Ret(Some(b))) => lax(a, b),
+            (Terminator::Unreachable, Terminator::Unreachable) => true,
+            _ => false,
+        };
+        if !term_ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the function's own allocation sites kept their analysis-
+/// relevant shape.
+fn object_ranges_compatible(m_old: &Module, m_new: &Module, fid: FuncId, env: &LowerEnv) -> bool {
+    let Some(&(lo, hi)) = env.obj_ranges.get(fid.index()) else {
+        return true;
+    };
+    for i in lo..hi {
+        let id = ObjId::from_usize(i);
+        let a = &m_old.objects[id];
+        let b = &m_new.objects[id];
+        if a.kind != b.kind
+            || a.ty != b.ty
+            || a.size != b.size
+            || a.field_classes != b.field_classes
+            || a.num_classes != b.num_classes
+            || a.is_array != b.is_array
+        {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "usher-engine-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const SRC: &str = "int shared;
+def helper0(int a) -> int {
+    int x = a + 1;
+    if (x) { return x * 2; }
+    return 3;
+}
+def risky(int c) -> int {
+    int x;
+    if (c) { x = 1; }
+    if (x) { return 1; }
+    return 0;
+}
+def main(int c) {
+    int *p;
+    p = malloc(1);
+    *p = helper0(c);
+    shared = *p;
+    print(risky(shared));
+}
+";
+
+    fn oracle(src: &str) -> (String, String) {
+        let m = usher_frontend::compile_o0im(src).expect("oracle compiles");
+        let out = usher_core::run_config(&m, Config::USHER);
+        let gamma = out.gamma.expect("guided config resolves");
+        (plan_fingerprint(&out.plan), gamma_fingerprint(&gamma))
+    }
+
+    fn engine(cfg: EngineConfig) -> Engine {
+        Engine::new(cfg).expect("engine opens")
+    }
+
+    #[test]
+    fn cold_analysis_matches_reference_config() {
+        let mut e = engine(EngineConfig::default());
+        let out = e.analyze(SRC).unwrap();
+        assert_eq!(out.mode, "cold");
+        let q = e.query(out.session_id).unwrap();
+        assert!(q.ops > 0, "risky() must produce shadow ops");
+        let (pf, gf) = oracle(SRC);
+        assert_eq!(q.plan_fingerprint, pf, "serve plan must equal run_config");
+        assert_eq!(q.gamma_fingerprint, gf, "serve gamma must equal run_config");
+    }
+
+    #[test]
+    fn second_analyze_is_warm_and_identical() {
+        let mut e = engine(EngineConfig::default());
+        let a = e.analyze(SRC).unwrap();
+        let b = e.analyze(SRC).unwrap();
+        assert_eq!(a.mode, "cold");
+        assert_eq!(b.mode, "warm");
+        let qa = e.query(a.session_id).unwrap();
+        let qb = e.query(b.session_id).unwrap();
+        assert_eq!(qa.plan_fingerprint, qb.plan_fingerprint);
+        assert_eq!(qa.gamma_fingerprint, qb.gamma_fingerprint);
+        assert!(e.stats().warm_hit_ratio > 0.0);
+    }
+
+    #[test]
+    fn no_cache_engine_never_hits_either_tier() {
+        let dir = scratch_dir("nocache");
+        let mut e = engine(EngineConfig {
+            store_dir: Some(dir.clone()),
+            use_cache: false,
+            ..EngineConfig::default()
+        });
+        assert_eq!(e.analyze(SRC).unwrap().mode, "cold");
+        assert_eq!(e.analyze(SRC).unwrap().mode, "cold");
+        let st = e.stats();
+        assert_eq!(st.memory.hits, 0);
+        assert_eq!(st.memory.entries, 0);
+        assert!(st.disk.is_none(), "--no-cache must bypass the disk tier");
+        assert!(
+            !dir.exists(),
+            "--no-cache must not create or write the store dir"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_edit_recomputes_one_function_and_matches_cold() {
+        let mut e = engine(EngineConfig::default());
+        let sid = e.analyze(SRC).unwrap().session_id;
+        let new_body = "def helper0(int a) -> int {
+    int x = a + 7;
+    if (x) { return x * 9; }
+    return 4;
+}";
+        let out = e.edit(sid, "helper0", new_body).unwrap();
+        assert!(
+            out.incremental,
+            "const-level edit must be incremental: {:?}",
+            out.fallback_reason
+        );
+        assert_eq!(out.functions_recomputed, 1);
+        let q = e.query(sid).unwrap();
+        let (pf, gf) = oracle(&e.session_source(sid).unwrap());
+        assert_eq!(q.plan_fingerprint, pf, "incremental plan must equal cold");
+        assert_eq!(q.gamma_fingerprint, gf, "incremental gamma must equal cold");
+    }
+
+    #[test]
+    fn structural_edit_falls_back_with_reason_and_matches_cold() {
+        let mut e = engine(EngineConfig::default());
+        let sid = e.analyze(SRC).unwrap().session_id;
+        // New allocation site in the body: object count changes.
+        let new_body = "def helper0(int a) -> int {
+    int y;
+    int x = a + 1;
+    if (x) { y = x * 2; return y; }
+    return 3;
+}";
+        let out = e.edit(sid, "helper0", new_body).unwrap();
+        assert!(!out.incremental);
+        assert_eq!(out.fallback_reason, Some("object-count-changed"));
+        assert!(out.functions_recomputed > 1);
+        assert_eq!(out.report.degrade_events.len(), 1);
+        let q = e.query(sid).unwrap();
+        let (pf, gf) = oracle(&e.session_source(sid).unwrap());
+        assert_eq!(q.plan_fingerprint, pf);
+        assert_eq!(q.gamma_fingerprint, gf);
+    }
+
+    #[test]
+    fn warm_session_edit_promotes_backend_with_reason() {
+        let mut e = engine(EngineConfig::default());
+        e.analyze(SRC).unwrap();
+        let warm = e.analyze(SRC).unwrap();
+        assert_eq!(warm.mode, "warm");
+        let out = e
+            .edit(
+                warm.session_id,
+                "helper0",
+                "def helper0(int a) -> int {
+    int x = a + 3;
+    if (x) { return x * 2; }
+    return 3;
+}",
+            )
+            .unwrap();
+        assert!(!out.incremental);
+        assert_eq!(out.fallback_reason, Some("backend-cold"));
+        // Subsequent edits are incremental again.
+        let out2 = e
+            .edit(
+                warm.session_id,
+                "helper0",
+                "def helper0(int a) -> int {
+    int x = a + 4;
+    if (x) { return x * 2; }
+    return 3;
+}",
+            )
+            .unwrap();
+        assert!(
+            out2.incremental,
+            "post-promotion edit must be incremental: {:?}",
+            out2.fallback_reason
+        );
+        let q = e.query(warm.session_id).unwrap();
+        let (pf, _) = oracle(&e.session_source(warm.session_id).unwrap());
+        assert_eq!(q.plan_fingerprint, pf);
+    }
+
+    #[test]
+    fn new_function_edit_appends_and_falls_back() {
+        let mut e = engine(EngineConfig::default());
+        let sid = e.analyze(SRC).unwrap().session_id;
+        let n0 = e.query(sid).unwrap().functions_total;
+        let out = e
+            .edit(sid, "extra", "def extra(int v) -> int { return v - 1; }")
+            .unwrap();
+        assert!(!out.incremental);
+        assert_eq!(out.fallback_reason, Some("new-function"));
+        assert_eq!(e.query(sid).unwrap().functions_total, n0 + 1);
+    }
+
+    #[test]
+    fn bad_edit_leaves_session_untouched() {
+        let mut e = engine(EngineConfig::default());
+        let sid = e.analyze(SRC).unwrap().session_id;
+        let before = e.query(sid).unwrap();
+        let src_before = e.session_source(sid).unwrap();
+        // Unknown name in the body: lowering error.
+        let err = e
+            .edit(
+                sid,
+                "helper0",
+                "def helper0(int a) -> int { return nosuch + 1; }",
+            )
+            .unwrap_err();
+        assert!(err.contains("edit body"), "{err}");
+        // Syntactically broken body.
+        assert!(e.edit(sid, "helper0", "def helper0(int a) -> {").is_err());
+        // Name mismatch.
+        assert!(e
+            .edit(sid, "helper0", "def other(int a) -> int { return 1; }")
+            .is_err());
+        let after = e.query(sid).unwrap();
+        assert_eq!(before.plan_fingerprint, after.plan_fingerprint);
+        assert_eq!(e.session_source(sid).unwrap(), src_before);
+        assert_eq!(after.edits, 0);
+        assert!(e.stats().counters.user_errors >= 3);
+    }
+
+    #[test]
+    fn disk_tier_warms_across_engine_restarts_and_self_heals() {
+        let dir = scratch_dir("disk");
+        let cfg = || EngineConfig {
+            store_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        };
+        let fp0 = {
+            let mut e = engine(cfg());
+            let out = e.analyze(SRC).unwrap();
+            assert_eq!(out.mode, "cold");
+            e.query(out.session_id).unwrap().plan_fingerprint
+        };
+        // Fresh engine, same store: fully warm from disk.
+        {
+            let mut e = engine(cfg());
+            let out = e.analyze(SRC).unwrap();
+            assert_eq!(out.mode, "warm", "disk tier must warm a fresh engine");
+            assert_eq!(e.query(out.session_id).unwrap().plan_fingerprint, fp0);
+        }
+        // Corrupt one entry on disk: the analysis self-heals (evict +
+        // recompute), exactly like the in-memory corrupt-recovery path.
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".plan.art"))
+            .expect("plan entry on disk");
+        let mut bytes = std::fs::read_to_string(victim.path()).unwrap();
+        bytes.push_str("GARBAGE");
+        std::fs::write(victim.path(), bytes).unwrap();
+        {
+            let mut e = engine(cfg());
+            let out = e.analyze(SRC).unwrap();
+            assert_eq!(out.mode, "cold", "corrupt entry must force recompute");
+            assert!(out.report.cache_corrupt_recovered >= 1);
+            assert_eq!(e.query(out.session_id).unwrap().plan_fingerprint, fp0);
+        }
+        // And the heal re-persisted a good entry.
+        {
+            let mut e = engine(cfg());
+            assert_eq!(e.analyze(SRC).unwrap().mode, "warm");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_dir_contents_never_affect_cache_keys() {
+        let dir = scratch_dir("junkkeys");
+        let cfg = || EngineConfig {
+            store_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        };
+        {
+            let mut e = engine(cfg());
+            e.analyze(SRC).unwrap();
+        }
+        // Drop junk into the store dir; keys are pure content hashes of
+        // the source, so the next analyze must still be warm.
+        std::fs::write(dir.join("unrelated.txt"), "junk").unwrap();
+        std::fs::write(dir.join("0000.module.art.orig"), "junk").unwrap();
+        {
+            let mut e = engine(cfg());
+            assert_eq!(e.analyze(SRC).unwrap().mode, "warm");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_plans_are_never_persisted() {
+        let dir = scratch_dir("degraded");
+        let mut e = engine(EngineConfig {
+            store_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        });
+        let sid = e.analyze(SRC).unwrap().session_id;
+        // Forge a degraded plan inside the backend, then attempt to
+        // persist under a fresh key: the guard must refuse.
+        {
+            let session = e.sessions.get_mut(&sid).unwrap();
+            let SessionState::Ready(b) = &mut session.state else {
+                panic!("cold session must be Ready");
+            };
+            let mut degraded = (*b.plan).clone();
+            let some_fid = degraded
+                .provenance
+                .keys()
+                .copied()
+                .next()
+                .expect("plan has provenance");
+            degraded
+                .provenance
+                .insert(some_fid, PlanProvenance::FallbackFull);
+            b.plan = Arc::new(degraded);
+        }
+        let entries_before = e.disk.as_ref().unwrap().stats().entries;
+        let b_ref = match &e.sessions[&sid].state {
+            SessionState::Ready(b) => b,
+            SessionState::Warm { .. } => unreachable!(),
+        };
+        assert!(plan_is_degraded(&b_ref.plan));
+        e.persist(0xdead_beef, b_ref);
+        assert_eq!(
+            e.disk.as_ref().unwrap().stats().entries,
+            entries_before,
+            "degraded plan must not be persisted"
+        );
+        assert!(e.cache.lookup(e.opts.plan_key(0xdead_beef)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn span_scanner_finds_all_defs() {
+        let lines = split_lines(SRC);
+        let spans = scan_spans(&lines);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["helper0", "risky", "main"]);
+        for s in &spans {
+            assert!(lines[s.start].contains(&format!("def {}", s.name)));
+            assert!(lines[s.end - 1].trim_end().ends_with('}'));
+        }
+        // Single-line defs work too.
+        let one = split_lines("def f() -> int { return 1; }\ndef g() { print(1); }");
+        let spans = scan_spans(&one);
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].start, spans[0].end), (0, 1));
+        assert_eq!((spans[1].start, spans[1].end), (1, 2));
+    }
+}

@@ -1,0 +1,36 @@
+//! # usher-serve
+//!
+//! `usher serve` — a persistent, incremental analysis service.
+//!
+//! The crate wires three pieces together:
+//!
+//! - a JSON-lines request protocol ([`json`], [`server`]) served over
+//!   stdin and an optional Unix socket to many concurrent clients;
+//! - a two-tier artifact cache: the driver's in-memory
+//!   [`usher_driver::ArtifactCache`] in front of an on-disk
+//!   content-addressed [`store::DiskStore`] with digest-verified entries
+//!   and size-capped LRU eviction;
+//! - function-granular incremental re-analysis ([`engine`]): an `edit`
+//!   that only changes one function's body recomputes that function's
+//!   memory-SSA and VFG slice and splices it into retained module state,
+//!   falling back soundly (and observably) to a full recompute whenever
+//!   the edit could change signatures, globals, inlining or the shape of
+//!   the points-to solution.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod codec;
+pub mod engine;
+pub mod json;
+pub mod server;
+pub mod store;
+
+pub use bench::{run_bench, BenchOptions, BenchSummary};
+pub use engine::{
+    plan_is_degraded, AnalyzeOutcome, Counters, EditOutcome, Engine, EngineConfig, EngineStats,
+    QueryOutcome,
+};
+pub use json::Json;
+pub use server::{run_server, Dispatcher, Handled, ServerConfig};
+pub use store::{DiskStats, DiskStore, StoreKind};

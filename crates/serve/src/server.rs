@@ -1,0 +1,606 @@
+//! The `usher serve` front door: a JSON-lines request loop over stdin
+//! and, optionally, a Unix domain socket serving many concurrent
+//! clients.
+//!
+//! ## Protocol
+//!
+//! One request per line, one response per line, always a JSON object.
+//! Requests carry an `op` plus op-specific fields and an optional client
+//! `id` echoed back verbatim:
+//!
+//! ```text
+//! {"op":"analyze","source":"def main() { ... }","id":"r1"}
+//! {"op":"edit","session":1,"func":"helper0","body":"def helper0(...) { ... }"}
+//! {"op":"query","session":1,"full":true}
+//! {"op":"stats"}
+//! {"op":"close","session":1}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses are `{"ok":true,...}` or `{"ok":false,"error":"..."}`; a
+//! malformed line never kills the server. Analysis requests additionally
+//! emit one driver telemetry line ([`PipelineReport`]) on stderr with
+//! `request_id` and `session_id` filled, so interleaved concurrent-client
+//! records in one stream stay attributable.
+//!
+//! ## Concurrency
+//!
+//! All clients multiplex onto one [`Engine`] behind a mutex; the heavy
+//! per-function stages inside the engine fan out over the driver thread
+//! pool, so serialization at the request level costs little and keeps
+//! cross-session cache interaction trivially sound. The stdin loop runs
+//! on the caller's thread; the socket listener accepts in the background
+//! with at most `max_clients` live client threads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use usher_driver::PipelineReport;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::json::{Json, ObjWriter};
+
+/// Server construction options (the `usher serve` flag set).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix socket path to listen on, in addition to stdin.
+    pub socket: Option<PathBuf>,
+    /// On-disk store directory (`--store-dir`); `None` keeps the cache
+    /// memory-only.
+    pub store_dir: Option<PathBuf>,
+    /// Disk-store size cap in bytes (`--store-cap-bytes`, 0 = uncapped).
+    pub store_cap_bytes: u64,
+    /// Maximum concurrent socket clients (`--max-clients`).
+    pub max_clients: usize,
+    /// Worker threads for parallel stages (`--threads`).
+    pub threads: usize,
+    /// `false` bypasses both cache tiers (`--no-cache`).
+    pub use_cache: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let e = EngineConfig::default();
+        ServerConfig {
+            socket: None,
+            store_dir: None,
+            store_cap_bytes: e.store_cap_bytes,
+            max_clients: 8,
+            threads: e.threads,
+            use_cache: true,
+        }
+    }
+}
+
+/// Outcome of handling one request line.
+pub struct Handled {
+    /// The JSON response line (no trailing newline).
+    pub response: String,
+    /// A telemetry line for stderr, when the request ran analysis.
+    pub telemetry: Option<String>,
+    /// Whether the request asked the server to shut down.
+    pub shutdown: bool,
+}
+
+/// Shared request dispatcher: every transport (stdin, socket, bench,
+/// tests) funnels through here.
+pub struct Dispatcher {
+    engine: Mutex<Engine>,
+    seq: AtomicU64,
+}
+
+fn err_response(id: &str, op: &str, msg: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.bool("ok", false).str("op", op).str("error", msg);
+    if !id.is_empty() {
+        w.str("id", id);
+    }
+    w.finish()
+}
+
+fn stamp(report: &mut PipelineReport, rid: &str, sid: Option<u64>) -> String {
+    report.request_id = Some(rid.to_string());
+    report.session_id = sid;
+    report.to_json_line()
+}
+
+impl Dispatcher {
+    /// Builds the dispatcher and its engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the engine cannot open its disk store.
+    pub fn new(cfg: &ServerConfig) -> Result<Dispatcher, String> {
+        let engine = Engine::new(EngineConfig {
+            store_dir: cfg.store_dir.clone(),
+            store_cap_bytes: cfg.store_cap_bytes,
+            threads: cfg.threads,
+            use_cache: cfg.use_cache,
+        })?;
+        Ok(Dispatcher {
+            engine: Mutex::new(engine),
+            seq: AtomicU64::new(1),
+        })
+    }
+
+    /// Direct engine access (used by `serve-bench` and tests).
+    pub fn engine(&self) -> &Mutex<Engine> {
+        &self.engine
+    }
+
+    /// Handles one raw request line from `origin` (a transport tag like
+    /// `stdin` or `sock-3`, used to synthesize request ids for requests
+    /// that carry none). Never panics on malformed input.
+    pub fn handle_line(&self, origin: &str, line: &str) -> Handled {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Handled {
+                response: String::new(),
+                telemetry: None,
+                shutdown: false,
+            };
+        }
+        let req = match Json::parse(trimmed) {
+            Ok(v) => v,
+            Err(e) => {
+                return Handled {
+                    response: err_response("", "?", &format!("bad json: {e}")),
+                    telemetry: None,
+                    shutdown: false,
+                }
+            }
+        };
+        let op = req
+            .get("op")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let rid = match req.get("id").and_then(Json::as_str) {
+            Some(s) => s.to_string(),
+            None => format!("{origin}-{}", self.seq.fetch_add(1, Ordering::Relaxed)),
+        };
+        let mut telemetry = None;
+        let mut shutdown = false;
+        let response = match op.as_str() {
+            "analyze" => {
+                let Some(source) = req.get("source").and_then(Json::as_str) else {
+                    return self.fail(&rid, "analyze", "missing string field \"source\"");
+                };
+                let mut engine = self.engine.lock().expect("engine poisoned");
+                match engine.analyze(source) {
+                    Ok(mut out) => {
+                        telemetry = Some(stamp(&mut out.report, &rid, Some(out.session_id)));
+                        let mut w = ObjWriter::new();
+                        w.bool("ok", true)
+                            .str("op", "analyze")
+                            .str("id", &rid)
+                            .u64("session", out.session_id)
+                            .str("mode", out.mode)
+                            .u64("functions_total", out.functions_total as u64)
+                            .f64("seconds", out.seconds)
+                            .u64("cache_hits", out.report.cache_hits as u64)
+                            .u64("cache_misses", out.report.cache_misses as u64);
+                        w.finish()
+                    }
+                    Err(e) => err_response(&rid, "analyze", &e),
+                }
+            }
+            "edit" => {
+                let Some(sid) = req.get("session").and_then(Json::as_u64) else {
+                    return self.fail(&rid, "edit", "missing numeric field \"session\"");
+                };
+                let Some(func) = req.get("func").and_then(Json::as_str) else {
+                    return self.fail(&rid, "edit", "missing string field \"func\"");
+                };
+                let Some(body) = req.get("body").and_then(Json::as_str) else {
+                    return self.fail(&rid, "edit", "missing string field \"body\"");
+                };
+                let mut engine = self.engine.lock().expect("engine poisoned");
+                match engine.edit(sid, func, body) {
+                    Ok(mut out) => {
+                        telemetry = Some(stamp(&mut out.report, &rid, Some(sid)));
+                        let mut w = ObjWriter::new();
+                        w.bool("ok", true)
+                            .str("op", "edit")
+                            .str("id", &rid)
+                            .u64("session", sid)
+                            .bool("incremental", out.incremental)
+                            .u64("functions_recomputed", out.functions_recomputed as u64)
+                            .f64("seconds", out.seconds);
+                        if let Some(reason) = out.fallback_reason {
+                            w.str("fallback_reason", reason);
+                        }
+                        w.finish()
+                    }
+                    Err(e) => err_response(&rid, "edit", &e),
+                }
+            }
+            "query" => {
+                let Some(sid) = req.get("session").and_then(Json::as_u64) else {
+                    return self.fail(&rid, "query", "missing numeric field \"session\"");
+                };
+                let full = req.get("full").and_then(Json::as_bool).unwrap_or(false);
+                let engine = self.engine.lock().expect("engine poisoned");
+                match engine.query(sid) {
+                    Ok(q) => {
+                        let (pfull, pguided, pfallback) = q.provenance;
+                        let mut w = ObjWriter::new();
+                        w.bool("ok", true)
+                            .str("op", "query")
+                            .str("id", &rid)
+                            .u64("session", sid)
+                            .str("plan_digest", &format!("{:016x}", q.plan_digest))
+                            .str("gamma_digest", &format!("{:016x}", q.gamma_digest))
+                            .u64("ops", q.ops as u64)
+                            .u64("checks", q.checks as u64)
+                            .u64("bot_nodes", q.bot_nodes as u64)
+                            .u64("provenance_full", pfull as u64)
+                            .u64("provenance_guided", pguided as u64)
+                            .u64("provenance_fallback", pfallback as u64)
+                            .u64("functions_total", q.functions_total as u64)
+                            .u64("edits", q.edits);
+                        if full {
+                            w.str("plan_fingerprint", &q.plan_fingerprint)
+                                .str("gamma_fingerprint", &q.gamma_fingerprint);
+                        }
+                        w.finish()
+                    }
+                    Err(e) => err_response(&rid, "query", &e),
+                }
+            }
+            "stats" => {
+                let engine = self.engine.lock().expect("engine poisoned");
+                let st = engine.stats();
+                let mut w = ObjWriter::new();
+                w.bool("ok", true)
+                    .str("op", "stats")
+                    .str("id", &rid)
+                    .u64("sessions", st.sessions as u64)
+                    .u64("analyzes_cold", st.counters.analyzes_cold)
+                    .u64("analyzes_warm", st.counters.analyzes_warm)
+                    .u64("edits_incremental", st.counters.edits_incremental)
+                    .u64("edits_fallback", st.counters.edits_fallback)
+                    .u64("functions_recomputed", st.counters.functions_recomputed)
+                    .u64("user_errors", st.counters.user_errors)
+                    .u64("memory_hits", st.memory.hits as u64)
+                    .u64("memory_misses", st.memory.misses as u64)
+                    .u64("memory_entries", st.memory.entries as u64)
+                    .f64("warm_hit_ratio", st.warm_hit_ratio);
+                if let Some(d) = st.disk {
+                    w.u64("disk_entries", d.entries as u64)
+                        .u64("disk_bytes", d.bytes)
+                        .u64("disk_hits", d.hits)
+                        .u64("disk_misses", d.misses)
+                        .u64("disk_writes", d.writes)
+                        .u64("disk_evictions", d.evictions)
+                        .u64("disk_corrupt_recovered", d.corrupt_recovered);
+                }
+                w.finish()
+            }
+            "close" => {
+                let Some(sid) = req.get("session").and_then(Json::as_u64) else {
+                    return self.fail(&rid, "close", "missing numeric field \"session\"");
+                };
+                let mut engine = self.engine.lock().expect("engine poisoned");
+                let closed = engine.close(sid);
+                let mut w = ObjWriter::new();
+                w.bool("ok", true)
+                    .str("op", "close")
+                    .str("id", &rid)
+                    .u64("session", sid)
+                    .bool("closed", closed);
+                w.finish()
+            }
+            "shutdown" => {
+                shutdown = true;
+                let mut w = ObjWriter::new();
+                w.bool("ok", true).str("op", "shutdown").str("id", &rid);
+                w.finish()
+            }
+            "" => err_response(&rid, "?", "missing string field \"op\""),
+            other => err_response(&rid, other, &format!("unknown op {other:?}")),
+        };
+        Handled {
+            response,
+            telemetry,
+            shutdown,
+        }
+    }
+
+    fn fail(&self, rid: &str, op: &str, msg: &str) -> Handled {
+        Handled {
+            response: err_response(rid, op, msg),
+            telemetry: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// Emits one telemetry line to stderr. Centralized so interleaved client
+/// threads never tear lines.
+fn emit_telemetry(lock: &Mutex<()>, line: &str) {
+    let _g = lock.lock().expect("telemetry lock poisoned");
+    eprintln!("{line}");
+}
+
+/// Runs the serve loop: stdin JSON-lines on the calling thread, plus an
+/// optional Unix-socket listener. Returns after a `shutdown` request or
+/// stdin EOF.
+///
+/// # Errors
+///
+/// Fails when the engine cannot start or the socket cannot be bound.
+pub fn run_server(cfg: &ServerConfig) -> Result<(), String> {
+    let dispatcher = Arc::new(Dispatcher::new(cfg)?);
+    let stop = Arc::new(AtomicBool::new(false));
+    let telemetry_lock = Arc::new(Mutex::new(()));
+
+    let listener_handle = match &cfg.socket {
+        Some(path) => {
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+            let dispatcher = dispatcher.clone();
+            let stop = stop.clone();
+            let telemetry_lock = telemetry_lock.clone();
+            let max_clients = cfg.max_clients.max(1);
+            Some(std::thread::spawn(move || {
+                socket_loop(&listener, &dispatcher, &stop, &telemetry_lock, max_clients);
+            }))
+        }
+        None => None,
+    };
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let handled = dispatcher.handle_line("stdin", &line);
+        if let Some(t) = &handled.telemetry {
+            emit_telemetry(&telemetry_lock, t);
+        }
+        if !handled.response.is_empty() {
+            let _ = writeln!(stdout, "{}", handled.response);
+            let _ = stdout.flush();
+        }
+        if handled.shutdown {
+            break;
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    if let Some(h) = listener_handle {
+        let _ = h.join();
+    }
+    if let Some(path) = &cfg.socket {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+/// Accept loop: polls the nonblocking listener every 50ms so a shutdown
+/// initiated from any transport stops the socket side promptly.
+fn socket_loop(
+    listener: &std::os::unix::net::UnixListener,
+    dispatcher: &Arc<Dispatcher>,
+    stop: &Arc<AtomicBool>,
+    telemetry_lock: &Arc<Mutex<()>>,
+    max_clients: usize,
+) {
+    let mut clients: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut client_no = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        clients.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if clients.len() >= max_clients {
+                    // Over capacity: refuse politely and move on.
+                    let mut s = stream;
+                    let _ = writeln!(
+                        s,
+                        "{}",
+                        err_response("", "?", "server at max-clients capacity")
+                    );
+                    continue;
+                }
+                client_no += 1;
+                let origin = format!("sock-{client_no}");
+                let dispatcher = dispatcher.clone();
+                let stop = stop.clone();
+                let telemetry_lock = telemetry_lock.clone();
+                clients.push(std::thread::spawn(move || {
+                    client_loop(stream, &origin, &dispatcher, &stop, &telemetry_lock);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in clients {
+        let _ = h.join();
+    }
+}
+
+fn client_loop(
+    stream: std::os::unix::net::UnixStream,
+    origin: &str,
+    dispatcher: &Dispatcher,
+    stop: &AtomicBool,
+    telemetry_lock: &Mutex<()>,
+) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let handled = dispatcher.handle_line(origin, &line);
+        if let Some(t) = &handled.telemetry {
+            emit_telemetry(telemetry_lock, t);
+        }
+        if !handled.response.is_empty() {
+            if writeln!(writer, "{}", handled.response).is_err() {
+                break;
+            }
+            let _ = writer.flush();
+        }
+        if handled.shutdown {
+            stop.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "def risky(int c) -> int { int x; if (c) { x = 1; } if (x) { return 1; } return 0; }\ndef main(int c) { print(risky(c)); }";
+
+    fn dispatcher() -> Dispatcher {
+        Dispatcher::new(&ServerConfig::default()).unwrap()
+    }
+
+    fn field<'a>(resp: &'a Json, key: &str) -> &'a Json {
+        resp.get(key)
+            .unwrap_or_else(|| panic!("missing {key} in {resp:?}"))
+    }
+
+    #[test]
+    fn analyze_edit_query_round_trip_over_protocol() {
+        let d = dispatcher();
+        let req = {
+            let mut w = ObjWriter::new();
+            w.str("op", "analyze").str("source", SRC).str("id", "r1");
+            w.finish()
+        };
+        let h = d.handle_line("stdin", &req);
+        let resp = Json::parse(&h.response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        assert_eq!(field(&resp, "mode").as_str(), Some("cold"));
+        assert_eq!(field(&resp, "id").as_str(), Some("r1"));
+        let sid = field(&resp, "session").as_u64().unwrap();
+        let telemetry = h.telemetry.expect("analyze emits telemetry");
+        assert!(telemetry.contains("\"request_id\":\"r1\""), "{telemetry}");
+        assert!(
+            telemetry.contains(&format!("\"session_id\":{sid}")),
+            "{telemetry}"
+        );
+
+        let edit = {
+            let mut w = ObjWriter::new();
+            w.str("op", "edit")
+                .u64("session", sid)
+                .str("func", "risky")
+                .str(
+                    "body",
+                    "def risky(int c) -> int { int x; if (c) { x = 2; } if (x) { return 1; } return 0; }",
+                );
+            w.finish()
+        };
+        let h = d.handle_line("stdin", &edit);
+        let resp = Json::parse(&h.response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        assert_eq!(field(&resp, "incremental").as_bool(), Some(true));
+        assert_eq!(field(&resp, "functions_recomputed").as_u64(), Some(1));
+        // Synthesized request id for id-less requests.
+        assert!(field(&resp, "id").as_str().unwrap().starts_with("stdin-"));
+
+        let query = {
+            let mut w = ObjWriter::new();
+            w.str("op", "query").u64("session", sid).bool("full", true);
+            w.finish()
+        };
+        let h = d.handle_line("stdin", &query);
+        let resp = Json::parse(&h.response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        assert!(field(&resp, "plan_fingerprint").as_str().is_some());
+        assert_eq!(field(&resp, "plan_digest").as_str().unwrap().len(), 16);
+
+        let h = d.handle_line("stdin", "{\"op\":\"stats\"}");
+        let resp = Json::parse(&h.response).unwrap();
+        assert_eq!(field(&resp, "edits_incremental").as_u64(), Some(1));
+
+        let h = d.handle_line("stdin", "{\"op\":\"shutdown\"}");
+        assert!(h.shutdown);
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_not_crashes() {
+        let d = dispatcher();
+        for bad in [
+            "not json at all",
+            "{\"op\":\"analyze\"}",
+            "{\"op\":\"edit\",\"session\":1}",
+            "{\"op\":\"query\"}",
+            "{\"op\":\"frobnicate\"}",
+            "{}",
+            "{\"op\":\"query\",\"session\":999}",
+        ] {
+            let h = d.handle_line("stdin", bad);
+            let resp = Json::parse(&h.response)
+                .unwrap_or_else(|e| panic!("response to {bad:?} not json ({e}): {}", h.response));
+            assert_eq!(field(&resp, "ok").as_bool(), Some(false), "{bad}");
+            assert!(!h.shutdown);
+        }
+        // Blank lines are ignored silently.
+        let h = d.handle_line("stdin", "   ");
+        assert!(h.response.is_empty());
+    }
+
+    #[test]
+    fn concurrent_clients_multiplex_one_engine() {
+        let d = Arc::new(dispatcher());
+        // Seed the cache so client threads all hit the warm path.
+        let seed = {
+            let mut w = ObjWriter::new();
+            w.str("op", "analyze").str("source", SRC);
+            w.finish()
+        };
+        d.handle_line("stdin", &seed);
+        let mut handles = Vec::new();
+        for c in 0..4 {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                let origin = format!("sock-{c}");
+                let req = {
+                    let mut w = ObjWriter::new();
+                    w.str("op", "analyze").str("source", SRC);
+                    w.finish()
+                };
+                let h = d.handle_line(&origin, &req);
+                let resp = Json::parse(&h.response).unwrap();
+                assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+                assert_eq!(resp.get("mode").and_then(Json::as_str), Some("warm"));
+                let sid = resp.get("session").and_then(Json::as_u64).unwrap();
+                let q = {
+                    let mut w = ObjWriter::new();
+                    w.str("op", "query").u64("session", sid);
+                    w.finish()
+                };
+                let h = d.handle_line(&origin, &q);
+                let resp = Json::parse(&h.response).unwrap();
+                resp.get("plan_digest")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            }));
+        }
+        let digests: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+        let st = d.engine().lock().unwrap().stats();
+        assert_eq!(st.counters.analyzes_warm, 4);
+    }
+}

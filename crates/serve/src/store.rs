@@ -1,0 +1,498 @@
+//! The on-disk content-addressed artifact store.
+//!
+//! Layout: one file per entry, named `<key:016x>.<kind>.art` inside the
+//! store directory, where `key` is the stage cache key (a pure content
+//! hash of the source text plus pipeline knobs — the store directory's
+//! own contents never feed back into any key). Each file starts with a
+//! one-line header
+//!
+//! ```text
+//! usher-store v<CACHE_FORMAT_VERSION> kind=<module|gamma|plan> digest=<016x>
+//! ```
+//!
+//! followed by the codec payload. The digest covers the payload, so
+//! truncation, bit rot and partial writes are detected on load; a
+//! mismatch (or a version skew after a format bump) evicts the file and
+//! reports a miss, mirroring the in-memory cache's verify-on-hit
+//! self-healing. Writes go through a temp file and an atomic rename, so
+//! a crash mid-write never leaves a half-entry under a valid name.
+//!
+//! Recency for the size-capped LRU is kept in an append-only
+//! `journal.log` of entry names (the last occurrence of a name is its
+//! most recent touch); the journal is compacted in place, also via
+//! rename, once it grows past a small multiple of the live entry count.
+//! Unrecognized files in the directory are ignored entirely.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use usher_driver::{KeyWriter, CACHE_FORMAT_VERSION};
+
+/// Which artifact kind an entry holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StoreKind {
+    /// Frontend output (compiled module).
+    Module,
+    /// Resolved definedness map (plus Opt II redirect count).
+    Gamma,
+    /// Instrumentation plan.
+    Plan,
+}
+
+impl StoreKind {
+    /// The kind's file-name / header tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoreKind::Module => "module",
+            StoreKind::Gamma => "gamma",
+            StoreKind::Plan => "plan",
+        }
+    }
+
+    fn parse(s: &str) -> Option<StoreKind> {
+        match s {
+            "module" => Some(StoreKind::Module),
+            "gamma" => Some(StoreKind::Gamma),
+            "plan" => Some(StoreKind::Plan),
+            _ => None,
+        }
+    }
+}
+
+/// Counters describing store behavior since open.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Total payload+header bytes of live entries.
+    pub bytes: u64,
+    /// Successful loads.
+    pub hits: u64,
+    /// Loads that found nothing usable.
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+    /// Entries evicted by the size cap.
+    pub evictions: u64,
+    /// Entries evicted because their header or digest did not check out.
+    pub corrupt_recovered: u64,
+}
+
+struct EntryMeta {
+    bytes: u64,
+    seq: u64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    cap_bytes: u64,
+    map: HashMap<(u64, StoreKind), EntryMeta>,
+    next_seq: u64,
+    journal_lines: u64,
+    stats: DiskStats,
+}
+
+/// A size-capped, self-healing, content-addressed artifact store.
+pub struct DiskStore {
+    inner: Mutex<Inner>,
+}
+
+/// Digest of a store payload, written into the entry header and checked
+/// on every load.
+pub fn payload_digest(payload: &str) -> u64 {
+    let mut k = KeyWriter::new("store-payload");
+    k.str(payload);
+    k.finish()
+}
+
+fn entry_name(key: u64, kind: StoreKind) -> String {
+    format!("{key:016x}.{}.art", kind.as_str())
+}
+
+fn parse_entry_name(name: &str) -> Option<(u64, StoreKind)> {
+    let mut parts = name.split('.');
+    let key_s = parts.next()?;
+    let kind_s = parts.next()?;
+    if parts.next() != Some("art") || parts.next().is_some() || key_s.len() != 16 {
+        return None;
+    }
+    let key = u64::from_str_radix(key_s, 16).ok()?;
+    Some((key, StoreKind::parse(kind_s)?))
+}
+
+fn header_line(kind: StoreKind, digest: u64) -> String {
+    format!(
+        "usher-store v{CACHE_FORMAT_VERSION} kind={} digest={digest:016x}",
+        kind.as_str()
+    )
+}
+
+/// Validates a header line against the expected kind; returns the
+/// recorded payload digest.
+fn parse_header(line: &str, kind: StoreKind) -> Option<u64> {
+    let rest = line.strip_prefix("usher-store v")?;
+    let (ver_s, rest) = rest.split_once(' ')?;
+    if ver_s.parse::<u32>().ok()? != CACHE_FORMAT_VERSION {
+        return None;
+    }
+    let rest = rest.strip_prefix("kind=")?;
+    let (kind_s, rest) = rest.split_once(' ')?;
+    if StoreKind::parse(kind_s)? != kind {
+        return None;
+    }
+    let dig_s = rest.strip_prefix("digest=")?;
+    if dig_s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(dig_s, 16).ok()
+}
+
+fn atomic_write(dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".tmp-{name}"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(name))
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir` with the given
+    /// size cap in bytes. Existing entries are indexed; the journal, if
+    /// present, establishes their recency order.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on directory create/scan I/O errors.
+    pub fn open(dir: &Path, cap_bytes: u64) -> std::io::Result<DiskStore> {
+        fs::create_dir_all(dir)?;
+        let mut map = HashMap::new();
+        let mut names_in_dir_order = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some((key, kind)) = parse_entry_name(name) else {
+                continue; // junk and temp files are ignored
+            };
+            let Ok(md) = entry.metadata() else { continue };
+            names_in_dir_order.push((key, kind));
+            map.insert(
+                (key, kind),
+                EntryMeta {
+                    bytes: md.len(),
+                    seq: 0,
+                },
+            );
+        }
+        names_in_dir_order.sort_unstable();
+        let mut next_seq = 1;
+        for id in names_in_dir_order {
+            map.get_mut(&id).expect("just inserted").seq = next_seq;
+            next_seq += 1;
+        }
+        let mut journal_lines = 0;
+        if let Ok(journal) = fs::read_to_string(dir.join("journal.log")) {
+            for line in journal.lines() {
+                journal_lines += 1;
+                if let Some(id) = parse_entry_name(line.trim()) {
+                    if let Some(meta) = map.get_mut(&id) {
+                        meta.seq = next_seq;
+                        next_seq += 1;
+                    }
+                }
+            }
+        }
+        let stats = DiskStats {
+            entries: map.len(),
+            bytes: map.values().map(|m| m.bytes).sum(),
+            ..DiskStats::default()
+        };
+        Ok(DiskStore {
+            inner: Mutex::new(Inner {
+                dir: dir.to_path_buf(),
+                cap_bytes,
+                map,
+                next_seq,
+                journal_lines,
+                stats,
+            }),
+        })
+    }
+
+    /// Loads an entry's payload, verifying version, kind and digest.
+    /// Anything unusable is evicted (self-heal) and reported as a miss.
+    pub fn load(&self, key: u64, kind: StoreKind) -> Option<String> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        if !inner.map.contains_key(&(key, kind)) {
+            inner.stats.misses += 1;
+            return None;
+        }
+        let name = entry_name(key, kind);
+        let path = inner.dir.join(&name);
+        let content = match fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(_) => {
+                inner.remove_entry(key, kind);
+                inner.stats.misses += 1;
+                return None;
+            }
+        };
+        let payload = content.split_once('\n').and_then(|(header, payload)| {
+            let digest = parse_header(header, kind)?;
+            (digest == payload_digest(payload)).then(|| payload.to_string())
+        });
+        match payload {
+            Some(p) => {
+                inner.stats.hits += 1;
+                inner.touch(key, kind);
+                Some(p)
+            }
+            None => {
+                // Version skew or corruption: evict and recompute.
+                inner.remove_entry(key, kind);
+                inner.stats.corrupt_recovered += 1;
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Writes an entry atomically (temp file + rename), then enforces the
+    /// size cap by evicting least-recently-used entries. Write failures
+    /// are swallowed — the store is an accelerator, never a correctness
+    /// dependency.
+    pub fn store(&self, key: u64, kind: StoreKind, payload: &str) {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        let name = entry_name(key, kind);
+        let content = format!("{}\n{payload}", header_line(kind, payload_digest(payload)));
+        if atomic_write(&inner.dir, &name, &content).is_err() {
+            return;
+        }
+        let new_bytes = content.len() as u64;
+        if let Some(old) = inner.map.remove(&(key, kind)) {
+            inner.stats.bytes -= old.bytes;
+            inner.stats.entries -= 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.map.insert(
+            (key, kind),
+            EntryMeta {
+                bytes: new_bytes,
+                seq,
+            },
+        );
+        inner.stats.bytes += new_bytes;
+        inner.stats.entries += 1;
+        inner.stats.writes += 1;
+        inner.journal_append(&name);
+        inner.evict_over_cap(key, kind);
+        inner.maybe_compact_journal();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DiskStats {
+        self.inner.lock().expect("store poisoned").stats
+    }
+}
+
+impl Inner {
+    fn remove_entry(&mut self, key: u64, kind: StoreKind) {
+        if let Some(meta) = self.map.remove(&(key, kind)) {
+            self.stats.bytes -= meta.bytes;
+            self.stats.entries -= 1;
+            let _ = fs::remove_file(self.dir.join(entry_name(key, kind)));
+        }
+    }
+
+    fn touch(&mut self, key: u64, kind: StoreKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(meta) = self.map.get_mut(&(key, kind)) {
+            meta.seq = seq;
+        }
+        self.journal_append(&entry_name(key, kind));
+        self.maybe_compact_journal();
+    }
+
+    fn journal_append(&mut self, name: &str) {
+        let path = self.dir.join("journal.log");
+        if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "{name}");
+            self.journal_lines += 1;
+        }
+    }
+
+    fn maybe_compact_journal(&mut self) {
+        if self.journal_lines <= 8 * self.map.len() as u64 + 64 {
+            return;
+        }
+        let mut by_seq: Vec<_> = self.map.iter().map(|(id, m)| (m.seq, *id)).collect();
+        by_seq.sort_unstable();
+        let mut content = String::new();
+        for (_, (key, kind)) in &by_seq {
+            content.push_str(&entry_name(*key, *kind));
+            content.push('\n');
+        }
+        if atomic_write(&self.dir, "journal.log", &content).is_ok() {
+            self.journal_lines = by_seq.len() as u64;
+        }
+    }
+
+    /// Evicts least-recently-used entries until under the cap. The entry
+    /// just written is exempt, so a single oversized artifact still
+    /// persists rather than thrashing.
+    fn evict_over_cap(&mut self, keep_key: u64, keep_kind: StoreKind) {
+        if self.cap_bytes == 0 {
+            return; // 0 = uncapped
+        }
+        while self.stats.bytes > self.cap_bytes {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(id, _)| **id != (keep_key, keep_kind))
+                .min_by_key(|(_, m)| m.seq)
+                .map(|(id, _)| *id);
+            let Some((key, kind)) = victim else { break };
+            self.remove_entry(key, kind);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("usher-store-test-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_persists_across_reopen() {
+        let dir = scratch_dir("rt");
+        {
+            let s = DiskStore::open(&dir, 0).unwrap();
+            s.store(0xabc, StoreKind::Plan, "payload\nwith\nlines");
+            assert_eq!(
+                s.load(0xabc, StoreKind::Plan).as_deref(),
+                Some("payload\nwith\nlines")
+            );
+            assert_eq!(s.stats().entries, 1);
+            assert_eq!(s.stats().hits, 1);
+        }
+        let s = DiskStore::open(&dir, 0).unwrap();
+        assert_eq!(s.stats().entries, 1);
+        assert_eq!(
+            s.load(0xabc, StoreKind::Plan).as_deref(),
+            Some("payload\nwith\nlines")
+        );
+        // Same key, different kind: distinct entry.
+        assert_eq!(s.load(0xabc, StoreKind::Gamma), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_and_version_skew_self_heal() {
+        let dir = scratch_dir("corrupt");
+        let s = DiskStore::open(&dir, 0).unwrap();
+        s.store(1, StoreKind::Gamma, "gamma-bytes");
+        s.store(2, StoreKind::Gamma, "other");
+        // Flip payload bytes under entry 1.
+        let p1 = dir.join(entry_name(1, StoreKind::Gamma));
+        let mut content = fs::read_to_string(&p1).unwrap();
+        content.push_str("TRAILING GARBAGE");
+        fs::write(&p1, content).unwrap();
+        assert_eq!(s.load(1, StoreKind::Gamma), None, "corrupt entry must miss");
+        assert!(!p1.exists(), "corrupt entry must be removed");
+        assert_eq!(s.stats().corrupt_recovered, 1);
+        // Version skew on entry 2.
+        let p2 = dir.join(entry_name(2, StoreKind::Gamma));
+        let content = fs::read_to_string(&p2).unwrap();
+        fs::write(
+            &p2,
+            content.replacen(&format!("v{CACHE_FORMAT_VERSION}"), "v999", 1),
+        )
+        .unwrap();
+        assert_eq!(s.load(2, StoreKind::Gamma), None);
+        assert_eq!(s.stats().corrupt_recovered, 2);
+        // The store recovers: a rewrite round-trips again.
+        s.store(1, StoreKind::Gamma, "gamma-bytes");
+        assert_eq!(s.load(1, StoreKind::Gamma).as_deref(), Some("gamma-bytes"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let dir = scratch_dir("lru");
+        // Each entry is 69 bytes (49 header + 20 payload); cap fits 3.
+        let s = DiskStore::open(&dir, 220).unwrap();
+        s.store(1, StoreKind::Plan, &"a".repeat(20));
+        s.store(2, StoreKind::Plan, &"b".repeat(20));
+        s.store(3, StoreKind::Plan, &"c".repeat(20));
+        assert_eq!(s.stats().entries, 3);
+        // Touch 1 so 2 becomes least recent.
+        assert!(s.load(1, StoreKind::Plan).is_some());
+        s.store(4, StoreKind::Plan, &"d".repeat(20));
+        assert!(s.stats().evictions >= 1);
+        assert_eq!(
+            s.load(2, StoreKind::Plan),
+            None,
+            "least-recent entry evicted"
+        );
+        assert!(
+            s.load(1, StoreKind::Plan).is_some(),
+            "recently touched entry kept"
+        );
+        assert!(s.load(4, StoreKind::Plan).is_some(), "new entry kept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn junk_files_are_ignored() {
+        let dir = scratch_dir("junk");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("README.txt"), "not an artifact").unwrap();
+        fs::write(dir.join("0123.module.art.bak"), "nope").unwrap();
+        fs::write(dir.join("zzzz.plan.art"), "bad key hex").unwrap();
+        let s = DiskStore::open(&dir, 0).unwrap();
+        assert_eq!(s.stats().entries, 0);
+        s.store(9, StoreKind::Module, "m");
+        assert_eq!(s.load(9, StoreKind::Module).as_deref(), Some("m"));
+        assert!(dir.join("README.txt").exists(), "junk left untouched");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_is_compacted() {
+        let dir = scratch_dir("journal");
+        let s = DiskStore::open(&dir, 0).unwrap();
+        s.store(5, StoreKind::Plan, "p");
+        for _ in 0..200 {
+            assert!(s.load(5, StoreKind::Plan).is_some());
+        }
+        let lines = fs::read_to_string(dir.join("journal.log"))
+            .unwrap()
+            .lines()
+            .count();
+        assert!(
+            lines <= 8 + 64 + 1,
+            "journal must be compacted, got {lines} lines"
+        );
+        // Recency survives compaction across reopen.
+        let s2 = DiskStore::open(&dir, 0).unwrap();
+        assert!(s2.load(5, StoreKind::Plan).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -285,7 +285,7 @@ impl Vfg {
 }
 
 /// Construction knobs beyond the mode; mainly ablation switches.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BuildOpts {
     /// Variable-class scope.
     pub mode: VfgMode,
@@ -304,6 +304,74 @@ impl Default for BuildOpts {
     }
 }
 
+/// One recorded builder operation. A function's traversal is replayed
+/// from these to rebuild an identical graph without touching the
+/// function body: `Touch` reproduces the exact node interning order
+/// (recorded even on table hits), `Def`/`Edge` the metadata and edge
+/// arena, and the two composite ops re-execute against the *current*
+/// module state — `Check` because check nodes are always fresh, `Call`
+/// because a call's emissions read the callee's params, returns and
+/// memory summaries, which may belong to the one function that changed.
+#[derive(Clone, Copy, Debug)]
+enum TapeOp {
+    Touch(NodeKind),
+    Def(NodeKind, Site),
+    Edge(NodeKind, NodeKind, EdgeKind),
+    Check(Site, Operand, CheckKind),
+    Call(Site),
+}
+
+/// The recorded traversal of one function: its builder ops in emission
+/// order plus its contribution to the store statistics.
+#[derive(Clone, Debug, Default)]
+struct FuncTape {
+    ops: Vec<TapeOp>,
+    stats: VfgStats,
+}
+
+/// A per-function recording of an entire VFG construction, replayable by
+/// [`rebuild_with_tape`] with any single function swapped out for a live
+/// traversal. Tapes of unchanged functions are shared (`Arc`) across
+/// rebuilds.
+#[derive(Clone, Debug)]
+pub struct VfgTape {
+    funcs: Vec<std::sync::Arc<FuncTape>>,
+    opts: BuildOpts,
+}
+
+impl VfgTape {
+    /// The options the tape was recorded under; a rebuild must use the
+    /// same ones.
+    pub fn opts(&self) -> BuildOpts {
+        self.opts
+    }
+
+    /// Number of recorded functions.
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+}
+
+fn stats_delta(after: &VfgStats, before: &VfgStats) -> VfgStats {
+    VfgStats {
+        strong_stores: after.strong_stores - before.strong_stores,
+        weak_singleton_stores: after.weak_singleton_stores - before.weak_singleton_stores,
+        semi_strong_stores: after.semi_strong_stores - before.semi_strong_stores,
+        multi_target_stores: after.multi_target_stores - before.multi_target_stores,
+        total_stores: after.total_stores - before.total_stores,
+        store_chis: after.store_chis - before.store_chis,
+    }
+}
+
+fn stats_add(into: &mut VfgStats, d: &VfgStats) {
+    into.strong_stores += d.strong_stores;
+    into.weak_singleton_stores += d.weak_singleton_stores;
+    into.semi_strong_stores += d.semi_strong_stores;
+    into.multi_target_stores += d.multi_target_stores;
+    into.total_stores += d.total_stores;
+    into.store_chis += d.store_chis;
+}
+
 /// The in-flight construction state: node tables plus one flat edge
 /// arena. Nodes are interned in the same traversal order as the frozen
 /// reference builder, so ids are identical across generations.
@@ -318,6 +386,9 @@ struct Builder {
     f_root: u32,
     checks: Vec<Check>,
     stats: VfgStats,
+    /// Active tape recording, if any. Composite emissions (checks,
+    /// calls) suppress it around their low-level ops.
+    rec: Option<Vec<TapeOp>>,
 }
 
 impl Builder {
@@ -340,6 +411,7 @@ impl Builder {
             f_root: 0,
             checks: Vec::new(),
             stats: VfgStats::default(),
+            rec: None,
         };
         b.t_root = b.fresh(NodeKind::RootT);
         b.f_root = b.fresh(NodeKind::RootF);
@@ -354,6 +426,11 @@ impl Builder {
     }
 
     fn tl_node(&mut self, f: FuncId, v: VarId) -> u32 {
+        if let Some(r) = self.rec.as_mut() {
+            // Recorded even on a table hit: replay must reproduce the
+            // exact first-touch interning order.
+            r.push(TapeOp::Touch(NodeKind::Tl(f, v)));
+        }
         let slot = &mut self.tl_ids[f.index()][v.index()];
         if *slot != 0 {
             return *slot - 1;
@@ -366,6 +443,9 @@ impl Builder {
     }
 
     fn mem_node(&mut self, f: FuncId, mv: MemVerId) -> u32 {
+        if let Some(r) = self.rec.as_mut() {
+            r.push(TapeOp::Touch(NodeKind::Mem(f, mv)));
+        }
         let slot = &mut self.mem_ids[f.index()][mv.0 as usize];
         if *slot != 0 {
             return *slot - 1;
@@ -382,8 +462,35 @@ impl Builder {
         self.fresh(NodeKind::Check(site))
     }
 
+    /// Interns the node a tape operand refers to. Check nodes never
+    /// appear as tape operands (their emissions are composite ops).
+    fn intern(&mut self, kind: NodeKind) -> u32 {
+        match kind {
+            NodeKind::RootT => self.t_root,
+            NodeKind::RootF => self.f_root,
+            NodeKind::Tl(f, v) => self.tl_node(f, v),
+            NodeKind::Mem(f, mv) => self.mem_node(f, mv),
+            NodeKind::Check(_) => unreachable!("check nodes are never tape operands"),
+        }
+    }
+
+    /// Records a defining site for a node.
+    fn set_def(&mut self, node: u32, site: Site) {
+        if let Some(r) = self.rec.as_mut() {
+            r.push(TapeOp::Def(self.nodes[node as usize], site));
+        }
+        self.def_site[node as usize] = Some(site);
+    }
+
     #[inline]
     fn edge(&mut self, from: u32, to: u32, kind: EdgeKind) {
+        if let Some(r) = self.rec.as_mut() {
+            r.push(TapeOp::Edge(
+                self.nodes[from as usize],
+                self.nodes[to as usize],
+                kind,
+            ));
+        }
         self.edges.push((from, to, kind));
     }
 
@@ -485,66 +592,191 @@ pub fn build_with_budgeted(
     opts: BuildOpts,
     budget: &Budget,
 ) -> Result<Vfg, Exhausted> {
-    let mode = opts.mode;
     let mut b = Builder::new(m, ms);
+    for fid in m.funcs.indices() {
+        traverse_function(&mut b, m, pa, ms, fid, opts, budget)?;
+    }
+    Ok(b.finish(opts.mode))
+}
 
-    for (fid, func) in m.funcs.iter_enumerated() {
-        let cfg = Cfg::compute(func);
-        let dt = DomTree::compute(func, &cfg);
-        let fs = ms.funcs.get(&fid);
+/// Builds the VFG and records a replayable per-function tape of the
+/// construction alongside it.
+pub fn build_with_tape(
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    opts: BuildOpts,
+) -> (Vfg, VfgTape) {
+    let mut b = Builder::new(m, ms);
+    let mut funcs = Vec::with_capacity(m.funcs.len());
+    for fid in m.funcs.indices() {
+        funcs.push(std::sync::Arc::new(record_function(
+            &mut b, m, pa, ms, fid, opts,
+        )));
+    }
+    (b.finish(opts.mode), VfgTape { funcs, opts })
+}
 
-        // Allocation chis per location, for semi-strong lookups:
-        // loc -> [(site, old version at the alloc)].
-        let mut alloc_chis: HashMap<Loc, Vec<(Site, MemVerId)>> = HashMap::new();
-        if let Some(fs) = fs {
-            let mut chi_sites: Vec<Site> = fs.chis.keys().copied().collect();
-            chi_sites.sort_unstable();
-            for site in chi_sites {
-                for c in &fs.chis[&site] {
-                    if matches!(fs.def(c.new).kind, crate::memssa::MemDefKind::Alloc(_)) {
-                        alloc_chis.entry(c.loc).or_default().push((site, c.old));
-                    }
-                }
-            }
+/// Rebuilds the VFG after an edit confined to `dirty`'s body: every
+/// other function replays its recorded tape (no CFG, dominator or
+/// instruction work), `dirty` is traversed live and re-recorded. The
+/// result is bit-identical to [`build_with_tape`] on the current module
+/// because the replayed ops reproduce the exact node interning and edge
+/// emission order, and the composite `Check`/`Call` ops re-read the
+/// current module state for anything that can reference `dirty`.
+pub fn rebuild_with_tape(
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    opts: BuildOpts,
+    tape: &VfgTape,
+    dirty: FuncId,
+) -> (Vfg, VfgTape) {
+    assert_eq!(
+        tape.funcs.len(),
+        m.funcs.len(),
+        "tape does not match the module's function count"
+    );
+    assert_eq!(tape.opts, opts, "tape was recorded under different options");
+    let mut b = Builder::new(m, ms);
+    let mut funcs = Vec::with_capacity(m.funcs.len());
+    for fid in m.funcs.indices() {
+        if fid == dirty {
+            funcs.push(std::sync::Arc::new(record_function(
+                &mut b, m, pa, ms, fid, opts,
+            )));
+        } else {
+            replay_function(&mut b, m, pa, ms, fid, opts, &tape.funcs[fid.index()]);
+            funcs.push(std::sync::Arc::clone(&tape.funcs[fid.index()]));
         }
+    }
+    (b.finish(opts.mode), VfgTape { funcs, opts })
+}
 
-        // Region phi edges, in block order so node numbering is stable.
-        if mode == VfgMode::Full {
-            if let Some(fs) = fs {
-                let mut phi_blocks: Vec<_> = fs.phis.keys().copied().collect();
-                phi_blocks.sort_unstable();
-                for bb in phi_blocks {
-                    for p in &fs.phis[&bb] {
-                        let d = b.mem_node(fid, p.def);
-                        for (_, inc) in &p.incomings {
-                            let i = b.mem_node(fid, *inc);
-                            b.edge(d, i, EdgeKind::Direct);
-                        }
-                    }
-                }
-            }
-        }
+fn record_function(
+    b: &mut Builder,
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    fid: FuncId,
+    opts: BuildOpts,
+) -> FuncTape {
+    let before = b.stats;
+    b.rec = Some(Vec::new());
+    traverse_function(b, m, pa, ms, fid, opts, &Budget::unlimited())
+        .expect("unlimited budgets never exhaust");
+    let ops = b.rec.take().unwrap_or_default();
+    FuncTape {
+        ops,
+        stats: stats_delta(&b.stats, &before),
+    }
+}
 
-        for (bb, block) in func.blocks.iter_enumerated() {
-            if !cfg.is_reachable(bb) {
-                continue;
+fn replay_function(
+    b: &mut Builder,
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    fid: FuncId,
+    opts: BuildOpts,
+    ft: &FuncTape,
+) {
+    debug_assert!(b.rec.is_none(), "replay never records");
+    let full = opts.mode == VfgMode::Full;
+    for op in &ft.ops {
+        match *op {
+            TapeOp::Touch(kind) => {
+                b.intern(kind);
             }
-            for (idx, inst) in block.insts.iter().enumerate() {
-                budget.try_charge(1)?;
-                let site = Site::new(fid, bb, idx);
-                build_inst(&mut b, m, pa, ms, fid, site, inst, opts, &dt, &alloc_chis);
+            TapeOp::Def(kind, site) => {
+                let n = b.intern(kind);
+                b.set_def(n, site);
             }
-            budget.try_charge(1)?;
-            let term_site = Site::new(fid, bb, block.insts.len());
-            match &block.term {
-                Terminator::Br { cond, .. } => {
-                    register_check(&mut b, term_site, *cond, CheckKind::BranchCond, fid);
-                }
-                Terminator::Jmp(_) | Terminator::Ret(_) | Terminator::Unreachable => {}
+            TapeOp::Edge(from, to, ek) => {
+                let x = b.intern(from);
+                let y = b.intern(to);
+                b.edge(x, y, ek);
+            }
+            TapeOp::Check(site, operand, kind) => {
+                register_check(b, site, operand, kind, fid);
+            }
+            TapeOp::Call(site) => {
+                let inst = &m.funcs[site.func].blocks[site.block].insts[site.idx];
+                let Inst::Call { dst, callee, args } = inst else {
+                    unreachable!("Call tape op does not point at a call instruction");
+                };
+                build_call(b, m, pa, ms, fid, site, *dst, callee, args, full);
             }
         }
     }
-    Ok(b.finish(mode))
+    stats_add(&mut b.stats, &ft.stats);
+}
+
+fn traverse_function(
+    b: &mut Builder,
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    fid: FuncId,
+    opts: BuildOpts,
+    budget: &Budget,
+) -> Result<(), Exhausted> {
+    let func = &m.funcs[fid];
+    let cfg = Cfg::compute(func);
+    let dt = DomTree::compute(func, &cfg);
+    let fs = ms.funcs.get(&fid);
+
+    // Allocation chis per location, for semi-strong lookups:
+    // loc -> [(site, old version at the alloc)].
+    let mut alloc_chis: HashMap<Loc, Vec<(Site, MemVerId)>> = HashMap::new();
+    if let Some(fs) = fs {
+        let mut chi_sites: Vec<Site> = fs.chis.keys().copied().collect();
+        chi_sites.sort_unstable();
+        for site in chi_sites {
+            for c in &fs.chis[&site] {
+                if matches!(fs.def(c.new).kind, crate::memssa::MemDefKind::Alloc(_)) {
+                    alloc_chis.entry(c.loc).or_default().push((site, c.old));
+                }
+            }
+        }
+    }
+
+    // Region phi edges, in block order so node numbering is stable.
+    if opts.mode == VfgMode::Full {
+        if let Some(fs) = fs {
+            let mut phi_blocks: Vec<_> = fs.phis.keys().copied().collect();
+            phi_blocks.sort_unstable();
+            for bb in phi_blocks {
+                for p in &fs.phis[&bb] {
+                    let d = b.mem_node(fid, p.def);
+                    for (_, inc) in &p.incomings {
+                        let i = b.mem_node(fid, *inc);
+                        b.edge(d, i, EdgeKind::Direct);
+                    }
+                }
+            }
+        }
+    }
+
+    for (bb, block) in func.blocks.iter_enumerated() {
+        if !cfg.is_reachable(bb) {
+            continue;
+        }
+        for (idx, inst) in block.insts.iter().enumerate() {
+            budget.try_charge(1)?;
+            let site = Site::new(fid, bb, idx);
+            build_inst(b, m, pa, ms, fid, site, inst, opts, &dt, &alloc_chis);
+        }
+        budget.try_charge(1)?;
+        let term_site = Site::new(fid, bb, block.insts.len());
+        match &block.term {
+            Terminator::Br { cond, .. } => {
+                register_check_traced(b, term_site, *cond, CheckKind::BranchCond, fid);
+            }
+            Terminator::Jmp(_) | Terminator::Ret(_) | Terminator::Unreachable => {}
+        }
+    }
+    Ok(())
 }
 
 fn op_node(b: &mut Builder, f: FuncId, op: Operand) -> u32 {
@@ -561,7 +793,7 @@ fn register_check(b: &mut Builder, site: Site, op: Operand, kind: CheckKind, f: 
         return;
     }
     let node = b.check_node(site);
-    b.def_site[node as usize] = Some(site);
+    b.set_def(node, site);
     let target = op_node(b, f, op);
     b.edge(node, target, EdgeKind::Direct);
     b.checks.push(Check {
@@ -570,6 +802,18 @@ fn register_check(b: &mut Builder, site: Site, op: Operand, kind: CheckKind, f: 
         operand: op,
         kind,
     });
+}
+
+/// [`register_check`] recorded as one composite tape op: the check node
+/// is always fresh, so replay re-executes the registration rather than
+/// replaying its low-level emissions.
+fn register_check_traced(b: &mut Builder, site: Site, op: Operand, kind: CheckKind, f: FuncId) {
+    let saved = b.rec.take();
+    register_check(b, site, op, kind, f);
+    b.rec = saved;
+    if let Some(r) = b.rec.as_mut() {
+        r.push(TapeOp::Check(site, op, kind));
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -590,13 +834,13 @@ fn build_inst(
     match inst {
         Inst::Copy { dst, src } | Inst::Un { dst, src, .. } => {
             let d = b.tl_node(fid, *dst);
-            b.def_site[d as usize] = Some(site);
+            b.set_def(d, site);
             let s = op_node(b, fid, *src);
             b.edge(d, s, EdgeKind::Direct);
         }
         Inst::Bin { dst, lhs, rhs, .. } => {
             let d = b.tl_node(fid, *dst);
-            b.def_site[d as usize] = Some(site);
+            b.set_def(d, site);
             let l = op_node(b, fid, *lhs);
             let r = op_node(b, fid, *rhs);
             b.edge(d, l, EdgeKind::Direct);
@@ -604,7 +848,7 @@ fn build_inst(
         }
         Inst::Gep { dst, base, offset } => {
             let d = b.tl_node(fid, *dst);
-            b.def_site[d as usize] = Some(site);
+            b.set_def(d, site);
             let bnode = op_node(b, fid, *base);
             b.edge(d, bnode, EdgeKind::Direct);
             if let GepOffset::Index { index, .. } = offset {
@@ -615,7 +859,7 @@ fn build_inst(
         Inst::Alloc { dst, obj, count } => {
             // The resulting pointer is always defined.
             let d = b.tl_node(fid, *dst);
-            b.def_site[d as usize] = Some(site);
+            b.set_def(d, site);
             b.edge(d, b.t_root, EdgeKind::Direct);
             if let Some(c) = count {
                 let cn = op_node(b, fid, *c);
@@ -631,7 +875,7 @@ fn build_inst(
                         };
                         for c in chis {
                             let n = b.mem_node(fid, c.new);
-                            b.def_site[n as usize] = Some(site);
+                            b.set_def(n, site);
                             let o = b.mem_node(fid, c.old);
                             b.edge(n, init, EdgeKind::Direct);
                             b.edge(n, o, EdgeKind::Direct);
@@ -641,9 +885,9 @@ fn build_inst(
             }
         }
         Inst::Load { dst, addr } => {
-            register_check(b, site, *addr, CheckKind::LoadAddr, fid);
+            register_check_traced(b, site, *addr, CheckKind::LoadAddr, fid);
             let d = b.tl_node(fid, *dst);
-            b.def_site[d as usize] = Some(site);
+            b.set_def(d, site);
             if full {
                 let mus = fs.and_then(|fs| fs.mus.get(&site));
                 match mus {
@@ -663,7 +907,7 @@ fn build_inst(
             }
         }
         Inst::Store { addr, val } => {
-            register_check(b, site, *addr, CheckKind::StoreAddr, fid);
+            register_check_traced(b, site, *addr, CheckKind::StoreAddr, fid);
             b.stats.total_stores += 1;
             if !full {
                 return;
@@ -678,7 +922,7 @@ fn build_inst(
             if chis.len() == 1 && unique == Some(chis[0].loc) {
                 let c = chis[0];
                 let n = b.mem_node(fid, c.new);
-                b.def_site[n as usize] = Some(site);
+                b.set_def(n, site);
                 b.edge(n, v, EdgeKind::Direct);
                 if pa.is_concrete(c.loc) {
                     // Strong update: the old version is killed.
@@ -712,7 +956,7 @@ fn build_inst(
                 b.stats.multi_target_stores += 1;
                 for c in chis {
                     let n = b.mem_node(fid, c.new);
-                    b.def_site[n as usize] = Some(site);
+                    b.set_def(n, site);
                     let o = b.mem_node(fid, c.old);
                     b.edge(n, v, EdgeKind::Direct);
                     b.edge(n, o, EdgeKind::Direct);
@@ -720,90 +964,119 @@ fn build_inst(
             }
         }
         Inst::Call { dst, callee, args } => {
-            if let Callee::Indirect(t) = callee {
-                register_check(b, site, *t, CheckKind::CallTarget, fid);
-            }
-            if let Callee::External(ext) = callee {
-                if let Some(d) = dst {
-                    let dn = b.tl_node(fid, *d);
-                    b.def_site[dn as usize] = Some(site);
-                    // input() yields a defined value; other externals
-                    // have no results.
-                    let root = match ext {
-                        ExtFunc::InputInt => b.t_root,
-                        _ => b.t_root,
-                    };
-                    b.edge(dn, root, EdgeKind::Direct);
-                }
-                return;
-            }
-            let callees: &[FuncId] = pa.call_graph.callees_of(site);
-            // Top-level parameter and return flow.
-            for &gcallee in callees {
-                let callee_fn = &m.funcs[gcallee];
-                for (&p, a) in callee_fn.params.iter().zip(args.iter()) {
-                    let pn = b.tl_node(gcallee, p);
-                    let an = op_node(b, fid, *a);
-                    b.edge(pn, an, EdgeKind::Call(site));
-                }
-                if let Some(d) = dst {
-                    let dn = b.tl_node(fid, *d);
-                    b.def_site[dn as usize] = Some(site);
-                    for block in callee_fn.blocks.iter() {
-                        if let Terminator::Ret(Some(op)) = &block.term {
-                            let rn = op_node(b, gcallee, *op);
-                            b.edge(dn, rn, EdgeKind::Ret(site));
-                        }
-                    }
-                }
-            }
-            if !full {
-                return;
-            }
-            let Some(fs) = fs else { return };
-            // Virtual parameter flow.
-            if let Some(mus) = fs.mus.get(&site) {
-                for mu in mus {
-                    let caller_ver = b.mem_node(fid, mu.def);
-                    for &gcallee in callees {
-                        if let Some(cal) = ms.funcs.get(&gcallee) {
-                            if let Some(&fin) = cal.formal_in.get(&mu.loc) {
-                                let fn_node = b.mem_node(gcallee, fin);
-                                b.edge(fn_node, caller_ver, EdgeKind::Call(site));
-                            }
-                        }
-                    }
-                }
-            }
-            if let Some(chis) = fs.chis.get(&site) {
-                for c in chis {
-                    let n = b.mem_node(fid, c.new);
-                    b.def_site[n as usize] = Some(site);
-                    let o = b.mem_node(fid, c.old);
-                    b.edge(n, o, EdgeKind::Direct);
-                    for &gcallee in callees {
-                        if let Some(cal) = ms.funcs.get(&gcallee) {
-                            let mut ret_blocks: Vec<_> = cal.ret_mus.keys().copied().collect();
-                            ret_blocks.sort_unstable();
-                            for bb in ret_blocks {
-                                for mu in &cal.ret_mus[&bb] {
-                                    if mu.loc == c.loc {
-                                        let out_node = b.mem_node(gcallee, mu.def);
-                                        b.edge(n, out_node, EdgeKind::Ret(site));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
+            // Composite tape op: a call's emissions read the callee's
+            // params, return terminators and memory summaries, which can
+            // belong to the edited function — replay re-executes this
+            // against the current module instead of replaying stale ops.
+            let saved = b.rec.take();
+            build_call(b, m, pa, ms, fid, site, *dst, callee, args, full);
+            b.rec = saved;
+            if let Some(r) = b.rec.as_mut() {
+                r.push(TapeOp::Call(site));
             }
         }
         Inst::Phi { dst, incomings } => {
             let d = b.tl_node(fid, *dst);
-            b.def_site[d as usize] = Some(site);
+            b.set_def(d, site);
             for (_, op) in incomings {
                 let n = op_node(b, fid, *op);
                 b.edge(d, n, EdgeKind::Direct);
+            }
+        }
+    }
+}
+
+/// Emits the value-flow of one call instruction: the indirect-target
+/// check, top-level parameter/return flow, and (in full mode) the
+/// virtual mu/chi flow through callee memory summaries.
+#[allow(clippy::too_many_arguments)]
+fn build_call(
+    b: &mut Builder,
+    m: &Module,
+    pa: &PointerAnalysis,
+    ms: &MemSsa,
+    fid: FuncId,
+    site: Site,
+    dst: Option<VarId>,
+    callee: &Callee,
+    args: &[Operand],
+    full: bool,
+) {
+    let fs = ms.funcs.get(&fid);
+    if let Callee::Indirect(t) = callee {
+        register_check(b, site, *t, CheckKind::CallTarget, fid);
+    }
+    if let Callee::External(ext) = callee {
+        if let Some(d) = dst {
+            let dn = b.tl_node(fid, d);
+            b.set_def(dn, site);
+            // input() yields a defined value; other externals
+            // have no results.
+            let root = match ext {
+                ExtFunc::InputInt => b.t_root,
+                _ => b.t_root,
+            };
+            b.edge(dn, root, EdgeKind::Direct);
+        }
+        return;
+    }
+    let callees: &[FuncId] = pa.call_graph.callees_of(site);
+    // Top-level parameter and return flow.
+    for &gcallee in callees {
+        let callee_fn = &m.funcs[gcallee];
+        for (&p, a) in callee_fn.params.iter().zip(args.iter()) {
+            let pn = b.tl_node(gcallee, p);
+            let an = op_node(b, fid, *a);
+            b.edge(pn, an, EdgeKind::Call(site));
+        }
+        if let Some(d) = dst {
+            let dn = b.tl_node(fid, d);
+            b.set_def(dn, site);
+            for block in callee_fn.blocks.iter() {
+                if let Terminator::Ret(Some(op)) = &block.term {
+                    let rn = op_node(b, gcallee, *op);
+                    b.edge(dn, rn, EdgeKind::Ret(site));
+                }
+            }
+        }
+    }
+    if !full {
+        return;
+    }
+    let Some(fs) = fs else { return };
+    // Virtual parameter flow.
+    if let Some(mus) = fs.mus.get(&site) {
+        for mu in mus {
+            let caller_ver = b.mem_node(fid, mu.def);
+            for &gcallee in callees {
+                if let Some(cal) = ms.funcs.get(&gcallee) {
+                    if let Some(&fin) = cal.formal_in.get(&mu.loc) {
+                        let fn_node = b.mem_node(gcallee, fin);
+                        b.edge(fn_node, caller_ver, EdgeKind::Call(site));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(chis) = fs.chis.get(&site) {
+        for c in chis {
+            let n = b.mem_node(fid, c.new);
+            b.set_def(n, site);
+            let o = b.mem_node(fid, c.old);
+            b.edge(n, o, EdgeKind::Direct);
+            for &gcallee in callees {
+                if let Some(cal) = ms.funcs.get(&gcallee) {
+                    let mut ret_blocks: Vec<_> = cal.ret_mus.keys().copied().collect();
+                    ret_blocks.sort_unstable();
+                    for bb in ret_blocks {
+                        for mu in &cal.ret_mus[&bb] {
+                            if mu.loc == c.loc {
+                                let out_node = b.mem_node(gcallee, mu.def);
+                                b.edge(n, out_node, EdgeKind::Ret(site));
+                            }
+                        }
+                    }
+                }
             }
         }
     }

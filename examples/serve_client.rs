@@ -1,0 +1,161 @@
+//! A minimal `usher serve` client: std-only socket I/O, one analyze,
+//! an edit burst, per-request latency printed.
+//!
+//! ```sh
+//! cargo run --example serve_client                  # self-hosted server
+//! cargo run --example serve_client /tmp/usher.sock  # external server
+//! ```
+//!
+//! With a socket path argument the example connects to an already
+//! running `usher serve --socket <path>`; without one it hosts the
+//! server on a background thread first. Either way the client half
+//! below touches nothing beyond `std`: it writes one JSON object per
+//! line to a `UnixStream` and reads one JSON line back per request —
+//! the whole protocol surface (DESIGN.md §11).
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+const SOURCE: &str = "def scale(int v) -> int {\n    int bias = 4;\n    if (v) { return v * bias; }\n    return bias;\n}\ndef risky(int c) -> int {\n    int x;\n    if (c) { x = 1; }\n    if (x) { return 1; }\n    return 0;\n}\ndef main(int c) {\n    print(scale(risky(c)));\n}";
+
+/// The constants swapped into `scale`'s body, one edit per entry.
+const EDIT_BIASES: [u32; 4] = [7, 9, 12, 42];
+
+fn main() {
+    let external = std::env::args().nth(1);
+    let path = external.clone().unwrap_or_else(|| {
+        let p =
+            std::env::temp_dir().join(format!("usher-serve-client-{}.sock", std::process::id()));
+        let p = p.to_string_lossy().into_owned();
+        host_server(&p);
+        p
+    });
+
+    let stream = connect_with_retry(&path);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    let mut request = |label: &str, line: String| -> String {
+        let t = Instant::now();
+        writeln!(writer, "{line}").expect("write request");
+        writer.flush().expect("flush request");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read response");
+        println!(
+            "{label:<12} {:>8.2} ms  {}",
+            t.elapsed().as_secs_f64() * 1e3,
+            resp.trim_end()
+        );
+        resp
+    };
+
+    // Open a session. The response carries the session id we edit under;
+    // a second identical analyze would come back `"mode":"warm"`.
+    let resp = request(
+        "analyze",
+        format!(
+            "{{\"op\":\"analyze\",\"source\":{},\"id\":\"ex-a\"}}",
+            json_str(SOURCE)
+        ),
+    );
+    let session = field_u64(&resp, "session").expect("analyze returns a session id");
+
+    // Edit burst: swap the constant in `scale` four times. Each edit is
+    // confined to one function body, so the server recomputes exactly
+    // one function's analysis slice per request (`functions_recomputed`).
+    for (i, bias) in EDIT_BIASES.iter().enumerate() {
+        let body = SOURCE
+            .split("\ndef risky")
+            .next()
+            .unwrap()
+            .replace("int bias = 4;", &format!("int bias = {bias};"));
+        request(
+            &format!("edit #{i}"),
+            format!(
+                "{{\"op\":\"edit\",\"session\":{session},\"func\":\"scale\",\"body\":{},\"id\":\"ex-e{i}\"}}",
+                json_str(&body)
+            ),
+        );
+    }
+
+    request(
+        "query",
+        format!("{{\"op\":\"query\",\"session\":{session},\"id\":\"ex-q\"}}"),
+    );
+    request("stats", "{\"op\":\"stats\",\"id\":\"ex-s\"}".to_string());
+    if external.is_none() {
+        request(
+            "shutdown",
+            "{\"op\":\"shutdown\",\"id\":\"ex-z\"}".to_string(),
+        );
+    }
+}
+
+/// Hosts the analysis service on a background thread so the example is
+/// runnable standalone: the same [`usher::serve::Dispatcher`] the real
+/// `usher serve` binary multiplexes, behind a plain socket accept loop.
+/// (`run_server` itself also owns stdin, which an example should not.)
+fn host_server(path: &str) {
+    use usher::serve::{Dispatcher, ServerConfig};
+
+    let cfg = ServerConfig::default();
+    let dispatcher = Dispatcher::new(&cfg).expect("dispatcher opens");
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path).expect("bind socket");
+    std::thread::spawn(move || {
+        while let Ok((conn, _)) = listener.accept() {
+            let mut writer = conn.try_clone().expect("clone connection");
+            for line in BufReader::new(conn).lines() {
+                let Ok(line) = line else { break };
+                let handled = dispatcher.handle_line("example", &line);
+                if writeln!(writer, "{}", handled.response).is_err() || handled.shutdown {
+                    return;
+                }
+            }
+        }
+    });
+}
+
+fn connect_with_retry(path: &str) -> UnixStream {
+    for _ in 0..100 {
+        if let Ok(s) = UnixStream::connect(path) {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("cannot connect to {path}; is `usher serve --socket {path}` running?");
+}
+
+/// JSON string literal (the only encoding a client needs).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extracts `"key":<digits>` from a JSON line — enough for a demo
+/// client that only needs the session id back.
+fn field_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}

@@ -5,7 +5,9 @@
 # over the workload-generator seed ladder.
 #
 # Full mode writes BENCH_stages.json at the repo root (the file is
-# checked in so reviewers can see the numbers a change shipped with).
+# checked in so reviewers can see the numbers a change shipped with),
+# then replays the serve latency trace (gen-131, multi-client edit
+# bursts) into BENCH_serve.json — same check-in policy.
 # `--quick` runs the two smoke rungs with fewer timing iterations and
 # discards the JSON — the CI smoke path. In quick mode stage_bench is
 # also a regression guard: it exits nonzero if the condensed vfg+resolve
@@ -26,4 +28,9 @@ else
     # Progress lines go to stderr; the JSON object is stdout.
     ./target/release/stage_bench > BENCH_stages.json
     echo "==> wrote BENCH_stages.json"
+
+    echo "==> serve-bench (gen-131 multi-client trace)"
+    cargo build --release --offline --bin usher
+    ./target/release/usher serve-bench --out BENCH_serve.json > /dev/null
+    echo "==> wrote BENCH_serve.json"
 fi

@@ -46,6 +46,40 @@ if ./target/release/usher analyze "$DEG_TC" --budget-steps 500 --no-cache --stri
 fi
 rm -f "$DEG_TC" "$DEG_JSON"
 
+echo "==> serve smoke"
+# Persistent-service gate (DESIGN.md §11): drive the JSON-lines protocol
+# over stdin — cold analyze, warm re-analyze (the cache must hit), a
+# single-function edit that must take the incremental path and recompute
+# exactly one function, a query, stats with a nonzero warm-hit ratio,
+# and a clean shutdown. Then the serve-bench regression gate: quick-rung
+# trace where incremental edits must beat cold analysis by the floor.
+SRV_OUT=$(mktemp)
+printf '%s\n' \
+  '{"op":"analyze","source":"def scale(int v) -> int {\n    int bias = 4;\n    if (v) { return v * bias; }\n    return bias;\n}\ndef risky(int c) -> int {\n    int x;\n    if (c) { x = 1; }\n    if (x) { return 1; }\n    return 0;\n}\ndef main(int c) {\n    print(scale(risky(c)));\n}","id":"ci-a1"}' \
+  '{"op":"analyze","source":"def scale(int v) -> int {\n    int bias = 4;\n    if (v) { return v * bias; }\n    return bias;\n}\ndef risky(int c) -> int {\n    int x;\n    if (c) { x = 1; }\n    if (x) { return 1; }\n    return 0;\n}\ndef main(int c) {\n    print(scale(risky(c)));\n}","id":"ci-a2"}' \
+  '{"op":"edit","session":1,"func":"scale","body":"def scale(int v) -> int {\n    int bias = 9;\n    if (v) { return v * bias; }\n    return bias;\n}","id":"ci-e1"}' \
+  '{"op":"query","session":1,"id":"ci-q1"}' \
+  '{"op":"stats","id":"ci-s1"}' \
+  '{"op":"shutdown","id":"ci-z1"}' \
+  | ./target/release/usher serve > "$SRV_OUT" 2>/dev/null
+grep -q '"id":"ci-a1".*"mode":"cold"' "$SRV_OUT"
+grep -q '"id":"ci-a2".*"mode":"warm"' "$SRV_OUT"
+grep -q '"id":"ci-e1".*"incremental":true,"functions_recomputed":1' "$SRV_OUT"
+grep -q '"id":"ci-q1".*"plan_digest"' "$SRV_OUT"
+grep -q '"id":"ci-s1".*"analyzes_warm":1' "$SRV_OUT"
+if grep -q '"warm_hit_ratio":0[,}]' "$SRV_OUT"; then
+    echo "error: serve smoke warm-hit ratio must be nonzero" >&2
+    exit 1
+fi
+if grep -q '"ok":false' "$SRV_OUT"; then
+    echo "error: serve smoke produced a failed response" >&2
+    cat "$SRV_OUT" >&2
+    exit 1
+fi
+grep -q '"op":"shutdown"' "$SRV_OUT"
+rm -f "$SRV_OUT"
+./target/release/usher serve-bench --quick > /dev/null
+
 echo "==> bench smoke"
 sh scripts/bench.sh --quick
 

@@ -24,5 +24,6 @@ pub use usher_fuzz as fuzz;
 pub use usher_ir as ir;
 pub use usher_pointer as pointer;
 pub use usher_runtime as runtime;
+pub use usher_serve as serve;
 pub use usher_vfg as vfg;
 pub use usher_workloads as workloads;

@@ -9,6 +9,8 @@
 //! usher vfg <file.tc>                 dump the value-flow graph as DOT
 //! usher gen [--seed N] [...]          generate a synthetic TinyC workload
 //! usher fuzz [--smoke] [...]          differential fuzzing campaign
+//! usher serve [--socket P] [...]      persistent incremental analysis service
+//! usher serve-bench [--quick] [...]   multi-client serve latency benchmark
 //! ```
 //!
 //! Inputs ending in `.uir` are parsed as IR text instead of TinyC.
@@ -35,6 +37,17 @@
 //! (JSONL telemetry) and `--out DIR` (minimized reproducers) shape ad-hoc
 //! campaigns. Exit code 1 means the campaign found at least one mismatch.
 //!
+//! `usher serve` keeps one analysis engine resident and speaks a
+//! JSON-lines protocol (`analyze`/`edit`/`query`/`stats`/`close`/
+//! `shutdown`) over stdin and an optional Unix socket (`--socket`),
+//! multiplexing up to `--max-clients` connections. Artifacts are cached
+//! in memory and, with `--store-dir`, in an on-disk content-addressed
+//! store capped at `--store-cap-bytes`. `usher serve-bench` replays a
+//! deterministic multi-client edit/analyze trace and reports p50/p99
+//! latency plus the incremental-vs-cold speedup; `--quick` is the CI
+//! regression gate and `--out FILE` writes the JSON report
+//! (see BENCH_serve.json and DESIGN.md §11).
+//!
 //! All analysis routes through [`usher::driver::Pipeline`].
 
 use std::process::ExitCode;
@@ -54,6 +67,8 @@ fn main() -> ExitCode {
             eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--no-cache] [--report] [--budget-steps N] [--deadline-ms N] [--strict] [--inject-panic STAGE]");
             eprintln!("       usher gen [--seed N] [--helpers N] [--stmts N]");
             eprintln!("       usher fuzz [--smoke] [--seeds N] [--start N] [--mutants N] [--frontend] [--fault MODE] [--threads N] [--no-minimize] [--report FILE] [--out DIR]");
+            eprintln!("       usher serve [--socket PATH] [--store-dir DIR] [--store-cap-bytes N] [--max-clients N] [--threads N] [--no-cache]");
+            eprintln!("       usher serve-bench [--quick] [--clients N] [--edits N] [--out FILE]");
             ExitCode::from(2)
         }
     }
@@ -65,6 +80,12 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     }
     if args.first().map(String::as_str) == Some("gen") {
         return gen_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve-bench") {
+        return serve_bench_command(&args[1..]);
     }
     let mut cmd = None;
     let mut file = None;
@@ -311,6 +332,94 @@ fn gen_command(args: &[String]) -> Result<ExitCode, String> {
     }
     print!("{}", generate(seed, ladder_config(helpers, stmts)));
     Ok(ExitCode::SUCCESS)
+}
+
+/// `usher serve`: run the persistent incremental analysis service until
+/// stdin closes or a client sends `{"op":"shutdown"}`.
+fn serve_command(args: &[String]) -> Result<ExitCode, String> {
+    use usher::serve::{run_server, ServerConfig};
+
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                let v = it.next().ok_or("--socket needs a path")?;
+                cfg.socket = Some(v.into());
+            }
+            "--store-dir" => {
+                let v = it.next().ok_or("--store-dir needs a directory")?;
+                cfg.store_dir = Some(v.into());
+            }
+            "--store-cap-bytes" => {
+                let v = it.next().ok_or("--store-cap-bytes needs a value")?;
+                cfg.store_cap_bytes = v.parse().map_err(|_| format!("bad byte cap {v}"))?;
+            }
+            "--max-clients" => {
+                let v = it.next().ok_or("--max-clients needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad client count {v}"))?;
+                if n == 0 {
+                    return Err("--max-clients must be at least 1".into());
+                }
+                cfg.max_clients = n;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                cfg.threads = n;
+            }
+            "--no-cache" => cfg.use_cache = false,
+            other => return Err(format!("unexpected serve argument {other}")),
+        }
+    }
+    run_server(&cfg)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `usher serve-bench`: deterministic multi-client latency benchmark
+/// over the serve protocol. Exit code 1 means a `--quick` regression
+/// gate tripped.
+fn serve_bench_command(args: &[String]) -> Result<ExitCode, String> {
+    use usher::serve::{run_bench, BenchOptions};
+
+    let mut opts = BenchOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad client count {v}"))?;
+                if n == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+                opts.clients = n;
+            }
+            "--edits" => {
+                let v = it.next().ok_or("--edits needs a value")?;
+                opts.edits_per_client = v.parse().map_err(|_| format!("bad edit count {v}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                opts.out = Some(v.into());
+            }
+            other => return Err(format!("unexpected serve-bench argument {other}")),
+        }
+    }
+    match run_bench(&opts) {
+        Ok(s) => {
+            println!("{}", s.json);
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) if e.starts_with("regression:") => {
+            eprintln!("serve-bench {e}");
+            Ok(ExitCode::from(1))
+        }
+        Err(e) => Err(e),
+    }
 }
 
 fn fuzz_command(args: &[String]) -> Result<ExitCode, String> {

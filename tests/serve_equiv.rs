@@ -1,0 +1,201 @@
+//! Serve-vs-cold equivalence properties (DESIGN.md §11).
+//!
+//! The serve engine's contract is that editing never changes *what* is
+//! computed, only *how much* is recomputed: after any sequence of edits,
+//! the session's Gamma and instrumentation plan must be byte-identical
+//! to a cold, from-scratch analysis of the session's current source.
+//! These tests replay deterministic edit sequences — const swaps that
+//! take the incremental path and declaration insertions that force the
+//! sound fallback — over generated workload rungs and check the full
+//! fingerprints (not just digests) against `run_config` after every
+//! step.
+
+use usher::core::{run_config, Config};
+use usher::driver::{gamma_fingerprint, plan_fingerprint};
+use usher::frontend::compile_o0im;
+use usher::serve::{Engine, EngineConfig};
+use usher::workloads::{generate, ladder_config, SEED_LADDER};
+
+/// Cold-oracle fingerprints for a source: full pipeline, no serve.
+fn oracle(src: &str) -> (String, String) {
+    let m = compile_o0im(src).expect("oracle compiles");
+    let out = run_config(&m, Config::USHER);
+    let gamma = out.gamma.expect("guided config resolves");
+    (plan_fingerprint(&out.plan), gamma_fingerprint(&gamma))
+}
+
+/// `helper*` spans as `(name, start, end)` line ranges.
+fn helper_spans(lines: &[&str]) -> Vec<(String, usize, usize)> {
+    let mut spans = Vec::new();
+    let mut depth = 0i64;
+    let mut open: Option<(String, usize)> = None;
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.split("//").next().unwrap_or("");
+        if depth == 0 {
+            if let Some(rest) = code.trim_start().strip_prefix("def ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if name.starts_with("helper") {
+                    open = Some((name, i));
+                }
+            }
+        }
+        depth += code.matches('{').count() as i64;
+        depth -= code.matches('}').count() as i64;
+        if depth == 0 {
+            if let Some((name, start)) = open.take() {
+                spans.push((name, start, i + 1));
+            }
+        }
+    }
+    spans
+}
+
+fn const_swap(line: &str) -> Option<String> {
+    let eq = line.rfind(" = ")?;
+    let digits = line[eq + 3..].trim_end().strip_suffix(';')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let n: u64 = digits.parse().ok()?;
+    Some(format!("{} = {};", &line[..eq], (n + 11) % 89 + 1))
+}
+
+/// Builds edit `k` for the current source: even `k` const-swaps a
+/// helper body (incremental candidate), odd `k` inserts a declaration
+/// (object count changes — must fall back).
+fn synthesize_edit(source: &str, k: usize) -> Option<(String, String)> {
+    let lines: Vec<&str> = source.lines().collect();
+    let spans = helper_spans(&lines);
+    if spans.is_empty() {
+        return None;
+    }
+    for off in 0..spans.len() {
+        let (name, start, end) = &spans[(k * 7 + off) % spans.len()];
+        let body: Vec<String> = lines[*start..*end].iter().map(|s| s.to_string()).collect();
+        if k % 2 == 1 {
+            let mut b = body;
+            b.insert(1, format!("    int equiv_x{k} = 3;"));
+            return Some((name.clone(), b.join("\n")));
+        }
+        for (j, line) in body.iter().enumerate().skip(1) {
+            if let Some(s) = const_swap(line) {
+                let mut b = body.clone();
+                b[j] = s;
+                return Some((name.clone(), b.join("\n")));
+            }
+        }
+    }
+    None
+}
+
+/// Replays `edits` synthesized edits on one rung, checking full
+/// fingerprint equality with the cold oracle after every step. Returns
+/// `(incremental, fallback)` counts.
+fn replay_rung(seed: u64, helpers: usize, stmts: usize, edits: usize) -> (usize, usize) {
+    let src = generate(seed, ladder_config(helpers, stmts));
+    let mut e = Engine::new(EngineConfig::default()).expect("engine opens");
+    let sid = e.analyze(&src).expect("rung analyzes").session_id;
+
+    let q = e.query(sid).unwrap();
+    let (pf, gf) = oracle(&src);
+    assert_eq!(q.plan_fingerprint, pf, "seed {seed}: cold plan mismatch");
+    assert_eq!(q.gamma_fingerprint, gf, "seed {seed}: cold gamma mismatch");
+
+    let (mut incr, mut fall) = (0usize, 0usize);
+    for k in 0..edits {
+        let source = e.session_source(sid).unwrap();
+        let Some((func, body)) = synthesize_edit(&source, k) else {
+            continue;
+        };
+        let out = e
+            .edit(sid, &func, &body)
+            .unwrap_or_else(|err| panic!("seed {seed} edit {k} ({func}) rejected: {err}"));
+        if out.incremental {
+            incr += 1;
+        } else {
+            fall += 1;
+        }
+        let q = e.query(sid).unwrap();
+        let (pf, gf) = oracle(&e.session_source(sid).unwrap());
+        assert_eq!(
+            q.plan_fingerprint, pf,
+            "seed {seed} edit {k} ({func}, incremental={}): plan diverged from cold analysis",
+            out.incremental
+        );
+        assert_eq!(
+            q.gamma_fingerprint, gf,
+            "seed {seed} edit {k} ({func}, incremental={}): gamma diverged from cold analysis",
+            out.incremental
+        );
+    }
+    (incr, fall)
+}
+
+#[test]
+fn edit_sequences_stay_byte_identical_to_cold_analysis() {
+    let mut total_incr = 0;
+    let mut total_fall = 0;
+    for &(seed, helpers, stmts) in &SEED_LADDER[..3] {
+        let edits = if helpers >= 32 { 4 } else { 6 };
+        let (i, f) = replay_rung(seed, helpers, stmts, edits);
+        total_incr += i;
+        total_fall += f;
+    }
+    assert!(
+        total_incr > 0,
+        "the trace must exercise the incremental path"
+    );
+    assert!(total_fall > 0, "the trace must exercise the fallback path");
+}
+
+#[test]
+fn interleaved_sessions_do_not_contaminate_each_other() {
+    // Two sessions over different rungs in one engine, edited in
+    // lockstep: each must keep matching its own cold oracle.
+    let src_a = generate(11, ladder_config(8, 8));
+    let src_b = generate(23, ladder_config(16, 10));
+    let mut e = Engine::new(EngineConfig::default()).expect("engine opens");
+    let sa = e.analyze(&src_a).unwrap().session_id;
+    let sb = e.analyze(&src_b).unwrap().session_id;
+    for k in 0..4 {
+        for &sid in &[sa, sb] {
+            let source = e.session_source(sid).unwrap();
+            let Some((func, body)) = synthesize_edit(&source, k) else {
+                continue;
+            };
+            e.edit(sid, &func, &body)
+                .unwrap_or_else(|err| panic!("edit {k} on session {sid} rejected: {err}"));
+        }
+    }
+    for &sid in &[sa, sb] {
+        let q = e.query(sid).unwrap();
+        let (pf, gf) = oracle(&e.session_source(sid).unwrap());
+        assert_eq!(q.plan_fingerprint, pf, "session {sid} plan contaminated");
+        assert_eq!(q.gamma_fingerprint, gf, "session {sid} gamma contaminated");
+    }
+}
+
+#[test]
+fn no_cache_and_cached_engines_agree() {
+    let src = generate(11, ladder_config(8, 8));
+    let mut cached = Engine::new(EngineConfig::default()).unwrap();
+    let mut raw = Engine::new(EngineConfig {
+        use_cache: false,
+        ..EngineConfig::default()
+    })
+    .unwrap();
+    let qa = {
+        let sid = cached.analyze(&src).unwrap().session_id;
+        cached.analyze(&src).unwrap(); // warm round-trip through the cache
+        cached.query(sid).unwrap()
+    };
+    let qb = {
+        let sid = raw.analyze(&src).unwrap().session_id;
+        raw.query(sid).unwrap()
+    };
+    assert_eq!(qa.plan_fingerprint, qb.plan_fingerprint);
+    assert_eq!(qa.gamma_fingerprint, qb.gamma_fingerprint);
+}
