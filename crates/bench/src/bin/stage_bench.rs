@@ -1,8 +1,9 @@
 //! Stage benchmark: times all ten driver stages end-to-end over the
 //! workload-generator seed ladder, plus focused before/after rungs for
-//! the three overhauled analysis stages — pointer analysis (bitmap
-//! solver vs reference), VFG construction (CSR-first builder vs the
-//! frozen adjacency-list reference) and definedness resolution (SCC
+//! the three overhauled analysis stages — pointer analysis (every
+//! solver strategy vs the frozen reference, single-threaded and at 4
+//! threads), VFG construction (CSR-first builder vs the frozen
+//! adjacency-list reference) and definedness resolution (SCC
 //! condensation + context bit-lanes vs the frozen visited-state walk).
 //!
 //! The resolve rung measures the *same work as the driver's Resolve
@@ -27,7 +28,9 @@ use usher_core::{
     guided_plan, redundant_check_elimination, redundant_check_elimination_reference, resolve,
     resolve_reference, Config, GuidedOpts,
 };
-use usher_driver::{plan_fingerprint, Pipeline, PipelineOptions};
+use usher_driver::{analyze_pointer, plan_fingerprint, Pipeline, PipelineOptions};
+use usher_ir::Module;
+use usher_pointer::{PointerAnalysis, PointerStrategy};
 use usher_vfg::{build, build_memssa, build_reference, Vfg, VfgMode};
 use usher_workloads::{generate, ladder_config, SEED_LADDER};
 
@@ -79,6 +82,38 @@ fn assert_freeze_equal(g: &Vfg, frozen: &Vfg, tag: &str) {
     assert_eq!(g.stats, frozen.stats, "{tag}: store-kind stats");
 }
 
+/// All strategies must agree on everything downstream stages consume:
+/// per-variable points-to sets and function targets, per-object field
+/// classes and memory rows, concreteness and the call graph.
+fn assert_strategy_equiv(m: &Module, a: &PointerAnalysis, b: &PointerAnalysis, tag: &str) {
+    for (f, func) in m.funcs.iter_enumerated() {
+        for (v, _) in func.vars.iter_enumerated() {
+            assert_eq!(a.pts_var(f, v), b.pts_var(f, v), "{tag}: pts({f:?},{v:?})");
+            assert_eq!(
+                a.fn_targets(f, v),
+                b.fn_targets(f, v),
+                "{tag}: fn_targets({f:?},{v:?})"
+            );
+        }
+    }
+    for (o, _) in m.objects.iter_enumerated() {
+        let fields = a.all_fields(o);
+        assert_eq!(fields, b.all_fields(o), "{tag}: fields({o:?})");
+        for l in fields {
+            assert_eq!(a.pts_mem(l), b.pts_mem(l), "{tag}: pts_mem({l:?})");
+            assert_eq!(a.is_concrete(l), b.is_concrete(l), "{tag}: concrete({l:?})");
+        }
+    }
+    assert_eq!(
+        a.call_graph.callees, b.call_graph.callees,
+        "{tag}: call graphs differ"
+    );
+    assert_eq!(
+        a.concrete_objects, b.concrete_objects,
+        "{tag}: concrete object sets differ"
+    );
+}
+
 fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
     let (rungs, iters): (&[(u64, usize, usize)], usize) = if quick {
@@ -94,7 +129,7 @@ fn main() -> ExitCode {
     };
 
     let mut workloads = String::new();
-    let mut largest: Option<(String, f64, f64, f64)> = None;
+    let mut largest: Option<(String, f64, f64, f64, f64, f64)> = None;
     let mut regression = false;
 
     for (i, &(seed, helpers, stmts)) in rungs.iter().enumerate() {
@@ -151,10 +186,19 @@ fn main() -> ExitCode {
             "{name}: instrumentation plans are not byte-identical"
         );
 
+        // Every solver strategy must agree with the frozen reference on
+        // all observables, and prefilter+wave must be byte-identical
+        // (same digest) no matter how many threads drive the waves.
         let pa_ref = usher_pointer::analyze_reference(&m);
+        for strategy in PointerStrategy::ALL {
+            let pa_s = analyze_pointer(&m, strategy, 1);
+            assert_strategy_equiv(&m, &pa_s, &pa_ref, &format!("{name}/{strategy}"));
+        }
+        let pa_t4 = analyze_pointer(&m, PointerStrategy::PrefilterWave, 4);
         assert_eq!(
-            pa.call_graph.callees, pa_ref.call_graph.callees,
-            "{name}: solver generations disagree on the call graph"
+            pa.digest(),
+            pa_t4.digest(),
+            "{name}: prefilter-wave digest differs between 1 and 4 threads"
         );
 
         // ---- all ten driver stages + end-to-end ---------------------
@@ -176,8 +220,17 @@ fn main() -> ExitCode {
         }
 
         // ---- before/after rungs -------------------------------------
-        let t_pointer_before = time_min(iters, || usher_pointer::analyze_reference(&m));
-        let t_pointer_after = time_min(iters, || usher_pointer::analyze(&m));
+        // One rung per pointer strategy (single-threaded), plus the
+        // default strategy on four driver threads.
+        let mut t_strategy = [0f64; PointerStrategy::ALL.len()];
+        for (j, strategy) in PointerStrategy::ALL.into_iter().enumerate() {
+            t_strategy[j] = time_min(iters, || analyze_pointer(&m, strategy, 1));
+        }
+        let t_pointer_before = t_strategy[0]; // reference
+        let t_pointer_after = t_strategy[PointerStrategy::ALL.len() - 1]; // prefilter-wave
+        let t_pointer_t4 = time_min(iters, || {
+            analyze_pointer(&m, PointerStrategy::PrefilterWave, 4)
+        });
 
         let t_vfg_before = time_min(iters, || build_reference(&m, &pa, &ms, VfgMode::Full));
         let t_vfg_after = time_min(iters, || build(&m, &pa, &ms, VfgMode::Full));
@@ -207,6 +260,7 @@ fn main() -> ExitCode {
         };
 
         let p_speedup = t_pointer_before / t_pointer_after.max(1e-9);
+        let p_t4_speedup = t_pointer_before / t_pointer_t4.max(1e-9);
         let v_speedup = t_vfg_before / t_vfg_after.max(1e-9);
         let r_speedup = t_resolve_before / t_resolve_after.max(1e-9);
         let combined =
@@ -217,6 +271,15 @@ fn main() -> ExitCode {
                  frozen reference {:.3}ms (combined speedup {combined:.2}x)",
                 (t_vfg_after + t_resolve_after) * 1e3,
                 (t_vfg_before + t_resolve_before) * 1e3,
+            );
+            regression = true;
+        }
+        if quick && p_speedup < 1.0 {
+            eprintln!(
+                "REGRESSION: {name}: prefilter-wave pointer solve {:.3}ms is slower than \
+                 the frozen reference {:.3}ms ({p_speedup:.2}x)",
+                t_pointer_after * 1e3,
+                t_pointer_before * 1e3,
             );
             regression = true;
         }
@@ -239,9 +302,23 @@ fn main() -> ExitCode {
             );
         }
         let _ = write!(workloads, ",\"total\":{total_ms:.3}}}");
+        let _ = write!(workloads, ",\"pointer\":{{\"strategies_ms\":{{");
+        for (j, strategy) in PointerStrategy::ALL.into_iter().enumerate() {
+            let _ = write!(
+                workloads,
+                "{}\"{strategy}\":{:.3}",
+                if j > 0 { "," } else { "" },
+                t_strategy[j] * 1e3,
+            );
+        }
         let _ = write!(
             workloads,
-            ",\"pointer\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
+            "}},\"t4_ms\":{:.3},\"t4_speedup\":{p_t4_speedup:.2},",
+            t_pointer_t4 * 1e3,
+        );
+        let _ = write!(
+            workloads,
+            "\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
              \"vfg\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
              \"resolve\":{{\"before_ms\":{:.3},\"after_ms\":{:.3},\"speedup\":{:.2}}},\
              \"combined_vfg_resolve_speedup\":{combined:.2},\
@@ -266,11 +343,22 @@ fn main() -> ExitCode {
             opt2.redirected,
             g.stats.semi_strong_stores,
         );
-        largest = Some((name.clone(), v_speedup, r_speedup, combined));
+        largest = Some((
+            name.clone(),
+            p_speedup,
+            p_t4_speedup,
+            v_speedup,
+            r_speedup,
+            combined,
+        ));
         eprintln!(
-            "{name} helpers={helpers} nodes={} vfg {:.2}ms -> {:.2}ms ({v_speedup:.2}x) \
+            "{name} helpers={helpers} nodes={} pointer {:.2}ms -> {:.2}ms ({p_speedup:.2}x, \
+             t4 {:.2}ms {p_t4_speedup:.2}x) vfg {:.2}ms -> {:.2}ms ({v_speedup:.2}x) \
              resolve {:.2}ms -> {:.2}ms ({r_speedup:.2}x) combined {combined:.2}x total {total_ms:.1}ms",
             g.len(),
+            t_pointer_before * 1e3,
+            t_pointer_after * 1e3,
+            t_pointer_t4 * 1e3,
             t_vfg_before * 1e3,
             t_vfg_after * 1e3,
             t_resolve_before * 1e3,
@@ -278,11 +366,12 @@ fn main() -> ExitCode {
         );
     }
 
-    let (lname, lv, lr, lc) = largest.expect("at least one rung");
+    let (lname, lp, lp4, lv, lr, lc) = largest.expect("at least one rung");
     println!(
         "{{\"bench\":\"stages\",\"quick\":{quick},\"iters\":{iters},\"context_depth\":{CONTEXT_DEPTH},\
          \"workloads\":[{workloads}],\
-         \"largest\":{{\"name\":\"{lname}\",\"vfg_speedup\":{lv:.2},\"resolve_speedup\":{lr:.2},\"combined_vfg_resolve_speedup\":{lc:.2}}}}}"
+         \"largest\":{{\"name\":\"{lname}\",\"pointer_speedup\":{lp:.2},\"pointer_t4_speedup\":{lp4:.2},\
+         \"vfg_speedup\":{lv:.2},\"resolve_speedup\":{lr:.2},\"combined_vfg_resolve_speedup\":{lc:.2}}}}}"
     );
     if regression {
         ExitCode::FAILURE

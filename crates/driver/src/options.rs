@@ -8,6 +8,7 @@
 //! | knob changed          | recomputed stages                    |
 //! |-----------------------|--------------------------------------|
 //! | `opt_level`           | everything                           |
+//! | `pointer_strategy`    | pointer artifact only                |
 //! | `guided.mode`         | VFG, resolution, instrumentation     |
 //! | `guided.semi_strong`  | VFG, resolution, instrumentation     |
 //! | `guided.context_depth`| resolution, instrumentation          |
@@ -24,6 +25,7 @@
 
 use usher_core::Config;
 use usher_ir::OptLevel;
+use usher_pointer::PointerStrategy;
 use usher_vfg::VfgMode;
 
 use crate::key::KeyWriter;
@@ -67,6 +69,13 @@ pub struct PipelineOptions {
     pub guided: Option<GuidedKnobs>,
     /// Bit-level shadow precision (Section 4.1).
     pub bit_level: bool,
+    /// Which pointer-analysis solver runs the pointer stage. Every
+    /// strategy produces byte-identical results (enforced by the
+    /// representation-equivalence suite), but their `SolverStats`
+    /// counters differ, so the strategy **is** part of the pointer
+    /// cache key (and only that key — downstream artifacts are
+    /// strategy-invariant and chain off the frontend key).
+    pub pointer_strategy: PointerStrategy,
     /// Display name stamped on the produced plan and telemetry. Not part
     /// of any cache key.
     pub label: String,
@@ -103,6 +112,7 @@ impl PipelineOptions {
                 opt_level: OptLevel::O0Im,
                 guided: None,
                 bit_level: cfg.bit_level,
+                pointer_strategy: PointerStrategy::default(),
                 label: cfg.name.to_string(),
                 budget_steps: None,
                 deadline_ms: None,
@@ -119,6 +129,7 @@ impl PipelineOptions {
                     opt2: u.opt2,
                 }),
                 bit_level: u.bit_level,
+                pointer_strategy: PointerStrategy::default(),
                 label: cfg.name.to_string(),
                 budget_steps: None,
                 deadline_ms: None,
@@ -164,6 +175,12 @@ impl PipelineOptions {
         self
     }
 
+    /// Same options under a different pointer-solver strategy.
+    pub fn with_pointer_strategy(mut self, strategy: PointerStrategy) -> PipelineOptions {
+        self.pointer_strategy = strategy;
+        self
+    }
+
     fn opt_level_tag(&self) -> u64 {
         match self.opt_level {
             OptLevel::O0Im => 0,
@@ -186,10 +203,14 @@ impl PipelineOptions {
         k.finish()
     }
 
-    /// Cache key of the pointer analysis.
+    /// Cache key of the pointer analysis. Includes the solver strategy:
+    /// results are equivalence-tested across strategies, but the stats
+    /// counters embedded in the artifact (and its digest) are
+    /// strategy-specific, so artifacts must not be shared.
     pub fn pointer_key(&self, source_key: u64) -> u64 {
         let mut k = KeyWriter::new("pointer");
-        k.u64(self.frontend_key(source_key));
+        k.u64(self.frontend_key(source_key))
+            .str(self.pointer_strategy.name());
         k.finish()
     }
 
@@ -307,6 +328,17 @@ mod tests {
 
         // label moves nothing.
         let changed = base.clone().labelled("other");
+        assert_eq!(base.plan_key(src), changed.plan_key(src));
+
+        // pointer_strategy moves the pointer artifact and nothing else.
+        let changed = base
+            .clone()
+            .with_pointer_strategy(PointerStrategy::Reference);
+        assert_ne!(base.pointer_key(src), changed.pointer_key(src));
+        assert_eq!(base.frontend_key(src), changed.frontend_key(src));
+        assert_eq!(base.memssa_key(src), changed.memssa_key(src));
+        assert_eq!(base.vfg_key(src, &g), changed.vfg_key(src, &g));
+        assert_eq!(base.resolve_key(src, &g), changed.resolve_key(src, &g));
         assert_eq!(base.plan_key(src), changed.plan_key(src));
     }
 

@@ -59,7 +59,7 @@ use usher_core::{
 };
 use usher_frontend::CompileError;
 use usher_ir::{mem2reg, optimize, run_inline, Budget, Exhausted, FuncId, InlinePolicy, Module};
-use usher_pointer::PointerAnalysis;
+use usher_pointer::{PointerAnalysis, PointerStrategy, WaveJob};
 use usher_vfg::{
     build_function_ssa_budgeted, build_with_budgeted, modref_summaries_budgeted, BuildOpts, MemSsa,
     NodeKind, Vfg, VfgMode,
@@ -526,6 +526,7 @@ impl Pipeline {
             vfg_nodes: vfg.as_ref().map_or(0, |v| v.len()),
             bot_nodes: gamma.as_ref().map_or(0, |g| g.bot_count()),
             opt2_redirected,
+            pointer_strategy: options.pointer_strategy.name().to_string(),
             solver_stats: pa.as_ref().map(|p| p.stats).unwrap_or_default(),
             resolve_stats: gamma.as_ref().map(|g| g.stats).unwrap_or_default(),
             degrade_events: ctx.degrades,
@@ -590,9 +591,11 @@ impl Pipeline {
             }
             _ => {
                 deadline_gate(budget, Stage::Pointer)?;
-                let computed = ctx.timed(Stage::Pointer, |_| {
+                let strategy = options.pointer_strategy;
+                let computed = ctx.timed(Stage::Pointer, |c| {
+                    let threads = c.threads;
                     contained(options, Stage::Pointer, || {
-                        usher_pointer::analyze_budgeted(module, budget)
+                        analyze_pointer_budgeted(module, strategy, budget, threads)
                     })
                 });
                 let pa = Arc::new(stage_result(computed, Stage::Pointer)?);
@@ -999,6 +1002,40 @@ fn degraded_functions(vfg: &Vfg, coverage: &[bool]) -> Option<HashSet<FuncId>> {
         }
     }
     Some(funcs)
+}
+
+/// Runs the pointer stage standalone: `strategy` under `budget`, with
+/// the wave strategy's parallel batches fanned out over the driver's
+/// thread pool when `threads > 1`. This is the function the pipeline's
+/// pointer stage calls; benches and tests use it to get strategy- and
+/// thread-faithful runs without a full pipeline. Results are
+/// byte-identical at every thread count (the wave batches are
+/// deterministic; [`parallel_map`] returns results in input order).
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget runs out before the fixpoint.
+pub fn analyze_pointer_budgeted(
+    m: &Module,
+    strategy: PointerStrategy,
+    budget: &Budget,
+    threads: usize,
+) -> Result<PointerAnalysis, Exhausted> {
+    if threads > 1 && strategy == PointerStrategy::PrefilterWave {
+        let runner = move |count: usize, job: WaveJob<'_>| -> Vec<Vec<u32>> {
+            let indices: Vec<usize> = (0..count).collect();
+            parallel_map(threads, &indices, |&i| job(i))
+        };
+        usher_pointer::analyze_budgeted_with(m, strategy, budget, Some(&runner))
+    } else {
+        usher_pointer::analyze_budgeted_with(m, strategy, budget, None)
+    }
+}
+
+/// [`analyze_pointer_budgeted`] without a budget.
+pub fn analyze_pointer(m: &Module, strategy: PointerStrategy, threads: usize) -> PointerAnalysis {
+    analyze_pointer_budgeted(m, strategy, &Budget::unlimited(), threads)
+        .expect("unlimited budget cannot exhaust")
 }
 
 /// The whole-module sound fallback: the full-MSan plan with every

@@ -102,8 +102,12 @@ pub struct PipelineReport {
     pub bot_nodes: usize,
     /// Nodes redirected to `T` by Opt II.
     pub opt2_redirected: usize,
+    /// Pointer-solver strategy name (as in
+    /// `PointerStrategy::name`; empty for default-constructed reports).
+    pub pointer_strategy: String,
     /// Pointer-solver counters (pops, merges, interned targets, peak pts
-    /// words); zero when the stage was served from cache or skipped.
+    /// words, prefilter classes, wave batches); zero when the stage was
+    /// served from cache or skipped.
     pub solver_stats: SolverStats,
     /// Resolution counters (interned contexts, visited states); zero when
     /// served from cache or skipped.
@@ -219,12 +223,19 @@ impl PipelineReport {
         );
         let _ = write!(
             s,
-            ",\"solver\":{{\"nodes\":{},\"interned_targets\":{},\"pops\":{},\"merges\":{},\"peak_pts_words\":{}}}",
+            ",\"solver\":{{\"strategy\":\"{}\",\"nodes\":{},\"interned_targets\":{},\"pops\":{},\"merges\":{},\"peak_pts_words\":{},\"unify_classes\":{},\"unify_collapsed\":{},\"prefilter_us\":{},\"wave_batches\":{},\"wave_propagated\":{},\"wave_max_width\":{}}}",
+            esc(&self.pointer_strategy),
             self.solver_stats.nodes,
             self.solver_stats.interned_targets,
             self.solver_stats.pops,
             self.solver_stats.merges,
             self.solver_stats.peak_pts_words,
+            self.solver_stats.unify_classes,
+            self.solver_stats.unify_collapsed,
+            self.solver_stats.prefilter_us,
+            self.solver_stats.wave_batches,
+            self.solver_stats.wave_propagated,
+            self.solver_stats.wave_max_width,
         );
         let _ = write!(
             s,

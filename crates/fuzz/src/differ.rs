@@ -31,6 +31,14 @@
 //! * [`FaultInjection::BudgetExhaust`] — starves the driver's analysis
 //!   budget at several levels; every degraded plan the anytime pipeline
 //!   produces must stay detection-equivalent to the MSan baseline.
+//! * [`FaultInjection::StrategyDiverge`] — runs the same program through
+//!   the driver once per [`PointerStrategy`]; every strategy's plan must
+//!   fingerprint identically to the reference strategy's, and each plan
+//!   is additionally run under the native-vs-instrumented oracle. This
+//!   is not a synthesized fault but a genuine soundness boundary: the
+//!   pointer-stage overhaul claims the prefilter and wave solvers are
+//!   observationally invisible, and this mode attacks the claim with
+//!   mutated programs rather than assuming it from the unit suites.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -63,11 +71,15 @@ pub enum FaultInjection {
     /// Starve the driver's analysis budget; the degraded plans must stay
     /// detection-equivalent to the MSan baseline.
     BudgetExhaust,
+    /// Run the program once per pointer-solver strategy; all plans must
+    /// fingerprint identically and each must survive the
+    /// native-vs-instrumented oracle.
+    StrategyDiverge,
 }
 
 impl FaultInjection {
     /// Every mode, for sweeps.
-    pub const ALL: [FaultInjection; 7] = [
+    pub const ALL: [FaultInjection; 8] = [
         FaultInjection::None,
         FaultInjection::FuelExhaustion,
         FaultInjection::CacheEviction,
@@ -75,6 +87,7 @@ impl FaultInjection {
         FaultInjection::DropChecks,
         FaultInjection::CacheCorrupt,
         FaultInjection::BudgetExhaust,
+        FaultInjection::StrategyDiverge,
     ];
 
     /// Stable CLI/telemetry tag.
@@ -87,6 +100,7 @@ impl FaultInjection {
             FaultInjection::DropChecks => "drop-checks",
             FaultInjection::CacheCorrupt => "cache-corrupt",
             FaultInjection::BudgetExhaust => "budget-exhaust",
+            FaultInjection::StrategyDiverge => "strategy-diverge",
         }
     }
 
@@ -185,6 +199,9 @@ pub fn differential(
         // detection-equivalence oracle against the MSan baseline.
         return budget_exhaust_differential(src, &m, &opts);
     }
+    if fault == FaultInjection::StrategyDiverge {
+        return strategy_divergence_differential(src, &m, &opts);
+    }
     let native = run(&m, None, &opts);
     let mut runs = Vec::with_capacity(Config::ALL.len());
     let mut core_fingerprints = Vec::new();
@@ -261,6 +278,73 @@ fn budget_exhaust_differential(src: &str, m: &usher_ir::Module, opts: &RunOption
                 kind: MismatchKind::PlanDivergence,
                 config: name,
                 detail: format!("starved driver errored instead of degrading: {e}"),
+            }),
+        }
+    }
+    DiffResult {
+        outcome: outcome.unwrap_or(Outcome::CompileError),
+        mismatches,
+    }
+}
+
+/// Cross-strategy divergence differential: the same program through the
+/// driver once per [`PointerStrategy`]. The reference strategy's plan is
+/// the anchor — every other strategy must fingerprint identically to it
+/// (the representation-equivalence contract, attacked with arbitrary
+/// mutated programs instead of curated suites), and each strategy's plan
+/// is run under the native-vs-instrumented oracle against the MSan
+/// baseline so a divergent plan is also judged on what it *detects*,
+/// not just that it differs.
+fn strategy_divergence_differential(
+    src: &str,
+    m: &usher_ir::Module,
+    opts: &RunOptions,
+) -> DiffResult {
+    use usher_driver::PointerStrategy;
+
+    let msan_plan = run_config(m, Config::MSAN).plan;
+    let native = run(m, None, opts);
+    let msan_run = run(m, Some(&msan_plan), opts);
+    let mut outcome = None;
+    let mut mismatches = Vec::new();
+    let mut anchor: Option<String> = None;
+    for strategy in PointerStrategy::ALL {
+        let popts = PipelineOptions::from_config(Config::USHER).with_pointer_strategy(strategy);
+        let name = format!("Usher[strategy={strategy}]");
+        match Pipeline::new()
+            .without_cache()
+            .run_source("fuzz", src, popts)
+        {
+            Ok(r) => {
+                let fp = plan_fingerprint(&r.plan);
+                match &anchor {
+                    None => anchor = Some(fp),
+                    Some(want) if fp != *want => mismatches.push(Mismatch {
+                        kind: MismatchKind::PlanDivergence,
+                        config: name.clone(),
+                        detail: format!(
+                            "plan differs from the {} strategy's",
+                            PointerStrategy::Reference
+                        ),
+                    }),
+                    Some(_) => {}
+                }
+                let oracle = OracleRuns {
+                    src: src.to_string(),
+                    native: native.clone(),
+                    runs: vec![
+                        ("MSan".to_string(), msan_run.clone()),
+                        (name, run(m, Some(&r.plan), opts)),
+                    ],
+                };
+                let (o, ms) = classify(&oracle);
+                outcome.get_or_insert(o);
+                mismatches.extend(ms);
+            }
+            Err(e) => mismatches.push(Mismatch {
+                kind: MismatchKind::PlanDivergence,
+                config: name,
+                detail: format!("driver failed on a compilable program: {e}"),
             }),
         }
     }
@@ -513,6 +597,16 @@ mod tests {
             return;
         }
         panic!("no buggy seed in 0..64 — generator regressed?");
+    }
+
+    #[test]
+    fn strategy_divergence_mode_is_clean_on_corpus_programs() {
+        for seed in 0..4u64 {
+            let src = generate(seed, GenConfig::default());
+            let d = differential(&src, FaultInjection::StrategyDiverge, 2, false);
+            assert!(d.mismatches.is_empty(), "seed {seed}: {:?}", d.mismatches);
+            assert!(matches!(d.outcome, Outcome::Clean | Outcome::Buggy(_)));
+        }
     }
 
     #[test]

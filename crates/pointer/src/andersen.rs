@@ -8,7 +8,7 @@
 //! copy-edge graph. The original `BTreeSet`-based solver is retained in
 //! [`crate::reference`] as the equivalence/benchmark baseline.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use usher_ir::{
     Budget, Callee, Exhausted, FuncId, FxHashMap, FxHashSet, GepOffset, Idx, Inst, Module, ObjId,
@@ -17,6 +17,7 @@ use usher_ir::{
 
 use crate::callgraph::{CallGraph, LoopInfo};
 use crate::pts::PtsSet;
+use crate::strategy::WaveRunner;
 
 /// A points-to target: a field of an abstract object, identified by its
 /// canonical (representative) cell — the first cell of its field class.
@@ -42,26 +43,50 @@ pub struct SolverStats {
     pub nodes: usize,
     /// Distinct points-to targets interned.
     pub interned_targets: usize,
-    /// Worklist pops until the fixpoint.
+    /// Worklist pops (or wave constraint replays) until the fixpoint.
     pub pops: usize,
     /// Union-find merges performed by cycle collapsing.
     pub merges: usize,
     /// Peak 64-bit words held by all points-to sets at once.
     pub peak_pts_words: usize,
+    /// Multi-member equivalence classes found by the unification
+    /// prefilter (0 when the strategy runs without one).
+    pub unify_classes: usize,
+    /// Nodes the prefilter collapsed into a class representative.
+    pub unify_collapsed: usize,
+    /// Wall time spent in the unification prefilter, in microseconds.
+    /// The only scheduling-dependent counter; it is excluded from
+    /// [`PointerAnalysis::digest`].
+    pub prefilter_us: usize,
+    /// Topological batches executed by wave propagation (0 for the
+    /// worklist strategies).
+    pub wave_batches: usize,
+    /// Target ids propagated across wave batch boundaries.
+    pub wave_propagated: usize,
+    /// Widest single wave batch — the per-batch parallelism available
+    /// to an injected [`crate::strategy::WaveRunner`].
+    pub wave_max_width: usize,
 }
 
 /// The result of [`analyze`].
 #[derive(Clone, Debug)]
 pub struct PointerAnalysis {
-    pub(crate) var_pts: HashMap<(FuncId, VarId), Vec<Target>>,
-    pub(crate) mem_pts: HashMap<Loc, Vec<Target>>,
+    /// Per-variable target ranges into [`PointerAnalysis::pool`]. One
+    /// shared arena replaces a `Vec<Target>` per row: building and
+    /// dropping the result is a handful of allocations instead of one
+    /// per non-empty points-to set.
+    pub(crate) var_pts: FxHashMap<(FuncId, VarId), (u32, u32)>,
+    /// Per-location target ranges into [`PointerAnalysis::pool`].
+    pub(crate) mem_pts: FxHashMap<Loc, (u32, u32)>,
+    /// Target arena backing `var_pts` / `mem_pts` ranges.
+    pub(crate) pool: Vec<Target>,
     /// The resolved call graph (direct + indirect).
     pub call_graph: CallGraph,
     /// Per-function loop info (reused by VFG construction and Opt II).
-    pub loops: HashMap<FuncId, LoopInfo>,
+    pub loops: FxHashMap<FuncId, LoopInfo>,
     /// Objects whose allocation site runs at most once (candidates for
     /// strong updates when additionally single-cell).
-    pub concrete_objects: HashSet<ObjId>,
+    pub concrete_objects: FxHashSet<ObjId>,
     /// Per-object: class representative of every cell.
     pub(crate) reps: FxHashMap<ObjId, Vec<u32>>,
     /// Per-object: whether each class rep covers exactly one cell.
@@ -71,19 +96,24 @@ pub struct PointerAnalysis {
 }
 
 impl PointerAnalysis {
+    /// The pool slice a stored range denotes.
+    #[inline]
+    fn row(&self, range: Option<&(u32, u32)>) -> &[Target] {
+        match range {
+            Some(&(s, e)) => &self.pool[s as usize..e as usize],
+            None => &[],
+        }
+    }
+
     /// Memory locations a variable may point to.
     pub fn pts_var(&self, f: FuncId, v: VarId) -> Vec<Loc> {
-        self.var_pts
-            .get(&(f, v))
-            .map(|ts| {
-                ts.iter()
-                    .filter_map(|t| match t {
-                        Target::Loc(l) => Some(*l),
-                        Target::Func(_) => None,
-                    })
-                    .collect()
+        self.row(self.var_pts.get(&(f, v)))
+            .iter()
+            .filter_map(|t| match t {
+                Target::Loc(l) => Some(*l),
+                Target::Func(_) => None,
             })
-            .unwrap_or_default()
+            .collect()
     }
 
     /// Memory locations an address operand may point to.
@@ -97,33 +127,25 @@ impl PointerAnalysis {
 
     /// Function targets of a variable (for indirect calls).
     pub fn fn_targets(&self, f: FuncId, v: VarId) -> Vec<FuncId> {
-        self.var_pts
-            .get(&(f, v))
-            .map(|ts| {
-                ts.iter()
-                    .filter_map(|t| match t {
-                        Target::Func(g) => Some(*g),
-                        Target::Loc(_) => None,
-                    })
-                    .collect()
+        self.row(self.var_pts.get(&(f, v)))
+            .iter()
+            .filter_map(|t| match t {
+                Target::Func(g) => Some(*g),
+                Target::Loc(_) => None,
             })
-            .unwrap_or_default()
+            .collect()
     }
 
     /// Locations a memory field may point to (for mod/ref of loads of
     /// pointers — not needed by the VFG but useful to clients/tests).
     pub fn pts_mem(&self, loc: Loc) -> Vec<Loc> {
-        self.mem_pts
-            .get(&loc)
-            .map(|ts| {
-                ts.iter()
-                    .filter_map(|t| match t {
-                        Target::Loc(l) => Some(*l),
-                        Target::Func(_) => None,
-                    })
-                    .collect()
+        self.row(self.mem_pts.get(&loc))
+            .iter()
+            .filter_map(|t| match t {
+                Target::Loc(l) => Some(*l),
+                Target::Func(_) => None,
             })
-            .unwrap_or_default()
+            .collect()
     }
 
     /// The canonical representative of `(obj, cell)`.
@@ -185,17 +207,17 @@ impl PointerAnalysis {
         let mut h = usher_ir::FxHasher::default();
         let mut vars: Vec<_> = self.var_pts.iter().collect();
         vars.sort_by_key(|(&k, _)| k);
-        for ((f, v), ts) in vars {
+        for ((f, v), &(st, en)) in vars {
             h.write_usize(f.index());
             h.write_usize(v.index());
-            ts.hash(&mut h);
+            self.pool[st as usize..en as usize].hash(&mut h);
         }
         let mut mems: Vec<_> = self.mem_pts.iter().collect();
         mems.sort_by_key(|(&l, _)| l);
-        for (l, ts) in mems {
+        for (l, &(st, en)) in mems {
             h.write_usize(l.obj.index());
             h.write_u32(l.field);
-            ts.hash(&mut h);
+            self.pool[st as usize..en as usize].hash(&mut h);
         }
         let mut objs: Vec<usize> = self.concrete_objects.iter().map(|o| o.index()).collect();
         objs.sort_unstable();
@@ -207,22 +229,27 @@ impl PointerAnalysis {
     }
 }
 
-/// Runs the analysis over a module.
-pub fn analyze(m: &Module) -> PointerAnalysis {
-    analyze_budgeted(m, &Budget::unlimited()).expect("unlimited budgets never exhaust")
-}
-
-/// Runs the analysis under a cooperative step budget: one step per
-/// worklist pop. On exhaustion the partial fixpoint is discarded — a
-/// partial points-to solution *under*-approximates and must never feed
-/// the guided planner — and the caller is expected to degrade to full
-/// instrumentation.
+/// Runs the plain Andersen worklist solver (no prefilter, no waves)
+/// under a cooperative step budget: one step per worklist pop. On
+/// exhaustion the partial fixpoint is discarded — a partial points-to
+/// solution *under*-approximates and must never feed the guided planner
+/// — and the caller is expected to degrade to full instrumentation.
+///
+/// The strategy-dispatching entry points live in [`crate::strategy`];
+/// this is the `PointerStrategy::Andersen` implementation.
 ///
 /// # Errors
 ///
 /// Returns [`Exhausted`] when the budget runs out before the fixpoint.
-pub fn analyze_budgeted(m: &Module, budget: &Budget) -> Result<PointerAnalysis, Exhausted> {
+pub(crate) fn analyze_andersen(
+    m: &Module,
+    budget: &Budget,
+    prefilter: bool,
+) -> Result<PointerAnalysis, Exhausted> {
     let mut s = Solver::new(m);
+    if prefilter {
+        s.apply_prefilter();
+    }
     s.seed();
     s.solve(budget)?;
     Ok(s.finish())
@@ -230,13 +257,22 @@ pub fn analyze_budgeted(m: &Module, budget: &Budget) -> Result<PointerAnalysis, 
 
 /// Cell-class representatives per object, shared by both solvers.
 pub(crate) fn object_reps(m: &Module) -> FxHashMap<ObjId, Vec<u32>> {
-    let mut reps = FxHashMap::default();
+    let mut reps = FxHashMap::with_capacity_and_hasher(m.objects.len(), Default::default());
+    // rep[cell] = first cell with the same class. Objects have a handful
+    // of field classes, so one reused scratch list with a linear scan
+    // beats a per-object hash map by a wide margin.
+    let mut first: Vec<(u32, u32)> = Vec::new();
     for (oid, o) in m.objects.iter_enumerated() {
-        // rep[cell] = first cell with the same class.
-        let mut first: HashMap<u32, u32> = HashMap::new();
+        first.clear();
         let mut r = Vec::with_capacity(o.field_classes.len());
         for (cell, &class) in o.field_classes.iter().enumerate() {
-            let rep = *first.entry(class).or_insert(cell as u32);
+            let rep = match first.iter().find(|&&(c, _)| c == class) {
+                Some(&(_, rep)) => rep,
+                None => {
+                    first.push((class, cell as u32));
+                    cell as u32
+                }
+            };
             r.push(rep);
         }
         if r.is_empty() {
@@ -247,39 +283,91 @@ pub(crate) fn object_reps(m: &Module) -> FxHashMap<ObjId, Vec<u32>> {
     reps
 }
 
+/// A solver's decoded fixpoint — the pooled points-to rows plus the run
+/// counters — on its way into [`finish_analysis`].
+pub(crate) struct Solution {
+    pub(crate) var_pts: FxHashMap<(FuncId, VarId), (u32, u32)>,
+    pub(crate) mem_pts: FxHashMap<Loc, (u32, u32)>,
+    pub(crate) pool: Vec<Target>,
+    pub(crate) stats: SolverStats,
+}
+
 /// Shared finalization: concreteness, single-cell classes, call-graph
 /// derived info. Used by both the bitmap solver and the reference one so
 /// their outputs agree field for field.
 pub(crate) fn finish_analysis(
     m: &Module,
+    cg: CallGraph,
+    reps: FxHashMap<ObjId, Vec<u32>>,
+    solution: Solution,
+) -> PointerAnalysis {
+    finish_analysis_with(m, cg, reps, solution, None, None)
+}
+
+/// [`finish_analysis`] with an optional parallel runner: per-function
+/// loop analysis is independent across functions, so it is dispatched as
+/// read-only jobs (one per function, encoded as the list of in-loop
+/// block ids) when a runner is available. Output is runner-independent.
+pub(crate) fn finish_analysis_with(
+    m: &Module,
     mut cg: CallGraph,
     reps: FxHashMap<ObjId, Vec<u32>>,
-    var_pts: HashMap<(FuncId, VarId), Vec<Target>>,
-    mem_pts: HashMap<Loc, Vec<Target>>,
-    stats: SolverStats,
+    solution: Solution,
+    runner: Option<crate::strategy::WaveRunner<'_>>,
+    alloc_block: Option<Vec<u32>>,
 ) -> PointerAnalysis {
-    let loops: HashMap<FuncId, LoopInfo> = m
-        .funcs
-        .iter_enumerated()
-        .map(|(f, func)| (f, LoopInfo::compute(func)))
-        .collect();
+    let Solution {
+        var_pts,
+        mem_pts,
+        pool,
+        stats,
+    } = solution;
+    let loops: FxHashMap<FuncId, LoopInfo> = match runner {
+        Some(run) if m.funcs.len() > 1 => {
+            let job = |i: usize| -> Vec<u32> {
+                let f = FuncId::from_usize(i);
+                LoopInfo::compute(&m.funcs[f]).loop_blocks()
+            };
+            run(m.funcs.len(), &job)
+                .into_iter()
+                .enumerate()
+                .map(|(i, blocks)| {
+                    let f = FuncId::from_usize(i);
+                    (
+                        f,
+                        LoopInfo::from_loop_blocks(m.funcs[f].blocks.len(), &blocks),
+                    )
+                })
+                .collect()
+        }
+        _ => m
+            .funcs
+            .iter_enumerated()
+            .map(|(f, func)| (f, LoopInfo::compute(func)))
+            .collect(),
+    };
     cg.finalize(m, &loops);
 
-    // Concrete objects: allocation executes at most once. One pass over
-    // the module records each object's first allocation block, then each
-    // object is decided in O(1) (the per-object block scan was quadratic
-    // in allocation-heavy modules).
-    let mut alloc_block: FxHashMap<ObjId, usher_ir::BlockId> = FxHashMap::default();
-    for (_f, func) in m.funcs.iter_enumerated() {
-        for (bb, block) in func.blocks.iter_enumerated() {
-            for inst in &block.insts {
-                if let Inst::Alloc { obj, .. } = inst {
-                    alloc_block.entry(*obj).or_insert(bb);
+    // Concrete objects: allocation executes at most once. Each object's
+    // first allocation block makes the decision O(1); the bitmap solver
+    // records it while seeding, the reference path rescans the module
+    // here (`u32::MAX` = never allocated).
+    let alloc_block: Vec<u32> = alloc_block.unwrap_or_else(|| {
+        let mut ab = vec![u32::MAX; m.objects.len()];
+        for (_f, func) in m.funcs.iter_enumerated() {
+            for (bb, block) in func.blocks.iter_enumerated() {
+                for inst in &block.insts {
+                    if let Inst::Alloc { obj, .. } = inst {
+                        if ab[obj.index()] == u32::MAX {
+                            ab[obj.index()] = bb.index() as u32;
+                        }
+                    }
                 }
             }
         }
-    }
-    let mut concrete = HashSet::new();
+        ab
+    });
+    let mut concrete = FxHashSet::with_capacity_and_hasher(m.objects.len(), Default::default());
     for (oid, o) in m.objects.iter_enumerated() {
         match o.kind {
             usher_ir::ObjKind::Global => {
@@ -289,10 +377,9 @@ pub(crate) fn finish_analysis(
                 if !cg.runs_once.contains(&f) || cg.recursive.contains(&f) {
                     continue;
                 }
-                if let Some(&bb) = alloc_block.get(&oid) {
-                    if !loops[&f].in_loop(bb) {
-                        concrete.insert(oid);
-                    }
+                let bb = alloc_block[oid.index()];
+                if bb != u32::MAX && !loops[&f].in_loop(usher_ir::BlockId(bb)) {
+                    concrete.insert(oid);
                 }
             }
         }
@@ -301,7 +388,9 @@ pub(crate) fn finish_analysis(
     // Single-cell classes. A rep is always a cell index of its own
     // object, so counting into a dense scratch vector replaces the
     // per-object hash map.
-    let mut single_cell: FxHashMap<Loc, bool> = FxHashMap::default();
+    let total_cells: usize = reps.values().map(Vec::len).sum();
+    let mut single_cell: FxHashMap<Loc, bool> =
+        FxHashMap::with_capacity_and_hasher(total_cells, Default::default());
     let mut counts: Vec<u32> = Vec::new();
     for (oid, o) in m.objects.iter_enumerated() {
         let object_reps = &reps[&oid];
@@ -327,6 +416,7 @@ pub(crate) fn finish_analysis(
     PointerAnalysis {
         var_pts,
         mem_pts,
+        pool,
         call_graph: cg,
         loops,
         concrete_objects: concrete,
@@ -342,26 +432,89 @@ enum GepKind {
     Dynamic,
 }
 
-struct Solver<'m> {
-    m: &'m Module,
-    /// Dense node layout: `[vars per function | returns | memory cells]`.
-    /// Every possible node has a precomputed id, so node resolution is
-    /// pure arithmetic and all per-node tables are allocated exactly once.
-    var_base: Vec<u32>,
-    ret_base: u32,
-    mem_base: u32,
-    obj_base: Vec<u32>,
-    n_nodes: usize,
-    parent: Vec<u32>,
+/// Dense node layout: `[vars per function | returns | memory cells]`.
+/// Every possible node has a precomputed id, so node resolution is pure
+/// arithmetic and all per-node tables are allocated exactly once. Shared
+/// with the unification prefilter ([`crate::unify`]), which works on the
+/// variable/return prefix (`0..mem_base`) of this id space.
+pub(crate) struct NodeLayout {
+    pub(crate) var_base: Vec<u32>,
+    pub(crate) ret_base: u32,
+    pub(crate) mem_base: u32,
+    pub(crate) obj_base: Vec<u32>,
+    pub(crate) n_nodes: usize,
+}
+
+impl NodeLayout {
+    pub(crate) fn new(m: &Module, reps: &FxHashMap<ObjId, Vec<u32>>) -> NodeLayout {
+        let mut var_base = Vec::with_capacity(m.funcs.len());
+        let mut next = 0u32;
+        for (_f, func) in m.funcs.iter_enumerated() {
+            var_base.push(next);
+            next += func.vars.len() as u32;
+        }
+        let ret_base = next;
+        next += m.funcs.len() as u32;
+        let mem_base = next;
+        let mut obj_base = Vec::with_capacity(m.objects.len());
+        let mut mem_off = 0u32;
+        for (oid, _o) in m.objects.iter_enumerated() {
+            obj_base.push(mem_off);
+            mem_off += reps[&oid].len() as u32;
+        }
+        NodeLayout {
+            var_base,
+            ret_base,
+            mem_base,
+            obj_base,
+            n_nodes: (mem_base + mem_off) as usize,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn var_node(&self, f: FuncId, v: VarId) -> u32 {
+        self.var_base[f.index()] + v.index() as u32
+    }
+
+    #[inline]
+    pub(crate) fn ret_node(&self, f: FuncId) -> u32 {
+        self.ret_base + f.index() as u32
+    }
+
+    /// The memory node of a Loc (whose field is always one of its
+    /// object's cell indices).
+    #[inline]
+    pub(crate) fn mem_node(&self, l: Loc) -> u32 {
+        self.mem_base + self.obj_base[l.obj.index()] + l.field
+    }
+}
+
+pub(crate) struct Solver<'m> {
+    pub(crate) m: &'m Module,
+    pub(crate) layout: NodeLayout,
+    pub(crate) parent: Vec<u32>,
     /// Interned targets: id -> payload.
-    targets: Vec<Target>,
+    pub(crate) targets: Vec<Target>,
     target_ids: FxHashMap<Target, u32>,
     /// Points-to sets over interned target ids.
-    pts: Vec<PtsSet>,
+    pub(crate) pts: Vec<PtsSet>,
     /// Pending difference per node (unique ids, each also in `pts`).
-    delta: Vec<Vec<u32>>,
+    pub(crate) delta: Vec<Vec<u32>>,
     /// Copy successors as sorted id vectors.
-    copy_succs: Vec<Vec<u32>>,
+    pub(crate) copy_succs: Vec<Vec<u32>>,
+    /// Copy edges accumulated as a flat list during a lazy seeding pass
+    /// (`lazy_seed`), bulk-distributed into exact-capacity `copy_succs`
+    /// lists by [`Solver::finalize_lazy_edges`] — one growth-free arena
+    /// push per edge instead of one per-node `Vec` growth ladder.
+    pub(crate) lazy_edges: Vec<(u32, u32)>,
+    /// Offline `(to, from)` copy edges handed over by the prefilter.
+    /// [`Solver::import_offline_edges`] drains this; when it has run,
+    /// the seeding pass skips re-deriving the same copy/phi/return/
+    /// direct-call edges from the IR.
+    offline_copy_edges: Vec<(u32, u32)>,
+    /// Set once [`Solver::import_offline_edges`] has seeded the offline
+    /// copy edges (only meaningful while `lazy_seed` is on).
+    offline_imported: bool,
     /// On new Loc in pts(n): add copy edge Mem(loc) -> dst.
     load_cons: ConsArena<u32>,
     /// On new Loc in pts(n): add copy edge src -> Mem(loc).
@@ -375,8 +528,8 @@ struct Solver<'m> {
     /// (args range, dst) per call site, for (indirect) wiring.
     site_info: FxHashMap<Site, (u32, u32, Option<VarId>)>,
     wired: FxHashSet<(Site, FuncId)>,
-    worklist: VecDeque<u32>,
-    in_wl: Vec<bool>,
+    pub(crate) worklist: VecDeque<u32>,
+    pub(crate) in_wl: Vec<bool>,
     cg: CallGraph,
     reps: FxHashMap<ObjId, Vec<u32>>,
     /// Reusable snapshot buffer (cuts transient allocations on the
@@ -384,10 +537,30 @@ struct Solver<'m> {
     scratch: Vec<u32>,
     /// Reusable union-difference buffer.
     fresh_buf: Vec<u32>,
-    pops: usize,
-    merges: usize,
+    /// Reusable gep-shift buffer.
+    loc_buf: Vec<Loc>,
+    pub(crate) pops: usize,
+    pub(crate) merges: usize,
     cur_words: usize,
     peak_words: usize,
+    /// Prefilter counters (0 when no prefilter ran).
+    unify_classes: usize,
+    unify_collapsed: usize,
+    prefilter_us: usize,
+    /// Wave counters (0 for worklist solves); written by `solve_wave`.
+    pub(crate) wave_batches: usize,
+    pub(crate) wave_propagated: usize,
+    pub(crate) wave_max_width: usize,
+    /// When set (the wave strategy's seeding phase), new copy edges do
+    /// not eagerly flow `pts(from)` into `pts(to)`; the source is left
+    /// enqueued with its full set pending in `delta`, and the first wave
+    /// performs the whole transitive propagation in level-parallel
+    /// batches. Must be cleared before constraint replay begins: edges
+    /// materialized mid-solve rely on the eager flush.
+    pub(crate) lazy_seed: bool,
+    /// First allocation block per object (`u32::MAX` = never allocated),
+    /// recorded while seeding so finalization skips a full IR rescan.
+    alloc_block: Vec<u32>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -473,37 +646,25 @@ fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
 }
 
 impl<'m> Solver<'m> {
-    fn new(m: &'m Module) -> Self {
+    pub(crate) fn new(m: &'m Module) -> Self {
         let reps = object_reps(m);
-        let mut var_base = Vec::with_capacity(m.funcs.len());
-        let mut next = 0u32;
-        for (_f, func) in m.funcs.iter_enumerated() {
-            var_base.push(next);
-            next += func.vars.len() as u32;
-        }
-        let ret_base = next;
-        next += m.funcs.len() as u32;
-        let mem_base = next;
-        let mut obj_base = Vec::with_capacity(m.objects.len());
-        let mut mem_off = 0u32;
-        for (oid, _o) in m.objects.iter_enumerated() {
-            obj_base.push(mem_off);
-            mem_off += reps[&oid].len() as u32;
-        }
-        let n_nodes = (mem_base + mem_off) as usize;
+        let layout = NodeLayout::new(m, &reps);
+        let n_nodes = layout.n_nodes;
         Solver {
             m,
-            var_base,
-            ret_base,
-            mem_base,
-            obj_base,
-            n_nodes,
+            layout,
             parent: (0..n_nodes as u32).collect(),
-            targets: Vec::new(),
-            target_ids: FxHashMap::default(),
+            targets: Vec::with_capacity(m.objects.len() + m.funcs.len()),
+            target_ids: FxHashMap::with_capacity_and_hasher(
+                m.objects.len() + m.funcs.len(),
+                Default::default(),
+            ),
             pts: vec![PtsSet::new(); n_nodes],
             delta: vec![Vec::new(); n_nodes],
             copy_succs: vec![Vec::new(); n_nodes],
+            lazy_edges: Vec::new(),
+            offline_copy_edges: Vec::new(),
+            offline_imported: false,
             load_cons: ConsArena::new(n_nodes),
             store_cons: ConsArena::new(n_nodes),
             gep_cons: ConsArena::new(n_nodes),
@@ -517,28 +678,70 @@ impl<'m> Solver<'m> {
             reps,
             scratch: Vec::new(),
             fresh_buf: Vec::new(),
+            loc_buf: Vec::new(),
             pops: 0,
             merges: 0,
             cur_words: 0,
             peak_words: 0,
+            unify_classes: 0,
+            unify_collapsed: 0,
+            prefilter_us: 0,
+            wave_batches: 0,
+            wave_propagated: 0,
+            wave_max_width: 0,
+            lazy_seed: false,
+            alloc_block: vec![u32::MAX; m.objects.len()],
         }
+    }
+
+    /// Runs the unification prefilter ([`crate::unify`]) and pre-seeds
+    /// the union-find with its oversharing-safe equivalence classes, so
+    /// every class is solved on one representative node. Must run before
+    /// [`Solver::seed`].
+    pub(crate) fn apply_prefilter(&mut self) {
+        let t0 = std::time::Instant::now();
+        let pf = crate::unify::prefilter(self.m, &self.layout);
+        debug_assert_eq!(pf.parent.len() as u32, self.layout.mem_base);
+        for (n, &rep) in pf.parent.iter().enumerate() {
+            self.parent[n] = rep;
+        }
+        self.unify_classes = pf.classes;
+        self.unify_collapsed = pf.collapsed;
+        self.offline_copy_edges = pf.edges;
+        self.prefilter_us = t0.elapsed().as_micros() as usize;
+    }
+
+    /// Seeds the copy graph from the prefilter's offline edge list (in
+    /// bulk, before any points-to targets exist, so no enqueues are
+    /// needed) and marks the IR's copy-shaped flows as already wired.
+    /// Only valid under `lazy_seed` after [`Solver::apply_prefilter`];
+    /// the subsequent [`Solver::seed`] walk then skips the
+    /// copy/phi/return/direct-call edges the prefilter already saw,
+    /// turning two IR-wide edge derivations into one.
+    pub(crate) fn import_offline_edges(&mut self) {
+        debug_assert!(self.lazy_seed, "bulk import is a lazy-seeding step");
+        let edges = std::mem::take(&mut self.offline_copy_edges);
+        for &(to, from) in &edges {
+            self.add_copy_edge(from, to);
+        }
+        self.offline_imported = true;
     }
 
     #[inline]
     fn var_node(&self, f: FuncId, v: VarId) -> u32 {
-        self.var_base[f.index()] + v.index() as u32
+        self.layout.var_node(f, v)
     }
 
     #[inline]
     fn ret_node(&self, f: FuncId) -> u32 {
-        self.ret_base + f.index() as u32
+        self.layout.ret_node(f)
     }
 
     /// The memory node of a Loc (whose field is always one of its
     /// object's cell indices).
     #[inline]
     fn mem_node(&self, l: Loc) -> u32 {
-        self.mem_base + self.obj_base[l.obj.index()] + l.field
+        self.layout.mem_node(l)
     }
 
     fn tid(&mut self, t: Target) -> u32 {
@@ -551,7 +754,7 @@ impl<'m> Solver<'m> {
         id
     }
 
-    fn find(&mut self, mut n: u32) -> u32 {
+    pub(crate) fn find(&mut self, mut n: u32) -> u32 {
         while self.parent[n as usize] != n {
             let gp = self.parent[self.parent[n as usize] as usize];
             self.parent[n as usize] = gp;
@@ -572,7 +775,7 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn enqueue(&mut self, n: u32) {
+    pub(crate) fn enqueue(&mut self, n: u32) {
         let n = self.find(n);
         if !self.in_wl[n as usize] && !self.delta[n as usize].is_empty() {
             self.in_wl[n as usize] = true;
@@ -580,7 +783,17 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn track_words(&mut self, before: usize, after: usize) {
+    /// Read-only representative lookup (no path compression), for code
+    /// that walks shared state — the wave closure scan and the parallel
+    /// extraction jobs.
+    pub(crate) fn find_ro(&self, mut n: u32) -> u32 {
+        while self.parent[n as usize] != n {
+            n = self.parent[n as usize];
+        }
+        n
+    }
+
+    pub(crate) fn track_words(&mut self, before: usize, after: usize) {
         self.cur_words = self.cur_words + after - before;
         self.peak_words = self.peak_words.max(self.cur_words);
     }
@@ -644,10 +857,52 @@ impl<'m> Solver<'m> {
         if from == to {
             return;
         }
+        if self.lazy_seed {
+            // Seeding under the wave strategy: during seeding `delta`
+            // always holds the node's full points-to set, so leaving the
+            // source enqueued is enough — the first wave flows it. Edges
+            // are appended unsorted (duplicates included) and normalized
+            // once in [`Solver::finalize_lazy_edges`], replacing the
+            // per-insert binary search + memmove with one bulk sort.
+            // `from` is already resolved, so the enqueue check is inlined
+            // without a second union-find walk.
+            self.lazy_edges.push((from, to));
+            if !self.in_wl[from as usize] && !self.delta[from as usize].is_empty() {
+                self.in_wl[from as usize] = true;
+                self.worklist.push_back(from);
+            }
+            return;
+        }
         let succs = &mut self.copy_succs[from as usize];
         if let Err(pos) = succs.binary_search(&to) {
             succs.insert(pos, to);
             self.flow_full_pts(from, to);
+        }
+    }
+
+    /// Distributes the flat lazy edge list into per-node successor
+    /// lists (allocated at exact capacity) and restores the
+    /// sorted/deduplicated invariant. Must run before the solve phase
+    /// (mid-solve `add_copy_edge` relies on binary search).
+    pub(crate) fn finalize_lazy_edges(&mut self) {
+        let edges = std::mem::take(&mut self.lazy_edges);
+        let mut deg = vec![0u32; self.layout.n_nodes];
+        for &(from, _) in &edges {
+            deg[from as usize] += 1;
+        }
+        for &(from, to) in &edges {
+            let succs = &mut self.copy_succs[from as usize];
+            if succs.capacity() == 0 {
+                succs.reserve_exact(deg[from as usize] as usize);
+            }
+            succs.push(to);
+        }
+        for (node, &d) in deg.iter().enumerate() {
+            if d > 1 {
+                let succs = &mut self.copy_succs[node];
+                succs.sort_unstable();
+                succs.dedup();
+            }
         }
     }
 
@@ -681,18 +936,27 @@ impl<'m> Solver<'m> {
 
     /// Flows `op` into node `dst` (edge or direct targets).
     fn flow_into(&mut self, f: FuncId, op: Operand, dst: u32) {
-        match self.operand_node(f, op) {
-            Some(n) => self.add_copy_edge(n, dst),
-            None => {
-                let ts = self.operand_const_targets(op);
-                self.add_targets(dst, ts);
+        match op {
+            Operand::Var(v) => {
+                // Offline-visible edge: already imported in bulk when the
+                // wave strategy pre-seeded from the prefilter's edge list.
+                if self.offline_imported && self.lazy_seed {
+                    return;
+                }
+                let n = self.var_node(f, v);
+                self.add_copy_edge(n, dst);
             }
+            Operand::Global(o) => {
+                self.add_targets(dst, [Target::Loc(Loc { obj: o, field: 0 })]);
+            }
+            Operand::Func(g) => self.add_targets(dst, [Target::Func(g)]),
+            Operand::Const(_) | Operand::Undef => {}
         }
     }
 
     // ---- constraint generation -----------------------------------------
 
-    fn seed(&mut self) {
+    pub(crate) fn seed(&mut self) {
         for (fid, func) in self.m.funcs.iter_enumerated() {
             for (bb, block) in func.blocks.iter_enumerated() {
                 for (idx, inst) in block.insts.iter().enumerate() {
@@ -706,10 +970,16 @@ impl<'m> Solver<'m> {
         }
     }
 
-    /// Replays one existing Loc target against a gep constraint.
+    /// Replays one existing Loc target against a gep constraint. The
+    /// shifted locations go through a reusable buffer — geps are hot on
+    /// both the seeding and replay paths, and `shift` used to allocate a
+    /// fresh `Vec` per application.
     fn apply_gep(&mut self, l: Loc, kind: &GepKind, dst: u32) {
-        let shifted = self.shift(l, kind);
-        self.add_targets(dst, shifted.into_iter().map(Target::Loc));
+        let mut buf = std::mem::take(&mut self.loc_buf);
+        buf.clear();
+        self.shift_into(l, kind, &mut buf);
+        self.add_targets(dst, buf.iter().copied().map(Target::Loc));
+        self.loc_buf = buf;
     }
 
     fn seed_inst(&mut self, f: FuncId, site: Site, inst: &Inst) {
@@ -723,6 +993,9 @@ impl<'m> Solver<'m> {
                 // discipline (pointer arithmetic is a gep).
             }
             Inst::Alloc { dst, obj, .. } => {
+                if self.alloc_block[obj.index()] == u32::MAX {
+                    self.alloc_block[obj.index()] = site.block.index() as u32;
+                }
                 let d = self.var_node(f, *dst);
                 self.add_targets(
                     d,
@@ -817,28 +1090,35 @@ impl<'m> Solver<'m> {
             Inst::Call { dst, callee, args } => {
                 let start = self.call_args.len() as u32;
                 self.call_args.extend_from_slice(args);
-                self.site_info
-                    .insert(site, (start, args.len() as u32, *dst));
                 match callee {
-                    Callee::Direct(g) => self.wire_call(site, *g),
-                    Callee::Indirect(op) => match self.operand_node(f, *op) {
-                        Some(t) => {
-                            let t = self.find(t);
-                            self.call_cons.push(t, site);
-                            self.with_pts_snapshot(t, |s, ids| {
-                                for &id in ids {
-                                    if let Target::Func(g) = s.targets[id as usize] {
-                                        s.wire_call(site, g);
+                    // A direct site never goes through `wire_call` (only
+                    // indirect sites register `call_cons`), so it needs
+                    // neither a `site_info` entry nor `wired` dedup.
+                    Callee::Direct(g) => {
+                        self.wire_call_unchecked(site, *g, start, args.len() as u32, *dst)
+                    }
+                    Callee::Indirect(op) => {
+                        self.site_info
+                            .insert(site, (start, args.len() as u32, *dst));
+                        match self.operand_node(f, *op) {
+                            Some(t) => {
+                                let t = self.find(t);
+                                self.call_cons.push(t, site);
+                                self.with_pts_snapshot(t, |s, ids| {
+                                    for &id in ids {
+                                        if let Target::Func(g) = s.targets[id as usize] {
+                                            s.wire_call(site, g);
+                                        }
                                     }
+                                });
+                            }
+                            None => {
+                                if let Operand::Func(g) = op {
+                                    self.wire_call(site, *g);
                                 }
-                            });
-                        }
-                        None => {
-                            if let Operand::Func(g) = op {
-                                self.wire_call(site, *g);
                             }
                         }
-                    },
+                    }
                     Callee::External(_) => {
                         // Modelled externals neither create nor propagate
                         // pointers.
@@ -862,55 +1142,79 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn shift(&self, l: Loc, kind: &GepKind) -> Vec<Loc> {
+    fn shift_into(&self, l: Loc, kind: &GepKind, out: &mut Vec<Loc>) {
         let obj = &self.m.objects[l.obj];
         match kind {
             GepKind::Field(k) => {
                 if obj.is_array {
-                    vec![Loc {
+                    out.push(Loc {
                         obj: l.obj,
                         field: 0,
-                    }]
+                    });
                 } else {
                     // In-layout and out-of-layout constant offsets both map
                     // through the repeated element layout.
                     let cell = l.field + k;
-                    vec![self.rep_loc(l.obj, cell)]
+                    out.push(self.rep_loc(l.obj, cell));
                 }
             }
             GepKind::Dynamic => {
                 if obj.is_array {
-                    vec![Loc {
+                    out.push(Loc {
                         obj: l.obj,
                         field: 0,
-                    }]
+                    });
                 } else {
                     // Pointer arithmetic over a non-array object: be
-                    // conservative, hit every field class.
-                    let mut out: Vec<u32> = self.reps[&l.obj].clone();
+                    // conservative, hit every field class (ascending,
+                    // deduplicated — `out` is cleared by the caller).
+                    out.extend(
+                        self.reps[&l.obj]
+                            .iter()
+                            .map(|&field| Loc { obj: l.obj, field }),
+                    );
                     out.sort_unstable();
                     out.dedup();
-                    out.into_iter()
-                        .map(|field| Loc { obj: l.obj, field })
-                        .collect()
                 }
             }
         }
     }
 
     fn wire_call(&mut self, site: Site, g: FuncId) {
+        let (start, len, dst) = self.site_info[&site];
+        self.wire_call_at(site, g, start, len, dst);
+    }
+
+    /// [`Solver::wire_call`] with the site record already in hand — the
+    /// direct-call seeding path just recorded it and skips the re-lookup.
+    fn wire_call_at(&mut self, site: Site, g: FuncId, start: u32, len: u32, dst: Option<VarId>) {
         if !self.wired.insert((site, g)) {
             return;
         }
+        self.wire_call_unchecked(site, g, start, len, dst);
+    }
+
+    /// [`Solver::wire_call_at`] minus the `(site, callee)` dedup — for
+    /// direct call sites, which are wired exactly once during seeding.
+    fn wire_call_unchecked(
+        &mut self,
+        site: Site,
+        g: FuncId,
+        start: u32,
+        len: u32,
+        dst: Option<VarId>,
+    ) {
         self.cg.add_edge(site, g);
         let m = self.m;
-        let (start, len, dst) = self.site_info[&site];
         for (i, &p) in m.funcs[g].params.iter().enumerate().take(len as usize) {
             let a = self.call_args[start as usize + i];
             let pn = self.var_node(g, p);
             self.flow_into(site.func, a, pn);
         }
         if let Some(d) = dst {
+            if self.offline_imported && self.lazy_seed {
+                return;
+            }
             let dn = self.var_node(site.func, d);
             let rn = self.ret_node(g);
             self.add_copy_edge(rn, dn);
@@ -919,7 +1223,7 @@ impl<'m> Solver<'m> {
 
     // ---- solving ---------------------------------------------------------
 
-    fn solve(&mut self, budget: &Budget) -> Result<(), Exhausted> {
+    pub(crate) fn solve(&mut self, budget: &Budget) -> Result<(), Exhausted> {
         while let Some(n) = self.worklist.pop_front() {
             budget.try_charge(1)?;
             let n = self.find(n);
@@ -932,68 +1236,76 @@ impl<'m> Solver<'m> {
             if self.pops.is_multiple_of(20_000) {
                 self.collapse_cycles();
             }
-
-            // Copy successors receive the delta. The list is taken out
-            // rather than cloned; any edge out of `n` added while it is
-            // out flows its points-to set at insertion, so merging the
-            // two sorted lists afterwards loses nothing.
-            let succs = std::mem::take(&mut self.copy_succs[n as usize]);
-            for &s in &succs {
-                self.add_target_ids(s, &delta);
-            }
-            let added = std::mem::replace(&mut self.copy_succs[n as usize], succs);
-            for a in added {
-                let v = &mut self.copy_succs[n as usize];
-                if let Err(pos) = v.binary_search(&a) {
-                    v.insert(pos, a);
-                }
-            }
-            // Complex constraints react to new targets. The arena chains
-            // only grow during seeding and SCC merges, never inside this
-            // scan, so cursor walks see a frozen list without cloning.
-            for &t in &delta {
-                match self.targets[t as usize] {
-                    Target::Loc(l) => {
-                        let mut cur = self.load_cons.first(n);
-                        if cur != NIL {
-                            let mn = self.mem_node(l);
-                            while cur != NIL {
-                                let (d, next) = self.load_cons.get(cur);
-                                self.add_copy_edge(mn, d);
-                                cur = next;
-                            }
-                        }
-                        let mut cur = self.store_cons.first(n);
-                        while cur != NIL {
-                            let (src, next) = self.store_cons.get(cur);
-                            self.apply_store(src, l);
-                            cur = next;
-                        }
-                        let mut cur = self.gep_cons.first(n);
-                        while cur != NIL {
-                            let ((kind, d), next) = self.gep_cons.get(cur);
-                            self.apply_gep(l, &kind, d);
-                            cur = next;
-                        }
-                    }
-                    Target::Func(g) => {
-                        let mut cur = self.call_cons.first(n);
-                        while cur != NIL {
-                            let (site, next) = self.call_cons.get(cur);
-                            self.wire_call(site, g);
-                            cur = next;
-                        }
-                    }
-                }
-            }
+            self.propagate_to_succs(n, &delta);
+            self.replay_constraints(n, &delta);
         }
         Ok(())
     }
 
+    /// Pushes a delta to `n`'s copy successors. The list is taken out
+    /// rather than cloned; any edge out of `n` added while it is out
+    /// flows its points-to set at insertion, so merging the two sorted
+    /// lists afterwards loses nothing.
+    pub(crate) fn propagate_to_succs(&mut self, n: u32, delta: &[u32]) {
+        let succs = std::mem::take(&mut self.copy_succs[n as usize]);
+        for &s in &succs {
+            self.add_target_ids(s, delta);
+        }
+        let added = std::mem::replace(&mut self.copy_succs[n as usize], succs);
+        for a in added {
+            let v = &mut self.copy_succs[n as usize];
+            if let Err(pos) = v.binary_search(&a) {
+                v.insert(pos, a);
+            }
+        }
+    }
+
+    /// Reacts `n`'s complex constraints to new targets. The arena chains
+    /// only grow during seeding and SCC merges, never inside this scan,
+    /// so cursor walks see a frozen list without cloning. Shared between
+    /// the worklist pop body and the wave solver's replay phase.
+    pub(crate) fn replay_constraints(&mut self, n: u32, delta: &[u32]) {
+        for &t in delta {
+            match self.targets[t as usize] {
+                Target::Loc(l) => {
+                    let mut cur = self.load_cons.first(n);
+                    if cur != NIL {
+                        let mn = self.mem_node(l);
+                        while cur != NIL {
+                            let (d, next) = self.load_cons.get(cur);
+                            self.add_copy_edge(mn, d);
+                            cur = next;
+                        }
+                    }
+                    let mut cur = self.store_cons.first(n);
+                    while cur != NIL {
+                        let (src, next) = self.store_cons.get(cur);
+                        self.apply_store(src, l);
+                        cur = next;
+                    }
+                    let mut cur = self.gep_cons.first(n);
+                    while cur != NIL {
+                        let ((kind, d), next) = self.gep_cons.get(cur);
+                        self.apply_gep(l, &kind, d);
+                        cur = next;
+                    }
+                }
+                Target::Func(g) => {
+                    let mut cur = self.call_cons.first(n);
+                    while cur != NIL {
+                        let (site, next) = self.call_cons.get(cur);
+                        self.wire_call(site, g);
+                        cur = next;
+                    }
+                }
+            }
+        }
+    }
+
     /// Tarjan over a CSR snapshot of the (representative-resolved)
     /// copy-edge graph; merges every nontrivial SCC into one node.
-    fn collapse_cycles(&mut self) {
-        let n = self.n_nodes;
+    pub(crate) fn collapse_cycles(&mut self) {
+        let n = self.layout.n_nodes;
         // Resolve every node's representative once, then freeze the copy
         // graph into offsets + edges arrays (struct-of-arrays CSR).
         let node_rep: Vec<u32> = (0..n as u32).map(|i| self.find(i)).collect();
@@ -1167,7 +1479,16 @@ impl<'m> Solver<'m> {
 
     // ---- finalization ----------------------------------------------------
 
-    fn finish(mut self) -> PointerAnalysis {
+    pub(crate) fn finish(self) -> PointerAnalysis {
+        self.finish_with(None)
+    }
+
+    /// Like [`Solver::finish`], but with an optional parallel runner:
+    /// result extraction (per-node rank sorting) and per-function loop
+    /// analysis are chunked into read-only jobs and dispatched on it.
+    /// Results are assembled in chunk order, so the output is identical
+    /// with or without a runner, at any thread count.
+    pub(crate) fn finish_with(mut self, runner: Option<WaveRunner<'_>>) -> PointerAnalysis {
         // Extract per-node results (resolving union-find). Target order in
         // the output is the payload (`Target`) order, matching the
         // reference solver's `BTreeSet` iteration: interned ids are mapped
@@ -1180,61 +1501,156 @@ impl<'m> Solver<'m> {
         for (rank, &id) in order.iter().enumerate() {
             rank_of[id as usize] = rank as u32;
         }
-        // Paired vectors first, then exact-size collects: the map
-        // allocates once instead of rehashing through its growth ladder.
-        let mut var_rows: Vec<((FuncId, VarId), Vec<Target>)> = Vec::new();
-        let mut mem_rows: Vec<(Loc, Vec<Target>)> = Vec::new();
-        let mut ranks: Vec<u32> = Vec::new();
-        let extract = |slf: &mut Self, id: u32, ranks: &mut Vec<u32>| -> Option<Vec<Target>> {
-            let rep = slf.find(id);
-            if slf.pts[rep as usize].is_empty() {
-                return None;
-            }
-            ranks.clear();
-            ranks.extend(slf.pts[rep as usize].iter().map(|id| rank_of[id as usize]));
-            ranks.sort_unstable();
-            Some(
-                ranks
-                    .iter()
-                    .map(|&r| slf.targets[order[r as usize] as usize])
-                    .collect(),
-            )
-        };
+
+        // Fully compress the union-find so the read-only lookups inside
+        // the (possibly parallel) extraction jobs are O(1).
+        for n in 0..self.layout.n_nodes as u32 {
+            let r = self.find(n);
+            self.parent[n as usize] = r;
+        }
+
+        // Row keys in output order, with their solver node ids.
+        enum RowKey {
+            Var(FuncId, VarId),
+            Mem(Loc),
+        }
+        let mut keys: Vec<RowKey> = Vec::new();
+        let mut ids: Vec<u32> = Vec::new();
         for (f, func) in self.m.funcs.iter_enumerated() {
             for (v, _) in func.vars.iter_enumerated() {
-                let id = self.var_node(f, v);
-                if let Some(ts) = extract(&mut self, id, &mut ranks) {
-                    var_rows.push(((f, v), ts));
-                }
+                keys.push(RowKey::Var(f, v));
+                ids.push(self.var_node(f, v));
             }
         }
+        let n_var_rows = ids.len();
         for (oid, _o) in self.m.objects.iter_enumerated() {
             let cells = self.reps[&oid].len() as u32;
             for field in 0..cells {
                 let l = Loc { obj: oid, field };
-                let id = self.mem_node(l);
-                if let Some(ts) = extract(&mut self, id, &mut ranks) {
-                    mem_rows.push((l, ts));
-                }
+                keys.push(RowKey::Mem(l));
+                ids.push(self.mem_node(l));
             }
         }
 
-        let var_pts: HashMap<(FuncId, VarId), Vec<Target>> = var_rows.into_iter().collect();
-        let mem_pts: HashMap<Loc, Vec<Target>> = mem_rows.into_iter().collect();
+        // Chunked extraction: each job encodes its rows as a flat
+        // `[len, sorted ranks...]*` word stream. Chunk boundaries depend
+        // only on the row count, never on the thread count.
+        const EXTRACT_CHUNK: usize = 1024;
+        let count = ids.len().div_ceil(EXTRACT_CHUNK);
+        let encode = |j: usize| -> Vec<u32> {
+            let lo = j * EXTRACT_CHUNK;
+            let hi = (lo + EXTRACT_CHUNK).min(ids.len());
+            let mut out: Vec<u32> = Vec::new();
+            let mut ranks: Vec<u32> = Vec::new();
+            for &id in &ids[lo..hi] {
+                let rep = self.find_ro(id);
+                ranks.clear();
+                ranks.extend(self.pts[rep as usize].iter().map(|id| rank_of[id as usize]));
+                ranks.sort_unstable();
+                out.push(ranks.len() as u32);
+                out.extend_from_slice(&ranks);
+            }
+            out
+        };
+        let encoded: Vec<Vec<u32>> = match runner {
+            Some(run) if count > 1 => run(count, &encode),
+            _ => (0..count).map(encode).collect(),
+        };
+
+        // Count non-empty rows per section so each map allocates exactly
+        // once, then decode straight into the maps — keys are regenerated
+        // in the same order the ids were emitted.
+        let mut var_nonempty = 0usize;
+        let mut mem_nonempty = 0usize;
+        let mut total_targets = 0usize;
+        {
+            let mut row = 0usize;
+            for chunk in &encoded {
+                let mut pos = 0usize;
+                while pos < chunk.len() {
+                    let len = chunk[pos] as usize;
+                    if len > 0 {
+                        if row < n_var_rows {
+                            var_nonempty += 1;
+                        } else {
+                            mem_nonempty += 1;
+                        }
+                        total_targets += len;
+                    }
+                    pos += 1 + len;
+                    row += 1;
+                }
+            }
+        }
+        let mut var_pts: FxHashMap<(FuncId, VarId), (u32, u32)> =
+            FxHashMap::with_capacity_and_hasher(var_nonempty, Default::default());
+        let mut mem_pts: FxHashMap<Loc, (u32, u32)> =
+            FxHashMap::with_capacity_and_hasher(mem_nonempty, Default::default());
+        let mut pool: Vec<Target> = Vec::with_capacity(total_targets);
+        let target_by_rank: Vec<Target> =
+            order.iter().map(|&id| self.targets[id as usize]).collect();
+        let mut key_it = keys.iter();
+        for chunk in &encoded {
+            let mut pos = 0usize;
+            while pos < chunk.len() {
+                let key = key_it.next().expect("one key per encoded row");
+                let len = chunk[pos] as usize;
+                pos += 1;
+                if len > 0 {
+                    let start = pool.len() as u32;
+                    pool.extend(
+                        chunk[pos..pos + len]
+                            .iter()
+                            .map(|&r| target_by_rank[r as usize]),
+                    );
+                    let range = (start, pool.len() as u32);
+                    match *key {
+                        RowKey::Var(f, v) => {
+                            var_pts.insert((f, v), range);
+                        }
+                        RowKey::Mem(l) => {
+                            mem_pts.insert(l, range);
+                        }
+                    }
+                }
+                pos += len;
+            }
+        }
+
         let stats = SolverStats {
-            nodes: self.n_nodes,
+            nodes: self.layout.n_nodes,
             interned_targets: self.targets.len(),
             pops: self.pops,
             merges: self.merges,
             peak_pts_words: self.peak_words,
+            unify_classes: self.unify_classes,
+            unify_collapsed: self.unify_collapsed,
+            prefilter_us: self.prefilter_us,
+            wave_batches: self.wave_batches,
+            wave_propagated: self.wave_propagated,
+            wave_max_width: self.wave_max_width,
         };
-        finish_analysis(self.m, self.cg, self.reps, var_pts, mem_pts, stats)
+        let alloc_block = std::mem::take(&mut self.alloc_block);
+        finish_analysis_with(
+            self.m,
+            self.cg,
+            self.reps,
+            Solution {
+                var_pts,
+                mem_pts,
+                pool,
+                stats,
+            },
+            runner,
+            Some(alloc_block),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyze;
     use usher_frontend_shim::compile;
     use usher_ir::{Callee, FuncBuilder, Module, ObjKind, StructDef, Type};
 

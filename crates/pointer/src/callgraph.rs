@@ -8,9 +8,7 @@
 //! (b) how many times the enclosing function can run (the paper's Figure 6
 //! example: `b` is abstract because `foo` may be called multiple times).
 
-use std::collections::{HashMap, HashSet};
-
-use usher_ir::{BlockId, Cfg, FuncId, Function, Idx, Module, Site};
+use usher_ir::{BlockId, FuncId, Function, FxHashMap, FxHashSet, Idx, Module, Site, Terminator};
 
 /// Per-function loop information: which blocks sit on a CFG cycle.
 #[derive(Clone, Debug)]
@@ -20,13 +18,28 @@ pub struct LoopInfo {
 
 impl LoopInfo {
     /// Computes loop membership for `f` via Tarjan SCCs over the CFG.
+    /// Successors are read straight off the block terminators (at most
+    /// two each), so no adjacency structure is materialized; starting
+    /// the DFS at the entry block visits exactly the reachable blocks,
+    /// matching the old reachability filter.
     pub fn compute(f: &Function) -> LoopInfo {
-        let cfg = Cfg::compute(f);
         let n = f.blocks.len();
         let mut info = LoopInfo {
             in_loop: vec![false; n],
         };
-        // Iterative Tarjan.
+        if n == 0 {
+            return info;
+        }
+        let succs_of = |v: usize| -> ([usize; 2], usize) {
+            match &f.blocks[BlockId(v as u32)].term {
+                Terminator::Jmp(b) => ([b.index(), 0], 1),
+                Terminator::Br {
+                    then_bb, else_bb, ..
+                } => ([then_bb.index(), else_bb.index()], 2),
+                _ => ([0, 0], 0),
+            }
+        };
+        // Iterative Tarjan from the entry block.
         let mut index = vec![usize::MAX; n];
         let mut low = vec![0usize; n];
         let mut on_stack = vec![false; n];
@@ -34,55 +47,51 @@ impl LoopInfo {
         let mut next_index = 0usize;
         let mut call_stack: Vec<(usize, usize)> = Vec::new();
 
-        for start in 0..n {
-            if index[start] != usize::MAX || !cfg.is_reachable(BlockId(start as u32)) {
-                continue;
-            }
-            call_stack.push((start, 0));
-            index[start] = next_index;
-            low[start] = next_index;
-            next_index += 1;
-            stack.push(start);
-            on_stack[start] = true;
+        let start = f.entry.index();
+        call_stack.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
 
-            while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
-                let succs = &cfg.succs[BlockId(v as u32)];
-                if *ei < succs.len() {
-                    let w = succs[*ei].index();
-                    *ei += 1;
-                    if index[w] == usize::MAX {
-                        index[w] = next_index;
-                        low[w] = next_index;
-                        next_index += 1;
-                        stack.push(w);
-                        on_stack[w] = true;
-                        call_stack.push((w, 0));
-                    } else if on_stack[w] {
-                        low[v] = low[v].min(index[w]);
-                    }
-                } else {
-                    if low[v] == index[v] {
-                        // Root of an SCC.
-                        let mut comp = Vec::new();
-                        while let Some(w) = stack.pop() {
-                            on_stack[w] = false;
-                            comp.push(w);
-                            if w == v {
-                                break;
-                            }
-                        }
-                        let self_loop = comp.len() == 1
-                            && cfg.succs[BlockId(v as u32)].contains(&BlockId(v as u32));
-                        if comp.len() > 1 || self_loop {
-                            for w in comp {
-                                info.in_loop[w] = true;
-                            }
+        while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
+            let (succs, n_succs) = succs_of(v);
+            if *ei < n_succs {
+                let w = succs[*ei];
+                *ei += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    // Root of an SCC.
+                    let top = stack
+                        .iter()
+                        .rposition(|&w| w == v)
+                        .expect("tarjan stack holds the SCC root");
+                    let comp = &stack[top..];
+                    let self_loop = comp.len() == 1 && succs[..n_succs].contains(&v);
+                    if comp.len() > 1 || self_loop {
+                        for &w in comp {
+                            info.in_loop[w] = true;
                         }
                     }
-                    call_stack.pop();
-                    if let Some(&(u, _)) = call_stack.last() {
-                        low[u] = low[u].min(low[v]);
+                    for &w in comp {
+                        on_stack[w] = false;
                     }
+                    stack.truncate(top);
+                }
+                call_stack.pop();
+                if let Some(&(u, _)) = call_stack.last() {
+                    low[u] = low[u].min(low[v]);
                 }
             }
         }
@@ -93,19 +102,36 @@ impl LoopInfo {
     pub fn in_loop(&self, bb: BlockId) -> bool {
         self.in_loop.get(bb.index()).copied().unwrap_or(false)
     }
+
+    /// The ascending list of in-loop block ids — the wire format the
+    /// parallel finalization jobs ship loop analyses across threads in.
+    pub(crate) fn loop_blocks(&self) -> Vec<u32> {
+        (0..self.in_loop.len() as u32)
+            .filter(|&b| self.in_loop[b as usize])
+            .collect()
+    }
+
+    /// Rebuilds a [`LoopInfo`] from [`LoopInfo::loop_blocks`] output.
+    pub(crate) fn from_loop_blocks(n_blocks: usize, blocks: &[u32]) -> LoopInfo {
+        let mut in_loop = vec![false; n_blocks];
+        for &b in blocks {
+            in_loop[b as usize] = true;
+        }
+        LoopInfo { in_loop }
+    }
 }
 
 /// The resolved call graph, including indirect call targets.
 #[derive(Clone, Debug, Default)]
 pub struct CallGraph {
     /// Call site -> possible callees.
-    pub callees: HashMap<Site, Vec<FuncId>>,
+    pub callees: FxHashMap<Site, Vec<FuncId>>,
     /// Function -> call sites that may invoke it.
-    pub callers: HashMap<FuncId, Vec<Site>>,
+    pub callers: FxHashMap<FuncId, Vec<Site>>,
     /// Functions on a call-graph cycle (including self-recursion).
-    pub recursive: HashSet<FuncId>,
+    pub recursive: FxHashSet<FuncId>,
     /// Functions that run at most once per execution.
-    pub runs_once: HashSet<FuncId>,
+    pub runs_once: FxHashSet<FuncId>,
     /// Bottom-up SCC order over functions (callees before callers), for
     /// mod/ref summary computation.
     pub bottom_up: Vec<Vec<FuncId>>,
@@ -130,7 +156,7 @@ impl CallGraph {
     /// multiplicity analysis. Edge lists are canonicalized (sorted) first,
     /// so downstream consumers (VFG node interning, mod/ref order) see the
     /// same graph regardless of the order the solver discovered edges in.
-    pub fn finalize(&mut self, m: &Module, loops: &HashMap<FuncId, LoopInfo>) {
+    pub fn finalize(&mut self, m: &Module, loops: &FxHashMap<FuncId, LoopInfo>) {
         for cs in self.callees.values_mut() {
             cs.sort_unstable();
         }
@@ -222,7 +248,7 @@ impl CallGraph {
         self.bottom_up = sccs;
     }
 
-    fn compute_multiplicity(&mut self, m: &Module, loops: &HashMap<FuncId, LoopInfo>) {
+    fn compute_multiplicity(&mut self, m: &Module, loops: &FxHashMap<FuncId, LoopInfo>) {
         // main runs once. f runs once iff it is not recursive, has exactly
         // one (static) call site, that site's block is outside any loop,
         // and the caller itself runs once. Iterate to a fixpoint top-down.
@@ -342,7 +368,7 @@ mod tests {
         cg.add_edge(s_ab, b);
         cg.add_edge(s_bc, c);
         cg.add_edge(s_cb, b); // b <-> c cycle
-        let loops: HashMap<FuncId, LoopInfo> = m
+        let loops: FxHashMap<FuncId, LoopInfo> = m
             .funcs
             .indices()
             .map(|f| (f, LoopInfo::compute(&m.funcs[f])))
@@ -368,7 +394,7 @@ mod tests {
         }
         let mut cg = CallGraph::default();
         cg.add_edge(Site::new(main, BlockId(0), 0), helper);
-        let loops: HashMap<FuncId, LoopInfo> = m
+        let loops: FxHashMap<FuncId, LoopInfo> = m
             .funcs
             .indices()
             .map(|f| (f, LoopInfo::compute(&m.funcs[f])))
@@ -407,7 +433,7 @@ mod tests {
         }
         let mut cg = CallGraph::default();
         cg.add_edge(Site::new(main, BlockId(2), 0), helper);
-        let loops: HashMap<FuncId, LoopInfo> = m
+        let loops: FxHashMap<FuncId, LoopInfo> = m
             .funcs
             .indices()
             .map(|f| (f, LoopInfo::compute(&m.funcs[f])))
@@ -429,7 +455,7 @@ mod tests {
         }
         let mut cg = CallGraph::default();
         cg.add_edge(Site::new(a, BlockId(0), 0), b);
-        let loops: HashMap<FuncId, LoopInfo> = m
+        let loops: FxHashMap<FuncId, LoopInfo> = m
             .funcs
             .indices()
             .map(|f| (f, LoopInfo::compute(&m.funcs[f])))

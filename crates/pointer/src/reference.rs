@@ -9,17 +9,35 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
-use usher_ir::{Callee, FuncId, GepOffset, Inst, Module, ObjId, Operand, Site, Terminator, VarId};
+use usher_ir::{
+    Budget, Callee, Exhausted, FuncId, GepOffset, Inst, Module, ObjId, Operand, Site, Terminator,
+    VarId,
+};
 
 use crate::andersen::{finish_analysis, object_reps, Loc, PointerAnalysis, SolverStats, Target};
 use crate::callgraph::CallGraph;
 
 /// Runs the reference (pre-overhaul) analysis over a module.
 pub fn analyze_reference(m: &Module) -> PointerAnalysis {
+    analyze_reference_budgeted(m, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// The reference analysis under a cooperative step budget (one step per
+/// worklist pop, matching the bitmap solver's charging granularity).
+/// With [`Budget::unlimited`] this is byte-identical to the frozen
+/// [`analyze_reference`] semantics — the only addition is the counter.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget runs out before the fixpoint.
+pub fn analyze_reference_budgeted(
+    m: &Module,
+    budget: &Budget,
+) -> Result<PointerAnalysis, Exhausted> {
     let mut s = Solver::new(m);
     s.seed();
-    s.solve();
-    s.finish()
+    s.solve(budget)?;
+    Ok(s.finish())
 }
 
 /// Solver node kinds.
@@ -392,8 +410,9 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn solve(&mut self) {
+    fn solve(&mut self, budget: &Budget) -> Result<(), Exhausted> {
         while let Some(n) = self.worklist.pop_front() {
+            budget.try_charge(1)?;
             let n = self.find(n);
             self.in_wl[n as usize] = false;
             let delta = std::mem::take(&mut self.delta[n as usize]);
@@ -436,6 +455,7 @@ impl<'m> Solver<'m> {
                 }
             }
         }
+        Ok(())
     }
 
     fn collapse_cycles(&mut self) {
@@ -554,20 +574,26 @@ impl<'m> Solver<'m> {
     }
 
     fn finish(mut self) -> PointerAnalysis {
-        let mut var_pts: HashMap<(FuncId, VarId), Vec<Target>> = HashMap::new();
-        let mut mem_pts: HashMap<Loc, Vec<Target>> = HashMap::new();
+        let mut var_pts: usher_ir::FxHashMap<(FuncId, VarId), (u32, u32)> =
+            usher_ir::FxHashMap::default();
+        let mut mem_pts: usher_ir::FxHashMap<Loc, (u32, u32)> = usher_ir::FxHashMap::default();
+        let mut pool: Vec<Target> = Vec::new();
         let entries: Vec<(Node, u32)> = self.node_ids.iter().map(|(n, id)| (*n, *id)).collect();
         for (nk, id) in entries {
             let rep = self.find(id);
-            let ts: Vec<Target> = self.pts[rep as usize].iter().copied().collect();
+            let start = pool.len() as u32;
+            pool.extend(self.pts[rep as usize].iter().copied());
+            let range = (start, pool.len() as u32);
             match nk {
                 Node::Var(f, v) => {
-                    var_pts.insert((f, v), ts);
+                    var_pts.insert((f, v), range);
                 }
                 Node::Mem(l) => {
-                    mem_pts.insert(l, ts);
+                    mem_pts.insert(l, range);
                 }
-                Node::Ret(_) => {}
+                Node::Ret(_) => {
+                    pool.truncate(start as usize);
+                }
             }
         }
 
@@ -576,9 +602,19 @@ impl<'m> Solver<'m> {
             interned_targets: 0, // the reference solver does not intern
             pops: self.pops,
             merges: self.merges,
-            peak_pts_words: 0,
+            ..SolverStats::default()
         };
-        finish_analysis(self.m, self.cg, self.reps, var_pts, mem_pts, stats)
+        finish_analysis(
+            self.m,
+            self.cg,
+            self.reps,
+            crate::andersen::Solution {
+                var_pts,
+                mem_pts,
+                pool,
+                stats,
+            },
+        )
     }
 }
 
@@ -616,14 +652,21 @@ mod tests {
         let old = analyze_reference(&m);
         // The bitmap solver does not materialize empty rows; compare the
         // non-empty subsets (the accessors default to empty either way).
+        let row = |pa: &PointerAnalysis, r: Option<&(u32, u32)>| -> Vec<Target> {
+            r.map_or_else(Vec::new, |&(s, e)| pa.pool[s as usize..e as usize].to_vec())
+        };
         for (k, v) in &old.var_pts {
-            assert_eq!(new.var_pts.get(k).cloned().unwrap_or_default(), *v, "{k:?}");
+            assert_eq!(row(&new, new.var_pts.get(k)), row(&old, Some(v)), "{k:?}");
         }
         for (k, v) in &old.mem_pts {
-            assert_eq!(new.mem_pts.get(k).cloned().unwrap_or_default(), *v, "{k:?}");
+            assert_eq!(row(&new, new.mem_pts.get(k)), row(&old, Some(v)), "{k:?}");
         }
         for (k, v) in &new.var_pts {
-            assert_eq!(old.var_pts.get(k), Some(v), "{k:?} only in new");
+            assert_eq!(
+                row(&old, old.var_pts.get(k)),
+                row(&new, Some(v)),
+                "{k:?} only in new"
+            );
         }
         assert_eq!(new.call_graph.callees, old.call_graph.callees);
         assert_eq!(new.concrete_objects, old.concrete_objects);

@@ -1,0 +1,227 @@
+//! Parallel wave propagation over the online constraint graph.
+//!
+//! Instead of popping one node at a time, each *round* condenses the
+//! current copy graph (reusing the solver's Tarjan collapse, so the
+//! representative-resolved graph is a DAG), takes the forward closure of
+//! every dirty node, layers it into topological *levels* (longest path
+//! from a dirty source), and then pulls points-to deltas level by level:
+//! a node's fresh targets are exactly the union of its predecessors'
+//! outgoing deltas minus what it already has. Within a level no node
+//! reads another's state, so the per-node pulls are embarrassingly
+//! parallel — they run on an injected [`WaveRunner`] (the driver's thread
+//! pool; the analysis crate itself stays free of threading) and the
+//! results are applied sequentially in ascending node-id order.
+//! Everything the round computes — levels, batch membership, fresh sets,
+//! every counter — is a function of the graph state alone, never of
+//! scheduling, so results are byte-identical at any thread count.
+//!
+//! Complex constraints (loads, stores, geps, indirect calls) are replayed
+//! after the pull phase from each node's accumulated round delta, in
+//! ascending node-id order; edges and targets they materialize enqueue
+//! work for the next round. The fixpoint is reached when a round starts
+//! with an empty worklist.
+//!
+//! [`WaveRunner`]: crate::strategy::WaveRunner
+
+use usher_ir::{Budget, Exhausted};
+
+use crate::andersen::Solver;
+use crate::strategy::WaveRunner;
+
+/// Batches smaller than this run inline even when a runner is injected:
+/// the pull closure is cheap and fork/join bookkeeping would dominate.
+/// Purely a latency knob — inline and dispatched execution are
+/// byte-identical by construction.
+const INLINE_BATCH: usize = 64;
+
+impl<'m> Solver<'m> {
+    /// Runs wave propagation to the fixpoint (or budget exhaustion).
+    /// With `runner: None` every batch runs inline; the solution is
+    /// identical either way.
+    pub(crate) fn solve_wave(
+        &mut self,
+        budget: &Budget,
+        runner: Option<WaveRunner<'_>>,
+    ) -> Result<(), Exhausted> {
+        // Dense node → closure-index map, reused across rounds (cleared
+        // through the closure list, so clearing is O(closure)).
+        const UNSEEN: u32 = u32::MAX;
+        let mut slot: Vec<u32> = vec![UNSEEN; self.layout.n_nodes];
+        'round: loop {
+            // Drain the worklist into a deduplicated, resolved root set.
+            let mut roots: Vec<u32> = Vec::new();
+            while let Some(n) = self.worklist.pop_front() {
+                let n = self.find(n);
+                self.in_wl[n as usize] = false;
+                if !self.delta[n as usize].is_empty() {
+                    roots.push(n);
+                }
+            }
+            roots.sort_unstable();
+            roots.dedup();
+            if roots.is_empty() {
+                return Ok(());
+            }
+
+            // Forward closure of the roots over the resolved copy graph,
+            // in deterministic BFS order; per-node successor lists are
+            // resolved, deduplicated and self-loop-free.
+            let mut closure: Vec<u32> = Vec::new();
+            for &r in &roots {
+                slot[r as usize] = closure.len() as u32;
+                closure.push(r);
+            }
+            let mut succs_of: Vec<Vec<u32>> = Vec::new();
+            let mut qi = 0usize;
+            while qi < closure.len() {
+                let n = closure[qi];
+                qi += 1;
+                let mut succs: Vec<u32> = self.copy_succs[n as usize]
+                    .iter()
+                    .map(|&s| self.find_ro(s))
+                    .filter(|&s| s != n)
+                    .collect();
+                succs.sort_unstable();
+                succs.dedup();
+                let idxs = succs
+                    .iter()
+                    .map(|&s| {
+                        if slot[s as usize] == UNSEEN {
+                            slot[s as usize] = closure.len() as u32;
+                            closure.push(s);
+                        }
+                        slot[s as usize]
+                    })
+                    .collect();
+                succs_of.push(idxs);
+            }
+            for &n in &closure {
+                slot[n as usize] = UNSEEN;
+            }
+
+            // Longest-path levels via Kahn's algorithm. The graph was
+            // collapsed at the end of the previous round's cycle check,
+            // but constraint replay may have closed new cycles since;
+            // when Kahn stalls, collapse and retry the round (the merge
+            // re-enqueues everything it touches).
+            let nc = closure.len();
+            let mut indeg = vec![0u32; nc];
+            for succs in &succs_of {
+                for &s in succs {
+                    indeg[s as usize] += 1;
+                }
+            }
+            let mut level = vec![0u32; nc];
+            let mut ready: Vec<u32> = (0..nc as u32).filter(|&i| indeg[i as usize] == 0).collect();
+            let mut done = 0usize;
+            while let Some(i) = ready.pop() {
+                done += 1;
+                for &s in &succs_of[i as usize] {
+                    let l = level[i as usize] + 1;
+                    if l > level[s as usize] {
+                        level[s as usize] = l;
+                    }
+                    indeg[s as usize] -= 1;
+                    if indeg[s as usize] == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+            if done < nc {
+                self.collapse_cycles();
+                for r in roots {
+                    self.enqueue(r);
+                }
+                continue 'round;
+            }
+
+            // The closure is a DAG; commit the round. Take every root's
+            // pending delta as the seed of its outgoing round delta.
+            let mut out_delta: Vec<Vec<u32>> = vec![Vec::new(); nc];
+            for (i, &r) in roots.iter().enumerate() {
+                out_delta[i] = std::mem::take(&mut self.delta[r as usize]);
+            }
+            let preds_of = transpose(&succs_of);
+            let n_levels = level.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_levels];
+            for (i, &l) in level.iter().enumerate() {
+                buckets[l as usize].push(i as u32);
+            }
+            for b in &mut buckets {
+                b.sort_unstable_by_key(|&i| closure[i as usize]);
+            }
+
+            // Pull phase: level by level, each node unions its
+            // predecessors' round deltas and keeps what it lacks. Level 0
+            // is exactly the nodes with no in-closure predecessors — a
+            // pull there is a no-op, so the first bucket is skipped.
+            for batch in buckets.iter().skip(1) {
+                budget.try_charge(batch.len() as u64)?;
+                self.wave_batches += 1;
+                self.wave_max_width = self.wave_max_width.max(batch.len());
+                let results: Vec<Vec<u32>> = {
+                    let pts = &self.pts;
+                    let job = |j: usize| -> Vec<u32> {
+                        let i = batch[j] as usize;
+                        let n = closure[i] as usize;
+                        let mut fresh: Vec<u32> = Vec::new();
+                        for &p in &preds_of[i] {
+                            fresh.extend_from_slice(&out_delta[p as usize]);
+                        }
+                        fresh.sort_unstable();
+                        fresh.dedup();
+                        fresh.retain(|&id| !pts[n].contains(id));
+                        fresh
+                    };
+                    match runner {
+                        Some(run) if batch.len() >= INLINE_BATCH => run(batch.len(), &job),
+                        _ => (0..batch.len()).map(job).collect(),
+                    }
+                };
+                for (j, &i) in batch.iter().enumerate() {
+                    let fresh = &results[j];
+                    if fresh.is_empty() {
+                        continue;
+                    }
+                    let n = closure[i as usize] as usize;
+                    let before = self.pts[n].words();
+                    for &id in fresh {
+                        self.pts[n].insert(id);
+                    }
+                    let after = self.pts[n].words();
+                    self.track_words(before, after);
+                    self.wave_propagated += fresh.len();
+                    out_delta[i as usize].extend_from_slice(fresh);
+                }
+            }
+
+            // Replay phase: complex constraints react to the round's
+            // deltas in ascending node-id order; whatever they materialize
+            // (new edges flow full sets immediately, new targets enqueue)
+            // becomes the next round's roots.
+            let mut order: Vec<u32> = (0..nc as u32).collect();
+            order.sort_unstable_by_key(|&i| closure[i as usize]);
+            for i in order {
+                let od = std::mem::take(&mut out_delta[i as usize]);
+                if od.is_empty() {
+                    continue;
+                }
+                budget.try_charge(1)?;
+                self.pops += 1;
+                self.replay_constraints(closure[i as usize], &od);
+            }
+        }
+    }
+}
+
+/// Transposes closure-index adjacency lists; preds inherit the sorted
+/// order of the forward scan, so every downstream union is deterministic.
+fn transpose(succs_of: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); succs_of.len()];
+    for (i, succs) in succs_of.iter().enumerate() {
+        for &s in succs {
+            preds[s as usize].push(i as u32);
+        }
+    }
+    preds
+}

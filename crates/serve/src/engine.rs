@@ -52,9 +52,9 @@ use usher_core::{
     guided_plan, redundant_check_elimination, Config, Gamma, GuidedOpts, Plan, PlanProvenance,
 };
 use usher_driver::{
-    default_threads, gamma_fingerprint, parallel_map, plan_fingerprint, Artifact, ArtifactCache,
-    CacheStats, DegradeEvent, GuidedKnobs, KeyWriter, PipelineOptions, PipelineReport, Stage,
-    StageTiming,
+    analyze_pointer, default_threads, gamma_fingerprint, parallel_map, plan_fingerprint, Artifact,
+    ArtifactCache, CacheStats, DegradeEvent, GuidedKnobs, KeyWriter, PipelineOptions,
+    PipelineReport, Stage, StageTiming,
 };
 use usher_frontend::{
     lower_program, parser, relower_function, LowerEnv, RelowerBlocked, RelowerError,
@@ -64,7 +64,7 @@ use usher_ir::{
     FuncId, GepOffset, Idx, InlinePolicy, InlineTrace, Inst, Module, ObjId, Operand, OptLevel,
     Terminator,
 };
-use usher_pointer::PointerAnalysis;
+use usher_pointer::{PointerAnalysis, PointerStrategy, SolverStats};
 use usher_vfg::{
     build_function_ssa, build_with_tape, modref_summaries, rebuild_with_tape, BuildOpts, MemSsa,
     ModRef, Vfg, VfgMode, VfgTape,
@@ -84,6 +84,11 @@ pub struct EngineConfig {
     pub threads: usize,
     /// `false` bypasses both cache tiers entirely (`--no-cache`).
     pub use_cache: bool,
+    /// Pointer-stage solver strategy (`--pointer-strategy`). Part of the
+    /// pointer artifact's cache key; retained sessions record the
+    /// strategy their analysis was computed with, and incremental edits
+    /// fall back when it no longer matches.
+    pub pointer_strategy: PointerStrategy,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +98,7 @@ impl Default for EngineConfig {
             store_cap_bytes: 256 << 20,
             threads: default_threads(),
             use_cache: true,
+            pointer_strategy: PointerStrategy::default(),
         }
     }
 }
@@ -112,6 +118,9 @@ pub struct Counters {
     pub user_errors: u64,
     /// Total functions recomputed across all edits.
     pub functions_recomputed: u64,
+    /// Full pointer solves run (cold analyses and edit fallbacks;
+    /// incremental edits reuse the retained analysis and don't count).
+    pub pointer_solves: u64,
 }
 
 /// Result of an `analyze` request.
@@ -183,6 +192,11 @@ pub struct EngineStats {
     pub disk: Option<DiskStats>,
     /// Hits over lookups across both tiers (0.0 when no lookups yet).
     pub warm_hit_ratio: f64,
+    /// The engine's current pointer-stage strategy name.
+    pub pointer_strategy: &'static str,
+    /// Solver counters of the most recent full pointer solve (zeroed
+    /// until one has run).
+    pub last_solver: SolverStats,
 }
 
 /// One function's line span in the session source: `[start, end)`.
@@ -199,6 +213,11 @@ struct Backend {
     env: LowerEnv,
     inline: InlineTrace,
     pa: PointerAnalysis,
+    /// Strategy `pa` was computed with; an engine whose configured
+    /// strategy has moved away from this must not splice incremental
+    /// results onto the retained analysis (the observables are equal,
+    /// but the telemetry counters and cache keys would lie).
+    pa_strategy: PointerStrategy,
     modref: ModRef,
     memssa: MemSsa,
     vfg: Vfg,
@@ -237,6 +256,7 @@ pub struct Engine {
     sessions: HashMap<u64, Session>,
     next_session: u64,
     counters: Counters,
+    last_solver: SolverStats,
 }
 
 /// Stable FNV key of a TinyC source text — identical to the driver's
@@ -347,7 +367,8 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Result<Engine, String> {
         let opts = PipelineOptions::from_config(Config::USHER)
             .at_level(OptLevel::O0Im)
-            .labelled("serve");
+            .labelled("serve")
+            .with_pointer_strategy(cfg.pointer_strategy);
         let knobs = opts.guided.expect("USHER preset is guided");
         let disk = match (&cfg.store_dir, cfg.use_cache) {
             (Some(dir), true) => Some(
@@ -366,7 +387,23 @@ impl Engine {
             sessions: HashMap::new(),
             next_session: 1,
             counters: Counters::default(),
+            last_solver: SolverStats::default(),
         })
+    }
+
+    /// Switches the pointer-stage strategy for subsequent full solves.
+    /// Sessions retain analyses computed under the previous strategy;
+    /// their next edit falls back to a full recompute
+    /// (`pointer-strategy-changed`) instead of splicing onto a result
+    /// whose provenance no longer matches the engine configuration.
+    pub fn set_pointer_strategy(&mut self, strategy: PointerStrategy) {
+        self.opts.pointer_strategy = strategy;
+    }
+
+    /// The engine's current pointer-stage strategy.
+    #[must_use]
+    pub fn pointer_strategy(&self) -> PointerStrategy {
+        self.opts.pointer_strategy
     }
 
     fn build_opts(&self) -> BuildOpts {
@@ -500,7 +537,10 @@ impl Engine {
         if let Err(errs) = verify(&module) {
             return Err(format!("internal verification failure: {errs:?}"));
         }
-        let pa = timed!(Stage::Pointer, usher_pointer::analyze(&module));
+        let pa = timed!(
+            Stage::Pointer,
+            analyze_pointer(&module, self.opts.pointer_strategy, self.threads)
+        );
         let (modref, memssa) = timed!(Stage::MemSsa, {
             let modref = modref_summaries(&module, &pa);
             let fids: Vec<FuncId> = module.funcs.indices().collect();
@@ -541,6 +581,7 @@ impl Engine {
                 env,
                 inline,
                 pa,
+                pa_strategy: self.opts.pointer_strategy,
                 modref,
                 memssa,
                 vfg,
@@ -560,6 +601,7 @@ impl Engine {
             workload,
             config: self.opts.label.clone(),
             opt_level: format!("{:?}", self.opts.opt_level),
+            pointer_strategy: self.opts.pointer_strategy.name().to_string(),
             stages,
             ..PipelineReport::default()
         }
@@ -623,6 +665,8 @@ impl Engine {
                 })?;
                 self.persist(sk, &computed.backend);
                 self.counters.analyzes_cold += 1;
+                self.counters.pointer_solves += 1;
+                self.last_solver = computed.backend.pa.stats;
                 (
                     SessionState::Ready(Box::new(computed.backend)),
                     "cold",
@@ -745,6 +789,9 @@ impl Engine {
             else {
                 break 'fast "backend-cold";
             };
+            if b.pa_strategy != self.opts.pointer_strategy {
+                break 'fast "pointer-strategy-changed";
+            }
             let Some(fid) = b.env.funcs.get(func).map(|t| t.0) else {
                 break 'fast "unknown-function";
             };
@@ -878,6 +925,8 @@ impl Engine {
             }
         };
         self.persist(source_key(&canon), &computed.backend);
+        self.counters.pointer_solves += 1;
+        self.last_solver = computed.backend.pa.stats;
         let functions_recomputed = computed.backend.module.funcs.len();
         let mut report = self.base_report(format!("session-{sid}"), computed.stages);
         Self::fill_backend_stats(&mut report, &computed.backend);
@@ -954,6 +1003,8 @@ impl Engine {
             } else {
                 hits as f64 / lookups as f64
             },
+            pointer_strategy: self.opts.pointer_strategy.name(),
+            last_solver: self.last_solver,
         }
     }
 
@@ -1427,6 +1478,47 @@ def main(int c) {
         let q = e.query(warm.session_id).unwrap();
         let (pf, _) = oracle(&e.session_source(warm.session_id).unwrap());
         assert_eq!(q.plan_fingerprint, pf);
+    }
+
+    #[test]
+    fn strategy_switch_gates_incremental_edits() {
+        let mut e = engine(EngineConfig::default());
+        let sid = e.analyze(SRC).unwrap().session_id;
+        assert_eq!(e.stats().pointer_strategy, "prefilter-wave");
+        assert_eq!(e.stats().counters.pointer_solves, 1);
+        assert!(e.stats().last_solver.nodes > 0);
+
+        // Retained analysis was computed under prefilter-wave; after a
+        // strategy switch the same const-level edit must fall back once
+        // (recording the reason), then be incremental again.
+        e.set_pointer_strategy(PointerStrategy::Reference);
+        let body = |k: i64| {
+            format!(
+                "def helper0(int a) -> int {{
+    int x = a + {k};
+    if (x) {{ return x * 2; }}
+    return 3;
+}}"
+            )
+        };
+        let out = e.edit(sid, "helper0", &body(5)).unwrap();
+        assert!(!out.incremental);
+        assert_eq!(out.fallback_reason, Some("pointer-strategy-changed"));
+        assert_eq!(out.report.pointer_strategy, "reference");
+        assert_eq!(e.stats().counters.pointer_solves, 2);
+
+        let out2 = e.edit(sid, "helper0", &body(6)).unwrap();
+        assert!(
+            out2.incremental,
+            "edit under the new strategy must be incremental: {:?}",
+            out2.fallback_reason
+        );
+        // Observables are strategy-independent: the result still equals
+        // the cold oracle.
+        let q = e.query(sid).unwrap();
+        let (pf, gf) = oracle(&e.session_source(sid).unwrap());
+        assert_eq!(q.plan_fingerprint, pf);
+        assert_eq!(q.gamma_fingerprint, gf);
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub struct ServerConfig {
     pub threads: usize,
     /// `false` bypasses both cache tiers (`--no-cache`).
     pub use_cache: bool,
+    /// Pointer-stage solver strategy (`--pointer-strategy`).
+    pub pointer_strategy: usher_pointer::PointerStrategy,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +73,7 @@ impl Default for ServerConfig {
             max_clients: 8,
             threads: e.threads,
             use_cache: true,
+            pointer_strategy: e.pointer_strategy,
         }
     }
 }
@@ -119,6 +122,7 @@ impl Dispatcher {
             store_cap_bytes: cfg.store_cap_bytes,
             threads: cfg.threads,
             use_cache: cfg.use_cache,
+            pointer_strategy: cfg.pointer_strategy,
         })?;
         Ok(Dispatcher {
             engine: Mutex::new(engine),
@@ -268,7 +272,22 @@ impl Dispatcher {
                     .u64("memory_hits", st.memory.hits as u64)
                     .u64("memory_misses", st.memory.misses as u64)
                     .u64("memory_entries", st.memory.entries as u64)
-                    .f64("warm_hit_ratio", st.warm_hit_ratio);
+                    .f64("warm_hit_ratio", st.warm_hit_ratio)
+                    .str("pointer_strategy", st.pointer_strategy)
+                    .u64("pointer_solves", st.counters.pointer_solves)
+                    .u64("solver_nodes", st.last_solver.nodes as u64)
+                    .u64("solver_pops", st.last_solver.pops as u64)
+                    .u64("solver_merges", st.last_solver.merges as u64)
+                    .u64(
+                        "solver_unify_collapsed",
+                        st.last_solver.unify_collapsed as u64,
+                    )
+                    .u64("solver_prefilter_us", st.last_solver.prefilter_us as u64)
+                    .u64("solver_wave_batches", st.last_solver.wave_batches as u64)
+                    .u64(
+                        "solver_wave_propagated",
+                        st.last_solver.wave_propagated as u64,
+                    );
                 if let Some(d) = st.disk {
                     w.u64("disk_entries", d.entries as u64)
                         .u64("disk_bytes", d.bytes)

@@ -27,3 +27,5 @@ pub use usher_runtime as runtime;
 pub use usher_serve as serve;
 pub use usher_vfg as vfg;
 pub use usher_workloads as workloads;
+
+pub use usher_pointer::PointerStrategy;

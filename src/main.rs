@@ -32,7 +32,7 @@
 //! baseline plan and under every guided preset, with results classified
 //! against the ground truth. `--smoke` is the fixed CI gate; `--seeds`,
 //! `--start`, `--mutants`, `--frontend`, `--fault none|fuel|cache-evict|
-//! trap-force|drop-checks|cache-corrupt|budget-exhaust`, `--threads`,
+//! trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge`, `--threads`,
 //! `--no-minimize`, `--report FILE`
 //! (JSONL telemetry) and `--out DIR` (minimized reproducers) shape ad-hoc
 //! campaigns. Exit code 1 means the campaign found at least one mismatch.
@@ -64,10 +64,10 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("usher: {msg}");
             eprintln!();
-            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--no-cache] [--report] [--budget-steps N] [--deadline-ms N] [--strict] [--inject-panic STAGE]");
+            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--pointer-strategy S] [--no-cache] [--report] [--budget-steps N] [--deadline-ms N] [--strict] [--inject-panic STAGE]");
             eprintln!("       usher gen [--seed N] [--helpers N] [--stmts N]");
             eprintln!("       usher fuzz [--smoke] [--seeds N] [--start N] [--mutants N] [--frontend] [--fault MODE] [--threads N] [--no-minimize] [--report FILE] [--out DIR]");
-            eprintln!("       usher serve [--socket PATH] [--store-dir DIR] [--store-cap-bytes N] [--max-clients N] [--threads N] [--no-cache]");
+            eprintln!("       usher serve [--socket PATH] [--store-dir DIR] [--store-cap-bytes N] [--max-clients N] [--threads N] [--pointer-strategy S] [--no-cache]");
             eprintln!("       usher serve-bench [--quick] [--clients N] [--edits N] [--out FILE]");
             ExitCode::from(2)
         }
@@ -93,6 +93,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let mut level = OptLevel::O0Im;
     let mut seed = 0x5eedu64;
     let mut threads = None;
+    let mut pointer_strategy = None;
     let mut use_cache = true;
     let mut report = false;
     let mut budget_steps = None;
@@ -137,6 +138,13 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 }
                 threads = Some(n);
             }
+            "--pointer-strategy" => {
+                let v = it.next().ok_or("--pointer-strategy needs a value")?;
+                pointer_strategy = Some(
+                    usher::PointerStrategy::parse(v)
+                        .ok_or_else(|| format!("unknown pointer strategy {v} (expected reference|andersen|prefilter|prefilter-wave)"))?,
+                );
+            }
             "--no-cache" => use_cache = false,
             "--report" => report = true,
             "--budget-steps" => {
@@ -174,12 +182,15 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     if !use_cache {
         pipe = pipe.without_cache();
     }
-    let options = PipelineOptions::from_config(config)
+    let mut options = PipelineOptions::from_config(config)
         .at_level(level)
         .with_budget_steps(budget_steps)
         .with_deadline_ms(deadline_ms)
         .strict(strict)
         .with_inject_panic(inject_panic);
+    if let Some(st) = pointer_strategy {
+        options = options.with_pointer_strategy(st);
+    }
     let analyze = |opts: PipelineOptions| -> Result<PipelineRun, String> {
         let pr = pipe
             .run(&file, source.clone(), opts)
@@ -371,6 +382,11 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
                 }
                 cfg.threads = n;
             }
+            "--pointer-strategy" => {
+                let v = it.next().ok_or("--pointer-strategy needs a value")?;
+                cfg.pointer_strategy = usher::PointerStrategy::parse(v)
+                    .ok_or_else(|| format!("unknown pointer strategy {v} (expected reference|andersen|prefilter|prefilter-wave)"))?;
+            }
             "--no-cache" => cfg.use_cache = false,
             other => return Err(format!("unexpected serve argument {other}")),
         }
@@ -453,7 +469,7 @@ fn fuzz_command(args: &[String]) -> Result<ExitCode, String> {
             "--fault" => {
                 let v = it.next().ok_or("--fault needs a value")?;
                 cfg.fault = FaultInjection::parse(v).ok_or_else(|| {
-                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks|cache-corrupt|budget-exhaust)")
+                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge)")
                 })?;
             }
             "--threads" => {

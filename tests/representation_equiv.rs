@@ -17,9 +17,10 @@ use usher::core::{
     guided_plan, redundant_check_elimination, redundant_check_elimination_reference, resolve,
     resolve_reference, Gamma, GuidedOpts, Plan,
 };
+use usher::driver::{analyze_pointer, analyze_pointer_budgeted};
 use usher::frontend::compile_o0im;
-use usher::ir::Module;
-use usher::pointer::{analyze, analyze_reference, PointerAnalysis};
+use usher::ir::{Budget, Module};
+use usher::pointer::{analyze, analyze_reference, PointerAnalysis, PointerStrategy};
 use usher::vfg::{build, build_memssa, build_reference, VfgMode};
 use usher::workloads::{generate, ladder_config, GenConfig, SEED_LADDER};
 
@@ -233,6 +234,79 @@ fn gamma_and_opt2_agree_on_large_ladder_rungs() {
             &o_ref.gamma,
             &format!("ladder-{seed}/opt2"),
         );
+    }
+}
+
+#[test]
+fn every_pointer_strategy_agrees_on_the_ladder() {
+    // The strategy matrix: all four solver implementations, run through
+    // the driver's strategy- and thread-aware entry point, must produce
+    // byte-identical observables on the benchmark rungs. The reference
+    // solver is the oracle. Digests are compared within a strategy only
+    // (they fold in per-strategy solver counters by design): two runs of
+    // the same strategy must agree bit for bit, which is what the
+    // cache-key contract — strategy name in the key, digest as the
+    // self-healing checksum — relies on.
+    for &(seed, helpers, stmts) in &SEED_LADDER[..4] {
+        let src = generate(seed, ladder_config(helpers, stmts));
+        let m = compile_o0im(&src).expect("ladder rungs compile");
+        let oracle = analyze_pointer(&m, PointerStrategy::Reference, 1);
+        for strategy in PointerStrategy::ALL {
+            let pa = analyze_pointer(&m, strategy, 1);
+            assert_pointer_equiv(&m, &pa, &oracle, &format!("ladder-{seed}/{strategy}"));
+            assert_eq!(
+                pa.digest(),
+                analyze_pointer(&m, strategy, 1).digest(),
+                "ladder-{seed}/{strategy}: rerun digest"
+            );
+        }
+    }
+}
+
+#[test]
+fn wave_digests_are_thread_count_invariant() {
+    // Parallel wave propagation must be deterministic: the digest at
+    // every thread count 1..=8 matches the inline (single-threaded)
+    // wave solve, counters included. Thread counts above the pool's
+    // worker limit exercise the clamping path too.
+    for &(seed, helpers, stmts) in &SEED_LADDER[2..4] {
+        let src = generate(seed, ladder_config(helpers, stmts));
+        let m = compile_o0im(&src).expect("ladder rungs compile");
+        let want = analyze_pointer(&m, PointerStrategy::PrefilterWave, 1).digest();
+        for threads in 1..=8usize {
+            let got = analyze_pointer(&m, PointerStrategy::PrefilterWave, threads).digest();
+            assert_eq!(got, want, "ladder-{seed}: wave digest at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_all_or_nothing_for_every_strategy() {
+    // The degradation contract: a strategy either reaches the fixpoint
+    // (byte-identical to the oracle) or reports `Exhausted` — never a
+    // partial result. A one-step budget must exhaust every strategy on
+    // a non-trivial module, and a fresh unlimited budget must reproduce
+    // the oracle exactly.
+    let (seed, helpers, stmts) = SEED_LADDER[2];
+    let src = generate(seed, ladder_config(helpers, stmts));
+    let m = compile_o0im(&src).expect("ladder rungs compile");
+    let oracle = analyze_pointer(&m, PointerStrategy::Reference, 1);
+    for strategy in PointerStrategy::ALL {
+        for threads in [1usize, 4] {
+            let starved = analyze_pointer_budgeted(&m, strategy, &Budget::limited(1), threads);
+            assert!(
+                starved.is_err(),
+                "{strategy}/t{threads}: one step cannot reach the fixpoint"
+            );
+            let full = analyze_pointer_budgeted(&m, strategy, &Budget::unlimited(), threads)
+                .expect("unlimited budget cannot exhaust");
+            assert_pointer_equiv(
+                &m,
+                &full,
+                &oracle,
+                &format!("{strategy}/t{threads}: post-exhaustion rerun"),
+            );
+        }
     }
 }
 
