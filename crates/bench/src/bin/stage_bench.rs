@@ -13,12 +13,22 @@
 //! must agree node-for-node, Opt II must redirect the same nodes, and
 //! the final instrumentation plans must be byte-identical.
 //!
+//! A demand rung per workload times the `usher serve` point-query
+//! scenario — a fresh [`DemandEngine`] answering one check versus a cold
+//! full resolve — with the verdict cross-checked against the exhaustive
+//! resolver.
+//!
 //! Emits one JSON object (the `BENCH_stages.json` format) on stdout;
-//! `scripts/bench.sh` redirects it into the repo.
+//! `scripts/bench.sh` redirects it into the repo. Full runs additionally
+//! write `BENCH_demand.json` (the demand rungs alone), which is checked
+//! in as the record the quick gate asserts against.
 //!
 //! Usage: `stage_bench [--quick]` (`--quick` = two smoke rungs, fewer
-//! iterations, and a regression guard: exits nonzero if the condensed
-//! vfg+resolve pipeline is slower than the frozen reference).
+//! iterations, and regression guards: exits nonzero if the condensed
+//! vfg+resolve pipeline is slower than the frozen reference, if a live
+//! demand query exceeds the gate with slack, or if the checked-in
+//! `BENCH_demand.json` records a gen-131 query at or above 10% of a
+//! cold full resolve).
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -29,12 +39,37 @@ use usher_core::{
     resolve_reference, Config, GuidedOpts,
 };
 use usher_driver::{analyze_pointer, plan_fingerprint, Pipeline, PipelineOptions};
-use usher_ir::Module;
+use usher_ir::{Budget, Module};
 use usher_pointer::{PointerAnalysis, PointerStrategy};
-use usher_vfg::{build, build_memssa, build_reference, Vfg, VfgMode};
+use usher_vfg::{build, build_memssa, build_reference, DemandEngine, Vfg, VfgMode};
 use usher_workloads::{generate, ladder_config, SEED_LADDER};
 
 const CONTEXT_DEPTH: usize = 1;
+
+/// The demand gate: a single cold point query on the largest rung must
+/// cost under this fraction of a cold full resolve (the checked-in
+/// `BENCH_demand.json` is the record of evidence; `--quick` re-asserts
+/// it without re-timing the big rung).
+const DEMAND_RATIO_GATE: f64 = 0.10;
+
+/// Live `--quick` rungs are small (fixed per-query overheads weigh
+/// more) and CI machines are noisy, so the live gate gets 3x slack.
+const DEMAND_QUICK_SLACK: f64 = 3.0;
+
+/// The rung the checked-in demand gate pins (the ladder's largest).
+const DEMAND_GATE_RUNG: &str = "gen-131";
+
+/// Pulls `"ratio":<f64>` out of the named workload's object in a
+/// checked-in `BENCH_demand.json`, with a deliberately naive string
+/// scan — the bench format is flat and machine-written, and the bench
+/// crates stay free of parser dependencies.
+fn checked_in_demand_ratio(text: &str, rung: &str) -> Option<f64> {
+    let at = text.find(&format!("\"name\":\"{rung}\""))?;
+    let rest = &text[at..];
+    let tail = &rest[rest.find("\"ratio\":")? + "\"ratio\":".len()..];
+    let end = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
 
 /// The driver stages in execution order (for stable JSON key order).
 const STAGE_NAMES: [&str; 10] = [
@@ -129,7 +164,8 @@ fn main() -> ExitCode {
     };
 
     let mut workloads = String::new();
-    let mut largest: Option<(String, f64, f64, f64, f64, f64)> = None;
+    let mut demand_workloads = String::new();
+    let mut largest: Option<(String, f64, f64, f64, f64, f64, f64)> = None;
     let mut regression = false;
 
     for (i, &(seed, helpers, stmts)) in rungs.iter().enumerate() {
@@ -259,6 +295,52 @@ fn main() -> ExitCode {
             best
         };
 
+        // ---- demand point-query rung --------------------------------
+        // The `usher serve` scenario: the session's VFG is analyzed
+        // (its condensation is memoized by the resolve gates above), and
+        // a `query-use` answers one check. The cold side pays engine
+        // construction plus the sparse backward walk; the resolve side
+        // pays a full cold resolution, graph rebuilt outside the timed
+        // region so every sample includes the condensation, exactly as
+        // a fresh analyze does.
+        let t_resolve_cold = {
+            let mut best = f64::INFINITY;
+            for _ in 0..iters {
+                let g_fresh = build(&m, &pa, &ms, VfgMode::Full);
+                let t = Instant::now();
+                std::hint::black_box(resolve(&g_fresh, CONTEXT_DEPTH));
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let check_node = g.checks.first().map(|c| c.node).expect("rungs have checks");
+        let t_query_cold = time_min(iters, || {
+            let mut eng = DemandEngine::new(&g, CONTEXT_DEPTH);
+            eng.query(&g, check_node, &Budget::unlimited())
+        });
+        let t_query_memo = {
+            let mut eng = DemandEngine::new(&g, CONTEXT_DEPTH);
+            let v = eng.query(&g, check_node, &Budget::unlimited());
+            assert_eq!(
+                v.bot,
+                gamma.is_bot(check_node),
+                "{name}: demand verdict disagrees with the exhaustive resolver"
+            );
+            time_min(iters, || eng.query(&g, check_node, &Budget::unlimited()))
+        };
+        let d_ratio = t_query_cold / t_resolve_cold.max(1e-9);
+        if quick && d_ratio > DEMAND_RATIO_GATE * DEMAND_QUICK_SLACK {
+            eprintln!(
+                "REGRESSION: {name}: cold demand query {:.3}ms is {:.2}x a cold full \
+                 resolve {:.3}ms (live gate {:.2})",
+                t_query_cold * 1e3,
+                d_ratio,
+                t_resolve_cold * 1e3,
+                DEMAND_RATIO_GATE * DEMAND_QUICK_SLACK,
+            );
+            regression = true;
+        }
+
         let p_speedup = t_pointer_before / t_pointer_after.max(1e-9);
         let p_t4_speedup = t_pointer_before / t_pointer_t4.max(1e-9);
         let v_speedup = t_vfg_before / t_vfg_after.max(1e-9);
@@ -324,7 +406,9 @@ fn main() -> ExitCode {
              \"combined_vfg_resolve_speedup\":{combined:.2},\
              \"sccs\":{},\"nontrivial_sccs\":{},\"word_ops\":{},\
              \"contexts\":{},\"visited_states\":{},\"bot_nodes\":{},\"opt2_redirected\":{},\
-             \"semi_strong_stores\":{}}}",
+             \"semi_strong_stores\":{},\
+             \"demand\":{{\"resolve_cold_ms\":{:.3},\"query_cold_ms\":{:.3},\
+             \"query_memo_ms\":{:.4},\"ratio\":{:.4}}}}}",
             t_pointer_before * 1e3,
             t_pointer_after * 1e3,
             p_speedup,
@@ -342,6 +426,23 @@ fn main() -> ExitCode {
             opt2.gamma.bot_count(),
             opt2.redirected,
             g.stats.semi_strong_stores,
+            t_resolve_cold * 1e3,
+            t_query_cold * 1e3,
+            t_query_memo * 1e3,
+            d_ratio,
+        );
+        let _ = write!(
+            demand_workloads,
+            "{}{{\"name\":\"{name}\",\"vfg_nodes\":{},\"checks\":{},\
+             \"resolve_cold_ms\":{:.3},\"query_cold_ms\":{:.3},\"query_memo_ms\":{:.4},\
+             \"ratio\":{:.4}}}",
+            if i > 0 { "," } else { "" },
+            g.len(),
+            g.checks.len(),
+            t_resolve_cold * 1e3,
+            t_query_cold * 1e3,
+            t_query_memo * 1e3,
+            d_ratio,
         );
         largest = Some((
             name.clone(),
@@ -350,11 +451,13 @@ fn main() -> ExitCode {
             v_speedup,
             r_speedup,
             combined,
+            d_ratio,
         ));
         eprintln!(
             "{name} helpers={helpers} nodes={} pointer {:.2}ms -> {:.2}ms ({p_speedup:.2}x, \
              t4 {:.2}ms {p_t4_speedup:.2}x) vfg {:.2}ms -> {:.2}ms ({v_speedup:.2}x) \
-             resolve {:.2}ms -> {:.2}ms ({r_speedup:.2}x) combined {combined:.2}x total {total_ms:.1}ms",
+             resolve {:.2}ms -> {:.2}ms ({r_speedup:.2}x) combined {combined:.2}x \
+             demand-query {:.3}ms/{:.3}ms ({:.1}% of cold resolve) total {total_ms:.1}ms",
             g.len(),
             t_pointer_before * 1e3,
             t_pointer_after * 1e3,
@@ -363,15 +466,64 @@ fn main() -> ExitCode {
             t_vfg_after * 1e3,
             t_resolve_before * 1e3,
             t_resolve_after * 1e3,
+            t_query_cold * 1e3,
+            t_resolve_cold * 1e3,
+            d_ratio * 100.0,
         );
     }
 
-    let (lname, lp, lp4, lv, lr, lc) = largest.expect("at least one rung");
+    if quick {
+        // The big-rung demand gate, asserted from the checked-in record
+        // instead of re-timing gen-131 (which would dwarf the smoke
+        // budget). `scripts/bench.sh` refreshes the record.
+        match std::fs::read_to_string("BENCH_demand.json")
+            .ok()
+            .as_deref()
+            .and_then(|t| checked_in_demand_ratio(t, DEMAND_GATE_RUNG))
+        {
+            Some(r) if r < DEMAND_RATIO_GATE => eprintln!(
+                "checked-in demand gate: {DEMAND_GATE_RUNG} point query at {:.1}% of a \
+                 cold full resolve (< {:.0}%)",
+                r * 100.0,
+                DEMAND_RATIO_GATE * 100.0,
+            ),
+            Some(r) => {
+                eprintln!(
+                    "REGRESSION: checked-in BENCH_demand.json records {DEMAND_GATE_RUNG} \
+                     ratio {r:.4}, gate is {DEMAND_RATIO_GATE}"
+                );
+                regression = true;
+            }
+            None => {
+                eprintln!(
+                    "REGRESSION: BENCH_demand.json missing or lacks a {DEMAND_GATE_RUNG} \
+                     ratio; run scripts/bench.sh to regenerate it"
+                );
+                regression = true;
+            }
+        }
+    } else {
+        let json = format!(
+            "{{\"bench\":\"demand\",\"iters\":{iters},\"context_depth\":{CONTEXT_DEPTH},\
+             \"gate_rung\":\"{DEMAND_GATE_RUNG}\",\"gate_ratio\":{DEMAND_RATIO_GATE},\
+             \"workloads\":[{demand_workloads}]}}\n"
+        );
+        match std::fs::write("BENCH_demand.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_demand.json"),
+            Err(e) => {
+                eprintln!("REGRESSION: cannot write BENCH_demand.json: {e}");
+                regression = true;
+            }
+        }
+    }
+
+    let (lname, lp, lp4, lv, lr, lc, ld) = largest.expect("at least one rung");
     println!(
         "{{\"bench\":\"stages\",\"quick\":{quick},\"iters\":{iters},\"context_depth\":{CONTEXT_DEPTH},\
          \"workloads\":[{workloads}],\
          \"largest\":{{\"name\":\"{lname}\",\"pointer_speedup\":{lp:.2},\"pointer_t4_speedup\":{lp4:.2},\
-         \"vfg_speedup\":{lv:.2},\"resolve_speedup\":{lr:.2},\"combined_vfg_resolve_speedup\":{lc:.2}}}}}"
+         \"vfg_speedup\":{lv:.2},\"resolve_speedup\":{lr:.2},\"combined_vfg_resolve_speedup\":{lc:.2},\
+         \"demand_query_ratio\":{ld:.4}}}}}"
     );
     if regression {
         ExitCode::FAILURE

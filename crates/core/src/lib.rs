@@ -43,8 +43,8 @@ pub use opt2::{
     redundant_check_elimination_reference, Opt2Outcome, Opt2Result,
 };
 pub use resolve::{
-    resolve, resolve_budgeted, resolve_condensed, resolve_condensed_budgeted, resolve_graph,
-    resolve_graph_reference, resolve_reference, Definedness, Gamma, ResolveStats,
+    resolve, resolve_budgeted, resolve_condensed, resolve_condensed_budgeted, resolve_demand,
+    resolve_graph, resolve_graph_reference, resolve_reference, Definedness, Gamma, ResolveStats,
 };
 pub use stats::{
     nodes_reaching_checks, render_table1, table1_row, table1_row_from, AnalysisFacts, Table1Row,

@@ -23,7 +23,8 @@
 
 use std::collections::HashSet;
 
-use usher_ir::{Budget, FxHashMap, Site};
+use usher_ir::{Budget, Operand, Site};
+use usher_vfg::demand::{transfer, CtxTable, DeadlinePoller, DemandEngine, DemandStats, Lanes};
 use usher_vfg::{Csr, EdgeKind, RefVfg, Vfg};
 
 /// The definedness state of a node.
@@ -111,107 +112,6 @@ impl Gamma {
     }
 }
 
-/// Interned k-limited calling contexts.
-///
-/// A context is a stack of at most `k` unmatched call sites plus an
-/// `overflowed` bit recording that older entries were dropped (after
-/// which returns become unconstrained — sound over-approximation).
-/// Contexts are deduplicated into dense `u32` ids; push results are
-/// memoized per `(ctx, site)` and pop results per ctx (a pop only
-/// depends on the stack top).
-struct CtxTable {
-    /// id -> (stack, overflowed).
-    entries: Vec<(Vec<Site>, bool)>,
-    ids: FxHashMap<(Vec<Site>, bool), u32>,
-    push_cache: FxHashMap<(u32, Site), u32>,
-    /// id -> id of the context with the top popped (for a matching top).
-    pop_cache: Vec<Option<u32>>,
-    k: usize,
-}
-
-impl CtxTable {
-    fn new(k: usize) -> CtxTable {
-        let mut t = CtxTable {
-            entries: Vec::new(),
-            ids: FxHashMap::default(),
-            push_cache: FxHashMap::default(),
-            pop_cache: Vec::new(),
-            k,
-        };
-        t.intern(Vec::new(), false);
-        t
-    }
-
-    /// The empty context.
-    fn empty(&self) -> u32 {
-        0
-    }
-
-    fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    fn intern(&mut self, stack: Vec<Site>, overflowed: bool) -> u32 {
-        if let Some(&id) = self.ids.get(&(stack.clone(), overflowed)) {
-            return id;
-        }
-        let id = self.entries.len() as u32;
-        self.entries.push((stack.clone(), overflowed));
-        self.ids.insert((stack, overflowed), id);
-        self.pop_cache.push(None);
-        id
-    }
-
-    /// Entering a callee through `site`.
-    fn push(&mut self, ctx: u32, site: Site) -> u32 {
-        if let Some(&id) = self.push_cache.get(&(ctx, site)) {
-            return id;
-        }
-        let (stack, overflowed) = &self.entries[ctx as usize];
-        let id = if self.k == 0 {
-            let stack = stack.clone();
-            self.intern(stack, true)
-        } else {
-            let mut stack = stack.clone();
-            let mut overflowed = *overflowed;
-            stack.push(site);
-            if stack.len() > self.k {
-                stack.remove(0);
-                overflowed = true;
-            }
-            self.intern(stack, overflowed)
-        };
-        self.push_cache.insert((ctx, site), id);
-        id
-    }
-
-    /// Leaving a callee through `site`; `None` when the return is
-    /// unrealizable in this context.
-    fn pop(&mut self, ctx: u32, site: Site) -> Option<u32> {
-        let (stack, overflowed) = &self.entries[ctx as usize];
-        match stack.last() {
-            Some(&top) if top == site => {
-                if let Some(id) = self.pop_cache[ctx as usize] {
-                    return Some(id);
-                }
-                let mut stack = stack.clone();
-                let overflowed = *overflowed;
-                stack.pop();
-                let id = self.intern(stack, overflowed);
-                self.pop_cache[ctx as usize] = Some(id);
-                Some(id)
-            }
-            Some(_) => None, // mismatched return: unrealizable
-            None => {
-                // Nothing tracked: either we overflowed (permissive) or
-                // the value originated inside the callee (partially
-                // balanced path) — both allowed.
-                Some(ctx)
-            }
-        }
-    }
-}
-
 /// Per-node visited bitsets indexed by `CtxId`, stored as one flat
 /// strided buffer (one allocation, grown only when the context count
 /// crosses a 64-multiple).
@@ -264,107 +164,6 @@ impl Visited {
     }
 }
 
-/// Per-node context-lane bitsets: lane `c` of node `v` set means the
-/// state `(v, context c)` is reachable from `(F, empty)`. One flat
-/// strided buffer; the stride (words per node) grows only when the
-/// interned-context count crosses a 64-multiple, and spills to as many
-/// words as the context space needs.
-struct Lanes {
-    words: Vec<u64>,
-    /// Words per node (power of two).
-    stride: usize,
-    n: usize,
-    /// Total set bits (= visited `(node, context)` states).
-    states: usize,
-    /// Word-level operations spent ORing and scanning lanes.
-    word_ops: usize,
-}
-
-impl Lanes {
-    fn new(n: usize) -> Lanes {
-        Lanes {
-            words: vec![0u64; n],
-            stride: 1,
-            n,
-            states: 0,
-            word_ops: 0,
-        }
-    }
-
-    #[cold]
-    fn grow(&mut self, need: usize) {
-        let new_stride = need.next_power_of_two();
-        let mut new_words = vec![0u64; self.n * new_stride];
-        for v in 0..self.n {
-            new_words[v * new_stride..v * new_stride + self.stride]
-                .copy_from_slice(&self.words[v * self.stride..(v + 1) * self.stride]);
-        }
-        self.words = new_words;
-        self.stride = new_stride;
-    }
-
-    /// Sets lane `ctx` of `node`; returns whether it was clear.
-    #[inline]
-    fn set(&mut self, node: u32, ctx: u32) -> bool {
-        let wi = (ctx / 64) as usize;
-        if wi >= self.stride {
-            self.grow(wi + 1);
-        }
-        let w = &mut self.words[node as usize * self.stride + wi];
-        let mask = 1u64 << (ctx % 64);
-        if *w & mask == 0 {
-            *w |= mask;
-            self.states += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Whether `node` has no reachable context.
-    #[inline]
-    fn row_empty(&self, node: u32) -> bool {
-        let lo = node as usize * self.stride;
-        self.words[lo..lo + self.stride].iter().all(|&w| w == 0)
-    }
-
-    /// `dst |= src`, word-parallel; returns whether any lane was added.
-    #[inline]
-    fn or_into(&mut self, src: u32, dst: u32) -> bool {
-        if src == dst {
-            return false;
-        }
-        let s = src as usize * self.stride;
-        let d = dst as usize * self.stride;
-        let mut changed = false;
-        for i in 0..self.stride {
-            let v = self.words[s + i];
-            self.word_ops += 1;
-            if v != 0 {
-                let old = self.words[d + i];
-                let new = old | v;
-                if new != old {
-                    self.words[d + i] = new;
-                    self.states += (old ^ new).count_ones() as usize;
-                    changed = true;
-                }
-            }
-        }
-        changed
-    }
-
-    /// Copies `node`'s row into `scratch` (so callers can iterate lanes
-    /// while `set` may reallocate the buffer, and so self-loop edges read
-    /// a stable snapshot).
-    #[inline]
-    fn snapshot(&mut self, node: u32, scratch: &mut Vec<u64>) {
-        let lo = node as usize * self.stride;
-        scratch.clear();
-        scratch.extend_from_slice(&self.words[lo..lo + self.stride]);
-        self.word_ops += self.stride;
-    }
-}
-
 /// Resolves definedness over the VFG with `k`-call-site context
 /// sensitivity (the paper uses `k = 1`), via the condensed context-lane
 /// engine.
@@ -386,46 +185,6 @@ pub fn resolve_condensed(vfg: &Vfg, k: usize, skip: impl Fn(u32, u32) -> bool) -
 /// See [`resolve_condensed_budgeted`] for the anytime contract.
 pub fn resolve_budgeted(vfg: &Vfg, k: usize, budget: &Budget) -> (Gamma, Option<Vec<bool>>) {
     resolve_condensed_budgeted(vfg, k, |_, _| false, budget)
-}
-
-// Propagates u's lanes across one users edge. Direct edges move all
-// contexts in one word-parallel OR; Call/Ret remap each lane through
-// the context table, reading from a snapshot because `set` can grow
-// the buffer mid-iteration (and because `w == u` self-loops must not
-// observe their own writes within one transfer).
-fn transfer(
-    lanes: &mut Lanes,
-    ctxs: &mut CtxTable,
-    scratch: &mut Vec<u64>,
-    u: u32,
-    w: u32,
-    kind: EdgeKind,
-) -> bool {
-    match kind {
-        EdgeKind::Direct => lanes.or_into(u, w),
-        EdgeKind::Call(site) | EdgeKind::Ret(site) => {
-            let is_call = matches!(kind, EdgeKind::Call(_));
-            lanes.snapshot(u, scratch);
-            let mut changed = false;
-            for (wi, &word) in scratch.iter().enumerate() {
-                let mut bits = word;
-                while bits != 0 {
-                    let b = bits.trailing_zeros();
-                    bits &= bits - 1;
-                    let ctx = (wi as u32) * 64 + b;
-                    let next = if is_call {
-                        Some(ctxs.push(ctx, site))
-                    } else {
-                        ctxs.pop(ctx, site)
-                    };
-                    if let Some(nc) = next {
-                        changed |= lanes.set(w, nc);
-                    }
-                }
-            }
-            changed
-        }
-    }
 }
 
 /// The anytime condensed engine.
@@ -460,6 +219,10 @@ pub fn resolve_condensed_budgeted(
     let mut queued = vec![false; n];
     let mut resolved = vec![false; n];
     let mut exhausted = false;
+    // The wall-clock deadline is polled *inside* the SCC loops (every
+    // `DeadlinePoller::PERIOD` charge units), not just at stage
+    // boundaries — one giant SCC must not blow past `--deadline-ms`.
+    let mut poller = DeadlinePoller::new();
 
     lanes.set(vfg.f_root, ctxs.empty());
 
@@ -468,7 +231,7 @@ pub fn resolve_condensed_budgeted(
     // is reached its members' lanes are final after the intra fixpoint.
     'sccs: for c in cond.topo_order() {
         let members = cond.members_of(c);
-        if !budget.charge(members.len() as u64) {
+        if !budget.charge(members.len() as u64) || poller.due(budget) {
             exhausted = true;
             break 'sccs;
         }
@@ -486,7 +249,7 @@ pub fn resolve_condensed_budgeted(
                 if cond.comp[w as usize] != c || skip(w, u) {
                     continue;
                 }
-                if !budget.charge(1) {
+                if !budget.charge(1) || poller.due(budget) {
                     exhausted = true;
                     break 'sccs;
                 }
@@ -506,7 +269,7 @@ pub fn resolve_condensed_budgeted(
                 if cond.comp[w as usize] == c || skip(w, u) {
                     continue;
                 }
-                if !budget.charge(1) {
+                if !budget.charge(1) || poller.due(budget) {
                     exhausted = true;
                     break 'sccs;
                 }
@@ -527,10 +290,10 @@ pub fn resolve_condensed_budgeted(
     };
     let stats = ResolveStats {
         interned_contexts: ctxs.len(),
-        visited_states: lanes.states,
+        visited_states: lanes.states(),
         sccs: cond.sccs,
         nontrivial_sccs: cond.nontrivial,
-        word_ops: lanes.word_ops,
+        word_ops: lanes.word_ops(),
     };
     let gamma = Gamma {
         bot,
@@ -538,6 +301,53 @@ pub fn resolve_condensed_budgeted(
         stats,
     };
     (gamma, if exhausted { Some(resolved) } else { None })
+}
+
+/// Demand-driven `Gamma` materialization (the paper's Figure 7 deduction
+/// direction; DESIGN.md §13): instead of resolving every node, a
+/// [`DemandEngine`] queries exactly the nodes guided planning consults —
+/// every check node plus the top-level node of each checked operand —
+/// and every node outside the walked cones is forced to `Bot` (sound:
+/// more resolution can only move a node Top→Bot, and planning never
+/// consults outside the cones, so the resulting plan is byte-equal to
+/// the exhaustively-resolved one).
+///
+/// Returns the map, the engine's query counters, and — mirroring
+/// [`resolve_budgeted`] — `Some(coverage)` when the budget ran out
+/// mid-walk (`coverage[v]` true iff `v`'s value is exact) or `None` when
+/// every query completed.
+pub fn resolve_demand(
+    vfg: &Vfg,
+    k: usize,
+    budget: &Budget,
+) -> (Gamma, DemandStats, Option<Vec<bool>>) {
+    let mut eng = DemandEngine::new(vfg, k);
+    let mut complete = true;
+    for ch in &vfg.checks {
+        complete &= eng.query(vfg, ch.node, budget).complete;
+        if let Operand::Var(v) = ch.operand {
+            if let Some(tl) = vfg.tl(ch.site.func, v) {
+                complete &= eng.query(vfg, tl, budget).complete;
+            }
+        }
+    }
+    let bot: Vec<bool> = (0..vfg.len() as u32)
+        .map(|v| eng.verdict_of(v).unwrap_or(true))
+        .collect();
+    let cond = vfg.condensation();
+    let stats = ResolveStats {
+        interned_contexts: eng.interned_contexts(),
+        visited_states: eng.visited_states(),
+        sccs: cond.sccs,
+        nontrivial_sccs: cond.nontrivial,
+        word_ops: eng.word_ops(),
+    };
+    let coverage = (!complete).then(|| eng.coverage().to_vec());
+    (
+        Gamma::from_bot_with_stats(bot, k, stats),
+        eng.stats(),
+        coverage,
+    )
 }
 
 /// The underlying reachability engine: given forward (flows-to) adjacency
@@ -980,6 +790,122 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn demand_gamma_agrees_with_exhaustive_on_every_consulted_node() {
+        let src = "
+            def id(int x) -> int { return x; }
+            def pass(int y) -> int { return id(y); }
+            def main() -> int {
+                int u;
+                int a = pass(u);
+                int b = pass(3);
+                int *p;
+                p = malloc(2);
+                *p = a;
+                return b + *p;
+            }";
+        let m = compile_o0im(src).expect("compiles");
+        let (_pa, _ms, g) = analyze_module(&m, VfgMode::Full);
+        for k in 0..3 {
+            let full = resolve(&g, k);
+            let (dem, dstats, cov) = resolve_demand(&g, k, &Budget::unlimited());
+            assert!(cov.is_none(), "unlimited demand run must complete");
+            assert!(dstats.queries > 0);
+            // Checked nodes and their operand TLs: byte-equal verdicts.
+            for ch in &g.checks {
+                assert_eq!(
+                    dem.is_bot(ch.node),
+                    full.is_bot(ch.node),
+                    "check node {} at k={k}",
+                    ch.node
+                );
+                if let Operand::Var(v) = ch.operand {
+                    if let Some(tl) = g.tl(ch.site.func, v) {
+                        assert_eq!(dem.is_bot(tl), full.is_bot(tl), "operand TL {tl} k={k}");
+                    }
+                }
+            }
+            // Everywhere else: sound over-approximation only (Bot may be
+            // forced on un-walked nodes, Top is never invented).
+            for v in 0..g.len() as u32 {
+                assert!(
+                    dem.is_bot(v) || !full.is_bot(v),
+                    "demand invented Top at node {v}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demand_exhaustion_reports_coverage_and_forces_bot() {
+        let src = "
+            def f(int c) -> int { int x; if (c) { x = 1; } return x; }
+            def main() { print(f(0)); }";
+        let m = compile_o0im(src).expect("compiles");
+        let (_pa, _ms, g) = analyze_module(&m, VfgMode::Full);
+        let (full, _, _) = resolve_demand(&g, 1, &Budget::unlimited());
+        for steps in 0..120 {
+            let (dem, dstats, cov) = resolve_demand(&g, 1, &Budget::limited(steps));
+            match cov {
+                None => {
+                    assert_eq!(dstats.exhausted_queries, 0);
+                    for v in 0..g.len() as u32 {
+                        assert_eq!(dem.is_bot(v), full.is_bot(v), "steps={steps}");
+                    }
+                }
+                Some(cov) => {
+                    assert!(dstats.exhausted_queries > 0, "steps={steps}");
+                    for v in 0..g.len() as u32 {
+                        if cov[v as usize] {
+                            assert_eq!(dem.is_bot(v), full.is_bot(v), "covered {v}");
+                        } else {
+                            assert!(dem.is_bot(v), "uncovered {v} must be Bot");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_halts_inside_a_single_giant_scc() {
+        // Adversarial rung for the stage-boundary deadline bug: one huge
+        // loop-carried accumulation chain puts thousands of nodes in a
+        // single SCC, so a resolver that only checks the deadline between
+        // stages (or between SCCs) would grind through all of it. The
+        // in-SCC poller must halt within one poll period instead.
+        // `x` starts undefined so `F` circulates through every chain
+        // node — the worklist really has to touch the whole component.
+        let mut src = String::from("def main() { int i = 0; int x; while (i < 9) { ");
+        for j in 0..1500 {
+            src.push_str(&format!("x = x + {}; ", j % 7));
+        }
+        src.push_str("i = i + 1; } print(x); }");
+        let m = compile_o0im(&src).expect("compiles");
+        let (_pa, _ms, g) = analyze_module(&m, VfgMode::Full);
+        let cond = g.condensation();
+        let biggest = (0..cond.sccs as u32)
+            .map(|c| cond.members_of(c).len())
+            .max()
+            .unwrap();
+        assert!(
+            biggest > 1000,
+            "adversarial rung needs one giant SCC, got {biggest}"
+        );
+        let budget = Budget::new(None, Some(std::time::Duration::ZERO));
+        let (gamma, cov) = resolve_budgeted(&g, 1, &budget);
+        let cov = cov.expect("an already-expired deadline must halt resolution mid-run");
+        assert!(
+            cov.iter().any(|&r| !r),
+            "halting mid-run must leave some nodes uncovered"
+        );
+        for v in 0..g.len() as u32 {
+            if !cov[v as usize] {
+                assert!(gamma.is_bot(v), "uncovered node {v} must be forced Bot");
             }
         }
     }

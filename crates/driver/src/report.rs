@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use usher_core::{PlanStats, ResolveStats};
 use usher_pointer::SolverStats;
-use usher_vfg::VfgStats;
+use usher_vfg::{DemandStats, VfgStats};
 
 /// A stage of the analysis pipeline, in execution order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -112,6 +112,10 @@ pub struct PipelineReport {
     /// Resolution counters (interned contexts, visited states); zero when
     /// served from cache or skipped.
     pub resolve_stats: ResolveStats,
+    /// Demand-driven resolution counters (queries, memo hits, nodes
+    /// visited, refinements); `Some` only when the resolve stage ran the
+    /// demand engine cold in this run.
+    pub demand: Option<DemandStats>,
     /// Every degradation that occurred: budget exhaustion, deadline,
     /// contained panic, cache-corruption recovery. Empty on a clean run.
     pub degrade_events: Vec<DegradeEvent>,
@@ -246,6 +250,18 @@ impl PipelineReport {
             self.resolve_stats.nontrivial_sccs,
             self.resolve_stats.word_ops,
         );
+        if let Some(d) = &self.demand {
+            let _ = write!(
+                s,
+                ",\"demand\":{{\"queries\":{},\"memo_hits\":{},\"nodes_visited\":{},\"refinements\":{},\"sccs_processed\":{},\"exhausted_queries\":{}}}",
+                d.queries,
+                d.memo_hits,
+                d.nodes_visited,
+                d.refinements,
+                d.sccs_processed,
+                d.exhausted_queries,
+            );
+        }
         let _ = write!(
             s,
             ",\"degraded\":{{\"functions_degraded\":{},\"functions_total\":{},\"budget_spent\":{},\"budget_limit\":{},\"cache_corrupt_recovered\":{},\"events\":[",
@@ -385,6 +401,28 @@ mod tests {
         assert!(line.contains("\"reason\":\"budget-exhausted\""), "{line}");
         assert!(line.contains("\"functions_degraded\":3"), "{line}");
         assert!(line.contains("\"budget_limit\":128"), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn demand_counters_render_only_when_present() {
+        let silent = PipelineReport::default().to_json_line();
+        assert!(!silent.contains("\"demand\""), "{silent}");
+        let r = PipelineReport {
+            demand: Some(DemandStats {
+                queries: 9,
+                memo_hits: 4,
+                nodes_visited: 120,
+                refinements: 3,
+                sccs_processed: 17,
+                exhausted_queries: 0,
+            }),
+            ..Default::default()
+        };
+        let line = r.to_json_line();
+        assert!(line.contains("\"demand\":{\"queries\":9"), "{line}");
+        assert!(line.contains("\"memo_hits\":4"), "{line}");
+        assert!(line.contains("\"refinements\":3"), "{line}");
         assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 

@@ -39,6 +39,12 @@
 //!   pointer-stage overhaul claims the prefilter and wave solvers are
 //!   observationally invisible, and this mode attacks the claim with
 //!   mutated programs rather than assuming it from the unit suites.
+//! * [`FaultInjection::DemandDiverge`] — runs the same program through
+//!   the driver with the exhaustive definedness resolver and with the
+//!   demand-driven query engine; the two plans must fingerprint
+//!   identically, and the demand plan must survive the
+//!   native-vs-instrumented oracle. Attacks the query engine's
+//!   exactness claim with mutated programs.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -75,11 +81,16 @@ pub enum FaultInjection {
     /// fingerprint identically and each must survive the
     /// native-vs-instrumented oracle.
     StrategyDiverge,
+    /// Run the program with the exhaustive resolver and with the
+    /// demand-driven query engine; the plans must fingerprint
+    /// identically and the demand plan must survive the
+    /// native-vs-instrumented oracle.
+    DemandDiverge,
 }
 
 impl FaultInjection {
     /// Every mode, for sweeps.
-    pub const ALL: [FaultInjection; 8] = [
+    pub const ALL: [FaultInjection; 9] = [
         FaultInjection::None,
         FaultInjection::FuelExhaustion,
         FaultInjection::CacheEviction,
@@ -88,6 +99,7 @@ impl FaultInjection {
         FaultInjection::CacheCorrupt,
         FaultInjection::BudgetExhaust,
         FaultInjection::StrategyDiverge,
+        FaultInjection::DemandDiverge,
     ];
 
     /// Stable CLI/telemetry tag.
@@ -101,6 +113,7 @@ impl FaultInjection {
             FaultInjection::CacheCorrupt => "cache-corrupt",
             FaultInjection::BudgetExhaust => "budget-exhaust",
             FaultInjection::StrategyDiverge => "strategy-diverge",
+            FaultInjection::DemandDiverge => "demand-diverge",
         }
     }
 
@@ -201,6 +214,9 @@ pub fn differential(
     }
     if fault == FaultInjection::StrategyDiverge {
         return strategy_divergence_differential(src, &m, &opts);
+    }
+    if fault == FaultInjection::DemandDiverge {
+        return demand_divergence_differential(src, &m, &opts);
     }
     let native = run(&m, None, &opts);
     let mut runs = Vec::with_capacity(Config::ALL.len());
@@ -350,6 +366,95 @@ fn strategy_divergence_differential(
     }
     DiffResult {
         outcome: outcome.unwrap_or(Outcome::CompileError),
+        mismatches,
+    }
+}
+
+/// Demand-divergence differential: the same program through the driver
+/// twice — once with the exhaustive definedness resolver (Opt II off,
+/// the configuration demand mode is provably exact against) and once in
+/// demand mode, where the planner's consults are answered by the
+/// demand-driven query engine walking backward from each check. The two
+/// plans must fingerprint identically, the demand run must actually have
+/// engaged the engine (telemetry present), and the demand plan is run
+/// under the native-vs-instrumented oracle against the MSan baseline so
+/// a divergent plan is also judged on what it *detects*.
+fn demand_divergence_differential(
+    src: &str,
+    m: &usher_ir::Module,
+    opts: &RunOptions,
+) -> DiffResult {
+    let msan_plan = run_config(m, Config::MSAN).plan;
+    let native = run(m, None, opts);
+    let msan_run = run(m, Some(&msan_plan), opts);
+    let mut mismatches = Vec::new();
+    let pipe = Pipeline::new().without_cache();
+    let exhaustive = match pipe.run_source(
+        "fuzz",
+        src,
+        PipelineOptions::from_config(Config::USHER_OPT1),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            return DiffResult {
+                outcome: Outcome::CompileError,
+                mismatches: vec![Mismatch {
+                    kind: MismatchKind::PlanDivergence,
+                    config: "Usher[exhaustive]".to_string(),
+                    detail: format!("driver failed on a compilable program: {e}"),
+                }],
+            }
+        }
+    };
+    let popts = PipelineOptions::from_config(Config::USHER_OPT1).with_demand(true);
+    let outcome = match pipe.run_source("fuzz", src, popts) {
+        Ok(r) => {
+            if plan_fingerprint(&r.plan) != plan_fingerprint(&exhaustive.plan) {
+                mismatches.push(Mismatch {
+                    kind: MismatchKind::PlanDivergence,
+                    config: "Usher[demand]".to_string(),
+                    detail: "demand-mode plan differs from the exhaustive resolver's".to_string(),
+                });
+            }
+            match &r.report.demand {
+                None => mismatches.push(Mismatch {
+                    kind: MismatchKind::PlanDivergence,
+                    config: "Usher[demand]".to_string(),
+                    detail: "demand mode never engaged the query engine".to_string(),
+                }),
+                Some(ds) if ds.exhausted_queries > 0 => mismatches.push(Mismatch {
+                    kind: MismatchKind::PlanDivergence,
+                    config: "Usher[demand]".to_string(),
+                    detail: format!(
+                        "{} unlimited-budget queries exhausted",
+                        ds.exhausted_queries
+                    ),
+                }),
+                Some(_) => {}
+            }
+            let oracle = OracleRuns {
+                src: src.to_string(),
+                native,
+                runs: vec![
+                    ("MSan".to_string(), msan_run),
+                    ("Usher[demand]".to_string(), run(m, Some(&r.plan), opts)),
+                ],
+            };
+            let (o, ms) = classify(&oracle);
+            mismatches.extend(ms);
+            o
+        }
+        Err(e) => {
+            mismatches.push(Mismatch {
+                kind: MismatchKind::PlanDivergence,
+                config: "Usher[demand]".to_string(),
+                detail: format!("driver failed in demand mode: {e}"),
+            });
+            Outcome::CompileError
+        }
+    };
+    DiffResult {
+        outcome,
         mismatches,
     }
 }
@@ -604,6 +709,16 @@ mod tests {
         for seed in 0..4u64 {
             let src = generate(seed, GenConfig::default());
             let d = differential(&src, FaultInjection::StrategyDiverge, 2, false);
+            assert!(d.mismatches.is_empty(), "seed {seed}: {:?}", d.mismatches);
+            assert!(matches!(d.outcome, Outcome::Clean | Outcome::Buggy(_)));
+        }
+    }
+
+    #[test]
+    fn demand_divergence_mode_is_clean_on_corpus_programs() {
+        for seed in 0..4u64 {
+            let src = generate(seed, GenConfig::default());
+            let d = differential(&src, FaultInjection::DemandDiverge, 2, false);
             assert!(d.mismatches.is_empty(), "seed {seed}: {:?}", d.mismatches);
             assert!(matches!(d.outcome, Outcome::Clean | Outcome::Buggy(_)));
         }

@@ -44,6 +44,7 @@
 //! cold run would produce) populate the cache tiers.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,14 +61,14 @@ use usher_frontend::{
     lower_program, parser, relower_function, LowerEnv, RelowerBlocked, RelowerError,
 };
 use usher_ir::{
-    is_inline_target, mem2reg, mem2reg_function, optimize, run_inline_traced, verify, Callee,
-    FuncId, GepOffset, Idx, InlinePolicy, InlineTrace, Inst, Module, ObjId, Operand, OptLevel,
-    Terminator,
+    is_inline_target, mem2reg, mem2reg_function, optimize, run_inline_traced, verify, Budget,
+    Callee, FuncId, GepOffset, Idx, InlinePolicy, InlineTrace, Inst, Module, ObjId, Operand,
+    OptLevel, Terminator,
 };
 use usher_pointer::{PointerAnalysis, PointerStrategy, SolverStats};
 use usher_vfg::{
-    build_function_ssa, build_with_tape, modref_summaries, rebuild_with_tape, BuildOpts, MemSsa,
-    ModRef, Vfg, VfgMode, VfgTape,
+    build_function_ssa, build_with_tape, modref_summaries, rebuild_with_tape, BuildOpts,
+    DemandEngine, MemSsa, ModRef, Vfg, VfgMode, VfgTape,
 };
 
 use crate::codec;
@@ -121,6 +122,34 @@ pub struct Counters {
     /// Full pointer solves run (cold analyses and edit fallbacks;
     /// incremental edits reuse the retained analysis and don't count).
     pub pointer_solves: u64,
+    /// `query-use` demand point queries answered.
+    pub demand_queries: u64,
+}
+
+/// A structured request failure: a stable machine-readable `kind` (for
+/// protocol clients and telemetry) plus human-readable detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError {
+    /// Stable error class: `"unknown-session"`, `"warm-session"`,
+    /// `"degraded-session"` or `"bad-check-index"`.
+    pub kind: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl RequestError {
+    fn new(kind: &'static str, detail: impl Into<String>) -> RequestError {
+        RequestError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.detail, self.kind)
+    }
 }
 
 /// Result of an `analyze` request.
@@ -179,6 +208,36 @@ pub struct QueryOutcome {
     pub edits: u64,
 }
 
+/// Result of a `query-use` demand point query.
+#[derive(Clone, Debug)]
+pub struct QueryUseOutcome {
+    /// The queried check's index into the session VFG's check list.
+    pub check_index: usize,
+    /// The VFG node the check guards.
+    pub node: u32,
+    /// Check kind (`Debug` rendering, e.g. `"BranchCond"`).
+    pub check_kind: String,
+    /// The verdict: `true` when the use may be undefined (`Bot`).
+    pub maybe_undef: bool,
+    /// `false` when the walk's budget ran out and the verdict degraded
+    /// to the sound `Bot` answer.
+    pub complete: bool,
+    /// Whether the verdict came straight from the memo table.
+    pub memo_hit: bool,
+    /// Nodes this query visited (0 on a memo hit).
+    pub nodes_visited: usize,
+    /// Proven-`Top` frontier rows this query skipped pulling.
+    pub refinements: usize,
+    /// Total checks in the session (the valid index range).
+    pub checks_total: usize,
+    /// The session's memo epoch: the number of edits applied. Any edit
+    /// invalidates the memo table, so two `query-use` responses with the
+    /// same epoch came from one coherent table.
+    pub epoch: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
 /// Result of a `stats` request.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineStats {
@@ -225,6 +284,10 @@ struct Backend {
     gamma: Arc<Gamma>,
     redirected: usize,
     plan: Arc<Plan>,
+    /// Lazily-built demand engine for `query-use` point queries. Memoized
+    /// verdicts are only valid against the VFG the engine was built on,
+    /// so every edit (incremental or fallback) drops it.
+    demand: Option<DemandEngine>,
 }
 
 /// Warm sessions are reconstructed from cached artifacts only; the first
@@ -589,6 +652,7 @@ impl Engine {
                 gamma: Arc::new(out.gamma),
                 redirected: out.redirected,
                 plan: Arc::new(plan),
+                demand: None,
             },
             stages,
         })
@@ -868,6 +932,8 @@ impl Engine {
             let (vfg, tape) = rebuild_with_tape(&scratch, &b.pa, &b.memssa, bopts, &b.tape, fid);
             b.vfg = vfg;
             b.tape = tape;
+            // The VFG changed: memoized demand verdicts are stale.
+            b.demand = None;
             stages.push(StageTiming {
                 stage: Stage::VfgBuild,
                 seconds: t.elapsed().as_secs_f64(),
@@ -956,12 +1022,20 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Fails for unknown sessions.
-    pub fn query(&self, sid: u64) -> Result<QueryOutcome, String> {
-        let session = self
-            .sessions
-            .get(&sid)
-            .ok_or_else(|| format!("unknown session {sid}"))?;
+    /// `"unknown-session"` for session ids that were never created (or
+    /// already closed) — the classic "query before analyze";
+    /// `"degraded-session"` when the session's plan carries budget-
+    /// fallback provenance, in which case fingerprints would describe a
+    /// degraded artifact, not the analysis of the source. Both are
+    /// recorded in the user-error counter.
+    pub fn query(&mut self, sid: u64) -> Result<QueryOutcome, RequestError> {
+        let Some(session) = self.sessions.get(&sid) else {
+            self.counters.user_errors += 1;
+            return Err(RequestError::new(
+                "unknown-session",
+                format!("unknown session {sid}; run analyze first"),
+            ));
+        };
         let (module, gamma, plan): (&Module, &Gamma, &Plan) = match &session.state {
             SessionState::Warm {
                 module,
@@ -970,6 +1044,16 @@ impl Engine {
             } => (module, gamma, plan),
             SessionState::Ready(b) => (&b.module, &b.gamma, &b.plan),
         };
+        if plan_is_degraded(plan) {
+            self.counters.user_errors += 1;
+            return Err(RequestError::new(
+                "degraded-session",
+                format!(
+                    "session {sid} carries budget-fallback provenance; its plan \
+                     describes a degraded run, not the analysis of the source"
+                ),
+            ));
+        }
         let pf = plan_fingerprint(plan);
         let gf = gamma_fingerprint(gamma);
         Ok(QueryOutcome {
@@ -984,6 +1068,82 @@ impl Engine {
             functions_total: module.funcs.len(),
             edits: session.edits,
         })
+    }
+
+    /// Answers one demand point query: "may check `check` observe an
+    /// undefined value?" — via a sparse backward walk over the session's
+    /// retained VFG, without re-running resolution. Verdicts memoize in
+    /// a per-session [`DemandEngine`], built lazily on the first query
+    /// and dropped on every edit (the memo table is only valid against
+    /// the VFG it was built on; [`QueryUseOutcome::epoch`] exposes the
+    /// invalidation generation).
+    ///
+    /// # Errors
+    ///
+    /// `"unknown-session"`, `"degraded-session"` (see [`Engine::query`]),
+    /// `"warm-session"` when the session was reconstructed purely from
+    /// cached artifacts and retains no VFG to walk, and
+    /// `"bad-check-index"` for out-of-range check indices. All are
+    /// recorded in the user-error counter.
+    pub fn query_use(&mut self, sid: u64, check: usize) -> Result<QueryUseOutcome, RequestError> {
+        let start = Instant::now();
+        let depth = self.knobs.context_depth;
+        let Some(session) = self.sessions.get_mut(&sid) else {
+            self.counters.user_errors += 1;
+            return Err(RequestError::new(
+                "unknown-session",
+                format!("unknown session {sid}; run analyze first"),
+            ));
+        };
+        let edits = session.edits;
+        let SessionState::Ready(b) = &mut session.state else {
+            self.counters.user_errors += 1;
+            return Err(RequestError::new(
+                "warm-session",
+                "session was served entirely from the cache and retains no VFG; \
+                 apply an edit (which promotes a backend) or analyze with \
+                 --no-cache before issuing demand queries",
+            ));
+        };
+        if plan_is_degraded(&b.plan) {
+            self.counters.user_errors += 1;
+            return Err(RequestError::new(
+                "degraded-session",
+                format!(
+                    "session {sid} carries budget-fallback provenance; demand \
+                     verdicts would not describe a complete analysis"
+                ),
+            ));
+        }
+        let checks_total = b.vfg.checks.len();
+        let Some(ch) = b.vfg.checks.get(check).cloned() else {
+            self.counters.user_errors += 1;
+            return Err(RequestError::new(
+                "bad-check-index",
+                format!("check index {check} out of range: session has {checks_total} checks"),
+            ));
+        };
+        let eng = b
+            .demand
+            .get_or_insert_with(|| DemandEngine::new(&b.vfg, depth));
+        let before = eng.stats();
+        let verdict = eng.query(&b.vfg, ch.node, &Budget::unlimited());
+        let after = eng.stats();
+        let outcome = QueryUseOutcome {
+            check_index: check,
+            node: ch.node,
+            check_kind: format!("{:?}", ch.kind),
+            maybe_undef: verdict.bot,
+            complete: verdict.complete,
+            memo_hit: after.memo_hits > before.memo_hits,
+            nodes_visited: after.nodes_visited - before.nodes_visited,
+            refinements: after.refinements - before.refinements,
+            checks_total,
+            epoch: edits,
+            seconds: start.elapsed().as_secs_f64(),
+        };
+        self.counters.demand_queries += 1;
+        Ok(outcome)
     }
 
     /// Engine-wide statistics.
@@ -1670,6 +1830,128 @@ def main(int c) {
         );
         assert!(e.cache.lookup(e.opts.plan_key(0xdead_beef)).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_use_agrees_with_exhaustive_resolve_on_every_check() {
+        let mut e = engine(EngineConfig::default());
+        let sid = e.analyze(SRC).unwrap().session_id;
+        // Oracle: a plain exhaustive resolution over the session's own
+        // VFG. The session gamma is post-Opt II (redirected checks carry
+        // their leader's verdict), so demand verdicts must be compared
+        // against `resolve`, not the stored gamma.
+        let (oracle, checks) = {
+            let SessionState::Ready(b) = &e.sessions[&sid].state else {
+                panic!("cold session must be Ready");
+            };
+            (usher_core::resolve(&b.vfg, 1), b.vfg.checks.clone())
+        };
+        assert!(!checks.is_empty(), "workload must produce checks");
+        for (i, ch) in checks.iter().enumerate() {
+            let q = e.query_use(sid, i).unwrap();
+            assert_eq!(
+                q.maybe_undef,
+                oracle.is_bot(ch.node),
+                "check {i} (node {})",
+                ch.node
+            );
+            assert!(q.complete, "unlimited budget must finish the walk");
+            assert_eq!(q.node, ch.node);
+            assert_eq!(q.checks_total, checks.len());
+            assert_eq!(q.epoch, 0);
+        }
+        assert_eq!(e.stats().counters.demand_queries, checks.len() as u64);
+    }
+
+    #[test]
+    fn query_use_memoizes_within_an_epoch_and_invalidates_on_edit() {
+        let mut e = engine(EngineConfig::default());
+        let sid = e.analyze(SRC).unwrap().session_id;
+        let first = e.query_use(sid, 0).unwrap();
+        let again = e.query_use(sid, 0).unwrap();
+        assert_eq!(again.maybe_undef, first.maybe_undef);
+        assert!(again.memo_hit, "repeat query must hit the memo");
+        assert_eq!(
+            again.nodes_visited, 0,
+            "memoized verdict must not re-walk the graph"
+        );
+        // Any edit drops the memoized engine: the next query re-walks
+        // against the rebuilt VFG and reports the bumped epoch.
+        e.edit(
+            sid,
+            "helper0",
+            "def helper0(int a) -> int {
+    int x = a + 9;
+    if (x) { return x * 2; }
+    return 3;
+}",
+        )
+        .unwrap();
+        let post = e.query_use(sid, 0).unwrap();
+        assert_eq!(post.epoch, 1, "edit must bump the verdict epoch");
+        assert!(!post.memo_hit, "edit must invalidate memoized verdicts");
+        assert!(post.nodes_visited > 0);
+        let SessionState::Ready(b) = &e.sessions[&sid].state else {
+            panic!("edited session must be Ready");
+        };
+        let oracle = usher_core::resolve(&b.vfg, 1);
+        assert_eq!(post.maybe_undef, oracle.is_bot(b.vfg.checks[0].node));
+    }
+
+    #[test]
+    fn query_use_structured_errors_carry_machine_kinds() {
+        let mut e = engine(EngineConfig::default());
+        // Unknown session.
+        let err = e.query_use(404, 0).unwrap_err();
+        assert_eq!(err.kind, "unknown-session");
+        assert!(err.detail.contains("404"), "{}", err.detail);
+        // Warm sessions hold cached artifacts only — no VFG to walk.
+        e.analyze(SRC).unwrap();
+        let warm = e.analyze(SRC).unwrap();
+        assert_eq!(warm.mode, "warm");
+        let err = e.query_use(warm.session_id, 0).unwrap_err();
+        assert_eq!(err.kind, "warm-session");
+        // Out-of-range check index on a healthy cold session.
+        let sid = e
+            .analyze("def main(int c) { int x; if (c) { x = 1; } print(x); }")
+            .unwrap()
+            .session_id;
+        let err = e.query_use(sid, 9999).unwrap_err();
+        assert_eq!(err.kind, "bad-check-index");
+        assert!(err.detail.contains("9999"), "{}", err.detail);
+        // query() shares the guards: unknown session is structured too.
+        assert_eq!(e.query(404).unwrap_err().kind, "unknown-session");
+        assert!(e.stats().counters.user_errors >= 4);
+    }
+
+    #[test]
+    fn query_use_refuses_degraded_sessions() {
+        let mut e = engine(EngineConfig::default());
+        let sid = e.analyze(SRC).unwrap().session_id;
+        {
+            let session = e.sessions.get_mut(&sid).unwrap();
+            let SessionState::Ready(b) = &mut session.state else {
+                panic!("cold session must be Ready");
+            };
+            let mut degraded = (*b.plan).clone();
+            let some_fid = degraded
+                .provenance
+                .keys()
+                .copied()
+                .next()
+                .expect("plan has provenance");
+            degraded
+                .provenance
+                .insert(some_fid, PlanProvenance::FallbackFull);
+            b.plan = Arc::new(degraded);
+        }
+        let err = e.query_use(sid, 0).unwrap_err();
+        assert_eq!(err.kind, "degraded-session");
+        assert!(
+            err.detail.contains("budget-fallback"),
+            "reason must be recorded: {}",
+            err.detail
+        );
     }
 
     #[test]

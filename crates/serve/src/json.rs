@@ -182,9 +182,19 @@ impl<'a> Parser<'a> {
         if self.i + 4 > self.b.len() {
             return Err("truncated \\u escape".into());
         }
-        let s = std::str::from_utf8(&self.b[self.i..self.i + 4])
-            .map_err(|_| "bad \\u escape".to_string())?;
-        let v = u16::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        // Exactly four ASCII hex digits. `u16::from_str_radix` is too
+        // permissive here: it accepts a leading `+`, so it would parse
+        // `\u+041` as U+0041.
+        let mut v: u16 = 0;
+        for &c in &self.b[self.i..self.i + 4] {
+            let d = match c {
+                b'0'..=b'9' => c - b'0',
+                b'a'..=b'f' => c - b'a' + 10,
+                b'A'..=b'F' => c - b'A' + 10,
+                _ => return Err("bad \\u escape".to_string()),
+            };
+            v = (v << 4) | u16::from(d);
+        }
         self.i += 4;
         Ok(v)
     }
@@ -388,6 +398,41 @@ mod tests {
             r#""\ud800x""#,
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_adversarial_unicode_escapes() {
+        // Every case must be a parse error — never a panic, never a
+        // string containing an unpaired surrogate (invalid UTF-8 once
+        // written back out).
+        for bad in [
+            r#""\u+041""#,       // from_str_radix leniency: '+' is not hex
+            r#""\u 041""#,       // embedded space
+            r#""\u004""#,        // truncated at the closing quote
+            r#""\u""#,           // no digits at all
+            r#""\ud800""#,       // lone high surrogate at end of string
+            r#""\ud800x""#,      // high surrogate followed by a raw char
+            r#""\ud800\n""#,     // high surrogate followed by a non-\u escape
+            r#""\ud800\ud800""#, // high surrogate pair (second not a low)
+            r#""\ud800A""#,      // high surrogate + non-surrogate
+            r#""\ud800\u+dc0""#, // high surrogate + malformed low escape
+            r#""\udc00""#,       // lone low surrogate
+            r#""\udfff""#,       // lone low surrogate (upper edge)
+            r#""\ud800"#,        // unterminated string mid-pair
+        ] {
+            let got = Json::parse(bad);
+            assert!(got.is_err(), "accepted {bad:?} as {got:?}");
+        }
+        // The strict path must still accept every well-formed shape.
+        let v = Json::parse(r#""\u0041\ud83d\ude00\ufffd""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\u{1f600}\u{fffd}"));
+        for (input, want) in [
+            (r#""\u0000""#, "\u{0}"),
+            (r#""\ud7ff""#, "\u{d7ff}"),
+            (r#""\ue000""#, "\u{e000}"),
+        ] {
+            assert_eq!(Json::parse(input).unwrap().as_str(), Some(want));
         }
     }
 

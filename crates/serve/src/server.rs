@@ -12,13 +12,17 @@
 //! {"op":"analyze","source":"def main() { ... }","id":"r1"}
 //! {"op":"edit","session":1,"func":"helper0","body":"def helper0(...) { ... }"}
 //! {"op":"query","session":1,"full":true}
+//! {"op":"query-use","session":1,"check":0}
 //! {"op":"stats"}
 //! {"op":"close","session":1}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Responses are `{"ok":true,...}` or `{"ok":false,"error":"..."}`; a
-//! malformed line never kills the server. Analysis requests additionally
+//! malformed line never kills the server. Session-level failures of
+//! `query`/`query-use` (unknown session, warm session, degraded
+//! session, bad check index) additionally carry a stable
+//! `"error_kind"` so clients can react without parsing prose. Analysis requests additionally
 //! emit one driver telemetry line ([`PipelineReport`]) on stderr with
 //! `request_id` and `session_id` filled, so interleaved concurrent-client
 //! records in one stream stay attributable.
@@ -40,7 +44,7 @@ use std::time::Duration;
 
 use usher_driver::PipelineReport;
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, RequestError};
 use crate::json::{Json, ObjWriter};
 
 /// Server construction options (the `usher serve` flag set).
@@ -98,6 +102,20 @@ pub struct Dispatcher {
 fn err_response(id: &str, op: &str, msg: &str) -> String {
     let mut w = ObjWriter::new();
     w.bool("ok", false).str("op", op).str("error", msg);
+    if !id.is_empty() {
+        w.str("id", id);
+    }
+    w.finish()
+}
+
+/// A structured engine failure: same shape as [`err_response`] plus the
+/// machine-readable `error_kind`.
+fn err_structured(id: &str, op: &str, e: &RequestError) -> String {
+    let mut w = ObjWriter::new();
+    w.bool("ok", false)
+        .str("op", op)
+        .str("error_kind", e.kind)
+        .str("error", &e.detail);
     if !id.is_empty() {
         w.str("id", id);
     }
@@ -227,7 +245,7 @@ impl Dispatcher {
                     return self.fail(&rid, "query", "missing numeric field \"session\"");
                 };
                 let full = req.get("full").and_then(Json::as_bool).unwrap_or(false);
-                let engine = self.engine.lock().expect("engine poisoned");
+                let mut engine = self.engine.lock().expect("engine poisoned");
                 match engine.query(sid) {
                     Ok(q) => {
                         let (pfull, pguided, pfallback) = q.provenance;
@@ -252,7 +270,38 @@ impl Dispatcher {
                         }
                         w.finish()
                     }
-                    Err(e) => err_response(&rid, "query", &e),
+                    Err(e) => err_structured(&rid, "query", &e),
+                }
+            }
+            "query-use" => {
+                let Some(sid) = req.get("session").and_then(Json::as_u64) else {
+                    return self.fail(&rid, "query-use", "missing numeric field \"session\"");
+                };
+                let Some(check) = req.get("check").and_then(Json::as_u64) else {
+                    return self.fail(&rid, "query-use", "missing numeric field \"check\"");
+                };
+                let mut engine = self.engine.lock().expect("engine poisoned");
+                match engine.query_use(sid, check as usize) {
+                    Ok(q) => {
+                        let mut w = ObjWriter::new();
+                        w.bool("ok", true)
+                            .str("op", "query-use")
+                            .str("id", &rid)
+                            .u64("session", sid)
+                            .u64("check", q.check_index as u64)
+                            .u64("node", u64::from(q.node))
+                            .str("check_kind", &q.check_kind)
+                            .bool("maybe_undef", q.maybe_undef)
+                            .bool("complete", q.complete)
+                            .bool("memo_hit", q.memo_hit)
+                            .u64("nodes_visited", q.nodes_visited as u64)
+                            .u64("refinements", q.refinements as u64)
+                            .u64("checks_total", q.checks_total as u64)
+                            .u64("epoch", q.epoch)
+                            .f64("seconds", q.seconds);
+                        w.finish()
+                    }
+                    Err(e) => err_structured(&rid, "query-use", &e),
                 }
             }
             "stats" => {
@@ -275,6 +324,7 @@ impl Dispatcher {
                     .f64("warm_hit_ratio", st.warm_hit_ratio)
                     .str("pointer_strategy", st.pointer_strategy)
                     .u64("pointer_solves", st.counters.pointer_solves)
+                    .u64("demand_queries", st.counters.demand_queries)
                     .u64("solver_nodes", st.last_solver.nodes as u64)
                     .u64("solver_pops", st.last_solver.pops as u64)
                     .u64("solver_merges", st.last_solver.merges as u64)
@@ -553,6 +603,120 @@ mod tests {
 
         let h = d.handle_line("stdin", "{\"op\":\"shutdown\"}");
         assert!(h.shutdown);
+    }
+
+    #[test]
+    fn query_use_round_trip_memoizes_and_tracks_epochs() {
+        let d = dispatcher();
+        let req = {
+            let mut w = ObjWriter::new();
+            w.str("op", "analyze").str("source", SRC);
+            w.finish()
+        };
+        let resp = Json::parse(&d.handle_line("stdin", &req).response).unwrap();
+        let sid = field(&resp, "session").as_u64().unwrap();
+
+        let qu = |id: &str| {
+            let mut w = ObjWriter::new();
+            w.str("op", "query-use")
+                .u64("session", sid)
+                .u64("check", 0)
+                .str("id", id);
+            w.finish()
+        };
+        let h = d.handle_line("stdin", &qu("q1"));
+        let resp = Json::parse(&h.response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true), "{}", h.response);
+        assert_eq!(field(&resp, "op").as_str(), Some("query-use"));
+        assert_eq!(field(&resp, "check").as_u64(), Some(0));
+        assert_eq!(field(&resp, "epoch").as_u64(), Some(0));
+        assert_eq!(field(&resp, "memo_hit").as_bool(), Some(false));
+        assert_eq!(field(&resp, "complete").as_bool(), Some(true));
+        assert!(field(&resp, "nodes_visited").as_u64().unwrap() > 0);
+        let verdict = field(&resp, "maybe_undef").as_bool();
+        // risky()'s `if (x)` reads a maybe-undef local: some check in the
+        // session must be flagged by the demand walk.
+        let total = field(&resp, "checks_total").as_u64().unwrap();
+        let mut any_bot = verdict == Some(true);
+        for c in 1..total {
+            let mut w = ObjWriter::new();
+            w.str("op", "query-use").u64("session", sid).u64("check", c);
+            let r = Json::parse(&d.handle_line("stdin", &w.finish()).response).unwrap();
+            any_bot |= field(&r, "maybe_undef").as_bool() == Some(true);
+        }
+        assert!(any_bot, "risky()'s uninitialized read must be flagged");
+
+        let resp = Json::parse(&d.handle_line("stdin", &qu("q2")).response).unwrap();
+        assert_eq!(field(&resp, "memo_hit").as_bool(), Some(true));
+        assert_eq!(field(&resp, "nodes_visited").as_u64(), Some(0));
+        assert_eq!(field(&resp, "maybe_undef").as_bool(), verdict);
+
+        // An edit rebuilds the VFG: the epoch bumps and the memo is gone.
+        let edit = {
+            let mut w = ObjWriter::new();
+            w.str("op", "edit")
+                .u64("session", sid)
+                .str("func", "risky")
+                .str(
+                    "body",
+                    "def risky(int c) -> int { int x; if (c) { x = 3; } if (x) { return 1; } return 0; }",
+                );
+            w.finish()
+        };
+        let resp = Json::parse(&d.handle_line("stdin", &edit).response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        let resp = Json::parse(&d.handle_line("stdin", &qu("q3")).response).unwrap();
+        assert_eq!(field(&resp, "epoch").as_u64(), Some(1));
+        assert_eq!(field(&resp, "memo_hit").as_bool(), Some(false));
+        assert_eq!(field(&resp, "maybe_undef").as_bool(), verdict);
+
+        let resp = Json::parse(&d.handle_line("stdin", "{\"op\":\"stats\"}").response).unwrap();
+        assert_eq!(field(&resp, "demand_queries").as_u64(), Some(total + 2));
+    }
+
+    #[test]
+    fn query_use_errors_carry_machine_readable_kinds() {
+        let d = dispatcher();
+        // Point query before any analyze: structured unknown-session.
+        let h = d.handle_line("stdin", "{\"op\":\"query-use\",\"session\":7,\"check\":0}");
+        let resp = Json::parse(&h.response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        assert_eq!(field(&resp, "error_kind").as_str(), Some("unknown-session"));
+        assert!(field(&resp, "error").as_str().unwrap().contains("analyze"));
+
+        let req = {
+            let mut w = ObjWriter::new();
+            w.str("op", "analyze").str("source", SRC);
+            w.finish()
+        };
+        let resp = Json::parse(&d.handle_line("stdin", &req).response).unwrap();
+        let sid = field(&resp, "session").as_u64().unwrap();
+        let bad = {
+            let mut w = ObjWriter::new();
+            w.str("op", "query-use")
+                .u64("session", sid)
+                .u64("check", 9999);
+            w.finish()
+        };
+        let resp = Json::parse(&d.handle_line("stdin", &bad).response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        assert_eq!(field(&resp, "error_kind").as_str(), Some("bad-check-index"));
+
+        // Missing fields stay plain protocol errors (no kind).
+        let resp = Json::parse(
+            &d.handle_line("stdin", "{\"op\":\"query-use\",\"session\":1}")
+                .response,
+        )
+        .unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        assert!(resp.get("error_kind").is_none());
+        // query shares the structured path.
+        let resp = Json::parse(
+            &d.handle_line("stdin", "{\"op\":\"query\",\"session\":999}")
+                .response,
+        )
+        .unwrap();
+        assert_eq!(field(&resp, "error_kind").as_str(), Some("unknown-session"));
     }
 
     #[test]

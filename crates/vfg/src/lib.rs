@@ -13,6 +13,7 @@
 pub mod build;
 pub mod condense;
 pub mod csr;
+pub mod demand;
 pub mod memssa;
 pub mod printer;
 pub mod reference;
@@ -23,6 +24,7 @@ pub use build::{
 };
 pub use condense::Condensation;
 pub use csr::Csr;
+pub use demand::{DemandEngine, DemandStats, QueryVerdict};
 pub use memssa::{
     build as build_memssa, build_function_ssa, build_function_ssa_budgeted, modref_summaries,
     modref_summaries_budgeted, ChiDef, FuncMemSsa, MemDef, MemDefKind, MemSsa, MemVerId, ModRef,

@@ -5,14 +5,18 @@
 # over the workload-generator seed ladder.
 #
 # Full mode writes BENCH_stages.json at the repo root (the file is
-# checked in so reviewers can see the numbers a change shipped with),
-# then replays the serve latency trace (gen-131, multi-client edit
-# bursts) into BENCH_serve.json — same check-in policy.
+# checked in so reviewers can see the numbers a change shipped with) and
+# BENCH_demand.json (the demand point-query rungs, written by
+# stage_bench itself), then replays the serve latency trace (gen-131,
+# multi-client edit bursts) into BENCH_serve.json — same check-in
+# policy.
 # `--quick` runs the two smoke rungs with fewer timing iterations and
 # discards the JSON — the CI smoke path. In quick mode stage_bench is
 # also a regression guard: it exits nonzero if the condensed vfg+resolve
-# pipeline measures slower than the frozen reference, which fails CI via
-# `set -e`.
+# pipeline measures slower than the frozen reference, if a live demand
+# point query exceeds its gate, or if the checked-in BENCH_demand.json
+# records a gen-131 query at or above 10% of a cold full resolve — all
+# fail CI via `set -e`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,7 +31,7 @@ else
     echo "==> stage_bench (full ladder)"
     # Progress lines go to stderr; the JSON object is stdout.
     ./target/release/stage_bench > BENCH_stages.json
-    echo "==> wrote BENCH_stages.json"
+    echo "==> wrote BENCH_stages.json (+ BENCH_demand.json)"
 
     echo "==> serve-bench (gen-131 multi-client trace)"
     cargo build --release --offline --bin usher

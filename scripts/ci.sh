@@ -103,6 +103,53 @@ grep -q '"op":"shutdown"' "$SRV_OUT"
 rm -f "$SRV_OUT"
 ./target/release/usher serve-bench --quick > /dev/null
 
+echo "==> demand smoke"
+# Demand-driven query gate (DESIGN.md §13): the demand-divergence fuzz
+# mode must classify clean (demand-mode plans fingerprint identically to
+# the exhaustive resolver's and survive the oracle); a served session
+# must answer point queries, memoize repeats, and invalidate the memo on
+# edit (epoch bump); structured errors must carry machine-readable
+# kinds; and the CLI's --demand analyze must report engine telemetry.
+./target/release/usher fuzz --smoke --fault demand-diverge
+DMD_OUT=$(mktemp)
+printf '%s\n' \
+  '{"op":"analyze","source":"def risky(int c) -> int {\n    int x;\n    if (c) { x = 1; }\n    if (x) { return 1; }\n    return 0;\n}\ndef main(int c) {\n    print(risky(c));\n}","id":"ci-d1"}' \
+  '{"op":"query-use","session":1,"check":0,"id":"ci-d2"}' \
+  '{"op":"query-use","session":1,"check":0,"id":"ci-d3"}' \
+  '{"op":"edit","session":1,"func":"risky","body":"def risky(int c) -> int {\n    int x;\n    if (c) { x = 2; }\n    if (x) { return 1; }\n    return 0;\n}","id":"ci-d4"}' \
+  '{"op":"query-use","session":1,"check":0,"id":"ci-d5"}' \
+  '{"op":"stats","id":"ci-d6"}' \
+  '{"op":"shutdown","id":"ci-d7"}' \
+  | ./target/release/usher serve > "$DMD_OUT" 2>/dev/null
+grep -q '"id":"ci-d2".*"memo_hit":false' "$DMD_OUT"
+grep -q '"id":"ci-d2".*"epoch":0' "$DMD_OUT"
+grep -q '"id":"ci-d3".*"memo_hit":true' "$DMD_OUT"
+grep -q '"id":"ci-d3".*"nodes_visited":0' "$DMD_OUT"
+grep -q '"id":"ci-d5".*"memo_hit":false' "$DMD_OUT"
+grep -q '"id":"ci-d5".*"epoch":1' "$DMD_OUT"
+grep -q '"id":"ci-d6".*"demand_queries":3' "$DMD_OUT"
+if grep -q '"ok":false' "$DMD_OUT"; then
+    echo "error: demand smoke produced a failed response" >&2
+    cat "$DMD_OUT" >&2
+    exit 1
+fi
+# Error probes ride a separate serve process: these responses are
+# *expected* to fail, with recorded machine-readable reasons.
+printf '%s\n' \
+  '{"op":"query-use","session":1,"check":0,"id":"ci-x1"}' \
+  '{"op":"analyze","source":"def main(int c) {\n    int x;\n    if (c) { x = 1; }\n    print(x);\n}","id":"ci-x2"}' \
+  '{"op":"query-use","session":1,"check":9999,"id":"ci-x3"}' \
+  '{"op":"shutdown","id":"ci-x4"}' \
+  | ./target/release/usher serve > "$DMD_OUT" 2>/dev/null
+grep -q '"error_kind":"unknown-session".*"id":"ci-x1"' "$DMD_OUT"
+grep -q '"error_kind":"bad-check-index".*"id":"ci-x3"' "$DMD_OUT"
+rm -f "$DMD_OUT"
+DMD_TC=$(mktemp) && DMD_JSON=$(mktemp)
+./target/release/usher gen --seed 23 --helpers 16 --stmts 10 > "$DMD_TC"
+./target/release/usher analyze "$DMD_TC" --demand --no-cache --report > /dev/null 2> "$DMD_JSON"
+grep -q '"demand":{"queries":' "$DMD_JSON"
+rm -f "$DMD_TC" "$DMD_JSON"
+
 echo "==> bench smoke"
 sh scripts/bench.sh --quick
 

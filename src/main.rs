@@ -18,8 +18,10 @@
 //! Options: `--config msan|tl|tlat|opt1|usher|msan-bit|usher-bit` (default `usher`),
 //! `--opt O0|O1|O2` (default `O0`, meaning O0+IM), `--seed <n>` for the
 //! deterministic `input()` stream, `--threads <n>` for the pipeline's
-//! worker pool, `--no-cache` to disable artifact caching, and `--report`
-//! to print per-stage JSON telemetry on stderr.
+//! worker pool, `--no-cache` to disable artifact caching, `--report`
+//! to print per-stage JSON telemetry on stderr, and `--demand` to
+//! resolve definedness with the demand-driven query engine (implies
+//! Opt II off; the analyze report gains a `demand` counter block).
 //!
 //! Degradation knobs (see DESIGN.md §10): `--budget-steps <n>` caps the
 //! analysis step budget, `--deadline-ms <n>` adds a wall-clock deadline,
@@ -32,14 +34,15 @@
 //! baseline plan and under every guided preset, with results classified
 //! against the ground truth. `--smoke` is the fixed CI gate; `--seeds`,
 //! `--start`, `--mutants`, `--frontend`, `--fault none|fuel|cache-evict|
-//! trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge`, `--threads`,
+//! trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge|
+//! demand-diverge`, `--threads`,
 //! `--no-minimize`, `--report FILE`
 //! (JSONL telemetry) and `--out DIR` (minimized reproducers) shape ad-hoc
 //! campaigns. Exit code 1 means the campaign found at least one mismatch.
 //!
 //! `usher serve` keeps one analysis engine resident and speaks a
-//! JSON-lines protocol (`analyze`/`edit`/`query`/`stats`/`close`/
-//! `shutdown`) over stdin and an optional Unix socket (`--socket`),
+//! JSON-lines protocol (`analyze`/`edit`/`query`/`query-use`/`stats`/
+//! `close`/`shutdown`) over stdin and an optional Unix socket (`--socket`),
 //! multiplexing up to `--max-clients` connections. Artifacts are cached
 //! in memory and, with `--store-dir`, in an on-disk content-addressed
 //! store capped at `--store-cap-bytes`. `usher serve-bench` replays a
@@ -64,7 +67,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("usher: {msg}");
             eprintln!();
-            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--pointer-strategy S] [--no-cache] [--report] [--budget-steps N] [--deadline-ms N] [--strict] [--inject-panic STAGE]");
+            eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--pointer-strategy S] [--no-cache] [--report] [--demand] [--budget-steps N] [--deadline-ms N] [--strict] [--inject-panic STAGE]");
             eprintln!("       usher gen [--seed N] [--helpers N] [--stmts N]");
             eprintln!("       usher fuzz [--smoke] [--seeds N] [--start N] [--mutants N] [--frontend] [--fault MODE] [--threads N] [--no-minimize] [--report FILE] [--out DIR]");
             eprintln!("       usher serve [--socket PATH] [--store-dir DIR] [--store-cap-bytes N] [--max-clients N] [--threads N] [--pointer-strategy S] [--no-cache]");
@@ -100,6 +103,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let mut deadline_ms = None;
     let mut strict = false;
     let mut inject_panic = None;
+    let mut demand = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -156,6 +160,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 deadline_ms = Some(v.parse::<u64>().map_err(|_| format!("bad deadline {v}"))?);
             }
             "--strict" => strict = true,
+            "--demand" => demand = true,
             "--inject-panic" => {
                 let v = it.next().ok_or("--inject-panic needs a stage name")?;
                 inject_panic = Some(v.clone());
@@ -190,6 +195,9 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         .with_inject_panic(inject_panic);
     if let Some(st) = pointer_strategy {
         options = options.with_pointer_strategy(st);
+    }
+    if demand {
+        options = options.with_demand(true);
     }
     let analyze = |opts: PipelineOptions| -> Result<PipelineRun, String> {
         let pr = pipe
@@ -286,6 +294,16 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 println!(
                     "opt2          : {} node(s) redirected to T",
                     pr.opt2_redirected
+                );
+            }
+            if let Some(ds) = &pr.report.demand {
+                println!(
+                    "demand        : {} queries, {} memo hits, {} nodes visited, {} refinements, {} exhausted",
+                    ds.queries,
+                    ds.memo_hits,
+                    ds.nodes_visited,
+                    ds.refinements,
+                    ds.exhausted_queries
                 );
             }
             Ok(ExitCode::SUCCESS)
@@ -469,7 +487,7 @@ fn fuzz_command(args: &[String]) -> Result<ExitCode, String> {
             "--fault" => {
                 let v = it.next().ok_or("--fault needs a value")?;
                 cfg.fault = FaultInjection::parse(v).ok_or_else(|| {
-                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge)")
+                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge|demand-diverge)")
                 })?;
             }
             "--threads" => {

@@ -311,6 +311,78 @@ fn budget_exhaustion_is_all_or_nothing_for_every_strategy() {
 }
 
 #[test]
+fn demand_queries_agree_with_exhaustive_gamma_across_the_matrix() {
+    // The demand-driven query engine must answer every check with
+    // exactly the exhaustive resolver's verdict, whatever pointer
+    // strategy and thread count produced the underlying analysis — and
+    // its cost counters must be deterministic: the same rung yields the
+    // same [`DemandStats`] cell for cell across the whole matrix, which
+    // is what makes the telemetry comparable across configurations.
+    use usher::vfg::DemandEngine;
+    for &(seed, helpers, stmts) in &SEED_LADDER[..3] {
+        let src = generate(seed, ladder_config(helpers, stmts));
+        let m = compile_o0im(&src).expect("ladder rungs compile");
+        let mut want_stats = None;
+        for strategy in PointerStrategy::ALL {
+            for threads in 1..=4usize {
+                let tag = format!("ladder-{seed}/{strategy}/t{threads}");
+                let pa = analyze_pointer(&m, strategy, threads);
+                let ms = build_memssa(&m, &pa);
+                let g = build(&m, &pa, &ms, VfgMode::Full);
+                let gamma = resolve(&g, CONTEXT_DEPTH);
+                let mut eng = DemandEngine::new(&g, CONTEXT_DEPTH);
+                assert!(!g.checks.is_empty(), "{tag}: rung must have checks");
+                for (i, ch) in g.checks.iter().enumerate() {
+                    let v = eng.query(&g, ch.node, &Budget::unlimited());
+                    assert!(v.complete, "{tag}: unlimited query {i} must complete");
+                    assert_eq!(
+                        v.bot,
+                        gamma.is_bot(ch.node),
+                        "{tag}: check {i} (node {})",
+                        ch.node
+                    );
+                }
+                let stats = eng.stats();
+                assert_eq!(stats.exhausted_queries, 0, "{tag}: nothing exhausts");
+                assert_eq!(stats.queries, g.checks.len(), "{tag}: query count");
+                match &want_stats {
+                    None => want_stats = Some(stats),
+                    Some(w) => assert_eq!(&stats, w, "{tag}: cost counters must not vary"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn demand_queries_agree_on_the_large_ladder_rungs() {
+    // The remaining benchmark rungs with one representative analysis
+    // each: verdict equivalence is the expensive invariant worth holding
+    // at scale (the counter matrix above already pins determinism).
+    use usher::vfg::DemandEngine;
+    for &(seed, helpers, stmts) in &SEED_LADDER[3..] {
+        let src = generate(seed, ladder_config(helpers, stmts));
+        let m = compile_o0im(&src).expect("ladder rungs compile");
+        let pa = analyze(&m);
+        let ms = build_memssa(&m, &pa);
+        let g = build(&m, &pa, &ms, VfgMode::Full);
+        let gamma = resolve(&g, CONTEXT_DEPTH);
+        let mut eng = DemandEngine::new(&g, CONTEXT_DEPTH);
+        for (i, ch) in g.checks.iter().enumerate() {
+            let v = eng.query(&g, ch.node, &Budget::unlimited());
+            assert!(v.complete, "ladder-{seed}: query {i} must complete");
+            assert_eq!(
+                v.bot,
+                gamma.is_bot(ch.node),
+                "ladder-{seed}: check {i} (node {})",
+                ch.node
+            );
+        }
+        assert_eq!(eng.stats().exhausted_queries, 0);
+    }
+}
+
+#[test]
 fn context_bitlanes_spill_to_multiple_words_and_stay_exact() {
     // The condensed resolver packs contexts as bit lanes, 64 to a word.
     // Programs with more than 64 call sites force every row past one
