@@ -50,5 +50,7 @@ pub use pipeline::{
     analyze_pointer, analyze_pointer_budgeted, DriverError, Job, Pipeline, PipelineRun, SourceInput,
 };
 pub use pool::{default_threads, parallel_map, parallel_map_catching};
-pub use report::{json_escape, BatchReport, DegradeEvent, PipelineReport, Stage, StageTiming};
+pub use report::{
+    json_escape, BatchReport, DegradeEvent, PipelineReport, ServeHealth, Stage, StageTiming,
+};
 pub use usher_pointer::PointerStrategy;

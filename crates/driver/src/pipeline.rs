@@ -538,6 +538,7 @@ impl Pipeline {
             cache_corrupt_recovered: ctx.corrupt_recovered,
             request_id: None,
             session_id: None,
+            serve_health: None,
         };
 
         Ok(PipelineRun {

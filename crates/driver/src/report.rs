@@ -138,6 +138,27 @@ pub struct PipelineReport {
     pub request_id: Option<String>,
     /// Originating serve session, when one exists.
     pub session_id: Option<u64>,
+    /// Server health snapshot at the time the request was served; `Some`
+    /// only for serve-issued runs.
+    pub serve_health: Option<ServeHealth>,
+}
+
+/// A point-in-time snapshot of the serving process's robustness
+/// counters, stamped onto serve-issued [`PipelineReport`]s so operators
+/// can correlate per-request telemetry with recovery and shedding
+/// activity in one stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServeHealth {
+    /// Seconds since the dispatcher started.
+    pub uptime_seconds: f64,
+    /// Sessions reconstructed from the WAL at startup.
+    pub sessions_recovered: u64,
+    /// WAL records dropped as torn or corrupt during recovery.
+    pub wal_records_dropped: u64,
+    /// Requests refused with `error_kind: "overloaded"`.
+    pub requests_shed: u64,
+    /// Requests that ran out of their `deadline_ms`.
+    pub deadline_expired: u64,
 }
 
 /// Escapes a string for inclusion in JSON output. Public so every
@@ -250,6 +271,17 @@ impl PipelineReport {
             self.resolve_stats.nontrivial_sccs,
             self.resolve_stats.word_ops,
         );
+        if let Some(h) = &self.serve_health {
+            let _ = write!(
+                s,
+                ",\"serve\":{{\"uptime_seconds\":{:.3},\"sessions_recovered\":{},\"wal_records_dropped\":{},\"requests_shed\":{},\"deadline_expired\":{}}}",
+                h.uptime_seconds,
+                h.sessions_recovered,
+                h.wal_records_dropped,
+                h.requests_shed,
+                h.deadline_expired,
+            );
+        }
         if let Some(d) = &self.demand {
             let _ = write!(
                 s,
@@ -423,6 +455,31 @@ mod tests {
         assert!(line.contains("\"demand\":{\"queries\":9"), "{line}");
         assert!(line.contains("\"memo_hits\":4"), "{line}");
         assert!(line.contains("\"refinements\":3"), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn serve_health_renders_only_when_present() {
+        let silent = PipelineReport::default().to_json_line();
+        assert!(!silent.contains("\"serve\""), "{silent}");
+        let r = PipelineReport {
+            serve_health: Some(ServeHealth {
+                uptime_seconds: 12.5,
+                sessions_recovered: 2,
+                wal_records_dropped: 1,
+                requests_shed: 7,
+                deadline_expired: 3,
+            }),
+            ..Default::default()
+        };
+        let line = r.to_json_line();
+        assert!(
+            line.contains("\"serve\":{\"uptime_seconds\":12.500"),
+            "{line}"
+        );
+        assert!(line.contains("\"sessions_recovered\":2"), "{line}");
+        assert!(line.contains("\"requests_shed\":7"), "{line}");
+        assert!(line.contains("\"deadline_expired\":3"), "{line}");
         assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 

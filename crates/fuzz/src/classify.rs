@@ -35,6 +35,12 @@ pub enum MismatchKind {
     SemanticsDivergence,
     /// Instrumentation changed how (or whether) the program trapped.
     TrapDivergence,
+    /// A crashed-and-restarted serve store contained an entry that fails
+    /// its digest check — fault injection corrupted durable state.
+    StoreCorruption,
+    /// A serve engine that crashed mid-session failed to recover
+    /// byte-identically (or to degrade with a recorded reason).
+    ServeDivergence,
     /// The guided plan's shadow cost exceeded full instrumentation's —
     /// the acceleration claim inverted.
     CostInversion,
@@ -47,11 +53,13 @@ pub enum MismatchKind {
 
 impl MismatchKind {
     /// Every kind, severity-ordered (worst first).
-    pub const ALL: [MismatchKind; 7] = [
+    pub const ALL: [MismatchKind; 9] = [
         MismatchKind::MissedDetection,
         MismatchKind::SpuriousDetection,
         MismatchKind::SemanticsDivergence,
         MismatchKind::TrapDivergence,
+        MismatchKind::StoreCorruption,
+        MismatchKind::ServeDivergence,
         MismatchKind::CostInversion,
         MismatchKind::PlanDivergence,
         MismatchKind::FrontendPanic,
@@ -64,6 +72,8 @@ impl MismatchKind {
             MismatchKind::SpuriousDetection => "spurious-detection",
             MismatchKind::SemanticsDivergence => "semantics-divergence",
             MismatchKind::TrapDivergence => "trap-divergence",
+            MismatchKind::StoreCorruption => "store-corruption",
+            MismatchKind::ServeDivergence => "serve-divergence",
             MismatchKind::CostInversion => "cost-inversion",
             MismatchKind::PlanDivergence => "plan-divergence",
             MismatchKind::FrontendPanic => "frontend-panic",

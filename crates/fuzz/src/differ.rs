@@ -45,6 +45,13 @@
 //!   identically, and the demand plan must survive the
 //!   native-vs-instrumented oracle. Attacks the query engine's
 //!   exactness claim with mutated programs.
+//! * [`FaultInjection::ServeChaos`] — runs the serve engine with an
+//!   injected I/O fault (torn write, ENOSPC, kill-point) armed at each
+//!   store/WAL site in turn, kills the engine without shutdown, restarts
+//!   it on the same store directory, and requires that every
+//!   interleaving either recovers the session byte-identically from the
+//!   WAL or degrades with a recorded reason — with zero corrupt store
+//!   entries and a restarted engine that still analyzes correctly.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -86,11 +93,17 @@ pub enum FaultInjection {
     /// identically and the demand plan must survive the
     /// native-vs-instrumented oracle.
     DemandDiverge,
+    /// Crash-recovery chaos for `usher serve`: run an engine with an
+    /// injected I/O fault (torn write, ENOSPC, kill-point) at every
+    /// store/WAL site, kill it, restart on the same store, and require
+    /// the session either recovered byte-identically or degraded with a
+    /// recorded reason — never a corrupt store entry or a wedged engine.
+    ServeChaos,
 }
 
 impl FaultInjection {
     /// Every mode, for sweeps.
-    pub const ALL: [FaultInjection; 9] = [
+    pub const ALL: [FaultInjection; 10] = [
         FaultInjection::None,
         FaultInjection::FuelExhaustion,
         FaultInjection::CacheEviction,
@@ -100,6 +113,7 @@ impl FaultInjection {
         FaultInjection::BudgetExhaust,
         FaultInjection::StrategyDiverge,
         FaultInjection::DemandDiverge,
+        FaultInjection::ServeChaos,
     ];
 
     /// Stable CLI/telemetry tag.
@@ -114,6 +128,7 @@ impl FaultInjection {
             FaultInjection::BudgetExhaust => "budget-exhaust",
             FaultInjection::StrategyDiverge => "strategy-diverge",
             FaultInjection::DemandDiverge => "demand-diverge",
+            FaultInjection::ServeChaos => "serve-chaos",
         }
     }
 
@@ -217,6 +232,9 @@ pub fn differential(
     }
     if fault == FaultInjection::DemandDiverge {
         return demand_divergence_differential(src, &m, &opts);
+    }
+    if fault == FaultInjection::ServeChaos {
+        return serve_chaos_differential(src, threads);
     }
     let native = run(&m, None, &opts);
     let mut runs = Vec::with_capacity(Config::ALL.len());
@@ -571,6 +589,308 @@ fn cross_check_driver(
     }
 }
 
+/// Crash-safety torture for the serve engine.
+///
+/// Ground truth is a never-crashed, storeless engine analyzing (and
+/// optionally editing) the same source. Each scenario arms exactly one
+/// injected I/O fault — a torn write, an ENOSPC-style error, or a
+/// kill-point that wedges all subsequent I/O — at one store/WAL site,
+/// runs the workload, drops the engine without any shutdown (the in-
+/// process equivalent of SIGKILL, since both the store and the WAL sync
+/// on every append), and restarts a clean engine on the same store
+/// directory. Every interleaving must then satisfy three invariants:
+///
+/// 1. no store entry fails its digest check ([`verify_dir`] is empty);
+/// 2. if every acknowledged operation reached the WAL durably
+///    (`wal_appends_failed == 0`), the session is recovered
+///    byte-identically — same plan and gamma fingerprints as the clean
+///    engine's; if WAL appends failed, the loss was *recorded*, and any
+///    partially recovered session must match some state the clean
+///    engine actually passed through;
+/// 3. the restarted engine still analyzes the program with fingerprints
+///    identical to the clean engine's — never wedged.
+fn serve_chaos_differential(src: &str, threads: usize) -> DiffResult {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use usher_serve::{
+        verify_dir, Engine, EngineConfig, FaultIo, FaultKind, FaultSite, FaultSpec, QueryOutcome,
+    };
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    let fp = |q: &QueryOutcome| (q.plan_fingerprint.clone(), q.gamma_fingerprint.clone());
+
+    // Ground truth: a never-crashed engine with no durable state at all.
+    let mut oracle = match Engine::new(EngineConfig {
+        threads,
+        wal_enabled: false,
+        ..EngineConfig::default()
+    }) {
+        Ok(e) => e,
+        Err(e) => {
+            return DiffResult {
+                outcome: Outcome::CompileError,
+                mismatches: vec![Mismatch {
+                    kind: MismatchKind::ServeDivergence,
+                    config: "serve-chaos".to_string(),
+                    detail: format!("clean engine failed to start: {e}"),
+                }],
+            }
+        }
+    };
+    let oracle_sid = match oracle.analyze(src) {
+        Ok(out) => out.session_id,
+        // Serve rejects what the front end rejects; nothing to torture.
+        Err(_) => {
+            return DiffResult {
+                outcome: Outcome::CompileError,
+                mismatches: Vec::new(),
+            }
+        }
+    };
+    let fp_base = match oracle.query(oracle_sid) {
+        Ok(q) => fp(&q),
+        Err(e) => {
+            return DiffResult {
+                outcome: Outcome::Clean,
+                mismatches: vec![Mismatch {
+                    kind: MismatchKind::ServeDivergence,
+                    config: "serve-chaos".to_string(),
+                    detail: format!("clean engine cannot query its own session: {e}"),
+                }],
+            }
+        }
+    };
+    // Derive one edit (a constant swap inside some function, or an
+    // identity re-submission — still a WAL record) and apply it to the
+    // oracle so recovered sessions have a post-edit state to match.
+    let edit = chaos_edit(src).and_then(|(func, body)| {
+        oracle
+            .edit(oracle_sid, &func, &body)
+            .ok()
+            .map(|_| (func, body))
+    });
+    let fp_edited = match &edit {
+        Some(_) => oracle.query(oracle_sid).ok().map(|q| fp(&q)),
+        None => None,
+    };
+
+    let scenarios: [(FaultSite, FaultKind); 11] = [
+        (FaultSite::WalAppend, FaultKind::Error),
+        (FaultSite::WalAppend, FaultKind::Torn { keep: 7 }),
+        (FaultSite::WalAppend, FaultKind::Kill),
+        (FaultSite::WalSync, FaultKind::Kill),
+        (FaultSite::StoreTempWrite, FaultKind::Torn { keep: 11 }),
+        (FaultSite::StoreTempWrite, FaultKind::Kill),
+        (FaultSite::StoreTempSync, FaultKind::Kill),
+        (FaultSite::StoreRename, FaultKind::Kill),
+        (FaultSite::StoreDirSync, FaultKind::Kill),
+        (FaultSite::StoreRead, FaultKind::Error),
+        (FaultSite::JournalAppend, FaultKind::Error),
+    ];
+
+    let mut mismatches = Vec::new();
+    for (site, kind) in scenarios {
+        let label = format!("serve-chaos[{}:{:?}]", site.name(), kind);
+        let dir = std::env::temp_dir().join(format!(
+            "usher-chaos-{}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+            site.name()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Phase 1: run the workload with the fault armed, then crash.
+        let io = FaultIo::none();
+        io.arm(site, FaultSpec { kind, after: 0 });
+        let mut acked_sid = None;
+        let mut acked_edit = false;
+        let mut wal_failed = 0u64;
+        match Engine::new(EngineConfig {
+            store_dir: Some(dir.clone()),
+            threads,
+            io: io.clone(),
+            ..EngineConfig::default()
+        }) {
+            Ok(mut e) => {
+                if let Ok(out) = e.analyze(src) {
+                    acked_sid = Some(out.session_id);
+                    if let Some((func, body)) = &edit {
+                        acked_edit = e.edit(out.session_id, func, body).is_ok();
+                    }
+                }
+                wal_failed = e.stats().wal_appends_failed;
+                // Dropped without shutdown or flush: everything not yet
+                // fsynced is exactly what a SIGKILL would lose.
+            }
+            Err(_) => {
+                // Startup refused under the fault — an acceptable,
+                // reported degradation as long as the clean restart
+                // below succeeds.
+            }
+        }
+
+        // Invariant 1: the crash may lose entries, never corrupt them.
+        for bad in verify_dir(&dir) {
+            mismatches.push(Mismatch {
+                kind: MismatchKind::StoreCorruption,
+                config: label.clone(),
+                detail: format!("corrupt store entry survived the crash: {bad}"),
+            });
+        }
+
+        // Phase 2: clean restart over the same durable state.
+        match Engine::new(EngineConfig {
+            store_dir: Some(dir.clone()),
+            threads,
+            ..EngineConfig::default()
+        }) {
+            Ok(mut e2) => {
+                let recovered = e2.replay().sessions_recovered;
+                if let Some(sid) = acked_sid {
+                    if wal_failed == 0 {
+                        // Every ack was durable: recovery is owed in full.
+                        let want = match (acked_edit, &fp_edited) {
+                            (true, Some(f)) => f.clone(),
+                            _ => fp_base.clone(),
+                        };
+                        if recovered == 0 {
+                            mismatches.push(Mismatch {
+                                kind: MismatchKind::ServeDivergence,
+                                config: label.clone(),
+                                detail: "acknowledged session lost across the crash despite \
+                                         zero recorded WAL failures"
+                                    .to_string(),
+                            });
+                        } else {
+                            match e2.query(sid) {
+                                Ok(q) if fp(&q) == want => {}
+                                Ok(_) => mismatches.push(Mismatch {
+                                    kind: MismatchKind::ServeDivergence,
+                                    config: label.clone(),
+                                    detail: "recovered session fingerprints differ from the \
+                                             never-crashed engine's"
+                                        .to_string(),
+                                }),
+                                Err(err) => mismatches.push(Mismatch {
+                                    kind: MismatchKind::ServeDivergence,
+                                    config: label.clone(),
+                                    detail: format!("recovered session unusable: {err}"),
+                                }),
+                            }
+                        }
+                    } else if recovered > 0 {
+                        // Loss was recorded, so full recovery is not owed —
+                        // but whatever did come back must be a state the
+                        // clean engine actually passed through.
+                        if let Ok(q) = e2.query(sid) {
+                            let got = fp(&q);
+                            if got != fp_base && fp_edited.as_ref() != Some(&got) {
+                                mismatches.push(Mismatch {
+                                    kind: MismatchKind::ServeDivergence,
+                                    config: label.clone(),
+                                    detail: "partially recovered session matches no state \
+                                             the clean engine passed through"
+                                        .to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+                // Invariant 3: the restarted engine is never wedged.
+                match e2.analyze(src) {
+                    Ok(out) => match e2.query(out.session_id) {
+                        Ok(q) if fp(&q) == fp_base => {}
+                        Ok(_) => mismatches.push(Mismatch {
+                            kind: MismatchKind::ServeDivergence,
+                            config: label.clone(),
+                            detail: "post-crash analysis diverges from the clean engine"
+                                .to_string(),
+                        }),
+                        Err(err) => mismatches.push(Mismatch {
+                            kind: MismatchKind::ServeDivergence,
+                            config: label.clone(),
+                            detail: format!("post-crash session unusable: {err}"),
+                        }),
+                    },
+                    Err(err) => mismatches.push(Mismatch {
+                        kind: MismatchKind::ServeDivergence,
+                        config: label.clone(),
+                        detail: format!("restarted engine cannot analyze: {err}"),
+                    }),
+                }
+            }
+            Err(e) => mismatches.push(Mismatch {
+                kind: MismatchKind::ServeDivergence,
+                config: label.clone(),
+                detail: format!("engine wedged: clean restart failed: {e}"),
+            }),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    DiffResult {
+        outcome: Outcome::Clean,
+        mismatches,
+    }
+}
+
+/// Derives one edit request from a source program for the chaos
+/// workload: picks a top-level function by brace-depth scan, preferring
+/// one whose body admits a constant swap (so the edit genuinely changes
+/// the analysis); falls back to re-submitting a function body verbatim,
+/// which is still an accepted edit and therefore still a WAL record.
+fn chaos_edit(src: &str) -> Option<(String, String)> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut spans: Vec<(String, usize, usize)> = Vec::new();
+    let mut depth = 0i64;
+    let mut open: Option<(String, usize)> = None;
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.split("//").next().unwrap_or("");
+        if depth == 0 {
+            if let Some(rest) = code.trim_start().strip_prefix("def ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    open = Some((name, i));
+                }
+            }
+        }
+        depth += code.matches('{').count() as i64;
+        depth -= code.matches('}').count() as i64;
+        if depth == 0 {
+            if let Some((name, start)) = open.take() {
+                spans.push((name, start, i + 1));
+            }
+        }
+    }
+    for (name, start, end) in &spans {
+        for (j, line) in lines[*start..*end].iter().enumerate().skip(1) {
+            if let Some(swapped) = chaos_const_swap(line) {
+                let mut body: Vec<String> =
+                    lines[*start..*end].iter().map(|s| s.to_string()).collect();
+                body[j] = swapped;
+                return Some((name.clone(), body.join("\n")));
+            }
+        }
+    }
+    spans
+        .first()
+        .map(|(name, start, end)| (name.clone(), lines[*start..*end].join("\n")))
+}
+
+/// Rewrites `<lhs> = <int literal>;` to a different constant,
+/// deterministically derived from the original value.
+fn chaos_const_swap(line: &str) -> Option<String> {
+    let eq = line.rfind(" = ")?;
+    let digits = line[eq + 3..].trim_end().strip_suffix(';')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let n: u64 = digits.parse().ok()?;
+    Some(format!("{} = {};", &line[..eq], (n + 7) % 97 + 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,6 +1042,25 @@ mod tests {
             assert!(d.mismatches.is_empty(), "seed {seed}: {:?}", d.mismatches);
             assert!(matches!(d.outcome, Outcome::Clean | Outcome::Buggy(_)));
         }
+    }
+
+    #[test]
+    fn serve_chaos_recovers_or_degrades_on_corpus_programs() {
+        for seed in 0..2u64 {
+            let src = generate(seed, GenConfig::default());
+            let d = differential(&src, FaultInjection::ServeChaos, 2, false);
+            assert_eq!(d.outcome, Outcome::Clean, "seed {seed}");
+            assert!(d.mismatches.is_empty(), "seed {seed}: {:?}", d.mismatches);
+        }
+    }
+
+    #[test]
+    fn chaos_edit_derives_a_real_function_body() {
+        let src = generate(0, GenConfig::default());
+        let (func, body) = chaos_edit(&src).expect("corpus programs have functions");
+        assert!(src.contains(&format!("def {func}")));
+        assert!(body.starts_with("def "), "{body}");
+        assert!(body.trim_end().ends_with('}'), "{body}");
     }
 
     #[test]

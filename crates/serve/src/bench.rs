@@ -11,16 +11,28 @@
 //! class, the two-tier warm-hit ratio, and the headline ratio: cold full
 //! analysis time over incremental-edit p50.
 //!
+//! A second **burst phase** then rebuilds the dispatcher with a
+//! deliberately tiny admission queue (`max_queue = 1`) and hammers it
+//! with barrier-synchronized client threads: every volley races all
+//! clients into admission at once, so the shedding path
+//! (`error_kind: "overloaded"` + `retry_after_ms`) fires under real
+//! contention. Clients honor the hint with bounded exponential backoff
+//! and deterministic jitter — the same discipline
+//! `examples/serve_client.rs` implements — and every request must
+//! eventually succeed.
+//!
 //! `--quick` runs a small rung and enforces regression gates (an
 //! incremental edit with `functions_recomputed == 1` must occur,
-//! structural edits must exercise the fallback path, and the incremental
-//! speedup must clear a conservative floor), returning an error
-//! otherwise — CI wires this in `scripts/ci.sh`.
+//! structural edits must exercise the fallback path, the incremental
+//! speedup must clear a conservative floor, and the burst phase must
+//! shed at least once while completing every request), returning an
+//! error otherwise — CI wires this in `scripts/ci.sh`.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
-use usher_workloads::{generate, ladder_config};
+use usher_workloads::{generate, ladder_config, Rng};
 
 use crate::json::{Json, ObjWriter};
 use crate::server::{Dispatcher, ServerConfig};
@@ -82,6 +94,12 @@ pub struct BenchSummary {
     pub warm_hit_ratio: f64,
     /// Incremental edits that recomputed exactly one function.
     pub single_function_edits: usize,
+    /// Requests issued by the overload burst phase (all must succeed).
+    pub burst_requests: usize,
+    /// Shed responses (`error_kind: "overloaded"`) during the burst.
+    pub burst_shed: u64,
+    /// Backoff retries the burst clients performed.
+    pub burst_retries: u64,
     /// The rendered JSON report.
     pub json: String,
 }
@@ -179,6 +197,84 @@ fn plan_edit(source: &str, pick: usize, edit_no: usize) -> Option<EditPlan> {
         }
     }
     None
+}
+
+/// Overload burst: a fresh dispatcher with `max_queue = 1` (and no
+/// durable state) is hammered by `clients` threads that a [`Barrier`]
+/// releases simultaneously each volley, so several requests race into
+/// admission at once and the shedding path fires. Each client honors
+/// `retry_after_ms` with bounded exponential backoff plus deterministic
+/// jitter, and every request must eventually succeed.
+///
+/// Returns `(requests, shed_responses, retries)`.
+fn run_burst(src: &str, clients: usize) -> Result<(usize, u64, u64), String> {
+    let cfg = ServerConfig {
+        max_queue: 1,
+        wal_enabled: false,
+        ..ServerConfig::default()
+    };
+    let d = Arc::new(Dispatcher::new(&cfg)?);
+    // One cold analyze up front so the burst exercises warm contention.
+    let h = d.handle_line("bench", &req_analyze(src, "burst-cold"));
+    expect_ok(&h.response, "burst cold analyze")?;
+
+    let clients = clients.max(3);
+    let volleys = 8usize;
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let d = Arc::clone(&d);
+        let barrier = Arc::clone(&barrier);
+        let src = src.to_string();
+        handles.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let mut rng = Rng::new(0x6275_7273_7400 + c as u64);
+            let mut shed = 0u64;
+            let mut retries = 0u64;
+            for v in 0..volleys {
+                barrier.wait();
+                let id = format!("burst-{c}-{v}");
+                let mut attempt = 0u32;
+                loop {
+                    let h = d.handle_line("bench", &req_analyze(&src, &id));
+                    let resp = Json::parse(&h.response)
+                        .map_err(|e| format!("burst {id}: bad response json: {e}"))?;
+                    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                        break;
+                    }
+                    if resp.get("error_kind").and_then(Json::as_str) != Some("overloaded") {
+                        return Err(format!("burst {id} failed hard: {}", h.response));
+                    }
+                    shed += 1;
+                    retries += 1;
+                    if attempt >= 20 {
+                        return Err(format!("burst {id} never admitted after 20 retries"));
+                    }
+                    // Honor the server's hint, scaled down to keep the
+                    // bench fast, with exponential growth and jitter so
+                    // the retry volley spreads out instead of re-colliding.
+                    let hint = resp
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(50);
+                    let base = (hint.min(10) << attempt.min(4)).max(1);
+                    let jitter = rng.next_u64() % (base / 2 + 1);
+                    std::thread::sleep(Duration::from_millis(base + jitter));
+                    attempt += 1;
+                }
+            }
+            Ok((shed, retries))
+        }));
+    }
+    let mut shed = 0u64;
+    let mut retries = 0u64;
+    for h in handles {
+        let (s, r) = h
+            .join()
+            .map_err(|_| "burst client panicked".to_string())??;
+        shed += s;
+        retries += r;
+    }
+    Ok((clients * volleys, shed, retries))
 }
 
 fn req_analyze(src: &str, id: &str) -> String {
@@ -324,6 +420,10 @@ fn run_trace(
         _ => 0.0,
     };
 
+    // Overload burst against a separate tight-queue dispatcher.
+    let (burst_requests, burst_shed, burst_retries) = run_burst(src, clients)?;
+    requests += burst_requests + 1;
+
     warm_lat.sort_by(f64::total_cmp);
     edit_lat.sort_by(f64::total_cmp);
     incr_lat.sort_by(f64::total_cmp);
@@ -347,6 +447,9 @@ fn run_trace(
         incremental_speedup,
         warm_hit_ratio,
         single_function_edits,
+        burst_requests,
+        burst_shed,
+        burst_retries,
         json: String::new(),
     };
     summary.json = render_json(&summary, opts);
@@ -376,6 +479,13 @@ fn run_trace(
                 summary.incremental_speedup, summary.cold_analyze_seconds, summary.incremental_p50
             ));
         }
+        if summary.burst_shed == 0 {
+            return Err(format!(
+                "regression: the burst phase never shed a request \
+                 ({} requests through a max_queue=1 dispatcher)",
+                summary.burst_requests
+            ));
+        }
     }
     Ok(summary)
 }
@@ -389,7 +499,8 @@ fn render_json(s: &BenchSummary, opts: &BenchOptions) -> String {
          \"edit_fallback_count\": {},\n  \"single_function_edit_count\": {},\n  \
          \"edit_p50_seconds\": {:.6},\n  \"edit_p99_seconds\": {:.6},\n  \
          \"incremental_p50_seconds\": {:.6},\n  \"incremental_vs_cold_speedup\": {:.2},\n  \
-         \"warm_hit_ratio\": {:.4}\n}}",
+         \"warm_hit_ratio\": {:.4},\n  \"burst_requests\": {},\n  \"burst_shed\": {},\n  \
+         \"burst_retries\": {}\n}}",
         s.rung,
         opts.clients.max(1),
         opts.edits_per_client,
@@ -405,6 +516,9 @@ fn render_json(s: &BenchSummary, opts: &BenchOptions) -> String {
         s.incremental_p50,
         s.incremental_speedup,
         s.warm_hit_ratio,
+        s.burst_requests,
+        s.burst_shed,
+        s.burst_retries,
     )
 }
 
@@ -440,6 +554,8 @@ mod tests {
         assert!(s.edit_fallback > 0, "structural edits must fall back");
         assert!(s.single_function_edits > 0);
         assert!(s.warm_hit_ratio > 0.0);
+        assert!(s.burst_shed > 0, "tight-queue burst must shed");
+        assert!(s.burst_retries >= s.burst_shed);
         let v = Json::parse(&s.json).expect("report is valid json");
         assert_eq!(
             v.get("bench").and_then(Json::as_str),

@@ -43,11 +43,11 @@
 //! retains them in memory, and only full analyses (which equal what a
 //! cold run would produce) populate the cache tiers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use usher_core::{
     guided_plan, redundant_check_elimination, Config, Gamma, GuidedOpts, Plan, PlanProvenance,
@@ -72,7 +72,9 @@ use usher_vfg::{
 };
 
 use crate::codec;
+use crate::faultio::FaultIo;
 use crate::store::{DiskStats, DiskStore, StoreKind};
+use crate::wal::{Wal, WalRecord};
 
 /// Engine construction options.
 #[derive(Clone, Debug)]
@@ -90,6 +92,15 @@ pub struct EngineConfig {
     /// strategy their analysis was computed with, and incremental edits
     /// fall back when it no longer matches.
     pub pointer_strategy: PointerStrategy,
+    /// Explicit session WAL path (`--wal`). `None` places the WAL at
+    /// `<store_dir>/sessions.wal` when the disk tier is enabled, and
+    /// disables it otherwise.
+    pub wal_path: Option<PathBuf>,
+    /// `false` disables the session WAL entirely (`--no-wal`).
+    pub wal_enabled: bool,
+    /// Injectable I/O shim shared by the store and the WAL; production
+    /// engines use [`FaultIo::none`], the crash-safety suite arms faults.
+    pub io: FaultIo,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +111,9 @@ impl Default for EngineConfig {
             threads: default_threads(),
             use_cache: true,
             pointer_strategy: PointerStrategy::default(),
+            wal_path: None,
+            wal_enabled: true,
+            io: FaultIo::none(),
         }
     }
 }
@@ -124,6 +138,29 @@ pub struct Counters {
     pub pointer_solves: u64,
     /// `query-use` demand point queries answered.
     pub demand_queries: u64,
+    /// Requests refused (or degraded) because their `deadline_ms`
+    /// expired before or during the work.
+    pub deadline_expired: u64,
+}
+
+/// What startup WAL replay reconstructed (and what it could not).
+#[derive(Clone, Debug, Default)]
+pub struct ReplaySummary {
+    /// Sessions reconstructed from the log.
+    pub sessions_recovered: u64,
+    /// WAL lines discarded as corrupt or torn.
+    pub records_dropped: u64,
+    /// Edit records re-applied during replay.
+    pub edits_replayed: u64,
+    /// Warm open records whose store artifacts were gone; the session
+    /// was rebuilt by a cold compute instead (see `fallbacks`).
+    pub store_misses: u64,
+    /// Sessions the replay had to drop because re-running their
+    /// recorded computations failed.
+    pub failures: u64,
+    /// Per-session degradations, as `(session_id, reason)` — e.g.
+    /// `"wal-store-miss"` when a warm session's artifacts were evicted.
+    pub fallbacks: Vec<(u64, &'static str)>,
 }
 
 /// A structured request failure: a stable machine-readable `kind` (for
@@ -131,14 +168,16 @@ pub struct Counters {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RequestError {
     /// Stable error class: `"unknown-session"`, `"warm-session"`,
-    /// `"degraded-session"` or `"bad-check-index"`.
+    /// `"degraded-session"`, `"bad-check-index"`, `"bad-source"`,
+    /// `"bad-edit"` or `"deadline-expired"`.
     pub kind: &'static str,
     /// Human-readable description.
     pub detail: String,
 }
 
 impl RequestError {
-    fn new(kind: &'static str, detail: impl Into<String>) -> RequestError {
+    /// Builds an error from a stable kind and free-form detail.
+    pub fn new(kind: &'static str, detail: impl Into<String>) -> RequestError {
         RequestError {
             kind,
             detail: detail.into(),
@@ -256,6 +295,18 @@ pub struct EngineStats {
     /// Solver counters of the most recent full pointer solve (zeroed
     /// until one has run).
     pub last_solver: SolverStats,
+    /// Sessions reconstructed by startup WAL replay.
+    pub sessions_recovered: u64,
+    /// WAL lines dropped as corrupt/torn at startup.
+    pub wal_records_dropped: u64,
+    /// Warm WAL sessions rebuilt cold because their store artifacts
+    /// were gone.
+    pub wal_store_misses: u64,
+    /// Whether WAL appends are currently reaching disk.
+    pub wal_enabled: bool,
+    /// WAL appends (or the startup rewrite) that failed; each one
+    /// permanently disabled the log for this process.
+    pub wal_appends_failed: u64,
 }
 
 /// One function's line span in the session source: `[start, end)`.
@@ -320,6 +371,8 @@ pub struct Engine {
     next_session: u64,
     counters: Counters,
     last_solver: SolverStats,
+    wal: Option<Wal>,
+    replay: ReplaySummary,
 }
 
 /// Stable FNV key of a TinyC source text — identical to the driver's
@@ -403,6 +456,15 @@ struct Computed {
     stages: Vec<StageTiming>,
 }
 
+/// Why a full pipeline run stopped: a user-visible error in the source,
+/// or the per-request deadline expiring at a stage boundary. Deadline
+/// aborts leave the engine and the session completely unchanged (the
+/// pipeline works on scratch state until commit).
+enum ComputeError {
+    User(String),
+    Deadline,
+}
+
 /// An operand the points-to solver provably never looks at: swapping it
 /// for another such operand cannot change any points-to or
 /// function-target set (it contributes no constraint edges).
@@ -433,14 +495,30 @@ impl Engine {
             .labelled("serve")
             .with_pointer_strategy(cfg.pointer_strategy);
         let knobs = opts.guided.expect("USHER preset is guided");
+        let io = cfg.io.clone();
         let disk = match (&cfg.store_dir, cfg.use_cache) {
             (Some(dir), true) => Some(
-                DiskStore::open(dir, cfg.store_cap_bytes)
+                DiskStore::open_with_io(dir, cfg.store_cap_bytes, io.clone())
                     .map_err(|e| format!("cannot open store dir {}: {e}", dir.display()))?,
             ),
             _ => None,
         };
-        Ok(Engine {
+        // WAL placement: an explicit path always wins; otherwise it
+        // rides alongside the disk tier (and only the disk tier — the
+        // default must not create the store dir under `--no-cache`).
+        let wal_path = if !cfg.wal_enabled {
+            None
+        } else if let Some(p) = &cfg.wal_path {
+            if let Some(parent) = p.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            Some(p.clone())
+        } else {
+            disk.is_some()
+                .then(|| cfg.store_dir.as_ref().map(|d| d.join("sessions.wal")))
+                .flatten()
+        };
+        let mut engine = Engine {
             opts,
             knobs,
             cache: ArtifactCache::new(),
@@ -451,7 +529,164 @@ impl Engine {
             next_session: 1,
             counters: Counters::default(),
             last_solver: SolverStats::default(),
-        })
+            wal: None,
+            replay: ReplaySummary::default(),
+        };
+        if let Some(path) = wal_path {
+            engine.recover_from_wal(&path, &io);
+        }
+        Ok(engine)
+    }
+
+    // -- WAL recovery --------------------------------------------------
+
+    /// Replays the session WAL, then atomically rewrites it compacted:
+    /// one `open` record per surviving session carrying its *current*
+    /// source and edit count (sound by the serve-equivalence invariant,
+    /// and it physically truncates any corrupt tail so new appends can
+    /// never land behind a bad line).
+    fn recover_from_wal(&mut self, path: &Path, io: &FaultIo) {
+        let info = Wal::read(path, io);
+        self.replay.records_dropped = info.dropped;
+
+        // Closed sessions drop out entirely — their computations are
+        // not replayed, but their ids stay consumed.
+        let mut closed: HashSet<u64> = HashSet::new();
+        let mut max_sid = 0;
+        for r in &info.records {
+            max_sid = max_sid.max(r.sid());
+            if let WalRecord::Close { sid } = r {
+                closed.insert(*sid);
+            }
+        }
+        let mut per_session: BTreeMap<u64, Vec<&WalRecord>> = BTreeMap::new();
+        for r in &info.records {
+            if !closed.contains(&r.sid()) && !matches!(r, WalRecord::Close { .. }) {
+                per_session.entry(r.sid()).or_default().push(r);
+            }
+        }
+
+        // Replay is internal work: request counters must describe what
+        // clients asked of *this* process, so they are restored after.
+        let counters_before = self.counters;
+        for (sid, records) in per_session {
+            if self.replay_session(sid, &records).is_err() {
+                self.sessions.remove(&sid);
+                self.replay.failures += 1;
+            }
+        }
+        self.counters = counters_before;
+        self.next_session = self.next_session.max(max_sid + 1);
+        self.replay.sessions_recovered = self.sessions.len() as u64;
+
+        let live: Vec<WalRecord> = {
+            let mut sids: Vec<u64> = self.sessions.keys().copied().collect();
+            sids.sort_unstable();
+            sids.iter()
+                .map(|sid| {
+                    let s = &self.sessions[sid];
+                    WalRecord::Open {
+                        sid: *sid,
+                        warm: matches!(s.state, SessionState::Warm { .. }),
+                        edits: s.edits,
+                        source: s.lines.join("\n"),
+                    }
+                })
+                .collect()
+        };
+        self.wal = Some(Wal::create(path, io, &live));
+    }
+
+    /// Re-runs one session's recorded computations. `self.wal` is still
+    /// `None` here, so nothing re-appends.
+    fn replay_session(&mut self, sid: u64, records: &[&WalRecord]) -> Result<(), ()> {
+        let Some(WalRecord::Open {
+            warm,
+            edits,
+            source,
+            ..
+        }) = records.first()
+        else {
+            return Err(()); // edits without an open: unrecoverable
+        };
+        self.replay_open(sid, *warm, *edits, source)
+            .map_err(|_| ())?;
+        for r in &records[1..] {
+            let WalRecord::Edit { func, body, .. } = r else {
+                return Err(());
+            };
+            self.edit(sid, func, body).map_err(|_| ())?;
+            self.replay.edits_replayed += 1;
+        }
+        Ok(())
+    }
+
+    /// Recreates a session under its original id and mode. A warm open
+    /// whose artifacts were evicted from the store falls back to a cold
+    /// compute with the `"wal-store-miss"` reason recorded.
+    fn replay_open(
+        &mut self,
+        sid: u64,
+        warm: bool,
+        base_edits: u64,
+        src: &str,
+    ) -> Result<(), String> {
+        let lines = split_lines(src);
+        let canon = lines.join("\n");
+        let spans = scan_spans(&lines);
+        let sk = source_key(&canon);
+        let mut state = None;
+        if warm {
+            match self.warm_probe(sk) {
+                Some((module, gamma, plan)) => {
+                    state = Some(SessionState::Warm {
+                        module,
+                        gamma,
+                        plan,
+                    });
+                }
+                None => {
+                    self.replay.store_misses += 1;
+                    self.replay.fallbacks.push((sid, "wal-store-miss"));
+                }
+            }
+        }
+        let state = match state {
+            Some(s) => s,
+            None => {
+                let computed = match self.full_compute(&canon, &Budget::unlimited()) {
+                    Ok(c) => c,
+                    Err(ComputeError::User(e)) => return Err(e),
+                    Err(ComputeError::Deadline) => unreachable!("unlimited budget"),
+                };
+                self.persist(sk, &computed.backend);
+                self.last_solver = computed.backend.pa.stats;
+                SessionState::Ready(Box::new(computed.backend))
+            }
+        };
+        self.sessions.insert(
+            sid,
+            Session {
+                lines,
+                spans,
+                edits: base_edits,
+                state,
+            },
+        );
+        Ok(())
+    }
+
+    /// The startup replay summary (empty when no WAL was configured).
+    #[must_use]
+    pub fn replay(&self) -> &ReplaySummary {
+        &self.replay
+    }
+
+    /// Fsyncs the WAL (graceful shutdown; appends already sync).
+    pub fn flush_wal(&mut self) {
+        if let Some(w) = &mut self.wal {
+            w.sync();
+        }
     }
 
     /// Switches the pointer-stage strategy for subsequent full solves.
@@ -570,8 +805,11 @@ impl Engine {
     /// Runs the full cold pipeline, mirroring the driver's stage order:
     /// Parse → Lower → Inline → Mem2Reg → Opt → Pointer → MemSsa →
     /// VfgBuild → Resolve → Instrument, with per-function memory SSA
-    /// fanned over the driver thread pool.
-    fn full_compute(&self, src: &str) -> Result<Computed, String> {
+    /// fanned over the driver thread pool. The budget's deadline is
+    /// polled at every stage boundary (the Budget contract: reading the
+    /// clock only between stages); expiry aborts with all scratch state
+    /// discarded.
+    fn full_compute(&self, src: &str, budget: &Budget) -> Result<Computed, ComputeError> {
         let mut stages = Vec::new();
         macro_rules! timed {
             ($stage:expr, $e:expr) => {{
@@ -582,14 +820,18 @@ impl Engine {
                     seconds: t.elapsed().as_secs_f64(),
                     cached: false,
                 });
+                if budget.deadline_exceeded() {
+                    return Err(ComputeError::Deadline);
+                }
                 v
             }};
         }
-        let prog = timed!(Stage::Parse, parser::parse(src)).map_err(|e| e.to_string())?;
+        let user = |e: String| ComputeError::User(e);
+        let prog = timed!(Stage::Parse, parser::parse(src)).map_err(|e| user(e.to_string()))?;
         let (mut module, env) =
-            timed!(Stage::Lower, lower_program(&prog)).map_err(|e| e.to_string())?;
+            timed!(Stage::Lower, lower_program(&prog)).map_err(|e| user(e.to_string()))?;
         if let Err(errs) = verify(&module) {
-            return Err(format!("internal verification failure: {errs:?}"));
+            return Err(user(format!("internal verification failure: {errs:?}")));
         }
         let (_, inline) = timed!(
             Stage::Inline,
@@ -598,7 +840,7 @@ impl Engine {
         timed!(Stage::Mem2Reg, mem2reg(&mut module));
         timed!(Stage::Opt, optimize(&mut module, self.opts.opt_level));
         if let Err(errs) = verify(&module) {
-            return Err(format!("internal verification failure: {errs:?}"));
+            return Err(user(format!("internal verification failure: {errs:?}")));
         }
         let pa = timed!(
             Stage::Pointer,
@@ -686,6 +928,16 @@ impl Engine {
 
     // -- requests ------------------------------------------------------
 
+    /// Warm path probe: every persisted artifact of this source is
+    /// present in the cache tiers.
+    fn warm_probe(&self, sk: u64) -> Option<(Arc<Module>, Arc<Gamma>, Arc<Plan>)> {
+        let g = self.knobs;
+        let m = self.load_module(self.opts.frontend_key(sk))?;
+        let (gamma, _) = self.load_gamma(self.opts.resolve_key(sk, &g))?;
+        let plan = self.load_plan(self.opts.plan_key(sk))?;
+        Some((m, gamma, plan))
+    }
+
     /// Analyzes a program, creating a session. Serves entirely from the
     /// cache tiers when module, gamma and plan are all present (`warm`);
     /// otherwise runs the full pipeline (`cold`) and populates both
@@ -695,24 +947,50 @@ impl Engine {
     ///
     /// Returns the first front-end error for invalid source.
     pub fn analyze(&mut self, src: &str) -> Result<AnalyzeOutcome, String> {
+        self.analyze_within(src, None).map_err(|e| e.detail)
+    }
+
+    /// [`Engine::analyze`] under an optional deadline, with structured
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// `"bad-source"` for invalid programs; `"deadline-expired"` when
+    /// the remaining deadline ran out before or during the pipeline
+    /// (polled at stage boundaries; the engine is left unchanged).
+    pub fn analyze_within(
+        &mut self,
+        src: &str,
+        deadline: Option<Duration>,
+    ) -> Result<AnalyzeOutcome, RequestError> {
         let start = Instant::now();
+        let budget = Budget::new(None, deadline);
+        if budget.deadline_exceeded() {
+            self.counters.deadline_expired += 1;
+            return Err(RequestError::new(
+                "deadline-expired",
+                "deadline expired before analysis started",
+            ));
+        }
         let lines = split_lines(src);
         let canon = lines.join("\n");
         let spans = scan_spans(&lines);
         let sk = source_key(&canon);
-        let g = self.knobs;
         let mem0 = self.cache.stats();
         let disk0 = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
+        let sid = self.next_session;
 
-        // Warm path: every persisted artifact of this source is present.
-        let warm = self.load_module(self.opts.frontend_key(sk)).and_then(|m| {
-            let (gamma, _) = self.load_gamma(self.opts.resolve_key(sk, &g))?;
-            let plan = self.load_plan(self.opts.plan_key(sk))?;
-            Some((m, gamma, plan))
-        });
-        let (state, mode, stages) = match warm {
+        let (state, mode, stages) = match self.warm_probe(sk) {
             Some((module, gamma, plan)) => {
                 self.counters.analyzes_warm += 1;
+                if let Some(w) = &mut self.wal {
+                    w.append(&WalRecord::Open {
+                        sid,
+                        warm: true,
+                        edits: 0,
+                        source: canon.clone(),
+                    });
+                }
                 (
                     SessionState::Warm {
                         module,
@@ -724,9 +1002,31 @@ impl Engine {
                 )
             }
             None => {
-                let computed = self.full_compute(&canon).inspect_err(|_| {
-                    self.counters.user_errors += 1;
-                })?;
+                let computed = match self.full_compute(&canon, &budget) {
+                    Ok(c) => c,
+                    Err(ComputeError::User(e)) => {
+                        self.counters.user_errors += 1;
+                        return Err(RequestError::new("bad-source", e));
+                    }
+                    Err(ComputeError::Deadline) => {
+                        self.counters.deadline_expired += 1;
+                        return Err(RequestError::new(
+                            "deadline-expired",
+                            "deadline expired during analysis; no session was created",
+                        ));
+                    }
+                };
+                // WAL before store persist: a kill between the two
+                // recovers the session by recomputing, whereas the
+                // reverse order would lose an acknowledged session.
+                if let Some(w) = &mut self.wal {
+                    w.append(&WalRecord::Open {
+                        sid,
+                        warm: false,
+                        edits: 0,
+                        source: canon.clone(),
+                    });
+                }
                 self.persist(sk, &computed.backend);
                 self.counters.analyzes_cold += 1;
                 self.counters.pointer_solves += 1;
@@ -743,7 +1043,6 @@ impl Engine {
             SessionState::Ready(b) => b.module.funcs.len(),
         };
 
-        let sid = self.next_session;
         self.next_session += 1;
         let mut report = self.base_report(format!("session-{sid}"), stages);
         let mem1 = self.cache.stats();
@@ -783,10 +1082,40 @@ impl Engine {
     /// User errors (unknown session, malformed or semantically invalid
     /// new body) leave the session completely unchanged.
     pub fn edit(&mut self, sid: u64, func: &str, body: &str) -> Result<EditOutcome, String> {
+        self.edit_within(sid, func, body, None)
+            .map_err(|e| e.detail)
+    }
+
+    /// [`Engine::edit`] under an optional deadline, with structured
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// `"unknown-session"`, `"bad-edit"` (malformed or semantically
+    /// invalid body), or `"deadline-expired"`. Every error path leaves
+    /// the session completely unchanged.
+    pub fn edit_within(
+        &mut self,
+        sid: u64,
+        func: &str,
+        body: &str,
+        deadline: Option<Duration>,
+    ) -> Result<EditOutcome, RequestError> {
         let start = Instant::now();
+        let budget = Budget::new(None, deadline);
+        if budget.deadline_exceeded() {
+            self.counters.deadline_expired += 1;
+            return Err(RequestError::new(
+                "deadline-expired",
+                "deadline expired before the edit started",
+            ));
+        }
         if !self.sessions.contains_key(&sid) {
             self.counters.user_errors += 1;
-            return Err(format!("unknown session {sid}"));
+            return Err(RequestError::new(
+                "unknown-session",
+                format!("unknown session {sid}"),
+            ));
         }
 
         // Parse and validate the replacement definition up front.
@@ -796,7 +1125,7 @@ impl Engine {
             Ok(p) => p,
             Err(e) => {
                 self.counters.user_errors += 1;
-                return Err(format!("edit body: {e}"));
+                return Err(RequestError::new("bad-edit", format!("edit body: {e}")));
             }
         };
         stages.push(StageTiming {
@@ -806,14 +1135,20 @@ impl Engine {
         });
         if !prog.structs.is_empty() || !prog.globals.is_empty() || prog.funcs.len() != 1 {
             self.counters.user_errors += 1;
-            return Err("edit body must be exactly one function definition".to_string());
+            return Err(RequestError::new(
+                "bad-edit",
+                "edit body must be exactly one function definition",
+            ));
         }
         let def = &prog.funcs[0];
         if def.name != func {
             self.counters.user_errors += 1;
-            return Err(format!(
-                "edit names function {func:?} but body defines {:?}",
-                def.name
+            return Err(RequestError::new(
+                "bad-edit",
+                format!(
+                    "edit names function {func:?} but body defines {:?}",
+                    def.name
+                ),
             ));
         }
 
@@ -868,7 +1203,7 @@ impl Engine {
                 Ok(()) => {}
                 Err(RelowerError::Lower(e)) => {
                     self.counters.user_errors += 1;
-                    return Err(format!("edit body: {e}"));
+                    return Err(RequestError::new("bad-edit", format!("edit body: {e}")));
                 }
                 Err(RelowerError::Blocked(blocked)) => {
                     break 'fast relower_reason(&blocked);
@@ -962,6 +1297,13 @@ impl Engine {
             session.edits += 1;
             self.counters.edits_incremental += 1;
             self.counters.functions_recomputed += 1;
+            if let Some(w) = &mut self.wal {
+                w.append(&WalRecord::Edit {
+                    sid,
+                    func: func.to_string(),
+                    body: body.to_string(),
+                });
+            }
 
             let mut report = self.base_report(format!("session-{sid}"), stages);
             if let SessionState::Ready(b) = &self.sessions[&sid].state {
@@ -980,14 +1322,22 @@ impl Engine {
         // Sound fallback: full recompute of the edited source, with the
         // reason recorded (honest provenance, never silent).
         let canon = new_lines.join("\n");
-        let computed = match self.full_compute(&canon) {
+        let computed = match self.full_compute(&canon, &budget) {
             Ok(c) => c,
-            Err(e) => {
+            Err(ComputeError::User(e)) => {
                 // The edited program does not compile as a whole (e.g. a
                 // signature change whose callers were not updated): user
                 // error, session unchanged.
                 self.counters.user_errors += 1;
-                return Err(format!("edit body: {e}"));
+                return Err(RequestError::new("bad-edit", format!("edit body: {e}")));
+            }
+            Err(ComputeError::Deadline) => {
+                self.counters.deadline_expired += 1;
+                return Err(RequestError::new(
+                    "deadline-expired",
+                    "deadline expired during the fallback recompute; the session \
+                     is unchanged",
+                ));
             }
         };
         self.persist(source_key(&canon), &computed.backend);
@@ -1008,6 +1358,13 @@ impl Engine {
         session.edits += 1;
         self.counters.edits_fallback += 1;
         self.counters.functions_recomputed += functions_recomputed as u64;
+        if let Some(w) = &mut self.wal {
+            w.append(&WalRecord::Edit {
+                sid,
+                func: func.to_string(),
+                body: body.to_string(),
+            });
+        }
         report.total_seconds = start.elapsed().as_secs_f64();
         Ok(EditOutcome {
             incremental: false,
@@ -1086,7 +1443,37 @@ impl Engine {
     /// `"bad-check-index"` for out-of-range check indices. All are
     /// recorded in the user-error counter.
     pub fn query_use(&mut self, sid: u64, check: usize) -> Result<QueryUseOutcome, RequestError> {
+        self.query_use_within(sid, check, None)
+    }
+
+    /// [`Engine::query_use`] under an optional deadline: the remaining
+    /// time becomes the demand walk's [`Budget`], so an over-deadline
+    /// walk degrades to the sound incomplete verdict
+    /// ([`QueryUseOutcome::complete`] `false`) instead of blocking the
+    /// engine — and is counted as a deadline expiry.
+    ///
+    /// # Errors
+    ///
+    /// The kinds of [`Engine::query_use`] plus `"deadline-expired"`
+    /// when the deadline was already gone on entry.
+    pub fn query_use_within(
+        &mut self,
+        sid: u64,
+        check: usize,
+        deadline: Option<Duration>,
+    ) -> Result<QueryUseOutcome, RequestError> {
         let start = Instant::now();
+        let budget = match deadline {
+            Some(d) => Budget::new(None, Some(d)),
+            None => Budget::unlimited(),
+        };
+        if budget.deadline_exceeded() {
+            self.counters.deadline_expired += 1;
+            return Err(RequestError::new(
+                "deadline-expired",
+                "deadline expired before the query started",
+            ));
+        }
         let depth = self.knobs.context_depth;
         let Some(session) = self.sessions.get_mut(&sid) else {
             self.counters.user_errors += 1;
@@ -1127,8 +1514,11 @@ impl Engine {
             .demand
             .get_or_insert_with(|| DemandEngine::new(&b.vfg, depth));
         let before = eng.stats();
-        let verdict = eng.query(&b.vfg, ch.node, &Budget::unlimited());
+        let verdict = eng.query(&b.vfg, ch.node, &budget);
         let after = eng.stats();
+        if !verdict.complete && deadline.is_some() {
+            self.counters.deadline_expired += 1;
+        }
         let outcome = QueryUseOutcome {
             check_index: check,
             node: ch.node,
@@ -1165,12 +1555,23 @@ impl Engine {
             },
             pointer_strategy: self.opts.pointer_strategy.name(),
             last_solver: self.last_solver,
+            sessions_recovered: self.replay.sessions_recovered,
+            wal_records_dropped: self.replay.records_dropped,
+            wal_store_misses: self.replay.store_misses,
+            wal_enabled: self.wal.as_ref().is_some_and(Wal::enabled),
+            wal_appends_failed: self.wal.as_ref().map_or(0, Wal::appends_failed),
         }
     }
 
     /// Drops a session, releasing its retained state.
     pub fn close(&mut self, sid: u64) -> bool {
-        self.sessions.remove(&sid).is_some()
+        let existed = self.sessions.remove(&sid).is_some();
+        if existed {
+            if let Some(w) = &mut self.wal {
+                w.append(&WalRecord::Close { sid });
+            }
+        }
+        existed
     }
 
     /// The session's current source text.
@@ -1725,8 +2126,12 @@ def main(int c) {
     #[test]
     fn disk_tier_warms_across_engine_restarts_and_self_heals() {
         let dir = scratch_dir("disk");
+        // WAL off: replaying recovered sessions would self-heal the
+        // corrupted entry before the analyze below ever saw it. This
+        // test targets the artifact tier's own recovery path.
         let cfg = || EngineConfig {
             store_dir: Some(dir.clone()),
+            wal_enabled: false,
             ..EngineConfig::default()
         };
         let fp0 = {

@@ -1,0 +1,404 @@
+//! Injectable I/O shim for crash-safety testing.
+//!
+//! Every durable write the serve layer performs — store entries, the
+//! LRU journal, the session WAL — routes through a [`FaultIo`] handle.
+//! In production the handle is [`FaultIo::none`] and every operation is
+//! a thin wrapper over `std::fs`. Under test (unit tests and the
+//! `usher fuzz --fault serve-chaos` campaign) a fault can be armed at
+//! any [`FaultSite`]:
+//!
+//! - [`FaultKind::Error`] — the operation fails with `ENOSPC` without
+//!   touching disk (beyond what a torn variant wrote);
+//! - [`FaultKind::Torn`] — a write persists only a prefix of its bytes,
+//!   then fails (a short write straddling a crash or a full disk);
+//! - [`FaultKind::Kill`] — the shim enters a *dead* state: this and
+//!   every subsequent operation fails. Because no further bytes reach
+//!   disk, the on-disk state is frozen exactly at the kill point — the
+//!   caller then drops the engine and reopens the directory to simulate
+//!   a `SIGKILL` + restart.
+//!
+//! Armed faults are one-shot (`Kill` is sticky via the dead state): the
+//! chaos harness arms exactly one fault per run and asserts recovery.
+//! The shim also records the sequence of sites it executed, so tests
+//! can assert durability *ordering* (temp-file fsync before rename,
+//! directory fsync after) rather than trusting comments.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A durability-relevant I/O operation the serve layer performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Writing a store entry's temp file (create + write).
+    StoreTempWrite,
+    /// Fsyncing a store entry's temp file before rename.
+    StoreTempSync,
+    /// Renaming a store temp file over its final name.
+    StoreRename,
+    /// Fsyncing the store directory after a rename.
+    StoreDirSync,
+    /// Reading a store entry back.
+    StoreRead,
+    /// Appending to the LRU journal.
+    JournalAppend,
+    /// Reading the session WAL at startup.
+    WalOpen,
+    /// Appending a record to the session WAL.
+    WalAppend,
+    /// Fsyncing the session WAL after an append.
+    WalSync,
+    /// Rewriting the compacted WAL after recovery.
+    WalRewrite,
+}
+
+impl FaultSite {
+    /// Every site, in pipeline order — the chaos campaign iterates this.
+    pub const ALL: [FaultSite; 10] = [
+        FaultSite::StoreTempWrite,
+        FaultSite::StoreTempSync,
+        FaultSite::StoreRename,
+        FaultSite::StoreDirSync,
+        FaultSite::StoreRead,
+        FaultSite::JournalAppend,
+        FaultSite::WalOpen,
+        FaultSite::WalAppend,
+        FaultSite::WalSync,
+        FaultSite::WalRewrite,
+    ];
+
+    /// Stable kebab-case name for reports and campaign logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::StoreTempWrite => "store-temp-write",
+            FaultSite::StoreTempSync => "store-temp-sync",
+            FaultSite::StoreRename => "store-rename",
+            FaultSite::StoreDirSync => "store-dir-sync",
+            FaultSite::StoreRead => "store-read",
+            FaultSite::JournalAppend => "journal-append",
+            FaultSite::WalOpen => "wal-open",
+            FaultSite::WalAppend => "wal-append",
+            FaultSite::WalSync => "wal-sync",
+            FaultSite::WalRewrite => "wal-rewrite",
+        }
+    }
+}
+
+/// What happens when an armed fault fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail with `ENOSPC`, writing nothing.
+    Error,
+    /// Persist only the first `keep` bytes of the write, then fail.
+    Torn {
+        /// Bytes that reach disk before the failure.
+        keep: usize,
+    },
+    /// Enter the dead state: this and every later operation fails.
+    Kill,
+}
+
+/// An armed fault: fires on the `after`-th subsequent hit of its site
+/// (0 = the very next one).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSpec {
+    /// What firing does.
+    pub kind: FaultKind,
+    /// Site hits to let through unharmed first.
+    pub after: u32,
+}
+
+struct Inner {
+    plan: Mutex<HashMap<FaultSite, FaultSpec>>,
+    dead: AtomicBool,
+    log: Mutex<Vec<FaultSite>>,
+}
+
+/// Cloneable handle to one fault plan; clones share state, so the shim
+/// threaded through store, WAL and engine observes one coherent world.
+#[derive(Clone)]
+pub struct FaultIo {
+    inner: Arc<Inner>,
+}
+
+impl Default for FaultIo {
+    fn default() -> FaultIo {
+        FaultIo::none()
+    }
+}
+
+impl std::fmt::Debug for FaultIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultIo")
+            .field("dead", &self.is_dead())
+            .finish()
+    }
+}
+
+/// The injected failure: `ENOSPC`, the most common real-world cause of
+/// torn store writes.
+fn enospc() -> io::Error {
+    io::Error::from_raw_os_error(28)
+}
+
+enum Action {
+    Proceed,
+    Fail,
+    Torn(usize),
+}
+
+impl FaultIo {
+    /// A shim with no faults armed: every operation is plain `std::fs`.
+    pub fn none() -> FaultIo {
+        FaultIo {
+            inner: Arc::new(Inner {
+                plan: Mutex::new(HashMap::new()),
+                dead: AtomicBool::new(false),
+                log: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Arms one fault. Re-arming a site replaces its previous spec.
+    pub fn arm(&self, site: FaultSite, spec: FaultSpec) {
+        self.inner
+            .plan
+            .lock()
+            .expect("fault plan")
+            .insert(site, spec);
+    }
+
+    /// Whether a `Kill` fault has fired.
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::SeqCst)
+    }
+
+    /// The sequence of sites executed so far (fired or not) — lets tests
+    /// assert durability ordering instead of trusting comments.
+    pub fn log(&self) -> Vec<FaultSite> {
+        self.inner.log.lock().expect("fault log").clone()
+    }
+
+    fn check(&self, site: FaultSite) -> Action {
+        self.inner.log.lock().expect("fault log").push(site);
+        if self.is_dead() {
+            return Action::Fail;
+        }
+        let mut plan = self.inner.plan.lock().expect("fault plan");
+        let Some(spec) = plan.get_mut(&site) else {
+            return Action::Proceed;
+        };
+        if spec.after > 0 {
+            spec.after -= 1;
+            return Action::Proceed;
+        }
+        let kind = spec.kind;
+        plan.remove(&site);
+        match kind {
+            FaultKind::Error => Action::Fail,
+            FaultKind::Torn { keep } => Action::Torn(keep),
+            FaultKind::Kill => {
+                self.inner.dead.store(true, Ordering::SeqCst);
+                Action::Fail
+            }
+        }
+    }
+
+    /// Creates `path` and writes `content`, returning the open (not yet
+    /// synced) file handle for a subsequent [`FaultIo::sync`].
+    pub fn create_write(
+        &self,
+        site: FaultSite,
+        path: &Path,
+        content: &[u8],
+    ) -> io::Result<fs::File> {
+        match self.check(site) {
+            Action::Proceed => {
+                let mut f = fs::File::create(path)?;
+                f.write_all(content)?;
+                Ok(f)
+            }
+            Action::Fail => Err(enospc()),
+            Action::Torn(keep) => {
+                let mut f = fs::File::create(path)?;
+                let _ = f.write_all(&content[..keep.min(content.len())]);
+                let _ = f.sync_all();
+                Err(enospc())
+            }
+        }
+    }
+
+    /// Fsyncs an open file.
+    pub fn sync(&self, site: FaultSite, f: &fs::File) -> io::Result<()> {
+        match self.check(site) {
+            Action::Proceed => f.sync_all(),
+            _ => Err(enospc()),
+        }
+    }
+
+    /// Renames `from` to `to`.
+    pub fn rename(&self, site: FaultSite, from: &Path, to: &Path) -> io::Result<()> {
+        match self.check(site) {
+            Action::Proceed => fs::rename(from, to),
+            _ => Err(enospc()),
+        }
+    }
+
+    /// Fsyncs a directory, making a completed rename durable.
+    pub fn sync_dir(&self, site: FaultSite, dir: &Path) -> io::Result<()> {
+        match self.check(site) {
+            Action::Proceed => fs::File::open(dir)?.sync_all(),
+            _ => Err(enospc()),
+        }
+    }
+
+    /// Reads a file to a string.
+    pub fn read_to_string(&self, site: FaultSite, path: &Path) -> io::Result<String> {
+        match self.check(site) {
+            Action::Proceed => fs::read_to_string(path),
+            _ => Err(enospc()),
+        }
+    }
+
+    /// Appends `bytes` to an open file. A torn fault persists a prefix.
+    pub fn append(&self, site: FaultSite, f: &mut fs::File, bytes: &[u8]) -> io::Result<()> {
+        match self.check(site) {
+            Action::Proceed => f.write_all(bytes),
+            Action::Fail => Err(enospc()),
+            Action::Torn(keep) => {
+                let _ = f.write_all(&bytes[..keep.min(bytes.len())]);
+                let _ = f.sync_all();
+                Err(enospc())
+            }
+        }
+    }
+
+    /// Removes a file (dead-gated so a killed shim cannot touch disk).
+    pub fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if self.is_dead() {
+            return Err(enospc());
+        }
+        fs::remove_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "usher-faultio-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn unarmed_shim_is_transparent() {
+        let dir = scratch("clean");
+        let io = FaultIo::none();
+        let p = dir.join("x");
+        let f = io
+            .create_write(FaultSite::StoreTempWrite, &p, b"hello")
+            .unwrap();
+        io.sync(FaultSite::StoreTempSync, &f).unwrap();
+        io.rename(FaultSite::StoreRename, &p, &dir.join("y"))
+            .unwrap();
+        io.sync_dir(FaultSite::StoreDirSync, &dir).unwrap();
+        assert_eq!(
+            io.read_to_string(FaultSite::StoreRead, &dir.join("y"))
+                .unwrap(),
+            "hello"
+        );
+        assert!(!io.is_dead());
+        assert_eq!(io.log().len(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_persists_only_the_prefix() {
+        let dir = scratch("torn");
+        let io = FaultIo::none();
+        io.arm(
+            FaultSite::WalAppend,
+            FaultSpec {
+                kind: FaultKind::Torn { keep: 3 },
+                after: 0,
+            },
+        );
+        let p = dir.join("wal");
+        let mut f = fs::File::create(&p).unwrap();
+        assert!(io.append(FaultSite::WalAppend, &mut f, b"abcdef").is_err());
+        assert_eq!(fs::read_to_string(&p).unwrap(), "abc");
+        // One-shot: the next append goes through.
+        io.append(FaultSite::WalAppend, &mut f, b"ghi").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "abcghi");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_freezes_all_subsequent_io() {
+        let dir = scratch("kill");
+        let io = FaultIo::none();
+        io.arm(
+            FaultSite::StoreRename,
+            FaultSpec {
+                kind: FaultKind::Kill,
+                after: 0,
+            },
+        );
+        let p = dir.join("t");
+        let f = io
+            .create_write(FaultSite::StoreTempWrite, &p, b"x")
+            .unwrap();
+        io.sync(FaultSite::StoreTempSync, &f).unwrap();
+        assert!(io
+            .rename(FaultSite::StoreRename, &p, &dir.join("final"))
+            .is_err());
+        assert!(io.is_dead());
+        // Everything after the kill fails, including unrelated sites.
+        assert!(io
+            .create_write(FaultSite::WalAppend, &dir.join("w"), b"y")
+            .is_err());
+        assert!(io.remove_file(&p).is_err());
+        assert!(p.exists(), "dead shim must not touch disk");
+        assert!(!dir.join("final").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn after_countdown_delays_the_fire() {
+        let dir = scratch("after");
+        let io = FaultIo::none();
+        io.arm(
+            FaultSite::JournalAppend,
+            FaultSpec {
+                kind: FaultKind::Error,
+                after: 2,
+            },
+        );
+        let mut f = fs::File::create(dir.join("j")).unwrap();
+        io.append(FaultSite::JournalAppend, &mut f, b"1\n").unwrap();
+        io.append(FaultSite::JournalAppend, &mut f, b"2\n").unwrap();
+        assert!(io.append(FaultSite::JournalAppend, &mut f, b"3\n").is_err());
+        io.append(FaultSite::JournalAppend, &mut f, b"4\n").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sites_have_unique_stable_names() {
+        let mut names: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultSite::ALL.len());
+    }
+}

@@ -15,22 +15,33 @@
 //!   memory-SSA and VFG slice and splices it into retained module state,
 //!   falling back soundly (and observably) to a full recompute whenever
 //!   the edit could change signatures, globals, inlining or the shape of
-//!   the points-to solution.
+//!   the points-to solution;
+//! - crash safety and overload resilience: a checksummed session WAL
+//!   ([`wal`]) replayed on startup to reconstruct sessions
+//!   byte-identically after a kill, bounded-queue load shedding with
+//!   `retry_after_ms` hints, per-request deadlines, and an injectable
+//!   I/O fault shim ([`faultio`]) that lets the chaos campaign prove
+//!   every torn write / ENOSPC / kill-point either recovers exactly or
+//!   degrades with a recorded reason.
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod codec;
 pub mod engine;
+pub mod faultio;
 pub mod json;
 pub mod server;
 pub mod store;
+pub mod wal;
 
 pub use bench::{run_bench, BenchOptions, BenchSummary};
 pub use engine::{
     plan_is_degraded, AnalyzeOutcome, Counters, EditOutcome, Engine, EngineConfig, EngineStats,
-    QueryOutcome,
+    QueryOutcome, ReplaySummary,
 };
+pub use faultio::{FaultIo, FaultKind, FaultSite, FaultSpec};
 pub use json::Json;
 pub use server::{run_server, Dispatcher, Handled, ServerConfig};
-pub use store::{DiskStats, DiskStore, StoreKind};
+pub use store::{verify_dir, DiskStats, DiskStore, StoreKind};
+pub use wal::{Wal, WalRecord, WalReplayInfo};

@@ -27,6 +27,27 @@
 //! `request_id` and `session_id` filled, so interleaved concurrent-client
 //! records in one stream stay attributable.
 //!
+//! ## Overload and deadlines
+//!
+//! Heavy requests (`analyze`, `edit`, `query`, `query-use`) pass an
+//! admission gate: at most `max_queue` may be in flight or waiting on
+//! the engine at once. Excess requests are shed immediately with
+//! `error_kind: "overloaded"` and a deterministic `retry_after_ms`
+//! backoff hint instead of queueing unboundedly. Any request may carry
+//! `deadline_ms`; analysis aborts cleanly at the next stage boundary
+//! (`error_kind: "deadline-expired"`, engine state unchanged) and
+//! demand queries degrade to a sound incomplete verdict. `stats`,
+//! `close` and `shutdown` are always admitted so operators keep
+//! visibility under load.
+//!
+//! ## Shutdown and crash safety
+//!
+//! `shutdown` (or stdin EOF) drains: new heavy requests are refused with
+//! `error_kind: "shutting-down"`, in-flight requests finish (bounded by
+//! `drain_timeout_ms`), the session WAL is fsynced, then client threads
+//! are joined. A SIGKILL instead of a drain loses nothing durable: the
+//! WAL is fsynced per append and replayed on the next startup.
+//!
 //! ## Concurrency
 //!
 //! All clients multiplex onto one [`Engine`] behind a mutex; the heavy
@@ -34,17 +55,22 @@
 //! pool, so serialization at the request level costs little and keeps
 //! cross-session cache interaction trivially sound. The stdin loop runs
 //! on the caller's thread; the socket listener accepts in the background
-//! with at most `max_clients` live client threads.
+//! with at most `max_clients` live client threads. A client
+//! disconnecting mid-request (torn frame, broken pipe) tears down only
+//! its own connection thread — counted, never fatal, and a panic inside
+//! a request handler is contained to an `"internal-panic"` error
+//! response.
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
-use usher_driver::PipelineReport;
+use usher_driver::{PipelineReport, ServeHealth};
 
 use crate::engine::{Engine, EngineConfig, RequestError};
+use crate::faultio::FaultIo;
 use crate::json::{Json, ObjWriter};
 
 /// Server construction options (the `usher serve` flag set).
@@ -65,6 +91,16 @@ pub struct ServerConfig {
     pub use_cache: bool,
     /// Pointer-stage solver strategy (`--pointer-strategy`).
     pub pointer_strategy: usher_pointer::PointerStrategy,
+    /// Maximum heavy requests in flight before shedding (`--max-queue`).
+    pub max_queue: usize,
+    /// How long graceful shutdown waits for in-flight requests
+    /// (`--drain-timeout-ms`).
+    pub drain_timeout_ms: u64,
+    /// Explicit session WAL path (`--wal`); `None` defaults to
+    /// `sessions.wal` inside the store directory when one exists.
+    pub wal_path: Option<PathBuf>,
+    /// `false` disables the session WAL entirely (`--no-wal`).
+    pub wal_enabled: bool,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +114,10 @@ impl Default for ServerConfig {
             threads: e.threads,
             use_cache: true,
             pointer_strategy: e.pointer_strategy,
+            max_queue: 32,
+            drain_timeout_ms: 2000,
+            wal_path: None,
+            wal_enabled: true,
         }
     }
 }
@@ -97,6 +137,22 @@ pub struct Handled {
 pub struct Dispatcher {
     engine: Mutex<Engine>,
     seq: AtomicU64,
+    start: Instant,
+    max_queue: usize,
+    inflight: AtomicUsize,
+    draining: AtomicBool,
+    requests_shed: AtomicU64,
+    connections_torn: AtomicU64,
+}
+
+/// RAII in-flight slot: decrements the admission counter however the
+/// request exits (including by panic).
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 fn err_response(id: &str, op: &str, msg: &str) -> String {
@@ -122,6 +178,21 @@ fn err_structured(id: &str, op: &str, e: &RequestError) -> String {
     w.finish()
 }
 
+/// The load-shedding refusal: `"overloaded"` plus a deterministic
+/// backoff hint scaled by how far past capacity the queue is.
+fn err_overloaded(id: &str, op: &str, retry_after_ms: u64) -> String {
+    let mut w = ObjWriter::new();
+    w.bool("ok", false)
+        .str("op", op)
+        .str("error_kind", "overloaded")
+        .str("error", "server overloaded, retry later")
+        .u64("retry_after_ms", retry_after_ms);
+    if !id.is_empty() {
+        w.str("id", id);
+    }
+    w.finish()
+}
+
 fn stamp(report: &mut PipelineReport, rid: &str, sid: Option<u64>) -> String {
     report.request_id = Some(rid.to_string());
     report.session_id = sid;
@@ -129,7 +200,8 @@ fn stamp(report: &mut PipelineReport, rid: &str, sid: Option<u64>) -> String {
 }
 
 impl Dispatcher {
-    /// Builds the dispatcher and its engine.
+    /// Builds the dispatcher and its engine, replaying any session WAL
+    /// found next to the store.
     ///
     /// # Errors
     ///
@@ -141,10 +213,19 @@ impl Dispatcher {
             threads: cfg.threads,
             use_cache: cfg.use_cache,
             pointer_strategy: cfg.pointer_strategy,
+            wal_path: cfg.wal_path.clone(),
+            wal_enabled: cfg.wal_enabled,
+            io: FaultIo::none(),
         })?;
         Ok(Dispatcher {
             engine: Mutex::new(engine),
             seq: AtomicU64::new(1),
+            start: Instant::now(),
+            max_queue: cfg.max_queue,
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            requests_shed: AtomicU64::new(0),
+            connections_torn: AtomicU64::new(0),
         })
     }
 
@@ -153,9 +234,66 @@ impl Dispatcher {
         &self.engine
     }
 
+    /// Locks the engine, recovering from mutex poisoning: a contained
+    /// panic in one request must not wedge every later request. The
+    /// engine's own error paths leave sessions unchanged, so the value
+    /// behind a poisoned lock is still consistent.
+    fn engine_lock(&self) -> MutexGuard<'_, Engine> {
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Switches to drain mode: heavy requests are refused with
+    /// `error_kind: "shutting-down"` while in-flight ones finish.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Heavy requests currently admitted (in flight or waiting on the
+    /// engine lock).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Connections torn down mid-request so far (client vanished with a
+    /// partial frame, broken pipe on response write, read error).
+    pub fn connections_torn(&self) -> u64 {
+        self.connections_torn.load(Ordering::SeqCst)
+    }
+
+    /// Records one torn connection (called by transport loops).
+    fn note_torn(&self) {
+        self.connections_torn.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records one shed request and returns its deterministic backoff
+    /// hint: 50ms per request past capacity, capped at 1s.
+    fn shed(&self, depth: usize) -> u64 {
+        self.requests_shed.fetch_add(1, Ordering::SeqCst);
+        (((depth + 1).saturating_sub(self.max_queue)).max(1) as u64 * 50).min(1000)
+    }
+
+    /// Fsyncs the session WAL (the last durability step of a graceful
+    /// shutdown).
+    pub fn flush_wal(&self) {
+        self.engine_lock().flush_wal();
+    }
+
+    fn health(&self, engine: &Engine) -> ServeHealth {
+        let st = engine.stats();
+        ServeHealth {
+            uptime_seconds: self.start.elapsed().as_secs_f64(),
+            sessions_recovered: st.sessions_recovered,
+            wal_records_dropped: st.wal_records_dropped,
+            requests_shed: self.requests_shed.load(Ordering::SeqCst),
+            deadline_expired: st.counters.deadline_expired,
+        }
+    }
+
     /// Handles one raw request line from `origin` (a transport tag like
     /// `stdin` or `sock-3`, used to synthesize request ids for requests
-    /// that carry none). Never panics on malformed input.
+    /// that carry none). Never panics on malformed input — a panic that
+    /// escapes an op handler is contained into an `"internal-panic"`
+    /// error response.
     pub fn handle_line(&self, origin: &str, line: &str) -> Handled {
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -184,21 +322,82 @@ impl Dispatcher {
             Some(s) => s.to_string(),
             None => format!("{origin}-{}", self.seq.fetch_add(1, Ordering::Relaxed)),
         };
+
+        // Admission gate for heavy ops; stats/close/shutdown and protocol
+        // errors always pass so operators keep visibility under load.
+        let heavy = matches!(op.as_str(), "analyze" | "edit" | "query" | "query-use");
+        let _slot = if heavy {
+            if self.draining.load(Ordering::SeqCst) {
+                return self.fail_kind(&rid, &op, "shutting-down", "server is shutting down");
+            }
+            let depth = self.inflight.fetch_add(1, Ordering::SeqCst);
+            let guard = InflightGuard(&self.inflight);
+            if depth >= self.max_queue {
+                let retry = self.shed(depth);
+                drop(guard);
+                return Handled {
+                    response: err_overloaded(&rid, &op, retry),
+                    telemetry: None,
+                    shutdown: false,
+                };
+            }
+            Some(guard)
+        } else {
+            None
+        };
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch(&op, &req, &rid)
+        }));
+        let (response, telemetry, shutdown) = match outcome {
+            Ok(t) => t,
+            Err(_) => (
+                err_structured(
+                    &rid,
+                    &op,
+                    &RequestError::new(
+                        "internal-panic",
+                        "request handler panicked; connection kept, engine recovered",
+                    ),
+                ),
+                None,
+                false,
+            ),
+        };
+        Handled {
+            response,
+            telemetry,
+            shutdown,
+        }
+    }
+
+    /// The op-level request switch. Returns `(response, telemetry,
+    /// shutdown)`.
+    fn dispatch(&self, op: &str, req: &Json, rid: &str) -> (String, Option<String>, bool) {
+        let deadline = req
+            .get("deadline_ms")
+            .and_then(Json::as_u64)
+            .map(Duration::from_millis);
         let mut telemetry = None;
         let mut shutdown = false;
-        let response = match op.as_str() {
+        let response = match op {
             "analyze" => {
                 let Some(source) = req.get("source").and_then(Json::as_str) else {
-                    return self.fail(&rid, "analyze", "missing string field \"source\"");
+                    return (
+                        err_response(rid, "analyze", "missing string field \"source\""),
+                        None,
+                        false,
+                    );
                 };
-                let mut engine = self.engine.lock().expect("engine poisoned");
-                match engine.analyze(source) {
+                let mut engine = self.engine_lock();
+                match engine.analyze_within(source, deadline) {
                     Ok(mut out) => {
-                        telemetry = Some(stamp(&mut out.report, &rid, Some(out.session_id)));
+                        out.report.serve_health = Some(self.health(&engine));
+                        telemetry = Some(stamp(&mut out.report, rid, Some(out.session_id)));
                         let mut w = ObjWriter::new();
                         w.bool("ok", true)
                             .str("op", "analyze")
-                            .str("id", &rid)
+                            .str("id", rid)
                             .u64("session", out.session_id)
                             .str("mode", out.mode)
                             .u64("functions_total", out.functions_total as u64)
@@ -207,27 +406,40 @@ impl Dispatcher {
                             .u64("cache_misses", out.report.cache_misses as u64);
                         w.finish()
                     }
-                    Err(e) => err_response(&rid, "analyze", &e),
+                    Err(e) => err_structured(rid, "analyze", &e),
                 }
             }
             "edit" => {
                 let Some(sid) = req.get("session").and_then(Json::as_u64) else {
-                    return self.fail(&rid, "edit", "missing numeric field \"session\"");
+                    return (
+                        err_response(rid, "edit", "missing numeric field \"session\""),
+                        None,
+                        false,
+                    );
                 };
                 let Some(func) = req.get("func").and_then(Json::as_str) else {
-                    return self.fail(&rid, "edit", "missing string field \"func\"");
+                    return (
+                        err_response(rid, "edit", "missing string field \"func\""),
+                        None,
+                        false,
+                    );
                 };
                 let Some(body) = req.get("body").and_then(Json::as_str) else {
-                    return self.fail(&rid, "edit", "missing string field \"body\"");
+                    return (
+                        err_response(rid, "edit", "missing string field \"body\""),
+                        None,
+                        false,
+                    );
                 };
-                let mut engine = self.engine.lock().expect("engine poisoned");
-                match engine.edit(sid, func, body) {
+                let mut engine = self.engine_lock();
+                match engine.edit_within(sid, func, body, deadline) {
                     Ok(mut out) => {
-                        telemetry = Some(stamp(&mut out.report, &rid, Some(sid)));
+                        out.report.serve_health = Some(self.health(&engine));
+                        telemetry = Some(stamp(&mut out.report, rid, Some(sid)));
                         let mut w = ObjWriter::new();
                         w.bool("ok", true)
                             .str("op", "edit")
-                            .str("id", &rid)
+                            .str("id", rid)
                             .u64("session", sid)
                             .bool("incremental", out.incremental)
                             .u64("functions_recomputed", out.functions_recomputed as u64)
@@ -237,22 +449,26 @@ impl Dispatcher {
                         }
                         w.finish()
                     }
-                    Err(e) => err_response(&rid, "edit", &e),
+                    Err(e) => err_structured(rid, "edit", &e),
                 }
             }
             "query" => {
                 let Some(sid) = req.get("session").and_then(Json::as_u64) else {
-                    return self.fail(&rid, "query", "missing numeric field \"session\"");
+                    return (
+                        err_response(rid, "query", "missing numeric field \"session\""),
+                        None,
+                        false,
+                    );
                 };
                 let full = req.get("full").and_then(Json::as_bool).unwrap_or(false);
-                let mut engine = self.engine.lock().expect("engine poisoned");
+                let mut engine = self.engine_lock();
                 match engine.query(sid) {
                     Ok(q) => {
                         let (pfull, pguided, pfallback) = q.provenance;
                         let mut w = ObjWriter::new();
                         w.bool("ok", true)
                             .str("op", "query")
-                            .str("id", &rid)
+                            .str("id", rid)
                             .u64("session", sid)
                             .str("plan_digest", &format!("{:016x}", q.plan_digest))
                             .str("gamma_digest", &format!("{:016x}", q.gamma_digest))
@@ -270,23 +486,31 @@ impl Dispatcher {
                         }
                         w.finish()
                     }
-                    Err(e) => err_structured(&rid, "query", &e),
+                    Err(e) => err_structured(rid, "query", &e),
                 }
             }
             "query-use" => {
                 let Some(sid) = req.get("session").and_then(Json::as_u64) else {
-                    return self.fail(&rid, "query-use", "missing numeric field \"session\"");
+                    return (
+                        err_response(rid, "query-use", "missing numeric field \"session\""),
+                        None,
+                        false,
+                    );
                 };
                 let Some(check) = req.get("check").and_then(Json::as_u64) else {
-                    return self.fail(&rid, "query-use", "missing numeric field \"check\"");
+                    return (
+                        err_response(rid, "query-use", "missing numeric field \"check\""),
+                        None,
+                        false,
+                    );
                 };
-                let mut engine = self.engine.lock().expect("engine poisoned");
-                match engine.query_use(sid, check as usize) {
+                let mut engine = self.engine_lock();
+                match engine.query_use_within(sid, check as usize, deadline) {
                     Ok(q) => {
                         let mut w = ObjWriter::new();
                         w.bool("ok", true)
                             .str("op", "query-use")
-                            .str("id", &rid)
+                            .str("id", rid)
                             .u64("session", sid)
                             .u64("check", q.check_index as u64)
                             .u64("node", u64::from(q.node))
@@ -301,16 +525,16 @@ impl Dispatcher {
                             .f64("seconds", q.seconds);
                         w.finish()
                     }
-                    Err(e) => err_structured(&rid, "query-use", &e),
+                    Err(e) => err_structured(rid, "query-use", &e),
                 }
             }
             "stats" => {
-                let engine = self.engine.lock().expect("engine poisoned");
+                let engine = self.engine_lock();
                 let st = engine.stats();
                 let mut w = ObjWriter::new();
                 w.bool("ok", true)
                     .str("op", "stats")
-                    .str("id", &rid)
+                    .str("id", rid)
                     .u64("sessions", st.sessions as u64)
                     .u64("analyzes_cold", st.counters.analyzes_cold)
                     .u64("analyzes_warm", st.counters.analyzes_warm)
@@ -318,10 +542,22 @@ impl Dispatcher {
                     .u64("edits_fallback", st.counters.edits_fallback)
                     .u64("functions_recomputed", st.counters.functions_recomputed)
                     .u64("user_errors", st.counters.user_errors)
+                    .u64("deadline_expired", st.counters.deadline_expired)
                     .u64("memory_hits", st.memory.hits as u64)
                     .u64("memory_misses", st.memory.misses as u64)
                     .u64("memory_entries", st.memory.entries as u64)
                     .f64("warm_hit_ratio", st.warm_hit_ratio)
+                    .f64("uptime_seconds", self.start.elapsed().as_secs_f64())
+                    .u64("requests_shed", self.requests_shed.load(Ordering::SeqCst))
+                    .u64(
+                        "connections_torn",
+                        self.connections_torn.load(Ordering::SeqCst),
+                    )
+                    .u64("sessions_recovered", st.sessions_recovered)
+                    .u64("wal_records_dropped", st.wal_records_dropped)
+                    .u64("wal_store_misses", st.wal_store_misses)
+                    .bool("wal_enabled", st.wal_enabled)
+                    .u64("wal_appends_failed", st.wal_appends_failed)
                     .str("pointer_strategy", st.pointer_strategy)
                     .u64("pointer_solves", st.counters.pointer_solves)
                     .u64("demand_queries", st.counters.demand_queries)
@@ -351,14 +587,18 @@ impl Dispatcher {
             }
             "close" => {
                 let Some(sid) = req.get("session").and_then(Json::as_u64) else {
-                    return self.fail(&rid, "close", "missing numeric field \"session\"");
+                    return (
+                        err_response(rid, "close", "missing numeric field \"session\""),
+                        None,
+                        false,
+                    );
                 };
-                let mut engine = self.engine.lock().expect("engine poisoned");
+                let mut engine = self.engine_lock();
                 let closed = engine.close(sid);
                 let mut w = ObjWriter::new();
                 w.bool("ok", true)
                     .str("op", "close")
-                    .str("id", &rid)
+                    .str("id", rid)
                     .u64("session", sid)
                     .bool("closed", closed);
                 w.finish()
@@ -366,22 +606,18 @@ impl Dispatcher {
             "shutdown" => {
                 shutdown = true;
                 let mut w = ObjWriter::new();
-                w.bool("ok", true).str("op", "shutdown").str("id", &rid);
+                w.bool("ok", true).str("op", "shutdown").str("id", rid);
                 w.finish()
             }
-            "" => err_response(&rid, "?", "missing string field \"op\""),
-            other => err_response(&rid, other, &format!("unknown op {other:?}")),
+            "" => err_response(rid, "?", "missing string field \"op\""),
+            other => err_response(rid, other, &format!("unknown op {other:?}")),
         };
-        Handled {
-            response,
-            telemetry,
-            shutdown,
-        }
+        (response, telemetry, shutdown)
     }
 
-    fn fail(&self, rid: &str, op: &str, msg: &str) -> Handled {
+    fn fail_kind(&self, rid: &str, op: &str, kind: &'static str, msg: &str) -> Handled {
         Handled {
-            response: err_response(rid, op, msg),
+            response: err_structured(rid, op, &RequestError::new(kind, msg)),
             telemetry: None,
             shutdown: false,
         }
@@ -391,13 +627,14 @@ impl Dispatcher {
 /// Emits one telemetry line to stderr. Centralized so interleaved client
 /// threads never tear lines.
 fn emit_telemetry(lock: &Mutex<()>, line: &str) {
-    let _g = lock.lock().expect("telemetry lock poisoned");
+    let _g = lock.lock().unwrap_or_else(PoisonError::into_inner);
     eprintln!("{line}");
 }
 
 /// Runs the serve loop: stdin JSON-lines on the calling thread, plus an
 /// optional Unix-socket listener. Returns after a `shutdown` request or
-/// stdin EOF.
+/// stdin EOF, having drained in-flight requests (bounded by
+/// `drain_timeout_ms`) and fsynced the session WAL.
 ///
 /// # Errors
 ///
@@ -446,6 +683,14 @@ pub fn run_server(cfg: &ServerConfig) -> Result<(), String> {
         }
     }
 
+    // Graceful shutdown: refuse new heavy work, let in-flight requests
+    // finish (bounded), make the WAL durable, then stop the transports.
+    dispatcher.begin_drain();
+    let drain_deadline = Instant::now() + Duration::from_millis(cfg.drain_timeout_ms);
+    while dispatcher.inflight() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    dispatcher.flush_wal();
     stop.store(true, Ordering::SeqCst);
     if let Some(h) = listener_handle {
         let _ = h.join();
@@ -472,13 +717,12 @@ fn socket_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 if clients.len() >= max_clients {
-                    // Over capacity: refuse politely and move on.
+                    // Over capacity: shed the connection politely with the
+                    // same machine-readable refusal as request-level
+                    // shedding, and move on.
+                    let retry = dispatcher.shed(max_clients);
                     let mut s = stream;
-                    let _ = writeln!(
-                        s,
-                        "{}",
-                        err_response("", "?", "server at max-clients capacity")
-                    );
+                    let _ = writeln!(s, "{}", err_overloaded("", "?", retry));
                     continue;
                 }
                 client_no += 1;
@@ -501,6 +745,10 @@ fn socket_loop(
     }
 }
 
+/// One socket client's request loop. Reads with a timeout so a stuck
+/// client cannot block shutdown, and maps every abnormal exit (partial
+/// frame at EOF, read error, broken response pipe) to a counted,
+/// non-fatal connection teardown.
 fn client_loop(
     stream: std::os::unix::net::UnixStream,
     origin: &str,
@@ -511,22 +759,55 @@ fn client_loop(
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        let handled = dispatcher.handle_line(origin, &line);
-        if let Some(t) = &handled.telemetry {
-            emit_telemetry(telemetry_lock, t);
-        }
-        if !handled.response.is_empty() {
-            if writeln!(writer, "{}", handled.response).is_err() {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+    // `read_line` appends to the buffer across timeouts, so a frame
+    // split across reads (or interleaved with stop-flag polls) is
+    // reassembled rather than torn.
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => {
+                if !buf.trim().is_empty() {
+                    // EOF with a partial frame buffered: the client died
+                    // mid-request.
+                    dispatcher.note_torn();
+                }
                 break;
             }
-            let _ = writer.flush();
-        }
-        if handled.shutdown {
-            stop.store(true, Ordering::SeqCst);
-            break;
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                let handled = dispatcher.handle_line(origin, &line);
+                if let Some(t) = &handled.telemetry {
+                    emit_telemetry(telemetry_lock, t);
+                }
+                if !handled.response.is_empty() {
+                    if writeln!(writer, "{}", handled.response).is_err() {
+                        // Client vanished between request and response.
+                        dispatcher.note_torn();
+                        break;
+                    }
+                    let _ = writer.flush();
+                }
+                if handled.shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => {
+                dispatcher.note_torn();
+                break;
+            }
         }
     }
 }
@@ -564,6 +845,11 @@ mod tests {
         assert!(telemetry.contains("\"request_id\":\"r1\""), "{telemetry}");
         assert!(
             telemetry.contains(&format!("\"session_id\":{sid}")),
+            "{telemetry}"
+        );
+        // Serve-issued telemetry carries the health snapshot.
+        assert!(
+            telemetry.contains("\"serve\":{\"uptime_seconds\""),
             "{telemetry}"
         );
 
@@ -740,6 +1026,8 @@ mod tests {
         // Blank lines are ignored silently.
         let h = d.handle_line("stdin", "   ");
         assert!(h.response.is_empty());
+        // Admission slots from failed requests are all released.
+        assert_eq!(d.inflight(), 0);
     }
 
     #[test]
@@ -785,5 +1073,110 @@ mod tests {
         assert!(digests.windows(2).all(|w| w[0] == w[1]));
         let st = d.engine().lock().unwrap().stats();
         assert_eq!(st.counters.analyzes_warm, 4);
+    }
+
+    #[test]
+    fn overload_sheds_with_retry_hint_but_stats_stay_admitted() {
+        let cfg = ServerConfig {
+            max_queue: 0,
+            ..ServerConfig::default()
+        };
+        let d = Dispatcher::new(&cfg).unwrap();
+        let req = {
+            let mut w = ObjWriter::new();
+            w.str("op", "analyze").str("source", SRC).str("id", "r1");
+            w.finish()
+        };
+        let resp = Json::parse(&d.handle_line("stdin", &req).response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        assert_eq!(field(&resp, "error_kind").as_str(), Some("overloaded"));
+        assert_eq!(field(&resp, "id").as_str(), Some("r1"));
+        let retry = field(&resp, "retry_after_ms").as_u64().unwrap();
+        assert!((50..=1000).contains(&retry), "{retry}");
+        // Shed slot was released immediately.
+        assert_eq!(d.inflight(), 0);
+        // stats is always admitted and reports the shed.
+        let resp = Json::parse(&d.handle_line("stdin", "{\"op\":\"stats\"}").response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        assert_eq!(field(&resp, "requests_shed").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn draining_refuses_new_work_but_keeps_observability() {
+        let d = dispatcher();
+        d.begin_drain();
+        let req = {
+            let mut w = ObjWriter::new();
+            w.str("op", "analyze").str("source", SRC);
+            w.finish()
+        };
+        let resp = Json::parse(&d.handle_line("stdin", &req).response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        assert_eq!(field(&resp, "error_kind").as_str(), Some("shutting-down"));
+        let resp = Json::parse(&d.handle_line("stdin", "{\"op\":\"stats\"}").response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        assert_eq!(field(&resp, "sessions").as_u64(), Some(0));
+    }
+
+    #[test]
+    fn zero_deadline_expires_cleanly_and_is_counted() {
+        let d = dispatcher();
+        let req = {
+            let mut w = ObjWriter::new();
+            w.str("op", "analyze")
+                .str("source", SRC)
+                .u64("deadline_ms", 0);
+            w.finish()
+        };
+        let resp = Json::parse(&d.handle_line("stdin", &req).response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(false));
+        assert_eq!(
+            field(&resp, "error_kind").as_str(),
+            Some("deadline-expired")
+        );
+        let resp = Json::parse(&d.handle_line("stdin", "{\"op\":\"stats\"}").response).unwrap();
+        assert_eq!(field(&resp, "deadline_expired").as_u64(), Some(1));
+        assert_eq!(field(&resp, "sessions").as_u64(), Some(0));
+        // A generous deadline sails through.
+        let req = {
+            let mut w = ObjWriter::new();
+            w.str("op", "analyze")
+                .str("source", SRC)
+                .u64("deadline_ms", 60000);
+            w.finish()
+        };
+        let resp = Json::parse(&d.handle_line("stdin", &req).response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true), "{resp:?}");
+    }
+
+    #[test]
+    fn client_vanishing_mid_frame_is_a_counted_teardown() {
+        let d = Arc::new(dispatcher());
+        let stop = Arc::new(AtomicBool::new(false));
+        let tl = Arc::new(Mutex::new(()));
+        let (client, server) = std::os::unix::net::UnixStream::pair().unwrap();
+        let handle = {
+            let d = d.clone();
+            let stop = stop.clone();
+            let tl = tl.clone();
+            std::thread::spawn(move || client_loop(server, "sock-t", &d, &stop, &tl))
+        };
+        // A complete request works over the pair...
+        let mut c = client;
+        writeln!(c, "{{\"op\":\"stats\"}}").unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        // ...then the client dies mid-frame: no newline, just a hangup.
+        c.write_all(b"{\"op\":\"ana").unwrap();
+        drop(c);
+        drop(reader);
+        handle.join().unwrap();
+        assert_eq!(d.connections_torn(), 1);
+        // The engine is still perfectly usable afterwards.
+        let resp = Json::parse(&d.handle_line("stdin", "{\"op\":\"stats\"}").response).unwrap();
+        assert_eq!(field(&resp, "ok").as_bool(), Some(true));
+        assert_eq!(field(&resp, "connections_torn").as_u64(), Some(1));
     }
 }

@@ -22,14 +22,23 @@
 //! most recent touch); the journal is compacted in place, also via
 //! rename, once it grows past a small multiple of the live entry count.
 //! Unrecognized files in the directory are ignored entirely.
+//!
+//! All durable writes route through the injectable [`FaultIo`] shim so
+//! the crash-safety suite (and `usher fuzz --fault serve-chaos`) can
+//! exercise torn writes, ENOSPC and kill-points at every step. The
+//! durability order of an entry write is fixed and asserted by tests:
+//! temp-file write, temp-file fsync, rename, directory fsync — a crash
+//! at any point leaves either no entry or a complete one, never a
+//! half-entry under a valid name.
 
 use std::collections::HashMap;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use usher_driver::{KeyWriter, CACHE_FORMAT_VERSION};
+
+use crate::faultio::{FaultIo, FaultSite};
 
 /// Which artifact kind an entry holds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,6 +102,7 @@ struct Inner {
     next_seq: u64,
     journal_lines: u64,
     stats: DiskStats,
+    io: FaultIo,
 }
 
 /// A size-capped, self-healing, content-addressed artifact store.
@@ -150,14 +160,47 @@ fn parse_header(line: &str, kind: StoreKind) -> Option<u64> {
     u64::from_str_radix(dig_s, 16).ok()
 }
 
-fn atomic_write(dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
+/// Crash-safe entry write: temp write → temp fsync → rename → dir
+/// fsync. The final directory fsync is what makes the *rename itself*
+/// durable — without it a crash after a successful rename can roll the
+/// directory back to a state where the name exists with no (or stale)
+/// content on some filesystems.
+fn atomic_write(io: &FaultIo, dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
     let tmp = dir.join(format!(".tmp-{name}"));
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(content.as_bytes())?;
-        f.sync_all()?;
+    let f = io.create_write(FaultSite::StoreTempWrite, &tmp, content.as_bytes())?;
+    io.sync(FaultSite::StoreTempSync, &f)?;
+    io.rename(FaultSite::StoreRename, &tmp, &dir.join(name))?;
+    io.sync_dir(FaultSite::StoreDirSync, dir)
+}
+
+/// Scans a store directory for corrupt `.art` entries (bad header,
+/// version skew, digest mismatch), returning the offending file names.
+/// Temp files and junk are ignored, exactly as [`DiskStore::open`]
+/// ignores them. The chaos campaign runs this after every injected
+/// crash: the atomic write order above means the answer must always be
+/// empty.
+pub fn verify_dir(dir: &Path) -> Vec<String> {
+    let mut corrupt = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return corrupt;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some((_, kind)) = parse_entry_name(name) else {
+            continue;
+        };
+        let ok = fs::read_to_string(entry.path()).is_ok_and(|content| {
+            content.split_once('\n').is_some_and(|(header, payload)| {
+                parse_header(header, kind) == Some(payload_digest(payload))
+            })
+        });
+        if !ok {
+            corrupt.push(name.to_string());
+        }
     }
-    fs::rename(&tmp, dir.join(name))
+    corrupt.sort_unstable();
+    corrupt
 }
 
 impl DiskStore {
@@ -169,6 +212,16 @@ impl DiskStore {
     ///
     /// Fails only on directory create/scan I/O errors.
     pub fn open(dir: &Path, cap_bytes: u64) -> std::io::Result<DiskStore> {
+        DiskStore::open_with_io(dir, cap_bytes, FaultIo::none())
+    }
+
+    /// [`DiskStore::open`] with an injectable I/O shim; all durable
+    /// writes and entry reads route through it.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on directory create/scan I/O errors.
+    pub fn open_with_io(dir: &Path, cap_bytes: u64, io: FaultIo) -> std::io::Result<DiskStore> {
         fs::create_dir_all(dir)?;
         let mut map = HashMap::new();
         let mut names_in_dir_order = Vec::new();
@@ -220,6 +273,7 @@ impl DiskStore {
                 next_seq,
                 journal_lines,
                 stats,
+                io,
             }),
         })
     }
@@ -234,7 +288,7 @@ impl DiskStore {
         }
         let name = entry_name(key, kind);
         let path = inner.dir.join(&name);
-        let content = match fs::read_to_string(&path) {
+        let content = match inner.io.read_to_string(FaultSite::StoreRead, &path) {
             Ok(c) => c,
             Err(_) => {
                 inner.remove_entry(key, kind);
@@ -270,7 +324,7 @@ impl DiskStore {
         let mut inner = self.inner.lock().expect("store poisoned");
         let name = entry_name(key, kind);
         let content = format!("{}\n{payload}", header_line(kind, payload_digest(payload)));
-        if atomic_write(&inner.dir, &name, &content).is_err() {
+        if atomic_write(&inner.io, &inner.dir, &name, &content).is_err() {
             return;
         }
         let new_bytes = content.len() as u64;
@@ -306,7 +360,7 @@ impl Inner {
         if let Some(meta) = self.map.remove(&(key, kind)) {
             self.stats.bytes -= meta.bytes;
             self.stats.entries -= 1;
-            let _ = fs::remove_file(self.dir.join(entry_name(key, kind)));
+            let _ = self.io.remove_file(&self.dir.join(entry_name(key, kind)));
         }
     }
 
@@ -323,8 +377,14 @@ impl Inner {
     fn journal_append(&mut self, name: &str) {
         let path = self.dir.join("journal.log");
         if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
-            let _ = writeln!(f, "{name}");
-            self.journal_lines += 1;
+            let line = format!("{name}\n");
+            if self
+                .io
+                .append(FaultSite::JournalAppend, &mut f, line.as_bytes())
+                .is_ok()
+            {
+                self.journal_lines += 1;
+            }
         }
     }
 
@@ -339,7 +399,7 @@ impl Inner {
             content.push_str(&entry_name(*key, *kind));
             content.push('\n');
         }
-        if atomic_write(&self.dir, "journal.log", &content).is_ok() {
+        if atomic_write(&self.io, &self.dir, "journal.log", &content).is_ok() {
             self.journal_lines = by_seq.len() as u64;
         }
     }
@@ -471,6 +531,92 @@ mod tests {
         s.store(9, StoreKind::Module, "m");
         assert_eq!(s.load(9, StoreKind::Module).as_deref(), Some("m"));
         assert!(dir.join("README.txt").exists(), "junk left untouched");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_before_rename_leaves_no_entry() {
+        use crate::faultio::{FaultKind, FaultSpec};
+        let dir = scratch_dir("killrename");
+        let io = FaultIo::none();
+        let s = DiskStore::open_with_io(&dir, 0, io.clone()).unwrap();
+        io.arm(
+            FaultSite::StoreRename,
+            FaultSpec {
+                kind: FaultKind::Kill,
+                after: 0,
+            },
+        );
+        s.store(7, StoreKind::Plan, "doomed");
+        assert!(
+            !dir.join(entry_name(7, StoreKind::Plan)).exists(),
+            "a kill before rename must not leave the entry name"
+        );
+        assert_eq!(verify_dir(&dir), Vec::<String>::new());
+        // Reopen (fresh shim == restart): the leftover temp junk is
+        // ignored and the store works.
+        let s2 = DiskStore::open(&dir, 0).unwrap();
+        assert_eq!(s2.stats().entries, 0);
+        s2.store(7, StoreKind::Plan, "doomed");
+        assert_eq!(s2.load(7, StoreKind::Plan).as_deref(), Some("doomed"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_temp_write_never_surfaces_a_half_entry() {
+        use crate::faultio::{FaultKind, FaultSpec};
+        let dir = scratch_dir("tornwrite");
+        let io = FaultIo::none();
+        let s = DiskStore::open_with_io(&dir, 0, io.clone()).unwrap();
+        io.arm(
+            FaultSite::StoreTempWrite,
+            FaultSpec {
+                kind: FaultKind::Torn { keep: 10 },
+                after: 0,
+            },
+        );
+        s.store(8, StoreKind::Gamma, "gamma-payload");
+        assert_eq!(s.load(8, StoreKind::Gamma), None);
+        assert!(!dir.join(entry_name(8, StoreKind::Gamma)).exists());
+        assert_eq!(verify_dir(&dir), Vec::<String>::new());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_write_durability_order_is_fixed() {
+        let dir = scratch_dir("order");
+        let io = FaultIo::none();
+        let s = DiskStore::open_with_io(&dir, 0, io.clone()).unwrap();
+        s.store(3, StoreKind::Module, "module-bytes");
+        let log = io.log();
+        let pos = |site: FaultSite| log.iter().position(|&s| s == site).unwrap();
+        assert!(
+            pos(FaultSite::StoreTempWrite) < pos(FaultSite::StoreTempSync),
+            "temp bytes written before their fsync"
+        );
+        assert!(
+            pos(FaultSite::StoreTempSync) < pos(FaultSite::StoreRename),
+            "temp file durable before rename publishes it"
+        );
+        assert!(
+            pos(FaultSite::StoreRename) < pos(FaultSite::StoreDirSync),
+            "directory fsync makes the rename durable"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_dir_flags_only_bad_entries() {
+        let dir = scratch_dir("verify");
+        let s = DiskStore::open(&dir, 0).unwrap();
+        s.store(1, StoreKind::Plan, "good");
+        s.store(2, StoreKind::Plan, "soon bad");
+        let bad = entry_name(2, StoreKind::Plan);
+        let mut content = fs::read_to_string(dir.join(&bad)).unwrap();
+        content.push_str("GARBAGE");
+        fs::write(dir.join(&bad), content).unwrap();
+        fs::write(dir.join(".tmp-ignored"), "half").unwrap();
+        assert_eq!(verify_dir(&dir), vec![bad]);
         let _ = fs::remove_dir_all(&dir);
     }
 

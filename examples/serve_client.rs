@@ -12,10 +12,20 @@
 //! below touches nothing beyond `std`: it writes one JSON object per
 //! line to a `UnixStream` and reads one JSON line back per request —
 //! the whole protocol surface (DESIGN.md §11).
+//!
+//! The client also demonstrates the retry discipline a production
+//! caller should use against a loaded server: when a request comes back
+//! `error_kind: "overloaded"`, it sleeps for the server's
+//! `retry_after_ms` hint scaled by a bounded exponential backoff plus
+//! deterministic jitter, then resends — up to [`MAX_RETRIES`] attempts
+//! before giving up.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::time::{Duration, Instant};
+
+/// Overloaded requests are retried at most this many times.
+const MAX_RETRIES: u32 = 8;
 
 const SOURCE: &str = "def scale(int v) -> int {\n    int bias = 4;\n    if (v) { return v * bias; }\n    return bias;\n}\ndef risky(int c) -> int {\n    int x;\n    if (c) { x = 1; }\n    if (x) { return 1; }\n    return 0;\n}\ndef main(int c) {\n    print(scale(risky(c)));\n}";
 
@@ -39,18 +49,32 @@ fn main() {
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = stream;
 
+    let mut jitter = Jitter::new(0x7365_7276_6501);
     let mut request = |label: &str, line: String| -> String {
         let t = Instant::now();
-        writeln!(writer, "{line}").expect("write request");
-        writer.flush().expect("flush request");
-        let mut resp = String::new();
-        reader.read_line(&mut resp).expect("read response");
-        println!(
-            "{label:<12} {:>8.2} ms  {}",
-            t.elapsed().as_secs_f64() * 1e3,
-            resp.trim_end()
-        );
-        resp
+        for attempt in 0..=MAX_RETRIES {
+            writeln!(writer, "{line}").expect("write request");
+            writer.flush().expect("flush request");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("read response");
+            // Shed under load: honor the server's hint with bounded
+            // exponential backoff and jitter, then resend.
+            if resp.contains("\"error_kind\":\"overloaded\"") && attempt < MAX_RETRIES {
+                let hint = field_u64(&resp, "retry_after_ms").unwrap_or(50);
+                let base = (hint << attempt.min(4)).min(2000);
+                let wait = base + jitter.next_below(base / 2 + 1);
+                println!("{label:<12} overloaded; retrying in {wait} ms");
+                std::thread::sleep(Duration::from_millis(wait));
+                continue;
+            }
+            println!(
+                "{label:<12} {:>8.2} ms  {}",
+                t.elapsed().as_secs_f64() * 1e3,
+                resp.trim_end()
+            );
+            return resp;
+        }
+        panic!("{label}: still overloaded after {MAX_RETRIES} retries");
     };
 
     // Open a session. The response carries the session id we edit under;
@@ -128,6 +152,24 @@ fn connect_with_retry(path: &str) -> UnixStream {
         std::thread::sleep(Duration::from_millis(20));
     }
     panic!("cannot connect to {path}; is `usher serve --socket {path}` running?");
+}
+
+/// Deterministic xorshift jitter so retry volleys from concurrent
+/// clients spread out instead of re-colliding (no `rand` dependency —
+/// the example stays std-only).
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: u64) -> Jitter {
+        Jitter(seed | 1)
+    }
+
+    fn next_below(&mut self, bound: u64) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0 % bound.max(1)
+    }
 }
 
 /// JSON string literal (the only encoding a client needs).

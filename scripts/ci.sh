@@ -103,6 +103,52 @@ grep -q '"op":"shutdown"' "$SRV_OUT"
 rm -f "$SRV_OUT"
 ./target/release/usher serve-bench --quick > /dev/null
 
+echo "==> crash-safety smoke"
+# Crash-safe serve gate (DESIGN.md §14): the serve-chaos fuzz campaign
+# must classify clean — every injected torn write / ENOSPC / kill-point
+# either recovers the session byte-identically from the WAL or degrades
+# with a recorded reason, and never corrupts the store. Then a literal
+# kill -9: a serving process is killed mid-session and a fresh process
+# on the same store directory must replay the WAL, report the recovered
+# session in stats, and answer queries against it.
+./target/release/usher fuzz --seeds 2 --mutants 0 --no-minimize --fault serve-chaos
+CRS_DIR=$(mktemp -d) && CRS_OUT=$(mktemp) && CRS_PIPE=$(mktemp -u)
+mkfifo "$CRS_PIPE"
+./target/release/usher serve --store-dir "$CRS_DIR" < "$CRS_PIPE" > "$CRS_OUT" 2>/dev/null &
+CRS_PID=$!
+exec 3> "$CRS_PIPE"
+printf '%s\n' \
+  '{"op":"analyze","source":"def risky(int c) -> int {\n    int x;\n    if (c) { x = 1; }\n    if (x) { return 1; }\n    return 0;\n}\ndef main(int c) {\n    print(risky(c));\n}","id":"cr-a1"}' >&3
+CRS_TRIES=0
+until grep -q '"id":"cr-a1"' "$CRS_OUT" 2>/dev/null; do
+    CRS_TRIES=$((CRS_TRIES + 1))
+    if [ "$CRS_TRIES" -gt 100 ]; then
+        echo "error: crash smoke: serve never answered the analyze" >&2
+        kill -9 "$CRS_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "$CRS_PID" 2>/dev/null || true
+wait "$CRS_PID" 2>/dev/null || true
+exec 3>&-
+rm -f "$CRS_PIPE"
+printf '%s\n' \
+  '{"op":"stats","id":"cr-s1"}' \
+  '{"op":"query","session":1,"id":"cr-q1"}' \
+  '{"op":"query-use","session":1,"check":0,"id":"cr-u1"}' \
+  '{"op":"shutdown","id":"cr-z1"}' \
+  | ./target/release/usher serve --store-dir "$CRS_DIR" > "$CRS_OUT" 2>/dev/null
+grep -q '"id":"cr-s1".*"sessions_recovered":1' "$CRS_OUT"
+grep -q '"id":"cr-q1".*"plan_digest"' "$CRS_OUT"
+grep -q '"id":"cr-u1".*"maybe_undef"' "$CRS_OUT"
+if grep -q '"ok":false' "$CRS_OUT"; then
+    echo "error: crash smoke: recovered session produced a failed response" >&2
+    cat "$CRS_OUT" >&2
+    exit 1
+fi
+rm -rf "$CRS_DIR" "$CRS_OUT"
+
 echo "==> demand smoke"
 # Demand-driven query gate (DESIGN.md §13): the demand-divergence fuzz
 # mode must classify clean (demand-mode plans fingerprint identically to

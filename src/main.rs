@@ -35,7 +35,7 @@
 //! against the ground truth. `--smoke` is the fixed CI gate; `--seeds`,
 //! `--start`, `--mutants`, `--frontend`, `--fault none|fuel|cache-evict|
 //! trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge|
-//! demand-diverge`, `--threads`,
+//! demand-diverge|serve-chaos`, `--threads`,
 //! `--no-minimize`, `--report FILE`
 //! (JSONL telemetry) and `--out DIR` (minimized reproducers) shape ad-hoc
 //! campaigns. Exit code 1 means the campaign found at least one mismatch.
@@ -70,7 +70,7 @@ fn main() -> ExitCode {
             eprintln!("usage: usher <run|check|analyze|ir|dis|vfg> <file.tc|file.uir> [--config CFG] [--opt LVL] [--seed N] [--threads N] [--pointer-strategy S] [--no-cache] [--report] [--demand] [--budget-steps N] [--deadline-ms N] [--strict] [--inject-panic STAGE]");
             eprintln!("       usher gen [--seed N] [--helpers N] [--stmts N]");
             eprintln!("       usher fuzz [--smoke] [--seeds N] [--start N] [--mutants N] [--frontend] [--fault MODE] [--threads N] [--no-minimize] [--report FILE] [--out DIR]");
-            eprintln!("       usher serve [--socket PATH] [--store-dir DIR] [--store-cap-bytes N] [--max-clients N] [--threads N] [--pointer-strategy S] [--no-cache]");
+            eprintln!("       usher serve [--socket PATH] [--store-dir DIR] [--store-cap-bytes N] [--max-clients N] [--threads N] [--pointer-strategy S] [--no-cache] [--wal PATH] [--no-wal] [--max-queue N] [--drain-timeout-ms N]");
             eprintln!("       usher serve-bench [--quick] [--clients N] [--edits N] [--out FILE]");
             ExitCode::from(2)
         }
@@ -406,6 +406,19 @@ fn serve_command(args: &[String]) -> Result<ExitCode, String> {
                     .ok_or_else(|| format!("unknown pointer strategy {v} (expected reference|andersen|prefilter|prefilter-wave)"))?;
             }
             "--no-cache" => cfg.use_cache = false,
+            "--wal" => {
+                let v = it.next().ok_or("--wal needs a path")?;
+                cfg.wal_path = Some(v.into());
+            }
+            "--no-wal" => cfg.wal_enabled = false,
+            "--max-queue" => {
+                let v = it.next().ok_or("--max-queue needs a value")?;
+                cfg.max_queue = v.parse().map_err(|_| format!("bad queue depth {v}"))?;
+            }
+            "--drain-timeout-ms" => {
+                let v = it.next().ok_or("--drain-timeout-ms needs a value")?;
+                cfg.drain_timeout_ms = v.parse().map_err(|_| format!("bad drain timeout {v}"))?;
+            }
             other => return Err(format!("unexpected serve argument {other}")),
         }
     }
@@ -487,7 +500,7 @@ fn fuzz_command(args: &[String]) -> Result<ExitCode, String> {
             "--fault" => {
                 let v = it.next().ok_or("--fault needs a value")?;
                 cfg.fault = FaultInjection::parse(v).ok_or_else(|| {
-                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge|demand-diverge)")
+                    format!("unknown fault mode {v} (none|fuel|cache-evict|trap-force|drop-checks|cache-corrupt|budget-exhaust|strategy-diverge|demand-diverge|serve-chaos)")
                 })?;
             }
             "--threads" => {
